@@ -1,0 +1,38 @@
+//! Criterion micro-benchmarks for the four decomposition techniques
+//! (the per-kernel view behind Figure 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use sb_datasets::suite::{generate, GraphId, Scale};
+use sb_decompose::{
+    decompose_bicc, decompose_bridge, decompose_degk, decompose_metis_like, decompose_rand,
+};
+use sb_par::counters::Counters;
+use std::hint::black_box;
+
+fn bench_decompositions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decomposition");
+    group.sample_size(10);
+    for id in [GraphId::C73, GraphId::GermanyOsm, GraphId::WebGoogle] {
+        let g = generate(id, Scale::Factor(0.2), 42);
+        let name = format!("{id:?}");
+        group.bench_with_input(BenchmarkId::new("bridge", &name), &g, |b, g| {
+            b.iter(|| black_box(decompose_bridge(g, &Counters::new())))
+        });
+        group.bench_with_input(BenchmarkId::new("rand10", &name), &g, |b, g| {
+            b.iter(|| black_box(decompose_rand(g, 10, 7, &Counters::new())))
+        });
+        group.bench_with_input(BenchmarkId::new("deg2", &name), &g, |b, g| {
+            b.iter(|| black_box(decompose_degk(g, 2, &Counters::new())))
+        });
+        group.bench_with_input(BenchmarkId::new("metis_like8", &name), &g, |b, g| {
+            b.iter(|| black_box(decompose_metis_like(g, 8, &Counters::new())))
+        });
+        group.bench_with_input(BenchmarkId::new("bicc", &name), &g, |b, g| {
+            b.iter(|| black_box(decompose_bicc(g, &Counters::new())))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_decompositions);
+criterion_main!(benches);

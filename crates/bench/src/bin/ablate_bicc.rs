@@ -1,0 +1,74 @@
+//! Extension ablation: BRIDGE vs BICC composites.
+//!
+//! Hochbaum's original proposal \[16\] decomposes at articulation vertices
+//! (biconnected blocks) — strictly finer than the paper's BRIDGE
+//! (2-edge-connected components). This binary asks the question the paper
+//! leaves open: does the finer decomposition pay for itself? For each
+//! problem, compare the architecture baseline against the Bridge and Bicc
+//! composites.
+
+use sb_bench::harness::{load_suite, time_min, BenchConfig};
+use sb_bench::report::{fmt_ms, Table};
+use sb_core::coloring::{vertex_coloring, ColorAlgorithm};
+use sb_core::matching::{maximal_matching, MmAlgorithm};
+use sb_core::mis::{maximal_independent_set, MisAlgorithm};
+use sb_core::verify::{
+    check_coloring, check_maximal_independent_set, check_maximal_matching,
+};
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let suite = load_suite(&cfg);
+    let arch = cfg.arch;
+    let mut t = Table::new(
+        format!("Extension — BRIDGE vs BICC composites ({arch}, ms)"),
+        &[
+            "graph",
+            "MM base",
+            "MM-Bridge",
+            "MM-Bicc",
+            "COLOR base",
+            "COLOR-Bridge",
+            "COLOR-Bicc",
+            "MIS base",
+            "MIS-Bridge",
+            "MIS-Bicc",
+        ],
+    );
+    for (sp, g) in &suite.graphs {
+        let mm = |algo| {
+            let (ms, run) = time_min(cfg.reps, || maximal_matching(g, algo, arch, cfg.seed));
+            check_maximal_matching(g, &run.mate).unwrap();
+            ms
+        };
+        let col = |algo| {
+            let (ms, run) = time_min(cfg.reps, || vertex_coloring(g, algo, arch, cfg.seed));
+            check_coloring(g, &run.color).unwrap();
+            ms
+        };
+        let mis = |algo| {
+            let (ms, run) =
+                time_min(cfg.reps, || maximal_independent_set(g, algo, arch, cfg.seed));
+            check_maximal_independent_set(g, &run.in_set).unwrap();
+            ms
+        };
+        t.row(vec![
+            sp.name.into(),
+            fmt_ms(mm(MmAlgorithm::Baseline)),
+            fmt_ms(mm(MmAlgorithm::Bridge)),
+            fmt_ms(mm(MmAlgorithm::Bicc)),
+            fmt_ms(col(ColorAlgorithm::Baseline)),
+            fmt_ms(col(ColorAlgorithm::Bridge)),
+            fmt_ms(col(ColorAlgorithm::Bicc)),
+            fmt_ms(mis(MisAlgorithm::Baseline)),
+            fmt_ms(mis(MisAlgorithm::Bridge)),
+            fmt_ms(mis(MisAlgorithm::Bicc)),
+        ]);
+    }
+    t.emit(&format!("ablate_bicc_{arch}"));
+    println!(
+        "\nBICC classification costs the same BFS + LCA walks as BRIDGE but replaces\n\
+         the mark bitset with a union-find; the composites then split at articulation\n\
+         vertices instead of bridge endpoints."
+    );
+}

@@ -1,0 +1,63 @@
+//! Reproduce the §III-C iteration narrative: on the rgg instances,
+//! Algorithm GM needs on the order of 14 000 proposal rounds (the *vain
+//! tendency*), while MM-Rand matches most vertices inside the sparsified
+//! induced subgraphs within a few rounds. Also contrasts the lowest-id
+//! proposal rule with Blelloch's random edge priorities (the rule, not the
+//! decomposition, causes the pathology).
+
+use sb_bench::harness::{load_suite, mm_rand_partitions, BenchConfig};
+use sb_bench::report::Table;
+use sb_core::common::Arch;
+use sb_core::matching::gm::{gm_extend, gm_random_extend};
+use sb_core::matching::{maximal_matching, MmAlgorithm};
+use sb_core::verify::check_maximal_matching;
+use sb_graph::csr::INVALID;
+use sb_par::counters::Counters;
+
+fn main() {
+    let mut cfg = BenchConfig::from_env();
+    if cfg.filter.is_empty() {
+        cfg.filter = "rgg".into();
+    }
+    let suite = load_suite(&cfg);
+    let mut t = Table::new(
+        "§III-C — proposal rounds: GM vs MM-Rand vs random-priority GM",
+        &[
+            "graph",
+            "GM rounds",
+            "MM-Rand rounds",
+            "GM-randprio rounds",
+            "round ratio GM/MM-Rand",
+        ],
+    );
+    for (sp, g) in &suite.graphs {
+        let base = maximal_matching(g, MmAlgorithm::Baseline, Arch::Cpu, cfg.seed);
+        check_maximal_matching(g, &base.mate).unwrap();
+        let k = mm_rand_partitions(Arch::Cpu, sp);
+        let rand = maximal_matching(g, MmAlgorithm::Rand { partitions: k }, Arch::Cpu, cfg.seed);
+        check_maximal_matching(g, &rand.mate).unwrap();
+
+        // Ablation: same graph, same greedy structure, random priorities.
+        let c = Counters::new();
+        let mut mate = vec![INVALID; g.num_vertices()];
+        gm_random_extend(g, sb_graph::view::EdgeView::full(), &mut mate, None, cfg.seed, &c);
+        check_maximal_matching(g, &mate).unwrap();
+
+        // Sanity anchor for the counters: re-derive GM rounds directly.
+        let c2 = Counters::new();
+        let mut mate2 = vec![INVALID; g.num_vertices()];
+        gm_extend(g, sb_graph::view::EdgeView::full(), &mut mate2, None, &c2);
+        debug_assert_eq!(c2.rounds(), base.stats.counters.rounds);
+
+        let ratio = base.stats.counters.rounds as f64 / rand.stats.counters.rounds.max(1) as f64;
+        t.row(vec![
+            sp.name.into(),
+            base.stats.counters.rounds.to_string(),
+            rand.stats.counters.rounds.to_string(),
+            c.rounds().to_string(),
+            format!("{ratio:.1}"),
+        ]);
+    }
+    t.emit("ablate_iterations");
+    println!("\npaper: GM ≈ 14,000 iterations on rgg-n-2-24-s0; MM-Rand ≈ 17 + ~400.");
+}

@@ -1,0 +1,46 @@
+//! Reproduce the partition-count discussions (§III-D, §IV-D): MM-Rand
+//! slows down as RAND partitions increase past the average degree, and
+//! COLOR-Rand slows down because cross edges (hence conflicts) increase.
+
+use sb_bench::harness::{load_suite, time_min, BenchConfig};
+use sb_bench::report::{fmt_ms, Table};
+use sb_core::coloring::{vertex_coloring, ColorAlgorithm};
+use sb_core::matching::{maximal_matching, MmAlgorithm};
+use sb_core::verify::{check_coloring, check_maximal_matching};
+
+const KS: [usize; 6] = [2, 4, 10, 20, 50, 100];
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let suite = load_suite(&cfg);
+    let arch = cfg.arch;
+
+    let mut mm = Table::new(
+        format!("MM-Rand ({arch}) vs partition count (ms)"),
+        &["graph", "k=2", "k=4", "k=10", "k=20", "k=50", "k=100"],
+    );
+    let mut col = Table::new(
+        format!("COLOR-Rand ({arch}) vs partition count (ms)"),
+        &["graph", "k=2", "k=4", "k=10", "k=20", "k=50", "k=100"],
+    );
+    for (sp, g) in &suite.graphs {
+        let mut mm_row = vec![sp.name.to_string()];
+        let mut col_row = vec![sp.name.to_string()];
+        for k in KS {
+            let (ms, run) = time_min(cfg.reps, || {
+                maximal_matching(g, MmAlgorithm::Rand { partitions: k }, arch, cfg.seed)
+            });
+            check_maximal_matching(g, &run.mate).unwrap();
+            mm_row.push(fmt_ms(ms));
+            let (ms, run) = time_min(cfg.reps, || {
+                vertex_coloring(g, ColorAlgorithm::Rand { partitions: k }, arch, cfg.seed)
+            });
+            check_coloring(g, &run.color).unwrap();
+            col_row.push(fmt_ms(ms));
+        }
+        mm.row(mm_row);
+        col.row(col_row);
+    }
+    mm.emit(&format!("ablate_partitions_mm_{arch}"));
+    col.emit(&format!("ablate_partitions_color_{arch}"));
+}

@@ -1,0 +1,98 @@
+//! Strong-scaling harness: wall-clock of the CPU baselines and their best
+//! composites across rayon thread-pool sizes.
+//!
+//! The paper runs 80 threads on a dual E5-2650; this binary reproduces that
+//! axis on whatever host it runs on (`--threads 1,2,4,…` — defaults to
+//! powers of two up to the available parallelism). On a single-core host
+//! every column is the same; the harness exists so the experiment transfers
+//! to a multicore machine unchanged.
+
+use sb_bench::harness::{load_suite, time_min, BenchConfig};
+use sb_bench::report::{fmt_ms, Table};
+use sb_core::common::Arch;
+use sb_core::matching::{maximal_matching, MmAlgorithm};
+use sb_core::mis::{maximal_independent_set, MisAlgorithm};
+use sb_core::verify::{check_maximal_independent_set, check_maximal_matching};
+
+fn thread_counts() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut ts = vec![1usize];
+    while ts.last().unwrap() * 2 <= max {
+        ts.push(ts.last().unwrap() * 2);
+    }
+    ts
+}
+
+fn main() {
+    let mut cfg = BenchConfig::from_env();
+    if cfg.filter.is_empty() {
+        cfg.filter = "webbase".into(); // one representative graph by default
+    }
+    let suite = load_suite(&cfg);
+    let threads = thread_counts();
+    let headers: Vec<String> = std::iter::once("workload".to_string())
+        .chain(threads.iter().map(|t| format!("{t} thr (ms)")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut t = Table::new("Strong scaling — wall ms per thread count", &header_refs);
+
+    for (sp, g) in &suite.graphs {
+        let workloads: Vec<(String, Box<dyn Fn() + Sync>)> = vec![
+            (
+                format!("{} / GM", sp.name),
+                Box::new(|| {
+                    let r = maximal_matching(g, MmAlgorithm::Baseline, Arch::Cpu, cfg.seed);
+                    check_maximal_matching(g, &r.mate).unwrap();
+                }),
+            ),
+            (
+                format!("{} / MM-Rand(10)", sp.name),
+                Box::new(|| {
+                    let r = maximal_matching(
+                        g,
+                        MmAlgorithm::Rand { partitions: 10 },
+                        Arch::Cpu,
+                        cfg.seed,
+                    );
+                    check_maximal_matching(g, &r.mate).unwrap();
+                }),
+            ),
+            (
+                format!("{} / LubyMIS", sp.name),
+                Box::new(|| {
+                    let r = maximal_independent_set(g, MisAlgorithm::Baseline, Arch::Cpu, cfg.seed);
+                    check_maximal_independent_set(g, &r.in_set).unwrap();
+                }),
+            ),
+            (
+                format!("{} / MIS-Deg2", sp.name),
+                Box::new(|| {
+                    let r = maximal_independent_set(
+                        g,
+                        MisAlgorithm::Degk { k: 2 },
+                        Arch::Cpu,
+                        cfg.seed,
+                    );
+                    check_maximal_independent_set(g, &r.in_set).unwrap();
+                }),
+            ),
+        ];
+        for (label, work) in workloads {
+            let mut row = vec![label];
+            for &nt in &threads {
+                let pool = rayon::ThreadPoolBuilder::new()
+                    .num_threads(nt)
+                    .build()
+                    .expect("thread pool");
+                let (ms, _) = pool.install(|| time_min(cfg.reps, &work));
+                row.push(fmt_ms(ms));
+            }
+            t.row(row);
+        }
+    }
+    t.emit("ablate_threads");
+    println!(
+        "\nnote: this host reports {} available thread(s); the paper used 80.",
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    );
+}

@@ -1,0 +1,10 @@
+//! Reproduce Figure 2: decomposition time per technique per graph.
+
+use sb_bench::harness::{load_suite, BenchConfig};
+use sb_bench::runners::decomposition_figure;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let suite = load_suite(&cfg);
+    decomposition_figure(&suite, cfg.seed, cfg.reps).emit("fig2");
+}

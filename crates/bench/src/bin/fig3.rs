@@ -1,0 +1,18 @@
+//! Reproduce Figure 3: maximal matching, baseline vs decomposition
+//! composites (`--arch cpu` for Figure 3a, `--arch gpu` for 3b).
+
+use sb_bench::harness::{load_suite, BenchConfig};
+use sb_bench::runners::matching_figure;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let suite = load_suite(&cfg);
+    let (t, avg) = matching_figure(&suite, cfg.arch, cfg.seed, cfg.reps);
+    t.emit(&format!("fig3_{}", cfg.arch));
+    if let Some(a) = avg {
+        println!(
+            "\naverage MM-Rand speedup (excluding rgg instances): {a:.2}x \
+             (paper: 3.5x CPU / 2.53x GPU)"
+        );
+    }
+}

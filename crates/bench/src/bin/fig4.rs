@@ -1,0 +1,20 @@
+//! Reproduce Figure 4: coloring, baseline vs decomposition composites
+//! (`--arch cpu` for Figure 4a, `--arch gpu` for 4b).
+
+use sb_bench::harness::{load_suite, BenchConfig};
+use sb_bench::runners::coloring_figure;
+use sb_core::common::Arch;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let suite = load_suite(&cfg);
+    let (t, avg) = coloring_figure(&suite, cfg.arch, cfg.seed, cfg.reps);
+    t.emit(&format!("fig4_{}", cfg.arch));
+    if let Some(a) = avg {
+        let paper = match cfg.arch {
+            Arch::Cpu => "paper: COLOR-Deg2 1.27x",
+            Arch::GpuSim => "paper: COLOR-Rand ~1x (no noticeable speedup)",
+        };
+        println!("\naverage winner speedup: {a:.2}x ({paper})");
+    }
+}

@@ -1,0 +1,18 @@
+//! Reproduce Figure 5: MIS, LubyMIS vs decomposition composites
+//! (`--arch cpu` for Figure 5a, `--arch gpu` for 5b).
+
+use sb_bench::harness::{load_suite, BenchConfig};
+use sb_bench::runners::mis_figure;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let suite = load_suite(&cfg);
+    let (t, avg) = mis_figure(&suite, cfg.arch, cfg.seed, cfg.reps);
+    t.emit(&format!("fig5_{}", cfg.arch));
+    if let Some(a) = avg {
+        println!(
+            "\naverage MIS-Deg2 speedup (GPU avg excludes c-73, lp1): {a:.2}x \
+             (paper: 3.39x CPU / 2.16x GPU)"
+        );
+    }
+}

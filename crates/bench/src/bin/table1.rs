@@ -1,0 +1,11 @@
+//! Reproduce Table I: the summary of best decomposition and average
+//! speedup per problem per architecture. Runs all six figure experiments.
+
+use sb_bench::harness::{load_suite, BenchConfig};
+use sb_bench::runners::table1;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let suite = load_suite(&cfg);
+    table1(&suite, cfg.seed, cfg.reps).emit("table1");
+}

@@ -1,0 +1,10 @@
+//! Reproduce Table II: dataset statistics, measured vs paper.
+
+use sb_bench::harness::{load_suite, BenchConfig};
+use sb_bench::runners::table2;
+
+fn main() {
+    let cfg = BenchConfig::from_env();
+    let suite = load_suite(&cfg);
+    table2(&suite).emit("table2");
+}

@@ -1,0 +1,201 @@
+//! Shared configuration and dataset loading for the bench binaries.
+
+use sb_core::common::Arch;
+use sb_datasets::suite::{load_or_generate, spec, DatasetSpec, GraphId, Scale};
+use sb_graph::csr::Graph;
+use std::path::PathBuf;
+
+/// Configuration shared by all bench binaries, parsed from CLI arguments.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Dataset size multiplier (1.0 = the default laptop-scale suite).
+    pub scale: Scale,
+    /// Seed for generators and randomized algorithms.
+    pub seed: u64,
+    /// Execution model under test (figure binaries).
+    pub arch: Arch,
+    /// Substring filter on graph names (empty = all).
+    pub filter: String,
+    /// Timing repetitions; the minimum is reported.
+    pub reps: usize,
+    /// Optional directory of real SuiteSparse `.mtx` files.
+    pub data_dir: Option<PathBuf>,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            scale: Scale::Default,
+            seed: 42,
+            arch: Arch::Cpu,
+            filter: String::new(),
+            reps: 1,
+            data_dir: None,
+        }
+    }
+}
+
+impl BenchConfig {
+    /// Parse `--scale`, `--seed`, `--arch`, `--graphs`, `--reps`,
+    /// `--data-dir` from an argument list (panics with a usage message on
+    /// malformed input — these are internal tools).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut cfg = Self::default();
+        let mut it = args.into_iter();
+        while let Some(a) = it.next() {
+            let mut val = |flag: &str| {
+                it.next()
+                    .unwrap_or_else(|| panic!("{flag} needs a value"))
+            };
+            match a.as_str() {
+                "--scale" => {
+                    let f: f64 = val("--scale").parse().expect("--scale takes a float");
+                    cfg.scale = Scale::Factor(f);
+                }
+                "--seed" => cfg.seed = val("--seed").parse().expect("--seed takes a u64"),
+                "--arch" => {
+                    cfg.arch = match val("--arch").as_str() {
+                        "cpu" => Arch::Cpu,
+                        "gpu" => Arch::GpuSim,
+                        other => panic!("--arch must be cpu or gpu, got {other}"),
+                    }
+                }
+                "--graphs" => cfg.filter = val("--graphs"),
+                "--reps" => cfg.reps = val("--reps").parse().expect("--reps takes a usize"),
+                "--data-dir" => cfg.data_dir = Some(PathBuf::from(val("--data-dir"))),
+                other => panic!("unknown flag {other}"),
+            }
+        }
+        cfg
+    }
+
+    /// Parse from `std::env::args` (skipping the binary name).
+    pub fn from_env() -> Self {
+        Self::from_args(std::env::args().skip(1))
+    }
+}
+
+/// The loaded dataset suite: Table II specs paired with their (generated or
+/// loaded) graphs.
+pub struct Suite {
+    /// Spec + graph, in Table II order.
+    pub graphs: Vec<(DatasetSpec, Graph)>,
+}
+
+/// Load (or generate) every suite graph passing the config's filter.
+pub fn load_suite(cfg: &BenchConfig) -> Suite {
+    let graphs = GraphId::ALL
+        .into_iter()
+        .map(spec)
+        .filter(|sp| cfg.filter.is_empty() || sp.name.contains(&cfg.filter))
+        .map(|sp| {
+            let g = load_or_generate(sp.id, cfg.data_dir.as_deref(), cfg.scale, cfg.seed);
+            (sp, g)
+        })
+        .collect();
+    Suite { graphs }
+}
+
+/// The RAND partition count the paper uses for matching: 10 on the CPU, 4
+/// on the GPU, and 100 on the high-average-degree kron instances (§III-C).
+pub fn mm_rand_partitions(arch: Arch, sp: &DatasetSpec) -> usize {
+    if matches!(sp.id, GraphId::KronLogn20 | GraphId::KronLogn21) {
+        100
+    } else {
+        match arch {
+            Arch::Cpu => 10,
+            Arch::GpuSim => 4,
+        }
+    }
+}
+
+/// Partition count for COLOR-Rand (§IV-C experiments with two partitions;
+/// more partitions only add conflicts).
+pub fn color_rand_partitions(_arch: Arch) -> usize {
+    2
+}
+
+/// Partition count for MIS-Rand (same setting as matching).
+pub fn mis_rand_partitions(arch: Arch) -> usize {
+    match arch {
+        Arch::Cpu => 10,
+        Arch::GpuSim => 4,
+    }
+}
+
+/// Time `f` over `reps` repetitions, returning the minimum duration and the
+/// last result.
+pub fn time_min<T>(reps: usize, mut f: impl FnMut() -> T) -> (f64, T) {
+    assert!(reps >= 1);
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let sw = std::time::Instant::now();
+        let r = f();
+        best = best.min(sw.elapsed().as_secs_f64() * 1e3);
+        out = Some(r);
+    }
+    (best, out.unwrap())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arg_parsing_roundtrip() {
+        let cfg = BenchConfig::from_args(
+            [
+                "--scale", "0.5", "--seed", "7", "--arch", "gpu", "--graphs", "kron", "--reps",
+                "3",
+            ]
+            .map(String::from),
+        );
+        assert_eq!(cfg.scale, Scale::Factor(0.5));
+        assert_eq!(cfg.seed, 7);
+        assert_eq!(cfg.arch, Arch::GpuSim);
+        assert_eq!(cfg.filter, "kron");
+        assert_eq!(cfg.reps, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown flag")]
+    fn rejects_unknown_flag() {
+        BenchConfig::from_args(["--bogus".to_string()]);
+    }
+
+    #[test]
+    fn filtered_suite_loads_only_matches() {
+        let cfg = BenchConfig {
+            scale: Scale::Tiny,
+            filter: "lp1".into(),
+            ..Default::default()
+        };
+        let suite = load_suite(&cfg);
+        assert_eq!(suite.graphs.len(), 1);
+        assert_eq!(suite.graphs[0].0.name, "lp1");
+        assert!(suite.graphs[0].1.num_vertices() > 0);
+    }
+
+    #[test]
+    fn partition_choices_follow_paper() {
+        let kron = spec(GraphId::KronLogn20);
+        let rgg = spec(GraphId::Rgg23);
+        assert_eq!(mm_rand_partitions(Arch::Cpu, &kron), 100);
+        assert_eq!(mm_rand_partitions(Arch::Cpu, &rgg), 10);
+        assert_eq!(mm_rand_partitions(Arch::GpuSim, &rgg), 4);
+        assert_eq!(color_rand_partitions(Arch::Cpu), 2);
+    }
+
+    #[test]
+    fn time_min_returns_minimum() {
+        let mut calls = 0;
+        let (ms, v) = time_min(3, || {
+            calls += 1;
+            calls
+        });
+        assert_eq!(calls, 3);
+        assert_eq!(v, 3);
+        assert!(ms >= 0.0);
+    }
+}

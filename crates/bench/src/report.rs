@@ -1,0 +1,165 @@
+//! Table formatting and persistence for the bench binaries.
+
+use std::fs;
+use std::io::Write;
+use std::path::Path;
+
+/// A simple result table, printed as markdown and saved as CSV.
+#[derive(Debug, Clone)]
+pub struct Table {
+    /// Table caption (printed above the table).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row cells, one inner vector per row.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New empty table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Self {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Render as a GitHub-flavored markdown table.
+    pub fn to_markdown(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (w, c) in widths.iter_mut().zip(row) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        let mut out = format!("\n## {}\n\n", self.title);
+        out.push_str(&fmt_row(&self.headers));
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&format!("|-{}-|\n", sep.join("-|-")));
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.to_markdown());
+    }
+
+    /// Save as `results/<name>.csv` relative to `dir` (created on demand).
+    pub fn save_csv(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut f = fs::File::create(dir.join(format!("{name}.csv")))?;
+        writeln!(f, "{}", self.headers.join(","))?;
+        for row in &self.rows {
+            let escaped: Vec<String> = row
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            writeln!(f, "{}", escaped.join(","))?;
+        }
+        Ok(())
+    }
+
+    /// Print and save under `results/` in the current directory.
+    pub fn emit(&self, name: &str) {
+        self.print();
+        if let Err(e) = self.save_csv(Path::new("results"), name) {
+            eprintln!("warning: could not save results/{name}.csv: {e}");
+        } else {
+            println!("\n[saved results/{name}.csv]");
+        }
+    }
+}
+
+/// Format milliseconds with sensible precision.
+pub fn fmt_ms(ms: f64) -> String {
+    if ms >= 100.0 {
+        format!("{ms:.0}")
+    } else if ms >= 1.0 {
+        format!("{ms:.1}")
+    } else {
+        format!("{ms:.3}")
+    }
+}
+
+/// Format a speedup multiplier.
+pub fn fmt_x(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Arithmetic mean (the paper's "average speedup"); `None` when empty.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        None
+    } else {
+        Some(xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn markdown_rendering() {
+        let mut t = Table::new("Demo", &["a", "b"]);
+        t.row(vec!["1".into(), "hello".into()]);
+        let md = t.to_markdown();
+        assert!(md.contains("## Demo"));
+        assert!(md.contains("| a | b"));
+        assert!(md.contains("| 1 | hello |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn arity_checked() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn csv_saving_escapes() {
+        let dir = std::env::temp_dir().join("sb-bench-test-csv");
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["va,l".into(), "pl\"ain".into()]);
+        t.save_csv(&dir, "t").unwrap();
+        let got = std::fs::read_to_string(dir.join("t.csv")).unwrap();
+        assert_eq!(got, "a,b\n\"va,l\",\"pl\"\"ain\"\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn formatting() {
+        assert_eq!(fmt_ms(123.4), "123");
+        assert_eq!(fmt_ms(12.34), "12.3");
+        assert_eq!(fmt_ms(0.1234), "0.123");
+        assert_eq!(fmt_x(2.5), "2.50x");
+        assert_eq!(mean(&[1.0, 3.0]), Some(2.0));
+        assert_eq!(mean(&[]), None);
+    }
+}

@@ -1,0 +1,403 @@
+//! Per-figure experiment runners, shared by the bench binaries and the
+//! integration tests.
+
+use crate::harness::{
+    color_rand_partitions, mis_rand_partitions, mm_rand_partitions, time_min, Suite,
+};
+use crate::report::{fmt_ms, fmt_x, mean, Table};
+use sb_core::coloring::{vertex_coloring, ColorAlgorithm};
+use sb_core::common::Arch;
+use sb_core::matching::{maximal_matching, MmAlgorithm};
+use sb_core::mis::{maximal_independent_set, MisAlgorithm};
+use sb_core::verify::{
+    check_coloring, check_maximal_independent_set, check_maximal_matching, color_count,
+};
+use sb_datasets::suite::GraphId;
+use sb_decompose::{decompose_bridge, decompose_degk, decompose_metis_like, decompose_rand};
+use sb_graph::stats::GraphStats;
+use sb_par::counters::Counters;
+
+
+/// The figure-of-merit for one run: wall-clock on the CPU arch, modeled
+/// K40c device time on GPU-sim (DESIGN.md §2 — host wall-clock cannot
+/// express the coalesced/gather bandwidth gap, the counters can).
+fn effective_ms(arch: Arch, wall_ms: f64, stats: &sb_core::common::RunStats) -> f64 {
+    match arch {
+        Arch::Cpu => wall_ms,
+        Arch::GpuSim => stats.modeled_gpu_ms(),
+    }
+}
+
+/// Label for the time unit in figure titles.
+fn time_unit(arch: Arch) -> &'static str {
+    match arch {
+        Arch::Cpu => "wall ms",
+        Arch::GpuSim => "modeled K40c ms",
+    }
+}
+
+/// Table II: measured statistics of every suite graph next to the paper's
+/// values for the real graph.
+pub fn table2(suite: &Suite) -> Table {
+    let mut t = Table::new(
+        "Table II — dataset statistics (measured stand-in vs paper)",
+        &[
+            "graph",
+            "class",
+            "|V|",
+            "|E|",
+            "%DEG2",
+            "%DEG2 (paper)",
+            "%BRIDGES",
+            "%BRIDGES (paper)",
+            "avg deg",
+            "avg deg (paper)",
+            "pseudo-diam",
+        ],
+    );
+    for (sp, g) in &suite.graphs {
+        let s = GraphStats::compute(g);
+        let diam = sb_graph::bfs::pseudo_diameter(g, 0, &Counters::new());
+        let bridges = sb_decompose::bridge::find_bridges(g, &Counters::new());
+        let pct_bridges = if g.num_edges() == 0 {
+            0.0
+        } else {
+            100.0 * bridges.len() as f64 / g.num_edges() as f64
+        };
+        t.row(vec![
+            sp.name.into(),
+            sp.class.into(),
+            s.num_vertices.to_string(),
+            s.num_edges.to_string(),
+            format!("{:.1}", s.pct_deg_le2),
+            format!("{:.1}", sp.paper.pct_deg2),
+            format!("{pct_bridges:.1}"),
+            format!("{:.1}", sp.paper.pct_bridges),
+            format!("{:.1}", s.avg_degree),
+            format!("{:.1}", sp.paper.avg_degree),
+            diam.to_string(),
+        ]);
+    }
+    t
+}
+
+/// Figure 2: time of each decomposition technique per graph (RAND with 10
+/// partitions, DEG2, plus the METIS-like stand-in for Remark 1).
+pub fn decomposition_figure(suite: &Suite, seed: u64, reps: usize) -> Table {
+    let mut t = Table::new(
+        "Figure 2 — decomposition time (ms)",
+        &["graph", "BRIDGE", "RAND(10)", "DEG2", "METIS-like(8)"],
+    );
+    for (sp, g) in &suite.graphs {
+        let (bridge_ms, _) = time_min(reps, || decompose_bridge(g, &Counters::new()));
+        let (rand_ms, _) = time_min(reps, || decompose_rand(g, 10, seed, &Counters::new()));
+        let (deg2_ms, _) = time_min(reps, || decompose_degk(g, 2, &Counters::new()));
+        let (metis_ms, _) = time_min(reps, || decompose_metis_like(g, 8, &Counters::new()));
+        t.row(vec![
+            sp.name.into(),
+            fmt_ms(bridge_ms),
+            fmt_ms(rand_ms),
+            fmt_ms(deg2_ms),
+            fmt_ms(metis_ms),
+        ]);
+    }
+    t
+}
+
+/// Figure 3: maximal matching — baseline (GM on CPU / LMAX on GPU) vs the
+/// three decomposition composites; the headline number is MM-Rand's
+/// speedup. Returns the table and the average MM-Rand speedup computed the
+/// paper's way (excluding the rgg instances, footnote 1).
+pub fn matching_figure(suite: &Suite, arch: Arch, seed: u64, reps: usize) -> (Table, Option<f64>) {
+    let mut t = Table::new(
+        format!("Figure 3 ({arch}) — maximal matching time ({})", time_unit(arch)),
+        &[
+            "graph",
+            "baseline",
+            "MM-Bridge",
+            "MM-Rand",
+            "MM-Deg2",
+            "rand speedup",
+            "baseline rounds",
+            "rand rounds",
+        ],
+    );
+    let mut speedups = Vec::new();
+    for (sp, g) in &suite.graphs {
+        let (base_ms, base) = time_min(reps, || {
+            maximal_matching(g, MmAlgorithm::Baseline, arch, seed)
+        });
+        check_maximal_matching(g, &base.mate).expect("baseline matching invalid");
+        let base_ms = effective_ms(arch, base_ms, &base.stats);
+        let (bridge_ms, r) = time_min(reps, || {
+            maximal_matching(g, MmAlgorithm::Bridge, arch, seed)
+        });
+        check_maximal_matching(g, &r.mate).expect("MM-Bridge invalid");
+        let bridge_ms = effective_ms(arch, bridge_ms, &r.stats);
+        let k = mm_rand_partitions(arch, sp);
+        let (rand_ms, rand_run) = time_min(reps, || {
+            maximal_matching(g, MmAlgorithm::Rand { partitions: k }, arch, seed)
+        });
+        check_maximal_matching(g, &rand_run.mate).expect("MM-Rand invalid");
+        let rand_ms = effective_ms(arch, rand_ms, &rand_run.stats);
+        let (degk_ms, r2) = time_min(reps, || {
+            maximal_matching(g, MmAlgorithm::Degk { k: 2 }, arch, seed)
+        });
+        check_maximal_matching(g, &r2.mate).expect("MM-Degk invalid");
+        let degk_ms = effective_ms(arch, degk_ms, &r2.stats);
+
+        let speedup = base_ms / rand_ms;
+        if !matches!(sp.id, GraphId::Rgg23 | GraphId::Rgg24) {
+            speedups.push(speedup);
+        }
+        t.row(vec![
+            sp.name.into(),
+            fmt_ms(base_ms),
+            fmt_ms(bridge_ms),
+            fmt_ms(rand_ms),
+            fmt_ms(degk_ms),
+            fmt_x(speedup),
+            base.stats.counters.rounds.to_string(),
+            rand_run.stats.counters.rounds.to_string(),
+        ]);
+    }
+    (t, mean(&speedups))
+}
+
+/// Figure 4: coloring — VB/EB baseline vs the composites. The paper's
+/// headline: COLOR-Degk speedup on the CPU, COLOR-Rand on the GPU.
+pub fn coloring_figure(suite: &Suite, arch: Arch, seed: u64, reps: usize) -> (Table, Option<f64>) {
+    let headline = match arch {
+        Arch::Cpu => "degk speedup",
+        Arch::GpuSim => "rand speedup",
+    };
+    let mut t = Table::new(
+        format!("Figure 4 ({arch}) — coloring time ({})", time_unit(arch)),
+        &[
+            "graph",
+            "baseline",
+            "COLOR-Bridge",
+            "COLOR-Rand",
+            "COLOR-Deg2",
+            headline,
+            "colors base",
+            "colors winner",
+        ],
+    );
+    let mut speedups = Vec::new();
+    for (sp, g) in &suite.graphs {
+        let (base_ms, base) = time_min(reps, || {
+            vertex_coloring(g, ColorAlgorithm::Baseline, arch, seed)
+        });
+        check_coloring(g, &base.color).expect("baseline coloring invalid");
+        let base_ms = effective_ms(arch, base_ms, &base.stats);
+        let (bridge_ms, rb) = time_min(reps, || {
+            vertex_coloring(g, ColorAlgorithm::Bridge, arch, seed)
+        });
+        check_coloring(g, &rb.color).expect("COLOR-Bridge invalid");
+        let bridge_ms = effective_ms(arch, bridge_ms, &rb.stats);
+        let kp = color_rand_partitions(arch);
+        let (rand_ms, rr) = time_min(reps, || {
+            vertex_coloring(g, ColorAlgorithm::Rand { partitions: kp }, arch, seed)
+        });
+        check_coloring(g, &rr.color).expect("COLOR-Rand invalid");
+        let rand_ms = effective_ms(arch, rand_ms, &rr.stats);
+        let (degk_ms, rd) = time_min(reps, || {
+            vertex_coloring(g, ColorAlgorithm::Degk { k: 2 }, arch, seed)
+        });
+        check_coloring(g, &rd.color).expect("COLOR-Degk invalid");
+        let degk_ms = effective_ms(arch, degk_ms, &rd.stats);
+
+        let (winner_ms, winner_colors) = match arch {
+            Arch::Cpu => (degk_ms, color_count(&rd.color)),
+            Arch::GpuSim => (rand_ms, color_count(&rr.color)),
+        };
+        let speedup = base_ms / winner_ms;
+        speedups.push(speedup);
+        t.row(vec![
+            sp.name.into(),
+            fmt_ms(base_ms),
+            fmt_ms(bridge_ms),
+            fmt_ms(rand_ms),
+            fmt_ms(degk_ms),
+            fmt_x(speedup),
+            color_count(&base.color).to_string(),
+            winner_colors.to_string(),
+        ]);
+    }
+    (t, mean(&speedups))
+}
+
+/// Figure 5: MIS — LubyMIS baseline vs the composites; headline is the
+/// MIS-Deg2 speedup. The GPU average excludes the outlier instances c-73
+/// and lp1 as in the paper (footnote 2).
+pub fn mis_figure(suite: &Suite, arch: Arch, seed: u64, reps: usize) -> (Table, Option<f64>) {
+    let mut t = Table::new(
+        format!("Figure 5 ({arch}) — MIS time ({})", time_unit(arch)),
+        &[
+            "graph",
+            "LubyMIS",
+            "MIS-Bridge",
+            "MIS-Rand",
+            "MIS-Deg2",
+            "deg2 speedup",
+            "luby rounds",
+        ],
+    );
+    let mut speedups = Vec::new();
+    for (sp, g) in &suite.graphs {
+        let (base_ms, base) = time_min(reps, || {
+            maximal_independent_set(g, MisAlgorithm::Baseline, arch, seed)
+        });
+        check_maximal_independent_set(g, &base.in_set).expect("LubyMIS invalid");
+        let base_ms = effective_ms(arch, base_ms, &base.stats);
+        let (bridge_ms, r) = time_min(reps, || {
+            maximal_independent_set(g, MisAlgorithm::Bridge, arch, seed)
+        });
+        check_maximal_independent_set(g, &r.in_set).expect("MIS-Bridge invalid");
+        let bridge_ms = effective_ms(arch, bridge_ms, &r.stats);
+        let k = mis_rand_partitions(arch);
+        let (rand_ms, r2) = time_min(reps, || {
+            maximal_independent_set(g, MisAlgorithm::Rand { partitions: k }, arch, seed)
+        });
+        check_maximal_independent_set(g, &r2.in_set).expect("MIS-Rand invalid");
+        let rand_ms = effective_ms(arch, rand_ms, &r2.stats);
+        let (deg2_ms, r3) = time_min(reps, || {
+            maximal_independent_set(g, MisAlgorithm::Degk { k: 2 }, arch, seed)
+        });
+        check_maximal_independent_set(g, &r3.in_set).expect("MIS-Deg2 invalid");
+        let deg2_ms = effective_ms(arch, deg2_ms, &r3.stats);
+
+        let speedup = base_ms / deg2_ms;
+        let excluded = arch == Arch::GpuSim
+            && matches!(sp.id, GraphId::C73 | GraphId::Lp1);
+        if !excluded {
+            speedups.push(speedup);
+        }
+        t.row(vec![
+            sp.name.into(),
+            fmt_ms(base_ms),
+            fmt_ms(bridge_ms),
+            fmt_ms(rand_ms),
+            fmt_ms(deg2_ms),
+            fmt_x(speedup),
+            base.stats.counters.rounds.to_string(),
+        ]);
+    }
+    (t, mean(&speedups))
+}
+
+/// Table I: best decomposition + average speedup per (problem, arch),
+/// assembled by running the three figures on both architectures.
+pub fn table1(suite: &Suite, seed: u64, reps: usize) -> Table {
+    let mut t = Table::new(
+        "Table I — summary (decomposition, avg speedup) per problem and arch",
+        &[
+            "problem",
+            "CPU decomposition",
+            "CPU speedup",
+            "GPU decomposition",
+            "GPU speedup",
+            "paper CPU",
+            "paper GPU",
+        ],
+    );
+    let (_, mm_cpu) = matching_figure(suite, Arch::Cpu, seed, reps);
+    let (_, mm_gpu) = matching_figure(suite, Arch::GpuSim, seed, reps);
+    let (_, col_cpu) = coloring_figure(suite, Arch::Cpu, seed, reps);
+    let (_, col_gpu) = coloring_figure(suite, Arch::GpuSim, seed, reps);
+    let (_, mis_cpu) = mis_figure(suite, Arch::Cpu, seed, reps);
+    let (_, mis_gpu) = mis_figure(suite, Arch::GpuSim, seed, reps);
+    let f = |x: Option<f64>| x.map_or("-".into(), fmt_x);
+    t.row(vec![
+        "MM".into(),
+        "RAND".into(),
+        f(mm_cpu),
+        "RAND".into(),
+        f(mm_gpu),
+        "RAND 3.5x".into(),
+        "RAND 2.53x".into(),
+    ]);
+    t.row(vec![
+        "COLOR".into(),
+        "DEGk".into(),
+        f(col_cpu),
+        "RAND".into(),
+        f(col_gpu),
+        "DEGk 1.27x".into(),
+        "RAND 1x".into(),
+    ]);
+    t.row(vec![
+        "MIS".into(),
+        "DEGk".into(),
+        f(mis_cpu),
+        "DEGk".into(),
+        f(mis_gpu),
+        "DEGk 3.39x".into(),
+        "DEGk 2.16x".into(),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harness::{load_suite, BenchConfig};
+    use sb_datasets::suite::Scale;
+
+    fn tiny_suite(filter: &str) -> Suite {
+        load_suite(&BenchConfig {
+            scale: Scale::Tiny,
+            filter: filter.into(),
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn table2_has_row_per_graph() {
+        let suite = tiny_suite("lp1");
+        let t = table2(&suite);
+        assert_eq!(t.rows.len(), 1);
+        assert_eq!(t.rows[0][0], "lp1");
+    }
+
+    #[test]
+    fn decomposition_figure_runs() {
+        let suite = tiny_suite("c-73");
+        let t = decomposition_figure(&suite, 1, 1);
+        assert_eq!(t.rows.len(), 1);
+    }
+
+    #[test]
+    fn matching_figure_verifies_and_reports() {
+        let suite = tiny_suite("webbase");
+        let (t, avg) = matching_figure(&suite, Arch::Cpu, 3, 1);
+        assert_eq!(t.rows.len(), 1);
+        assert!(avg.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn coloring_and_mis_figures_run_gpu() {
+        let suite = tiny_suite("coAuthors");
+        let (t, s) = coloring_figure(&suite, Arch::GpuSim, 3, 1);
+        assert_eq!(t.rows.len(), 1);
+        assert!(s.unwrap() > 0.0);
+        let (t, s) = mis_figure(&suite, Arch::GpuSim, 3, 1);
+        assert_eq!(t.rows.len(), 1);
+        assert!(s.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn mis_gpu_average_excludes_outliers() {
+        // With only the excluded graphs in the suite, the average is None.
+        let mut cfg = BenchConfig {
+            scale: Scale::Tiny,
+            filter: "lp1".into(),
+            ..Default::default()
+        };
+        cfg.arch = Arch::GpuSim;
+        let suite = load_suite(&cfg);
+        let (_, avg) = mis_figure(&suite, Arch::GpuSim, 1, 1);
+        assert!(avg.is_none());
+    }
+}

@@ -1,0 +1,426 @@
+//! Decomposition-based coloring (Algorithms 7–9 of the paper).
+
+use super::{eb, vb, vb_window, ColoringRun};
+use crate::common::{Arch, RunStats};
+use crate::matching::materialize_for_gpu;
+use rayon::prelude::*;
+use sb_decompose::bicc::decompose_bicc;
+use sb_decompose::bridge::decompose_bridge;
+use sb_decompose::degk::decompose_degk;
+use sb_decompose::rand_part::decompose_rand;
+use sb_graph::csr::{Graph, VertexId, INVALID};
+use sb_graph::view::EdgeView;
+use sb_par::bsp::BspExecutor;
+use sb_par::counters::{Counters, Stopwatch};
+
+/// Color the vertices of `worklist` against the edges of `view`, with the
+/// architecture's baseline, drawing colors from `base` upward using a
+/// FORBIDDEN window of `window` entries (CPU/VB only; EB's window is its
+/// 32-bit mask). GPU phases over a filtered view materialize the piece
+/// first (streaming is cheap on-device; see `matching::base_extend`).
+#[allow(clippy::too_many_arguments)]
+fn base_color_extend(
+    g: &Graph,
+    view: EdgeView<'_>,
+    color: &mut [u32],
+    worklist: Vec<VertexId>,
+    base: u32,
+    window: usize,
+    arch: Arch,
+    counters: &Counters,
+) {
+    match arch {
+        Arch::Cpu => vb::vb_extend(g, view, color, worklist, window, base, counters),
+        Arch::GpuSim => {
+            let exec = BspExecutor::new();
+            if view.is_full() {
+                eb::eb_extend(g, EdgeView::full(), color, worklist, base, &exec);
+            } else {
+                let sub = materialize_for_gpu(g, view, exec.counters());
+                eb::eb_extend(&sub, EdgeView::full(), color, worklist, base, &exec);
+            }
+            counters.merge(exec.counters());
+        }
+    }
+}
+
+/// The architecture's baseline colorer on the whole graph (Figure 4's bar).
+pub fn baseline_run(g: &Graph, arch: Arch, _seed: u64) -> ColoringRun {
+    let counters = Counters::new();
+    let sw = Stopwatch::start();
+    let mut color = vec![INVALID; g.num_vertices()];
+    base_color_extend(
+        g,
+        EdgeView::full(),
+        &mut color,
+        g.vertices().collect(),
+        0,
+        vb_window(g),
+        arch,
+        &counters,
+    );
+    let solve_time = sw.elapsed();
+    ColoringRun {
+        color,
+        stats: RunStats {
+            decompose_time: std::time::Duration::ZERO,
+            solve_time,
+            counters: counters.snapshot(),
+        },
+    }
+}
+
+/// Uncolor the lower-id endpoint of every monochromatic edge admitted by
+/// `removed` (the decomposition's dropped edges); returns the uncolored
+/// vertices. This is the "validity of C is tested with respect to G" step
+/// of Algorithms 7 and 8 — only removed edges can actually conflict.
+fn reset_conflicts(
+    g: &Graph,
+    removed: EdgeView<'_>,
+    removed_count: usize,
+    color: &mut [u32],
+    counters: &Counters,
+) -> Vec<VertexId> {
+    counters.add_kernel(g.num_edges() as u64);
+    counters.add_edges(2 * removed_count as u64);
+    let mut losers: Vec<VertexId> = g
+        .edge_list()
+        .par_iter()
+        .enumerate()
+        .filter_map(|(e, &[u, v])| {
+            if !removed.admits(e as u32) {
+                return None;
+            }
+            let cu = color[u as usize];
+            (cu != INVALID && cu == color[v as usize]).then_some(u.min(v))
+        })
+        .collect();
+    losers.par_sort_unstable();
+    losers.dedup();
+    for &v in &losers {
+        color[v as usize] = INVALID;
+    }
+    losers
+}
+
+/// Algorithm 7 — COLOR-Bridge.
+///
+/// Color `G_c` (the 2-edge-connected components share one palette), test
+/// validity against the bridges, recolor the conflicted vertices in `G`.
+pub fn color_bridge(g: &Graph, arch: Arch, seed: u64) -> ColoringRun {
+    let counters = Counters::new();
+    let sw = Stopwatch::start();
+    let d = decompose_bridge(g, &counters);
+    let decompose_time = sw.elapsed();
+
+    let sw = Stopwatch::start();
+    let mut color = vec![INVALID; g.num_vertices()];
+    base_color_extend(
+        g,
+        d.component_view(),
+        &mut color,
+        g.vertices().collect(),
+        0,
+        vb_window(g),
+        arch,
+        &counters,
+    );
+    let _ = seed;
+    // Only bridge edges can conflict.
+    let conflicted = reset_conflicts(g, d.bridge_view(), d.bridges.len(), &mut color, &counters);
+    base_color_extend(
+        g,
+        EdgeView::full(),
+        &mut color,
+        conflicted,
+        0,
+        vb_window(g),
+        arch,
+        &counters,
+    );
+    let solve_time = sw.elapsed();
+
+    ColoringRun {
+        color,
+        stats: RunStats {
+            decompose_time,
+            solve_time,
+            counters: counters.snapshot(),
+        },
+    }
+}
+
+/// Algorithm 8 — COLOR-Rand.
+///
+/// Color the induced partition subgraphs with an identical palette, then
+/// recolor the endpoints that conflict across cross edges.
+pub fn color_rand(g: &Graph, partitions: usize, arch: Arch, seed: u64) -> ColoringRun {
+    let counters = Counters::new();
+    let sw = Stopwatch::start();
+    let d = decompose_rand(g, partitions, seed, &counters);
+    let decompose_time = sw.elapsed();
+
+    let sw = Stopwatch::start();
+    let mut color = vec![INVALID; g.num_vertices()];
+    base_color_extend(
+        g,
+        d.induced_view(),
+        &mut color,
+        g.vertices().collect(),
+        0,
+        vb_window(g),
+        arch,
+        &counters,
+    );
+    // Only cross edges can conflict.
+    let conflicted = reset_conflicts(g, d.cross_view(), d.m_cross, &mut color, &counters);
+    base_color_extend(
+        g,
+        EdgeView::full(),
+        &mut color,
+        conflicted,
+        0,
+        vb_window(g),
+        arch,
+        &counters,
+    );
+    let solve_time = sw.elapsed();
+
+    ColoringRun {
+        color,
+        stats: RunStats {
+            decompose_time,
+            solve_time,
+            counters: counters.snapshot(),
+        },
+    }
+}
+
+/// Algorithm 9 — COLOR-Degk.
+///
+/// Color `G_H` with the baseline; the cross edges cannot conflict because
+/// `G_L` is then colored with a fresh palette of `k + 1` colors above
+/// `max(C_H)` using a `(k+1)`-entry FORBIDDEN window (degree ≤ k inside
+/// `G_L` guarantees the palette suffices).
+pub fn color_degk(g: &Graph, k: usize, arch: Arch, seed: u64) -> ColoringRun {
+    let counters = Counters::new();
+    let sw = Stopwatch::start();
+    let d = decompose_degk(g, k, &counters);
+    let decompose_time = sw.elapsed();
+    let _ = seed;
+
+    let sw = Stopwatch::start();
+    let mut color = vec![INVALID; g.num_vertices()];
+    let high: Vec<VertexId> = d.high_vertices();
+    // Window for the high phase: the average degree of G_H (the paper's
+    // VB rule applied to the graph actually being colored).
+    let high_window = if high.is_empty() {
+        2
+    } else {
+        (2 * d.m_high).div_ceil(high.len()).max(2)
+    };
+    base_color_extend(
+        g,
+        d.high_view(),
+        &mut color,
+        high,
+        0,
+        high_window,
+        arch,
+        &counters,
+    );
+    let base = color
+        .par_iter()
+        .filter(|&&c| c != INVALID)
+        .max()
+        .map_or(0, |&c| c + 1);
+    // Low side: small palette, (k+1)-entry FORBIDDEN window. Only G_L edges
+    // can conflict (cross edges lead to colors below `base`), so the window
+    // scan runs on the low view.
+    let low: Vec<VertexId> = d.low_vertices();
+    base_color_extend(g, d.low_view(), &mut color, low, base, k + 1, arch, &counters);
+    let solve_time = sw.elapsed();
+
+    ColoringRun {
+        color,
+        stats: RunStats {
+            decompose_time,
+            solve_time,
+            counters: counters.snapshot(),
+        },
+    }
+}
+
+/// COLOR-Bicc (extension, after Hochbaum \[16\]).
+///
+/// Phase 1 colors the non-articulation vertices: with the articulation
+/// vertices withheld, the remaining pieces (block interiors) are pairwise
+/// disconnected and share one palette; no conflicts are possible across
+/// blocks. Phase 2 colors the (few) articulation vertices against their
+/// already-colored neighborhoods.
+pub fn color_bicc(g: &Graph, arch: Arch, seed: u64) -> ColoringRun {
+    let counters = Counters::new();
+    let sw = Stopwatch::start();
+    let d = decompose_bicc(g, &counters);
+    let decompose_time = sw.elapsed();
+    let _ = seed;
+
+    let sw = Stopwatch::start();
+    let mut color = vec![INVALID; g.num_vertices()];
+    let interior: Vec<VertexId> = (0..g.num_vertices() as u32)
+        .filter(|&v| !d.is_articulation[v as usize])
+        .collect();
+    // The interior pieces must not see the withheld articulation vertices
+    // as neighbors (they are uncolored anyway), so the full view is safe.
+    base_color_extend(
+        g,
+        EdgeView::full(),
+        &mut color,
+        interior,
+        0,
+        vb_window(g),
+        arch,
+        &counters,
+    );
+    let cuts: Vec<VertexId> = (0..g.num_vertices() as u32)
+        .filter(|&v| d.is_articulation[v as usize])
+        .collect();
+    base_color_extend(
+        g,
+        EdgeView::full(),
+        &mut color,
+        cuts,
+        0,
+        vb_window(g),
+        arch,
+        &counters,
+    );
+    let solve_time = sw.elapsed();
+
+    ColoringRun {
+        color,
+        stats: RunStats {
+            decompose_time,
+            solve_time,
+            counters: counters.snapshot(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coloring::{vertex_coloring, ColorAlgorithm};
+    use crate::verify::check_coloring;
+    use sb_graph::builder::from_edge_list;
+
+    fn random_graph(n: usize, m: usize, seed: u64) -> Graph {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let edges: Vec<(u32, u32)> = (0..m)
+            .map(|_| {
+                (
+                    rng.random_range(0..n) as u32,
+                    rng.random_range(0..n) as u32,
+                )
+            })
+            .collect();
+        from_edge_list(n, &edges)
+    }
+
+    #[test]
+    fn all_algorithms_proper_both_archs() {
+        let graphs = [
+            random_graph(300, 1200, 1),
+            random_graph(400, 800, 2),
+            from_edge_list(50, &(0..49u32).map(|i| (i, i + 1)).collect::<Vec<_>>()),
+        ];
+        let algos = [
+            ColorAlgorithm::Baseline,
+            ColorAlgorithm::Bridge,
+            ColorAlgorithm::Rand { partitions: 3 },
+            ColorAlgorithm::Degk { k: 2 },
+            ColorAlgorithm::Bicc,
+        ];
+        for (gi, g) in graphs.iter().enumerate() {
+            for algo in algos {
+                for arch in [Arch::Cpu, Arch::GpuSim] {
+                    let run = vertex_coloring(g, algo, arch, 11);
+                    check_coloring(g, &run.color)
+                        .unwrap_or_else(|e| panic!("graph {gi}, {algo:?} on {arch}: {e}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degk_uses_small_palette_on_low_side() {
+        // Star of chains: the low side is huge; Degk must stay within
+        // max(C_H) + k + 1 colors total.
+        let mut edges = vec![];
+        for c in 0..20u32 {
+            // chains of length 3 off hub 0: vertices 1 + 3c .. 3c+3
+            let b = 1 + 3 * c;
+            edges.push((0, b));
+            edges.push((b, b + 1));
+            edges.push((b + 1, b + 2));
+        }
+        let g = from_edge_list(61, &edges);
+        let run = color_degk(&g, 2, Arch::Cpu, 5);
+        check_coloring(&g, &run.color).unwrap();
+        assert!(
+            run.num_colors() <= 5,
+            "Degk palette should be tiny, used {}",
+            run.num_colors()
+        );
+    }
+
+    #[test]
+    fn color_counts_stay_close_to_baseline() {
+        // §IV-D: decomposition algorithms use only a few percent more colors.
+        let g = random_graph(500, 3000, 3);
+        let base = baseline_run(&g, Arch::Cpu, 1).num_colors();
+        for algo in [
+            ColorAlgorithm::Bridge,
+            ColorAlgorithm::Rand { partitions: 4 },
+            ColorAlgorithm::Degk { k: 2 },
+        ] {
+            let c = vertex_coloring(&g, algo, Arch::Cpu, 1).num_colors();
+            assert!(
+                c <= base + base / 2 + 3,
+                "{algo:?} used {c} colors vs baseline {base}"
+            );
+        }
+    }
+
+    #[test]
+    fn bridge_coloring_on_tree() {
+        // A tree: every edge is a bridge, G_c is edgeless — everything is
+        // colored in the conflict-fix phase.
+        let g = from_edge_list(15, &(0..14u32).map(|i| (i / 2, i + 1)).collect::<Vec<_>>());
+        for arch in [Arch::Cpu, Arch::GpuSim] {
+            let run = color_bridge(&g, arch, 2);
+            check_coloring(&g, &run.color).unwrap();
+        }
+    }
+
+    #[test]
+    fn rand_partitions_sweep() {
+        let g = random_graph(300, 1500, 4);
+        for k in [1, 2, 4, 8] {
+            let run = color_rand(&g, k, Arch::Cpu, 6);
+            check_coloring(&g, &run.color).unwrap();
+        }
+    }
+
+    #[test]
+    fn degk_k_sweep_both_archs() {
+        let g = random_graph(300, 900, 5);
+        for k in [1, 2, 3, 8] {
+            for arch in [Arch::Cpu, Arch::GpuSim] {
+                let run = color_degk(&g, k, arch, 7);
+                check_coloring(&g, &run.color).unwrap_or_else(|e| panic!("k={k} {arch}: {e}"));
+            }
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Vertex coloring (Section IV of the paper).
+//!
+//! Baselines: [`vb`] (Algorithm VB — the vertex-based speculative colorer of
+//! Deveci et al. with a fixed-size FORBIDDEN window, which the paper found
+//! to be the best multicore-CPU baseline), [`eb`] (Algorithm EB — the
+//! edge-based variant with a 32-bit availability mask, the GPU baseline),
+//! and [`jp`] (Jones–Plassmann, kept as an ablation baseline).
+//!
+//! Composites ([`decomp`]): COLOR-Bridge, COLOR-Rand, COLOR-Degk
+//! (Algorithms 7–9). COLOR-Degk is the paper's CPU winner: after coloring
+//! `G_H`, the degree-≤k remainder needs only a (k+1)-entry FORBIDDEN window
+//! above `max(C_H)`.
+
+pub mod decomp;
+pub mod eb;
+pub mod jp;
+pub mod vb;
+
+use crate::common::{Arch, RunStats};
+use sb_graph::csr::Graph;
+
+/// Which coloring algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColorAlgorithm {
+    /// The architecture's baseline: VB on CPU, EB on GPU-sim.
+    Baseline,
+    /// COLOR-Bridge (Algorithm 7).
+    Bridge,
+    /// COLOR-Rand (Algorithm 8) with the given partition count.
+    Rand {
+        /// Number of RAND partitions.
+        partitions: usize,
+    },
+    /// COLOR-Degk (Algorithm 9) with the given degree threshold.
+    Degk {
+        /// Degree threshold (paper: 2 → FORBIDDEN window of 3).
+        k: usize,
+    },
+    /// COLOR-Bicc (extension): color the block interiors with a shared
+    /// palette (they are pairwise disconnected once the articulation
+    /// vertices are removed), then color the articulation vertices.
+    /// Not part of the paper's evaluated set.
+    Bicc,
+}
+
+/// Result of a coloring run.
+#[derive(Debug, Clone)]
+pub struct ColoringRun {
+    /// Color per vertex (dense from 0; no `INVALID` left on success).
+    pub color: Vec<u32>,
+    /// Timing and counters.
+    pub stats: RunStats,
+}
+
+impl ColoringRun {
+    /// Number of distinct colors used.
+    pub fn num_colors(&self) -> usize {
+        crate::verify::color_count(&self.color)
+    }
+}
+
+/// Run a vertex-coloring algorithm on `g`.
+pub fn vertex_coloring(g: &Graph, algo: ColorAlgorithm, arch: Arch, seed: u64) -> ColoringRun {
+    match algo {
+        ColorAlgorithm::Baseline => decomp::baseline_run(g, arch, seed),
+        ColorAlgorithm::Bridge => decomp::color_bridge(g, arch, seed),
+        ColorAlgorithm::Rand { partitions } => decomp::color_rand(g, partitions, arch, seed),
+        ColorAlgorithm::Degk { k } => decomp::color_degk(g, k, arch, seed),
+        ColorAlgorithm::Bicc => decomp::color_bicc(g, arch, seed),
+    }
+}
+
+/// FORBIDDEN-window size the paper uses for VB on the CPU: the average
+/// degree of the graph being colored (at least 2).
+pub(crate) fn vb_window(g: &Graph) -> usize {
+    (g.avg_degree().ceil() as usize).max(2)
+}

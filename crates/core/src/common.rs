@@ -1,0 +1,84 @@
+//! Shared run configuration and reporting types.
+
+use sb_par::counters::CounterSnapshot;
+use std::time::Duration;
+
+/// Which execution model a composite algorithm targets.
+///
+/// The paper evaluates every algorithm on a 20-core Xeon and a K40c GPU.
+/// Here `Cpu` selects the CPU algorithm family (GM / VB / worklist Luby) on
+/// the rayon pool, and `GpuSim` selects the GPU family (LMAX / EB / flat
+/// Luby) expressed as bulk-synchronous kernels on `sb_par::bsp::BspExecutor`
+/// — the documented K40c substitute (DESIGN.md §2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// Multicore-CPU algorithm family.
+    Cpu,
+    /// GPU-sim (bulk-synchronous kernel) algorithm family.
+    GpuSim,
+}
+
+impl std::fmt::Display for Arch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Arch::Cpu => write!(f, "cpu"),
+            Arch::GpuSim => write!(f, "gpu"),
+        }
+    }
+}
+
+/// Timing and work breakdown of one solver run, reported next to every
+/// result so benches can separate decomposition cost from solve cost —
+/// the distinction Figures 2–5 of the paper turn on.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Time spent decomposing the input (zero for baselines).
+    pub decompose_time: Duration,
+    /// Time spent in the solver phases.
+    pub solve_time: Duration,
+    /// Work counters accumulated across decomposition and solving.
+    pub counters: CounterSnapshot,
+}
+
+impl RunStats {
+    /// Total wall-clock time.
+    pub fn total_time(&self) -> Duration {
+        self.decompose_time + self.solve_time
+    }
+
+    /// Total time in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_time().as_secs_f64() * 1e3
+    }
+
+    /// Modeled K40c device time for this run's counters (see
+    /// `sb_par::counters::GpuCostModel`). This is the figure reported for
+    /// `Arch::GpuSim` runs: host wall-clock cannot express the
+    /// coalesced-vs-gather bandwidth gap that governs real GPU graph codes,
+    /// but the counters record exactly the traffic in each class.
+    pub fn modeled_gpu_ms(&self) -> f64 {
+        sb_par::counters::GpuCostModel::K40C.modeled_ms(&self.counters)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_display() {
+        assert_eq!(Arch::Cpu.to_string(), "cpu");
+        assert_eq!(Arch::GpuSim.to_string(), "gpu");
+    }
+
+    #[test]
+    fn runstats_total() {
+        let s = RunStats {
+            decompose_time: Duration::from_millis(3),
+            solve_time: Duration::from_millis(7),
+            counters: CounterSnapshot::default(),
+        };
+        assert_eq!(s.total_time(), Duration::from_millis(10));
+        assert!((s.total_ms() - 10.0).abs() < 1e-9);
+    }
+}

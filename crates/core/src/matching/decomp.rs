@@ -1,0 +1,248 @@
+//! Decomposition-based maximal matching (Algorithms 4–6 of the paper).
+//!
+//! Each composite runs the decomposition (timed separately), matches the
+//! decomposition pieces with the architecture's baseline solver, and then
+//! extends the partial matching over the remaining edges. The pieces live
+//! on the parent graph's vertex ids, so one `mate` array flows through all
+//! phases.
+
+use super::{base_extend, fresh_mate, MatchingRun};
+use crate::common::{Arch, RunStats};
+use sb_decompose::bicc::decompose_bicc;
+use sb_decompose::bridge::decompose_bridge;
+use sb_decompose::degk::decompose_degk;
+use sb_decompose::rand_part::decompose_rand;
+use sb_graph::csr::{Graph, INVALID};
+use sb_graph::view::EdgeView;
+use sb_par::counters::{Counters, Stopwatch};
+
+/// Run the architecture's baseline matcher on the whole graph (no
+/// decomposition). This is the comparison bar in Figure 3.
+pub fn baseline_run(g: &Graph, arch: Arch, seed: u64) -> MatchingRun {
+    let counters = Counters::new();
+    let mut mate = fresh_mate(g.num_vertices());
+    let sw = Stopwatch::start();
+    base_extend(g, EdgeView::full(), &mut mate, None, arch, seed, &counters);
+    let solve_time = sw.elapsed();
+    MatchingRun {
+        mate,
+        stats: RunStats {
+            decompose_time: std::time::Duration::ZERO,
+            solve_time,
+            counters: counters.snapshot(),
+        },
+    }
+}
+
+/// Algorithm 4 — MM-Bridge.
+///
+/// Match the 2-edge-connected components `G_c`, then maximally match the
+/// subgraph of `G` induced by the still-unmatched bridge vertices.
+pub fn mm_bridge(g: &Graph, arch: Arch, seed: u64) -> MatchingRun {
+    let counters = Counters::new();
+    let sw = Stopwatch::start();
+    let d = decompose_bridge(g, &counters);
+    let decompose_time = sw.elapsed();
+
+    let sw = Stopwatch::start();
+    let mut mate = fresh_mate(g.num_vertices());
+    // Phase 1: M_c on the components.
+    base_extend(g, d.component_view(), &mut mate, None, arch, seed, &counters);
+    // Phase 2: M_b on G[V'], V' = unmatched bridge vertices.
+    let mut allowed = vec![false; g.num_vertices()];
+    for v in d.bridge_vertices(g) {
+        if mate[v as usize] == INVALID {
+            allowed[v as usize] = true;
+        }
+    }
+    base_extend(g, EdgeView::full(), &mut mate, Some(&allowed), arch, seed ^ 1, &counters);
+    let solve_time = sw.elapsed();
+
+    MatchingRun {
+        mate,
+        stats: RunStats {
+            decompose_time,
+            solve_time,
+            counters: counters.snapshot(),
+        },
+    }
+}
+
+/// Algorithm 5 — MM-Rand.
+///
+/// Match the union of the induced partition subgraphs, then extend over the
+/// cross-edge subgraph `G_{k+1}`.
+pub fn mm_rand(g: &Graph, partitions: usize, arch: Arch, seed: u64) -> MatchingRun {
+    let counters = Counters::new();
+    let sw = Stopwatch::start();
+    let d = decompose_rand(g, partitions, seed, &counters);
+    let decompose_time = sw.elapsed();
+
+    let sw = Stopwatch::start();
+    let mut mate = fresh_mate(g.num_vertices());
+    // Phase 1: M_IS on G[V_1] ∪ … ∪ G[V_k].
+    base_extend(g, d.induced_view(), &mut mate, None, arch, seed ^ 2, &counters);
+    // Phase 2: M_{k+1} on the unmatched part of G_{k+1} (the solver skips
+    // matched endpoints, which is exactly the G_{k+1}[V'] restriction).
+    base_extend(g, d.cross_view(), &mut mate, None, arch, seed ^ 3, &counters);
+    let solve_time = sw.elapsed();
+
+    MatchingRun {
+        mate,
+        stats: RunStats {
+            decompose_time,
+            solve_time,
+            counters: counters.snapshot(),
+        },
+    }
+}
+
+/// Algorithm 6 — MM-Degk.
+///
+/// Match `G_H` first, then extend over `G_L ∪ G_C` restricted to unmatched
+/// vertices.
+pub fn mm_degk(g: &Graph, k: usize, arch: Arch, seed: u64) -> MatchingRun {
+    let counters = Counters::new();
+    let sw = Stopwatch::start();
+    let d = decompose_degk(g, k, &counters);
+    let decompose_time = sw.elapsed();
+
+    let sw = Stopwatch::start();
+    let mut mate = fresh_mate(g.num_vertices());
+    // Phase 1: M_H on G_H.
+    base_extend(g, d.high_view(), &mut mate, None, arch, seed ^ 4, &counters);
+    // Phase 2: M_LC on G_LC = G_L ∪ G_C (every edge with a low endpoint).
+    base_extend(g, d.low_cross_view(), &mut mate, None, arch, seed ^ 5, &counters);
+    let solve_time = sw.elapsed();
+
+    MatchingRun {
+        mate,
+        stats: RunStats {
+            decompose_time,
+            solve_time,
+            counters: counters.snapshot(),
+        },
+    }
+}
+
+/// MM-Bicc (extension, after Hochbaum \[16\]).
+///
+/// Removing the articulation vertices splits the graph into the interiors
+/// of its blocks, which are pairwise disconnected — a maximal matching of
+/// that remainder is found in one parallel solve, then extended over the
+/// articulation vertices and their edges.
+pub fn mm_bicc(g: &Graph, arch: Arch, seed: u64) -> MatchingRun {
+    let counters = Counters::new();
+    let sw = Stopwatch::start();
+    let d = decompose_bicc(g, &counters);
+    let decompose_time = sw.elapsed();
+
+    let sw = Stopwatch::start();
+    let mut mate = fresh_mate(g.num_vertices());
+    // Phase 1: block interiors (non-articulation vertices).
+    let interior: Vec<bool> = d.is_articulation.iter().map(|&a| !a).collect();
+    base_extend(g, EdgeView::full(), &mut mate, Some(&interior), arch, seed, &counters);
+    // Phase 2: extend over the articulation vertices.
+    base_extend(g, EdgeView::full(), &mut mate, None, arch, seed ^ 1, &counters);
+    let solve_time = sw.elapsed();
+
+    MatchingRun {
+        mate,
+        stats: RunStats {
+            decompose_time,
+            solve_time,
+            counters: counters.snapshot(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::{maximal_matching, MmAlgorithm};
+    use crate::verify::check_maximal_matching;
+    use sb_graph::builder::from_edge_list;
+
+    fn random_graph(n: usize, m: usize, seed: u64) -> Graph {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let edges: Vec<(u32, u32)> = (0..m)
+            .map(|_| {
+                (
+                    rng.random_range(0..n) as u32,
+                    rng.random_range(0..n) as u32,
+                )
+            })
+            .collect();
+        from_edge_list(n, &edges)
+    }
+
+    #[test]
+    fn all_algorithms_produce_maximal_matchings_both_archs() {
+        let graphs = [
+            random_graph(300, 900, 1),
+            random_graph(500, 700, 2),
+            from_edge_list(64, &(0..63u32).map(|i| (i, i + 1)).collect::<Vec<_>>()),
+        ];
+        let algos = [
+            MmAlgorithm::Baseline,
+            MmAlgorithm::Bridge,
+            MmAlgorithm::Rand { partitions: 4 },
+            MmAlgorithm::Degk { k: 2 },
+            MmAlgorithm::Bicc,
+        ];
+        for (gi, g) in graphs.iter().enumerate() {
+            for algo in algos {
+                for arch in [Arch::Cpu, Arch::GpuSim] {
+                    let run = maximal_matching(g, algo, arch, 42);
+                    check_maximal_matching(g, &run.mate)
+                        .unwrap_or_else(|e| panic!("graph {gi}, {algo:?} on {arch}: {e}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decomposition_time_reported_separately() {
+        let g = random_graph(400, 1200, 3);
+        let run = mm_rand(&g, 4, Arch::Cpu, 7);
+        assert!(run.stats.decompose_time > std::time::Duration::ZERO);
+        assert!(run.stats.solve_time > std::time::Duration::ZERO);
+        let base = baseline_run(&g, Arch::Cpu, 7);
+        assert_eq!(base.stats.decompose_time, std::time::Duration::ZERO);
+    }
+
+    #[test]
+    fn mm_bridge_on_tree_matches_via_bridge_phase() {
+        // A tree is all bridges: phase 1 has nothing to do, phase 2 must
+        // still deliver a maximal matching.
+        let g = from_edge_list(7, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]);
+        let run = mm_bridge(&g, Arch::Cpu, 1);
+        check_maximal_matching(&g, &run.mate).unwrap();
+        assert!(run.cardinality() >= 2);
+    }
+
+    #[test]
+    fn mm_rand_single_partition_degenerates_to_baseline_shape() {
+        let g = random_graph(200, 600, 5);
+        let run = mm_rand(&g, 1, Arch::Cpu, 9);
+        check_maximal_matching(&g, &run.mate).unwrap();
+    }
+
+    #[test]
+    fn mm_degk_various_k() {
+        let g = random_graph(300, 1500, 8);
+        for k in [0, 1, 2, 4, 16] {
+            let run = mm_degk(&g, k, Arch::Cpu, 3);
+            check_maximal_matching(&g, &run.mate).unwrap_or_else(|e| panic!("k = {k}: {e}"));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = random_graph(250, 800, 10);
+        let a = maximal_matching(&g, MmAlgorithm::Rand { partitions: 5 }, Arch::GpuSim, 77);
+        let b = maximal_matching(&g, MmAlgorithm::Rand { partitions: 5 }, Arch::GpuSim, 77);
+        assert_eq!(a.mate, b.mate);
+    }
+}

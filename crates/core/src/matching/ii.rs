@@ -1,0 +1,214 @@
+//! Israeli–Itai randomized matching — ablation baseline.
+//!
+//! The classic O(log n)-round randomized matcher (§III-A's reference \[17\],
+//! the ancestor of the Auer–Bisseling GPU matcher). Each round, every
+//! unmatched vertex flips a coin for a *proposer* or *acceptor* role;
+//! proposers pick a uniformly random live acceptor neighbor, acceptors
+//! accept one proposer (the highest per-round hash), and each accepted
+//! proposal is a matched pair. The role split makes the pair writes
+//! race-free (a vertex can match through exactly one role per round), and
+//! fresh randomness every round means no proposal chain can persist — the
+//! structural contrast to GM's deterministic lowest-id rule, and the reason
+//! this baseline does not exhibit the *vain tendency*.
+
+use rayon::prelude::*;
+use sb_graph::csr::{Graph, VertexId, INVALID};
+use sb_graph::view::EdgeView;
+use sb_par::atomic::as_atomic_u32;
+use sb_par::counters::Counters;
+use sb_par::rng::{bounded, hash3};
+use std::sync::atomic::Ordering;
+
+/// Extend `mate` to a maximal matching of the subgraph of `g` restricted to
+/// `view` and unmatched vertices passing `allowed`, with Israeli–Itai
+/// propose/accept rounds.
+pub fn ii_extend(
+    g: &Graph,
+    view: EdgeView<'_>,
+    mate: &mut [u32],
+    allowed: Option<&[bool]>,
+    seed: u64,
+    counters: &Counters,
+) {
+    let n = g.num_vertices();
+    assert_eq!(mate.len(), n);
+    let allow = |v: usize| allowed.is_none_or(|a| a[v]);
+
+    let participants: Vec<VertexId> = (0..n as u32)
+        .filter(|&v| mate[v as usize] == INVALID && allow(v as usize) && view.has_arc(g, v))
+        .collect();
+    // proposal[v] = the neighbor v proposes to this round; accept[v] = the
+    // proposer v accepts.
+    let mut proposal = vec![INVALID; n];
+    let mut accept = vec![INVALID; n];
+    let mut round = 0u64;
+
+    loop {
+        round += 1;
+        counters.add_rounds(1);
+        counters.add_work(participants.len() as u64);
+        let live_edges;
+        {
+            let mate_at = as_atomic_u32(mate);
+            let prop_at = as_atomic_u32(&mut proposal);
+            let acc_at = as_atomic_u32(&mut accept);
+
+            // Role coin for this round: true = proposer, false = acceptor.
+            let is_proposer =
+                |v: VertexId| hash3(seed ^ 0xC01, round, v as u64) & 1 == 1;
+
+            // Phase 1: proposers pick a uniformly random live acceptor
+            // neighbor; the termination flag records whether any live edge
+            // remains at all (role-independent — a round where every live
+            // pair drew equal coins must not terminate the loop).
+            let any: Vec<bool> = participants
+                .par_iter()
+                .map(|&v| {
+                    if mate_at[v as usize].load(Ordering::Relaxed) != INVALID {
+                        prop_at[v as usize].store(INVALID, Ordering::Relaxed);
+                        return false;
+                    }
+                    counters.add_edges(g.degree(v) as u64);
+                    let mut has_live_neighbor = false;
+                    let mut acceptors: Vec<VertexId> = Vec::new();
+                    for (w, _) in view.arcs(g, v) {
+                        if mate_at[w as usize].load(Ordering::Relaxed) == INVALID
+                            && allow(w as usize)
+                        {
+                            has_live_neighbor = true;
+                            if !is_proposer(w) {
+                                acceptors.push(w);
+                            }
+                        }
+                    }
+                    let pick = if is_proposer(v) && !acceptors.is_empty() {
+                        acceptors
+                            [bounded(hash3(seed, round, v as u64), acceptors.len() as u64) as usize]
+                    } else {
+                        INVALID
+                    };
+                    prop_at[v as usize].store(pick, Ordering::Relaxed);
+                    has_live_neighbor
+                })
+                .collect();
+            live_edges = any.iter().any(|&b| b);
+
+            // Phase 2: acceptors accept the proposer with the highest
+            // per-round hash.
+            participants.par_iter().for_each(|&v| {
+                acc_at[v as usize].store(INVALID, Ordering::Relaxed);
+                if mate_at[v as usize].load(Ordering::Relaxed) != INVALID || is_proposer(v) {
+                    return;
+                }
+                let mut best = INVALID;
+                let mut best_key = 0u64;
+                for (w, _) in view.arcs(g, v) {
+                    if prop_at[w as usize].load(Ordering::Relaxed) == v {
+                        let key = hash3(seed ^ 0xACCE, round, w as u64);
+                        if best == INVALID || key > best_key {
+                            best = w;
+                            best_key = key;
+                        }
+                    }
+                }
+                acc_at[v as usize].store(best, Ordering::Relaxed);
+            });
+
+            // Phase 3: an accepted proposal is a matched pair. Race-free:
+            // only the proposer v with acc[w] == v writes the pair, v
+            // proposes to exactly one w, and a proposer is never an
+            // acceptor in the same round.
+            participants.par_iter().for_each(|&v| {
+                if mate_at[v as usize].load(Ordering::Relaxed) != INVALID {
+                    return;
+                }
+                let w = prop_at[v as usize].load(Ordering::Relaxed);
+                if w != INVALID && acc_at[w as usize].load(Ordering::Relaxed) == v {
+                    mate_at[v as usize].store(w, Ordering::Relaxed);
+                    mate_at[w as usize].store(v, Ordering::Relaxed);
+                }
+            });
+        }
+        if !live_edges {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::{check_maximal_matching, matching_cardinality};
+    use sb_graph::builder::from_edge_list;
+
+    fn run_ii(g: &Graph, seed: u64) -> (Vec<u32>, u64) {
+        let c = Counters::new();
+        let mut mate = vec![INVALID; g.num_vertices()];
+        ii_extend(g, EdgeView::full(), &mut mate, None, seed, &c);
+        (mate, c.rounds())
+    }
+
+    #[test]
+    fn maximal_on_basic_shapes() {
+        for (n, edges) in [
+            (2usize, vec![(0u32, 1u32)]),
+            (5, vec![(0, 1), (0, 2), (0, 3), (0, 4)]),
+            (6, vec![(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]),
+        ] {
+            let g = from_edge_list(n, &edges);
+            let (mate, _) = run_ii(&g, 7);
+            check_maximal_matching(&g, &mate).unwrap();
+        }
+    }
+
+    #[test]
+    fn no_vain_tendency_on_increasing_path() {
+        // The instance that serializes GM: II's fresh per-round randomness
+        // matches it in O(log n) rounds.
+        let n: u32 = 1024;
+        let g = from_edge_list(n as usize, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let (mate, rounds) = run_ii(&g, 5);
+        check_maximal_matching(&g, &mate).unwrap();
+        assert!(rounds < 80, "II should need O(log n) rounds, got {rounds}");
+        assert!(matching_cardinality(&mate) >= (n as usize) / 3);
+    }
+
+    #[test]
+    fn maximal_on_random_graphs_many_seeds() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(31);
+        for trial in 0..8 {
+            let n = 150 + 50 * trial;
+            let edges: Vec<(u32, u32)> = (0..n * 3)
+                .map(|_| {
+                    (
+                        rng.random_range(0..n) as u32,
+                        rng.random_range(0..n) as u32,
+                    )
+                })
+                .collect();
+            let g = from_edge_list(n, &edges);
+            let (mate, _) = run_ii(&g, trial as u64);
+            check_maximal_matching(&g, &mate).unwrap();
+        }
+    }
+
+    #[test]
+    fn respects_mask_and_partial_matching() {
+        let g = from_edge_list(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut mate = vec![INVALID; 5];
+        mate[0] = 1;
+        mate[1] = 0;
+        let allowed = vec![true, true, true, true, false];
+        ii_extend(&g, EdgeView::full(), &mut mate, Some(&allowed), 3, &Counters::new());
+        assert_eq!(mate, vec![1, 0, 3, 2, INVALID]);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = from_edge_list(100, &(0..99u32).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let (a, _) = run_ii(&g, 11);
+        let (b, _) = run_ii(&g, 11);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,166 @@
+//! Maximal matching (Section III of the paper).
+//!
+//! Baselines: [`gm`] (Algorithm GM — the greedy lowest-id proposal matcher
+//! used on multicore CPUs, plus the random-edge-priority variant of Blelloch
+//! et al. as an ablation) and [`lmax`] (Algorithm LMAX — the local-max
+//! matcher of Birn et al., expressed as bulk-synchronous kernels for the
+//! GPU-sim executor).
+//!
+//! Composites ([`decomp`]): MM-Bridge, MM-Rand, MM-Degk (Algorithms 4–6),
+//! each of which decomposes the input, matches the pieces, and extends the
+//! partial matching over what remains.
+
+pub mod decomp;
+pub mod gm;
+pub mod ii;
+pub mod lmax;
+
+use crate::common::{Arch, RunStats};
+use sb_graph::csr::{Graph, INVALID};
+use sb_graph::view::EdgeView;
+use sb_par::bsp::BspExecutor;
+use sb_par::counters::Counters;
+
+/// Which maximal-matching algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MmAlgorithm {
+    /// The architecture's baseline: GM on CPU, LMAX on GPU-sim.
+    Baseline,
+    /// MM-Bridge (Algorithm 4).
+    Bridge,
+    /// MM-Rand (Algorithm 5) with the given partition count.
+    Rand {
+        /// Number of RAND partitions (paper: 10 on CPU, 4 on GPU, 100 on kron).
+        partitions: usize,
+    },
+    /// MM-Degk (Algorithm 6) with the given degree threshold.
+    Degk {
+        /// Degree threshold (paper: 2).
+        k: usize,
+    },
+    /// MM-Bicc (extension): the Hochbaum-style block decomposition — match
+    /// the blocks minus their articulation vertices in parallel, then
+    /// extend over the rest. Not part of the paper's evaluated set.
+    Bicc,
+}
+
+/// Result of a matching run: the mate array plus timing/work breakdown.
+#[derive(Debug, Clone)]
+pub struct MatchingRun {
+    /// `mate[v]` is `v`'s partner or `INVALID`.
+    pub mate: Vec<u32>,
+    /// Timing and counters.
+    pub stats: RunStats,
+}
+
+impl MatchingRun {
+    /// Number of matched edges.
+    pub fn cardinality(&self) -> usize {
+        crate::verify::matching_cardinality(&self.mate)
+    }
+}
+
+/// Run a maximal-matching algorithm on `g`.
+///
+/// `seed` drives every random choice (RAND partition, LMAX edge weights),
+/// making runs reproducible independent of thread count.
+pub fn maximal_matching(g: &Graph, algo: MmAlgorithm, arch: Arch, seed: u64) -> MatchingRun {
+    match algo {
+        MmAlgorithm::Baseline => decomp::baseline_run(g, arch, seed),
+        MmAlgorithm::Bridge => decomp::mm_bridge(g, arch, seed),
+        MmAlgorithm::Rand { partitions } => decomp::mm_rand(g, partitions, arch, seed),
+        MmAlgorithm::Degk { k } => decomp::mm_degk(g, k, arch, seed),
+        MmAlgorithm::Bicc => decomp::mm_bicc(g, arch, seed),
+    }
+}
+
+/// Extend the partial matching in `mate` to a maximal matching of the
+/// subgraph of `g` restricted to `view` and to unmatched vertices passing
+/// `allowed`, using the baseline solver of `arch`.
+///
+/// On the CPU, GM runs directly against the filtered view (its adjacency
+/// cursor skips non-admitted arcs amortized-free). The GPU pipeline first
+/// materializes the admitted piece — on-device that is a handful of cheap
+/// streaming passes, whereas per-arc class checks inside the solver's
+/// kernels would be gathers; the materialization work is charged to the
+/// counters (and hence to the modeled device time).
+pub(crate) fn base_extend(
+    g: &Graph,
+    view: EdgeView<'_>,
+    mate: &mut [u32],
+    allowed: Option<&[bool]>,
+    arch: Arch,
+    seed: u64,
+    counters: &Counters,
+) {
+    match arch {
+        Arch::Cpu => gm::gm_extend(g, view, mate, allowed, counters),
+        Arch::GpuSim => {
+            let exec = BspExecutor::new();
+            if view.is_full() {
+                lmax::lmax_extend(g, EdgeView::full(), mate, allowed, seed, &exec);
+            } else {
+                let sub = materialize_for_gpu(g, view, exec.counters());
+                lmax::lmax_extend(&sub, EdgeView::full(), mate, allowed, seed, &exec);
+            }
+            counters.merge(exec.counters());
+        }
+    }
+}
+
+/// Materialize a filtered view for a GPU pipeline phase, charging the
+/// streaming passes (classify scan + CSR fill) to `counters`.
+pub(crate) fn materialize_for_gpu(
+    g: &Graph,
+    view: EdgeView<'_>,
+    counters: &Counters,
+) -> Graph {
+    let sub = view.materialize(g);
+    counters.add_kernel(g.num_edges() as u64);
+    counters.add_kernel(4 * sub.num_edges() as u64);
+    sub
+}
+
+/// Shared helper: the initial all-unmatched mate array.
+pub(crate) fn fresh_mate(n: usize) -> Vec<u32> {
+    vec![INVALID; n]
+}
+
+/// The paper's rule of thumb for MM-Rand's partition count (§III-B):
+/// "we use the partition size k close to the average degree of the graph".
+/// Clamped to `[2, 128]` so degenerate graphs stay usable.
+pub fn suggested_partitions(g: &Graph) -> usize {
+    (g.avg_degree().round() as usize).clamp(2, 128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_graph::builder::from_edge_list;
+
+    #[test]
+    fn suggested_partitions_tracks_average_degree() {
+        // Cycle: average degree 2.
+        let c = from_edge_list(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        assert_eq!(suggested_partitions(&c), 2);
+        // K6: average degree 5.
+        let mut e = Vec::new();
+        for i in 0..6u32 {
+            for j in i + 1..6 {
+                e.push((i, j));
+            }
+        }
+        let k6 = from_edge_list(6, &e);
+        assert_eq!(suggested_partitions(&k6), 5);
+        // Edgeless: clamped to 2.
+        assert_eq!(suggested_partitions(&Graph::empty(4)), 2);
+    }
+
+    #[test]
+    fn rand_with_suggested_partitions_is_maximal() {
+        let g = from_edge_list(7, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0)]);
+        let k = suggested_partitions(&g);
+        let run = maximal_matching(&g, MmAlgorithm::Rand { partitions: k }, Arch::Cpu, 3);
+        crate::verify::check_maximal_matching(&g, &run.mate).unwrap();
+    }
+}

@@ -1,0 +1,379 @@
+//! Decomposition-based MIS (Algorithms 10–12 of the paper).
+
+use super::luby::{luby_extend, luby_extend_bsp};
+use super::oriented::oriented_mis_extend;
+use super::status::{IN, OUT, UNDECIDED};
+use super::MisRun;
+use crate::common::{Arch, RunStats};
+use crate::matching::materialize_for_gpu;
+use rayon::prelude::*;
+use sb_decompose::bicc::decompose_bicc;
+use sb_decompose::bridge::decompose_bridge;
+use sb_decompose::degk::decompose_degk;
+use sb_decompose::rand_part::decompose_rand;
+use sb_graph::csr::{Graph, VertexId};
+use sb_graph::view::EdgeView;
+use sb_par::bsp::BspExecutor;
+use sb_par::counters::{Counters, Stopwatch};
+use std::sync::atomic::{AtomicU8, Ordering};
+
+fn as_atomic_u8(xs: &mut [u8]) -> &[AtomicU8] {
+    // SAFETY: see `luby::as_atomic_u8`.
+    unsafe { &*(xs as *mut [u8] as *const [AtomicU8]) }
+}
+
+/// Run the architecture's Luby form over the undecided vertices of `g`
+/// passing `allowed`, restricted to the edges of `view`. GPU phases over a
+/// filtered view materialize the piece first (see `matching::base_extend`).
+fn base_mis_extend(
+    g: &Graph,
+    view: EdgeView<'_>,
+    status: &mut [u8],
+    allowed: Option<&[bool]>,
+    arch: Arch,
+    seed: u64,
+    counters: &Counters,
+) {
+    match arch {
+        Arch::Cpu => luby_extend(g, view, status, allowed, seed, counters),
+        Arch::GpuSim => {
+            let exec = BspExecutor::new();
+            if view.is_full() {
+                luby_extend_bsp(g, EdgeView::full(), status, allowed, seed, &exec);
+            } else {
+                let sub = materialize_for_gpu(g, view, exec.counters());
+                luby_extend_bsp(&sub, EdgeView::full(), status, allowed, seed, &exec);
+            }
+            counters.merge(exec.counters());
+        }
+    }
+}
+
+/// Exclude (in the full graph `g`) every undecided vertex with an IN
+/// neighbor — the "remove from G vertices that are in I_A or have a
+/// neighbor in I_A" step between phases.
+fn exclude_dominated(g: &Graph, status: &mut [u8], counters: &Counters) {
+    counters.add_edges(2 * g.num_edges() as u64);
+    let st = as_atomic_u8(status);
+    (0..g.num_vertices()).into_par_iter().for_each(|v| {
+        if st[v].load(Ordering::Relaxed) != UNDECIDED {
+            return;
+        }
+        if g
+            .neighbors(v as VertexId)
+            .iter()
+            .any(|&w| st[w as usize].load(Ordering::Relaxed) == IN)
+        {
+            st[v].store(OUT, Ordering::Relaxed);
+        }
+    });
+}
+
+fn finish(status: Vec<u8>, decompose_time: std::time::Duration, sw: Stopwatch, counters: Counters) -> MisRun {
+    let solve_time = sw.elapsed();
+    MisRun {
+        in_set: status.iter().map(|&s| s == IN).collect(),
+        stats: RunStats {
+            decompose_time,
+            solve_time,
+            counters: counters.snapshot(),
+        },
+    }
+}
+
+/// LubyMIS on the whole graph — the Figure 5 baseline.
+pub fn baseline_run(g: &Graph, arch: Arch, seed: u64) -> MisRun {
+    let counters = Counters::new();
+    let mut status = vec![UNDECIDED; g.num_vertices()];
+    let sw = Stopwatch::start();
+    base_mis_extend(g, EdgeView::full(), &mut status, None, arch, seed, &counters);
+    finish(status, std::time::Duration::ZERO, sw, counters)
+}
+
+/// Average degree over the non-isolated vertices of a view — the sparsity
+/// measure the paper uses to pick which side to solve first.
+fn busy_avg_degree(g: &Graph, view: EdgeView<'_>) -> f64 {
+    let busy = (0..g.num_vertices())
+        .into_par_iter()
+        .filter(|&v| view.has_arc(g, v as VertexId))
+        .count();
+    if busy == 0 {
+        0.0
+    } else {
+        2.0 * view.num_edges(g) as f64 / busy as f64
+    }
+}
+
+/// Algorithm 10 — MIS-Bridge.
+///
+/// Solve `∪ H_i = G_c` minus bridge endpoints and the bridge graph `G_B`,
+/// sparser side first, extending through the full graph in between.
+pub fn mis_bridge(g: &Graph, arch: Arch, seed: u64) -> MisRun {
+    let counters = Counters::new();
+    let sw = Stopwatch::start();
+    let d = decompose_bridge(g, &counters);
+    let decompose_time = sw.elapsed();
+
+    let sw = Stopwatch::start();
+    let n = g.num_vertices();
+    let mut is_bridge_vertex = vec![false; n];
+    for v in d.bridge_vertices(g) {
+        is_bridge_vertex[v as usize] = true;
+    }
+    let mut status = vec![UNDECIDED; n];
+
+    let comp_side: Vec<bool> = (0..n).map(|v| !is_bridge_vertex[v]).collect();
+    if busy_avg_degree(g, d.component_view()) <= busy_avg_degree(g, d.bridge_view()) {
+        // I_A on ∪ H_i first.
+        base_mis_extend(
+            g,
+            d.component_view(),
+            &mut status,
+            Some(&comp_side),
+            arch,
+            seed,
+            &counters,
+        );
+        exclude_dominated(g, &mut status, &counters);
+        base_mis_extend(g, EdgeView::full(), &mut status, None, arch, seed ^ 1, &counters);
+    } else {
+        // I_B first. Note: an MIS of the bare bridge graph G_B would not be
+        // independent in G (two bridge endpoints can share a non-bridge
+        // edge), so I_B is computed on G restricted to the bridge vertices —
+        // the subgraph Algorithm 10's "MIS of G_B" must mean for I_A ∪ I_B
+        // to be an MIS of G.
+        base_mis_extend(
+            g,
+            EdgeView::full(),
+            &mut status,
+            Some(&is_bridge_vertex),
+            arch,
+            seed,
+            &counters,
+        );
+        exclude_dominated(g, &mut status, &counters);
+        base_mis_extend(g, EdgeView::full(), &mut status, None, arch, seed ^ 1, &counters);
+    }
+    finish(status, decompose_time, sw, counters)
+}
+
+/// Algorithm 11 — MIS-Rand.
+///
+/// Solve `H = ∪ (G_i \ G_{k+1})` (induced subgraphs minus cross-edge
+/// endpoints) and the cross graph, sparser side first.
+pub fn mis_rand(g: &Graph, partitions: usize, arch: Arch, seed: u64) -> MisRun {
+    let counters = Counters::new();
+    let sw = Stopwatch::start();
+    let d = decompose_rand(g, partitions, seed, &counters);
+    let decompose_time = sw.elapsed();
+
+    let sw = Stopwatch::start();
+    let n = g.num_vertices();
+    let cross_endpoint: Vec<bool> = {
+        let mut m = vec![false; n];
+        for (e, &[u, v]) in g.edge_list().iter().enumerate() {
+            if d.class[e] == sb_decompose::rand_part::RandDecomposition::CROSS {
+                m[u as usize] = true;
+                m[v as usize] = true;
+            }
+        }
+        m
+    };
+    let h_side: Vec<bool> = (0..n).map(|v| !cross_endpoint[v]).collect();
+    let mut status = vec![UNDECIDED; n];
+
+    if busy_avg_degree(g, d.induced_view()) <= busy_avg_degree(g, d.cross_view()) {
+        base_mis_extend(
+            g,
+            d.induced_view(),
+            &mut status,
+            Some(&h_side),
+            arch,
+            seed ^ 2,
+            &counters,
+        );
+        exclude_dominated(g, &mut status, &counters);
+        base_mis_extend(g, EdgeView::full(), &mut status, None, arch, seed ^ 3, &counters);
+    } else {
+        // Same subtlety as MIS-Bridge: cross-edge endpoints can also share
+        // intra-partition edges, so I_B runs on G restricted to them.
+        base_mis_extend(
+            g,
+            EdgeView::full(),
+            &mut status,
+            Some(&cross_endpoint),
+            arch,
+            seed ^ 2,
+            &counters,
+        );
+        exclude_dominated(g, &mut status, &counters);
+        base_mis_extend(g, EdgeView::full(), &mut status, None, arch, seed ^ 3, &counters);
+    }
+    finish(status, decompose_time, sw, counters)
+}
+
+/// Algorithm 12 — MIS-Degk (the paper's MIS-Deg2 for k = 2).
+///
+/// Solve the degree-≤k side first — with the deterministic oriented
+/// algorithm when k ≤ 2 (paths and cycles), otherwise with Luby — then
+/// extend through the remainder.
+pub fn mis_degk(g: &Graph, k: usize, arch: Arch, seed: u64) -> MisRun {
+    let counters = Counters::new();
+    let sw = Stopwatch::start();
+    let d = decompose_degk(g, k, &counters);
+    let decompose_time = sw.elapsed();
+
+    let sw = Stopwatch::start();
+    let n = g.num_vertices();
+    let low_side: Vec<bool> = (0..n).map(|v| !d.is_high[v]).collect();
+    let mut status = vec![UNDECIDED; n];
+
+    if k <= 2 {
+        oriented_mis_extend(g, d.low_view(), &mut status, Some(&low_side), &counters);
+    } else {
+        base_mis_extend(
+            g,
+            d.low_view(),
+            &mut status,
+            Some(&low_side),
+            arch,
+            seed ^ 4,
+            &counters,
+        );
+    }
+    exclude_dominated(g, &mut status, &counters);
+    base_mis_extend(g, EdgeView::full(), &mut status, None, arch, seed ^ 5, &counters);
+    finish(status, decompose_time, sw, counters)
+}
+
+/// MIS-Bicc (extension, after Hochbaum \[16\]).
+///
+/// An MIS of the block interiors (the graph minus articulation vertices,
+/// whose pieces are pairwise disconnected), then exclusion through the
+/// full graph and a final solve over what remains.
+pub fn mis_bicc(g: &Graph, arch: Arch, seed: u64) -> MisRun {
+    let counters = Counters::new();
+    let sw = Stopwatch::start();
+    let d = decompose_bicc(g, &counters);
+    let decompose_time = sw.elapsed();
+
+    let sw = Stopwatch::start();
+    let n = g.num_vertices();
+    let interior: Vec<bool> = d.is_articulation.iter().map(|&a| !a).collect();
+    let mut status = vec![UNDECIDED; n];
+    base_mis_extend(g, EdgeView::full(), &mut status, Some(&interior), arch, seed, &counters);
+    exclude_dominated(g, &mut status, &counters);
+    base_mis_extend(g, EdgeView::full(), &mut status, None, arch, seed ^ 1, &counters);
+    finish(status, decompose_time, sw, counters)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mis::{maximal_independent_set, MisAlgorithm};
+    use crate::verify::check_maximal_independent_set;
+    use sb_graph::builder::from_edge_list;
+
+    fn random_graph(n: usize, m: usize, seed: u64) -> Graph {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let edges: Vec<(u32, u32)> = (0..m)
+            .map(|_| {
+                (
+                    rng.random_range(0..n) as u32,
+                    rng.random_range(0..n) as u32,
+                )
+            })
+            .collect();
+        from_edge_list(n, &edges)
+    }
+
+    #[test]
+    fn all_algorithms_maximal_both_archs() {
+        let graphs = [
+            random_graph(300, 900, 1),
+            random_graph(400, 600, 2),
+            from_edge_list(80, &(0..79u32).map(|i| (i, i + 1)).collect::<Vec<_>>()),
+        ];
+        let algos = [
+            MisAlgorithm::Baseline,
+            MisAlgorithm::Bridge,
+            MisAlgorithm::Rand { partitions: 4 },
+            MisAlgorithm::Degk { k: 2 },
+            MisAlgorithm::Bicc,
+        ];
+        for (gi, g) in graphs.iter().enumerate() {
+            for algo in algos {
+                for arch in [Arch::Cpu, Arch::GpuSim] {
+                    let run = maximal_independent_set(g, algo, arch, 23);
+                    check_maximal_independent_set(g, &run.in_set)
+                        .unwrap_or_else(|e| panic!("graph {gi}, {algo:?} on {arch}: {e}"));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deg2_on_chain_heavy_graph_uses_oriented_path_fast() {
+        // Hub with many chains — the lp1 shape where MIS-Deg2 shines.
+        let mut edges = vec![];
+        for c in 0..30u32 {
+            let b = 1 + 4 * c;
+            edges.push((0, b));
+            edges.push((b, b + 1));
+            edges.push((b + 1, b + 2));
+            edges.push((b + 2, b + 3));
+        }
+        let g = from_edge_list(121, &edges);
+        let run = mis_degk(&g, 2, Arch::Cpu, 3);
+        check_maximal_independent_set(&g, &run.in_set).unwrap();
+        // Chains alone guarantee a large independent set.
+        assert!(run.size() >= 60);
+    }
+
+    #[test]
+    fn degk_with_large_k_falls_back_to_luby() {
+        let g = random_graph(200, 800, 5);
+        let run = mis_degk(&g, 8, Arch::Cpu, 7);
+        check_maximal_independent_set(&g, &run.in_set).unwrap();
+    }
+
+    #[test]
+    fn bridge_on_tree_and_on_cycle() {
+        let tree = from_edge_list(15, &(0..14u32).map(|i| (i / 2, i + 1)).collect::<Vec<_>>());
+        let run = mis_bridge(&tree, Arch::Cpu, 1);
+        check_maximal_independent_set(&tree, &run.in_set).unwrap();
+
+        let mut edges: Vec<(u32, u32)> = (0..19).map(|i| (i, i + 1)).collect();
+        edges.push((19, 0));
+        let cyc = from_edge_list(20, &edges);
+        let run = mis_bridge(&cyc, Arch::GpuSim, 2);
+        check_maximal_independent_set(&cyc, &run.in_set).unwrap();
+    }
+
+    #[test]
+    fn rand_partition_sweep() {
+        let g = random_graph(300, 1200, 9);
+        for k in [1, 2, 5, 10] {
+            let run = mis_rand(&g, k, Arch::Cpu, 11);
+            check_maximal_independent_set(&g, &run.in_set)
+                .unwrap_or_else(|e| panic!("k = {k}: {e}"));
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = random_graph(250, 750, 12);
+        let a = maximal_independent_set(&g, MisAlgorithm::Degk { k: 2 }, Arch::Cpu, 5);
+        let b = maximal_independent_set(&g, MisAlgorithm::Degk { k: 2 }, Arch::Cpu, 5);
+        assert_eq!(a.in_set, b.in_set);
+    }
+
+    #[test]
+    fn stats_breakdown_present() {
+        let g = random_graph(300, 900, 13);
+        let run = mis_degk(&g, 2, Arch::Cpu, 3);
+        assert!(run.stats.decompose_time > std::time::Duration::ZERO);
+        assert!(run.stats.counters.rounds > 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Parallelized greedy MIS (Blelloch, Fineman, Shun) — ablation baseline.
+//!
+//! The sequential greedy MIS over a random vertex permutation is "parallel
+//! on average": a vertex can decide as soon as every earlier-permutation
+//! neighbor has decided. With *static* random priorities (one draw per run,
+//! unlike Luby's per-round draws) this resolves in O(log² n) rounds and
+//! returns exactly the sequential greedy answer for the permutation.
+
+use super::status::{IN, OUT, UNDECIDED};
+use rayon::prelude::*;
+use sb_graph::csr::{Graph, VertexId};
+use sb_par::counters::Counters;
+use sb_par::rng::hash2;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+fn as_atomic_u8(xs: &mut [u8]) -> &[AtomicU8] {
+    // SAFETY: see `luby::as_atomic_u8`.
+    unsafe { &*(xs as *mut [u8] as *const [AtomicU8]) }
+}
+
+/// Decide all undecided vertices of `g` with the greedy-permutation MIS.
+pub fn greedy_mis(g: &Graph, status: &mut [u8], seed: u64, counters: &Counters) {
+    let n = g.num_vertices();
+    assert_eq!(status.len(), n);
+    let prio = |v: VertexId| (hash2(seed, v as u64), v);
+    let mut work: Vec<VertexId> = (0..n as u32)
+        .filter(|&v| status[v as usize] == UNDECIDED)
+        .collect();
+
+    while !work.is_empty() {
+        counters.add_rounds(1);
+        counters.add_work(work.len() as u64);
+        {
+            let st = as_atomic_u8(status);
+            // A vertex joins when it precedes every undecided neighbor in
+            // the permutation (an IN neighbor blocks — see luby.rs).
+            work.par_iter().for_each(|&v| {
+                counters.add_edges(g.degree(v) as u64);
+                let pv = prio(v);
+                let mut first = true;
+                for &w in g.neighbors(v) {
+                    let sw = st[w as usize].load(Ordering::Relaxed);
+                    if sw == IN || (sw == UNDECIDED && prio(w) < pv) {
+                        first = false;
+                        break;
+                    }
+                }
+                if first {
+                    st[v as usize].store(IN, Ordering::Relaxed);
+                }
+            });
+            work.par_iter().for_each(|&v| {
+                if st[v as usize].load(Ordering::Relaxed) != UNDECIDED {
+                    return;
+                }
+                if g
+                    .neighbors(v)
+                    .iter()
+                    .any(|&w| st[w as usize].load(Ordering::Relaxed) == IN)
+                {
+                    st[v as usize].store(OUT, Ordering::Relaxed);
+                }
+            });
+        }
+        work.retain(|&v| status[v as usize] == UNDECIDED);
+    }
+}
+
+/// Sequential greedy MIS over the same permutation — the reference the
+/// parallel form must reproduce exactly.
+pub fn greedy_mis_sequential(g: &Graph, seed: u64) -> Vec<bool> {
+    let n = g.num_vertices();
+    let mut order: Vec<VertexId> = (0..n as u32).collect();
+    order.sort_unstable_by_key(|&v| (hash2(seed, v as u64), v));
+    let mut in_set = vec![false; n];
+    let mut blocked = vec![false; n];
+    for v in order {
+        if !blocked[v as usize] {
+            in_set[v as usize] = true;
+            blocked[v as usize] = true;
+            for &w in g.neighbors(v) {
+                blocked[w as usize] = true;
+            }
+        }
+    }
+    in_set
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::check_maximal_independent_set;
+    use sb_graph::builder::from_edge_list;
+
+    #[test]
+    fn parallel_equals_sequential_greedy() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        for trial in 0..8 {
+            let n = 150 + trial * 40;
+            let edges: Vec<(u32, u32)> = (0..n * 3)
+                .map(|_| {
+                    (
+                        rng.random_range(0..n) as u32,
+                        rng.random_range(0..n) as u32,
+                    )
+                })
+                .collect();
+            let g = from_edge_list(n, &edges);
+            let mut st = vec![UNDECIDED; n];
+            greedy_mis(&g, &mut st, trial as u64, &Counters::new());
+            let got: Vec<bool> = st.iter().map(|&s| s == IN).collect();
+            let want = greedy_mis_sequential(&g, trial as u64);
+            assert_eq!(got, want, "trial {trial}");
+            check_maximal_independent_set(&g, &got).unwrap();
+        }
+    }
+
+    #[test]
+    fn clique_single_member() {
+        let mut edges = Vec::new();
+        for i in 0..10u32 {
+            for j in i + 1..10 {
+                edges.push((i, j));
+            }
+        }
+        let g = from_edge_list(10, &edges);
+        let mut st = vec![UNDECIDED; 10];
+        greedy_mis(&g, &mut st, 5, &Counters::new());
+        assert_eq!(st.iter().filter(|&&s| s == IN).count(), 1);
+    }
+}

@@ -1,0 +1,449 @@
+//! Algorithm LubyMIS — the classic algorithm of Luby (1986), as the paper
+//! cites it ("uses randomization to break symmetry… at least half the
+//! vertices eliminated per iteration").
+//!
+//! Each round: every undecided vertex *marks* itself with probability
+//! `1/(2d)` (`d` = its degree in the residual graph; degree-0 vertices join
+//! outright); for every edge with both endpoints marked, the endpoint of
+//! smaller `(degree, id)` unmarks; surviving marks join the set and their
+//! neighbors drop out. Expected O(log n) rounds, with distinctly larger
+//! constants than the modern local-minimum variant — this round count is
+//! the cost the MIS composites attack.
+//!
+//! Both [`luby_extend`] forms are *full-sweep* over the graph being
+//! solved, as in the era's published implementations: the participant list
+//! is fixed once at entry (the vertex set of the — possibly reduced —
+//! graph, e.g. Algorithm 11's "reduced graph R"), and every round sweeps
+//! that whole list, skipping decided vertices with an O(1) status check,
+//! until a counting pass finds no undecided participant. There is no
+//! per-round worklist compaction.
+//! [`luby_extend_compacted`] is the modern optimization of the problem
+//! (worklist compaction + local-minimum selection), kept as an ablation —
+//! it is strictly stronger than the published baselines.
+
+use super::status::{IN, OUT, UNDECIDED};
+use rayon::prelude::*;
+use sb_graph::csr::{Graph, VertexId};
+use sb_graph::view::EdgeView;
+use sb_par::bsp::BspExecutor;
+use sb_par::counters::Counters;
+use sb_par::rng::hash3;
+use std::sync::atomic::{AtomicU8, Ordering};
+
+/// View a `&mut [u8]` as atomics for a parallel phase (same layout argument
+/// as `sb_par::atomic::as_atomic_u32`).
+fn as_atomic_u8(xs: &mut [u8]) -> &[AtomicU8] {
+    // SAFETY: AtomicU8 has u8's size and alignment; the unique borrow rules
+    // out concurrent non-atomic access.
+    unsafe { &*(xs as *mut [u8] as *const [AtomicU8]) }
+}
+
+/// Decide every undecided vertex passing `allowed` (IN or OUT) so that the
+/// IN vertices form an MIS of the subgraph of `g` induced by those vertices
+/// and the edges of `view`. Full-sweep rounds (see module docs).
+pub fn luby_extend(
+    g: &Graph,
+    view: EdgeView<'_>,
+    status: &mut [u8],
+    allowed: Option<&[bool]>,
+    seed: u64,
+    counters: &Counters,
+) {
+    let n = g.num_vertices();
+    assert_eq!(status.len(), n);
+    let allow = |v: usize| allowed.is_none_or(|a| a[v]);
+    // The vertex set of the (sub)graph being solved, fixed at entry.
+    let participants: Vec<VertexId> = (0..n as u32)
+        .filter(|&v| status[v as usize] == UNDECIDED && allow(v as usize))
+        .collect();
+    // Residual degree and mark flag, refreshed each round.
+    let mut degree = vec![0u32; n];
+    let mut marked = vec![0u8; n];
+    let mut round = 0u64;
+
+    while !participants.is_empty() {
+        round += 1;
+        counters.add_rounds(1);
+        counters.add_work(3 * participants.len() as u64);
+        let remaining;
+        {
+            let st = as_atomic_u8(status);
+            let deg_at = sb_par::atomic::as_atomic_u32(&mut degree);
+            let mk = as_atomic_u8(&mut marked);
+
+            // Sweep 1: residual degree + probabilistic marking.
+            participants.par_iter().for_each(|&v| {
+                if st[v as usize].load(Ordering::Relaxed) != UNDECIDED {
+                    mk[v as usize].store(0, Ordering::Relaxed);
+                    return;
+                }
+                counters.add_edges(g.degree(v) as u64);
+                let mut d = 0u32;
+                for (w, _) in view.arcs(g, v) {
+                    if st[w as usize].load(Ordering::Relaxed) == UNDECIDED
+                        && allow(w as usize)
+                    {
+                        d += 1;
+                    }
+                }
+                deg_at[v as usize].store(d, Ordering::Relaxed);
+                let m = if d == 0 {
+                    1 // isolated in the residual graph: always a candidate
+                } else {
+                    // Mark with probability 1/(2d).
+                    u8::from(hash3(seed, round, v as u64) < u64::MAX / (2 * d as u64))
+                };
+                mk[v as usize].store(m, Ordering::Relaxed);
+            });
+
+            // Sweep 2: resolve marked conflicts — the endpoint of smaller
+            // (residual degree, id) unmarks, so the survivors are the local
+            // maxima among the marked and hence independent.
+            let survives = |v: u32| -> bool {
+                if mk[v as usize].load(Ordering::Relaxed) == 0 {
+                    return false;
+                }
+                let dv = (deg_at[v as usize].load(Ordering::Relaxed), v);
+                for (w, _) in view.arcs(g, v) {
+                    let sw = st[w as usize].load(Ordering::Relaxed);
+                    // A neighbor that already turned IN this round blocks
+                    // (it was a marked competitor we may have missed).
+                    if sw == IN
+                        || (sw == UNDECIDED
+                            && allow(w as usize)
+                            && mk[w as usize].load(Ordering::Relaxed) == 1
+                            && (deg_at[w as usize].load(Ordering::Relaxed), w) > dv)
+                    {
+                        return false;
+                    }
+                }
+                true
+            };
+            participants.par_iter().for_each(|&v| {
+                if st[v as usize].load(Ordering::Relaxed) != UNDECIDED {
+                    return;
+                }
+                counters.add_edges(deg_at[v as usize].load(Ordering::Relaxed) as u64);
+                if survives(v) {
+                    st[v as usize].store(IN, Ordering::Relaxed);
+                }
+            });
+
+            // Sweep 3: neighbors of fresh IN vertices drop out; count what
+            // is still undecided for the termination test.
+            remaining = participants
+                .par_iter()
+                .filter(|&&v| {
+                    if st[v as usize].load(Ordering::Relaxed) != UNDECIDED {
+                        return false;
+                    }
+                    for (w, _) in view.arcs(g, v) {
+                        if st[w as usize].load(Ordering::Relaxed) == IN {
+                            st[v as usize].store(OUT, Ordering::Relaxed);
+                            return false;
+                        }
+                    }
+                    true
+                })
+                .count();
+        }
+        if remaining == 0 {
+            break;
+        }
+    }
+}
+
+/// Flat bulk-synchronous form of [`luby_extend`] for the GPU-sim executor:
+/// the same full-sweep rounds as three device-wide kernels.
+pub fn luby_extend_bsp(
+    g: &Graph,
+    view: EdgeView<'_>,
+    status: &mut [u8],
+    allowed: Option<&[bool]>,
+    seed: u64,
+    exec: &BspExecutor,
+) {
+    let n = g.num_vertices();
+    assert_eq!(status.len(), n);
+    let allow = |v: usize| allowed.is_none_or(|a| a[v]);
+    let participants: Vec<u32> = (0..n as u32)
+        .filter(|&v| status[v as usize] == UNDECIDED && allow(v as usize))
+        .collect();
+    let mut degree = vec![0u32; n];
+    let mut marked = vec![0u8; n];
+    let mut round = 0u64;
+
+    while !participants.is_empty() {
+        round += 1;
+        {
+            let st = as_atomic_u8(status);
+            let deg_at = sb_par::atomic::as_atomic_u32(&mut degree);
+            let mk = as_atomic_u8(&mut marked);
+
+            // Kernel 1: residual degree + probabilistic marking.
+            exec.kernel_over(&participants, |v| {
+                let vi = v as usize;
+                if st[vi].load(Ordering::Relaxed) != UNDECIDED {
+                    mk[vi].store(0, Ordering::Relaxed);
+                    return;
+                }
+                exec.counters().add_edges(g.degree(v) as u64);
+                let mut d = 0u32;
+                for (w, _) in view.arcs(g, v) {
+                    if st[w as usize].load(Ordering::Relaxed) == UNDECIDED
+                        && allow(w as usize)
+                    {
+                        d += 1;
+                    }
+                }
+                deg_at[vi].store(d, Ordering::Relaxed);
+                let m = if d == 0 {
+                    1
+                } else {
+                    u8::from(hash3(seed, round, v as u64) < u64::MAX / (2 * d as u64))
+                };
+                mk[vi].store(m, Ordering::Relaxed);
+            });
+
+            // Kernel 2: conflict resolution — local maxima among the marked
+            // (by residual degree, then id) join the set.
+            exec.kernel_over(&participants, |v| {
+                let vi = v as usize;
+                if st[vi].load(Ordering::Relaxed) != UNDECIDED
+                    || mk[vi].load(Ordering::Relaxed) == 0
+                {
+                    return;
+                }
+                exec.counters()
+                    .add_edges(deg_at[vi].load(Ordering::Relaxed) as u64);
+                let dv = (deg_at[vi].load(Ordering::Relaxed), v);
+                let beaten = view.arcs(g, v).any(|(w, _)| {
+                    let sw = st[w as usize].load(Ordering::Relaxed);
+                    sw == IN
+                        || (sw == UNDECIDED
+                            && allow(w as usize)
+                            && mk[w as usize].load(Ordering::Relaxed) == 1
+                            && (deg_at[w as usize].load(Ordering::Relaxed), w) > dv)
+                });
+                if !beaten {
+                    st[vi].store(IN, Ordering::Relaxed);
+                }
+            });
+
+            // Kernel 3: exclusion.
+            exec.kernel_over(&participants, |v| {
+                let vi = v as usize;
+                if st[vi].load(Ordering::Relaxed) != UNDECIDED {
+                    return;
+                }
+                exec.counters().add_edges(g.degree(v) as u64);
+                if view
+                    .arcs(g, v)
+                    .any(|(w, _)| st[w as usize].load(Ordering::Relaxed) == IN)
+                {
+                    st[vi].store(OUT, Ordering::Relaxed);
+                }
+            });
+        }
+
+        // Kernel 4: termination count over the participant list.
+        let remaining = {
+            let st: &[u8] = status;
+            exec.counters().add_kernel(participants.len() as u64);
+            participants
+                .iter()
+                .filter(|&&v| st[v as usize] == UNDECIDED)
+                .count()
+        };
+        exec.end_round();
+        if remaining == 0 {
+            break;
+        }
+    }
+}
+
+/// Worklist-compacted Luby — the modern optimization of the same algorithm,
+/// kept as an ablation: every round touches only still-undecided vertices.
+/// The reproduction's baselines do NOT use this (see module docs).
+pub fn luby_extend_compacted(
+    g: &Graph,
+    view: EdgeView<'_>,
+    status: &mut [u8],
+    allowed: Option<&[bool]>,
+    seed: u64,
+    counters: &Counters,
+) {
+    let n = g.num_vertices();
+    assert_eq!(status.len(), n);
+    let allow = |v: usize| allowed.is_none_or(|a| a[v]);
+    let mut work: Vec<VertexId> = (0..n as u32)
+        .filter(|&v| status[v as usize] == UNDECIDED && allow(v as usize))
+        .collect();
+    let mut round = 0u64;
+
+    while !work.is_empty() {
+        round += 1;
+        counters.add_rounds(1);
+        counters.add_work(work.len() as u64);
+        {
+            let st = as_atomic_u8(status);
+            let prio = |v: VertexId| (hash3(seed, round, v as u64), v);
+            work.par_iter().for_each(|&v| {
+                counters.add_edges(g.degree(v) as u64);
+                let pv = prio(v);
+                let mut is_min = true;
+                for (w, _) in view.arcs(g, v) {
+                    let sw = st[w as usize].load(Ordering::Relaxed);
+                    if sw == IN || (sw == UNDECIDED && allow(w as usize) && prio(w) < pv) {
+                        is_min = false;
+                        break;
+                    }
+                }
+                if is_min {
+                    st[v as usize].store(IN, Ordering::Relaxed);
+                }
+            });
+            work.par_iter().for_each(|&v| {
+                if st[v as usize].load(Ordering::Relaxed) != UNDECIDED {
+                    return;
+                }
+                if view
+                    .arcs(g, v)
+                    .any(|(w, _)| st[w as usize].load(Ordering::Relaxed) == IN)
+                {
+                    st[v as usize].store(OUT, Ordering::Relaxed);
+                }
+            });
+        }
+        work.retain(|&v| status[v as usize] == UNDECIDED);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::check_maximal_independent_set;
+    use sb_graph::builder::from_edge_list;
+
+    fn in_set_of(status: &[u8]) -> Vec<bool> {
+        status.iter().map(|&s| s == IN).collect()
+    }
+
+    #[test]
+    fn path_mis_valid() {
+        let g = from_edge_list(20, &(0..19u32).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let mut st = vec![UNDECIDED; 20];
+        luby_extend(&g, EdgeView::full(), &mut st, None, 3, &Counters::new());
+        check_maximal_independent_set(&g, &in_set_of(&st)).unwrap();
+        assert!(st.iter().all(|&s| s != UNDECIDED));
+    }
+
+    #[test]
+    fn isolated_vertices_always_join() {
+        let g = from_edge_list(5, &[(0, 1)]);
+        let mut st = vec![UNDECIDED; 5];
+        luby_extend(&g, EdgeView::full(), &mut st, None, 1, &Counters::new());
+        assert_eq!(st[2], IN);
+        assert_eq!(st[3], IN);
+        assert_eq!(st[4], IN);
+    }
+
+    #[test]
+    fn respects_allowed_mask() {
+        let g = from_edge_list(4, &[(0, 1), (1, 2), (2, 3)]);
+        let allowed = vec![false, true, true, false];
+        let mut st = vec![UNDECIDED; 4];
+        luby_extend(&g, EdgeView::full(), &mut st, Some(&allowed), 2, &Counters::new());
+        assert_eq!(st[0], UNDECIDED);
+        assert_eq!(st[3], UNDECIDED);
+        // Among {1, 2}: exactly one joins (they are adjacent).
+        assert_eq!(usize::from(st[1] == IN) + usize::from(st[2] == IN), 1);
+    }
+
+    #[test]
+    fn logarithmic_rounds_on_long_path() {
+        let n: u32 = 2048;
+        let g = from_edge_list(n as usize, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let c = Counters::new();
+        let mut st = vec![UNDECIDED; n as usize];
+        luby_extend(&g, EdgeView::full(), &mut st, None, 5, &c);
+        check_maximal_independent_set(&g, &in_set_of(&st)).unwrap();
+        assert!(c.rounds() < 60, "Luby should finish fast, got {}", c.rounds());
+    }
+
+    #[test]
+    fn all_three_forms_valid_on_random_graphs() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(77);
+        for trial in 0..5 {
+            let n = 200;
+            let edges: Vec<(u32, u32)> = (0..600)
+                .map(|_| {
+                    (
+                        rng.random_range(0..n) as u32,
+                        rng.random_range(0..n) as u32,
+                    )
+                })
+                .collect();
+            let g = from_edge_list(n, &edges);
+
+            let mut st1 = vec![UNDECIDED; n];
+            luby_extend(&g, EdgeView::full(), &mut st1, None, trial, &Counters::new());
+            check_maximal_independent_set(&g, &in_set_of(&st1)).unwrap();
+
+            let mut st2 = vec![UNDECIDED; n];
+            luby_extend_bsp(&g, EdgeView::full(), &mut st2, None, trial, &BspExecutor::new());
+            check_maximal_independent_set(&g, &in_set_of(&st2)).unwrap();
+
+            let mut st3 = vec![UNDECIDED; n];
+            luby_extend_compacted(&g, EdgeView::full(), &mut st3, None, trial, &Counters::new());
+            check_maximal_independent_set(&g, &in_set_of(&st3)).unwrap();
+        }
+    }
+
+    #[test]
+    fn classic_needs_more_rounds_than_local_min() {
+        // The published baseline's cost driver: classic 1/(2d) marking
+        // converges in visibly more rounds than the modern local-minimum
+        // rule on the same graph.
+        let n = 4096u32;
+        let g = from_edge_list(n as usize, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let c_classic = Counters::new();
+        let mut a = vec![UNDECIDED; n as usize];
+        luby_extend(&g, EdgeView::full(), &mut a, None, 9, &c_classic);
+        check_maximal_independent_set(&g, &in_set_of(&a)).unwrap();
+        let c_modern = Counters::new();
+        let mut b = vec![UNDECIDED; n as usize];
+        luby_extend_compacted(&g, EdgeView::full(), &mut b, None, 9, &c_modern);
+        check_maximal_independent_set(&g, &in_set_of(&b)).unwrap();
+        assert!(
+            c_classic.rounds() > c_modern.rounds(),
+            "classic {} rounds vs local-min {}",
+            c_classic.rounds(),
+            c_modern.rounds()
+        );
+    }
+
+    #[test]
+    fn extends_partial_solution() {
+        let g = from_edge_list(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut st = vec![UNDECIDED; 5];
+        st[0] = IN;
+        st[1] = OUT;
+        luby_extend(&g, EdgeView::full(), &mut st, None, 9, &Counters::new());
+        check_maximal_independent_set(&g, &in_set_of(&st)).unwrap();
+        assert_eq!(st[0], IN, "pre-decided vertices untouched");
+    }
+
+    #[test]
+    fn full_sweep_cost_reflects_whole_graph() {
+        // The whole point: every round charges n work items even when only
+        // a few vertices remain undecided.
+        let g = from_edge_list(100, &(0..99u32).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let c = Counters::new();
+        let mut st = vec![UNDECIDED; 100];
+        luby_extend(&g, EdgeView::full(), &mut st, None, 4, &c);
+        let s = c.snapshot();
+        assert!(s.work_items >= 2 * 100 * s.rounds);
+    }
+}

@@ -1,0 +1,84 @@
+//! Maximal independent set (Section V of the paper).
+//!
+//! Baselines: [`luby`] (Algorithm LubyMIS — fresh random priorities each
+//! round; worklist form for the CPU, flat-kernel form for the GPU-sim
+//! executor) and [`greedy`] (the Blelloch et al. parallelized greedy with
+//! static priorities, kept as an ablation).
+//!
+//! [`oriented`] implements the bounded-degree MIS used by MIS-Deg2 on the
+//! degree-≤2 subgraph: deterministic Cole–Vishkin color reduction over the
+//! vertex-id orientation (the documented substitute for Kothapalli &
+//! Pindiproli \[21\]; the paper likewise uses "the vertex numbers to induce
+//! the required orientation").
+//!
+//! Composites ([`decomp`]): MIS-Bridge, MIS-Rand, MIS-Deg2 (Algorithms
+//! 10–12), including the paper's sparser-side-first ordering heuristic.
+
+pub mod decomp;
+pub mod greedy;
+pub mod luby;
+pub mod oriented;
+
+use crate::common::{Arch, RunStats};
+use sb_graph::csr::Graph;
+
+/// Vertex status during MIS construction.
+pub mod status {
+    /// Not yet decided.
+    pub const UNDECIDED: u8 = 0;
+    /// In the independent set.
+    pub const IN: u8 = 1;
+    /// Excluded (has a neighbor in the set).
+    pub const OUT: u8 = 2;
+}
+
+/// Which MIS algorithm to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MisAlgorithm {
+    /// LubyMIS on the whole graph (the paper's baseline on both archs).
+    Baseline,
+    /// MIS-Bridge (Algorithm 10).
+    Bridge,
+    /// MIS-Rand (Algorithm 11) with the given partition count.
+    Rand {
+        /// Number of RAND partitions.
+        partitions: usize,
+    },
+    /// MIS-Degk (Algorithm 12; the paper uses k = 2). For k ≤ 2 the low
+    /// subgraph is solved with the oriented bounded-degree algorithm,
+    /// otherwise with Luby.
+    Degk {
+        /// Degree threshold.
+        k: usize,
+    },
+    /// MIS-Bicc (extension): solve the block interiors (non-articulation
+    /// vertices) first, then extend. Not part of the paper's evaluated set.
+    Bicc,
+}
+
+/// Result of an MIS run.
+#[derive(Debug, Clone)]
+pub struct MisRun {
+    /// Membership flags.
+    pub in_set: Vec<bool>,
+    /// Timing and counters.
+    pub stats: RunStats,
+}
+
+impl MisRun {
+    /// Number of vertices in the independent set.
+    pub fn size(&self) -> usize {
+        self.in_set.iter().filter(|&&b| b).count()
+    }
+}
+
+/// Run an MIS algorithm on `g`.
+pub fn maximal_independent_set(g: &Graph, algo: MisAlgorithm, arch: Arch, seed: u64) -> MisRun {
+    match algo {
+        MisAlgorithm::Baseline => decomp::baseline_run(g, arch, seed),
+        MisAlgorithm::Bridge => decomp::mis_bridge(g, arch, seed),
+        MisAlgorithm::Rand { partitions } => decomp::mis_rand(g, partitions, arch, seed),
+        MisAlgorithm::Degk { k } => decomp::mis_degk(g, k, arch, seed),
+        MisAlgorithm::Bicc => decomp::mis_bicc(g, arch, seed),
+    }
+}

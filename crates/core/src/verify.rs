@@ -1,0 +1,175 @@
+//! Independent solution verifiers.
+//!
+//! These deliberately share no code with the solvers: each checks the
+//! textbook definition directly against the graph. Tests and the bench
+//! harness verify every solution they produce.
+
+use sb_graph::csr::{Graph, VertexId, INVALID};
+use rayon::prelude::*;
+
+/// Check that `mate` encodes a matching of `g`: symmetric, self-avoiding,
+/// and every matched pair is an actual edge.
+pub fn check_matching(g: &Graph, mate: &[u32]) -> Result<(), String> {
+    if mate.len() != g.num_vertices() {
+        return Err("mate array length mismatch".into());
+    }
+    for v in g.vertices() {
+        let m = mate[v as usize];
+        if m == INVALID {
+            continue;
+        }
+        if m as usize >= g.num_vertices() {
+            return Err(format!("vertex {v} matched to out-of-range {m}"));
+        }
+        if m == v {
+            return Err(format!("vertex {v} matched to itself"));
+        }
+        if mate[m as usize] != v {
+            return Err(format!("matching not symmetric at ({v}, {m})"));
+        }
+        if !g.has_edge(v, m) {
+            return Err(format!("matched pair ({v}, {m}) is not an edge"));
+        }
+    }
+    Ok(())
+}
+
+/// Check that the matching is maximal: no edge has both endpoints unmatched.
+pub fn check_maximal_matching(g: &Graph, mate: &[u32]) -> Result<(), String> {
+    check_matching(g, mate)?;
+    let offender = g
+        .edge_list()
+        .par_iter()
+        .find_any(|&&[u, v]| mate[u as usize] == INVALID && mate[v as usize] == INVALID);
+    match offender {
+        Some(&[u, v]) => Err(format!("edge ({u}, {v}) could extend the matching")),
+        None => Ok(()),
+    }
+}
+
+/// Number of matched edges in a mate array.
+pub fn matching_cardinality(mate: &[u32]) -> usize {
+    mate.iter().filter(|&&m| m != INVALID).count() / 2
+}
+
+/// Check that `color` is a proper coloring: every vertex colored, no edge
+/// monochromatic.
+pub fn check_coloring(g: &Graph, color: &[u32]) -> Result<(), String> {
+    if color.len() != g.num_vertices() {
+        return Err("color array length mismatch".into());
+    }
+    if let Some(v) = (0..g.num_vertices()).find(|&v| color[v] == INVALID) {
+        return Err(format!("vertex {v} uncolored"));
+    }
+    let offender = g
+        .edge_list()
+        .par_iter()
+        .find_any(|&&[u, v]| color[u as usize] == color[v as usize]);
+    match offender {
+        Some(&[u, v]) => Err(format!(
+            "edge ({u}, {v}) monochromatic with color {}",
+            color[u as usize]
+        )),
+        None => Ok(()),
+    }
+}
+
+/// Number of distinct colors used.
+pub fn color_count(color: &[u32]) -> usize {
+    let mut cs: Vec<u32> = color.iter().copied().filter(|&c| c != INVALID).collect();
+    cs.sort_unstable();
+    cs.dedup();
+    cs.len()
+}
+
+/// Check that `in_set` is an independent set of `g`.
+pub fn check_independent_set(g: &Graph, in_set: &[bool]) -> Result<(), String> {
+    if in_set.len() != g.num_vertices() {
+        return Err("membership array length mismatch".into());
+    }
+    let offender = g
+        .edge_list()
+        .par_iter()
+        .find_any(|&&[u, v]| in_set[u as usize] && in_set[v as usize]);
+    match offender {
+        Some(&[u, v]) => Err(format!("adjacent vertices {u} and {v} both in set")),
+        None => Ok(()),
+    }
+}
+
+/// Check maximality: every vertex is in the set or has a neighbor in it.
+pub fn check_maximal_independent_set(g: &Graph, in_set: &[bool]) -> Result<(), String> {
+    check_independent_set(g, in_set)?;
+    let uncovered = (0..g.num_vertices() as VertexId)
+        .into_par_iter()
+        .find_any(|&v| {
+            !in_set[v as usize] && !g.neighbors(v).iter().any(|&w| in_set[w as usize])
+        });
+    match uncovered {
+        Some(v) => Err(format!("vertex {v} could join the independent set")),
+        None => Ok(()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_graph::builder::from_edge_list;
+
+    fn path4() -> Graph {
+        from_edge_list(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn matching_checks() {
+        let g = path4();
+        let good = vec![1, 0, 3, 2];
+        check_maximal_matching(&g, &good).unwrap();
+        assert_eq!(matching_cardinality(&good), 2);
+
+        // Not symmetric.
+        assert!(check_matching(&g, &[1, INVALID, INVALID, INVALID]).is_err());
+        // Not an edge.
+        assert!(check_matching(&g, &[3, INVALID, INVALID, 0]).is_err());
+        // Valid but not maximal: edge (2,3) free... only edge (0,1) matched.
+        let not_max = vec![1, 0, INVALID, INVALID];
+        check_matching(&g, &not_max).unwrap();
+        assert!(check_maximal_matching(&g, &not_max).is_err());
+        // Self-match.
+        assert!(check_matching(&g, &[0, INVALID, INVALID, INVALID]).is_err());
+        // Empty matching on edgeless graph is maximal.
+        let e = Graph::empty(3);
+        check_maximal_matching(&e, &[INVALID; 3]).unwrap();
+    }
+
+    #[test]
+    fn coloring_checks() {
+        let g = path4();
+        check_coloring(&g, &[0, 1, 0, 1]).unwrap();
+        assert_eq!(color_count(&[0, 1, 0, 1]), 2);
+        // Monochromatic edge.
+        assert!(check_coloring(&g, &[0, 0, 1, 0]).is_err());
+        // Uncolored vertex.
+        assert!(check_coloring(&g, &[0, 1, INVALID, 1]).is_err());
+        // Wasteful but proper coloring passes; count reflects it.
+        check_coloring(&g, &[0, 1, 2, 3]).unwrap();
+        assert_eq!(color_count(&[0, 1, 2, 3]), 4);
+    }
+
+    #[test]
+    fn independent_set_checks() {
+        let g = path4();
+        let mis = vec![true, false, true, false];
+        check_maximal_independent_set(&g, &mis).unwrap();
+        // Adjacent pair in set.
+        assert!(check_independent_set(&g, &[true, true, false, false]).is_err());
+        // Independent but not maximal (vertex 3 could join {0}).
+        let not_max = vec![true, false, false, false];
+        check_independent_set(&g, &not_max).unwrap();
+        assert!(check_maximal_independent_set(&g, &not_max).is_err());
+        // Isolated vertices must be in any maximal set.
+        let e = Graph::empty(2);
+        assert!(check_maximal_independent_set(&e, &[true, false]).is_err());
+        check_maximal_independent_set(&e, &[true, true]).unwrap();
+    }
+}

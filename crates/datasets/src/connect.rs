@@ -1,0 +1,85 @@
+//! Connectivity augmentation.
+//!
+//! The paper notes: "For graphs that are not connected, we add additional
+//! edges to make the graph connected." This module does the same: find the
+//! components and chain their representatives together, adding exactly
+//! `count − 1` edges.
+
+use sb_graph::builder::GraphBuilder;
+use sb_graph::components::components_sequential;
+use sb_graph::csr::Graph;
+
+/// Return `g` if already connected; otherwise a copy with `components − 1`
+/// extra edges attaching every component's representative to the largest
+/// component's representative (a star, so the augmentation does not
+/// manufacture long paths — a chain of the thousands of isolated vertices
+/// a small-scale Kronecker graph has would distort the diameter and the
+/// degree-≤2 structure the study depends on).
+pub fn make_connected(g: &Graph) -> Graph {
+    let comps = components_sequential(g, None);
+    if comps.count <= 1 {
+        return g.clone();
+    }
+    // Representative of the largest component becomes the hub.
+    let mut sizes = std::collections::HashMap::<u32, usize>::new();
+    for &l in &comps.label {
+        *sizes.entry(l).or_insert(0) += 1;
+    }
+    let hub = *sizes.iter().max_by_key(|&(_, &c)| c).unwrap().0;
+    let mut reps: Vec<u32> = comps.label.clone();
+    reps.sort_unstable();
+    reps.dedup();
+    let mut b = GraphBuilder::new(g.num_vertices());
+    for &[u, v] in g.edge_list() {
+        b.push(u, v);
+    }
+    for &r in &reps {
+        if r != hub {
+            b.push(hub, r);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_graph::builder::from_edge_list;
+
+    #[test]
+    fn already_connected_is_unchanged() {
+        let g = from_edge_list(4, &[(0, 1), (1, 2), (2, 3)]);
+        let c = make_connected(&g);
+        assert_eq!(g, c);
+    }
+
+    #[test]
+    fn connects_components_with_minimum_edges() {
+        let g = from_edge_list(6, &[(0, 1), (2, 3), (4, 5)]);
+        let c = make_connected(&g);
+        assert_eq!(c.num_edges(), g.num_edges() + 2);
+        assert_eq!(components_sequential(&c, None).count, 1);
+    }
+
+    #[test]
+    fn isolated_vertices_get_linked() {
+        let g = Graph::empty(5);
+        let c = make_connected(&g);
+        assert_eq!(components_sequential(&c, None).count, 1);
+        assert_eq!(c.num_edges(), 4);
+    }
+
+    #[test]
+    fn augmentation_is_a_star_not_a_chain() {
+        // One real component + many singletons: the singletons must attach
+        // to the big component's representative, keeping the diameter O(1)
+        // instead of O(#components).
+        let mut edges = vec![(0u32, 1u32), (1, 2), (2, 0)];
+        edges.push((0, 3)); // make component {0,1,2,3} the largest
+        let g = from_edge_list(40, &edges);
+        let c = make_connected(&g);
+        assert_eq!(components_sequential(&c, None).count, 1);
+        let diam = sb_graph::bfs::pseudo_diameter(&c, 0, &sb_par::counters::Counters::new());
+        assert!(diam <= 4, "star augmentation keeps diameter small, got {diam}");
+    }
+}

@@ -1,0 +1,145 @@
+//! Random geometric graphs — stand-ins for `rgg-n-2-23-s0` / `rgg-n-2-24-s0`.
+//!
+//! `n` points uniform in the unit square, an edge between every pair at
+//! distance ≤ r. With `r = sqrt(target_degree / (π n))` the expected degree
+//! is `target_degree`. RGGs have essentially no degree-≤2 vertices and no
+//! bridges at degree 15 — the properties Table II reports (0% / 0%) and that
+//! make the paper's Deg2-based algorithms gain nothing on them.
+
+use rayon::prelude::*;
+use sb_graph::builder::GraphBuilder;
+use sb_graph::csr::Graph;
+use sb_par::rng::{hash2, unit_f64};
+
+/// Generate a random geometric graph with expected average degree
+/// `target_degree`.
+///
+/// Vertices are numbered in spatial (grid-row) order, as in the SuiteSparse
+/// `rgg-n-2-*` files: geometric neighbors then have nearby ids, which is
+/// what makes Algorithm GM's lowest-id proposal chains — the paper's
+/// ~14,000-iteration *vain tendency* on these instances — reproducible.
+pub fn rgg_2d(n: usize, target_degree: f64, seed: u64) -> Graph {
+    assert!(n > 0);
+    let r = (target_degree / (std::f64::consts::PI * n as f64)).sqrt();
+    let mut pts: Vec<(f64, f64)> = (0..n)
+        .into_par_iter()
+        .map(|i| {
+            (
+                unit_f64(hash2(seed, 2 * i as u64)),
+                unit_f64(hash2(seed, 2 * i as u64 + 1)),
+            )
+        })
+        .collect();
+    // Spatial numbering: sort by grid row, then x.
+    pts.par_sort_unstable_by(|a, b| {
+        let row = |p: &(f64, f64)| (p.1 / r) as i64;
+        (row(a), a.0, a.1)
+            .partial_cmp(&(row(b), b.0, b.1))
+            .unwrap()
+    });
+
+    // Bucket points into a grid of cell size r; neighbors live in the 3×3
+    // cell neighborhood.
+    let cells = ((1.0 / r).floor() as usize).clamp(1, 1 << 12);
+    let cell_of = |p: (f64, f64)| -> (usize, usize) {
+        let cx = ((p.0 * cells as f64) as usize).min(cells - 1);
+        let cy = ((p.1 * cells as f64) as usize).min(cells - 1);
+        (cx, cy)
+    };
+    let mut buckets: Vec<Vec<u32>> = vec![Vec::new(); cells * cells];
+    for (i, &p) in pts.iter().enumerate() {
+        let (cx, cy) = cell_of(p);
+        buckets[cy * cells + cx].push(i as u32);
+    }
+
+    let r2 = r * r;
+    let edges: Vec<(u32, u32)> = (0..n)
+        .into_par_iter()
+        .flat_map_iter(|i| {
+            let (x, y) = pts[i];
+            let (cx, cy) = cell_of((x, y));
+            let xlo = cx.saturating_sub(1);
+            let xhi = (cx + 1).min(cells - 1);
+            let ylo = cy.saturating_sub(1);
+            let yhi = (cy + 1).min(cells - 1);
+            let mut local = Vec::new();
+            for by in ylo..=yhi {
+                for bx in xlo..=xhi {
+                    for &j in &buckets[by * cells + bx] {
+                        if (j as usize) <= i {
+                            continue;
+                        }
+                        let (px, py) = pts[j as usize];
+                        let (dx, dy) = (px - x, py - y);
+                        if dx * dx + dy * dy <= r2 {
+                            local.push((i as u32, j));
+                        }
+                    }
+                }
+            }
+            local
+        })
+        .collect();
+
+    GraphBuilder::new(n).edges(edges).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_graph::stats::GraphStats;
+
+    #[test]
+    fn average_degree_near_target() {
+        let g = rgg_2d(20_000, 15.0, 42);
+        let s = GraphStats::compute(&g);
+        // Boundary effects pull the realized mean slightly below target.
+        assert!(
+            s.avg_degree > 11.0 && s.avg_degree < 16.5,
+            "avg degree {}",
+            s.avg_degree
+        );
+    }
+
+    #[test]
+    fn almost_no_low_degree_vertices() {
+        let g = rgg_2d(20_000, 15.0, 7);
+        let s = GraphStats::compute(&g);
+        assert!(s.pct_deg_le2 < 2.0, "%deg2 = {}", s.pct_deg_le2);
+    }
+
+    #[test]
+    fn vertex_ids_are_spatially_ordered() {
+        // Spatial numbering ⇒ geometric neighbors have nearby ids: the
+        // median id gap across edges must be a tiny fraction of n.
+        let n = 20_000usize;
+        let g = rgg_2d(n, 15.0, 3);
+        let mut gaps: Vec<u32> = g
+            .edge_list()
+            .iter()
+            .map(|&[u, v]| v - u)
+            .collect();
+        gaps.sort_unstable();
+        let median = gaps[gaps.len() / 2] as f64;
+        assert!(
+            median < n as f64 * 0.02,
+            "median neighbor id gap {median} too large for spatial order"
+        );
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = rgg_2d(3_000, 10.0, 5);
+        let b = rgg_2d(3_000, 10.0, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tiny_instances_work() {
+        let g = rgg_2d(1, 5.0, 1);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+        let g = rgg_2d(10, 3.0, 1);
+        g.validate().unwrap();
+    }
+}

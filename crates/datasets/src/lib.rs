@@ -1,0 +1,36 @@
+//! Synthetic stand-ins for the paper's Table II dataset.
+//!
+//! The original study uses twelve SuiteSparse graphs (up to 265 M edges).
+//! This crate generates a same-shaped suite at laptop scale: one generator
+//! per graph *class*, each tuned so the statistics the paper reports — and
+//! that drive its results — land in the right band: the fraction of
+//! degree-≤2 vertices (%DEG2), the fraction of bridge edges (%BRIDGES), the
+//! average degree, and the diameter class. See DESIGN.md §2 for the
+//! substitution argument, and the tests in [`suite`] for the per-graph
+//! validation bands.
+//!
+//! Real SuiteSparse files drop in transparently: point
+//! [`suite::load_or_generate`] at a directory of `.mtx` files named after
+//! the Table II graphs and they will be used instead of the generators.
+//!
+//! Generator modules:
+//! * [`geometric`] — random geometric graphs (`rgg-n-2-23-s0`, `rgg-n-2-24-s0`).
+//! * [`rmat`] — R-MAT/Kronecker graphs (`kron-g500-logn20/21`).
+//! * [`road`] — subdivided sparse meshes (`germany-osm`, `road-central`).
+//! * [`attach`] — preferential-attachment and copying-model graphs
+//!   (`Cit-Patents`, `coAuthorsCiteseer`, `web-Google`, `webbase-1M`).
+//! * [`structured`] — the hub-and-chain `lp1` and core-plus-pendant `c-73`
+//!   shapes from numerical-simulation matrices.
+//! * [`connect`] — connectivity augmentation (the paper adds edges to make
+//!   each graph connected).
+//! * [`suite`] — the dataset registry with paper-reported reference values.
+
+pub mod attach;
+pub mod connect;
+pub mod geometric;
+pub mod rmat;
+pub mod road;
+pub mod structured;
+pub mod suite;
+
+pub use suite::{DatasetSpec, GraphId, PaperStats, Scale};

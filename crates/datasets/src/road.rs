@@ -1,0 +1,224 @@
+//! Road-network stand-ins for `germany-osm` / `road-central`.
+//!
+//! Road networks are near-planar, have average degree ≈ 2.1–2.4, an enormous
+//! diameter, a large fraction of degree-2 vertices (polyline subdivision
+//! points), and 20–25% bridge edges. The generator reproduces exactly that
+//! recipe: a sparse 2-D lattice with a fraction of its links deleted, whose
+//! remaining links are then subdivided into polylines of random length.
+
+use rayon::prelude::*;
+use sb_graph::builder::GraphBuilder;
+use sb_graph::csr::Graph;
+use sb_par::rng::{hash2, hash3, unit_f64};
+
+/// Parameters for the road generator.
+#[derive(Debug, Clone, Copy)]
+pub struct RoadParams {
+    /// Lattice width (junction grid is `width × height`).
+    pub width: usize,
+    /// Lattice height.
+    pub height: usize,
+    /// Fraction of lattice links deleted before subdivision (creates dead
+    /// ends and bridges).
+    pub delete_frac: f64,
+    /// Mean number of interior degree-2 vertices per link (polyline
+    /// subdivision). Non-integer means are realized as
+    /// `floor(mean) + Bernoulli(frac(mean))`.
+    pub mean_subdivision: f64,
+    /// Fraction of junctions that grow a pendant dead-end street (a
+    /// subdivided chain). Dead-end edges are bridges — road networks owe
+    /// their 20–25% bridge share (Table II) to exactly these.
+    pub pendant_frac: f64,
+}
+
+/// Generate a road-like graph. Final vertex count is
+/// `width × height + (interior subdivision points)`.
+pub fn road_like(p: RoadParams, seed: u64) -> Graph {
+    let RoadParams {
+        width: w,
+        height: h,
+        delete_frac,
+        mean_subdivision,
+        pendant_frac,
+    } = p;
+    let id = |x: usize, y: usize| (y * w + x) as u32;
+
+    // Lattice links that survive deletion.
+    let mut links: Vec<(u32, u32)> = Vec::new();
+    let mut link_no = 0u64;
+    for y in 0..h {
+        for x in 0..w {
+            for (nx, ny) in [(x + 1, y), (x, y + 1)] {
+                if nx < w && ny < h {
+                    link_no += 1;
+                    if unit_f64(hash2(seed, link_no)) >= delete_frac {
+                        links.push((id(x, y), id(nx, ny)));
+                    }
+                }
+            }
+        }
+    }
+
+    // Dead-end streets: selected junctions grow one pendant link, which the
+    // subdivision below turns into a chain.
+    let mut pendant_heads = 0u32;
+    for j in 0..(w * h) as u32 {
+        if unit_f64(hash3(seed ^ 0x77, 2, j as u64)) < pendant_frac {
+            links.push((j, u32::MAX - pendant_heads)); // placeholder head id
+            pendant_heads += 1;
+        }
+    }
+
+    // Subdivision: link i gets t_i interior vertices; allocate their ids with
+    // a scan so generation stays deterministic and parallel.
+    let whole = mean_subdivision.floor() as usize;
+    let frac = mean_subdivision - mean_subdivision.floor();
+    let ts: Vec<usize> = links
+        .par_iter()
+        .enumerate()
+        .map(|(i, _)| {
+            whole + usize::from(unit_f64(hash3(seed ^ 0x5D, 1, i as u64)) < frac)
+        })
+        .collect();
+    let (starts, extra) = sb_par::prim::exclusive_scan_vec(&ts);
+    let base = w * h;
+    // Pendant heads get real ids after the subdivision block.
+    let n = base + extra + pendant_heads as usize;
+    let head_base = (base + extra) as u32;
+    let links: Vec<(u32, u32)> = links
+        .into_iter()
+        .map(|(u, v)| {
+            if v > u32::MAX - pendant_heads {
+                (u, head_base + (u32::MAX - v))
+            } else {
+                (u, v)
+            }
+        })
+        .collect();
+
+    let edges: Vec<(u32, u32)> = links
+        .par_iter()
+        .zip(ts.par_iter())
+        .zip(starts.par_iter())
+        .flat_map_iter(|((&(u, v), &t), &s)| {
+            let mut path = Vec::with_capacity(t + 1);
+            let mut prev = u;
+            for j in 0..t {
+                let mid = (base + s + j) as u32;
+                path.push((prev, mid));
+                prev = mid;
+            }
+            path.push((prev, v));
+            path
+        })
+        .collect();
+
+    GraphBuilder::new(n).edges(edges).build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_graph::stats::GraphStats;
+
+    #[test]
+    fn germany_shape_high_deg2_low_avg() {
+        let g = road_like(
+            RoadParams {
+                width: 60,
+                height: 60,
+                delete_frac: 0.25,
+                mean_subdivision: 3.0,
+                pendant_frac: 0.0,
+            },
+            1,
+        );
+        let s = GraphStats::compute(&g);
+        assert!(
+            s.pct_deg_le2 > 70.0,
+            "subdivided road should be mostly degree ≤ 2, got {}",
+            s.pct_deg_le2
+        );
+        assert!(s.avg_degree > 1.7 && s.avg_degree < 2.6, "avg {}", s.avg_degree);
+    }
+
+    #[test]
+    fn no_subdivision_keeps_lattice_size() {
+        let g = road_like(
+            RoadParams {
+                width: 10,
+                height: 10,
+                delete_frac: 0.0,
+                mean_subdivision: 0.0,
+                pendant_frac: 0.0,
+            },
+            2,
+        );
+        assert_eq!(g.num_vertices(), 100);
+        assert_eq!(g.num_edges(), 2 * 10 * 9);
+    }
+
+    #[test]
+    fn subdivision_preserves_path_connectivity() {
+        // With no deletion the subdivided lattice must stay connected.
+        let g = road_like(
+            RoadParams {
+                width: 8,
+                height: 8,
+                delete_frac: 0.0,
+                mean_subdivision: 1.5,
+                pendant_frac: 0.0,
+            },
+            3,
+        );
+        let c = sb_graph::components::components_sequential(&g, None);
+        assert_eq!(c.count, 1);
+    }
+
+    #[test]
+    fn interior_vertices_have_degree_two() {
+        let g = road_like(
+            RoadParams {
+                width: 6,
+                height: 6,
+                delete_frac: 0.0,
+                mean_subdivision: 2.0,
+                pendant_frac: 0.0,
+            },
+            4,
+        );
+        for v in 36..g.num_vertices() {
+            assert_eq!(g.degree(v as u32), 2, "subdivision vertex {v}");
+        }
+    }
+
+    #[test]
+    fn pendants_create_bridges() {
+        let g = road_like(
+            RoadParams {
+                width: 30,
+                height: 30,
+                delete_frac: 0.1,
+                mean_subdivision: 0.5,
+                pendant_frac: 0.4,
+            },
+            5,
+        );
+        let bridges =
+            sb_decompose::bridge::find_bridges(&g, &sb_par::counters::Counters::new());
+        let pct = 100.0 * bridges.len() as f64 / g.num_edges() as f64;
+        assert!(pct > 10.0, "%bridges {pct} too low with pendants");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let p = RoadParams {
+            width: 12,
+            height: 12,
+            delete_frac: 0.2,
+            mean_subdivision: 2.0,
+            pendant_frac: 0.0,
+        };
+        assert_eq!(road_like(p, 9), road_like(p, 9));
+    }
+}

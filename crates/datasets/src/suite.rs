@@ -1,0 +1,385 @@
+//! The dataset registry: twelve stand-ins for the Table II suite.
+//!
+//! Every entry carries the statistics the paper reports for the real graph
+//! (`PaperStats`) so benches can print paper-vs-measured side by side, and a
+//! generator configuration tuned to land in the same shape bands at a
+//! laptop-scale vertex budget. All generated graphs are made connected, as
+//! the paper does with its inputs.
+
+use crate::attach::{attach_graph, AttachParams};
+use crate::connect::make_connected;
+use crate::geometric::rgg_2d;
+use crate::rmat::{rmat, RmatParams};
+use crate::road::{road_like, RoadParams};
+use crate::structured::{core_with_pendants, hub_and_chains, CorePendantParams, HubChainParams};
+use sb_graph::csr::Graph;
+use std::path::Path;
+
+/// Identifier of a Table II graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GraphId {
+    /// `c-73` — numerical simulation.
+    C73,
+    /// `lp1` — numerical simulation (LP basis).
+    Lp1,
+    /// `Cit-Patents` — citation network.
+    CitPatents,
+    /// `coAuthorsCiteseer` — collaboration network.
+    CoAuthorsCiteseer,
+    /// `germany-osm` — road network.
+    GermanyOsm,
+    /// `road-central` — road network.
+    RoadCentral,
+    /// `kron-g500-logn20` — synthetic Kronecker.
+    KronLogn20,
+    /// `kron-g500-logn21` — synthetic Kronecker.
+    KronLogn21,
+    /// `rgg-n-2-23-s0` — random geometric.
+    Rgg23,
+    /// `rgg-n-2-24-s0` — random geometric.
+    Rgg24,
+    /// `web-Google` — web graph.
+    WebGoogle,
+    /// `webbase-1M` — web graph.
+    Webbase1M,
+}
+
+impl GraphId {
+    /// All twelve graphs in Table II order.
+    pub const ALL: [GraphId; 12] = [
+        GraphId::C73,
+        GraphId::Lp1,
+        GraphId::CitPatents,
+        GraphId::CoAuthorsCiteseer,
+        GraphId::GermanyOsm,
+        GraphId::RoadCentral,
+        GraphId::KronLogn20,
+        GraphId::KronLogn21,
+        GraphId::Rgg23,
+        GraphId::Rgg24,
+        GraphId::WebGoogle,
+        GraphId::Webbase1M,
+    ];
+}
+
+/// Statistics of the real graph as reported in Table II.
+#[derive(Debug, Clone, Copy)]
+pub struct PaperStats {
+    /// |V| of the real graph.
+    pub num_vertices: usize,
+    /// |E| of the real graph.
+    pub num_edges: usize,
+    /// %DEG2 column (percentage of vertices with degree ≤ 2).
+    pub pct_deg2: f64,
+    /// %BRIDGES column (percentage of edges that are bridges).
+    pub pct_bridges: f64,
+    /// Average degree column.
+    pub avg_degree: f64,
+}
+
+/// A registry entry: names, class, paper statistics.
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetSpec {
+    /// Which graph.
+    pub id: GraphId,
+    /// Graph name as in Table II.
+    pub name: &'static str,
+    /// Graph class row label.
+    pub class: &'static str,
+    /// Table II values for the real graph.
+    pub paper: PaperStats,
+}
+
+/// Size multiplier for the generated stand-ins.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Scale {
+    /// ≈ 5% of default — for unit/integration tests.
+    Tiny,
+    /// The default laptop-scale budget (10⁴–10⁵ vertices per graph).
+    Default,
+    /// Arbitrary multiplier on the default vertex budget.
+    Factor(f64),
+}
+
+impl Scale {
+    fn factor(self) -> f64 {
+        match self {
+            Scale::Tiny => 0.05,
+            Scale::Default => 1.0,
+            Scale::Factor(f) => f,
+        }
+    }
+}
+
+/// Look up the registry entry for `id`.
+pub fn spec(id: GraphId) -> DatasetSpec {
+    use GraphId::*;
+    let s = |id, name, class, v, e, d2, br, avg| DatasetSpec {
+        id,
+        name,
+        class,
+        paper: PaperStats {
+            num_vertices: v,
+            num_edges: e,
+            pct_deg2: d2,
+            pct_bridges: br,
+            avg_degree: avg,
+        },
+    };
+    match id {
+        C73 => s(id, "c-73", "Numerical simulations", 169_422, 1_109_852, 48.7, 14.9, 6.6),
+        Lp1 => s(id, "lp1", "Numerical simulations", 534_388, 1_109_032, 93.8, 92.7, 2.1),
+        CitPatents => s(id, "Cit-Patents", "Collaboration", 3_774_768, 33_045_146, 28.06, 4.1, 8.8),
+        CoAuthorsCiteseer => s(
+            id,
+            "coAuthorsCiteseer",
+            "Collaboration",
+            227_320,
+            1_628_268,
+            28.97,
+            3.7,
+            7.2,
+        ),
+        GermanyOsm => s(id, "germany-osm", "Road", 11_548_845, 24_738_362, 82.27, 19.9, 2.1),
+        RoadCentral => s(id, "road-central", "Road", 14_081_816, 33_866_826, 50.91, 25.0, 2.4),
+        KronLogn20 => s(
+            id,
+            "kron-g500-logn20",
+            "Synthetic",
+            1_048_576,
+            89_238_804,
+            42.1,
+            0.3,
+            85.1,
+        ),
+        KronLogn21 => s(
+            id,
+            "kron-g500-logn21",
+            "Synthetic",
+            2_097_152,
+            182_081_864,
+            44.59,
+            0.3,
+            86.8,
+        ),
+        Rgg23 => s(
+            id,
+            "rgg-n-2-23-s0",
+            "Random geometric",
+            8_388_608,
+            127_002_794,
+            0.0,
+            0.0,
+            15.1,
+        ),
+        Rgg24 => s(
+            id,
+            "rgg-n-2-24-s0",
+            "Random geometric",
+            16_777_216,
+            265_114_402,
+            0.0,
+            0.0,
+            15.8,
+        ),
+        WebGoogle => s(id, "web-Google", "Web", 916_428, 10_296_998, 30.67, 4.0, 11.2),
+        Webbase1M => s(id, "webbase-1M", "Web", 1_000_005, 4_216_602, 87.35, 38.3, 4.2),
+    }
+}
+
+/// Generate the stand-in for `id` at the given scale; always connected.
+pub fn generate(id: GraphId, scale: Scale, seed: u64) -> Graph {
+    let f = scale.factor();
+    let sz = |base: usize| ((base as f64 * f) as usize).max(64);
+    let dim = |base: usize| ((base as f64 * f.sqrt()) as usize).max(8);
+    use GraphId::*;
+    let g = match id {
+        C73 => core_with_pendants(
+            CorePendantParams {
+                n: sz(24_000),
+                core_frac: 0.52,
+                core_degree: 11.0,
+                max_chain: 2,
+            },
+            seed,
+        ),
+        Lp1 => hub_and_chains(
+            HubChainParams {
+                n: sz(50_000),
+                hub_every: 30,
+                max_chain: 3,
+                chord_frac: 0.012,
+            },
+            seed,
+        ),
+        CitPatents => attach_graph(
+            AttachParams {
+                n: sz(40_000),
+                p_low: 0.40,
+                m_high: 7,
+                uniform_mix: 0.05,
+                low_vertices_attract: false,
+            },
+            seed,
+        ),
+        CoAuthorsCiteseer => attach_graph(
+            AttachParams {
+                n: sz(25_000),
+                p_low: 0.40,
+                m_high: 6,
+                uniform_mix: 0.05,
+                low_vertices_attract: false,
+            },
+            seed,
+        ),
+        GermanyOsm => road_like(
+            RoadParams {
+                width: dim(90),
+                height: dim(90),
+                delete_frac: 0.22,
+                mean_subdivision: 2.5,
+                pendant_frac: 0.55,
+            },
+            seed,
+        ),
+        RoadCentral => road_like(
+            RoadParams {
+                width: dim(120),
+                height: dim(120),
+                delete_frac: 0.30,
+                mean_subdivision: 0.25,
+                pendant_frac: 0.45,
+            },
+            seed,
+        ),
+        KronLogn20 => rmat(kron_scale(14, f), 64, RmatParams::GRAPH500, seed),
+        KronLogn21 => rmat(kron_scale(15, f), 66, RmatParams::GRAPH500, seed),
+        Rgg23 => rgg_2d(sz(60_000), 15.1, seed),
+        Rgg24 => rgg_2d(sz(90_000), 15.8, seed),
+        WebGoogle => attach_graph(
+            AttachParams {
+                n: sz(40_000),
+                p_low: 0.42,
+                m_high: 10,
+                uniform_mix: 0.08,
+                low_vertices_attract: false,
+            },
+            seed,
+        ),
+        Webbase1M => attach_graph(
+            AttachParams {
+                n: sz(45_000),
+                p_low: 0.88,
+                m_high: 12,
+                uniform_mix: 0.03,
+                low_vertices_attract: false,
+            },
+            seed,
+        ),
+    };
+    make_connected(&g)
+}
+
+/// Adjust an R-MAT scale exponent by a size factor (log2 steps).
+fn kron_scale(base: u32, f: f64) -> u32 {
+    let shift = f.log2().round() as i32;
+    (base as i32 + shift).clamp(6, 24) as u32
+}
+
+/// Use a real SuiteSparse `.mtx` file from `dir` when present (named
+/// `<name>.mtx`), otherwise generate the stand-in.
+pub fn load_or_generate(
+    id: GraphId,
+    dir: Option<&Path>,
+    scale: Scale,
+    seed: u64,
+) -> Graph {
+    if let Some(d) = dir {
+        let path = d.join(format!("{}.mtx", spec(id).name));
+        if path.exists() {
+            if let Ok(g) = sb_graph::io::read_path(&path) {
+                return make_connected(&g);
+            }
+        }
+    }
+    generate(id, scale, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_graph::stats::GraphStats;
+
+    #[test]
+    fn all_specs_resolve() {
+        for id in GraphId::ALL {
+            let sp = spec(id);
+            assert!(!sp.name.is_empty());
+            assert!(sp.paper.num_vertices > 0);
+        }
+    }
+
+    #[test]
+    fn tiny_suite_generates_connected_graphs() {
+        for id in GraphId::ALL {
+            let g = generate(id, Scale::Tiny, 42);
+            assert!(g.num_vertices() > 0, "{id:?}");
+            assert!(g.num_edges() > 0, "{id:?}");
+            let c = sb_graph::components::components_sequential(&g, None);
+            assert_eq!(c.count, 1, "{id:?} must be connected");
+        }
+    }
+
+    #[test]
+    fn tiny_suite_shapes_track_paper_bands() {
+        // Loose sanity bands at tiny scale; the full-scale validation lives
+        // in the table2 bench (EXPERIMENTS.md).
+        for id in GraphId::ALL {
+            let sp = spec(id);
+            let g = generate(id, Scale::Tiny, 7);
+            let s = GraphStats::compute(&g);
+            // Average degree within a factor of 2.5 of the paper's (kron is
+            // allowed more slack: dedup at small scale cuts it further).
+            let tol = if matches!(id, GraphId::KronLogn20 | GraphId::KronLogn21) {
+                4.0
+            } else {
+                2.5
+            };
+            let ratio = s.avg_degree / sp.paper.avg_degree;
+            assert!(
+                ratio > 1.0 / tol && ratio < tol,
+                "{:?}: avg degree {} vs paper {}",
+                id,
+                s.avg_degree,
+                sp.paper.avg_degree
+            );
+            // Low-degree-dominated graphs must stay low-degree dominated.
+            if sp.paper.pct_deg2 > 80.0 {
+                assert!(s.pct_deg_le2 > 60.0, "{:?}: %deg2 {}", id, s.pct_deg_le2);
+            }
+            if sp.paper.pct_deg2 < 1.0 {
+                assert!(s.pct_deg_le2 < 10.0, "{:?}: %deg2 {}", id, s.pct_deg_le2);
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = generate(GraphId::C73, Scale::Tiny, 5);
+        let b = generate(GraphId::C73, Scale::Tiny, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn load_or_generate_falls_back() {
+        let g = load_or_generate(GraphId::Lp1, None, Scale::Tiny, 3);
+        assert!(g.num_vertices() > 0);
+        let g2 = load_or_generate(
+            GraphId::Lp1,
+            Some(Path::new("/nonexistent-dir")),
+            Scale::Tiny,
+            3,
+        );
+        assert_eq!(g, g2);
+    }
+}

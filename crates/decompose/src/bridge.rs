@@ -1,0 +1,342 @@
+//! BRIDGE decomposition (Algorithm 1 of the paper).
+//!
+//! Step 1: a parallel BFS tree (parent array `P`, level array `L`).
+//! Step 2: for every non-tree edge `(x, y)`, walk up the tree from `x` and
+//! `y` in parallel toward their least common ancestor, marking every tree
+//! edge on the way. Tree edges never marked are exactly the bridges (a
+//! bridge lies on no cycle; every tree edge covered by a non-tree edge lies
+//! on the cycle that edge closes). Removing the bridges splits the graph
+//! into its 2-edge-connected components, which the decomposition labels
+//! with a parallel connected-components pass.
+//!
+//! The LCA walk is the paper's own formulation: cheap on low-diameter
+//! graphs, and deliberately *not* asymptotically optimal — its cost on
+//! high-diameter road networks is part of the paper's findings (Figure 2,
+//! and the non-competitiveness of MIS-Bridge in §V-C).
+
+use rayon::prelude::*;
+use sb_graph::bfs::bfs_forest;
+use sb_graph::components::{components_parallel, Components};
+use sb_graph::csr::{Graph, VertexId, INVALID};
+use sb_graph::view::EdgeView;
+use sb_par::atomic::AtomicBitSet;
+use sb_par::counters::Counters;
+
+/// Output of the BRIDGE decomposition.
+#[derive(Debug)]
+pub struct BridgeDecomposition {
+    /// Edge ids of the bridges of `G`, ascending.
+    pub bridges: Vec<u32>,
+    /// Per-edge class: [`BridgeDecomposition::COMPONENT`] or
+    /// [`BridgeDecomposition::BRIDGE`].
+    pub class: Vec<u8>,
+    /// Connected components of `G − B` (the 2-edge-connected components,
+    /// plus singleton vertices).
+    pub components: Components,
+}
+
+impl BridgeDecomposition {
+    /// Class of non-bridge edges (they form `G_c = ∪ G_i`).
+    pub const COMPONENT: u8 = 0;
+    /// Class of bridge edges (`B` / `G_b`).
+    pub const BRIDGE: u8 = 1;
+
+    /// Is edge `e` a bridge?
+    #[inline]
+    pub fn is_bridge(&self, e: u32) -> bool {
+        self.class[e as usize] == Self::BRIDGE
+    }
+
+    /// View of `G_c` (the union of the 2-edge-connected components).
+    pub fn component_view(&self) -> EdgeView<'_> {
+        EdgeView::classes(&self.class, 1 << Self::COMPONENT)
+    }
+
+    /// View of `G_b` (the bridge edges).
+    pub fn bridge_view(&self) -> EdgeView<'_> {
+        EdgeView::classes(&self.class, 1 << Self::BRIDGE)
+    }
+
+    /// Materialize `G_c` on the parent's vertex ids.
+    pub fn component_graph(&self, g: &Graph) -> Graph {
+        self.component_view().materialize(g)
+    }
+
+    /// Materialize `G_b`.
+    pub fn bridge_graph(&self, g: &Graph) -> Graph {
+        self.bridge_view().materialize(g)
+    }
+
+    /// Vertices incident on at least one bridge ("bridge vertices" in the
+    /// paper's MM-Bridge description).
+    pub fn bridge_vertices(&self, g: &Graph) -> Vec<VertexId> {
+        let mut vs: Vec<VertexId> = self
+            .bridges
+            .iter()
+            .flat_map(|&e| {
+                let (u, v) = g.edge(e);
+                [u, v]
+            })
+            .collect();
+        vs.sort_unstable();
+        vs.dedup();
+        vs
+    }
+}
+
+/// Run the BRIDGE decomposition on `g`.
+///
+/// Handles disconnected inputs by building a BFS forest (the paper connects
+/// its inputs beforehand; the forest restart is a strict generalization).
+pub fn decompose_bridge(g: &Graph, counters: &Counters) -> BridgeDecomposition {
+    let bridges = find_bridges(g, counters);
+    let mut class = vec![BridgeDecomposition::COMPONENT; g.num_edges()];
+    for &e in &bridges {
+        class[e as usize] = BridgeDecomposition::BRIDGE;
+    }
+    let alive = |e: u32| class[e as usize] == BridgeDecomposition::COMPONENT;
+    let components = components_parallel(g, Some(&alive), counters);
+    BridgeDecomposition {
+        bridges,
+        class,
+        components,
+    }
+}
+
+/// Find the bridge edge ids of `g` via BFS + parallel LCA marking.
+pub fn find_bridges(g: &Graph, counters: &Counters) -> Vec<u32> {
+    let n = g.num_vertices();
+    if n == 0 || g.num_edges() == 0 {
+        return Vec::new();
+    }
+    // STEP 1: BFS forest.
+    let (tree, _roots) = bfs_forest(g, counters);
+
+    // `marked` is indexed by *vertex*: bit v set means the tree edge
+    // (v, parent(v)) lies on some cycle.
+    let marked = AtomicBitSet::new(n);
+    let is_tree_edge = {
+        let mut t = vec![false; g.num_edges()];
+        for v in 0..n {
+            let e = tree.parent_edge[v];
+            if e != INVALID {
+                t[e as usize] = true;
+            }
+        }
+        t
+    };
+
+    // STEP 2: walk every non-tree edge's endpoints to their LCA in parallel
+    // (one kernel over the edges; the tree walks are dependent gathers).
+    counters.add_rounds(1);
+    counters.add_kernel(g.num_edges() as u64);
+    g.edge_list()
+        .par_iter()
+        .enumerate()
+        .for_each(|(e, &[u, v])| {
+            if is_tree_edge[e] {
+                return;
+            }
+            let (mut x, mut y) = (u, v);
+            let mut lx = tree.level[x as usize];
+            let mut ly = tree.level[y as usize];
+            let mut steps = 0u64;
+            // Raise the deeper endpoint first, then walk both together.
+            while lx > ly {
+                marked.set(x as usize);
+                x = tree.parent[x as usize];
+                lx -= 1;
+                steps += 1;
+            }
+            while ly > lx {
+                marked.set(y as usize);
+                y = tree.parent[y as usize];
+                ly -= 1;
+                steps += 1;
+            }
+            while x != y {
+                marked.set(x as usize);
+                marked.set(y as usize);
+                x = tree.parent[x as usize];
+                y = tree.parent[y as usize];
+                steps += 2;
+            }
+            counters.add_edges(steps);
+        });
+
+    // Tree edges not marked are bridges.
+    let mut bridges: Vec<u32> = (0..n)
+        .into_par_iter()
+        .filter_map(|v| {
+            let e = tree.parent_edge[v];
+            (e != INVALID && !marked.get(v)).then_some(e)
+        })
+        .collect();
+    bridges.par_sort_unstable();
+    bridges
+}
+
+/// Sequential reference: bridges via iterative Tarjan low-link DFS.
+/// Used by tests to validate the parallel algorithm.
+pub fn bridges_sequential(g: &Graph) -> Vec<u32> {
+    let n = g.num_vertices();
+    let mut disc = vec![INVALID; n];
+    let mut low = vec![0u32; n];
+    let mut out = Vec::new();
+    let mut timer = 0u32;
+    // Iterative DFS storing (vertex, arc cursor, incoming edge id).
+    for start in 0..n as u32 {
+        if disc[start as usize] != INVALID {
+            continue;
+        }
+        let mut stack: Vec<(u32, usize, u32)> = vec![(start, 0, INVALID)];
+        disc[start as usize] = timer;
+        low[start as usize] = timer;
+        timer += 1;
+        while let Some(&mut (v, ref mut cursor, in_edge)) = stack.last_mut() {
+            let row_len = g.degree(v);
+            if *cursor < row_len {
+                let i = *cursor;
+                *cursor += 1;
+                let w = g.neighbors(v)[i];
+                let e = g.edge_ids_of(v)[i];
+                if e == in_edge {
+                    continue; // don't re-traverse the incoming edge
+                }
+                if disc[w as usize] == INVALID {
+                    disc[w as usize] = timer;
+                    low[w as usize] = timer;
+                    timer += 1;
+                    stack.push((w, 0, e));
+                } else {
+                    low[v as usize] = low[v as usize].min(disc[w as usize]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&mut (p, _, _)) = stack.last_mut() {
+                    low[p as usize] = low[p as usize].min(low[v as usize]);
+                    if low[v as usize] > disc[p as usize] {
+                        out.push(in_edge);
+                    }
+                }
+            }
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_graph::builder::from_edge_list;
+
+    #[test]
+    fn tree_all_edges_are_bridges() {
+        let g = from_edge_list(5, &[(0, 1), (1, 2), (1, 3), (3, 4)]);
+        let c = Counters::new();
+        let d = decompose_bridge(&g, &c);
+        assert_eq!(d.bridges.len(), 4);
+        assert!((0..4u32).all(|e| d.is_bridge(e)));
+        // Every vertex is its own 2-edge-connected component.
+        assert_eq!(d.components.count, 5);
+        assert_eq!(d.component_view().num_edges(&g), 0);
+        assert_eq!(d.bridge_view().num_edges(&g), 4);
+    }
+
+    #[test]
+    fn cycle_has_no_bridges() {
+        let g = from_edge_list(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let d = decompose_bridge(&g, &Counters::new());
+        assert!(d.bridges.is_empty());
+        assert_eq!(d.components.count, 1);
+    }
+
+    #[test]
+    fn barbell_bridge() {
+        // Two triangles joined by edge (2,3): only (2,3) is a bridge.
+        let g = from_edge_list(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        );
+        let d = decompose_bridge(&g, &Counters::new());
+        assert_eq!(d.bridges.len(), 1);
+        assert_eq!(g.edge(d.bridges[0]), (2, 3));
+        assert_eq!(d.components.count, 2);
+        assert_eq!(d.bridge_vertices(&g), vec![2, 3]);
+    }
+
+    #[test]
+    fn matches_sequential_reference_on_random_graphs() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1234);
+        for trial in 0..10 {
+            let n = 100 + 40 * trial;
+            let m = n + trial * 23; // sparse → plenty of bridges
+            let edges: Vec<(u32, u32)> = (0..m)
+                .map(|_| {
+                    (
+                        rng.random_range(0..n) as u32,
+                        rng.random_range(0..n) as u32,
+                    )
+                })
+                .collect();
+            let g = from_edge_list(n, &edges);
+            let fast = find_bridges(&g, &Counters::new());
+            let slow = bridges_sequential(&g);
+            assert_eq!(fast, slow, "trial {trial}");
+        }
+    }
+
+    #[test]
+    fn parallel_edges_between_same_pair_collapse() {
+        // Builder dedups, so a doubled edge is a single bridge edge.
+        let g = from_edge_list(2, &[(0, 1), (1, 0)]);
+        assert_eq!(g.num_edges(), 1);
+        let d = decompose_bridge(&g, &Counters::new());
+        assert_eq!(d.bridges.len(), 1);
+    }
+
+    #[test]
+    fn disconnected_graph_handled() {
+        let g = from_edge_list(7, &[(0, 1), (1, 2), (0, 2), (3, 4), (5, 6)]);
+        let d = decompose_bridge(&g, &Counters::new());
+        let mut b: Vec<(u32, u32)> = d.bridges.iter().map(|&e| g.edge(e)).collect();
+        b.sort_unstable();
+        assert_eq!(b, vec![(3, 4), (5, 6)]);
+        assert_eq!(bridges_sequential(&g), d.bridges);
+    }
+
+    #[test]
+    fn views_partition_edges() {
+        let g = from_edge_list(
+            8,
+            &[
+                (0, 1),
+                (1, 2),
+                (0, 2),
+                (2, 3),
+                (3, 4),
+                (4, 5),
+                (3, 5),
+                (5, 6),
+                (6, 7),
+            ],
+        );
+        let d = decompose_bridge(&g, &Counters::new());
+        assert_eq!(
+            d.component_view().num_edges(&g) + d.bridge_view().num_edges(&g),
+            g.num_edges()
+        );
+        let cg = d.component_graph(&g);
+        let bg = d.bridge_graph(&g);
+        assert_eq!(cg.num_edges() + bg.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn empty_and_edgeless() {
+        let d = decompose_bridge(&Graph::empty(4), &Counters::new());
+        assert!(d.bridges.is_empty());
+        assert_eq!(d.components.count, 4);
+    }
+}

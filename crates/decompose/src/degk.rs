@@ -1,0 +1,241 @@
+//! DEGk decomposition (Algorithm 3 of the paper).
+//!
+//! Vertices of degree at most `k` form `V_L`, the rest `V_H`; the output is
+//! a per-edge classification into `G_H = G[V_H]`, `G_L = G[V_L]`, and the
+//! cross-edge subgraph `G_C`, exposed as zero-copy [`EdgeView`]s. The
+//! classification is one degree test per vertex plus one class pass per
+//! edge — "a simple computation", which is why DEG2 is the cheapest
+//! technique in Figure 2.
+//!
+//! For `k = 2` (the paper's choice) `G_L` is a disjoint union of paths and
+//! cycles — the structural property the COLOR-Degk and MIS-Deg2 algorithms
+//! exploit with a 3-entry FORBIDDEN array and an orientation-based MIS
+//! respectively.
+
+use rayon::prelude::*;
+use sb_graph::csr::{Graph, VertexId};
+use sb_graph::view::EdgeView;
+use sb_par::counters::Counters;
+use sb_par::prim::par_tabulate;
+
+/// Output of the DEGk decomposition.
+#[derive(Debug)]
+pub struct DegkDecomposition {
+    /// The degree threshold `k`.
+    pub k: usize,
+    /// `is_high[v]` ⇔ `degree(v) > k` (membership in `V_H`).
+    pub is_high: Vec<bool>,
+    /// Per-edge class: [`DegkDecomposition::HIGH`], [`DegkDecomposition::LOW`]
+    /// or [`DegkDecomposition::CROSS`].
+    pub class: Vec<u8>,
+    /// Edges of `G_H`.
+    pub m_high: usize,
+    /// Edges of `G_L`.
+    pub m_low: usize,
+    /// Edges of `G_C`.
+    pub m_cross: usize,
+}
+
+impl DegkDecomposition {
+    /// Class of `G_H` edges (both endpoints of degree > k).
+    pub const HIGH: u8 = 0;
+    /// Class of `G_L` edges (both endpoints of degree ≤ k).
+    pub const LOW: u8 = 1;
+    /// Class of cross edges.
+    pub const CROSS: u8 = 2;
+
+    /// View of `G_H`.
+    pub fn high_view(&self) -> EdgeView<'_> {
+        EdgeView::classes(&self.class, 1 << Self::HIGH)
+    }
+
+    /// View of `G_L`.
+    pub fn low_view(&self) -> EdgeView<'_> {
+        EdgeView::classes(&self.class, 1 << Self::LOW)
+    }
+
+    /// View of `G_C`.
+    pub fn cross_view(&self) -> EdgeView<'_> {
+        EdgeView::classes(&self.class, 1 << Self::CROSS)
+    }
+
+    /// View of `G_L ∪ G_C` (phase 2 of MM-Degk).
+    pub fn low_cross_view(&self) -> EdgeView<'_> {
+        EdgeView::classes(&self.class, (1 << Self::LOW) | (1 << Self::CROSS))
+    }
+
+    /// Materialize `G_H` on the parent's vertex ids.
+    pub fn high_graph(&self, g: &Graph) -> Graph {
+        self.high_view().materialize(g)
+    }
+
+    /// Materialize `G_L`.
+    pub fn low_graph(&self, g: &Graph) -> Graph {
+        self.low_view().materialize(g)
+    }
+
+    /// Materialize `G_C`.
+    pub fn cross_graph(&self, g: &Graph) -> Graph {
+        self.cross_view().materialize(g)
+    }
+
+    /// Vertices of `V_H`.
+    pub fn high_vertices(&self) -> Vec<VertexId> {
+        self.is_high
+            .iter()
+            .enumerate()
+            .filter(|&(_, &h)| h)
+            .map(|(v, _)| v as VertexId)
+            .collect()
+    }
+
+    /// Vertices of `V_L`.
+    pub fn low_vertices(&self) -> Vec<VertexId> {
+        self.is_high
+            .iter()
+            .enumerate()
+            .filter(|&(_, &h)| !h)
+            .map(|(v, _)| v as VertexId)
+            .collect()
+    }
+}
+
+/// Run the DEGk decomposition with threshold `k`.
+pub fn decompose_degk(g: &Graph, k: usize, counters: &Counters) -> DegkDecomposition {
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    // Accounting: degree-test kernel over vertices, classify kernel over
+    // edges (two side-flag gathers each).
+    counters.add_rounds(1);
+    counters.add_kernel(n as u64);
+    counters.add_kernel(m as u64);
+    counters.add_edges(2 * m as u64);
+    let is_high: Vec<bool> = par_tabulate(n, |v| g.degree(v as VertexId) > k);
+    let class: Vec<u8> = g
+        .edge_list()
+        .par_iter()
+        .map(|&[u, v]| match (is_high[u as usize], is_high[v as usize]) {
+            (true, true) => DegkDecomposition::HIGH,
+            (false, false) => DegkDecomposition::LOW,
+            _ => DegkDecomposition::CROSS,
+        })
+        .collect();
+    let counts = class
+        .par_iter()
+        .fold(
+            || [0usize; 3],
+            |mut acc, &c| {
+                acc[c as usize] += 1;
+                acc
+            },
+        )
+        .reduce(
+            || [0usize; 3],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        );
+    DegkDecomposition {
+        k,
+        is_high,
+        class,
+        m_high: counts[0],
+        m_low: counts[1],
+        m_cross: counts[2],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_graph::builder::from_edge_list;
+
+    /// Star with a pendant path: center 0 has degree 5, path tail is low.
+    fn lollipop() -> Graph {
+        from_edge_list(
+            8,
+            &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (5, 6), (6, 7)],
+        )
+    }
+
+    #[test]
+    fn three_pieces_partition_edges() {
+        let g = lollipop();
+        let d = decompose_degk(&g, 2, &Counters::new());
+        assert_eq!(d.m_high + d.m_low + d.m_cross, g.num_edges());
+        let (h, l, c) = (d.high_graph(&g), d.low_graph(&g), d.cross_graph(&g));
+        assert_eq!(h.num_edges() + l.num_edges() + c.num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn side_membership_matches_degree() {
+        let g = lollipop();
+        let d = decompose_degk(&g, 2, &Counters::new());
+        for v in g.vertices() {
+            assert_eq!(d.is_high[v as usize], g.degree(v) > 2, "vertex {v}");
+        }
+        assert_eq!(d.high_vertices(), vec![0]);
+        assert_eq!(d.low_vertices().len(), 7);
+    }
+
+    #[test]
+    fn piece_edges_respect_sides() {
+        let g = lollipop();
+        let d = decompose_degk(&g, 2, &Counters::new());
+        for &[u, v] in d.high_graph(&g).edge_list() {
+            assert!(d.is_high[u as usize] && d.is_high[v as usize]);
+        }
+        for &[u, v] in d.low_graph(&g).edge_list() {
+            assert!(!d.is_high[u as usize] && !d.is_high[v as usize]);
+        }
+        for &[u, v] in d.cross_graph(&g).edge_list() {
+            assert_ne!(d.is_high[u as usize], d.is_high[v as usize]);
+        }
+    }
+
+    #[test]
+    fn low_view_max_degree_bounded_by_k() {
+        let g = lollipop();
+        let d = decompose_degk(&g, 2, &Counters::new());
+        let lv = d.low_view();
+        for v in g.vertices() {
+            assert!(lv.degree(&g, v) <= 2);
+        }
+        assert!(d.low_graph(&g).max_degree() <= 2);
+    }
+
+    #[test]
+    fn low_cross_view_unions_two_classes() {
+        let g = lollipop();
+        let d = decompose_degk(&g, 2, &Counters::new());
+        assert_eq!(d.low_cross_view().num_edges(&g), d.m_low + d.m_cross);
+    }
+
+    #[test]
+    fn k_zero_sends_every_edge_endpoint_high() {
+        let g = lollipop();
+        let d = decompose_degk(&g, 0, &Counters::new());
+        assert_eq!(d.m_high, g.num_edges());
+        assert_eq!(d.m_low, 0);
+        assert_eq!(d.m_cross, 0);
+    }
+
+    #[test]
+    fn k_at_max_degree_sends_everything_low() {
+        let g = lollipop();
+        let d = decompose_degk(&g, g.max_degree(), &Counters::new());
+        assert_eq!(d.m_low, g.num_edges());
+        assert_eq!(d.m_high, 0);
+    }
+
+    #[test]
+    fn cycle_is_all_low_at_k2() {
+        let g = from_edge_list(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let d = decompose_degk(&g, 2, &Counters::new());
+        assert_eq!(d.m_low, 6);
+        assert!(d.high_vertices().is_empty());
+    }
+}

@@ -1,0 +1,33 @@
+//! Light-weight graph decompositions (Section II of the paper).
+//!
+//! Four techniques, each producing subgraphs **on the parent's vertex id
+//! space** (edge-filtered, see `sb_graph::subgraph`) so the composite
+//! symmetry-breaking algorithms can pass partial solutions between phases
+//! without id remapping:
+//!
+//! * [`bridge`] — **BRIDGE** (Algorithm 1): BFS tree + parallel LCA-walk
+//!   marking; unmarked tree edges are the bridges; `G − B` splits into
+//!   2-edge-connected components.
+//! * [`rand_part`] — **RAND** (Algorithm 2): uniform random vertex partition
+//!   into `k` parts; induced subgraphs `G[V_i]` plus the cross-edge subgraph
+//!   `G_{k+1}`.
+//! * [`degk`] — **DEGk** (Algorithm 3): split at degree threshold `k` into
+//!   `G_H`, `G_L`, and the cross-edge subgraph `G_C`.
+//! * [`metis_like`] — a greedy BFS-grown balanced partitioner standing in
+//!   for PMETIS, used only to reproduce the paper's Remark 1 (a heavy
+//!   partitioner costs more than the baseline solvers it would assist).
+//! * [`bicc`] — biconnected components (blocks) and articulation points,
+//!   the Hochbaum-style refinement of BRIDGE the paper's related work
+//!   builds on (extension beyond the paper's evaluated set).
+
+pub mod bicc;
+pub mod bridge;
+pub mod degk;
+pub mod metis_like;
+pub mod rand_part;
+
+pub use bicc::{decompose_bicc, BiccDecomposition};
+pub use bridge::{decompose_bridge, BridgeDecomposition};
+pub use degk::{decompose_degk, DegkDecomposition};
+pub use metis_like::{decompose_metis_like, MetisLikeDecomposition};
+pub use rand_part::{decompose_rand, RandDecomposition};

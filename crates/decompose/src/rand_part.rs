@@ -1,0 +1,226 @@
+//! RAND decomposition (Algorithm 2 of the paper).
+//!
+//! Every vertex independently picks one of `k` parts uniformly at random.
+//! The decomposition output is a per-edge *classification* — intra-partition
+//! (the union of the induced subgraphs `G[V_i]`, whose pieces are pairwise
+//! disconnected) vs cross (`G_{k+1}`) — exposed as zero-copy
+//! [`EdgeView`]s. Classification is two streaming passes, which is what
+//! keeps RAND among the cheapest techniques in Figure 2.
+//!
+//! In expectation a fraction `1/k` of the edges is intra-partition, so the
+//! induced union is a strong sparsification — the property the MM-Rand
+//! algorithm exploits to escape Algorithm GM's *vain tendency*.
+
+use rayon::prelude::*;
+use sb_graph::csr::{Graph, VertexId};
+use sb_graph::view::EdgeView;
+use sb_par::counters::Counters;
+use sb_par::prim::par_tabulate;
+use sb_par::rng::{bounded, hash2};
+
+/// Output of the RAND decomposition.
+#[derive(Debug)]
+pub struct RandDecomposition {
+    /// Number of partitions `k`.
+    pub k: usize,
+    /// Partition id per vertex, in `0..k`.
+    pub part: Vec<u32>,
+    /// Per-edge class: [`RandDecomposition::INDUCED`] or
+    /// [`RandDecomposition::CROSS`].
+    pub class: Vec<u8>,
+    /// Number of intra-partition edges.
+    pub m_induced: usize,
+    /// Number of cross edges.
+    pub m_cross: usize,
+}
+
+impl RandDecomposition {
+    /// Class of intra-partition edges (`G[V_1] ∪ … ∪ G[V_k]`).
+    pub const INDUCED: u8 = 0;
+    /// Class of cross edges (`G_{k+1}`).
+    pub const CROSS: u8 = 1;
+
+    /// View of the induced union `G_IS` (Algorithm 5's phase-1 graph).
+    pub fn induced_view(&self) -> EdgeView<'_> {
+        EdgeView::classes(&self.class, 1 << Self::INDUCED)
+    }
+
+    /// View of the cross-edge subgraph `G_{k+1}`.
+    pub fn cross_view(&self) -> EdgeView<'_> {
+        EdgeView::classes(&self.class, 1 << Self::CROSS)
+    }
+
+    /// Materialize the induced union on the parent's vertex ids.
+    pub fn induced_graph(&self, g: &Graph) -> Graph {
+        self.induced_view().materialize(g)
+    }
+
+    /// Materialize the cross-edge subgraph.
+    pub fn cross_graph(&self, g: &Graph) -> Graph {
+        self.cross_view().materialize(g)
+    }
+
+    /// Vertices of partition `i`.
+    pub fn partition(&self, i: u32) -> Vec<VertexId> {
+        self.part
+            .iter()
+            .enumerate()
+            .filter(|&(_, &p)| p == i)
+            .map(|(v, _)| v as VertexId)
+            .collect()
+    }
+
+    /// Fraction of edges that stayed intra-partition.
+    pub fn induced_edge_fraction(&self) -> f64 {
+        let total = self.m_induced + self.m_cross;
+        if total == 0 {
+            0.0
+        } else {
+            self.m_induced as f64 / total as f64
+        }
+    }
+}
+
+/// Run the RAND decomposition with `k ≥ 1` parts.
+///
+/// Deterministic for a given `seed` regardless of thread count (the draw for
+/// vertex `v` is the pure hash of `(seed, v)`).
+pub fn decompose_rand(g: &Graph, k: usize, seed: u64, counters: &Counters) -> RandDecomposition {
+    assert!(k >= 1, "RAND needs at least one partition");
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    // Accounting: one draw kernel over vertices, one classify kernel over
+    // edges (each edge gathers its two endpoints' partition labels).
+    counters.add_rounds(1);
+    counters.add_kernel(n as u64);
+    counters.add_kernel(m as u64);
+    counters.add_edges(2 * m as u64);
+    let part: Vec<u32> = par_tabulate(n, |v| bounded(hash2(seed, v as u64), k as u64) as u32);
+    let class: Vec<u8> = g
+        .edge_list()
+        .par_iter()
+        .map(|&[u, v]| u8::from(part[u as usize] != part[v as usize]))
+        .collect();
+    let m_cross = class
+        .par_iter()
+        .filter(|&&c| c == RandDecomposition::CROSS)
+        .count();
+    RandDecomposition {
+        k,
+        part,
+        m_induced: m - m_cross,
+        m_cross,
+        class,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_graph::builder::from_edge_list;
+
+    fn grid(w: usize, h: usize) -> Graph {
+        let mut edges = Vec::new();
+        let id = |x: usize, y: usize| (y * w + x) as u32;
+        for y in 0..h {
+            for x in 0..w {
+                if x + 1 < w {
+                    edges.push((id(x, y), id(x + 1, y)));
+                }
+                if y + 1 < h {
+                    edges.push((id(x, y), id(x, y + 1)));
+                }
+            }
+        }
+        from_edge_list(w * h, &edges)
+    }
+
+    #[test]
+    fn pieces_partition_the_edges() {
+        let g = grid(20, 20);
+        let d = decompose_rand(&g, 4, 7, &Counters::new());
+        assert_eq!(d.m_induced + d.m_cross, g.num_edges());
+        let induced = d.induced_graph(&g);
+        let cross = d.cross_graph(&g);
+        assert_eq!(induced.num_edges(), d.m_induced);
+        assert_eq!(cross.num_edges(), d.m_cross);
+        for &[u, v] in induced.edge_list() {
+            assert_eq!(d.part[u as usize], d.part[v as usize]);
+        }
+        for &[u, v] in cross.edge_list() {
+            assert_ne!(d.part[u as usize], d.part[v as usize]);
+        }
+    }
+
+    #[test]
+    fn views_agree_with_classes() {
+        let g = grid(10, 10);
+        let d = decompose_rand(&g, 3, 5, &Counters::new());
+        let iv = d.induced_view();
+        let cv = d.cross_view();
+        for e in 0..g.num_edges() as u32 {
+            assert_ne!(iv.admits(e), cv.admits(e), "views must partition edges");
+        }
+        assert_eq!(iv.num_edges(&g), d.m_induced);
+        assert_eq!(cv.num_edges(&g), d.m_cross);
+    }
+
+    #[test]
+    fn part_ids_in_range_and_all_parts_used() {
+        let g = grid(30, 30);
+        let k = 5;
+        let d = decompose_rand(&g, k, 11, &Counters::new());
+        assert!(d.part.iter().all(|&p| (p as usize) < k));
+        for i in 0..k as u32 {
+            assert!(!d.partition(i).is_empty(), "partition {i} empty");
+        }
+    }
+
+    #[test]
+    fn k_equals_one_keeps_everything_induced() {
+        let g = grid(10, 10);
+        let d = decompose_rand(&g, 1, 3, &Counters::new());
+        assert_eq!(d.m_induced, g.num_edges());
+        assert_eq!(d.m_cross, 0);
+        assert!((d.induced_edge_fraction() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn induced_fraction_near_one_over_k() {
+        let g = grid(100, 100);
+        let k = 10;
+        let d = decompose_rand(&g, k, 42, &Counters::new());
+        let f = d.induced_edge_fraction();
+        assert!(
+            (f - 1.0 / k as f64).abs() < 0.02,
+            "fraction {f} far from {}",
+            1.0 / k as f64
+        );
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = grid(15, 15);
+        let a = decompose_rand(&g, 4, 9, &Counters::new());
+        let b = decompose_rand(&g, 4, 9, &Counters::new());
+        assert_eq!(a.part, b.part);
+        assert_eq!(a.class, b.class);
+        let c = decompose_rand(&g, 4, 10, &Counters::new());
+        assert_ne!(a.part, c.part, "different seed should differ");
+    }
+
+    #[test]
+    fn balanced_partition_sizes() {
+        let g = grid(100, 100);
+        let k = 8usize;
+        let d = decompose_rand(&g, k, 5, &Counters::new());
+        let expect = (g.num_vertices() / k) as f64;
+        for i in 0..k as u32 {
+            let size = d.partition(i).len() as f64;
+            assert!(
+                (size - expect).abs() / expect < 0.15,
+                "partition {i} size {size} deviates from {expect}"
+            );
+        }
+    }
+}

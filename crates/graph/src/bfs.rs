@@ -1,0 +1,287 @@
+//! Level-synchronous parallel BFS.
+//!
+//! Step 1 of the BRIDGE decomposition (Algorithm 1 of the paper): compute a
+//! BFS spanning tree as a parent array `P(v)` and level array `L(v)`, with
+//! `P(root) = INVALID` and `L(root) = 0`.
+
+use crate::csr::{Graph, VertexId, INVALID};
+use rayon::prelude::*;
+use sb_par::atomic::as_atomic_u32;
+use sb_par::counters::Counters;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Result of a BFS traversal.
+#[derive(Debug, Clone)]
+pub struct BfsTree {
+    /// Parent of each vertex in the BFS tree; `INVALID` for the root and for
+    /// unreached vertices (distinguish via `level`).
+    pub parent: Vec<VertexId>,
+    /// BFS level of each vertex; `INVALID` for unreached vertices.
+    pub level: Vec<u32>,
+    /// For each reached non-root vertex, the edge id of its tree edge;
+    /// `INVALID` otherwise.
+    pub parent_edge: Vec<u32>,
+    /// Number of vertices reached (including the root).
+    pub reached: usize,
+}
+
+impl BfsTree {
+    /// True when `v` was reached by the traversal.
+    #[inline]
+    pub fn is_reached(&self, v: VertexId) -> bool {
+        self.level[v as usize] != INVALID
+    }
+
+    /// Edge ids of all tree edges.
+    pub fn tree_edges(&self) -> Vec<u32> {
+        self.parent_edge
+            .iter()
+            .copied()
+            .filter(|&e| e != INVALID)
+            .collect()
+    }
+}
+
+/// Parallel BFS from `root`.
+///
+/// Frontier-expansion formulation: each round claims unvisited neighbors of
+/// the current frontier with an atomic store-once on the parent array, then
+/// compacts the claimed vertices into the next frontier. Rounds = eccentricity
+/// of `root`, which is why the paper flags BRIDGE as slow on high-diameter
+/// road networks — the `counters` output lets benches show exactly that.
+pub fn bfs(g: &Graph, root: VertexId, counters: &Counters) -> BfsTree {
+    let n = g.num_vertices();
+    assert!((root as usize) < n, "root out of range");
+    let mut parent = vec![INVALID; n];
+    let mut level = vec![INVALID; n];
+    let mut parent_edge = vec![INVALID; n];
+    level[root as usize] = 0;
+
+    // `claim[v]` is the winning (parent, edge) packed as two u32 stores; we
+    // use parent as the claim flag via compare_exchange from INVALID.
+    let parent_at: &[AtomicU32] = as_atomic_u32(&mut parent);
+    let level_at: &[AtomicU32] = as_atomic_u32(&mut level);
+    let pedge_at: &[AtomicU32] = as_atomic_u32(&mut parent_edge);
+
+    let mut frontier: Vec<VertexId> = vec![root];
+    let mut depth = 0u32;
+    let mut reached = 1usize;
+    while !frontier.is_empty() {
+        depth += 1;
+        counters.add_rounds(1);
+        counters.add_kernel(frontier.len() as u64);
+        let next: Vec<VertexId> = frontier
+            .par_iter()
+            .flat_map_iter(|&u| {
+                g.arcs(u).filter_map(move |(w, e)| {
+                    // Claim w for this round. The root already has level 0 and
+                    // parent INVALID, so exclude it via the level array.
+                    if level_at[w as usize].load(Ordering::Relaxed) != INVALID {
+                        return None;
+                    }
+                    if level_at[w as usize]
+                        .compare_exchange(INVALID, depth, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        parent_at[w as usize].store(u, Ordering::Relaxed);
+                        pedge_at[w as usize].store(e, Ordering::Relaxed);
+                        Some(w)
+                    } else {
+                        None
+                    }
+                })
+            })
+            .collect();
+        counters.add_edges(frontier.par_iter().map(|&u| g.degree(u) as u64).sum());
+        reached += next.len();
+        frontier = next;
+    }
+
+    BfsTree {
+        parent,
+        level,
+        parent_edge,
+        reached,
+    }
+}
+
+/// BFS forest over a possibly disconnected graph: restarts from the lowest
+/// unreached vertex until every vertex is covered. Returns the combined
+/// parent/level arrays plus the list of roots.
+pub fn bfs_forest(g: &Graph, counters: &Counters) -> (BfsTree, Vec<VertexId>) {
+    let n = g.num_vertices();
+    let mut combined = BfsTree {
+        parent: vec![INVALID; n],
+        level: vec![INVALID; n],
+        parent_edge: vec![INVALID; n],
+        reached: 0,
+    };
+    let mut roots = Vec::new();
+    let mut scan_from = 0usize;
+    while combined.reached < n {
+        let root = (scan_from..n)
+            .find(|&v| combined.level[v] == INVALID)
+            .expect("unreached vertex must exist") as VertexId;
+        scan_from = root as usize + 1;
+        roots.push(root);
+        let t = bfs_masked(g, root, &combined.level, counters);
+        for v in 0..n {
+            if t.level[v] != INVALID && combined.level[v] == INVALID {
+                combined.level[v] = t.level[v];
+                combined.parent[v] = t.parent[v];
+                combined.parent_edge[v] = t.parent_edge[v];
+                combined.reached += 1;
+            }
+        }
+    }
+    (combined, roots)
+}
+
+/// BFS from `root` that treats vertices already labeled in `occupied` as
+/// absent. Used by the forest driver.
+fn bfs_masked(g: &Graph, root: VertexId, occupied: &[u32], counters: &Counters) -> BfsTree {
+    let n = g.num_vertices();
+    let mut parent = vec![INVALID; n];
+    let mut level = vec![INVALID; n];
+    let mut parent_edge = vec![INVALID; n];
+    level[root as usize] = 0;
+    let mut frontier = vec![root];
+    let mut depth = 0u32;
+    let mut reached = 1usize;
+    while !frontier.is_empty() {
+        depth += 1;
+        counters.add_rounds(1);
+        let mut next = Vec::new();
+        for &u in &frontier {
+            for (w, e) in g.arcs(u) {
+                if occupied[w as usize] == INVALID && level[w as usize] == INVALID {
+                    level[w as usize] = depth;
+                    parent[w as usize] = u;
+                    parent_edge[w as usize] = e;
+                    next.push(w);
+                    reached += 1;
+                }
+            }
+        }
+        frontier = next;
+    }
+    BfsTree {
+        parent,
+        level,
+        parent_edge,
+        reached,
+    }
+}
+
+/// Pseudo-diameter estimate by double sweep: BFS from `start`, then BFS
+/// from the farthest vertex found; the second eccentricity lower-bounds the
+/// diameter (exact on trees). The paper's BRIDGE/BFS costs are governed by
+/// exactly this quantity — road networks have huge pseudo-diameters, kron
+/// graphs tiny ones.
+pub fn pseudo_diameter(g: &Graph, start: VertexId, counters: &Counters) -> u32 {
+    if g.num_vertices() == 0 {
+        return 0;
+    }
+    let first = bfs(g, start, counters);
+    let far = (0..g.num_vertices())
+        .filter(|&v| first.level[v] != INVALID)
+        .max_by_key(|&v| first.level[v])
+        .unwrap_or(start as usize) as VertexId;
+    let second = bfs(g, far, counters);
+    (0..g.num_vertices())
+        .filter(|&v| second.level[v] != INVALID)
+        .map(|v| second.level[v])
+        .max()
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edge_list;
+
+    #[test]
+    fn path_levels() {
+        let g = from_edge_list(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let t = bfs(&g, 0, &Counters::new());
+        assert_eq!(t.level, vec![0, 1, 2, 3, 4]);
+        assert_eq!(t.parent[0], INVALID);
+        assert_eq!(t.parent[4], 3);
+        assert_eq!(t.reached, 5);
+        assert_eq!(t.tree_edges().len(), 4);
+    }
+
+    #[test]
+    fn tree_edges_are_real_edges_and_levels_differ_by_one() {
+        let g = from_edge_list(
+            7,
+            &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6), (3, 6)],
+        );
+        let t = bfs(&g, 0, &Counters::new());
+        for v in g.vertices() {
+            if t.parent[v as usize] != INVALID {
+                let p = t.parent[v as usize];
+                assert!(g.has_edge(v, p));
+                assert_eq!(t.level[v as usize], t.level[p as usize] + 1);
+                assert_eq!(
+                    g.edge(t.parent_edge[v as usize]),
+                    (v.min(p), v.max(p))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_levels_are_shortest_distances() {
+        // Cycle of 6: distances from 0 are 0,1,2,3,2,1.
+        let g = from_edge_list(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let t = bfs(&g, 0, &Counters::new());
+        assert_eq!(t.level, vec![0, 1, 2, 3, 2, 1]);
+    }
+
+    #[test]
+    fn unreached_vertices_marked() {
+        let g = from_edge_list(4, &[(0, 1)]);
+        let t = bfs(&g, 0, &Counters::new());
+        assert_eq!(t.reached, 2);
+        assert!(!t.is_reached(2));
+        assert!(!t.is_reached(3));
+        assert_eq!(t.level[2], INVALID);
+    }
+
+    #[test]
+    fn forest_covers_disconnected_graph() {
+        let g = from_edge_list(6, &[(0, 1), (2, 3), (4, 5)]);
+        let (t, roots) = bfs_forest(&g, &Counters::new());
+        assert_eq!(t.reached, 6);
+        assert_eq!(roots, vec![0, 2, 4]);
+        assert!(t.level.iter().all(|&l| l != INVALID));
+        // Exactly n - #components tree edges.
+        assert_eq!(t.tree_edges().len(), 3);
+    }
+
+    #[test]
+    fn pseudo_diameter_on_known_shapes() {
+        // Path: exact diameter regardless of start.
+        let g = from_edge_list(9, &(0..8u32).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        assert_eq!(pseudo_diameter(&g, 4, &Counters::new()), 8);
+        // Star: diameter 2.
+        let s = from_edge_list(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(pseudo_diameter(&s, 1, &Counters::new()), 2);
+        // Cycle of 8: true diameter 4; double sweep reports ≥ 4 and ≤ 4.
+        let mut e: Vec<(u32, u32)> = (0..7).map(|i| (i, i + 1)).collect();
+        e.push((7, 0));
+        let c = from_edge_list(8, &e);
+        assert_eq!(pseudo_diameter(&c, 0, &Counters::new()), 4);
+    }
+
+    #[test]
+    fn counters_track_rounds() {
+        let g = from_edge_list(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let c = Counters::new();
+        bfs(&g, 0, &c);
+        // 4 productive expansions plus the final round that scans the last
+        // frontier and finds it has no unvisited neighbors.
+        assert_eq!(c.rounds(), 5);
+    }
+}

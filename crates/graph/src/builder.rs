@@ -1,0 +1,236 @@
+//! Edge-list ingestion.
+//!
+//! Applies the paper's preprocessing (§II-D): directed edges are converted to
+//! undirected, self-loops are ignored, duplicates are merged. Construction is
+//! parallel: normalize + sort + dedup the edge list, then build both CSR
+//! directions with a histogram/scan/scatter pipeline.
+
+use crate::csr::{Graph, VertexId};
+use rayon::prelude::*;
+use sb_par::prim::exclusive_scan_vec;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Accumulates edges and produces a [`Graph`].
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<[VertexId; 2]>,
+}
+
+impl GraphBuilder {
+    /// Builder for a graph on `n` vertices.
+    pub fn new(n: usize) -> Self {
+        assert!(n < u32::MAX as usize, "vertex ids must fit in u32");
+        Self {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Add one edge; direction and duplicates are irrelevant, self-loops are
+    /// dropped at build time.
+    pub fn edge(mut self, u: VertexId, v: VertexId) -> Self {
+        self.push(u, v);
+        self
+    }
+
+    /// Add many edges.
+    pub fn edges<I>(mut self, it: I) -> Self
+    where
+        I: IntoIterator<Item = (VertexId, VertexId)>,
+    {
+        for (u, v) in it {
+            self.push(u, v);
+        }
+        self
+    }
+
+    /// Add one edge in place (non-consuming form for loops).
+    pub fn push(&mut self, u: VertexId, v: VertexId) {
+        debug_assert!((u as usize) < self.n && (v as usize) < self.n);
+        self.edges.push([u.min(v), u.max(v)]);
+    }
+
+    /// Reserve capacity for `extra` more edges.
+    pub fn reserve(&mut self, extra: usize) {
+        self.edges.reserve(extra);
+    }
+
+    /// Number of raw (pre-dedup) edges added so far.
+    pub fn raw_len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Finalize into an immutable CSR graph.
+    pub fn build(self) -> Graph {
+        let Self { n, mut edges } = self;
+        // Normalize happened on push; drop self-loops, sort, dedup.
+        edges.retain(|&[u, v]| u != v);
+        edges.par_sort_unstable();
+        edges.dedup();
+        let m = edges.len();
+        assert!(m < u32::MAX as usize, "edge ids must fit in u32");
+
+        // Degree histogram over both arc directions.
+        let mut degrees = vec![0usize; n];
+        {
+            let deg = sb_par::atomic::as_atomic_usize(&mut degrees);
+            edges.par_iter().for_each(|&[u, v]| {
+                deg[u as usize].fetch_add(1, Ordering::Relaxed);
+                deg[v as usize].fetch_add(1, Ordering::Relaxed);
+            });
+        }
+        let (offsets, total) = exclusive_scan_vec(&degrees);
+        debug_assert_eq!(total, 2 * m);
+
+        // Scatter arcs. A per-vertex atomic cursor keeps this parallel.
+        let mut neighbors = vec![0u32; 2 * m];
+        let mut edge_ids = vec![0u32; 2 * m];
+        {
+            let cursors: Vec<AtomicUsize> =
+                offsets.iter().map(|&o| AtomicUsize::new(o)).collect();
+            // SAFETY: each slot index is claimed exactly once via the atomic
+            // cursor fetch_add, so no two threads write the same element.
+            let nb_ptr = SendPtr(neighbors.as_mut_ptr());
+            let ei_ptr = SendPtr(edge_ids.as_mut_ptr());
+            edges.par_iter().enumerate().for_each(|(e, &[u, v])| {
+                let su = cursors[u as usize].fetch_add(1, Ordering::Relaxed);
+                let sv = cursors[v as usize].fetch_add(1, Ordering::Relaxed);
+                unsafe {
+                    *nb_ptr.get().add(su) = v;
+                    *ei_ptr.get().add(su) = e as u32;
+                    *nb_ptr.get().add(sv) = u;
+                    *ei_ptr.get().add(sv) = e as u32;
+                }
+            });
+        }
+
+        // Sort each row by neighbor (keeping edge ids aligned) so adjacency
+        // queries can binary-search. Rows are disjoint → parallel per vertex.
+        let mut full_offsets = offsets;
+        full_offsets.push(2 * m);
+        {
+            let rows: Vec<(usize, usize)> = (0..n)
+                .map(|v| (full_offsets[v], full_offsets[v + 1]))
+                .collect();
+            let nb_ptr = SendPtr(neighbors.as_mut_ptr());
+            let ei_ptr = SendPtr(edge_ids.as_mut_ptr());
+            rows.par_iter().for_each(|&(lo, hi)| {
+                // SAFETY: row ranges [lo, hi) are pairwise disjoint.
+                let nb = unsafe { std::slice::from_raw_parts_mut(nb_ptr.get().add(lo), hi - lo) };
+                let ei = unsafe { std::slice::from_raw_parts_mut(ei_ptr.get().add(lo), hi - lo) };
+                // Co-sort the two small arrays by neighbor id.
+                let mut perm: Vec<u32> = (0..(hi - lo) as u32).collect();
+                perm.sort_unstable_by_key(|&i| nb[i as usize]);
+                apply_permutation(&perm, nb, ei);
+            });
+        }
+
+        let g = Graph {
+            offsets: full_offsets,
+            neighbors,
+            edge_ids,
+            edges,
+        };
+        debug_assert!(g.validate().is_ok());
+        g
+    }
+}
+
+/// Build a graph directly from an edge slice.
+pub fn from_edge_list(n: usize, edges: &[(VertexId, VertexId)]) -> Graph {
+    GraphBuilder::new(n).edges(edges.iter().copied()).build()
+}
+
+/// Apply permutation `perm` to both `a` and `b` in place (small rows, O(k) scratch).
+fn apply_permutation(perm: &[u32], a: &mut [u32], b: &mut [u32]) {
+    let ta: Vec<u32> = perm.iter().map(|&i| a[i as usize]).collect();
+    let tb: Vec<u32> = perm.iter().map(|&i| b[i as usize]).collect();
+    a.copy_from_slice(&ta);
+    b.copy_from_slice(&tb);
+}
+
+/// Raw pointer wrapper so disjoint-index parallel scatters can cross the
+/// closure boundary; soundness is argued at each use site. Access goes
+/// through [`SendPtr::get`] so edition-2021 closures capture the wrapper
+/// (which is `Sync`) rather than the raw pointer field (which is not).
+#[derive(Clone, Copy)]
+struct SendPtr<T>(*mut T);
+unsafe impl<T> Send for SendPtr<T> {}
+unsafe impl<T> Sync for SendPtr<T> {}
+impl<T> SendPtr<T> {
+    #[inline]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_selfloop_symmetrize() {
+        // (2,1) duplicates (1,2); (3,3) is a self-loop.
+        let g = GraphBuilder::new(4)
+            .edges([(1, 2), (2, 1), (3, 3), (0, 1)])
+            .build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.neighbors(3), &[] as &[u32]);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn rows_sorted_with_aligned_edge_ids() {
+        let g = GraphBuilder::new(6)
+            .edges([(5, 0), (0, 3), (0, 1), (4, 0), (0, 2)])
+            .build();
+        assert_eq!(g.neighbors(0), &[1, 2, 3, 4, 5]);
+        for (w, e) in g.arcs(0) {
+            assert_eq!(g.edge(e), (0, w));
+        }
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn star_and_path_shapes() {
+        let star = from_edge_list(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert_eq!(star.degree(0), 4);
+        assert_eq!(star.max_degree(), 4);
+        let path = from_edge_list(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(path.degree(0), 1);
+        assert_eq!(path.degree(1), 2);
+        path.validate().unwrap();
+    }
+
+    #[test]
+    fn larger_random_graph_validates() {
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 2000usize;
+        let mut b = GraphBuilder::new(n);
+        for _ in 0..10_000 {
+            let u = rng.random_range(0..n) as u32;
+            let v = rng.random_range(0..n) as u32;
+            b.push(u, v);
+        }
+        let g = b.build();
+        g.validate().unwrap();
+        // Handshake identity.
+        let degsum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        assert_eq!(degsum, 2 * g.num_edges());
+    }
+
+    #[test]
+    fn edge_ids_are_dense_and_consistent() {
+        let g = from_edge_list(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let mut seen = vec![false; g.num_edges()];
+        for v in g.vertices() {
+            for (_, e) in g.arcs(v) {
+                seen[e as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

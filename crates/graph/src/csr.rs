@@ -1,0 +1,245 @@
+//! The compressed-sparse-row graph type.
+
+/// Vertex identifier. `u32` keeps the adjacency arrays compact (see the
+/// "Smaller Integers" guidance in the Rust Performance Book); graphs in this
+/// study stay far below `u32::MAX` vertices.
+pub type VertexId = u32;
+
+/// Sentinel for "no vertex" / "no edge" in parent, mate, and label arrays.
+pub const INVALID: u32 = u32::MAX;
+
+/// An immutable undirected graph in CSR form with stable edge ids.
+///
+/// Both arcs `(u,v)` and `(v,u)` of an undirected edge carry the same edge id
+/// `e`, and `edge(e)` recovers the endpoint pair with `u < v`. Construct via
+/// [`crate::builder::GraphBuilder`], which deduplicates, drops self-loops,
+/// and symmetrizes directed input — the preprocessing the paper applies to
+/// its dataset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// CSR row offsets; `offsets[v]..offsets[v+1]` indexes `v`'s arcs.
+    pub(crate) offsets: Vec<usize>,
+    /// Arc targets, grouped by source vertex, sorted within each row.
+    pub(crate) neighbors: Vec<VertexId>,
+    /// Undirected edge id of each arc (parallel to `neighbors`).
+    pub(crate) edge_ids: Vec<u32>,
+    /// Endpoint pairs per edge id, normalized `u < v`.
+    pub(crate) edges: Vec<[VertexId; 2]>,
+}
+
+impl Graph {
+    /// The empty graph on `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Self {
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+            edge_ids: Vec::new(),
+            edges: Vec::new(),
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Neighbors of `v`, sorted ascending.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Edge ids of the arcs out of `v` (parallel to [`Self::neighbors`]).
+    #[inline]
+    pub fn edge_ids_of(&self, v: VertexId) -> &[u32] {
+        &self.edge_ids[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Iterate `(neighbor, edge_id)` pairs of `v`.
+    #[inline]
+    pub fn arcs(&self, v: VertexId) -> impl Iterator<Item = (VertexId, u32)> + '_ {
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.edge_ids_of(v).iter().copied())
+    }
+
+    /// Endpoints of edge `e`, normalized so `.0 < .1`.
+    #[inline]
+    pub fn edge(&self, e: u32) -> (VertexId, VertexId) {
+        let [u, v] = self.edges[e as usize];
+        (u, v)
+    }
+
+    /// All edges as `(u, v)` pairs with `u < v`, indexed by edge id.
+    #[inline]
+    pub fn edge_list(&self) -> &[[VertexId; 2]] {
+        &self.edges
+    }
+
+    /// Average degree `2m/n` (0 for the empty vertex set).
+    pub fn avg_degree(&self) -> f64 {
+        let n = self.num_vertices();
+        if n == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges() as f64 / n as f64
+        }
+    }
+
+    /// Maximum degree over all vertices.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices())
+            .map(|v| self.degree(v as VertexId))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// True when `u` and `v` are adjacent (binary search on the CSR row).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Edge id of `(u, v)` if adjacent.
+    pub fn find_edge(&self, u: VertexId, v: VertexId) -> Option<u32> {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a)
+            .binary_search(&b)
+            .ok()
+            .map(|pos| self.edge_ids_of(a)[pos])
+    }
+
+    /// Iterate all vertex ids.
+    #[inline]
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Structural invariant check, used by tests and debug assertions:
+    /// offsets monotone, rows sorted, arcs symmetric, edge ids consistent.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.num_vertices();
+        if *self.offsets.last().unwrap() != self.neighbors.len() {
+            return Err("offsets do not cover neighbor array".into());
+        }
+        if self.neighbors.len() != self.edge_ids.len() {
+            return Err("edge_ids length mismatch".into());
+        }
+        if self.neighbors.len() != 2 * self.edges.len() {
+            return Err(format!(
+                "arc count {} != 2 × edge count {}",
+                self.neighbors.len(),
+                self.edges.len()
+            ));
+        }
+        for v in 0..n {
+            if self.offsets[v] > self.offsets[v + 1] {
+                return Err(format!("offsets not monotone at {v}"));
+            }
+            let row = self.neighbors(v as VertexId);
+            if !row.windows(2).all(|w| w[0] < w[1]) {
+                return Err(format!("row {v} not strictly sorted"));
+            }
+            for (w, e) in self.arcs(v as VertexId) {
+                if w as usize >= n {
+                    return Err(format!("target {w} out of range"));
+                }
+                if w as usize == v {
+                    return Err(format!("self-loop at {v}"));
+                }
+                let (a, b) = self.edge(e);
+                let (x, y) = (v.min(w as usize) as u32, v.max(w as usize) as u32);
+                if (a, b) != (x, y) {
+                    return Err(format!("edge id {e} inconsistent at arc ({v},{w})"));
+                }
+            }
+        }
+        for (e, &[u, v]) in self.edges.iter().enumerate() {
+            if u >= v {
+                return Err(format!("edge {e} not normalized"));
+            }
+            if !self.has_edge(u, v) {
+                return Err(format!("edge {e} missing from adjacency"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn empty_graph() {
+        let g = super::Graph::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(3), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        assert_eq!(g.max_degree(), 0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_vertices() {
+        let g = super::Graph::empty(0);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn triangle_accessors() {
+        let g = GraphBuilder::new(3)
+            .edges([(0, 1), (1, 2), (0, 2)])
+            .build();
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 0));
+        let e = g.find_edge(2, 1).unwrap();
+        assert_eq!(g.edge(e), (1, 2));
+        assert_eq!(g.find_edge(0, 1).map(|e| g.edge(e)), Some((0, 1)));
+        assert!((g.avg_degree() - 2.0).abs() < 1e-12);
+        assert_eq!(g.max_degree(), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn arcs_pair_neighbor_with_edge_id() {
+        let g = GraphBuilder::new(4)
+            .edges([(0, 1), (0, 2), (0, 3)])
+            .build();
+        for (w, e) in g.arcs(0) {
+            let (a, b) = g.edge(e);
+            assert_eq!((a, b), (0, w));
+        }
+        // Reverse arcs carry the same ids.
+        let e01 = g.find_edge(0, 1).unwrap();
+        assert!(g.arcs(1).any(|(w, e)| w == 0 && e == e01));
+    }
+}

@@ -1,0 +1,292 @@
+//! Graph I/O: whitespace edge lists and Matrix Market files.
+//!
+//! The paper's dataset comes from the SuiteSparse (University of Florida)
+//! collection, distributed as Matrix Market. These readers apply the same
+//! preprocessing the paper describes: symmetrize, drop self-loops, dedup.
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors from the readers.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed content with a line number and message.
+    Parse { line: usize, msg: String },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Read a whitespace-separated edge list (`u v` per line, 0-based ids,
+/// `#`/`%` comments). The vertex count is `max id + 1` unless a larger hint
+/// is given.
+pub fn read_edge_list<R: Read>(reader: R, n_hint: Option<usize>) -> Result<Graph, IoError> {
+    let br = BufReader::new(reader);
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut max_id = 0u32;
+    for (lineno, line) in br.lines().enumerate() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |s: Option<&str>| -> Result<u32, IoError> {
+            s.ok_or_else(|| IoError::Parse {
+                line: lineno + 1,
+                msg: "expected two vertex ids".into(),
+            })?
+            .parse::<u32>()
+            .map_err(|e| IoError::Parse {
+                line: lineno + 1,
+                msg: e.to_string(),
+            })
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        max_id = max_id.max(u).max(v);
+        edges.push((u, v));
+    }
+    let n = n_hint
+        .unwrap_or(0)
+        .max(if edges.is_empty() { 0 } else { max_id as usize + 1 });
+    Ok(GraphBuilder::new(n).edges(edges).build())
+}
+
+/// Write a graph as a 0-based edge list, one `u v` per line.
+pub fn write_edge_list<W: Write>(g: &Graph, writer: W) -> Result<(), IoError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# vertices {} edges {}", g.num_vertices(), g.num_edges())?;
+    for &[u, v] in g.edge_list() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Read a Matrix Market coordinate file as an undirected graph.
+///
+/// Accepts `pattern`/`real`/`integer` fields and `general`/`symmetric`
+/// symmetry; numeric values are ignored (the study treats all graphs as
+/// unweighted). Entries are 1-based per the format.
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, IoError> {
+    let br = BufReader::new(reader);
+    let mut lines = br.lines().enumerate();
+
+    // Header: %%MatrixMarket matrix coordinate <field> <symmetry>
+    let (hline, header) = loop {
+        match lines.next() {
+            Some((i, l)) => {
+                let l = l?;
+                if !l.trim().is_empty() {
+                    break (i, l);
+                }
+            }
+            None => {
+                return Err(IoError::Parse {
+                    line: 0,
+                    msg: "empty file".into(),
+                })
+            }
+        }
+    };
+    let head: Vec<String> = header.split_whitespace().map(|s| s.to_lowercase()).collect();
+    if head.len() < 5 || head[0] != "%%matrixmarket" || head[2] != "coordinate" {
+        return Err(IoError::Parse {
+            line: hline + 1,
+            msg: "expected '%%MatrixMarket matrix coordinate ...'".into(),
+        });
+    }
+
+    // Size line: rows cols nnz (skipping comments).
+    let (rows, _cols, nnz, size_line) = loop {
+        let (i, l) = lines.next().ok_or(IoError::Parse {
+            line: hline + 1,
+            msg: "missing size line".into(),
+        })?;
+        let l = l?;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let parts: Vec<&str> = t.split_whitespace().collect();
+        if parts.len() != 3 {
+            return Err(IoError::Parse {
+                line: i + 1,
+                msg: "size line must have three fields".into(),
+            });
+        }
+        let p = |s: &str| -> Result<usize, IoError> {
+            s.parse().map_err(|_| IoError::Parse {
+                line: i + 1,
+                msg: format!("bad size value '{s}'"),
+            })
+        };
+        break (p(parts[0])?, p(parts[1])?, p(parts[2])?, i);
+    };
+
+    let mut b = GraphBuilder::new(rows.max(_cols));
+    b.reserve(nnz);
+    let mut read = 0usize;
+    for (i, l) in lines {
+        let l = l?;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let p = |s: Option<&str>| -> Result<u64, IoError> {
+            s.ok_or(IoError::Parse {
+                line: i + 1,
+                msg: "entry needs row and column".into(),
+            })?
+            .parse()
+            .map_err(|_| IoError::Parse {
+                line: i + 1,
+                msg: "bad index".into(),
+            })
+        };
+        let r = p(it.next())?;
+        let c = p(it.next())?;
+        if r == 0 || c == 0 {
+            return Err(IoError::Parse {
+                line: i + 1,
+                msg: "matrix market indices are 1-based".into(),
+            });
+        }
+        // Value field (if any) ignored.
+        b.push((r - 1) as u32, (c - 1) as u32);
+        read += 1;
+    }
+    if read != nnz {
+        return Err(IoError::Parse {
+            line: size_line + 1,
+            msg: format!("size line promised {nnz} entries, found {read}"),
+        });
+    }
+    Ok(b.build())
+}
+
+/// Read a graph from a path, dispatching on extension (`.mtx` → Matrix
+/// Market, anything else → edge list).
+pub fn read_path(path: &Path) -> Result<Graph, IoError> {
+    let f = std::fs::File::open(path)?;
+    if path.extension().is_some_and(|e| e == "mtx") {
+        read_matrix_market(f)
+    } else {
+        read_edge_list(f, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = crate::builder::from_edge_list(5, &[(0, 1), (1, 2), (3, 4)]);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(Cursor::new(buf), Some(5)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_skips_comments_and_blank_lines() {
+        let text = "# comment\n\n0 1\n% other comment\n1 2\n";
+        let g = read_edge_list(Cursor::new(text), None).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        let err = read_edge_list(Cursor::new("0 x\n"), None).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }));
+        let err = read_edge_list(Cursor::new("5\n"), None).unwrap_err();
+        assert!(matches!(err, IoError::Parse { .. }));
+    }
+
+    #[test]
+    fn matrix_market_symmetric_pattern() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                    % a comment\n\
+                    4 4 3\n1 2\n2 3\n4 4\n";
+        let g = read_matrix_market(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        // Self-loop (4,4) dropped.
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn matrix_market_general_with_values_symmetrizes() {
+        let text = "%%MatrixMarket matrix coordinate real general\n\
+                    3 3 4\n1 2 1.5\n2 1 2.5\n2 3 0.1\n3 3 9.0\n";
+        let g = read_matrix_market(Cursor::new(text)).unwrap();
+        // (1,2) and (2,1) merge, (3,3) self-loop drops.
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn matrix_market_entry_count_mismatch() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 3\n1 2\n";
+        assert!(read_matrix_market(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn matrix_market_bad_header() {
+        let text = "%%NotMatrixMarket nope\n1 1 0\n";
+        assert!(read_matrix_market(Cursor::new(text)).is_err());
+    }
+
+    #[test]
+    fn matrix_market_header_case_and_whitespace_tolerant() {
+        let text = "%%MATRIXMARKET MATRIX COORDINATE PATTERN SYMMETRIC\n  3   3   2 \n 1  2 \n2\t3\n";
+        let g = read_matrix_market(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn matrix_market_crlf_line_endings() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\r\n2 2 1\r\n1 2\r\n";
+        let g = read_matrix_market(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn matrix_market_rectangular_uses_max_dimension() {
+        // Bipartite-style rectangular matrices appear in the UFL set; the
+        // reader sizes the vertex set by max(rows, cols).
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 5 1\n1 5\n";
+        let g = read_matrix_market(Cursor::new(text)).unwrap();
+        assert_eq!(g.num_vertices(), 5);
+        assert!(g.has_edge(0, 4));
+    }
+
+    #[test]
+    fn matrix_market_rejects_zero_index() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n";
+        assert!(read_matrix_market(Cursor::new(text)).is_err());
+    }
+}

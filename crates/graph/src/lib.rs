@@ -1,0 +1,34 @@
+//! CSR graph substrate for the symmetry-breaking study.
+//!
+//! Everything in this repository operates on [`Graph`]: an immutable,
+//! undirected graph in compressed-sparse-row form with stable *edge ids*
+//! (both arcs of an undirected edge share one id), which the edge-centric
+//! algorithms (LMAX matching, EB coloring, BRIDGE marking) rely on.
+//!
+//! Submodules:
+//! * [`csr`] — the graph type itself and its accessors.
+//! * [`builder`] — edge-list ingestion: parallel sort, dedup, self-loop
+//!   removal, direction symmetrization (the paper's preprocessing).
+//! * [`bfs`] — level-synchronous parallel BFS (Step 1 of BRIDGE).
+//! * [`components`] — parallel connected components.
+//! * [`subgraph`] — vertex- and edge-induced subgraph materialization with
+//!   id remapping.
+//! * [`view`] — zero-copy edge-filtered views (the output form of the
+//!   light-weight decompositions).
+//! * [`io`] — edge-list and Matrix-Market readers/writers so the original
+//!   SuiteSparse inputs drop in when available.
+//! * [`stats`] — the Table II statistics (%DEG2, average degree, …).
+
+pub mod bfs;
+pub mod builder;
+pub mod components;
+pub mod csr;
+pub mod io;
+pub mod stats;
+pub mod subgraph;
+pub mod view;
+
+pub use builder::GraphBuilder;
+pub use csr::{Graph, VertexId, INVALID};
+pub use stats::GraphStats;
+pub use view::EdgeView;

@@ -1,0 +1,216 @@
+//! Table II statistics.
+//!
+//! The paper characterizes each dataset by |V|, |E|, the percentage of
+//! vertices with degree ≤ 2 (%DEG2), the percentage of bridge edges
+//! (%BRIDGES — computed by `sb-decompose`, not here), and the average
+//! degree. These statistics are what the synthetic stand-in generators are
+//! validated against.
+
+use crate::csr::Graph;
+use rayon::prelude::*;
+
+/// Degree-profile statistics of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub num_vertices: usize,
+    /// Number of undirected edges.
+    pub num_edges: usize,
+    /// Average degree `2m/n`.
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Percentage (0–100) of vertices with degree ≤ 2 — the %DEG2 column.
+    pub pct_deg_le2: f64,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated: usize,
+}
+
+impl GraphStats {
+    /// Compute the statistics for `g`.
+    pub fn compute(g: &Graph) -> Self {
+        let n = g.num_vertices();
+        let (deg2, isolated, maxd) = (0..n)
+            .into_par_iter()
+            .map(|v| {
+                let d = g.degree(v as u32);
+                (usize::from(d <= 2), usize::from(d == 0), d)
+            })
+            .reduce(
+                || (0, 0, 0),
+                |a, b| (a.0 + b.0, a.1 + b.1, a.2.max(b.2)),
+            );
+        Self {
+            num_vertices: n,
+            num_edges: g.num_edges(),
+            avg_degree: g.avg_degree(),
+            max_degree: maxd,
+            pct_deg_le2: if n == 0 { 0.0 } else { 100.0 * deg2 as f64 / n as f64 },
+            isolated,
+        }
+    }
+}
+
+/// Percentage (0–100) of vertices with degree ≤ `k`.
+pub fn pct_deg_le(g: &Graph, k: usize) -> f64 {
+    let n = g.num_vertices();
+    if n == 0 {
+        return 0.0;
+    }
+    let c = (0..n)
+        .into_par_iter()
+        .filter(|&v| g.degree(v as u32) <= k)
+        .count();
+    100.0 * c as f64 / n as f64
+}
+
+/// Degeneracy (k-core) decomposition: `coreness[v]` is the largest `k`
+/// such that `v` survives in the `k`-core; the returned pair is
+/// `(coreness, degeneracy)`. Cascading min-degree peel, O(n + m).
+///
+/// The degeneracy explains several of the study's effects at once: the
+/// DEG2 decomposition peels exactly the 1- and 2-shells, and a graph's
+/// chromatic number is at most degeneracy + 1.
+pub fn coreness(g: &Graph) -> (Vec<u32>, u32) {
+    let n = g.num_vertices();
+    let mut core = vec![u32::MAX; n];
+    let mut residual: Vec<u32> = (0..n).map(|v| g.degree(v as u32) as u32).collect();
+    let mut remaining = n;
+    let mut k = 0u32;
+    let mut degeneracy = 0u32;
+    while remaining > 0 {
+        let mut frontier: Vec<u32> = (0..n as u32)
+            .filter(|&v| core[v as usize] == u32::MAX && residual[v as usize] <= k)
+            .collect();
+        for &v in &frontier {
+            core[v as usize] = k;
+        }
+        if !frontier.is_empty() {
+            degeneracy = k;
+        }
+        while let Some(v) = frontier.pop() {
+            remaining -= 1;
+            for &w in g.neighbors(v) {
+                if core[w as usize] == u32::MAX {
+                    residual[w as usize] -= 1;
+                    if residual[w as usize] <= k {
+                        core[w as usize] = k;
+                        frontier.push(w);
+                    }
+                }
+            }
+        }
+        k += 1;
+    }
+    (core, degeneracy)
+}
+
+/// Full degree histogram (index = degree).
+pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+    let maxd = g.max_degree();
+    let mut h = vec![0usize; maxd + 1];
+    for v in g.vertices() {
+        h[g.degree(v)] += 1;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edge_list;
+
+    #[test]
+    fn stats_of_star() {
+        // Star K1,4: center degree 4, leaves degree 1.
+        let g = from_edge_list(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_vertices, 5);
+        assert_eq!(s.num_edges, 4);
+        assert_eq!(s.max_degree, 4);
+        assert!((s.avg_degree - 1.6).abs() < 1e-12);
+        assert!((s.pct_deg_le2 - 80.0).abs() < 1e-12);
+        assert_eq!(s.isolated, 0);
+    }
+
+    #[test]
+    fn isolated_counted() {
+        let g = from_edge_list(4, &[(0, 1)]);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.isolated, 2);
+        assert!((s.pct_deg_le2 - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pct_deg_le_thresholds() {
+        let g = from_edge_list(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        assert!((pct_deg_le(&g, 0) - 0.0).abs() < 1e-12);
+        assert!((pct_deg_le(&g, 1) - 80.0).abs() < 1e-12);
+        assert!((pct_deg_le(&g, 4) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = from_edge_list(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 6);
+        assert_eq!(h[2], 6, "cycle is 2-regular");
+    }
+
+    #[test]
+    fn coreness_of_known_shapes() {
+        // Tree: everything peels at k ≤ 1 → degeneracy 1.
+        let t = from_edge_list(5, &[(0, 1), (1, 2), (1, 3), (3, 4)]);
+        let (c, d) = coreness(&t);
+        assert_eq!(d, 1);
+        assert!(c.iter().all(|&x| x <= 1));
+
+        // Cycle: 2-regular → every vertex coreness 2.
+        let cy = from_edge_list(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let (c, d) = coreness(&cy);
+        assert_eq!(d, 2);
+        assert!(c.iter().all(|&x| x == 2));
+
+        // K4 with a pendant: clique coreness 3, pendant 1.
+        let g = from_edge_list(
+            5,
+            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)],
+        );
+        let (c, d) = coreness(&g);
+        assert_eq!(d, 3);
+        assert_eq!(c[4], 1);
+        assert_eq!(c[0], 3);
+    }
+
+    #[test]
+    fn coreness_is_monotone_under_deg2_peel() {
+        // The DEG2 low side is exactly the ≤2-shell: every low vertex has
+        // coreness ≤ 2.
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let n = 300usize;
+        let edges: Vec<(u32, u32)> = (0..900)
+            .map(|_| {
+                (
+                    rng.random_range(0..n) as u32,
+                    rng.random_range(0..n) as u32,
+                )
+            })
+            .collect();
+        let g = from_edge_list(n, &edges);
+        let (core, _) = coreness(&g);
+        for v in g.vertices() {
+            if g.degree(v) <= 2 {
+                assert!(core[v as usize] <= 2, "vertex {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = Graph::empty(0);
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.num_vertices, 0);
+        assert_eq!(s.pct_deg_le2, 0.0);
+    }
+}

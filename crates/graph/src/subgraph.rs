@@ -1,0 +1,411 @@
+//! Subgraph materialization — the output form of every decomposition.
+//!
+//! Two families:
+//!
+//! * **Same-id filtering** ([`filter_edges`], [`induce_vertices_same_ids`]):
+//!   the subgraph keeps the parent's vertex set and drops edges. This is what
+//!   the solvers consume, because it lets the matching/color/MIS arrays of
+//!   all phases share indices — exactly how the paper's composite algorithms
+//!   (Algorithms 4–12) pass partial solutions between phases. Processing the
+//!   union of the decomposition pieces "in parallel" is then one solve over
+//!   the filtered graph, whose pieces are disconnected from each other.
+//! * **Remapped compaction** ([`induce_vertices_remap`],
+//!   [`induce_edges_remap`]): a dense subgraph plus a `to_parent` map, used
+//!   when a piece must be handed to an algorithm as a standalone graph.
+
+use crate::builder::GraphBuilder;
+use crate::csr::{Graph, VertexId, INVALID};
+use rayon::prelude::*;
+
+/// A compacted subgraph together with its vertex mapping back to the parent.
+#[derive(Debug, Clone)]
+pub struct Subgraph {
+    /// The materialized subgraph with dense vertex ids `0..k`.
+    pub graph: Graph,
+    /// `to_parent[new_id] = parent_id`.
+    pub to_parent: Vec<VertexId>,
+}
+
+impl Subgraph {
+    /// Inverse mapping: `from_parent[parent_id] = new_id` or `INVALID`.
+    pub fn from_parent(&self, parent_n: usize) -> Vec<u32> {
+        let mut inv = vec![INVALID; parent_n];
+        for (new, &old) in self.to_parent.iter().enumerate() {
+            inv[old as usize] = new as u32;
+        }
+        inv
+    }
+}
+
+/// Keep only edges `e` with `keep(e)`; the vertex set is unchanged.
+///
+/// Fast path used by every decomposition: because the parent is already a
+/// deduplicated CSR with sorted rows, the filtered graph is assembled in
+/// O(n + m) with two scans and no sorting — the decompositions must stay
+/// *light-weight* (Figure 2 of the paper) or they could never pay off.
+pub fn filter_edges<F>(g: &Graph, keep: F) -> Graph
+where
+    F: Fn(u32) -> bool + Sync,
+{
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    // New edge ids = rank among kept edges (edge list stays sorted).
+    let flags: Vec<usize> = (0..m).into_par_iter().map(|e| keep(e as u32) as usize).collect();
+    let (new_id, m_new) = sb_par::prim::exclusive_scan_vec(&flags);
+    let edges: Vec<[VertexId; 2]> = {
+        let mut out = vec![[0u32; 2]; m_new];
+        let out_at = OutCells(out.as_mut_ptr());
+        (0..m).into_par_iter().for_each(|e| {
+            if flags[e] == 1 {
+                // SAFETY: new_id is a bijection from kept edges to 0..m_new.
+                unsafe { *out_at.get().add(new_id[e]) = g.edge_list()[e] };
+            }
+        });
+        out
+    };
+
+    // Per-vertex filtered degrees, then CSR fill preserving row order (the
+    // parent rows are sorted, so the filtered rows are too).
+    let degrees: Vec<usize> = (0..n)
+        .into_par_iter()
+        .map(|v| {
+            g.edge_ids_of(v as VertexId)
+                .iter()
+                .filter(|&&e| flags[e as usize] == 1)
+                .count()
+        })
+        .collect();
+    let (mut offsets, arcs) = sb_par::prim::exclusive_scan_vec(&degrees);
+    offsets.push(arcs);
+    debug_assert_eq!(arcs, 2 * m_new);
+    let mut neighbors = vec![0u32; arcs];
+    let mut edge_ids = vec![0u32; arcs];
+    {
+        let nb = OutCells(neighbors.as_mut_ptr());
+        let ei = OutCells(edge_ids.as_mut_ptr());
+        (0..n).into_par_iter().for_each(|v| {
+            let mut cursor = offsets[v];
+            for (w, e) in g.arcs(v as VertexId) {
+                if flags[e as usize] == 1 {
+                    // SAFETY: each row range [offsets[v], offsets[v+1]) is
+                    // written only by its own vertex's iteration.
+                    unsafe {
+                        *nb.get().add(cursor) = w;
+                        *ei.get().add(cursor) = new_id[e as usize] as u32;
+                    }
+                    cursor += 1;
+                }
+            }
+            debug_assert_eq!(cursor, offsets[v + 1]);
+        });
+    }
+    let out = Graph {
+        offsets,
+        neighbors,
+        edge_ids,
+        edges,
+    };
+    debug_assert!(out.validate().is_ok());
+    out
+}
+
+/// Split the edges of `g` into `nclasses` graphs in one fused pass:
+/// `class(e)` assigns every edge to exactly one output graph, all on the
+/// parent's vertex set. One shared classification pass plus one fill pass
+/// per vertex covering all classes — this is what keeps the RAND and DEGk
+/// decompositions *light-weight* (a DEGk split is 3 `filter_edges` calls'
+/// worth of output for roughly one call's worth of passes).
+pub fn split_edges<F>(g: &Graph, nclasses: usize, class: F) -> Vec<Graph>
+where
+    F: Fn(u32) -> usize + Sync,
+{
+    assert!(nclasses >= 1);
+    let n = g.num_vertices();
+    let m = g.num_edges();
+    // Classify every edge once.
+    let cls: Vec<u8> = (0..m)
+        .into_par_iter()
+        .map(|e| {
+            let c = class(e as u32);
+            debug_assert!(c < nclasses && nclasses <= u8::MAX as usize);
+            c as u8
+        })
+        .collect();
+    // Per-class new edge ids + edge lists.
+    let mut per_class_new_id: Vec<Vec<usize>> = Vec::with_capacity(nclasses);
+    let mut per_class_edges: Vec<Vec<[VertexId; 2]>> = Vec::with_capacity(nclasses);
+    for c in 0..nclasses {
+        let flags: Vec<usize> = cls.par_iter().map(|&x| (x as usize == c) as usize).collect();
+        let (new_id, mc) = sb_par::prim::exclusive_scan_vec(&flags);
+        let mut edges = vec![[0u32; 2]; mc];
+        {
+            let out = OutCells(edges.as_mut_ptr());
+            (0..m).into_par_iter().for_each(|e| {
+                if cls[e] as usize == c {
+                    // SAFETY: new_id restricted to class-c edges is a
+                    // bijection onto 0..mc.
+                    unsafe { *out.get().add(new_id[e]) = g.edge_list()[e] };
+                }
+            });
+        }
+        per_class_new_id.push(new_id);
+        per_class_edges.push(edges);
+    }
+    // Per-vertex, per-class degrees in one adjacency pass.
+    let deg_rows: Vec<Vec<usize>> = (0..n)
+        .into_par_iter()
+        .map(|v| {
+            let mut d = vec![0usize; nclasses];
+            for &e in g.edge_ids_of(v as VertexId) {
+                d[cls[e as usize] as usize] += 1;
+            }
+            d
+        })
+        .collect();
+    // Assemble each class graph.
+    (0..nclasses)
+        .map(|c| {
+            let degrees: Vec<usize> = deg_rows.iter().map(|d| d[c]).collect();
+            let (mut offsets, arcs) = sb_par::prim::exclusive_scan_vec(&degrees);
+            offsets.push(arcs);
+            let mut neighbors = vec![0u32; arcs];
+            let mut edge_ids = vec![0u32; arcs];
+            {
+                let nb = OutCells(neighbors.as_mut_ptr());
+                let ei = OutCells(edge_ids.as_mut_ptr());
+                let new_id = &per_class_new_id[c];
+                (0..n).into_par_iter().for_each(|v| {
+                    let mut cursor = offsets[v];
+                    for (w, e) in g.arcs(v as VertexId) {
+                        if cls[e as usize] as usize == c {
+                            // SAFETY: row ranges are disjoint per vertex.
+                            unsafe {
+                                *nb.get().add(cursor) = w;
+                                *ei.get().add(cursor) = new_id[e as usize] as u32;
+                            }
+                            cursor += 1;
+                        }
+                    }
+                    debug_assert_eq!(cursor, offsets[v + 1]);
+                });
+            }
+            let out = Graph {
+                offsets,
+                neighbors,
+                edge_ids,
+                edges: std::mem::take(&mut per_class_edges[c]),
+            };
+            debug_assert!(out.validate().is_ok());
+            out
+        })
+        .collect()
+}
+
+/// Raw-pointer cell for disjoint-index parallel scatters (method access so
+/// edition-2021 closures capture the `Sync` wrapper, not the pointer).
+#[derive(Clone, Copy)]
+struct OutCells<T>(*mut T);
+unsafe impl<T> Send for OutCells<T> {}
+unsafe impl<T> Sync for OutCells<T> {}
+impl<T> OutCells<T> {
+    #[inline]
+    fn get(&self) -> *mut T {
+        self.0
+    }
+}
+
+/// Vertex-induced subgraph on the parent's id space: keeps edges whose both
+/// endpoints satisfy `in_set`.
+pub fn induce_vertices_same_ids<F>(g: &Graph, in_set: F) -> Graph
+where
+    F: Fn(VertexId) -> bool + Sync,
+{
+    filter_edges(g, |e| {
+        let (u, v) = g.edge(e);
+        in_set(u) && in_set(v)
+    })
+}
+
+/// Cross-edge subgraph on the parent's id space: keeps edges with exactly one
+/// endpoint in the set (the `G_C` / `G_{k+1}` pieces of the decompositions).
+pub fn cross_edges_same_ids<F>(g: &Graph, in_set: F) -> Graph
+where
+    F: Fn(VertexId) -> bool + Sync,
+{
+    filter_edges(g, |e| {
+        let (u, v) = g.edge(e);
+        in_set(u) != in_set(v)
+    })
+}
+
+/// Compacted vertex-induced subgraph `G[verts]` with id remapping.
+pub fn induce_vertices_remap(g: &Graph, verts: &[VertexId]) -> Subgraph {
+    let mut to_parent = verts.to_vec();
+    to_parent.sort_unstable();
+    to_parent.dedup();
+    let mut from_parent = vec![INVALID; g.num_vertices()];
+    for (new, &old) in to_parent.iter().enumerate() {
+        from_parent[old as usize] = new as u32;
+    }
+    let edges: Vec<(u32, u32)> = g
+        .edge_list()
+        .par_iter()
+        .filter_map(|&[u, v]| {
+            let (nu, nv) = (from_parent[u as usize], from_parent[v as usize]);
+            (nu != INVALID && nv != INVALID).then_some((nu, nv))
+        })
+        .collect();
+    Subgraph {
+        graph: GraphBuilder::new(to_parent.len()).edges(edges).build(),
+        to_parent,
+    }
+}
+
+/// Compacted edge-induced subgraph: the given edges plus their endpoints.
+pub fn induce_edges_remap(g: &Graph, edge_ids: &[u32]) -> Subgraph {
+    let mut verts: Vec<VertexId> = edge_ids
+        .iter()
+        .flat_map(|&e| {
+            let (u, v) = g.edge(e);
+            [u, v]
+        })
+        .collect();
+    verts.sort_unstable();
+    verts.dedup();
+    let mut from_parent = vec![INVALID; g.num_vertices()];
+    for (new, &old) in verts.iter().enumerate() {
+        from_parent[old as usize] = new as u32;
+    }
+    let edges: Vec<(u32, u32)> = edge_ids
+        .iter()
+        .map(|&e| {
+            let (u, v) = g.edge(e);
+            (from_parent[u as usize], from_parent[v as usize])
+        })
+        .collect();
+    Subgraph {
+        graph: GraphBuilder::new(verts.len()).edges(edges).build(),
+        to_parent: verts,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edge_list;
+
+    fn k4() -> Graph {
+        from_edge_list(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn filter_keeps_selected_edges_only() {
+        let g = k4();
+        let keep = g.find_edge(0, 1).unwrap();
+        let f = filter_edges(&g, |e| e == keep);
+        assert_eq!(f.num_vertices(), 4);
+        assert_eq!(f.num_edges(), 1);
+        assert!(f.has_edge(0, 1));
+        assert!(!f.has_edge(2, 3));
+        f.validate().unwrap();
+    }
+
+    #[test]
+    fn induced_same_ids_is_triangle() {
+        let g = k4();
+        let sub = induce_vertices_same_ids(&g, |v| v < 3);
+        assert_eq!(sub.num_edges(), 3);
+        assert_eq!(sub.degree(3), 0);
+        assert!(sub.has_edge(0, 1) && sub.has_edge(1, 2) && sub.has_edge(0, 2));
+    }
+
+    #[test]
+    fn cross_edges_partition_complement() {
+        let g = k4();
+        let inside = induce_vertices_same_ids(&g, |v| v < 2);
+        let outside = induce_vertices_same_ids(&g, |v| v >= 2);
+        let cross = cross_edges_same_ids(&g, |v| v < 2);
+        assert_eq!(
+            inside.num_edges() + outside.num_edges() + cross.num_edges(),
+            g.num_edges(),
+            "induced + cross pieces must partition the edges"
+        );
+        assert_eq!(cross.num_edges(), 4);
+    }
+
+    #[test]
+    fn remap_round_trip() {
+        let g = k4();
+        let sub = induce_vertices_remap(&g, &[1, 3]);
+        assert_eq!(sub.graph.num_vertices(), 2);
+        assert_eq!(sub.graph.num_edges(), 1);
+        assert_eq!(sub.to_parent, vec![1, 3]);
+        let inv = sub.from_parent(4);
+        assert_eq!(inv[1], 0);
+        assert_eq!(inv[3], 1);
+        assert_eq!(inv[0], INVALID);
+        // Every subgraph edge maps back to a parent edge.
+        for &[u, v] in sub.graph.edge_list() {
+            assert!(g.has_edge(sub.to_parent[u as usize], sub.to_parent[v as usize]));
+        }
+    }
+
+    #[test]
+    fn edge_induced_remap() {
+        let g = from_edge_list(6, &[(0, 1), (2, 3), (4, 5), (1, 2)]);
+        let eids = vec![g.find_edge(2, 3).unwrap(), g.find_edge(4, 5).unwrap()];
+        let sub = induce_edges_remap(&g, &eids);
+        assert_eq!(sub.graph.num_vertices(), 4);
+        assert_eq!(sub.graph.num_edges(), 2);
+        assert_eq!(sub.to_parent, vec![2, 3, 4, 5]);
+        sub.graph.validate().unwrap();
+    }
+
+    #[test]
+    fn split_matches_individual_filters() {
+        let g = k4();
+        let class = |e: u32| (e as usize) % 3;
+        let parts = split_edges(&g, 3, class);
+        assert_eq!(parts.len(), 3);
+        for (c, part) in parts.iter().enumerate() {
+            let want = filter_edges(&g, |e| class(e) == c);
+            assert_eq!(part, &want, "class {c}");
+        }
+        let total: usize = parts.iter().map(|p| p.num_edges()).sum();
+        assert_eq!(total, g.num_edges());
+    }
+
+    #[test]
+    fn split_single_class_is_identity() {
+        let g = k4();
+        let parts = split_edges(&g, 1, |_| 0);
+        assert_eq!(parts[0], g);
+    }
+
+    #[test]
+    fn split_empty_classes_are_empty_graphs() {
+        let g = k4();
+        let parts = split_edges(&g, 2, |_| 0);
+        assert_eq!(parts[0].num_edges(), g.num_edges());
+        assert_eq!(parts[1].num_edges(), 0);
+        assert_eq!(parts[1].num_vertices(), g.num_vertices());
+    }
+
+    #[test]
+    fn duplicate_vertices_in_request_are_deduped() {
+        let g = k4();
+        let sub = induce_vertices_remap(&g, &[2, 2, 0, 0]);
+        assert_eq!(sub.to_parent, vec![0, 2]);
+        assert_eq!(sub.graph.num_edges(), 1);
+    }
+
+    #[test]
+    fn empty_selection() {
+        let g = k4();
+        let sub = induce_vertices_remap(&g, &[]);
+        assert_eq!(sub.graph.num_vertices(), 0);
+        let f = filter_edges(&g, |_| false);
+        assert_eq!(f.num_edges(), 0);
+        assert_eq!(f.num_vertices(), 4);
+    }
+}

@@ -1,0 +1,160 @@
+//! Edge-filtered graph views.
+//!
+//! The paper's decompositions are *light-weight*: their output is a
+//! classification of the edges (intra/cross partition, high/low/cross
+//! degree side, component/bridge), not materialized subgraphs — that is
+//! why DEG2 is the cheapest technique in Figure 2 ("a simple
+//! computation"). An [`EdgeView`] carries such a classification and lets a
+//! solver iterate a vertex's adjacency restricted to any subset of the
+//! classes, with no copy of the graph.
+
+use crate::csr::{Graph, VertexId};
+
+/// A subset of a graph's edges, described by a per-edge class array and a
+/// bitmask of admitted classes. [`EdgeView::full`] admits everything.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeView<'a> {
+    filter: Option<(&'a [u8], u8)>,
+}
+
+impl<'a> EdgeView<'a> {
+    /// The unfiltered view (every edge admitted).
+    pub const fn full() -> Self {
+        Self { filter: None }
+    }
+
+    /// View admitting edge `e` iff bit `class[e]` of `mask` is set.
+    /// Classes must be `< 8` (a larger class id would silently shift out
+    /// of the mask and never be admitted).
+    pub fn classes(class: &'a [u8], mask: u8) -> Self {
+        debug_assert!(
+            class.iter().all(|&c| c < 8),
+            "EdgeView class ids must be < 8"
+        );
+        Self {
+            filter: Some((class, mask)),
+        }
+    }
+
+    /// Does this view admit edge `e`?
+    #[inline]
+    pub fn admits(&self, e: u32) -> bool {
+        match self.filter {
+            None => true,
+            Some((class, mask)) => mask & (1 << class[e as usize]) != 0,
+        }
+    }
+
+    /// True when the view filters nothing.
+    #[inline]
+    pub fn is_full(&self) -> bool {
+        self.filter.is_none()
+    }
+
+    /// Iterate `(neighbor, edge id)` over the admitted arcs of `v`.
+    #[inline]
+    pub fn arcs<'g>(
+        &self,
+        g: &'g Graph,
+        v: VertexId,
+    ) -> impl Iterator<Item = (VertexId, u32)> + use<'g, 'a> {
+        let me = *self;
+        g.arcs(v).filter(move |&(_, e)| me.admits(e))
+    }
+
+    /// Admitted degree of `v` (scans the row).
+    pub fn degree(&self, g: &Graph, v: VertexId) -> usize {
+        match self.filter {
+            None => g.degree(v),
+            Some(_) => self.arcs(g, v).count(),
+        }
+    }
+
+    /// Does `v` have at least one admitted arc?
+    pub fn has_arc(&self, g: &Graph, v: VertexId) -> bool {
+        match self.filter {
+            None => g.degree(v) > 0,
+            Some(_) => self.arcs(g, v).next().is_some(),
+        }
+    }
+
+    /// Number of admitted edges (scans the edge list).
+    pub fn num_edges(&self, g: &Graph) -> usize {
+        match self.filter {
+            None => g.num_edges(),
+            Some(_) => (0..g.num_edges() as u32).filter(|&e| self.admits(e)).count(),
+        }
+    }
+
+    /// Materialize the admitted subgraph on the same vertex ids.
+    pub fn materialize(&self, g: &Graph) -> Graph {
+        crate::subgraph::filter_edges(g, |e| self.admits(e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edge_list;
+
+    fn path4() -> Graph {
+        from_edge_list(4, &[(0, 1), (1, 2), (2, 3)])
+    }
+
+    #[test]
+    fn full_view_is_transparent() {
+        let g = path4();
+        let v = EdgeView::full();
+        assert!(v.is_full());
+        assert_eq!(v.degree(&g, 1), 2);
+        assert_eq!(v.num_edges(&g), 3);
+        assert!(v.has_arc(&g, 0));
+        assert_eq!(v.arcs(&g, 1).count(), 2);
+    }
+
+    #[test]
+    fn class_mask_filters_arcs() {
+        let g = path4();
+        // Class by edge id parity; admit only class 1.
+        let class: Vec<u8> = (0..g.num_edges()).map(|e| (e % 2) as u8).collect();
+        let v = EdgeView::classes(&class, 0b10);
+        assert!(!v.is_full());
+        let admitted: Vec<u32> = (0..3u32).filter(|&e| v.admits(e)).collect();
+        assert_eq!(admitted, vec![1]);
+        assert_eq!(v.num_edges(&g), 1);
+        // Vertex degrees under the view.
+        let total: usize = g.vertices().map(|x| v.degree(&g, x)).sum();
+        assert_eq!(total, 2, "one admitted edge contributes two arc ends");
+    }
+
+    #[test]
+    fn multi_class_mask_unions() {
+        let g = from_edge_list(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let class: Vec<u8> = vec![0, 1, 2, 1];
+        let v = EdgeView::classes(&class, 0b110); // classes 1 and 2
+        assert_eq!(v.num_edges(&g), 3);
+        assert!(!v.admits(0));
+        assert!(v.admits(2));
+    }
+
+    #[test]
+    fn materialize_matches_filter() {
+        let g = from_edge_list(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let class: Vec<u8> = vec![0, 1, 0, 1];
+        let v = EdgeView::classes(&class, 0b01);
+        let sub = v.materialize(&g);
+        assert_eq!(sub.num_edges(), 2);
+        assert!(sub.has_edge(0, 1));
+        assert!(sub.has_edge(2, 3));
+        assert!(!sub.has_edge(1, 2));
+    }
+
+    #[test]
+    fn has_arc_respects_filter() {
+        let g = path4();
+        let class: Vec<u8> = vec![0, 0, 1];
+        let v = EdgeView::classes(&class, 0b10);
+        assert!(!v.has_arc(&g, 0));
+        assert!(v.has_arc(&g, 3));
+    }
+}

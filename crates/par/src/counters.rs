@@ -1,0 +1,264 @@
+//! Instrumentation shared by every algorithm in the study.
+//!
+//! The paper's explanations are couched in *rounds* and *work* ("GM requires
+//! on the order of 14,000 iterations… MM-Rand finds the remaining matches in
+//! another 400"). Wall-clock alone cannot confirm those claims on different
+//! hardware, so every solver in this repository reports a [`Counters`] block
+//! alongside its result, and the bench harness prints both.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Cheap, thread-safe event counters for one algorithm invocation.
+#[derive(Debug, Default)]
+pub struct Counters {
+    /// Outer synchronous rounds (iterations of the algorithm's main loop).
+    rounds: AtomicU64,
+    /// Flat data-parallel kernel launches (BSP executor increments this).
+    kernel_launches: AtomicU64,
+    /// Total elements processed across all kernels / parallel loops.
+    work_items: AtomicU64,
+    /// Edge relaxations / neighbor scans performed.
+    edges_scanned: AtomicU64,
+}
+
+impl Counters {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `k` completed rounds (usually `k = 1`).
+    #[inline]
+    pub fn add_rounds(&self, k: u64) {
+        self.rounds.fetch_add(k, Ordering::Relaxed);
+    }
+
+    /// Record a kernel launch over `n` items.
+    #[inline]
+    pub fn add_kernel(&self, n: u64) {
+        self.kernel_launches.fetch_add(1, Ordering::Relaxed);
+        self.work_items.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` processed work items outside a kernel launch.
+    #[inline]
+    pub fn add_work(&self, n: u64) {
+        self.work_items.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Record `n` scanned edges.
+    #[inline]
+    pub fn add_edges(&self, n: u64) {
+        self.edges_scanned.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Completed rounds.
+    pub fn rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Relaxed)
+    }
+
+    /// Kernel launches.
+    pub fn kernel_launches(&self) -> u64 {
+        self.kernel_launches.load(Ordering::Relaxed)
+    }
+
+    /// Total work items.
+    pub fn work_items(&self) -> u64 {
+        self.work_items.load(Ordering::Relaxed)
+    }
+
+    /// Total scanned edges.
+    pub fn edges_scanned(&self) -> u64 {
+        self.edges_scanned.load(Ordering::Relaxed)
+    }
+
+    /// Fold another counter block into this one (e.g. a subphase).
+    pub fn merge(&self, other: &Counters) {
+        self.rounds.fetch_add(other.rounds(), Ordering::Relaxed);
+        self.kernel_launches
+            .fetch_add(other.kernel_launches(), Ordering::Relaxed);
+        self.work_items
+            .fetch_add(other.work_items(), Ordering::Relaxed);
+        self.edges_scanned
+            .fetch_add(other.edges_scanned(), Ordering::Relaxed);
+    }
+
+    /// Snapshot as a plain struct for reporting.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        CounterSnapshot {
+            rounds: self.rounds(),
+            kernel_launches: self.kernel_launches(),
+            work_items: self.work_items(),
+            edges_scanned: self.edges_scanned(),
+        }
+    }
+}
+
+/// Plain-old-data snapshot of [`Counters`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CounterSnapshot {
+    /// Outer synchronous rounds.
+    pub rounds: u64,
+    /// Kernel launches.
+    pub kernel_launches: u64,
+    /// Total work items.
+    pub work_items: u64,
+    /// Scanned edges.
+    pub edges_scanned: u64,
+}
+
+/// A linear cost model turning counters into device time for the GPU-sim
+/// substitute (see DESIGN.md §2).
+///
+/// The host CPU cannot reproduce one decisive property of the K40c: the
+/// ~30× gap between *streamed* (coalesced) and *gathered* (random) memory
+/// traffic, which is what makes neighbor-chasing solvers expensive relative
+/// to the decompositions' streaming passes on real GPUs. The model charges
+/// each counter class its K40c-derived unit cost:
+///
+/// * `per_launch` — kernel launch latency (~8 µs on Kepler);
+/// * `per_stream_item` — one coalesced 8-byte item at ~288 GB/s (~0.028 ns);
+/// * `per_gather` — one dependent random read at an effective ~10 GB/s
+///   random-access bandwidth (~0.8 ns).
+///
+/// Every solver and decomposition accounts its traffic in these classes
+/// (`work_items` = streamed, `edges_scanned` = gathered), so
+/// [`GpuCostModel::modeled_ms`] is a deterministic function of the
+/// algorithm's communication structure — the quantity the paper's GPU
+/// comparisons actually measure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuCostModel {
+    /// Kernel launch latency in microseconds.
+    pub per_launch_us: f64,
+    /// Cost per streamed (coalesced) item in nanoseconds.
+    pub per_stream_ns: f64,
+    /// Cost per gathered (random) read in nanoseconds.
+    pub per_gather_ns: f64,
+}
+
+impl Default for GpuCostModel {
+    fn default() -> Self {
+        Self::K40C
+    }
+}
+
+impl GpuCostModel {
+    /// Constants derived from the NVidia Tesla K40c datasheet (288 GB/s
+    /// peak bandwidth, Kepler launch latency) and published random-access
+    /// bandwidth measurements for Kepler-class parts.
+    pub const K40C: GpuCostModel = GpuCostModel {
+        per_launch_us: 8.0,
+        per_stream_ns: 0.028,
+        per_gather_ns: 0.8,
+    };
+
+    /// Modeled device milliseconds for a counter snapshot.
+    pub fn modeled_ms(&self, s: &CounterSnapshot) -> f64 {
+        (s.kernel_launches as f64 * self.per_launch_us) * 1e-3
+            + (s.work_items as f64 * self.per_stream_ns) * 1e-6
+            + (s.edges_scanned as f64 * self.per_gather_ns) * 1e-6
+    }
+}
+
+/// Wall-clock stopwatch used by the bench harness.
+#[derive(Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing now.
+    pub fn start() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Elapsed milliseconds as `f64`.
+    pub fn elapsed_ms(&self) -> f64 {
+        self.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = Counters::new();
+        c.add_rounds(2);
+        c.add_kernel(100);
+        c.add_kernel(50);
+        c.add_work(5);
+        c.add_edges(9);
+        let s = c.snapshot();
+        assert_eq!(s.rounds, 2);
+        assert_eq!(s.kernel_launches, 2);
+        assert_eq!(s.work_items, 155);
+        assert_eq!(s.edges_scanned, 9);
+    }
+
+    #[test]
+    fn counters_merge() {
+        let a = Counters::new();
+        let b = Counters::new();
+        a.add_rounds(1);
+        b.add_rounds(3);
+        b.add_edges(7);
+        a.merge(&b);
+        assert_eq!(a.rounds(), 4);
+        assert_eq!(a.edges_scanned(), 7);
+    }
+
+    #[test]
+    fn counters_parallel_increments() {
+        use rayon::prelude::*;
+        let c = Counters::new();
+        (0..1000).into_par_iter().for_each(|_| c.add_rounds(1));
+        assert_eq!(c.rounds(), 1000);
+    }
+
+    #[test]
+    fn gpu_model_is_linear_in_counters() {
+        let m = GpuCostModel::K40C;
+        let s1 = CounterSnapshot {
+            rounds: 1,
+            kernel_launches: 10,
+            work_items: 1_000_000,
+            edges_scanned: 1_000_000,
+        };
+        let s2 = CounterSnapshot {
+            rounds: 2,
+            kernel_launches: 20,
+            work_items: 2_000_000,
+            edges_scanned: 2_000_000,
+        };
+        assert!((m.modeled_ms(&s2) - 2.0 * m.modeled_ms(&s1)).abs() < 1e-9);
+        // Gathers dominate streams by the coalescing gap.
+        let gathers = CounterSnapshot {
+            edges_scanned: 1_000_000,
+            ..Default::default()
+        };
+        let streams = CounterSnapshot {
+            work_items: 1_000_000,
+            ..Default::default()
+        };
+        assert!(m.modeled_ms(&gathers) > 10.0 * m.modeled_ms(&streams));
+    }
+
+    #[test]
+    fn stopwatch_monotone() {
+        let w = Stopwatch::start();
+        let a = w.elapsed();
+        let b = w.elapsed();
+        assert!(b >= a);
+        assert!(w.elapsed_ms() >= 0.0);
+    }
+}

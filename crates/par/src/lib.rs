@@ -1,0 +1,29 @@
+//! Parallel primitives and execution substrates for the symmetry-breaking study.
+//!
+//! This crate provides the two execution models the study runs on:
+//!
+//! * **CPU-parallel** — thin wrappers over [rayon] used by the multicore-CPU
+//!   algorithm family (module [`prim`]), plus parallel scans and stream
+//!   compaction which the graph and decomposition crates build on.
+//! * **GPU-sim** — a bulk-synchronous executor (module [`bsp`]) that runs a
+//!   sequence of flat data-parallel *kernels* with a barrier between kernels,
+//!   counting launches and per-kernel work. The GPU algorithm family (LMAX,
+//!   EB, flat Luby) is written against this executor; it substitutes for the
+//!   NVidia K40c of the original paper while preserving the algorithmic
+//!   structure that drives the paper's round-count comparisons.
+//!
+//! Supporting modules: [`atomic`] (atomic min/CAS helpers and a concurrent
+//! bitset), [`counters`] (instrumentation shared by all algorithms plus the
+//! K40c cost model), [`rng`] (counter-based splittable random numbers so
+//! parallel algorithms are deterministic for a given seed regardless of
+//! thread count), and [`union_find`] (lock-free disjoint sets).
+
+pub mod atomic;
+pub mod bsp;
+pub mod counters;
+pub mod prim;
+pub mod rng;
+pub mod union_find;
+
+pub use bsp::BspExecutor;
+pub use counters::Counters;

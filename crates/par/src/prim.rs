@@ -1,0 +1,256 @@
+//! Data-parallel building blocks: scans, stream compaction, histograms.
+//!
+//! These are the PRAM-style primitives every algorithm in the study is
+//! assembled from. They are implemented as two-pass blocked algorithms over
+//! rayon so they parallelize on multicore hosts and degrade gracefully to
+//! sequential loops on one core.
+
+use rayon::prelude::*;
+
+/// Minimum number of elements per parallel block. Below this, blocked
+/// two-pass algorithms cost more than a sequential loop.
+const BLOCK: usize = 1 << 14;
+
+/// Exclusive prefix sum: `out[i] = xs[0] + … + xs[i-1]`, returning the total.
+///
+/// Two-pass blocked scan: per-block sums in parallel, sequential scan of the
+/// (few) block sums, then per-block local scans in parallel.
+pub fn exclusive_scan(xs: &[usize], out: &mut [usize]) -> usize {
+    assert_eq!(xs.len(), out.len());
+    let n = xs.len();
+    if n == 0 {
+        return 0;
+    }
+    if n <= BLOCK {
+        let mut acc = 0usize;
+        for i in 0..n {
+            out[i] = acc;
+            acc += xs[i];
+        }
+        return acc;
+    }
+    let nblocks = n.div_ceil(BLOCK);
+    let mut block_sums: Vec<usize> = xs
+        .par_chunks(BLOCK)
+        .map(|c| c.iter().sum())
+        .collect();
+    let mut acc = 0usize;
+    for s in &mut block_sums {
+        let b = *s;
+        *s = acc;
+        acc += b;
+    }
+    debug_assert_eq!(block_sums.len(), nblocks);
+    out.par_chunks_mut(BLOCK)
+        .zip(xs.par_chunks(BLOCK))
+        .zip(block_sums.par_iter())
+        .for_each(|((o, x), &base)| {
+            let mut a = base;
+            for i in 0..x.len() {
+                o[i] = a;
+                a += x[i];
+            }
+        });
+    acc
+}
+
+/// Convenience wrapper: exclusive scan into a fresh vector, plus the total.
+pub fn exclusive_scan_vec(xs: &[usize]) -> (Vec<usize>, usize) {
+    let mut out = vec![0usize; xs.len()];
+    let total = exclusive_scan(xs, &mut out);
+    (out, total)
+}
+
+/// Stream compaction: indices `i in 0..n` with `keep(i)`, in increasing order.
+///
+/// The classic flag–scan–scatter pipeline; order-stable so downstream code
+/// can rely on deterministic output.
+pub fn compact_indices<F>(n: usize, keep: F) -> Vec<u32>
+where
+    F: Fn(usize) -> bool + Sync + Send,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    if n <= BLOCK {
+        return (0..n).filter(|&i| keep(i)).map(|i| i as u32).collect();
+    }
+    let nblocks = n.div_ceil(BLOCK);
+    // Pass 1: count survivors per block.
+    let counts: Vec<usize> = (0..nblocks)
+        .into_par_iter()
+        .map(|b| {
+            let lo = b * BLOCK;
+            let hi = n.min(lo + BLOCK);
+            (lo..hi).filter(|&i| keep(i)).count()
+        })
+        .collect();
+    let (offsets, total) = exclusive_scan_vec(&counts);
+    // Pass 2: scatter into the exact slot range for each block.
+    let mut out = vec![0u32; total];
+    let mut slices: Vec<&mut [u32]> = Vec::with_capacity(nblocks);
+    {
+        let mut rest: &mut [u32] = &mut out;
+        for &len in &counts {
+            let (head, tail) = rest.split_at_mut(len);
+            slices.push(head);
+            rest = tail;
+        }
+        debug_assert_eq!(offsets.len(), nblocks);
+    }
+    slices.into_par_iter().enumerate().for_each(|(b, slot)| {
+        let lo = b * BLOCK;
+        let hi = n.min(lo + BLOCK);
+        let mut j = 0;
+        for i in lo..hi {
+            if keep(i) {
+                slot[j] = i as u32;
+                j += 1;
+            }
+        }
+        debug_assert_eq!(j, slot.len());
+    });
+    out
+}
+
+/// Map `f` over `0..n` in parallel into a fresh vector.
+pub fn par_tabulate<T, F>(n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync + Send,
+{
+    (0..n).into_par_iter().map(f).collect()
+}
+
+/// Run `f(i)` for every `i in 0..n` in parallel (side-effecting kernel body).
+pub fn par_for<F>(n: usize, f: F)
+where
+    F: Fn(usize) + Sync + Send,
+{
+    (0..n).into_par_iter().for_each(f);
+}
+
+/// Parallel count of `i in 0..n` with `pred(i)`.
+pub fn par_count<F>(n: usize, pred: F) -> usize
+where
+    F: Fn(usize) -> bool + Sync + Send,
+{
+    (0..n).into_par_iter().filter(|&i| pred(i)).count()
+}
+
+/// Histogram of `key(i)` for `i in 0..n` into `buckets` bins.
+///
+/// Per-block private histograms merged at the end — the standard
+/// contention-free formulation.
+pub fn par_histogram<F>(n: usize, buckets: usize, key: F) -> Vec<usize>
+where
+    F: Fn(usize) -> usize + Sync + Send,
+{
+    if n == 0 {
+        return vec![0; buckets];
+    }
+    let nblocks = n.div_ceil(BLOCK).max(1);
+    (0..nblocks)
+        .into_par_iter()
+        .map(|b| {
+            let lo = b * BLOCK;
+            let hi = n.min(lo + BLOCK);
+            let mut h = vec![0usize; buckets];
+            for i in lo..hi {
+                let k = key(i);
+                debug_assert!(k < buckets);
+                h[k] += 1;
+            }
+            h
+        })
+        .reduce(
+            || vec![0usize; buckets],
+            |mut a, b| {
+                for (x, y) in a.iter_mut().zip(b) {
+                    *x += y;
+                }
+                a
+            },
+        )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq_scan(xs: &[usize]) -> (Vec<usize>, usize) {
+        let mut out = Vec::with_capacity(xs.len());
+        let mut acc = 0;
+        for &x in xs {
+            out.push(acc);
+            acc += x;
+        }
+        (out, acc)
+    }
+
+    #[test]
+    fn scan_empty_and_singleton() {
+        let (v, t) = exclusive_scan_vec(&[]);
+        assert!(v.is_empty());
+        assert_eq!(t, 0);
+        let (v, t) = exclusive_scan_vec(&[7]);
+        assert_eq!(v, vec![0]);
+        assert_eq!(t, 7);
+    }
+
+    #[test]
+    fn scan_matches_sequential_small() {
+        let xs: Vec<usize> = (0..1000).map(|i| (i * 7 + 3) % 11).collect();
+        let (got, total) = exclusive_scan_vec(&xs);
+        let (want, wtotal) = seq_scan(&xs);
+        assert_eq!(got, want);
+        assert_eq!(total, wtotal);
+    }
+
+    #[test]
+    fn scan_matches_sequential_multi_block() {
+        let n = BLOCK * 3 + 137;
+        let xs: Vec<usize> = (0..n).map(|i| i % 5).collect();
+        let (got, total) = exclusive_scan_vec(&xs);
+        let (want, wtotal) = seq_scan(&xs);
+        assert_eq!(total, wtotal);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn compact_small_and_large_match_filter() {
+        for n in [0usize, 1, 100, BLOCK * 2 + 55] {
+            let got = compact_indices(n, |i| i % 3 == 1);
+            let want: Vec<u32> = (0..n).filter(|i| i % 3 == 1).map(|i| i as u32).collect();
+            assert_eq!(got, want, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn compact_all_and_none() {
+        assert_eq!(compact_indices(10, |_| false), Vec::<u32>::new());
+        assert_eq!(
+            compact_indices(10, |_| true),
+            (0..10u32).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn tabulate_count_histogram() {
+        let v = par_tabulate(100, |i| i * 2);
+        assert_eq!(v[40], 80);
+        assert_eq!(par_count(100, |i| i < 30), 30);
+        let h = par_histogram(1000, 4, |i| i % 4);
+        assert_eq!(h, vec![250; 4]);
+    }
+
+    #[test]
+    fn histogram_multi_block() {
+        let n = BLOCK * 2 + 9;
+        let h = par_histogram(n, 3, |i| i % 3);
+        assert_eq!(h.iter().sum::<usize>(), n);
+        for (k, &c) in h.iter().enumerate() {
+            assert_eq!(c, (0..n).filter(|i| i % 3 == k).count());
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Lock-free concurrent union-find.
+//!
+//! Wait-free finds with path halving and CAS-based hooking by minimum
+//! representative. Used by the biconnected-components decomposition, where
+//! every non-tree edge's LCA walk unions the tree edges on its fundamental
+//! cycle concurrently with all other walks.
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// A concurrent disjoint-set forest over `0..len`.
+#[derive(Debug)]
+pub struct ConcurrentUnionFind {
+    parent: Vec<AtomicU32>,
+}
+
+impl ConcurrentUnionFind {
+    /// `len` singleton sets.
+    pub fn new(len: usize) -> Self {
+        assert!(len <= u32::MAX as usize);
+        Self {
+            parent: (0..len as u32).map(AtomicU32::new).collect(),
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when the structure holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&self, mut x: u32) -> u32 {
+        loop {
+            let p = self.parent[x as usize].load(Ordering::Relaxed);
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize].load(Ordering::Relaxed);
+            if gp == p {
+                return p;
+            }
+            // Path halving: point x at its grandparent. A lost race only
+            // forgoes the shortcut, never breaks the forest.
+            let _ = self.parent[x as usize].compare_exchange(
+                p,
+                gp,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            );
+            x = gp;
+        }
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were distinct.
+    ///
+    /// Hooks the larger root under the smaller (deterministic final
+    /// representative = minimum element of the set).
+    pub fn unite(&self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        loop {
+            if ra == rb {
+                return false;
+            }
+            // Hook max root under min root.
+            let (lo, hi) = (ra.min(rb), ra.max(rb));
+            match self.parent[hi as usize].compare_exchange(
+                hi,
+                lo,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return true,
+                Err(_) => {
+                    // hi was hooked by a racing unite; retry from new roots.
+                    ra = self.find(ra);
+                    rb = self.find(rb);
+                }
+            }
+        }
+    }
+
+    /// True when `a` and `b` are in the same set.
+    pub fn same(&self, a: u32, b: u32) -> bool {
+        // Standard double-check loop for concurrent reads.
+        loop {
+            let ra = self.find(a);
+            let rb = self.find(b);
+            if ra == rb {
+                return true;
+            }
+            if self.parent[ra as usize].load(Ordering::Relaxed) == ra {
+                return false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn singletons_then_chain() {
+        let uf = ConcurrentUnionFind::new(5);
+        assert_eq!(uf.len(), 5);
+        assert!(!uf.same(0, 1));
+        assert!(uf.unite(0, 1));
+        assert!(!uf.unite(1, 0), "second unite is a no-op");
+        assert!(uf.unite(1, 2));
+        assert!(uf.same(0, 2));
+        assert!(!uf.same(0, 3));
+        // Representative is the minimum element.
+        assert_eq!(uf.find(2), 0);
+    }
+
+    #[test]
+    fn parallel_chain_union_connects_everything() {
+        let n = 100_000u32;
+        let uf = ConcurrentUnionFind::new(n as usize);
+        (0..n - 1).into_par_iter().for_each(|i| {
+            uf.unite(i, i + 1);
+        });
+        assert_eq!(uf.find(n - 1), 0);
+        assert!(uf.same(17, 99_999));
+    }
+
+    #[test]
+    fn parallel_random_unions_match_sequential(){
+        use rand::{RngExt, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        let n = 2_000u32;
+        let pairs: Vec<(u32, u32)> = (0..4_000)
+            .map(|_| (rng.random_range(0..n), rng.random_range(0..n)))
+            .collect();
+
+        let uf = ConcurrentUnionFind::new(n as usize);
+        pairs.par_iter().for_each(|&(a, b)| {
+            uf.unite(a, b);
+        });
+
+        // Sequential reference.
+        let mut parent: Vec<u32> = (0..n).collect();
+        fn find(p: &mut [u32], mut x: u32) -> u32 {
+            while p[x as usize] != x {
+                let gp = p[p[x as usize] as usize];
+                p[x as usize] = gp;
+                x = gp;
+            }
+            x
+        }
+        for &(a, b) in &pairs {
+            let (ra, rb) = (find(&mut parent, a), find(&mut parent, b));
+            if ra != rb {
+                parent[ra.max(rb) as usize] = ra.min(rb);
+            }
+        }
+        for v in 0..n {
+            let seq_rep = find(&mut parent, v);
+            assert!(
+                uf.same(v, seq_rep),
+                "vertex {v} not with its sequential representative"
+            );
+        }
+        // Same partition cardinality.
+        let mut reps: Vec<u32> = (0..n).map(|v| uf.find(v)).collect();
+        reps.sort_unstable();
+        reps.dedup();
+        let mut seq_reps: Vec<u32> = (0..n).map(|v| find(&mut parent, v)).collect();
+        seq_reps.sort_unstable();
+        seq_reps.dedup();
+        assert_eq!(reps.len(), seq_reps.len());
+    }
+
+    #[test]
+    fn empty() {
+        let uf = ConcurrentUnionFind::new(0);
+        assert!(uf.is_empty());
+    }
+}

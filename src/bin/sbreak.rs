@@ -1,0 +1,433 @@
+//! `sbreak` — command-line front end for the symmetry-breaking library.
+//!
+//! ```text
+//! sbreak generate <graph> [--scale F] [--seed S] -o out.edges
+//! sbreak stats     <input> [--bridges] [--blocks]
+//! sbreak decompose <input> --method bridge|rand:K|degk:K|metis:K|bicc
+//! sbreak solve     <input> --problem mm|color|mis
+//!                          [--algo baseline|bridge|rand:K|degk:K|bicc]
+//!                          [--arch cpu|gpu] [--seed S] [-o solution.txt]
+//! ```
+//!
+//! `<input>` is an edge-list or Matrix-Market (`.mtx`) file, or
+//! `gen:<graph>` for a Table II stand-in (e.g. `gen:germany-osm`).
+//! Solutions are always verified before they are reported or written.
+
+use std::io::Write;
+use std::path::Path;
+use std::process::ExitCode;
+use symmetry_breaking::decompose::{
+    decompose_bicc, decompose_bridge, decompose_degk, decompose_metis_like, decompose_rand,
+};
+use symmetry_breaking::prelude::*;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  sbreak generate <graph> [--scale F] [--seed S] -o <file>\n  \
+         sbreak stats <input> [--bridges] [--blocks] [--scale F] [--seed S]\n  \
+         sbreak decompose <input> --method bridge|rand:K|degk:K|metis:K|bicc [--seed S]\n  \
+         sbreak solve <input> --problem mm|color|mis [--algo baseline|bridge|rand:K|degk:K|bicc]\n  \
+         \x20            [--arch cpu|gpu] [--seed S] [-o <file>]\n\n\
+         <input>: an edge-list/.mtx path, or gen:<table-II-name> (e.g. gen:lp1)"
+    );
+    std::process::exit(2)
+}
+
+/// `name:K` → (name, Some(K)); `name` → (name, None). A malformed or zero
+/// parameter is an error rather than a silent fallback.
+fn split_param(s: &str) -> Result<(&str, Option<usize>), String> {
+    match s.split_once(':') {
+        Some((a, b)) => match b.parse::<usize>() {
+            Ok(k) if k >= 1 => Ok((a, Some(k))),
+            _ => Err(format!("'{s}': the parameter after ':' must be a positive integer")),
+        },
+        None => Ok((s, None)),
+    }
+}
+
+/// Resolve a Table II name to its `GraphId`.
+fn graph_id_by_name(name: &str) -> Option<GraphId> {
+    GraphId::ALL
+        .into_iter()
+        .find(|&id| symmetry_breaking::datasets::suite::spec(id).name == name)
+}
+
+fn load_input(input: &str, scale: Scale, seed: u64) -> Result<Graph, String> {
+    if let Some(name) = input.strip_prefix("gen:") {
+        let id = graph_id_by_name(name).ok_or_else(|| {
+            let names: Vec<&str> = GraphId::ALL
+                .into_iter()
+                .map(|id| symmetry_breaking::datasets::suite::spec(id).name)
+                .collect();
+            format!("unknown graph '{name}'; available: {}", names.join(", "))
+        })?;
+        Ok(generate(id, scale, seed))
+    } else {
+        symmetry_breaking::graph::io::read_path(Path::new(input))
+            .map_err(|e| format!("cannot read {input}: {e}"))
+    }
+}
+
+struct Flags {
+    positional: Vec<String>,
+    scale: Scale,
+    seed: u64,
+    arch: Arch,
+    method: Option<String>,
+    problem: Option<String>,
+    algo: String,
+    output: Option<String>,
+    bridges: bool,
+    blocks: bool,
+}
+
+fn parse_flags(args: &[String]) -> Result<Flags, String> {
+    let mut f = Flags {
+        positional: Vec::new(),
+        scale: Scale::Default,
+        seed: 42,
+        arch: Arch::Cpu,
+        method: None,
+        problem: None,
+        algo: "baseline".into(),
+        output: None,
+        bridges: false,
+        blocks: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut val = |flag: &str| -> Result<String, String> {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match a.as_str() {
+            "--scale" => {
+                f.scale = Scale::Factor(
+                    val("--scale")?
+                        .parse()
+                        .map_err(|_| "--scale takes a float".to_string())?,
+                )
+            }
+            "--seed" => {
+                f.seed = val("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed takes a u64".to_string())?
+            }
+            "--arch" => {
+                f.arch = match val("--arch")?.as_str() {
+                    "cpu" => Arch::Cpu,
+                    "gpu" => Arch::GpuSim,
+                    other => return Err(format!("unknown arch '{other}'")),
+                }
+            }
+            "--method" => f.method = Some(val("--method")?),
+            "--problem" => f.problem = Some(val("--problem")?),
+            "--algo" => f.algo = val("--algo")?,
+            "-o" | "--output" => f.output = Some(val("-o")?),
+            "--bridges" => f.bridges = true,
+            "--blocks" => f.blocks = true,
+            other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
+            other => f.positional.push(other.to_string()),
+        }
+    }
+    Ok(f)
+}
+
+fn write_or_print(output: &Option<String>, content: &str) -> Result<(), String> {
+    match output {
+        Some(path) => {
+            let mut fh =
+                std::fs::File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+            fh.write_all(content.as_bytes())
+                .map_err(|e| format!("write failed: {e}"))?;
+            println!("[written to {path}]");
+            Ok(())
+        }
+        None => {
+            println!("{content}");
+            Ok(())
+        }
+    }
+}
+
+fn cmd_generate(f: &Flags) -> Result<(), String> {
+    let name = f.positional.first().ok_or("generate needs a graph name")?;
+    let id = graph_id_by_name(name).ok_or_else(|| format!("unknown graph '{name}'"))?;
+    let g = generate(id, f.scale, f.seed);
+    let out = f.output.as_ref().ok_or("generate needs -o <file>")?;
+    let fh = std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    symmetry_breaking::graph::io::write_edge_list(&g, fh).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} vertices, {} edges) to {out}",
+        name,
+        g.num_vertices(),
+        g.num_edges()
+    );
+    Ok(())
+}
+
+fn cmd_stats(f: &Flags) -> Result<(), String> {
+    let input = f.positional.first().ok_or("stats needs an input")?;
+    let g = load_input(input, f.scale, f.seed)?;
+    let s = GraphStats::compute(&g);
+    println!("vertices      {}", s.num_vertices);
+    println!("edges         {}", s.num_edges);
+    println!("avg degree    {:.2}", s.avg_degree);
+    println!("max degree    {}", s.max_degree);
+    println!("%deg≤2        {:.1}", s.pct_deg_le2);
+    println!("isolated      {}", s.isolated);
+    if f.bridges {
+        let b = symmetry_breaking::decompose::bridge::find_bridges(&g, &Counters::new());
+        println!(
+            "bridges       {} ({:.1}% of edges)",
+            b.len(),
+            100.0 * b.len() as f64 / s.num_edges.max(1) as f64
+        );
+    }
+    if f.blocks {
+        let p = decompose_bicc(&g, &Counters::new());
+        println!("blocks        {}", p.num_blocks);
+        println!("articulation  {}", p.articulation_points().len());
+    }
+    Ok(())
+}
+
+fn cmd_decompose(f: &Flags) -> Result<(), String> {
+    let input = f.positional.first().ok_or("decompose needs an input")?;
+    let method = f.method.as_ref().ok_or("decompose needs --method")?;
+    let g = load_input(input, f.scale, f.seed)?;
+    let c = Counters::new();
+    let sw = std::time::Instant::now();
+    let summary = match split_param(method)? {
+        ("bridge", _) => {
+            let d = decompose_bridge(&g, &c);
+            format!(
+                "BRIDGE: {} bridges ({:.1}%), {} two-edge-connected components",
+                d.bridges.len(),
+                100.0 * d.bridges.len() as f64 / g.num_edges().max(1) as f64,
+                d.components.count
+            )
+        }
+        ("rand", k) => {
+            let k = k.unwrap_or(10);
+            let d = decompose_rand(&g, k, f.seed, &c);
+            format!(
+                "RAND(k={k}): {} induced edges ({:.1}%), {} cross edges",
+                d.m_induced,
+                100.0 * d.induced_edge_fraction(),
+                d.m_cross
+            )
+        }
+        ("degk", k) => {
+            let k = k.unwrap_or(2);
+            let d = decompose_degk(&g, k, &c);
+            format!(
+                "DEG{k}: |V_H| = {}, G_H {} edges, G_L {} edges, G_C {} edges",
+                d.high_vertices().len(),
+                d.m_high,
+                d.m_low,
+                d.m_cross
+            )
+        }
+        ("metis", k) => {
+            let k = k.unwrap_or(8);
+            let d = decompose_metis_like(&g, k, &c);
+            format!(
+                "METIS-like(k={k}): cut = {} edges ({:.1}%)",
+                d.cut,
+                100.0 * d.cut as f64 / g.num_edges().max(1) as f64
+            )
+        }
+        ("bicc", _) => {
+            let d = decompose_bicc(&g, &c);
+            format!(
+                "BICC: {} blocks, {} articulation points",
+                d.num_blocks,
+                d.articulation_points().len()
+            )
+        }
+        (other, _) => return Err(format!("unknown method '{other}'")),
+    };
+    println!("{summary}");
+    println!(
+        "decomposed in {:.2} ms ({} rounds)",
+        sw.elapsed().as_secs_f64() * 1e3,
+        c.rounds()
+    );
+    Ok(())
+}
+
+fn cmd_solve(f: &Flags) -> Result<(), String> {
+    let input = f.positional.first().ok_or("solve needs an input")?;
+    let problem = f.problem.as_ref().ok_or("solve needs --problem")?;
+    let g = load_input(input, f.scale, f.seed)?;
+
+    match problem.as_str() {
+        "mm" => {
+            let algo = match split_param(&f.algo)? {
+                ("baseline", _) => MmAlgorithm::Baseline,
+                ("bridge", _) => MmAlgorithm::Bridge,
+                ("rand", k) => MmAlgorithm::Rand {
+                    partitions: k.unwrap_or(10),
+                },
+                ("degk", k) => MmAlgorithm::Degk { k: k.unwrap_or(2) },
+                ("bicc", _) => MmAlgorithm::Bicc,
+                (other, _) => return Err(format!("unknown algo '{other}'")),
+            };
+            let run = maximal_matching(&g, algo, f.arch, f.seed);
+            check_maximal_matching(&g, &run.mate).map_err(|e| format!("INVALID RESULT: {e}"))?;
+            println!(
+                "maximal matching: {} edges in {:.2} ms ({} rounds; decomposition {:.2} ms) — verified",
+                run.cardinality(),
+                run.stats.total_ms(),
+                run.stats.counters.rounds,
+                run.stats.decompose_time.as_secs_f64() * 1e3
+            );
+            let body: String = run
+                .mate
+                .iter()
+                .enumerate()
+                .filter(|&(v, &m)| (m as usize) > v && m != INVALID)
+                .map(|(v, &m)| format!("{v} {m}\n"))
+                .collect();
+            if f.output.is_some() {
+                write_or_print(&f.output, &body)?;
+            }
+        }
+        "color" => {
+            let algo = match split_param(&f.algo)? {
+                ("baseline", _) => ColorAlgorithm::Baseline,
+                ("bridge", _) => ColorAlgorithm::Bridge,
+                ("rand", k) => ColorAlgorithm::Rand {
+                    partitions: k.unwrap_or(2),
+                },
+                ("degk", k) => ColorAlgorithm::Degk { k: k.unwrap_or(2) },
+                ("bicc", _) => ColorAlgorithm::Bicc,
+                (other, _) => return Err(format!("unknown algo '{other}'")),
+            };
+            let run = vertex_coloring(&g, algo, f.arch, f.seed);
+            check_coloring(&g, &run.color).map_err(|e| format!("INVALID RESULT: {e}"))?;
+            println!(
+                "coloring: {} colors in {:.2} ms ({} rounds) — verified",
+                run.num_colors(),
+                run.stats.total_ms(),
+                run.stats.counters.rounds
+            );
+            if f.output.is_some() {
+                let body: String = run
+                    .color
+                    .iter()
+                    .enumerate()
+                    .map(|(v, c)| format!("{v} {c}\n"))
+                    .collect();
+                write_or_print(&f.output, &body)?;
+            }
+        }
+        "mis" => {
+            let algo = match split_param(&f.algo)? {
+                ("baseline", _) => MisAlgorithm::Baseline,
+                ("bridge", _) => MisAlgorithm::Bridge,
+                ("rand", k) => MisAlgorithm::Rand {
+                    partitions: k.unwrap_or(10),
+                },
+                ("degk", k) => MisAlgorithm::Degk { k: k.unwrap_or(2) },
+                ("bicc", _) => MisAlgorithm::Bicc,
+                (other, _) => return Err(format!("unknown algo '{other}'")),
+            };
+            let run = maximal_independent_set(&g, algo, f.arch, f.seed);
+            check_maximal_independent_set(&g, &run.in_set)
+                .map_err(|e| format!("INVALID RESULT: {e}"))?;
+            println!(
+                "maximal independent set: {} vertices in {:.2} ms ({} rounds) — verified",
+                run.size(),
+                run.stats.total_ms(),
+                run.stats.counters.rounds
+            );
+            if f.output.is_some() {
+                let body: String = run
+                    .in_set
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &b)| b)
+                    .map(|(v, _)| format!("{v}\n"))
+                    .collect();
+                write_or_print(&f.output, &body)?;
+            }
+        }
+        other => return Err(format!("unknown problem '{other}' (mm|color|mis)")),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        usage();
+    };
+    let flags = match parse_flags(rest) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd.as_str() {
+        "generate" => cmd_generate(&flags),
+        "stats" => cmd_stats(&flags),
+        "decompose" => cmd_decompose(&flags),
+        "solve" => cmd_solve(&flags),
+        _ => {
+            usage();
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_param_forms() {
+        assert_eq!(split_param("rand:10").unwrap(), ("rand", Some(10)));
+        assert_eq!(split_param("degk").unwrap(), ("degk", None));
+        assert!(split_param("rand:x").is_err(), "typo'd K must not fall back silently");
+        assert!(split_param("rand:0").is_err(), "zero partitions must be rejected");
+    }
+
+    #[test]
+    fn graph_names_resolve() {
+        assert!(graph_id_by_name("lp1").is_some());
+        assert!(graph_id_by_name("rgg-n-2-23-s0").is_some());
+        assert!(graph_id_by_name("nope").is_none());
+    }
+
+    #[test]
+    fn flags_parse() {
+        let f = parse_flags(&[
+            "input.mtx".into(),
+            "--problem".into(),
+            "mm".into(),
+            "--algo".into(),
+            "rand:4".into(),
+            "--arch".into(),
+            "gpu".into(),
+            "--seed".into(),
+            "9".into(),
+        ])
+        .unwrap();
+        assert_eq!(f.positional, vec!["input.mtx"]);
+        assert_eq!(f.problem.as_deref(), Some("mm"));
+        assert_eq!(f.algo, "rand:4");
+        assert_eq!(f.arch, Arch::GpuSim);
+        assert_eq!(f.seed, 9);
+        assert!(parse_flags(&["--bogus".into()]).is_err());
+    }
+}

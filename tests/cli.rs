@@ -1,0 +1,129 @@
+//! End-to-end tests of the `sbreak` binary: real process, real files,
+//! real exit codes.
+
+use std::process::{Command, Output};
+
+fn sbreak(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sbreak"))
+        .args(args)
+        .output()
+        .expect("failed to launch sbreak")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+#[test]
+fn generate_stats_solve_round_trip() {
+    let dir = std::env::temp_dir().join("sbreak-cli-test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let edges = dir.join("g.edges");
+    let edges_s = edges.to_str().unwrap();
+
+    let out = sbreak(&[
+        "generate", "lp1", "--scale", "0.05", "--seed", "3", "-o", edges_s,
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("wrote lp1"));
+
+    let out = sbreak(&["stats", edges_s, "--bridges"]);
+    assert!(out.status.success());
+    let text = stdout(&out);
+    assert!(text.contains("vertices"), "{text}");
+    assert!(text.contains("bridges"), "{text}");
+
+    for (problem, algo) in [("mm", "rand:4"), ("color", "degk:2"), ("mis", "bicc")] {
+        let out = sbreak(&["solve", edges_s, "--problem", problem, "--algo", algo]);
+        assert!(out.status.success(), "{problem}/{algo}: {}", stderr(&out));
+        assert!(
+            stdout(&out).contains("verified"),
+            "{problem}/{algo} must self-verify: {}",
+            stdout(&out)
+        );
+    }
+
+    // Solution file output.
+    let sol = dir.join("mis.txt");
+    let out = sbreak(&[
+        "solve", edges_s, "--problem", "mis", "-o", sol.to_str().unwrap(),
+    ]);
+    assert!(out.status.success());
+    let body = std::fs::read_to_string(&sol).unwrap();
+    assert!(body.lines().count() > 10, "solution file should list vertices");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn decompose_methods_all_run() {
+    for method in ["bridge", "rand:4", "degk:2", "metis:4", "bicc"] {
+        let out = sbreak(&[
+            "decompose", "gen:c-73", "--scale", "0.05", "--method", method,
+        ]);
+        assert!(out.status.success(), "{method}: {}", stderr(&out));
+        assert!(stdout(&out).contains("decomposed in"), "{method}");
+    }
+}
+
+#[test]
+fn error_paths_are_clean() {
+    // (args, expected stderr fragment)
+    let cases: Vec<(&[&str], &str)> = vec![
+        (&["stats", "gen:nope"], "unknown graph"),
+        (&["stats", "/definitely/not/a/file"], "cannot read"),
+        (&["solve", "gen:lp1", "--scale", "0.02", "--problem", "tsp"], "unknown problem"),
+        (
+            &["solve", "gen:lp1", "--scale", "0.02", "--problem", "mm", "--algo", "rand:0"],
+            "positive integer",
+        ),
+        (&["generate", "lp1"], "needs -o"),
+        (&["stats", "gen:lp1", "--bogus"], "unknown flag"),
+    ];
+    for (args, fragment) in cases {
+        let out = sbreak(args);
+        assert!(
+            !out.status.success(),
+            "{args:?} should fail, stdout: {}",
+            stdout(&out)
+        );
+        assert!(
+            stderr(&out).contains(fragment),
+            "{args:?}: stderr {:?} missing {fragment:?}",
+            stderr(&out)
+        );
+        // Errors must be one-liners, not panics with backtraces.
+        assert!(
+            !stderr(&out).contains("panicked"),
+            "{args:?} must not panic: {}",
+            stderr(&out)
+        );
+    }
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = sbreak(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("usage:"));
+}
+
+#[test]
+fn seed_determinism_through_the_cli() {
+    let a = sbreak(&[
+        "solve", "gen:webbase-1M", "--scale", "0.05", "--problem", "mis", "--seed", "9",
+    ]);
+    let b = sbreak(&[
+        "solve", "gen:webbase-1M", "--scale", "0.05", "--problem", "mis", "--seed", "9",
+    ]);
+    assert!(a.status.success() && b.status.success());
+    // Same size and rounds; only wall-clock may differ.
+    let strip_ms = |s: String| -> String {
+        s.split(" in ").next().unwrap_or_default().to_string()
+    };
+    assert_eq!(strip_ms(stdout(&a)), strip_ms(stdout(&b)));
+}

@@ -1,0 +1,87 @@
+//! Property tests for the dataset stand-ins: every generator must produce
+//! structurally valid, connected, seed-deterministic graphs at any scale,
+//! and hold its class-defining shape invariants.
+
+use proptest::prelude::*;
+use symmetry_breaking::prelude::*;
+
+fn arb_id() -> impl Strategy<Value = GraphId> {
+    proptest::sample::select(GraphId::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generators_valid_connected_deterministic(
+        id in arb_id(),
+        seed in 0u64..1000,
+        factor in 0.02f64..0.08,
+    ) {
+        let g = generate(id, Scale::Factor(factor), seed);
+        g.validate().unwrap();
+        prop_assert!(g.num_vertices() > 0);
+        // The paper connects every input graph.
+        let c = symmetry_breaking::graph::components::components_sequential(&g, None);
+        prop_assert_eq!(c.count, 1, "{:?} must be connected", id);
+        // Bit-identical regeneration.
+        let g2 = generate(id, Scale::Factor(factor), seed);
+        prop_assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn rgg_stays_bridge_free_and_degree2_free(seed in 0u64..50) {
+        let g = generate(GraphId::Rgg23, Scale::Factor(0.05), seed);
+        let s = GraphStats::compute(&g);
+        prop_assert!(s.pct_deg_le2 < 5.0, "%deg2 = {}", s.pct_deg_le2);
+        let bridges = symmetry_breaking::decompose::bridge::find_bridges(
+            &g,
+            &Counters::new(),
+        );
+        prop_assert!(
+            (bridges.len() as f64) < 0.02 * g.num_edges() as f64,
+            "rgg should be essentially bridge-free, got {}",
+            bridges.len()
+        );
+    }
+
+    #[test]
+    fn low_degree_classes_stay_low_degree(seed in 0u64..50) {
+        for id in [GraphId::Lp1, GraphId::GermanyOsm, GraphId::Webbase1M] {
+            let g = generate(id, Scale::Factor(0.05), seed);
+            let s = GraphStats::compute(&g);
+            prop_assert!(
+                s.pct_deg_le2 > 60.0,
+                "{:?}: %deg2 = {}",
+                id,
+                s.pct_deg_le2
+            );
+        }
+    }
+
+    #[test]
+    fn kron_keeps_heavy_tail(seed in 0u64..30) {
+        let g = generate(GraphId::KronLogn20, Scale::Factor(0.12), seed);
+        let s = GraphStats::compute(&g);
+        prop_assert!(
+            s.max_degree as f64 > 5.0 * s.avg_degree,
+            "max {} vs avg {}",
+            s.max_degree,
+            s.avg_degree
+        );
+        prop_assert!(s.avg_degree > 20.0, "kron must stay dense: {}", s.avg_degree);
+    }
+
+    #[test]
+    fn scale_factor_scales_vertex_count(id in arb_id(), seed in 0u64..20) {
+        let small = generate(id, Scale::Factor(0.03), seed);
+        let large = generate(id, Scale::Factor(0.12), seed);
+        prop_assert!(
+            large.num_vertices() > small.num_vertices(),
+            "{:?}: {} !> {}",
+            id,
+            large.num_vertices(),
+            small.num_vertices()
+        );
+    }
+}
