@@ -46,7 +46,15 @@ fn bench_forbidden_window(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(window), &window, |b, &w| {
             b.iter(|| {
                 let mut color = vec![INVALID; g.num_vertices()];
-                vb_extend(&g, sb_graph::view::EdgeView::full(), &mut color, g.vertices().collect(), w, 0, &Counters::new());
+                vb_extend(
+                    &g,
+                    sb_graph::view::EdgeView::full(),
+                    &mut color,
+                    g.vertices().collect(),
+                    w,
+                    0,
+                    &Counters::new(),
+                );
                 black_box(color)
             })
         });

@@ -44,21 +44,41 @@ fn bench_proposal_rules(c: &mut Criterion) {
     group.bench_function("lowest_id", |b| {
         b.iter(|| {
             let mut mate = vec![INVALID; g.num_vertices()];
-            gm_extend(&g, sb_graph::view::EdgeView::full(), &mut mate, None, &Counters::new());
+            gm_extend(
+                &g,
+                sb_graph::view::EdgeView::full(),
+                &mut mate,
+                None,
+                &Counters::new(),
+            );
             black_box(mate)
         })
     });
     group.bench_function("random_priority", |b| {
         b.iter(|| {
             let mut mate = vec![INVALID; g.num_vertices()];
-            gm_random_extend(&g, sb_graph::view::EdgeView::full(), &mut mate, None, 7, &Counters::new());
+            gm_random_extend(
+                &g,
+                sb_graph::view::EdgeView::full(),
+                &mut mate,
+                None,
+                7,
+                &Counters::new(),
+            );
             black_box(mate)
         })
     });
     group.bench_function("israeli_itai", |b| {
         b.iter(|| {
             let mut mate = vec![INVALID; g.num_vertices()];
-            ii_extend(&g, sb_graph::view::EdgeView::full(), &mut mate, None, 7, &Counters::new());
+            ii_extend(
+                &g,
+                sb_graph::view::EdgeView::full(),
+                &mut mate,
+                None,
+                7,
+                &Counters::new(),
+            );
             black_box(mate)
         })
     });

@@ -54,7 +54,14 @@ fn bench_low_degree_solvers(c: &mut Criterion) {
     group.bench_function("luby", |b| {
         b.iter(|| {
             let mut st = vec![0u8; g.num_vertices()];
-            luby_extend(&g, d.low_view(), &mut st, Some(&low_side), 7, &Counters::new());
+            luby_extend(
+                &g,
+                d.low_view(),
+                &mut st,
+                Some(&low_side),
+                7,
+                &Counters::new(),
+            );
             black_box(st)
         })
     });
@@ -71,7 +78,14 @@ fn bench_baseline_engineering(c: &mut Criterion) {
     group.bench_function("classic_luby_full_sweep", |b| {
         b.iter(|| {
             let mut st = vec![0u8; g.num_vertices()];
-            luby_extend(&g, sb_graph::view::EdgeView::full(), &mut st, None, 7, &Counters::new());
+            luby_extend(
+                &g,
+                sb_graph::view::EdgeView::full(),
+                &mut st,
+                None,
+                7,
+                &Counters::new(),
+            );
             black_box(st)
         })
     });
@@ -99,5 +113,10 @@ fn bench_baseline_engineering(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_mis, bench_low_degree_solvers, bench_baseline_engineering);
+criterion_group!(
+    benches,
+    bench_mis,
+    bench_low_degree_solvers,
+    bench_baseline_engineering
+);
 criterion_main!(benches);

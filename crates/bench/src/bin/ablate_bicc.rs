@@ -12,9 +12,7 @@ use sb_bench::report::{fmt_ms, Table};
 use sb_core::coloring::{vertex_coloring, ColorAlgorithm};
 use sb_core::matching::{maximal_matching, MmAlgorithm};
 use sb_core::mis::{maximal_independent_set, MisAlgorithm};
-use sb_core::verify::{
-    check_coloring, check_maximal_independent_set, check_maximal_matching,
-};
+use sb_core::verify::{check_coloring, check_maximal_independent_set, check_maximal_matching};
 
 fn main() {
     let cfg = BenchConfig::from_env();
@@ -47,8 +45,9 @@ fn main() {
             ms
         };
         let mis = |algo| {
-            let (ms, run) =
-                time_min(cfg.reps, || maximal_independent_set(g, algo, arch, cfg.seed));
+            let (ms, run) = time_min(cfg.reps, || {
+                maximal_independent_set(g, algo, arch, cfg.seed)
+            });
             check_maximal_independent_set(g, &run.in_set).unwrap();
             ms
         };

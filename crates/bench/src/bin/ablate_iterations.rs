@@ -40,7 +40,14 @@ fn main() {
         // Ablation: same graph, same greedy structure, random priorities.
         let c = Counters::new();
         let mut mate = vec![INVALID; g.num_vertices()];
-        gm_random_extend(g, sb_graph::view::EdgeView::full(), &mut mate, None, cfg.seed, &c);
+        gm_random_extend(
+            g,
+            sb_graph::view::EdgeView::full(),
+            &mut mate,
+            None,
+            cfg.seed,
+            &c,
+        );
         check_maximal_matching(g, &mate).unwrap();
 
         // Sanity anchor for the counters: re-derive GM rounds directly.

@@ -15,7 +15,13 @@ fn main() {
     let suite = load_suite(&cfg);
     let mut t = Table::new(
         "§IV-D — extra colors vs baseline (% relative / absolute Δ)",
-        &["arch", "COLOR-Bridge", "COLOR-Rand", "COLOR-Deg2", "paper (relative)"],
+        &[
+            "arch",
+            "COLOR-Bridge",
+            "COLOR-Rand",
+            "COLOR-Deg2",
+            "paper (relative)",
+        ],
     );
     for arch in [Arch::Cpu, Arch::GpuSim] {
         let mut over = [Vec::new(), Vec::new(), Vec::new()];

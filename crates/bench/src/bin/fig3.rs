@@ -7,7 +7,13 @@ use sb_bench::runners::matching_figure;
 fn main() {
     let cfg = BenchConfig::from_env();
     let suite = load_suite(&cfg);
-    let (t, avg) = matching_figure(&suite, cfg.arch, cfg.seed, cfg.reps);
+    let (t, avg) = matching_figure(
+        &suite,
+        cfg.arch,
+        cfg.seed,
+        cfg.reps,
+        cfg.trace_dir.as_deref(),
+    );
     t.emit(&format!("fig3_{}", cfg.arch));
     if let Some(a) = avg {
         println!(

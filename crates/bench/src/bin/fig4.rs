@@ -8,7 +8,13 @@ use sb_core::common::Arch;
 fn main() {
     let cfg = BenchConfig::from_env();
     let suite = load_suite(&cfg);
-    let (t, avg) = coloring_figure(&suite, cfg.arch, cfg.seed, cfg.reps);
+    let (t, avg) = coloring_figure(
+        &suite,
+        cfg.arch,
+        cfg.seed,
+        cfg.reps,
+        cfg.trace_dir.as_deref(),
+    );
     t.emit(&format!("fig4_{}", cfg.arch));
     if let Some(a) = avg {
         let paper = match cfg.arch {

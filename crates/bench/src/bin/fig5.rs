@@ -7,7 +7,13 @@ use sb_bench::runners::mis_figure;
 fn main() {
     let cfg = BenchConfig::from_env();
     let suite = load_suite(&cfg);
-    let (t, avg) = mis_figure(&suite, cfg.arch, cfg.seed, cfg.reps);
+    let (t, avg) = mis_figure(
+        &suite,
+        cfg.arch,
+        cfg.seed,
+        cfg.reps,
+        cfg.trace_dir.as_deref(),
+    );
     t.emit(&format!("fig5_{}", cfg.arch));
     if let Some(a) = avg {
         println!(

@@ -20,6 +20,10 @@ pub struct BenchConfig {
     pub reps: usize,
     /// Optional directory of real SuiteSparse `.mtx` files.
     pub data_dir: Option<PathBuf>,
+    /// When set, figure runners save a per-(graph, algorithm) trace JSONL
+    /// under this directory (from an extra untimed run, so the reported
+    /// timings stay trace-free).
+    pub trace_dir: Option<PathBuf>,
 }
 
 impl Default for BenchConfig {
@@ -31,47 +35,80 @@ impl Default for BenchConfig {
             filter: String::new(),
             reps: 1,
             data_dir: None,
+            trace_dir: None,
         }
     }
 }
 
+/// The flags every bench binary accepts, for usage errors.
+pub const BENCH_USAGE: &str = "flags: --scale <float> --seed <u64> --arch cpu|gpu \
+     --graphs <substring> --reps <n> --data-dir <dir> --trace-dir <dir>";
+
 impl BenchConfig {
     /// Parse `--scale`, `--seed`, `--arch`, `--graphs`, `--reps`,
-    /// `--data-dir` from an argument list (panics with a usage message on
-    /// malformed input — these are internal tools).
-    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+    /// `--data-dir`, `--trace-dir` from an argument list. Any unknown flag,
+    /// missing value, or malformed value is a hard error naming the
+    /// offending flag — never a silent fallback.
+    pub fn try_from_args<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
         let mut cfg = Self::default();
         let mut it = args.into_iter();
         while let Some(a) = it.next() {
-            let mut val = |flag: &str| {
-                it.next()
-                    .unwrap_or_else(|| panic!("{flag} needs a value"))
-            };
+            let mut val = |flag: &str| it.next().ok_or_else(|| format!("{flag} needs a value"));
             match a.as_str() {
                 "--scale" => {
-                    let f: f64 = val("--scale").parse().expect("--scale takes a float");
+                    let raw = val("--scale")?;
+                    let f: f64 = raw
+                        .parse()
+                        .map_err(|_| format!("--scale takes a float, got '{raw}'"))?;
                     cfg.scale = Scale::Factor(f);
                 }
-                "--seed" => cfg.seed = val("--seed").parse().expect("--seed takes a u64"),
+                "--seed" => {
+                    let raw = val("--seed")?;
+                    cfg.seed = raw
+                        .parse()
+                        .map_err(|_| format!("--seed takes a u64, got '{raw}'"))?;
+                }
                 "--arch" => {
-                    cfg.arch = match val("--arch").as_str() {
+                    cfg.arch = match val("--arch")?.as_str() {
                         "cpu" => Arch::Cpu,
                         "gpu" => Arch::GpuSim,
-                        other => panic!("--arch must be cpu or gpu, got {other}"),
+                        other => return Err(format!("--arch must be cpu or gpu, got '{other}'")),
                     }
                 }
-                "--graphs" => cfg.filter = val("--graphs"),
-                "--reps" => cfg.reps = val("--reps").parse().expect("--reps takes a usize"),
-                "--data-dir" => cfg.data_dir = Some(PathBuf::from(val("--data-dir"))),
-                other => panic!("unknown flag {other}"),
+                "--graphs" => cfg.filter = val("--graphs")?,
+                "--reps" => {
+                    let raw = val("--reps")?;
+                    cfg.reps = raw
+                        .parse()
+                        .map_err(|_| format!("--reps takes a usize, got '{raw}'"))?;
+                }
+                "--data-dir" => cfg.data_dir = Some(PathBuf::from(val("--data-dir")?)),
+                "--trace-dir" => cfg.trace_dir = Some(PathBuf::from(val("--trace-dir")?)),
+                other => return Err(format!("unknown flag '{other}'")),
             }
         }
-        cfg
+        Ok(cfg)
     }
 
-    /// Parse from `std::env::args` (skipping the binary name).
+    /// [`Self::try_from_args`], panicking with the usage line on malformed
+    /// input (for tests and programmatic callers).
+    pub fn from_args<I: IntoIterator<Item = String>>(args: I) -> Self {
+        match Self::try_from_args(args) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}\n{BENCH_USAGE}"),
+        }
+    }
+
+    /// Parse from `std::env::args` (skipping the binary name); prints the
+    /// error plus usage and exits with status 2 on malformed input.
     pub fn from_env() -> Self {
-        Self::from_args(std::env::args().skip(1))
+        match Self::try_from_args(std::env::args().skip(1)) {
+            Ok(cfg) => cfg,
+            Err(e) => {
+                eprintln!("error: {e}\n{BENCH_USAGE}");
+                std::process::exit(2)
+            }
+        }
     }
 }
 
@@ -146,8 +183,7 @@ mod tests {
     fn arg_parsing_roundtrip() {
         let cfg = BenchConfig::from_args(
             [
-                "--scale", "0.5", "--seed", "7", "--arch", "gpu", "--graphs", "kron", "--reps",
-                "3",
+                "--scale", "0.5", "--seed", "7", "--arch", "gpu", "--graphs", "kron", "--reps", "3",
             ]
             .map(String::from),
         );
@@ -162,6 +198,36 @@ mod tests {
     #[should_panic(expected = "unknown flag")]
     fn rejects_unknown_flag() {
         BenchConfig::from_args(["--bogus".to_string()]);
+    }
+
+    #[test]
+    fn errors_name_the_offending_flag() {
+        let e = BenchConfig::try_from_args(["--bogus".to_string()]).unwrap_err();
+        assert!(e.contains("--bogus"), "got: {e}");
+        let e = BenchConfig::try_from_args(["--seed".to_string()]).unwrap_err();
+        assert!(
+            e.contains("--seed") && e.contains("needs a value"),
+            "got: {e}"
+        );
+        let e =
+            BenchConfig::try_from_args(["--scale".to_string(), "fast".to_string()]).unwrap_err();
+        assert!(e.contains("--scale") && e.contains("'fast'"), "got: {e}");
+        let e = BenchConfig::try_from_args(["--reps".to_string(), "-1".to_string()]).unwrap_err();
+        assert!(e.contains("--reps"), "got: {e}");
+        let e = BenchConfig::try_from_args(["--arch".to_string(), "tpu".to_string()]).unwrap_err();
+        assert!(e.contains("--arch") && e.contains("'tpu'"), "got: {e}");
+    }
+
+    #[test]
+    fn trace_dir_parses() {
+        let cfg =
+            BenchConfig::from_args(["--trace-dir", "/tmp/traces", "--reps", "2"].map(String::from));
+        assert_eq!(cfg.trace_dir, Some(PathBuf::from("/tmp/traces")));
+        assert_eq!(cfg.reps, 2);
+        assert_eq!(
+            BenchConfig::from_args(std::iter::empty::<String>()).trace_dir,
+            None
+        );
     }
 
     #[test]

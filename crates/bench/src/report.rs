@@ -85,6 +85,33 @@ impl Table {
         Ok(())
     }
 
+    /// Save as `<dir>/<name>.json` (created on demand): the title plus one
+    /// record per row, keyed by the column headers — the machine-readable
+    /// twin of [`Table::save_csv`].
+    pub fn save_json(&self, dir: &Path, name: &str) -> std::io::Result<()> {
+        fs::create_dir_all(dir)?;
+        let mut f = fs::File::create(dir.join(format!("{name}.json")))?;
+        let records: Vec<String> = self
+            .rows
+            .iter()
+            .map(|row| {
+                let fields: Vec<String> = self
+                    .headers
+                    .iter()
+                    .zip(row)
+                    .map(|(h, c)| format!("\"{}\":\"{}\"", json_escape(h), json_escape(c)))
+                    .collect();
+                format!("{{{}}}", fields.join(","))
+            })
+            .collect();
+        writeln!(
+            f,
+            "{{\"title\":\"{}\",\"records\":[{}]}}",
+            json_escape(&self.title),
+            records.join(",")
+        )
+    }
+
     /// Print and save under `results/` in the current directory.
     pub fn emit(&self, name: &str) {
         self.print();
@@ -93,7 +120,31 @@ impl Table {
         } else {
             println!("\n[saved results/{name}.csv]");
         }
+        if let Err(e) = self.save_json(Path::new("results"), name) {
+            eprintln!("warning: could not save results/{name}.json: {e}");
+        } else {
+            println!("[saved results/{name}.json]");
+        }
     }
+}
+
+/// Escape a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Format milliseconds with sensible precision.
@@ -151,6 +202,29 @@ mod tests {
         let got = std::fs::read_to_string(dir.join("t.csv")).unwrap();
         assert_eq!(got, "a,b\n\"va,l\",\"pl\"\"ain\"\n");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_saving_keys_records_by_header() {
+        let dir = std::env::temp_dir().join("sb-bench-test-json");
+        let mut t = Table::new("Fig X — demo", &["graph", "ms"]);
+        t.row(vec!["lp1".into(), "1.5".into()]);
+        t.row(vec!["quo\"ted".into(), "2".into()]);
+        t.save_json(&dir, "t").unwrap();
+        let got = std::fs::read_to_string(dir.join("t.json")).unwrap();
+        assert_eq!(
+            got,
+            "{\"title\":\"Fig X — demo\",\"records\":[\
+             {\"graph\":\"lp1\",\"ms\":\"1.5\"},\
+             {\"graph\":\"quo\\\"ted\",\"ms\":\"2\"}]}\n"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_escape_control_chars() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 
     #[test]

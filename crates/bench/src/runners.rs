@@ -5,10 +5,10 @@ use crate::harness::{
     color_rand_partitions, mis_rand_partitions, mm_rand_partitions, time_min, Suite,
 };
 use crate::report::{fmt_ms, fmt_x, mean, Table};
-use sb_core::coloring::{vertex_coloring, ColorAlgorithm};
+use sb_core::coloring::{vertex_coloring, vertex_coloring_traced, ColorAlgorithm};
 use sb_core::common::Arch;
-use sb_core::matching::{maximal_matching, MmAlgorithm};
-use sb_core::mis::{maximal_independent_set, MisAlgorithm};
+use sb_core::matching::{maximal_matching, maximal_matching_traced, MmAlgorithm};
+use sb_core::mis::{maximal_independent_set, maximal_independent_set_traced, MisAlgorithm};
 use sb_core::verify::{
     check_coloring, check_maximal_independent_set, check_maximal_matching, color_count,
 };
@@ -16,7 +16,9 @@ use sb_datasets::suite::GraphId;
 use sb_decompose::{decompose_bridge, decompose_degk, decompose_metis_like, decompose_rand};
 use sb_graph::stats::GraphStats;
 use sb_par::counters::Counters;
-
+use sb_trace::TraceSink;
+use std::path::Path;
+use std::sync::Arc;
 
 /// The figure-of-merit for one run: wall-clock on the CPU arch, modeled
 /// K40c device time on GPU-sim (DESIGN.md §2 — host wall-clock cannot
@@ -25,6 +27,20 @@ fn effective_ms(arch: Arch, wall_ms: f64, stats: &sb_core::common::RunStats) -> 
     match arch {
         Arch::Cpu => wall_ms,
         Arch::GpuSim => stats.modeled_gpu_ms(),
+    }
+}
+
+/// When `--trace-dir` is set, run `f` once more with an enabled sink and
+/// save the JSONL to `<dir>/<name>.jsonl`. The extra run is separate from
+/// the timed repetitions so the reported timings stay trace-free.
+fn dump_trace<T>(dir: Option<&Path>, name: &str, f: impl FnOnce(Option<Arc<TraceSink>>) -> T) {
+    let Some(dir) = dir else { return };
+    let sink = Arc::new(TraceSink::enabled());
+    f(Some(sink.clone()));
+    let save = std::fs::create_dir_all(dir)
+        .and_then(|()| sink.save_jsonl(&dir.join(format!("{name}.jsonl"))));
+    if let Err(e) = save {
+        eprintln!("warning: could not save trace {name}.jsonl: {e}");
     }
 }
 
@@ -108,9 +124,18 @@ pub fn decomposition_figure(suite: &Suite, seed: u64, reps: usize) -> Table {
 /// three decomposition composites; the headline number is MM-Rand's
 /// speedup. Returns the table and the average MM-Rand speedup computed the
 /// paper's way (excluding the rgg instances, footnote 1).
-pub fn matching_figure(suite: &Suite, arch: Arch, seed: u64, reps: usize) -> (Table, Option<f64>) {
+pub fn matching_figure(
+    suite: &Suite,
+    arch: Arch,
+    seed: u64,
+    reps: usize,
+    trace_dir: Option<&Path>,
+) -> (Table, Option<f64>) {
     let mut t = Table::new(
-        format!("Figure 3 ({arch}) — maximal matching time ({})", time_unit(arch)),
+        format!(
+            "Figure 3 ({arch}) — maximal matching time ({})",
+            time_unit(arch)
+        ),
         &[
             "graph",
             "baseline",
@@ -146,6 +171,15 @@ pub fn matching_figure(suite: &Suite, arch: Arch, seed: u64, reps: usize) -> (Ta
         check_maximal_matching(g, &r2.mate).expect("MM-Degk invalid");
         let degk_ms = effective_ms(arch, degk_ms, &r2.stats);
 
+        dump_trace(
+            trace_dir,
+            &format!("fig3_{arch}_{}_baseline", sp.name),
+            |t| maximal_matching_traced(g, MmAlgorithm::Baseline, arch, seed, t),
+        );
+        dump_trace(trace_dir, &format!("fig3_{arch}_{}_rand", sp.name), |t| {
+            maximal_matching_traced(g, MmAlgorithm::Rand { partitions: k }, arch, seed, t)
+        });
+
         let speedup = base_ms / rand_ms;
         if !matches!(sp.id, GraphId::Rgg23 | GraphId::Rgg24) {
             speedups.push(speedup);
@@ -166,7 +200,13 @@ pub fn matching_figure(suite: &Suite, arch: Arch, seed: u64, reps: usize) -> (Ta
 
 /// Figure 4: coloring — VB/EB baseline vs the composites. The paper's
 /// headline: COLOR-Degk speedup on the CPU, COLOR-Rand on the GPU.
-pub fn coloring_figure(suite: &Suite, arch: Arch, seed: u64, reps: usize) -> (Table, Option<f64>) {
+pub fn coloring_figure(
+    suite: &Suite,
+    arch: Arch,
+    seed: u64,
+    reps: usize,
+    trace_dir: Option<&Path>,
+) -> (Table, Option<f64>) {
     let headline = match arch {
         Arch::Cpu => "degk speedup",
         Arch::GpuSim => "rand speedup",
@@ -212,6 +252,18 @@ pub fn coloring_figure(suite: &Suite, arch: Arch, seed: u64, reps: usize) -> (Ta
             Arch::Cpu => (degk_ms, color_count(&rd.color)),
             Arch::GpuSim => (rand_ms, color_count(&rr.color)),
         };
+        let winner_algo = match arch {
+            Arch::Cpu => ColorAlgorithm::Degk { k: 2 },
+            Arch::GpuSim => ColorAlgorithm::Rand { partitions: kp },
+        };
+        dump_trace(
+            trace_dir,
+            &format!("fig4_{arch}_{}_baseline", sp.name),
+            |t| vertex_coloring_traced(g, ColorAlgorithm::Baseline, arch, seed, t),
+        );
+        dump_trace(trace_dir, &format!("fig4_{arch}_{}_winner", sp.name), |t| {
+            vertex_coloring_traced(g, winner_algo, arch, seed, t)
+        });
         let speedup = base_ms / winner_ms;
         speedups.push(speedup);
         t.row(vec![
@@ -231,7 +283,13 @@ pub fn coloring_figure(suite: &Suite, arch: Arch, seed: u64, reps: usize) -> (Ta
 /// Figure 5: MIS — LubyMIS baseline vs the composites; headline is the
 /// MIS-Deg2 speedup. The GPU average excludes the outlier instances c-73
 /// and lp1 as in the paper (footnote 2).
-pub fn mis_figure(suite: &Suite, arch: Arch, seed: u64, reps: usize) -> (Table, Option<f64>) {
+pub fn mis_figure(
+    suite: &Suite,
+    arch: Arch,
+    seed: u64,
+    reps: usize,
+    trace_dir: Option<&Path>,
+) -> (Table, Option<f64>) {
     let mut t = Table::new(
         format!("Figure 5 ({arch}) — MIS time ({})", time_unit(arch)),
         &[
@@ -268,9 +326,17 @@ pub fn mis_figure(suite: &Suite, arch: Arch, seed: u64, reps: usize) -> (Table, 
         check_maximal_independent_set(g, &r3.in_set).expect("MIS-Deg2 invalid");
         let deg2_ms = effective_ms(arch, deg2_ms, &r3.stats);
 
+        dump_trace(
+            trace_dir,
+            &format!("fig5_{arch}_{}_baseline", sp.name),
+            |t| maximal_independent_set_traced(g, MisAlgorithm::Baseline, arch, seed, t),
+        );
+        dump_trace(trace_dir, &format!("fig5_{arch}_{}_deg2", sp.name), |t| {
+            maximal_independent_set_traced(g, MisAlgorithm::Degk { k: 2 }, arch, seed, t)
+        });
+
         let speedup = base_ms / deg2_ms;
-        let excluded = arch == Arch::GpuSim
-            && matches!(sp.id, GraphId::C73 | GraphId::Lp1);
+        let excluded = arch == Arch::GpuSim && matches!(sp.id, GraphId::C73 | GraphId::Lp1);
         if !excluded {
             speedups.push(speedup);
         }
@@ -302,12 +368,12 @@ pub fn table1(suite: &Suite, seed: u64, reps: usize) -> Table {
             "paper GPU",
         ],
     );
-    let (_, mm_cpu) = matching_figure(suite, Arch::Cpu, seed, reps);
-    let (_, mm_gpu) = matching_figure(suite, Arch::GpuSim, seed, reps);
-    let (_, col_cpu) = coloring_figure(suite, Arch::Cpu, seed, reps);
-    let (_, col_gpu) = coloring_figure(suite, Arch::GpuSim, seed, reps);
-    let (_, mis_cpu) = mis_figure(suite, Arch::Cpu, seed, reps);
-    let (_, mis_gpu) = mis_figure(suite, Arch::GpuSim, seed, reps);
+    let (_, mm_cpu) = matching_figure(suite, Arch::Cpu, seed, reps, None);
+    let (_, mm_gpu) = matching_figure(suite, Arch::GpuSim, seed, reps, None);
+    let (_, col_cpu) = coloring_figure(suite, Arch::Cpu, seed, reps, None);
+    let (_, col_gpu) = coloring_figure(suite, Arch::GpuSim, seed, reps, None);
+    let (_, mis_cpu) = mis_figure(suite, Arch::Cpu, seed, reps, None);
+    let (_, mis_gpu) = mis_figure(suite, Arch::GpuSim, seed, reps, None);
     let f = |x: Option<f64>| x.map_or("-".into(), fmt_x);
     t.row(vec![
         "MM".into(),
@@ -371,7 +437,7 @@ mod tests {
     #[test]
     fn matching_figure_verifies_and_reports() {
         let suite = tiny_suite("webbase");
-        let (t, avg) = matching_figure(&suite, Arch::Cpu, 3, 1);
+        let (t, avg) = matching_figure(&suite, Arch::Cpu, 3, 1, None);
         assert_eq!(t.rows.len(), 1);
         assert!(avg.unwrap() > 0.0);
     }
@@ -379,12 +445,28 @@ mod tests {
     #[test]
     fn coloring_and_mis_figures_run_gpu() {
         let suite = tiny_suite("coAuthors");
-        let (t, s) = coloring_figure(&suite, Arch::GpuSim, 3, 1);
+        let (t, s) = coloring_figure(&suite, Arch::GpuSim, 3, 1, None);
         assert_eq!(t.rows.len(), 1);
         assert!(s.unwrap() > 0.0);
-        let (t, s) = mis_figure(&suite, Arch::GpuSim, 3, 1);
+        let (t, s) = mis_figure(&suite, Arch::GpuSim, 3, 1, None);
         assert_eq!(t.rows.len(), 1);
         assert!(s.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn trace_dir_saves_a_jsonl_per_algo() {
+        let dir = std::env::temp_dir().join("sb-bench-test-traces");
+        std::fs::remove_dir_all(&dir).ok();
+        let suite = tiny_suite("lp1");
+        let _ = matching_figure(&suite, Arch::Cpu, 3, 1, Some(&dir));
+        let base = dir.join("fig3_cpu_lp1_baseline.jsonl");
+        let rand = dir.join("fig3_cpu_lp1_rand.jsonl");
+        for p in [&base, &rand] {
+            let text = std::fs::read_to_string(p).unwrap_or_else(|e| panic!("{p:?}: {e}"));
+            let events = sb_trace::parse_jsonl(&text).unwrap();
+            assert!(!events.is_empty(), "{p:?} must hold events");
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
@@ -397,7 +479,7 @@ mod tests {
         };
         cfg.arch = Arch::GpuSim;
         let suite = load_suite(&cfg);
-        let (_, avg) = mis_figure(&suite, Arch::GpuSim, 1, 1);
+        let (_, avg) = mis_figure(&suite, Arch::GpuSim, 1, 1, None);
         assert!(avg.is_none());
     }
 }

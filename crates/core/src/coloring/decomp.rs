@@ -1,7 +1,7 @@
 //! Decomposition-based coloring (Algorithms 7–9 of the paper).
 
 use super::{eb, vb, vb_window, ColoringRun};
-use crate::common::{Arch, RunStats};
+use crate::common::{counters_for, Arch, RunStats};
 use crate::matching::materialize_for_gpu;
 use rayon::prelude::*;
 use sb_decompose::bicc::decompose_bicc;
@@ -12,6 +12,8 @@ use sb_graph::csr::{Graph, VertexId, INVALID};
 use sb_graph::view::EdgeView;
 use sb_par::bsp::BspExecutor;
 use sb_par::counters::{Counters, Stopwatch};
+use sb_trace::TraceSink;
+use std::sync::Arc;
 
 /// Color the vertices of `worklist` against the edges of `view`, with the
 /// architecture's baseline, drawing colors from `base` upward using a
@@ -32,7 +34,7 @@ fn base_color_extend(
     match arch {
         Arch::Cpu => vb::vb_extend(g, view, color, worklist, window, base, counters),
         Arch::GpuSim => {
-            let exec = BspExecutor::new();
+            let exec = BspExecutor::inheriting(counters);
             if view.is_full() {
                 eb::eb_extend(g, EdgeView::full(), color, worklist, base, &exec);
             } else {
@@ -45,28 +47,37 @@ fn base_color_extend(
 }
 
 /// The architecture's baseline colorer on the whole graph (Figure 4's bar).
-pub fn baseline_run(g: &Graph, arch: Arch, _seed: u64) -> ColoringRun {
-    let counters = Counters::new();
+pub fn baseline_run(g: &Graph, arch: Arch, seed: u64) -> ColoringRun {
+    baseline_run_traced(g, arch, seed, None)
+}
+
+/// [`baseline_run`] reporting into `trace` when given.
+pub fn baseline_run_traced(
+    g: &Graph,
+    arch: Arch,
+    _seed: u64,
+    trace: Option<Arc<TraceSink>>,
+) -> ColoringRun {
+    let counters = counters_for(trace);
     let sw = Stopwatch::start();
     let mut color = vec![INVALID; g.num_vertices()];
-    base_color_extend(
-        g,
-        EdgeView::full(),
-        &mut color,
-        g.vertices().collect(),
-        0,
-        vb_window(g),
-        arch,
-        &counters,
-    );
+    {
+        let _span = counters.phase("solve");
+        base_color_extend(
+            g,
+            EdgeView::full(),
+            &mut color,
+            g.vertices().collect(),
+            0,
+            vb_window(g),
+            arch,
+            &counters,
+        );
+    }
     let solve_time = sw.elapsed();
     ColoringRun {
         color,
-        stats: RunStats {
-            decompose_time: std::time::Duration::ZERO,
-            solve_time,
-            counters: counters.snapshot(),
-        },
+        stats: RunStats::from_counters(std::time::Duration::ZERO, solve_time, &counters),
     }
 }
 
@@ -108,45 +119,61 @@ fn reset_conflicts(
 /// Color `G_c` (the 2-edge-connected components share one palette), test
 /// validity against the bridges, recolor the conflicted vertices in `G`.
 pub fn color_bridge(g: &Graph, arch: Arch, seed: u64) -> ColoringRun {
-    let counters = Counters::new();
+    color_bridge_traced(g, arch, seed, None)
+}
+
+/// [`color_bridge`] reporting into `trace` when given.
+pub fn color_bridge_traced(
+    g: &Graph,
+    arch: Arch,
+    seed: u64,
+    trace: Option<Arc<TraceSink>>,
+) -> ColoringRun {
+    let counters = counters_for(trace);
     let sw = Stopwatch::start();
-    let d = decompose_bridge(g, &counters);
+    let d = {
+        let _span = counters.phase("decompose");
+        decompose_bridge(g, &counters)
+    };
     let decompose_time = sw.elapsed();
 
     let sw = Stopwatch::start();
     let mut color = vec![INVALID; g.num_vertices()];
-    base_color_extend(
-        g,
-        d.component_view(),
-        &mut color,
-        g.vertices().collect(),
-        0,
-        vb_window(g),
-        arch,
-        &counters,
-    );
+    {
+        let _span = counters.phase("induced-solve");
+        base_color_extend(
+            g,
+            d.component_view(),
+            &mut color,
+            g.vertices().collect(),
+            0,
+            vb_window(g),
+            arch,
+            &counters,
+        );
+    }
     let _ = seed;
     // Only bridge edges can conflict.
-    let conflicted = reset_conflicts(g, d.bridge_view(), d.bridges.len(), &mut color, &counters);
-    base_color_extend(
-        g,
-        EdgeView::full(),
-        &mut color,
-        conflicted,
-        0,
-        vb_window(g),
-        arch,
-        &counters,
-    );
+    {
+        let _span = counters.phase("cross-solve");
+        let conflicted =
+            reset_conflicts(g, d.bridge_view(), d.bridges.len(), &mut color, &counters);
+        base_color_extend(
+            g,
+            EdgeView::full(),
+            &mut color,
+            conflicted,
+            0,
+            vb_window(g),
+            arch,
+            &counters,
+        );
+    }
     let solve_time = sw.elapsed();
 
     ColoringRun {
         color,
-        stats: RunStats {
-            decompose_time,
-            solve_time,
-            counters: counters.snapshot(),
-        },
+        stats: RunStats::from_counters(decompose_time, solve_time, &counters),
     }
 }
 
@@ -155,44 +182,60 @@ pub fn color_bridge(g: &Graph, arch: Arch, seed: u64) -> ColoringRun {
 /// Color the induced partition subgraphs with an identical palette, then
 /// recolor the endpoints that conflict across cross edges.
 pub fn color_rand(g: &Graph, partitions: usize, arch: Arch, seed: u64) -> ColoringRun {
-    let counters = Counters::new();
+    color_rand_traced(g, partitions, arch, seed, None)
+}
+
+/// [`color_rand`] reporting into `trace` when given.
+pub fn color_rand_traced(
+    g: &Graph,
+    partitions: usize,
+    arch: Arch,
+    seed: u64,
+    trace: Option<Arc<TraceSink>>,
+) -> ColoringRun {
+    let counters = counters_for(trace);
     let sw = Stopwatch::start();
-    let d = decompose_rand(g, partitions, seed, &counters);
+    let d = {
+        let _span = counters.phase("decompose");
+        decompose_rand(g, partitions, seed, &counters)
+    };
     let decompose_time = sw.elapsed();
 
     let sw = Stopwatch::start();
     let mut color = vec![INVALID; g.num_vertices()];
-    base_color_extend(
-        g,
-        d.induced_view(),
-        &mut color,
-        g.vertices().collect(),
-        0,
-        vb_window(g),
-        arch,
-        &counters,
-    );
+    {
+        let _span = counters.phase("induced-solve");
+        base_color_extend(
+            g,
+            d.induced_view(),
+            &mut color,
+            g.vertices().collect(),
+            0,
+            vb_window(g),
+            arch,
+            &counters,
+        );
+    }
     // Only cross edges can conflict.
-    let conflicted = reset_conflicts(g, d.cross_view(), d.m_cross, &mut color, &counters);
-    base_color_extend(
-        g,
-        EdgeView::full(),
-        &mut color,
-        conflicted,
-        0,
-        vb_window(g),
-        arch,
-        &counters,
-    );
+    {
+        let _span = counters.phase("cross-solve");
+        let conflicted = reset_conflicts(g, d.cross_view(), d.m_cross, &mut color, &counters);
+        base_color_extend(
+            g,
+            EdgeView::full(),
+            &mut color,
+            conflicted,
+            0,
+            vb_window(g),
+            arch,
+            &counters,
+        );
+    }
     let solve_time = sw.elapsed();
 
     ColoringRun {
         color,
-        stats: RunStats {
-            decompose_time,
-            solve_time,
-            counters: counters.snapshot(),
-        },
+        stats: RunStats::from_counters(decompose_time, solve_time, &counters),
     }
 }
 
@@ -203,51 +246,76 @@ pub fn color_rand(g: &Graph, partitions: usize, arch: Arch, seed: u64) -> Colori
 /// `max(C_H)` using a `(k+1)`-entry FORBIDDEN window (degree ≤ k inside
 /// `G_L` guarantees the palette suffices).
 pub fn color_degk(g: &Graph, k: usize, arch: Arch, seed: u64) -> ColoringRun {
-    let counters = Counters::new();
+    color_degk_traced(g, k, arch, seed, None)
+}
+
+/// [`color_degk`] reporting into `trace` when given.
+pub fn color_degk_traced(
+    g: &Graph,
+    k: usize,
+    arch: Arch,
+    seed: u64,
+    trace: Option<Arc<TraceSink>>,
+) -> ColoringRun {
+    let counters = counters_for(trace);
     let sw = Stopwatch::start();
-    let d = decompose_degk(g, k, &counters);
+    let d = {
+        let _span = counters.phase("decompose");
+        decompose_degk(g, k, &counters)
+    };
     let decompose_time = sw.elapsed();
     let _ = seed;
 
     let sw = Stopwatch::start();
     let mut color = vec![INVALID; g.num_vertices()];
-    let high: Vec<VertexId> = d.high_vertices();
-    // Window for the high phase: the average degree of G_H (the paper's
-    // VB rule applied to the graph actually being colored).
-    let high_window = if high.is_empty() {
-        2
-    } else {
-        (2 * d.m_high).div_ceil(high.len()).max(2)
-    };
-    base_color_extend(
-        g,
-        d.high_view(),
-        &mut color,
-        high,
-        0,
-        high_window,
-        arch,
-        &counters,
-    );
-    let base = color
-        .par_iter()
-        .filter(|&&c| c != INVALID)
-        .max()
-        .map_or(0, |&c| c + 1);
-    // Low side: small palette, (k+1)-entry FORBIDDEN window. Only G_L edges
-    // can conflict (cross edges lead to colors below `base`), so the window
-    // scan runs on the low view.
-    let low: Vec<VertexId> = d.low_vertices();
-    base_color_extend(g, d.low_view(), &mut color, low, base, k + 1, arch, &counters);
+    {
+        let _span = counters.phase("induced-solve");
+        let high: Vec<VertexId> = d.high_vertices();
+        // Window for the high phase: the average degree of G_H (the paper's
+        // VB rule applied to the graph actually being colored).
+        let high_window = if high.is_empty() {
+            2
+        } else {
+            (2 * d.m_high).div_ceil(high.len()).max(2)
+        };
+        base_color_extend(
+            g,
+            d.high_view(),
+            &mut color,
+            high,
+            0,
+            high_window,
+            arch,
+            &counters,
+        );
+    }
+    {
+        let _span = counters.phase("fringe-peel");
+        let base = color
+            .par_iter()
+            .filter(|&&c| c != INVALID)
+            .max()
+            .map_or(0, |&c| c + 1);
+        // Low side: small palette, (k+1)-entry FORBIDDEN window. Only G_L
+        // edges can conflict (cross edges lead to colors below `base`), so
+        // the window scan runs on the low view.
+        let low: Vec<VertexId> = d.low_vertices();
+        base_color_extend(
+            g,
+            d.low_view(),
+            &mut color,
+            low,
+            base,
+            k + 1,
+            arch,
+            &counters,
+        );
+    }
     let solve_time = sw.elapsed();
 
     ColoringRun {
         color,
-        stats: RunStats {
-            decompose_time,
-            solve_time,
-            counters: counters.snapshot(),
-        },
+        stats: RunStats::from_counters(decompose_time, solve_time, &counters),
     }
 }
 
@@ -259,51 +327,67 @@ pub fn color_degk(g: &Graph, k: usize, arch: Arch, seed: u64) -> ColoringRun {
 /// blocks. Phase 2 colors the (few) articulation vertices against their
 /// already-colored neighborhoods.
 pub fn color_bicc(g: &Graph, arch: Arch, seed: u64) -> ColoringRun {
-    let counters = Counters::new();
+    color_bicc_traced(g, arch, seed, None)
+}
+
+/// [`color_bicc`] reporting into `trace` when given.
+pub fn color_bicc_traced(
+    g: &Graph,
+    arch: Arch,
+    seed: u64,
+    trace: Option<Arc<TraceSink>>,
+) -> ColoringRun {
+    let counters = counters_for(trace);
     let sw = Stopwatch::start();
-    let d = decompose_bicc(g, &counters);
+    let d = {
+        let _span = counters.phase("decompose");
+        decompose_bicc(g, &counters)
+    };
     let decompose_time = sw.elapsed();
     let _ = seed;
 
     let sw = Stopwatch::start();
     let mut color = vec![INVALID; g.num_vertices()];
-    let interior: Vec<VertexId> = (0..g.num_vertices() as u32)
-        .filter(|&v| !d.is_articulation[v as usize])
-        .collect();
-    // The interior pieces must not see the withheld articulation vertices
-    // as neighbors (they are uncolored anyway), so the full view is safe.
-    base_color_extend(
-        g,
-        EdgeView::full(),
-        &mut color,
-        interior,
-        0,
-        vb_window(g),
-        arch,
-        &counters,
-    );
-    let cuts: Vec<VertexId> = (0..g.num_vertices() as u32)
-        .filter(|&v| d.is_articulation[v as usize])
-        .collect();
-    base_color_extend(
-        g,
-        EdgeView::full(),
-        &mut color,
-        cuts,
-        0,
-        vb_window(g),
-        arch,
-        &counters,
-    );
+    {
+        let _span = counters.phase("induced-solve");
+        let interior: Vec<VertexId> = (0..g.num_vertices() as u32)
+            .filter(|&v| !d.is_articulation[v as usize])
+            .collect();
+        // The interior pieces must not see the withheld articulation
+        // vertices as neighbors (they are uncolored anyway), so the full
+        // view is safe.
+        base_color_extend(
+            g,
+            EdgeView::full(),
+            &mut color,
+            interior,
+            0,
+            vb_window(g),
+            arch,
+            &counters,
+        );
+    }
+    {
+        let _span = counters.phase("cleanup");
+        let cuts: Vec<VertexId> = (0..g.num_vertices() as u32)
+            .filter(|&v| d.is_articulation[v as usize])
+            .collect();
+        base_color_extend(
+            g,
+            EdgeView::full(),
+            &mut color,
+            cuts,
+            0,
+            vb_window(g),
+            arch,
+            &counters,
+        );
+    }
     let solve_time = sw.elapsed();
 
     ColoringRun {
         color,
-        stats: RunStats {
-            decompose_time,
-            solve_time,
-            counters: counters.snapshot(),
-        },
+        stats: RunStats::from_counters(decompose_time, solve_time, &counters),
     }
 }
 
@@ -318,12 +402,7 @@ mod tests {
         use rand::{RngExt, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let edges: Vec<(u32, u32)> = (0..m)
-            .map(|_| {
-                (
-                    rng.random_range(0..n) as u32,
-                    rng.random_range(0..n) as u32,
-                )
-            })
+            .map(|_| (rng.random_range(0..n) as u32, rng.random_range(0..n) as u32))
             .collect();
         from_edge_list(n, &edges)
     }

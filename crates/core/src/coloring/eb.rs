@@ -30,8 +30,11 @@ pub fn eb_extend(
     assert_eq!(color.len(), n);
     let mut offset: Vec<u32> = vec![base; n];
     let mut remaining = targets.len();
+    let counters = exec.counters();
 
     while remaining > 0 {
+        let scope = counters.round_scope(remaining as u64);
+        let before = remaining;
         {
             let color_at = as_atomic_u32(color);
             let off_at = as_atomic_u32(&mut offset);
@@ -90,6 +93,7 @@ pub fn eb_extend(
                 .count()
         };
         exec.end_round();
+        counters.finish_round(scope, || before.saturating_sub(remaining) as u64);
     }
 }
 
@@ -144,7 +148,14 @@ mod tests {
         let mut color = vec![INVALID; 4];
         color[1] = 0;
         color[2] = 1;
-        eb_extend(&g, EdgeView::full(), &mut color, vec![0, 3], 0, &BspExecutor::new());
+        eb_extend(
+            &g,
+            EdgeView::full(),
+            &mut color,
+            vec![0, 3],
+            0,
+            &BspExecutor::new(),
+        );
         check_coloring(&g, &color).unwrap();
         assert_eq!(color[1], 0);
         assert_eq!(color[2], 1);
@@ -167,12 +178,7 @@ mod tests {
         for trial in 0..6 {
             let n = 150 + 80 * trial;
             let edges: Vec<(u32, u32)> = (0..n * 6)
-                .map(|_| {
-                    (
-                        rng.random_range(0..n) as u32,
-                        rng.random_range(0..n) as u32,
-                    )
-                })
+                .map(|_| (rng.random_range(0..n) as u32, rng.random_range(0..n) as u32))
                 .collect();
             let g = from_edge_list(n, &edges);
             let c = eb_color(&g, &BspExecutor::new());

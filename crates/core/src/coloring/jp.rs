@@ -96,6 +96,8 @@ pub fn jp_color_ordered(
     let mut work: Vec<VertexId> = g.vertices().collect();
 
     while !work.is_empty() {
+        let round = counters.round_scope(work.len() as u64);
+        let before = work.len();
         counters.add_rounds(1);
         counters.add_work(work.len() as u64);
         {
@@ -109,9 +111,7 @@ pub fn jp_color_ordered(
                     let pv = prio(v);
                     let mut is_max = true;
                     for &w in g.neighbors(v) {
-                        if color_at[w as usize].load(Ordering::Relaxed) == INVALID
-                            && prio(w) > pv
-                        {
+                        if color_at[w as usize].load(Ordering::Relaxed) == INVALID && prio(w) > pv {
                             is_max = false;
                             break;
                         }
@@ -137,6 +137,7 @@ pub fn jp_color_ordered(
             }
         }
         work.retain(|&v| color[v as usize] == INVALID);
+        counters.finish_round(round, || (before - work.len()) as u64);
     }
     color
 }
@@ -184,12 +185,7 @@ mod tests {
         for trial in 0..5 {
             let n = 200;
             let edges: Vec<(u32, u32)> = (0..n * 4)
-                .map(|_| {
-                    (
-                        rng.random_range(0..n) as u32,
-                        rng.random_range(0..n) as u32,
-                    )
-                })
+                .map(|_| (rng.random_range(0..n) as u32, rng.random_range(0..n) as u32))
                 .collect();
             let g = from_edge_list(n, &edges);
             let c = jp_color(&g, trial, &Counters::new());
@@ -204,12 +200,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(77);
         let n = 300;
         let edges: Vec<(u32, u32)> = (0..n * 5)
-            .map(|_| {
-                (
-                    rng.random_range(0..n) as u32,
-                    rng.random_range(0..n) as u32,
-                )
-            })
+            .map(|_| (rng.random_range(0..n) as u32, rng.random_range(0..n) as u32))
             .collect();
         let g = from_edge_list(n, &edges);
         for ordering in [

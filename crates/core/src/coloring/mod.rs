@@ -61,12 +61,27 @@ impl ColoringRun {
 
 /// Run a vertex-coloring algorithm on `g`.
 pub fn vertex_coloring(g: &Graph, algo: ColorAlgorithm, arch: Arch, seed: u64) -> ColoringRun {
+    vertex_coloring_traced(g, algo, arch, seed, None)
+}
+
+/// [`vertex_coloring`] reporting phase spans and round records into `trace`
+/// when given (see `sb_trace`). Passing `None` — or a disabled sink — is
+/// identical to the untraced entry point.
+pub fn vertex_coloring_traced(
+    g: &Graph,
+    algo: ColorAlgorithm,
+    arch: Arch,
+    seed: u64,
+    trace: Option<std::sync::Arc<sb_trace::TraceSink>>,
+) -> ColoringRun {
     match algo {
-        ColorAlgorithm::Baseline => decomp::baseline_run(g, arch, seed),
-        ColorAlgorithm::Bridge => decomp::color_bridge(g, arch, seed),
-        ColorAlgorithm::Rand { partitions } => decomp::color_rand(g, partitions, arch, seed),
-        ColorAlgorithm::Degk { k } => decomp::color_degk(g, k, arch, seed),
-        ColorAlgorithm::Bicc => decomp::color_bicc(g, arch, seed),
+        ColorAlgorithm::Baseline => decomp::baseline_run_traced(g, arch, seed, trace),
+        ColorAlgorithm::Bridge => decomp::color_bridge_traced(g, arch, seed, trace),
+        ColorAlgorithm::Rand { partitions } => {
+            decomp::color_rand_traced(g, partitions, arch, seed, trace)
+        }
+        ColorAlgorithm::Degk { k } => decomp::color_degk_traced(g, k, arch, seed, trace),
+        ColorAlgorithm::Bicc => decomp::color_bicc_traced(g, arch, seed, trace),
     }
 }
 

@@ -41,6 +41,8 @@ pub fn vb_extend(
     let mut offset: Vec<u32> = vec![base; g.num_vertices()];
 
     while !work.is_empty() {
+        let round = counters.round_scope(work.len() as u64);
+        let before = work.len();
         counters.add_rounds(1);
         counters.add_work(work.len() as u64);
         {
@@ -114,6 +116,7 @@ pub fn vb_extend(
             color[v as usize] = INVALID;
         }
         work = next;
+        counters.finish_round(round, || (before - work.len()) as u64);
     }
 }
 
@@ -123,7 +126,15 @@ pub fn vb_color(g: &Graph, counters: &Counters) -> Vec<u32> {
     let mut color = vec![INVALID; g.num_vertices()];
     let worklist: Vec<VertexId> = g.vertices().collect();
     let window = super::vb_window(g);
-    vb_extend(g, EdgeView::full(), &mut color, worklist, window, 0, counters);
+    vb_extend(
+        g,
+        EdgeView::full(),
+        &mut color,
+        worklist,
+        window,
+        0,
+        counters,
+    );
     color
 }
 
@@ -136,7 +147,10 @@ mod tests {
     #[test]
     fn colors_a_path_with_two_colors_mostly() {
         let n = 100u32;
-        let g = from_edge_list(n as usize, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let g = from_edge_list(
+            n as usize,
+            &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>(),
+        );
         let c = vb_color(&g, &Counters::new());
         check_coloring(&g, &c).unwrap();
         assert!(color_count(&c) <= 3);
@@ -169,7 +183,15 @@ mod tests {
         }
         let g = from_edge_list(n as usize, &edges);
         let mut color = vec![INVALID; 8];
-        vb_extend(&g, EdgeView::full(), &mut color, g.vertices().collect(), 2, 0, &Counters::new());
+        vb_extend(
+            &g,
+            EdgeView::full(),
+            &mut color,
+            g.vertices().collect(),
+            2,
+            0,
+            &Counters::new(),
+        );
         check_coloring(&g, &color).unwrap();
     }
 
@@ -179,7 +201,15 @@ mod tests {
         let g = from_edge_list(4, &[(0, 1), (0, 2), (0, 3)]);
         let mut color = vec![INVALID; 4];
         color[0] = 0;
-        vb_extend(&g, EdgeView::full(), &mut color, vec![1, 2, 3], 3, 5, &Counters::new());
+        vb_extend(
+            &g,
+            EdgeView::full(),
+            &mut color,
+            vec![1, 2, 3],
+            3,
+            5,
+            &Counters::new(),
+        );
         check_coloring(&g, &color).unwrap();
         for &c in &color[1..4] {
             assert!(c >= 5, "leaf colored {c} below base");
@@ -193,12 +223,7 @@ mod tests {
         for trial in 0..6 {
             let n = 200 + 70 * trial;
             let edges: Vec<(u32, u32)> = (0..n * 5)
-                .map(|_| {
-                    (
-                        rng.random_range(0..n) as u32,
-                        rng.random_range(0..n) as u32,
-                    )
-                })
+                .map(|_| (rng.random_range(0..n) as u32, rng.random_range(0..n) as u32))
                 .collect();
             let g = from_edge_list(n, &edges);
             let c = vb_color(&g, &Counters::new());
@@ -212,7 +237,15 @@ mod tests {
     fn empty_worklist_noop() {
         let g = from_edge_list(3, &[(0, 1)]);
         let mut color = vec![7, 8, 9];
-        vb_extend(&g, EdgeView::full(), &mut color, vec![], 4, 0, &Counters::new());
+        vb_extend(
+            &g,
+            EdgeView::full(),
+            &mut color,
+            vec![],
+            4,
+            0,
+            &Counters::new(),
+        );
         assert_eq!(color, vec![7, 8, 9]);
     }
 }

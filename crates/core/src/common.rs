@@ -1,6 +1,8 @@
 //! Shared run configuration and reporting types.
 
-use sb_par::counters::CounterSnapshot;
+use sb_par::counters::{CounterSnapshot, Counters};
+use sb_trace::{TraceSink, TraceSummary};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Which execution model a composite algorithm targets.
@@ -38,9 +40,28 @@ pub struct RunStats {
     pub solve_time: Duration,
     /// Work counters accumulated across decomposition and solving.
     pub counters: CounterSnapshot,
+    /// Round-convergence digest, present when the run was traced (see
+    /// `sb_trace`): rounds to converge, round-time percentiles, and
+    /// settled-per-round histogram.
+    pub trace: Option<TraceSummary>,
 }
 
 impl RunStats {
+    /// Assemble the stats of a finished run from its counter block,
+    /// attaching the trace digest when the run was traced.
+    pub fn from_counters(
+        decompose_time: Duration,
+        solve_time: Duration,
+        counters: &Counters,
+    ) -> RunStats {
+        RunStats {
+            decompose_time,
+            solve_time,
+            counters: counters.snapshot(),
+            trace: counters.trace_sink().and_then(|s| s.summary()),
+        }
+    }
+
     /// Total wall-clock time.
     pub fn total_time(&self) -> Duration {
         self.decompose_time + self.solve_time
@@ -61,6 +82,15 @@ impl RunStats {
     }
 }
 
+/// Counter block for one run: reporting into `sink` when tracing was
+/// requested, plain otherwise. Shared by every composite's entry points.
+pub(crate) fn counters_for(trace: Option<Arc<TraceSink>>) -> Counters {
+    match trace {
+        Some(sink) => Counters::with_trace(sink),
+        None => Counters::new(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -77,6 +107,7 @@ mod tests {
             decompose_time: Duration::from_millis(3),
             solve_time: Duration::from_millis(7),
             counters: CounterSnapshot::default(),
+            trace: None,
         };
         assert_eq!(s.total_time(), Duration::from_millis(10));
         assert!((s.total_ms() - 10.0).abs() < 1e-9);

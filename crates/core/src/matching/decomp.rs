@@ -7,30 +7,41 @@
 //! phases.
 
 use super::{base_extend, fresh_mate, MatchingRun};
-use crate::common::{Arch, RunStats};
+use crate::common::{counters_for, Arch, RunStats};
 use sb_decompose::bicc::decompose_bicc;
 use sb_decompose::bridge::decompose_bridge;
 use sb_decompose::degk::decompose_degk;
 use sb_decompose::rand_part::decompose_rand;
 use sb_graph::csr::{Graph, INVALID};
 use sb_graph::view::EdgeView;
-use sb_par::counters::{Counters, Stopwatch};
+use sb_par::counters::Stopwatch;
+use sb_trace::TraceSink;
+use std::sync::Arc;
 
 /// Run the architecture's baseline matcher on the whole graph (no
 /// decomposition). This is the comparison bar in Figure 3.
 pub fn baseline_run(g: &Graph, arch: Arch, seed: u64) -> MatchingRun {
-    let counters = Counters::new();
+    baseline_run_traced(g, arch, seed, None)
+}
+
+/// [`baseline_run`] reporting into `trace` when given.
+pub fn baseline_run_traced(
+    g: &Graph,
+    arch: Arch,
+    seed: u64,
+    trace: Option<Arc<TraceSink>>,
+) -> MatchingRun {
+    let counters = counters_for(trace);
     let mut mate = fresh_mate(g.num_vertices());
     let sw = Stopwatch::start();
-    base_extend(g, EdgeView::full(), &mut mate, None, arch, seed, &counters);
+    {
+        let _span = counters.phase("solve");
+        base_extend(g, EdgeView::full(), &mut mate, None, arch, seed, &counters);
+    }
     let solve_time = sw.elapsed();
     MatchingRun {
         mate,
-        stats: RunStats {
-            decompose_time: std::time::Duration::ZERO,
-            solve_time,
-            counters: counters.snapshot(),
-        },
+        stats: RunStats::from_counters(std::time::Duration::ZERO, solve_time, &counters),
     }
 }
 
@@ -39,32 +50,63 @@ pub fn baseline_run(g: &Graph, arch: Arch, seed: u64) -> MatchingRun {
 /// Match the 2-edge-connected components `G_c`, then maximally match the
 /// subgraph of `G` induced by the still-unmatched bridge vertices.
 pub fn mm_bridge(g: &Graph, arch: Arch, seed: u64) -> MatchingRun {
-    let counters = Counters::new();
+    mm_bridge_traced(g, arch, seed, None)
+}
+
+/// [`mm_bridge`] reporting into `trace` when given.
+pub fn mm_bridge_traced(
+    g: &Graph,
+    arch: Arch,
+    seed: u64,
+    trace: Option<Arc<TraceSink>>,
+) -> MatchingRun {
+    let counters = counters_for(trace);
     let sw = Stopwatch::start();
-    let d = decompose_bridge(g, &counters);
+    let d = {
+        let _span = counters.phase("decompose");
+        decompose_bridge(g, &counters)
+    };
     let decompose_time = sw.elapsed();
 
     let sw = Stopwatch::start();
     let mut mate = fresh_mate(g.num_vertices());
     // Phase 1: M_c on the components.
-    base_extend(g, d.component_view(), &mut mate, None, arch, seed, &counters);
-    // Phase 2: M_b on G[V'], V' = unmatched bridge vertices.
-    let mut allowed = vec![false; g.num_vertices()];
-    for v in d.bridge_vertices(g) {
-        if mate[v as usize] == INVALID {
-            allowed[v as usize] = true;
-        }
+    {
+        let _span = counters.phase("induced-solve");
+        base_extend(
+            g,
+            d.component_view(),
+            &mut mate,
+            None,
+            arch,
+            seed,
+            &counters,
+        );
     }
-    base_extend(g, EdgeView::full(), &mut mate, Some(&allowed), arch, seed ^ 1, &counters);
+    // Phase 2: M_b on G[V'], V' = unmatched bridge vertices.
+    {
+        let _span = counters.phase("cross-solve");
+        let mut allowed = vec![false; g.num_vertices()];
+        for v in d.bridge_vertices(g) {
+            if mate[v as usize] == INVALID {
+                allowed[v as usize] = true;
+            }
+        }
+        base_extend(
+            g,
+            EdgeView::full(),
+            &mut mate,
+            Some(&allowed),
+            arch,
+            seed ^ 1,
+            &counters,
+        );
+    }
     let solve_time = sw.elapsed();
 
     MatchingRun {
         mate,
-        stats: RunStats {
-            decompose_time,
-            solve_time,
-            counters: counters.snapshot(),
-        },
+        stats: RunStats::from_counters(decompose_time, solve_time, &counters),
     }
 }
 
@@ -73,27 +115,59 @@ pub fn mm_bridge(g: &Graph, arch: Arch, seed: u64) -> MatchingRun {
 /// Match the union of the induced partition subgraphs, then extend over the
 /// cross-edge subgraph `G_{k+1}`.
 pub fn mm_rand(g: &Graph, partitions: usize, arch: Arch, seed: u64) -> MatchingRun {
-    let counters = Counters::new();
+    mm_rand_traced(g, partitions, arch, seed, None)
+}
+
+/// [`mm_rand`] reporting into `trace` when given.
+pub fn mm_rand_traced(
+    g: &Graph,
+    partitions: usize,
+    arch: Arch,
+    seed: u64,
+    trace: Option<Arc<TraceSink>>,
+) -> MatchingRun {
+    let counters = counters_for(trace);
     let sw = Stopwatch::start();
-    let d = decompose_rand(g, partitions, seed, &counters);
+    let d = {
+        let _span = counters.phase("decompose");
+        decompose_rand(g, partitions, seed, &counters)
+    };
     let decompose_time = sw.elapsed();
 
     let sw = Stopwatch::start();
     let mut mate = fresh_mate(g.num_vertices());
     // Phase 1: M_IS on G[V_1] ∪ … ∪ G[V_k].
-    base_extend(g, d.induced_view(), &mut mate, None, arch, seed ^ 2, &counters);
+    {
+        let _span = counters.phase("induced-solve");
+        base_extend(
+            g,
+            d.induced_view(),
+            &mut mate,
+            None,
+            arch,
+            seed ^ 2,
+            &counters,
+        );
+    }
     // Phase 2: M_{k+1} on the unmatched part of G_{k+1} (the solver skips
     // matched endpoints, which is exactly the G_{k+1}[V'] restriction).
-    base_extend(g, d.cross_view(), &mut mate, None, arch, seed ^ 3, &counters);
+    {
+        let _span = counters.phase("cross-solve");
+        base_extend(
+            g,
+            d.cross_view(),
+            &mut mate,
+            None,
+            arch,
+            seed ^ 3,
+            &counters,
+        );
+    }
     let solve_time = sw.elapsed();
 
     MatchingRun {
         mate,
-        stats: RunStats {
-            decompose_time,
-            solve_time,
-            counters: counters.snapshot(),
-        },
+        stats: RunStats::from_counters(decompose_time, solve_time, &counters),
     }
 }
 
@@ -102,26 +176,51 @@ pub fn mm_rand(g: &Graph, partitions: usize, arch: Arch, seed: u64) -> MatchingR
 /// Match `G_H` first, then extend over `G_L ∪ G_C` restricted to unmatched
 /// vertices.
 pub fn mm_degk(g: &Graph, k: usize, arch: Arch, seed: u64) -> MatchingRun {
-    let counters = Counters::new();
+    mm_degk_traced(g, k, arch, seed, None)
+}
+
+/// [`mm_degk`] reporting into `trace` when given.
+pub fn mm_degk_traced(
+    g: &Graph,
+    k: usize,
+    arch: Arch,
+    seed: u64,
+    trace: Option<Arc<TraceSink>>,
+) -> MatchingRun {
+    let counters = counters_for(trace);
     let sw = Stopwatch::start();
-    let d = decompose_degk(g, k, &counters);
+    let d = {
+        let _span = counters.phase("decompose");
+        decompose_degk(g, k, &counters)
+    };
     let decompose_time = sw.elapsed();
 
     let sw = Stopwatch::start();
     let mut mate = fresh_mate(g.num_vertices());
     // Phase 1: M_H on G_H.
-    base_extend(g, d.high_view(), &mut mate, None, arch, seed ^ 4, &counters);
-    // Phase 2: M_LC on G_LC = G_L ∪ G_C (every edge with a low endpoint).
-    base_extend(g, d.low_cross_view(), &mut mate, None, arch, seed ^ 5, &counters);
+    {
+        let _span = counters.phase("induced-solve");
+        base_extend(g, d.high_view(), &mut mate, None, arch, seed ^ 4, &counters);
+    }
+    // Phase 2: M_LC on G_LC = G_L ∪ G_C (every edge with a low endpoint —
+    // the low-degree fringe).
+    {
+        let _span = counters.phase("fringe-peel");
+        base_extend(
+            g,
+            d.low_cross_view(),
+            &mut mate,
+            None,
+            arch,
+            seed ^ 5,
+            &counters,
+        );
+    }
     let solve_time = sw.elapsed();
 
     MatchingRun {
         mate,
-        stats: RunStats {
-            decompose_time,
-            solve_time,
-            counters: counters.snapshot(),
-        },
+        stats: RunStats::from_counters(decompose_time, solve_time, &counters),
     }
 }
 
@@ -132,27 +231,58 @@ pub fn mm_degk(g: &Graph, k: usize, arch: Arch, seed: u64) -> MatchingRun {
 /// that remainder is found in one parallel solve, then extended over the
 /// articulation vertices and their edges.
 pub fn mm_bicc(g: &Graph, arch: Arch, seed: u64) -> MatchingRun {
-    let counters = Counters::new();
+    mm_bicc_traced(g, arch, seed, None)
+}
+
+/// [`mm_bicc`] reporting into `trace` when given.
+pub fn mm_bicc_traced(
+    g: &Graph,
+    arch: Arch,
+    seed: u64,
+    trace: Option<Arc<TraceSink>>,
+) -> MatchingRun {
+    let counters = counters_for(trace);
     let sw = Stopwatch::start();
-    let d = decompose_bicc(g, &counters);
+    let d = {
+        let _span = counters.phase("decompose");
+        decompose_bicc(g, &counters)
+    };
     let decompose_time = sw.elapsed();
 
     let sw = Stopwatch::start();
     let mut mate = fresh_mate(g.num_vertices());
     // Phase 1: block interiors (non-articulation vertices).
-    let interior: Vec<bool> = d.is_articulation.iter().map(|&a| !a).collect();
-    base_extend(g, EdgeView::full(), &mut mate, Some(&interior), arch, seed, &counters);
+    {
+        let _span = counters.phase("induced-solve");
+        let interior: Vec<bool> = d.is_articulation.iter().map(|&a| !a).collect();
+        base_extend(
+            g,
+            EdgeView::full(),
+            &mut mate,
+            Some(&interior),
+            arch,
+            seed,
+            &counters,
+        );
+    }
     // Phase 2: extend over the articulation vertices.
-    base_extend(g, EdgeView::full(), &mut mate, None, arch, seed ^ 1, &counters);
+    {
+        let _span = counters.phase("cleanup");
+        base_extend(
+            g,
+            EdgeView::full(),
+            &mut mate,
+            None,
+            arch,
+            seed ^ 1,
+            &counters,
+        );
+    }
     let solve_time = sw.elapsed();
 
     MatchingRun {
         mate,
-        stats: RunStats {
-            decompose_time,
-            solve_time,
-            counters: counters.snapshot(),
-        },
+        stats: RunStats::from_counters(decompose_time, solve_time, &counters),
     }
 }
 
@@ -167,12 +297,7 @@ mod tests {
         use rand::{RngExt, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let edges: Vec<(u32, u32)> = (0..m)
-            .map(|_| {
-                (
-                    rng.random_range(0..n) as u32,
-                    rng.random_range(0..n) as u32,
-                )
-            })
+            .map(|_| (rng.random_range(0..n) as u32, rng.random_range(0..n) as u32))
             .collect();
         from_edge_list(n, &edges)
     }

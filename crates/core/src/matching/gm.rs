@@ -48,6 +48,8 @@ pub fn gm_extend(
     let mut cursor = vec![0usize; n];
 
     while !live.is_empty() {
+        let round = counters.round_scope(live.len() as u64);
+        let before = live.len();
         counters.add_rounds(1);
         counters.add_work(live.len() as u64);
         {
@@ -97,6 +99,7 @@ pub fn gm_extend(
             .into_par_iter()
             .filter(|&v| mate[v as usize] == INVALID && proposal[v as usize] != INVALID)
             .collect();
+        counters.finish_round(round, || (before - live.len()) as u64);
     }
 }
 
@@ -122,6 +125,8 @@ pub fn gm_random_extend(
     let mut proposal = vec![INVALID; n];
 
     while !live.is_empty() {
+        let round = counters.round_scope(live.len() as u64);
+        let before = live.len();
         counters.add_rounds(1);
         counters.add_work(live.len() as u64);
         {
@@ -133,9 +138,7 @@ pub fn gm_random_extend(
                 let mut best = INVALID;
                 let mut best_key = (u64::MAX, u32::MAX);
                 for (w, e) in view.arcs(g, v) {
-                    if mate_at[w as usize].load(Ordering::Relaxed) == INVALID
-                        && allow(w as usize)
-                    {
+                    if mate_at[w as usize].load(Ordering::Relaxed) == INVALID && allow(w as usize) {
                         let key = (weight(e), e);
                         if key < best_key {
                             best_key = key;
@@ -158,6 +161,7 @@ pub fn gm_random_extend(
             .into_par_iter()
             .filter(|&v| mate[v as usize] == INVALID && proposal[v as usize] != INVALID)
             .collect();
+        counters.finish_round(round, || (before - live.len()) as u64);
     }
 }
 
@@ -202,7 +206,13 @@ mod tests {
         let g = from_edge_list(4, &[(0, 1), (1, 2), (2, 3)]);
         let mut mate = vec![INVALID; 4];
         let allowed = vec![false, false, true, true];
-        gm_extend(&g, EdgeView::full(), &mut mate, Some(&allowed), &Counters::new());
+        gm_extend(
+            &g,
+            EdgeView::full(),
+            &mut mate,
+            Some(&allowed),
+            &Counters::new(),
+        );
         assert_eq!(mate, vec![INVALID, INVALID, 3, 2]);
     }
 
@@ -255,16 +265,18 @@ mod tests {
         for trial in 0..6 {
             let n = 150 + trial * 60;
             let edges: Vec<(u32, u32)> = (0..n * 3)
-                .map(|_| {
-                    (
-                        rng.random_range(0..n) as u32,
-                        rng.random_range(0..n) as u32,
-                    )
-                })
+                .map(|_| (rng.random_range(0..n) as u32, rng.random_range(0..n) as u32))
                 .collect();
             let g = from_edge_list(n, &edges);
             let mut mate = vec![INVALID; n];
-            gm_random_extend(&g, EdgeView::full(), &mut mate, None, trial as u64, &Counters::new());
+            gm_random_extend(
+                &g,
+                EdgeView::full(),
+                &mut mate,
+                None,
+                trial as u64,
+                &Counters::new(),
+            );
             check_maximal_matching(&g, &mate).unwrap();
             let mut mate2 = vec![INVALID; n];
             gm_extend(&g, EdgeView::full(), &mut mate2, None, &Counters::new());

@@ -43,8 +43,23 @@ pub fn ii_extend(
     let mut accept = vec![INVALID; n];
     let mut round = 0u64;
 
+    // Unmatched-participant count: the round-record "active"/"settled"
+    // quantities, computed only when tracing is live.
+    let unmatched = |mate: &[u32]| {
+        participants
+            .iter()
+            .filter(|&&v| mate[v as usize] == INVALID)
+            .count() as u64
+    };
+
     loop {
         round += 1;
+        let active = if counters.tracing() {
+            unmatched(mate)
+        } else {
+            0
+        };
+        let scope = counters.round_scope(active);
         counters.add_rounds(1);
         counters.add_work(participants.len() as u64);
         let live_edges;
@@ -54,8 +69,7 @@ pub fn ii_extend(
             let acc_at = as_atomic_u32(&mut accept);
 
             // Role coin for this round: true = proposer, false = acceptor.
-            let is_proposer =
-                |v: VertexId| hash3(seed ^ 0xC01, round, v as u64) & 1 == 1;
+            let is_proposer = |v: VertexId| hash3(seed ^ 0xC01, round, v as u64) & 1 == 1;
 
             // Phase 1: proposers pick a uniformly random live acceptor
             // neighbor; the termination flag records whether any live edge
@@ -129,6 +143,7 @@ pub fn ii_extend(
                 }
             });
         }
+        counters.finish_round(scope, || active.saturating_sub(unmatched(mate)));
         if !live_edges {
             break;
         }
@@ -166,7 +181,10 @@ mod tests {
         // The instance that serializes GM: II's fresh per-round randomness
         // matches it in O(log n) rounds.
         let n: u32 = 1024;
-        let g = from_edge_list(n as usize, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let g = from_edge_list(
+            n as usize,
+            &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>(),
+        );
         let (mate, rounds) = run_ii(&g, 5);
         check_maximal_matching(&g, &mate).unwrap();
         assert!(rounds < 80, "II should need O(log n) rounds, got {rounds}");
@@ -180,12 +198,7 @@ mod tests {
         for trial in 0..8 {
             let n = 150 + 50 * trial;
             let edges: Vec<(u32, u32)> = (0..n * 3)
-                .map(|_| {
-                    (
-                        rng.random_range(0..n) as u32,
-                        rng.random_range(0..n) as u32,
-                    )
-                })
+                .map(|_| (rng.random_range(0..n) as u32, rng.random_range(0..n) as u32))
                 .collect();
             let g = from_edge_list(n, &edges);
             let (mate, _) = run_ii(&g, trial as u64);
@@ -200,7 +213,14 @@ mod tests {
         mate[0] = 1;
         mate[1] = 0;
         let allowed = vec![true, true, true, true, false];
-        ii_extend(&g, EdgeView::full(), &mut mate, Some(&allowed), 3, &Counters::new());
+        ii_extend(
+            &g,
+            EdgeView::full(),
+            &mut mate,
+            Some(&allowed),
+            3,
+            &Counters::new(),
+        );
         assert_eq!(mate, vec![1, 0, 3, 2, INVALID]);
     }
 

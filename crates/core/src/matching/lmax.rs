@@ -40,13 +40,24 @@ pub fn lmax_extend(
     // composites pass already-reduced instances; there is no per-round
     // worklist compaction).
     let participants: Vec<u32> = (0..n as u32)
-        .filter(|&v| {
-            mate[v as usize] == INVALID && allow(v as usize) && view.has_arc(g, v)
-        })
+        .filter(|&v| mate[v as usize] == INVALID && allow(v as usize) && view.has_arc(g, v))
         .collect();
     let mut pointer = vec![INVALID; n];
+    let counters = exec.counters();
+    let unmatched = |mate: &[u32]| {
+        participants
+            .iter()
+            .filter(|&&v| mate[v as usize] == INVALID)
+            .count() as u64
+    };
 
     while !participants.is_empty() {
+        let active = if counters.tracing() {
+            unmatched(mate)
+        } else {
+            0
+        };
+        let scope = counters.round_scope(active);
         let any_pointer;
         {
             let mate_at = as_atomic_u32(mate);
@@ -66,9 +77,7 @@ pub fn lmax_extend(
                 let mut best_key = (0u64, 0u32);
                 let mut first = true;
                 for (w, e) in view.arcs(g, v) {
-                    if mate_at[w as usize].load(Ordering::Relaxed) == INVALID
-                        && allow(w as usize)
-                    {
+                    if mate_at[w as usize].load(Ordering::Relaxed) == INVALID && allow(w as usize) {
                         let key = weight(e);
                         if first || key > best_key {
                             best_key = key;
@@ -99,6 +108,7 @@ pub fn lmax_extend(
             }
         }
         exec.end_round();
+        counters.finish_round(scope, || active.saturating_sub(unmatched(mate)));
         if !any_pointer {
             break;
         }
@@ -137,12 +147,7 @@ mod tests {
         for trial in 0..6 {
             let n = 200 + 50 * trial;
             let edges: Vec<(u32, u32)> = (0..n * 4)
-                .map(|_| {
-                    (
-                        rng.random_range(0..n) as u32,
-                        rng.random_range(0..n) as u32,
-                    )
-                })
+                .map(|_| (rng.random_range(0..n) as u32, rng.random_range(0..n) as u32))
                 .collect();
             let g = from_edge_list(n, &edges);
             let (mate, _) = run_lmax(&g, trial as u64);

@@ -65,12 +65,27 @@ impl MatchingRun {
 /// `seed` drives every random choice (RAND partition, LMAX edge weights),
 /// making runs reproducible independent of thread count.
 pub fn maximal_matching(g: &Graph, algo: MmAlgorithm, arch: Arch, seed: u64) -> MatchingRun {
+    maximal_matching_traced(g, algo, arch, seed, None)
+}
+
+/// [`maximal_matching`] reporting phase spans and round records into
+/// `trace` when given (see `sb_trace`). Passing `None` — or a disabled
+/// sink — is identical to the untraced entry point.
+pub fn maximal_matching_traced(
+    g: &Graph,
+    algo: MmAlgorithm,
+    arch: Arch,
+    seed: u64,
+    trace: Option<std::sync::Arc<sb_trace::TraceSink>>,
+) -> MatchingRun {
     match algo {
-        MmAlgorithm::Baseline => decomp::baseline_run(g, arch, seed),
-        MmAlgorithm::Bridge => decomp::mm_bridge(g, arch, seed),
-        MmAlgorithm::Rand { partitions } => decomp::mm_rand(g, partitions, arch, seed),
-        MmAlgorithm::Degk { k } => decomp::mm_degk(g, k, arch, seed),
-        MmAlgorithm::Bicc => decomp::mm_bicc(g, arch, seed),
+        MmAlgorithm::Baseline => decomp::baseline_run_traced(g, arch, seed, trace),
+        MmAlgorithm::Bridge => decomp::mm_bridge_traced(g, arch, seed, trace),
+        MmAlgorithm::Rand { partitions } => {
+            decomp::mm_rand_traced(g, partitions, arch, seed, trace)
+        }
+        MmAlgorithm::Degk { k } => decomp::mm_degk_traced(g, k, arch, seed, trace),
+        MmAlgorithm::Bicc => decomp::mm_bicc_traced(g, arch, seed, trace),
     }
 }
 
@@ -96,7 +111,7 @@ pub(crate) fn base_extend(
     match arch {
         Arch::Cpu => gm::gm_extend(g, view, mate, allowed, counters),
         Arch::GpuSim => {
-            let exec = BspExecutor::new();
+            let exec = BspExecutor::inheriting(counters);
             if view.is_full() {
                 lmax::lmax_extend(g, EdgeView::full(), mate, allowed, seed, &exec);
             } else {
@@ -110,11 +125,7 @@ pub(crate) fn base_extend(
 
 /// Materialize a filtered view for a GPU pipeline phase, charging the
 /// streaming passes (classify scan + CSR fill) to `counters`.
-pub(crate) fn materialize_for_gpu(
-    g: &Graph,
-    view: EdgeView<'_>,
-    counters: &Counters,
-) -> Graph {
+pub(crate) fn materialize_for_gpu(g: &Graph, view: EdgeView<'_>, counters: &Counters) -> Graph {
     let sub = view.materialize(g);
     counters.add_kernel(g.num_edges() as u64);
     counters.add_kernel(4 * sub.num_edges() as u64);

@@ -4,7 +4,7 @@ use super::luby::{luby_extend, luby_extend_bsp};
 use super::oriented::oriented_mis_extend;
 use super::status::{IN, OUT, UNDECIDED};
 use super::MisRun;
-use crate::common::{Arch, RunStats};
+use crate::common::{counters_for, Arch, RunStats};
 use crate::matching::materialize_for_gpu;
 use rayon::prelude::*;
 use sb_decompose::bicc::decompose_bicc;
@@ -15,7 +15,9 @@ use sb_graph::csr::{Graph, VertexId};
 use sb_graph::view::EdgeView;
 use sb_par::bsp::BspExecutor;
 use sb_par::counters::{Counters, Stopwatch};
+use sb_trace::TraceSink;
 use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
 
 fn as_atomic_u8(xs: &mut [u8]) -> &[AtomicU8] {
     // SAFETY: see `luby::as_atomic_u8`.
@@ -37,7 +39,7 @@ fn base_mis_extend(
     match arch {
         Arch::Cpu => luby_extend(g, view, status, allowed, seed, counters),
         Arch::GpuSim => {
-            let exec = BspExecutor::new();
+            let exec = BspExecutor::inheriting(counters);
             if view.is_full() {
                 luby_extend_bsp(g, EdgeView::full(), status, allowed, seed, &exec);
             } else {
@@ -59,8 +61,7 @@ fn exclude_dominated(g: &Graph, status: &mut [u8], counters: &Counters) {
         if st[v].load(Ordering::Relaxed) != UNDECIDED {
             return;
         }
-        if g
-            .neighbors(v as VertexId)
+        if g.neighbors(v as VertexId)
             .iter()
             .any(|&w| st[w as usize].load(Ordering::Relaxed) == IN)
         {
@@ -69,24 +70,46 @@ fn exclude_dominated(g: &Graph, status: &mut [u8], counters: &Counters) {
     });
 }
 
-fn finish(status: Vec<u8>, decompose_time: std::time::Duration, sw: Stopwatch, counters: Counters) -> MisRun {
+fn finish(
+    status: Vec<u8>,
+    decompose_time: std::time::Duration,
+    sw: Stopwatch,
+    counters: Counters,
+) -> MisRun {
     let solve_time = sw.elapsed();
     MisRun {
         in_set: status.iter().map(|&s| s == IN).collect(),
-        stats: RunStats {
-            decompose_time,
-            solve_time,
-            counters: counters.snapshot(),
-        },
+        stats: RunStats::from_counters(decompose_time, solve_time, &counters),
     }
 }
 
 /// LubyMIS on the whole graph — the Figure 5 baseline.
 pub fn baseline_run(g: &Graph, arch: Arch, seed: u64) -> MisRun {
-    let counters = Counters::new();
+    baseline_run_traced(g, arch, seed, None)
+}
+
+/// [`baseline_run`] reporting into `trace` when given.
+pub fn baseline_run_traced(
+    g: &Graph,
+    arch: Arch,
+    seed: u64,
+    trace: Option<Arc<TraceSink>>,
+) -> MisRun {
+    let counters = counters_for(trace);
     let mut status = vec![UNDECIDED; g.num_vertices()];
     let sw = Stopwatch::start();
-    base_mis_extend(g, EdgeView::full(), &mut status, None, arch, seed, &counters);
+    {
+        let _span = counters.phase("solve");
+        base_mis_extend(
+            g,
+            EdgeView::full(),
+            &mut status,
+            None,
+            arch,
+            seed,
+            &counters,
+        );
+    }
     finish(status, std::time::Duration::ZERO, sw, counters)
 }
 
@@ -109,9 +132,22 @@ fn busy_avg_degree(g: &Graph, view: EdgeView<'_>) -> f64 {
 /// Solve `∪ H_i = G_c` minus bridge endpoints and the bridge graph `G_B`,
 /// sparser side first, extending through the full graph in between.
 pub fn mis_bridge(g: &Graph, arch: Arch, seed: u64) -> MisRun {
-    let counters = Counters::new();
+    mis_bridge_traced(g, arch, seed, None)
+}
+
+/// [`mis_bridge`] reporting into `trace` when given.
+pub fn mis_bridge_traced(
+    g: &Graph,
+    arch: Arch,
+    seed: u64,
+    trace: Option<Arc<TraceSink>>,
+) -> MisRun {
+    let counters = counters_for(trace);
     let sw = Stopwatch::start();
-    let d = decompose_bridge(g, &counters);
+    let d = {
+        let _span = counters.phase("decompose");
+        decompose_bridge(g, &counters)
+    };
     let decompose_time = sw.elapsed();
 
     let sw = Stopwatch::start();
@@ -125,34 +161,58 @@ pub fn mis_bridge(g: &Graph, arch: Arch, seed: u64) -> MisRun {
     let comp_side: Vec<bool> = (0..n).map(|v| !is_bridge_vertex[v]).collect();
     if busy_avg_degree(g, d.component_view()) <= busy_avg_degree(g, d.bridge_view()) {
         // I_A on ∪ H_i first.
+        {
+            let _span = counters.phase("induced-solve");
+            base_mis_extend(
+                g,
+                d.component_view(),
+                &mut status,
+                Some(&comp_side),
+                arch,
+                seed,
+                &counters,
+            );
+        }
+        let _span = counters.phase("cross-solve");
+        exclude_dominated(g, &mut status, &counters);
         base_mis_extend(
             g,
-            d.component_view(),
+            EdgeView::full(),
             &mut status,
-            Some(&comp_side),
+            None,
             arch,
-            seed,
+            seed ^ 1,
             &counters,
         );
-        exclude_dominated(g, &mut status, &counters);
-        base_mis_extend(g, EdgeView::full(), &mut status, None, arch, seed ^ 1, &counters);
     } else {
         // I_B first. Note: an MIS of the bare bridge graph G_B would not be
         // independent in G (two bridge endpoints can share a non-bridge
         // edge), so I_B is computed on G restricted to the bridge vertices —
         // the subgraph Algorithm 10's "MIS of G_B" must mean for I_A ∪ I_B
         // to be an MIS of G.
+        {
+            let _span = counters.phase("induced-solve");
+            base_mis_extend(
+                g,
+                EdgeView::full(),
+                &mut status,
+                Some(&is_bridge_vertex),
+                arch,
+                seed,
+                &counters,
+            );
+        }
+        let _span = counters.phase("cross-solve");
+        exclude_dominated(g, &mut status, &counters);
         base_mis_extend(
             g,
             EdgeView::full(),
             &mut status,
-            Some(&is_bridge_vertex),
+            None,
             arch,
-            seed,
+            seed ^ 1,
             &counters,
         );
-        exclude_dominated(g, &mut status, &counters);
-        base_mis_extend(g, EdgeView::full(), &mut status, None, arch, seed ^ 1, &counters);
     }
     finish(status, decompose_time, sw, counters)
 }
@@ -162,9 +222,23 @@ pub fn mis_bridge(g: &Graph, arch: Arch, seed: u64) -> MisRun {
 /// Solve `H = ∪ (G_i \ G_{k+1})` (induced subgraphs minus cross-edge
 /// endpoints) and the cross graph, sparser side first.
 pub fn mis_rand(g: &Graph, partitions: usize, arch: Arch, seed: u64) -> MisRun {
-    let counters = Counters::new();
+    mis_rand_traced(g, partitions, arch, seed, None)
+}
+
+/// [`mis_rand`] reporting into `trace` when given.
+pub fn mis_rand_traced(
+    g: &Graph,
+    partitions: usize,
+    arch: Arch,
+    seed: u64,
+    trace: Option<Arc<TraceSink>>,
+) -> MisRun {
+    let counters = counters_for(trace);
     let sw = Stopwatch::start();
-    let d = decompose_rand(g, partitions, seed, &counters);
+    let d = {
+        let _span = counters.phase("decompose");
+        decompose_rand(g, partitions, seed, &counters)
+    };
     let decompose_time = sw.elapsed();
 
     let sw = Stopwatch::start();
@@ -183,31 +257,55 @@ pub fn mis_rand(g: &Graph, partitions: usize, arch: Arch, seed: u64) -> MisRun {
     let mut status = vec![UNDECIDED; n];
 
     if busy_avg_degree(g, d.induced_view()) <= busy_avg_degree(g, d.cross_view()) {
-        base_mis_extend(
-            g,
-            d.induced_view(),
-            &mut status,
-            Some(&h_side),
-            arch,
-            seed ^ 2,
-            &counters,
-        );
+        {
+            let _span = counters.phase("induced-solve");
+            base_mis_extend(
+                g,
+                d.induced_view(),
+                &mut status,
+                Some(&h_side),
+                arch,
+                seed ^ 2,
+                &counters,
+            );
+        }
+        let _span = counters.phase("cross-solve");
         exclude_dominated(g, &mut status, &counters);
-        base_mis_extend(g, EdgeView::full(), &mut status, None, arch, seed ^ 3, &counters);
-    } else {
-        // Same subtlety as MIS-Bridge: cross-edge endpoints can also share
-        // intra-partition edges, so I_B runs on G restricted to them.
         base_mis_extend(
             g,
             EdgeView::full(),
             &mut status,
-            Some(&cross_endpoint),
+            None,
             arch,
-            seed ^ 2,
+            seed ^ 3,
             &counters,
         );
+    } else {
+        // Same subtlety as MIS-Bridge: cross-edge endpoints can also share
+        // intra-partition edges, so I_B runs on G restricted to them.
+        {
+            let _span = counters.phase("induced-solve");
+            base_mis_extend(
+                g,
+                EdgeView::full(),
+                &mut status,
+                Some(&cross_endpoint),
+                arch,
+                seed ^ 2,
+                &counters,
+            );
+        }
+        let _span = counters.phase("cross-solve");
         exclude_dominated(g, &mut status, &counters);
-        base_mis_extend(g, EdgeView::full(), &mut status, None, arch, seed ^ 3, &counters);
+        base_mis_extend(
+            g,
+            EdgeView::full(),
+            &mut status,
+            None,
+            arch,
+            seed ^ 3,
+            &counters,
+        );
     }
     finish(status, decompose_time, sw, counters)
 }
@@ -218,9 +316,23 @@ pub fn mis_rand(g: &Graph, partitions: usize, arch: Arch, seed: u64) -> MisRun {
 /// algorithm when k ≤ 2 (paths and cycles), otherwise with Luby — then
 /// extend through the remainder.
 pub fn mis_degk(g: &Graph, k: usize, arch: Arch, seed: u64) -> MisRun {
-    let counters = Counters::new();
+    mis_degk_traced(g, k, arch, seed, None)
+}
+
+/// [`mis_degk`] reporting into `trace` when given.
+pub fn mis_degk_traced(
+    g: &Graph,
+    k: usize,
+    arch: Arch,
+    seed: u64,
+    trace: Option<Arc<TraceSink>>,
+) -> MisRun {
+    let counters = counters_for(trace);
     let sw = Stopwatch::start();
-    let d = decompose_degk(g, k, &counters);
+    let d = {
+        let _span = counters.phase("decompose");
+        decompose_degk(g, k, &counters)
+    };
     let decompose_time = sw.elapsed();
 
     let sw = Stopwatch::start();
@@ -228,21 +340,37 @@ pub fn mis_degk(g: &Graph, k: usize, arch: Arch, seed: u64) -> MisRun {
     let low_side: Vec<bool> = (0..n).map(|v| !d.is_high[v]).collect();
     let mut status = vec![UNDECIDED; n];
 
-    if k <= 2 {
-        oriented_mis_extend(g, d.low_view(), &mut status, Some(&low_side), &counters);
-    } else {
+    // The degree-≤k fringe is peeled first (oriented Cole–Vishkin for
+    // k ≤ 2, Luby otherwise).
+    {
+        let _span = counters.phase("fringe-peel");
+        if k <= 2 {
+            oriented_mis_extend(g, d.low_view(), &mut status, Some(&low_side), &counters);
+        } else {
+            base_mis_extend(
+                g,
+                d.low_view(),
+                &mut status,
+                Some(&low_side),
+                arch,
+                seed ^ 4,
+                &counters,
+            );
+        }
+    }
+    {
+        let _span = counters.phase("cross-solve");
+        exclude_dominated(g, &mut status, &counters);
         base_mis_extend(
             g,
-            d.low_view(),
+            EdgeView::full(),
             &mut status,
-            Some(&low_side),
+            None,
             arch,
-            seed ^ 4,
+            seed ^ 5,
             &counters,
         );
     }
-    exclude_dominated(g, &mut status, &counters);
-    base_mis_extend(g, EdgeView::full(), &mut status, None, arch, seed ^ 5, &counters);
     finish(status, decompose_time, sw, counters)
 }
 
@@ -252,18 +380,48 @@ pub fn mis_degk(g: &Graph, k: usize, arch: Arch, seed: u64) -> MisRun {
 /// whose pieces are pairwise disconnected), then exclusion through the
 /// full graph and a final solve over what remains.
 pub fn mis_bicc(g: &Graph, arch: Arch, seed: u64) -> MisRun {
-    let counters = Counters::new();
+    mis_bicc_traced(g, arch, seed, None)
+}
+
+/// [`mis_bicc`] reporting into `trace` when given.
+pub fn mis_bicc_traced(g: &Graph, arch: Arch, seed: u64, trace: Option<Arc<TraceSink>>) -> MisRun {
+    let counters = counters_for(trace);
     let sw = Stopwatch::start();
-    let d = decompose_bicc(g, &counters);
+    let d = {
+        let _span = counters.phase("decompose");
+        decompose_bicc(g, &counters)
+    };
     let decompose_time = sw.elapsed();
 
     let sw = Stopwatch::start();
     let n = g.num_vertices();
     let interior: Vec<bool> = d.is_articulation.iter().map(|&a| !a).collect();
     let mut status = vec![UNDECIDED; n];
-    base_mis_extend(g, EdgeView::full(), &mut status, Some(&interior), arch, seed, &counters);
-    exclude_dominated(g, &mut status, &counters);
-    base_mis_extend(g, EdgeView::full(), &mut status, None, arch, seed ^ 1, &counters);
+    {
+        let _span = counters.phase("induced-solve");
+        base_mis_extend(
+            g,
+            EdgeView::full(),
+            &mut status,
+            Some(&interior),
+            arch,
+            seed,
+            &counters,
+        );
+    }
+    {
+        let _span = counters.phase("cleanup");
+        exclude_dominated(g, &mut status, &counters);
+        base_mis_extend(
+            g,
+            EdgeView::full(),
+            &mut status,
+            None,
+            arch,
+            seed ^ 1,
+            &counters,
+        );
+    }
     finish(status, decompose_time, sw, counters)
 }
 
@@ -278,12 +436,7 @@ mod tests {
         use rand::{RngExt, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let edges: Vec<(u32, u32)> = (0..m)
-            .map(|_| {
-                (
-                    rng.random_range(0..n) as u32,
-                    rng.random_range(0..n) as u32,
-                )
-            })
+            .map(|_| (rng.random_range(0..n) as u32, rng.random_range(0..n) as u32))
             .collect();
         from_edge_list(n, &edges)
     }

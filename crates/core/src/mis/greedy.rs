@@ -28,6 +28,8 @@ pub fn greedy_mis(g: &Graph, status: &mut [u8], seed: u64, counters: &Counters) 
         .collect();
 
     while !work.is_empty() {
+        let round = counters.round_scope(work.len() as u64);
+        let before = work.len();
         counters.add_rounds(1);
         counters.add_work(work.len() as u64);
         {
@@ -53,8 +55,7 @@ pub fn greedy_mis(g: &Graph, status: &mut [u8], seed: u64, counters: &Counters) 
                 if st[v as usize].load(Ordering::Relaxed) != UNDECIDED {
                     return;
                 }
-                if g
-                    .neighbors(v)
+                if g.neighbors(v)
                     .iter()
                     .any(|&w| st[w as usize].load(Ordering::Relaxed) == IN)
                 {
@@ -63,6 +64,7 @@ pub fn greedy_mis(g: &Graph, status: &mut [u8], seed: u64, counters: &Counters) 
             });
         }
         work.retain(|&v| status[v as usize] == UNDECIDED);
+        counters.finish_round(round, || (before - work.len()) as u64);
     }
 }
 
@@ -99,12 +101,7 @@ mod tests {
         for trial in 0..8 {
             let n = 150 + trial * 40;
             let edges: Vec<(u32, u32)> = (0..n * 3)
-                .map(|_| {
-                    (
-                        rng.random_range(0..n) as u32,
-                        rng.random_range(0..n) as u32,
-                    )
-                })
+                .map(|_| (rng.random_range(0..n) as u32, rng.random_range(0..n) as u32))
                 .collect();
             let g = from_edge_list(n, &edges);
             let mut st = vec![UNDECIDED; n];

@@ -60,9 +60,11 @@ pub fn luby_extend(
     let mut degree = vec![0u32; n];
     let mut marked = vec![0u8; n];
     let mut round = 0u64;
+    let mut undecided = participants.len();
 
     while !participants.is_empty() {
         round += 1;
+        let scope = counters.round_scope(undecided as u64);
         counters.add_rounds(1);
         counters.add_work(3 * participants.len() as u64);
         let remaining;
@@ -80,9 +82,7 @@ pub fn luby_extend(
                 counters.add_edges(g.degree(v) as u64);
                 let mut d = 0u32;
                 for (w, _) in view.arcs(g, v) {
-                    if st[w as usize].load(Ordering::Relaxed) == UNDECIDED
-                        && allow(w as usize)
-                    {
+                    if st[w as usize].load(Ordering::Relaxed) == UNDECIDED && allow(w as usize) {
                         d += 1;
                     }
                 }
@@ -147,6 +147,8 @@ pub fn luby_extend(
                 })
                 .count();
         }
+        counters.finish_round(scope, || (undecided - remaining) as u64);
+        undecided = remaining;
         if remaining == 0 {
             break;
         }
@@ -172,9 +174,12 @@ pub fn luby_extend_bsp(
     let mut degree = vec![0u32; n];
     let mut marked = vec![0u8; n];
     let mut round = 0u64;
+    let mut undecided = participants.len();
+    let counters = exec.counters();
 
     while !participants.is_empty() {
         round += 1;
+        let scope = counters.round_scope(undecided as u64);
         {
             let st = as_atomic_u8(status);
             let deg_at = sb_par::atomic::as_atomic_u32(&mut degree);
@@ -190,9 +195,7 @@ pub fn luby_extend_bsp(
                 exec.counters().add_edges(g.degree(v) as u64);
                 let mut d = 0u32;
                 for (w, _) in view.arcs(g, v) {
-                    if st[w as usize].load(Ordering::Relaxed) == UNDECIDED
-                        && allow(w as usize)
-                    {
+                    if st[w as usize].load(Ordering::Relaxed) == UNDECIDED && allow(w as usize) {
                         d += 1;
                     }
                 }
@@ -256,6 +259,8 @@ pub fn luby_extend_bsp(
                 .count()
         };
         exec.end_round();
+        counters.finish_round(scope, || (undecided - remaining) as u64);
+        undecided = remaining;
         if remaining == 0 {
             break;
         }
@@ -283,6 +288,8 @@ pub fn luby_extend_compacted(
 
     while !work.is_empty() {
         round += 1;
+        let scope = counters.round_scope(work.len() as u64);
+        let before = work.len();
         counters.add_rounds(1);
         counters.add_work(work.len() as u64);
         {
@@ -316,6 +323,7 @@ pub fn luby_extend_compacted(
             });
         }
         work.retain(|&v| status[v as usize] == UNDECIDED);
+        counters.finish_round(scope, || (before - work.len()) as u64);
     }
 }
 
@@ -353,7 +361,14 @@ mod tests {
         let g = from_edge_list(4, &[(0, 1), (1, 2), (2, 3)]);
         let allowed = vec![false, true, true, false];
         let mut st = vec![UNDECIDED; 4];
-        luby_extend(&g, EdgeView::full(), &mut st, Some(&allowed), 2, &Counters::new());
+        luby_extend(
+            &g,
+            EdgeView::full(),
+            &mut st,
+            Some(&allowed),
+            2,
+            &Counters::new(),
+        );
         assert_eq!(st[0], UNDECIDED);
         assert_eq!(st[3], UNDECIDED);
         // Among {1, 2}: exactly one joins (they are adjacent).
@@ -363,12 +378,19 @@ mod tests {
     #[test]
     fn logarithmic_rounds_on_long_path() {
         let n: u32 = 2048;
-        let g = from_edge_list(n as usize, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let g = from_edge_list(
+            n as usize,
+            &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>(),
+        );
         let c = Counters::new();
         let mut st = vec![UNDECIDED; n as usize];
         luby_extend(&g, EdgeView::full(), &mut st, None, 5, &c);
         check_maximal_independent_set(&g, &in_set_of(&st)).unwrap();
-        assert!(c.rounds() < 60, "Luby should finish fast, got {}", c.rounds());
+        assert!(
+            c.rounds() < 60,
+            "Luby should finish fast, got {}",
+            c.rounds()
+        );
     }
 
     #[test]
@@ -378,25 +400,41 @@ mod tests {
         for trial in 0..5 {
             let n = 200;
             let edges: Vec<(u32, u32)> = (0..600)
-                .map(|_| {
-                    (
-                        rng.random_range(0..n) as u32,
-                        rng.random_range(0..n) as u32,
-                    )
-                })
+                .map(|_| (rng.random_range(0..n) as u32, rng.random_range(0..n) as u32))
                 .collect();
             let g = from_edge_list(n, &edges);
 
             let mut st1 = vec![UNDECIDED; n];
-            luby_extend(&g, EdgeView::full(), &mut st1, None, trial, &Counters::new());
+            luby_extend(
+                &g,
+                EdgeView::full(),
+                &mut st1,
+                None,
+                trial,
+                &Counters::new(),
+            );
             check_maximal_independent_set(&g, &in_set_of(&st1)).unwrap();
 
             let mut st2 = vec![UNDECIDED; n];
-            luby_extend_bsp(&g, EdgeView::full(), &mut st2, None, trial, &BspExecutor::new());
+            luby_extend_bsp(
+                &g,
+                EdgeView::full(),
+                &mut st2,
+                None,
+                trial,
+                &BspExecutor::new(),
+            );
             check_maximal_independent_set(&g, &in_set_of(&st2)).unwrap();
 
             let mut st3 = vec![UNDECIDED; n];
-            luby_extend_compacted(&g, EdgeView::full(), &mut st3, None, trial, &Counters::new());
+            luby_extend_compacted(
+                &g,
+                EdgeView::full(),
+                &mut st3,
+                None,
+                trial,
+                &Counters::new(),
+            );
             check_maximal_independent_set(&g, &in_set_of(&st3)).unwrap();
         }
     }
@@ -407,7 +445,10 @@ mod tests {
         // converges in visibly more rounds than the modern local-minimum
         // rule on the same graph.
         let n = 4096u32;
-        let g = from_edge_list(n as usize, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let g = from_edge_list(
+            n as usize,
+            &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>(),
+        );
         let c_classic = Counters::new();
         let mut a = vec![UNDECIDED; n as usize];
         luby_extend(&g, EdgeView::full(), &mut a, None, 9, &c_classic);

@@ -74,11 +74,26 @@ impl MisRun {
 
 /// Run an MIS algorithm on `g`.
 pub fn maximal_independent_set(g: &Graph, algo: MisAlgorithm, arch: Arch, seed: u64) -> MisRun {
+    maximal_independent_set_traced(g, algo, arch, seed, None)
+}
+
+/// [`maximal_independent_set`] reporting phase spans and round records into
+/// `trace` when given (see `sb_trace`). Passing `None` — or a disabled sink
+/// — is identical to the untraced entry point.
+pub fn maximal_independent_set_traced(
+    g: &Graph,
+    algo: MisAlgorithm,
+    arch: Arch,
+    seed: u64,
+    trace: Option<std::sync::Arc<sb_trace::TraceSink>>,
+) -> MisRun {
     match algo {
-        MisAlgorithm::Baseline => decomp::baseline_run(g, arch, seed),
-        MisAlgorithm::Bridge => decomp::mis_bridge(g, arch, seed),
-        MisAlgorithm::Rand { partitions } => decomp::mis_rand(g, partitions, arch, seed),
-        MisAlgorithm::Degk { k } => decomp::mis_degk(g, k, arch, seed),
-        MisAlgorithm::Bicc => decomp::mis_bicc(g, arch, seed),
+        MisAlgorithm::Baseline => decomp::baseline_run_traced(g, arch, seed, trace),
+        MisAlgorithm::Bridge => decomp::mis_bridge_traced(g, arch, seed, trace),
+        MisAlgorithm::Rand { partitions } => {
+            decomp::mis_rand_traced(g, partitions, arch, seed, trace)
+        }
+        MisAlgorithm::Degk { k } => decomp::mis_degk_traced(g, k, arch, seed, trace),
+        MisAlgorithm::Bicc => decomp::mis_bicc_traced(g, arch, seed, trace),
     }
 }

@@ -118,6 +118,7 @@ pub fn oriented_mis_extend(
         if max1 < 6 && max2 < 6 {
             break;
         }
+        let scope = counters.round_scope(parts.len() as u64);
         counters.add_rounds(1);
         counters.add_work(parts.len() as u64);
         let step = |colors: &Vec<u32>, which: usize| -> Vec<u32> {
@@ -146,14 +147,13 @@ pub fn oriented_mis_extend(
         if max2 >= 6 {
             c2 = step(&c2, 1);
         }
+        // Color-reduction rounds decide nothing; they only shrink the
+        // palette.
+        counters.finish_round(scope, || 0);
     }
 
     // Product coloring, proper on every participating edge.
-    let mut color: Vec<u32> = c1
-        .iter()
-        .zip(&c2)
-        .map(|(&a, &b)| a * 6 + b)
-        .collect();
+    let mut color: Vec<u32> = c1.iter().zip(&c2).map(|(&a, &b)| a * 6 + b).collect();
 
     // Bucket participants by product color once, so the class-by-class
     // passes below touch each vertex O(1) times in total instead of
@@ -169,6 +169,7 @@ pub fn oriented_mis_extend(
     // Step 3a: collapse 36 → 3 colors, one class at a time. Class members
     // are pairwise non-adjacent, so each pass is safely parallel.
     for bucket in buckets.iter().skip(3) {
+        let scope = counters.round_scope(bucket.len() as u64);
         counters.add_rounds(1);
         let updates: Vec<(u32, u32)> = bucket
             .par_iter()
@@ -190,6 +191,7 @@ pub fn oriented_mis_extend(
         for (i, c) in updates {
             color[i as usize] = c;
         }
+        counters.finish_round(scope, || 0);
     }
     // Re-bucket into the final three classes.
     let classes: Vec<Vec<u32>> = {
@@ -205,7 +207,15 @@ pub fn oriented_mis_extend(
     // O(class size).
     {
         let st = as_atomic_u8(status);
+        let undecided = |st: &[AtomicU8]| {
+            parts
+                .iter()
+                .filter(|&&v| st[v as usize].load(Ordering::Relaxed) == UNDECIDED)
+                .count() as u64
+        };
         for class in classes {
+            let live = if counters.tracing() { undecided(st) } else { 0 };
+            let scope = counters.round_scope(live);
             counters.add_rounds(1);
             class.par_iter().for_each(|&i| {
                 let v = parts[i as usize];
@@ -224,13 +234,12 @@ pub fn oriented_mis_extend(
                 st[v as usize].store(IN, Ordering::Relaxed);
                 // Exclude active undecided neighbors (idempotent stores).
                 for (w, _) in view.arcs(g, v) {
-                    if active[w as usize]
-                        && st[w as usize].load(Ordering::Relaxed) == UNDECIDED
-                    {
+                    if active[w as usize] && st[w as usize].load(Ordering::Relaxed) == UNDECIDED {
                         st[w as usize].store(OUT, Ordering::Relaxed);
                     }
                 }
             });
+            counters.finish_round(scope, || live.saturating_sub(undecided(st)));
         }
     }
 }
@@ -252,7 +261,10 @@ mod tests {
     #[test]
     fn long_path() {
         let n = 1000u32;
-        let g = from_edge_list(n as usize, &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let g = from_edge_list(
+            n as usize,
+            &(0..n - 1).map(|i| (i, i + 1)).collect::<Vec<_>>(),
+        );
         let mis = solve(&g);
         check_maximal_independent_set(&g, &mis).unwrap();
         // MIS of a path has ≥ ⌈n/3⌉ vertices.
@@ -295,7 +307,13 @@ mod tests {
         st[0] = IN;
         st[1] = OUT;
         let allowed = vec![true, true, true, true, false];
-        oriented_mis_extend(&g, EdgeView::full(), &mut st, Some(&allowed), &Counters::new());
+        oriented_mis_extend(
+            &g,
+            EdgeView::full(),
+            &mut st,
+            Some(&allowed),
+            &Counters::new(),
+        );
         assert_eq!(st[0], IN);
         assert_eq!(st[4], UNDECIDED, "masked vertex untouched");
         // {2,3}: one of them joins.

@@ -4,8 +4,8 @@
 //! textbook definition directly against the graph. Tests and the bench
 //! harness verify every solution they produce.
 
-use sb_graph::csr::{Graph, VertexId, INVALID};
 use rayon::prelude::*;
+use sb_graph::csr::{Graph, VertexId, INVALID};
 
 /// Check that `mate` encodes a matching of `g`: symmetric, self-avoiding,
 /// and every matched pair is an actual edge.
@@ -102,9 +102,7 @@ pub fn check_maximal_independent_set(g: &Graph, in_set: &[bool]) -> Result<(), S
     check_independent_set(g, in_set)?;
     let uncovered = (0..g.num_vertices() as VertexId)
         .into_par_iter()
-        .find_any(|&v| {
-            !in_set[v as usize] && !g.neighbors(v).iter().any(|&w| in_set[w as usize])
-        });
+        .find_any(|&v| !in_set[v as usize] && !g.neighbors(v).iter().any(|&w| in_set[w as usize]));
     match uncovered {
         Some(v) => Err(format!("vertex {v} could join the independent set")),
         None => Ok(()),

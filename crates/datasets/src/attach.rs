@@ -102,7 +102,11 @@ mod tests {
             1,
         );
         let s = GraphStats::compute(&g);
-        assert!(s.avg_degree > 6.0 && s.avg_degree < 11.0, "avg {}", s.avg_degree);
+        assert!(
+            s.avg_degree > 6.0 && s.avg_degree < 11.0,
+            "avg {}",
+            s.avg_degree
+        );
         assert!(
             s.pct_deg_le2 > 15.0 && s.pct_deg_le2 < 45.0,
             "%deg2 {}",

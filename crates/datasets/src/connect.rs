@@ -80,6 +80,9 @@ mod tests {
         let c = make_connected(&g);
         assert_eq!(components_sequential(&c, None).count, 1);
         let diam = sb_graph::bfs::pseudo_diameter(&c, 0, &sb_par::counters::Counters::new());
-        assert!(diam <= 4, "star augmentation keeps diameter small, got {diam}");
+        assert!(
+            diam <= 4,
+            "star augmentation keeps diameter small, got {diam}"
+        );
     }
 }

@@ -33,9 +33,7 @@ pub fn rgg_2d(n: usize, target_degree: f64, seed: u64) -> Graph {
     // Spatial numbering: sort by grid row, then x.
     pts.par_sort_unstable_by(|a, b| {
         let row = |p: &(f64, f64)| (p.1 / r) as i64;
-        (row(a), a.0, a.1)
-            .partial_cmp(&(row(b), b.0, b.1))
-            .unwrap()
+        (row(a), a.0, a.1).partial_cmp(&(row(b), b.0, b.1)).unwrap()
     });
 
     // Bucket points into a grid of cell size r; neighbors live in the 3×3
@@ -114,11 +112,7 @@ mod tests {
         // median id gap across edges must be a tiny fraction of n.
         let n = 20_000usize;
         let g = rgg_2d(n, 15.0, 3);
-        let mut gaps: Vec<u32> = g
-            .edge_list()
-            .iter()
-            .map(|&[u, v]| v - u)
-            .collect();
+        let mut gaps: Vec<u32> = g.edge_list().iter().map(|&[u, v]| v - u).collect();
         gaps.sort_unstable();
         let median = gaps[gaps.len() / 2] as f64;
         assert!(

@@ -76,9 +76,7 @@ pub fn road_like(p: RoadParams, seed: u64) -> Graph {
     let ts: Vec<usize> = links
         .par_iter()
         .enumerate()
-        .map(|(i, _)| {
-            whole + usize::from(unit_f64(hash3(seed ^ 0x5D, 1, i as u64)) < frac)
-        })
+        .map(|(i, _)| whole + usize::from(unit_f64(hash3(seed ^ 0x5D, 1, i as u64)) < frac))
         .collect();
     let (starts, extra) = sb_par::prim::exclusive_scan_vec(&ts);
     let base = w * h;
@@ -139,7 +137,11 @@ mod tests {
             "subdivided road should be mostly degree ≤ 2, got {}",
             s.pct_deg_le2
         );
-        assert!(s.avg_degree > 1.7 && s.avg_degree < 2.6, "avg {}", s.avg_degree);
+        assert!(
+            s.avg_degree > 1.7 && s.avg_degree < 2.6,
+            "avg {}",
+            s.avg_degree
+        );
     }
 
     #[test]
@@ -204,8 +206,7 @@ mod tests {
             },
             5,
         );
-        let bridges =
-            sb_decompose::bridge::find_bridges(&g, &sb_par::counters::Counters::new());
+        let bridges = sb_decompose::bridge::find_bridges(&g, &sb_par::counters::Counters::new());
         let pct = 100.0 * bridges.len() as f64 / g.num_edges() as f64;
         assert!(pct > 10.0, "%bridges {pct} too low with pendants");
     }

@@ -150,7 +150,11 @@ mod tests {
         );
         let s = GraphStats::compute(&g);
         assert!(s.pct_deg_le2 > 85.0, "%deg2 {}", s.pct_deg_le2);
-        assert!(s.avg_degree > 1.8 && s.avg_degree < 2.6, "avg {}", s.avg_degree);
+        assert!(
+            s.avg_degree > 1.8 && s.avg_degree < 2.6,
+            "avg {}",
+            s.avg_degree
+        );
         let bridges = find_bridges(&g, &Counters::new());
         let pct = 100.0 * bridges.len() as f64 / g.num_edges() as f64;
         assert!(pct > 75.0, "%bridges {pct}");
@@ -173,7 +177,11 @@ mod tests {
             "%deg2 {}",
             s.pct_deg_le2
         );
-        assert!(s.avg_degree > 4.5 && s.avg_degree < 9.0, "avg {}", s.avg_degree);
+        assert!(
+            s.avg_degree > 4.5 && s.avg_degree < 9.0,
+            "avg {}",
+            s.avg_degree
+        );
         let bridges = find_bridges(&g, &Counters::new());
         let pct = 100.0 * bridges.len() as f64 / g.num_edges() as f64;
         assert!(pct > 5.0 && pct < 30.0, "%bridges {pct}");

@@ -127,9 +127,36 @@ pub fn spec(id: GraphId) -> DatasetSpec {
         },
     };
     match id {
-        C73 => s(id, "c-73", "Numerical simulations", 169_422, 1_109_852, 48.7, 14.9, 6.6),
-        Lp1 => s(id, "lp1", "Numerical simulations", 534_388, 1_109_032, 93.8, 92.7, 2.1),
-        CitPatents => s(id, "Cit-Patents", "Collaboration", 3_774_768, 33_045_146, 28.06, 4.1, 8.8),
+        C73 => s(
+            id,
+            "c-73",
+            "Numerical simulations",
+            169_422,
+            1_109_852,
+            48.7,
+            14.9,
+            6.6,
+        ),
+        Lp1 => s(
+            id,
+            "lp1",
+            "Numerical simulations",
+            534_388,
+            1_109_032,
+            93.8,
+            92.7,
+            2.1,
+        ),
+        CitPatents => s(
+            id,
+            "Cit-Patents",
+            "Collaboration",
+            3_774_768,
+            33_045_146,
+            28.06,
+            4.1,
+            8.8,
+        ),
         CoAuthorsCiteseer => s(
             id,
             "coAuthorsCiteseer",
@@ -140,8 +167,26 @@ pub fn spec(id: GraphId) -> DatasetSpec {
             3.7,
             7.2,
         ),
-        GermanyOsm => s(id, "germany-osm", "Road", 11_548_845, 24_738_362, 82.27, 19.9, 2.1),
-        RoadCentral => s(id, "road-central", "Road", 14_081_816, 33_866_826, 50.91, 25.0, 2.4),
+        GermanyOsm => s(
+            id,
+            "germany-osm",
+            "Road",
+            11_548_845,
+            24_738_362,
+            82.27,
+            19.9,
+            2.1,
+        ),
+        RoadCentral => s(
+            id,
+            "road-central",
+            "Road",
+            14_081_816,
+            33_866_826,
+            50.91,
+            25.0,
+            2.4,
+        ),
         KronLogn20 => s(
             id,
             "kron-g500-logn20",
@@ -182,8 +227,26 @@ pub fn spec(id: GraphId) -> DatasetSpec {
             0.0,
             15.8,
         ),
-        WebGoogle => s(id, "web-Google", "Web", 916_428, 10_296_998, 30.67, 4.0, 11.2),
-        Webbase1M => s(id, "webbase-1M", "Web", 1_000_005, 4_216_602, 87.35, 38.3, 4.2),
+        WebGoogle => s(
+            id,
+            "web-Google",
+            "Web",
+            916_428,
+            10_296_998,
+            30.67,
+            4.0,
+            11.2,
+        ),
+        Webbase1M => s(
+            id,
+            "webbase-1M",
+            "Web",
+            1_000_005,
+            4_216_602,
+            87.35,
+            38.3,
+            4.2,
+        ),
     }
 }
 
@@ -288,12 +351,7 @@ fn kron_scale(base: u32, f: f64) -> u32 {
 
 /// Use a real SuiteSparse `.mtx` file from `dir` when present (named
 /// `<name>.mtx`), otherwise generate the stand-in.
-pub fn load_or_generate(
-    id: GraphId,
-    dir: Option<&Path>,
-    scale: Scale,
-    seed: u64,
-) -> Graph {
+pub fn load_or_generate(id: GraphId, dir: Option<&Path>, scale: Scale, seed: u64) -> Graph {
     if let Some(d) = dir {
         let path = d.join(format!("{}.mtx", spec(id).name));
         if path.exists() {

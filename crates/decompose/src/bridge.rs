@@ -128,6 +128,7 @@ pub fn find_bridges(g: &Graph, counters: &Counters) -> Vec<u32> {
 
     // STEP 2: walk every non-tree edge's endpoints to their LCA in parallel
     // (one kernel over the edges; the tree walks are dependent gathers).
+    let round = counters.round_scope(g.num_edges() as u64);
     counters.add_rounds(1);
     counters.add_kernel(g.num_edges() as u64);
     g.edge_list()
@@ -163,6 +164,8 @@ pub fn find_bridges(g: &Graph, counters: &Counters) -> Vec<u32> {
             }
             counters.add_edges(steps);
         });
+    // Marking settles nothing; edge classification happens afterwards.
+    counters.finish_round(round, || 0);
 
     // Tree edges not marked are bridges.
     let mut bridges: Vec<u32> = (0..n)
@@ -255,10 +258,7 @@ mod tests {
     #[test]
     fn barbell_bridge() {
         // Two triangles joined by edge (2,3): only (2,3) is a bridge.
-        let g = from_edge_list(
-            6,
-            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
-        );
+        let g = from_edge_list(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
         let d = decompose_bridge(&g, &Counters::new());
         assert_eq!(d.bridges.len(), 1);
         assert_eq!(g.edge(d.bridges[0]), (2, 3));
@@ -274,12 +274,7 @@ mod tests {
             let n = 100 + 40 * trial;
             let m = n + trial * 23; // sparse → plenty of bridges
             let edges: Vec<(u32, u32)> = (0..m)
-                .map(|_| {
-                    (
-                        rng.random_range(0..n) as u32,
-                        rng.random_range(0..n) as u32,
-                    )
-                })
+                .map(|_| (rng.random_range(0..n) as u32, rng.random_range(0..n) as u32))
                 .collect();
             let g = from_edge_list(n, &edges);
             let fast = find_bridges(&g, &Counters::new());

@@ -105,7 +105,8 @@ pub fn decompose_degk(g: &Graph, k: usize, counters: &Counters) -> DegkDecomposi
     let n = g.num_vertices();
     let m = g.num_edges();
     // Accounting: degree-test kernel over vertices, classify kernel over
-    // edges (two side-flag gathers each).
+    // edges (two side-flag gathers each). One synchronous round total.
+    let round = counters.round_scope(n as u64);
     counters.add_rounds(1);
     counters.add_kernel(n as u64);
     counters.add_kernel(m as u64);
@@ -120,24 +121,11 @@ pub fn decompose_degk(g: &Graph, k: usize, counters: &Counters) -> DegkDecomposi
             _ => DegkDecomposition::CROSS,
         })
         .collect();
-    let counts = class
-        .par_iter()
-        .fold(
-            || [0usize; 3],
-            |mut acc, &c| {
-                acc[c as usize] += 1;
-                acc
-            },
-        )
-        .reduce(
-            || [0usize; 3],
-            |mut a, b| {
-                for (x, y) in a.iter_mut().zip(b) {
-                    *x += y;
-                }
-                a
-            },
-        );
+    let counts = class.par_iter().fold([0usize; 3], |mut acc, &c| {
+        acc[c as usize] += 1;
+        acc
+    });
+    counters.finish_round(round, || n as u64);
     DegkDecomposition {
         k,
         is_high,
@@ -155,10 +143,7 @@ mod tests {
 
     /// Star with a pendant path: center 0 has degree 5, path tail is low.
     fn lollipop() -> Graph {
-        from_edge_list(
-            8,
-            &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (5, 6), (6, 7)],
-        )
+        from_edge_list(8, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5), (5, 6), (6, 7)])
     }
 
     #[test]

@@ -64,7 +64,9 @@ pub fn decompose_metis_like(g: &Graph, k: usize, counters: &Counters) -> MetisLi
 
     // Phase 1: BFS growth, one part at a time.
     let mut next_seed = 0usize;
+    let mut assigned = 0usize;
     for p in 0..k as u32 {
+        let round = counters.round_scope((n - assigned) as u64);
         let mut size = 0usize;
         let mut queue = VecDeque::new();
         while size < target {
@@ -95,6 +97,8 @@ pub fn decompose_metis_like(g: &Graph, k: usize, counters: &Counters) -> MetisLi
             }
         }
         counters.add_rounds(1);
+        assigned += size;
+        counters.finish_round(round, || size as u64);
     }
     // Any stragglers (possible when k parts filled early) go to the last part.
     for slot in part.iter_mut() {
@@ -104,6 +108,7 @@ pub fn decompose_metis_like(g: &Graph, k: usize, counters: &Counters) -> MetisLi
     }
 
     // Phase 2: one boundary-refinement sweep (Kernighan–Lin flavored).
+    let refine_round = counters.round_scope(n as u64);
     let mut sizes = vec![0usize; k];
     for &p in &part {
         sizes[p as usize] += 1;
@@ -140,6 +145,8 @@ pub fn decompose_metis_like(g: &Graph, k: usize, counters: &Counters) -> MetisLi
         }
     }
     counters.add_rounds(1);
+    // Refinement moves vertices between parts; nothing is "settled".
+    counters.finish_round(refine_round, || 0);
 
     let class: Vec<u8> = g
         .edge_list()
@@ -147,7 +154,12 @@ pub fn decompose_metis_like(g: &Graph, k: usize, counters: &Counters) -> MetisLi
         .map(|&[u, v]| u8::from(part[u as usize] != part[v as usize]))
         .collect();
     let cut = class.par_iter().filter(|&&c| c == 1).count();
-    MetisLikeDecomposition { k, part, class, cut }
+    MetisLikeDecomposition {
+        k,
+        part,
+        class,
+        cut,
+    }
 }
 
 #[cfg(test)]

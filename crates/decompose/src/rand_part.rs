@@ -90,7 +90,9 @@ pub fn decompose_rand(g: &Graph, k: usize, seed: u64, counters: &Counters) -> Ra
     let n = g.num_vertices();
     let m = g.num_edges();
     // Accounting: one draw kernel over vertices, one classify kernel over
-    // edges (each edge gathers its two endpoints' partition labels).
+    // edges (each edge gathers its two endpoints' partition labels). One
+    // synchronous round total.
+    let round = counters.round_scope(n as u64);
     counters.add_rounds(1);
     counters.add_kernel(n as u64);
     counters.add_kernel(m as u64);
@@ -105,6 +107,7 @@ pub fn decompose_rand(g: &Graph, k: usize, seed: u64, counters: &Counters) -> Ra
         .par_iter()
         .filter(|&&c| c == RandDecomposition::CROSS)
         .count();
+    counters.finish_round(round, || n as u64);
     RandDecomposition {
         k,
         part,

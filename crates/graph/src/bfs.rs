@@ -68,6 +68,7 @@ pub fn bfs(g: &Graph, root: VertexId, counters: &Counters) -> BfsTree {
     let mut reached = 1usize;
     while !frontier.is_empty() {
         depth += 1;
+        let round = counters.round_scope(frontier.len() as u64);
         counters.add_rounds(1);
         counters.add_kernel(frontier.len() as u64);
         let next: Vec<VertexId> = frontier
@@ -94,6 +95,7 @@ pub fn bfs(g: &Graph, root: VertexId, counters: &Counters) -> BfsTree {
             .collect();
         counters.add_edges(frontier.par_iter().map(|&u| g.degree(u) as u64).sum());
         reached += next.len();
+        counters.finish_round(round, || next.len() as u64);
         frontier = next;
     }
 
@@ -150,6 +152,7 @@ fn bfs_masked(g: &Graph, root: VertexId, occupied: &[u32], counters: &Counters) 
     let mut reached = 1usize;
     while !frontier.is_empty() {
         depth += 1;
+        let round = counters.round_scope(frontier.len() as u64);
         counters.add_rounds(1);
         let mut next = Vec::new();
         for &u in &frontier {
@@ -163,6 +166,7 @@ fn bfs_masked(g: &Graph, root: VertexId, occupied: &[u32], counters: &Counters) 
                 }
             }
         }
+        counters.finish_round(round, || next.len() as u64);
         frontier = next;
     }
     BfsTree {
@@ -213,20 +217,14 @@ mod tests {
 
     #[test]
     fn tree_edges_are_real_edges_and_levels_differ_by_one() {
-        let g = from_edge_list(
-            7,
-            &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6), (3, 6)],
-        );
+        let g = from_edge_list(7, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6), (3, 6)]);
         let t = bfs(&g, 0, &Counters::new());
         for v in g.vertices() {
             if t.parent[v as usize] != INVALID {
                 let p = t.parent[v as usize];
                 assert!(g.has_edge(v, p));
                 assert_eq!(t.level[v as usize], t.level[p as usize] + 1);
-                assert_eq!(
-                    g.edge(t.parent_edge[v as usize]),
-                    (v.min(p), v.max(p))
-                );
+                assert_eq!(g.edge(t.parent_edge[v as usize]), (v.min(p), v.max(p)));
             }
         }
     }

@@ -87,8 +87,7 @@ impl GraphBuilder {
         let mut neighbors = vec![0u32; 2 * m];
         let mut edge_ids = vec![0u32; 2 * m];
         {
-            let cursors: Vec<AtomicUsize> =
-                offsets.iter().map(|&o| AtomicUsize::new(o)).collect();
+            let cursors: Vec<AtomicUsize> = offsets.iter().map(|&o| AtomicUsize::new(o)).collect();
             // SAFETY: each slot index is claimed exactly once via the atomic
             // cursor fetch_add, so no two threads write the same element.
             let nb_ptr = SendPtr(neighbors.as_mut_ptr());

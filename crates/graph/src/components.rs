@@ -66,6 +66,7 @@ pub fn components_parallel(
     }
     let alive = |e: u32| edge_alive.is_none_or(|f| f(e));
     loop {
+        let round = counters.round_scope(n as u64);
         counters.add_rounds(1);
         counters.add_kernel(2 * n as u64); // hook + shortcut kernels
         let changed = AtomicBool::new(false);
@@ -98,6 +99,8 @@ pub fn components_parallel(
             });
         }
         counters.add_edges(2 * g.num_edges() as u64);
+        // Label-propagation rounds settle nothing attributable per vertex.
+        counters.finish_round(round, || 0);
         if !changed.load(Ordering::Relaxed) {
             break;
         }
@@ -112,7 +115,10 @@ pub fn components_parallel(
 }
 
 /// Sequential union-find reference implementation.
-pub fn components_sequential(g: &Graph, edge_alive: Option<&(dyn Fn(u32) -> bool + Sync)>) -> Components {
+pub fn components_sequential(
+    g: &Graph,
+    edge_alive: Option<&(dyn Fn(u32) -> bool + Sync)>,
+) -> Components {
     let n = g.num_vertices();
     let mut parent: Vec<u32> = (0..n as u32).collect();
     fn find(parent: &mut [u32], mut x: u32) -> u32 {
@@ -176,12 +182,7 @@ mod tests {
             let n = 200 + trial * 50;
             let m = n / 2 + trial * 37;
             let edges: Vec<(u32, u32)> = (0..m)
-                .map(|_| {
-                    (
-                        rng.random_range(0..n) as u32,
-                        rng.random_range(0..n) as u32,
-                    )
-                })
+                .map(|_| (rng.random_range(0..n) as u32, rng.random_range(0..n) as u32))
                 .collect();
             let g = from_edge_list(n, &edges);
             let p = components_parallel(&g, None, &Counters::new());

@@ -213,9 +213,7 @@ mod tests {
 
     #[test]
     fn triangle_accessors() {
-        let g = GraphBuilder::new(3)
-            .edges([(0, 1), (1, 2), (0, 2)])
-            .build();
+        let g = GraphBuilder::new(3).edges([(0, 1), (1, 2), (0, 2)]).build();
         assert_eq!(g.num_edges(), 3);
         assert_eq!(g.degree(1), 2);
         assert_eq!(g.neighbors(1), &[0, 2]);
@@ -231,9 +229,7 @@ mod tests {
 
     #[test]
     fn arcs_pair_neighbor_with_edge_id() {
-        let g = GraphBuilder::new(4)
-            .edges([(0, 1), (0, 2), (0, 3)])
-            .build();
+        let g = GraphBuilder::new(4).edges([(0, 1), (0, 2), (0, 3)]).build();
         for (w, e) in g.arcs(0) {
             let (a, b) = g.edge(e);
             assert_eq!((a, b), (0, w));

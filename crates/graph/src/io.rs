@@ -65,9 +65,11 @@ pub fn read_edge_list<R: Read>(reader: R, n_hint: Option<usize>) -> Result<Graph
         max_id = max_id.max(u).max(v);
         edges.push((u, v));
     }
-    let n = n_hint
-        .unwrap_or(0)
-        .max(if edges.is_empty() { 0 } else { max_id as usize + 1 });
+    let n = n_hint.unwrap_or(0).max(if edges.is_empty() {
+        0
+    } else {
+        max_id as usize + 1
+    });
     Ok(GraphBuilder::new(n).edges(edges).build())
 }
 
@@ -108,7 +110,10 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, IoError> {
             }
         }
     };
-    let head: Vec<String> = header.split_whitespace().map(|s| s.to_lowercase()).collect();
+    let head: Vec<String> = header
+        .split_whitespace()
+        .map(|s| s.to_lowercase())
+        .collect();
     if head.len() < 5 || head[0] != "%%matrixmarket" || head[2] != "coordinate" {
         return Err(IoError::Parse {
             line: hline + 1,
@@ -262,7 +267,8 @@ mod tests {
 
     #[test]
     fn matrix_market_header_case_and_whitespace_tolerant() {
-        let text = "%%MATRIXMARKET MATRIX COORDINATE PATTERN SYMMETRIC\n  3   3   2 \n 1  2 \n2\t3\n";
+        let text =
+            "%%MATRIXMARKET MATRIX COORDINATE PATTERN SYMMETRIC\n  3   3   2 \n 1  2 \n2\t3\n";
         let g = read_matrix_market(Cursor::new(text)).unwrap();
         assert_eq!(g.num_edges(), 2);
     }

@@ -36,16 +36,17 @@ impl GraphStats {
                 let d = g.degree(v as u32);
                 (usize::from(d <= 2), usize::from(d == 0), d)
             })
-            .reduce(
-                || (0, 0, 0),
-                |a, b| (a.0 + b.0, a.1 + b.1, a.2.max(b.2)),
-            );
+            .fold((0, 0, 0), |a, b| (a.0 + b.0, a.1 + b.1, a.2.max(b.2)));
         Self {
             num_vertices: n,
             num_edges: g.num_edges(),
             avg_degree: g.avg_degree(),
             max_degree: maxd,
-            pct_deg_le2: if n == 0 { 0.0 } else { 100.0 * deg2 as f64 / n as f64 },
+            pct_deg_le2: if n == 0 {
+                0.0
+            } else {
+                100.0 * deg2 as f64 / n as f64
+            },
             isolated,
         }
     }
@@ -172,10 +173,7 @@ mod tests {
         assert!(c.iter().all(|&x| x == 2));
 
         // K4 with a pendant: clique coreness 3, pendant 1.
-        let g = from_edge_list(
-            5,
-            &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)],
-        );
+        let g = from_edge_list(5, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (3, 4)]);
         let (c, d) = coreness(&g);
         assert_eq!(d, 3);
         assert_eq!(c[4], 1);
@@ -190,12 +188,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(3);
         let n = 300usize;
         let edges: Vec<(u32, u32)> = (0..900)
-            .map(|_| {
-                (
-                    rng.random_range(0..n) as u32,
-                    rng.random_range(0..n) as u32,
-                )
-            })
+            .map(|_| (rng.random_range(0..n) as u32, rng.random_range(0..n) as u32))
             .collect();
         let g = from_edge_list(n, &edges);
         let (core, _) = coreness(&g);

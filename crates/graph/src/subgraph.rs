@@ -50,7 +50,10 @@ where
     let n = g.num_vertices();
     let m = g.num_edges();
     // New edge ids = rank among kept edges (edge list stays sorted).
-    let flags: Vec<usize> = (0..m).into_par_iter().map(|e| keep(e as u32) as usize).collect();
+    let flags: Vec<usize> = (0..m)
+        .into_par_iter()
+        .map(|e| keep(e as u32) as usize)
+        .collect();
     let (new_id, m_new) = sb_par::prim::exclusive_scan_vec(&flags);
     let edges: Vec<[VertexId; 2]> = {
         let mut out = vec![[0u32; 2]; m_new];
@@ -135,7 +138,10 @@ where
     let mut per_class_new_id: Vec<Vec<usize>> = Vec::with_capacity(nclasses);
     let mut per_class_edges: Vec<Vec<[VertexId; 2]>> = Vec::with_capacity(nclasses);
     for c in 0..nclasses {
-        let flags: Vec<usize> = cls.par_iter().map(|&x| (x as usize == c) as usize).collect();
+        let flags: Vec<usize> = cls
+            .par_iter()
+            .map(|&x| (x as usize == c) as usize)
+            .collect();
         let (new_id, mc) = sb_par::prim::exclusive_scan_vec(&flags);
         let mut edges = vec![[0u32; 2]; mc];
         {

@@ -82,7 +82,9 @@ impl<'a> EdgeView<'a> {
     pub fn num_edges(&self, g: &Graph) -> usize {
         match self.filter {
             None => g.num_edges(),
-            Some(_) => (0..g.num_edges() as u32).filter(|&e| self.admits(e)).count(),
+            Some(_) => (0..g.num_edges() as u32)
+                .filter(|&e| self.admits(e))
+                .count(),
         }
     }
 

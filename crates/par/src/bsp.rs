@@ -30,6 +30,20 @@ impl BspExecutor {
         Self::default()
     }
 
+    /// New executor whose counters report into the same trace sink as
+    /// `parent` (if any), so BSP rounds show up in the run's trace. The
+    /// counters themselves start at zero — callers merge them back into
+    /// `parent` when the device phase finishes, exactly as with
+    /// [`BspExecutor::new`].
+    pub fn inheriting(parent: &Counters) -> Self {
+        match parent.trace_sink() {
+            Some(sink) => BspExecutor {
+                counters: Counters::with_trace(sink.clone()),
+            },
+            None => Self::default(),
+        }
+    }
+
     /// Launch a kernel over the index grid `0..n`.
     ///
     /// Every grid point runs `body(i)`; the call returns only when all grid

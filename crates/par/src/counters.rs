@@ -5,8 +5,16 @@
 //! another 400"). Wall-clock alone cannot confirm those claims on different
 //! hardware, so every solver in this repository reports a [`Counters`] block
 //! alongside its result, and the bench harness prints both.
+//!
+//! A [`Counters`] block can additionally carry an `sb-trace` sink. When it
+//! does, solvers emit *phase spans* (via [`Counters::phase`]) and *round
+//! records* (via [`Counters::round_scope`] / [`Counters::finish_round`])
+//! into the sink as they run; when it does not — the default — those same
+//! calls cost one branch on an `Option` and nothing else.
 
+use sb_trace::{CounterDelta, SpanId, TraceSink};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Cheap, thread-safe event counters for one algorithm invocation.
@@ -20,12 +28,92 @@ pub struct Counters {
     work_items: AtomicU64,
     /// Edge relaxations / neighbor scans performed.
     edges_scanned: AtomicU64,
+    /// Optional trace sink. `None` (the default) keeps every trace call a
+    /// single branch; solvers never pay for observability they didn't ask
+    /// for.
+    trace: Option<Arc<TraceSink>>,
 }
 
 impl Counters {
     /// Fresh, zeroed counters.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Fresh counters that report phase spans and round records into
+    /// `sink`. A disabled sink is dropped here so the hot path stays
+    /// identical to [`Counters::new`].
+    pub fn with_trace(sink: Arc<TraceSink>) -> Self {
+        Counters {
+            trace: sink.is_enabled().then_some(sink),
+            ..Default::default()
+        }
+    }
+
+    /// The attached trace sink, if any (always enabled when present).
+    pub fn trace_sink(&self) -> Option<&Arc<TraceSink>> {
+        self.trace.as_ref()
+    }
+
+    /// Whether trace events are being recorded.
+    #[inline]
+    pub fn tracing(&self) -> bool {
+        self.trace.is_some()
+    }
+
+    /// Open a phase span named `name` (`decompose`, `induced-solve`, …).
+    ///
+    /// The returned guard closes the span on drop, attributing to it the
+    /// counter movement that happened while it was open. With no sink
+    /// attached this constructs a no-op guard.
+    pub fn phase(&self, name: &'static str) -> PhaseGuard<'_> {
+        let open = self
+            .trace
+            .as_ref()
+            .and_then(|sink| sink.begin_span(name))
+            .map(|id| (id, self.snapshot()));
+        PhaseGuard {
+            counters: self,
+            open,
+        }
+    }
+
+    /// Begin observing one synchronous round over `active` work items.
+    ///
+    /// Pair with [`Counters::finish_round`]. Does *not* bump the round
+    /// counter — solvers keep their existing `add_rounds(1)` calls. With no
+    /// sink attached this returns an inert scope and costs one branch.
+    #[inline]
+    pub fn round_scope(&self, active: u64) -> RoundScope {
+        RoundScope {
+            open: self.trace.is_some().then(|| RoundScopeInner {
+                start: Instant::now(),
+                at_open: self.snapshot(),
+                active,
+            }),
+        }
+    }
+
+    /// Close a round scope, emitting one round record. `settled` is only
+    /// invoked when tracing is live, so callers may put real counting work
+    /// in it without taxing untraced runs.
+    pub fn finish_round(&self, scope: RoundScope, settled: impl FnOnce() -> u64) {
+        let Some(inner) = scope.open else {
+            return;
+        };
+        let sink = self
+            .trace
+            .as_ref()
+            .expect("round scope opened without a sink");
+        let now = self.snapshot();
+        sink.record_round(
+            inner.active,
+            settled(),
+            now.edges_scanned
+                .saturating_sub(inner.at_open.edges_scanned),
+            now.work_items.saturating_sub(inner.at_open.work_items),
+            inner.start.elapsed().as_micros() as u64,
+        );
     }
 
     /// Record `k` completed rounds (usually `k = 1`).
@@ -95,6 +183,43 @@ impl Counters {
     }
 }
 
+/// Open phase span: created by [`Counters::phase`], closes on drop.
+///
+/// On close it attributes to the span the difference between the counters
+/// now and when the span was opened, so nested spans (which share the same
+/// `Counters`) each see their own inclusive delta.
+#[must_use = "a phase guard records its span when dropped"]
+pub struct PhaseGuard<'a> {
+    counters: &'a Counters,
+    open: Option<(SpanId, CounterSnapshot)>,
+}
+
+impl Drop for PhaseGuard<'_> {
+    fn drop(&mut self) {
+        if let Some((id, at_open)) = self.open.take() {
+            let sink = self
+                .counters
+                .trace
+                .as_ref()
+                .expect("phase guard opened without a sink");
+            let now = self.counters.snapshot();
+            sink.end_span(id, now.delta_since(&at_open));
+        }
+    }
+}
+
+/// In-flight round observation; see [`Counters::round_scope`].
+#[must_use = "pass the scope to Counters::finish_round to record the round"]
+pub struct RoundScope {
+    open: Option<RoundScopeInner>,
+}
+
+struct RoundScopeInner {
+    start: Instant,
+    at_open: CounterSnapshot,
+    active: u64,
+}
+
 /// Plain-old-data snapshot of [`Counters`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CounterSnapshot {
@@ -106,6 +231,23 @@ pub struct CounterSnapshot {
     pub work_items: u64,
     /// Scanned edges.
     pub edges_scanned: u64,
+}
+
+impl CounterSnapshot {
+    /// Counter movement since `earlier`, as a trace delta.
+    pub fn delta_since(&self, earlier: &CounterSnapshot) -> CounterDelta {
+        CounterDelta {
+            rounds: self.rounds.saturating_sub(earlier.rounds),
+            kernel_launches: self.kernel_launches.saturating_sub(earlier.kernel_launches),
+            work_items: self.work_items.saturating_sub(earlier.work_items),
+            edges_scanned: self.edges_scanned.saturating_sub(earlier.edges_scanned),
+        }
+    }
+
+    /// This snapshot as a trace delta (movement since zero).
+    pub fn as_delta(&self) -> CounterDelta {
+        self.delta_since(&CounterSnapshot::default())
+    }
 }
 
 /// A linear cost model turning counters into device time for the GPU-sim
@@ -251,6 +393,72 @@ mod tests {
             ..Default::default()
         };
         assert!(m.modeled_ms(&gathers) > 10.0 * m.modeled_ms(&streams));
+    }
+
+    #[test]
+    fn untraced_counters_have_inert_guards() {
+        let c = Counters::new();
+        assert!(!c.tracing());
+        {
+            let _phase = c.phase("solve");
+            let scope = c.round_scope(10);
+            c.add_rounds(1);
+            // The settled closure must not run when tracing is off.
+            c.finish_round(scope, || panic!("settled computed without a sink"));
+        }
+        assert_eq!(c.rounds(), 1);
+    }
+
+    #[test]
+    fn traced_counters_emit_spans_and_rounds() {
+        use sb_trace::{total_delta, TraceEvent, TraceSink};
+        use std::sync::Arc;
+
+        let sink = Arc::new(TraceSink::enabled());
+        let c = Counters::with_trace(sink.clone());
+        assert!(c.tracing());
+        {
+            let _solve = c.phase("solve");
+            for round in 0..3u64 {
+                let scope = c.round_scope(100 - round);
+                c.add_rounds(1);
+                c.add_work(10);
+                c.add_edges(7);
+                c.finish_round(scope, || 5);
+            }
+        }
+        let events = sink.events();
+        let rounds: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Round { record, .. } => Some(*record),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rounds.len(), 3);
+        // Indices assigned by the sink: contiguous from zero.
+        assert_eq!(
+            rounds.iter().map(|r| r.round).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        // Each round saw exactly its own counter movement.
+        assert!(rounds.iter().all(|r| r.edges_scanned == 7));
+        assert!(rounds.iter().all(|r| r.work_items == 10));
+        assert!(rounds.iter().all(|r| r.settled == 5));
+        // The span delta equals the final snapshot.
+        assert_eq!(total_delta(&events), c.snapshot().as_delta());
+    }
+
+    #[test]
+    fn disabled_sink_degrades_to_untraced() {
+        use sb_trace::TraceSink;
+        use std::sync::Arc;
+
+        let c = Counters::with_trace(Arc::new(TraceSink::disabled()));
+        assert!(!c.tracing());
+        let _phase = c.phase("solve");
+        let scope = c.round_scope(1);
+        c.finish_round(scope, || unreachable!());
     }
 
     #[test]

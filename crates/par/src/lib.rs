@@ -26,4 +26,4 @@ pub mod rng;
 pub mod union_find;
 
 pub use bsp::BspExecutor;
-pub use counters::Counters;
+pub use counters::{Counters, PhaseGuard, RoundScope};

@@ -30,10 +30,7 @@ pub fn exclusive_scan(xs: &[usize], out: &mut [usize]) -> usize {
         return acc;
     }
     let nblocks = n.div_ceil(BLOCK);
-    let mut block_sums: Vec<usize> = xs
-        .par_chunks(BLOCK)
-        .map(|c| c.iter().sum())
-        .collect();
+    let mut block_sums: Vec<usize> = xs.par_chunks(BLOCK).map(|c| c.iter().sum()).collect();
     let mut acc = 0usize;
     for s in &mut block_sums {
         let b = *s;
@@ -163,15 +160,12 @@ where
             }
             h
         })
-        .reduce(
-            || vec![0usize; buckets],
-            |mut a, b| {
-                for (x, y) in a.iter_mut().zip(b) {
-                    *x += y;
-                }
-                a
-            },
-        )
+        .fold(vec![0usize; buckets], |mut a, b| {
+            for (x, y) in a.iter_mut().zip(b) {
+                *x += y;
+            }
+            a
+        })
 }
 
 #[cfg(test)]

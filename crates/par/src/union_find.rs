@@ -130,7 +130,7 @@ mod tests {
     }
 
     #[test]
-    fn parallel_random_unions_match_sequential(){
+    fn parallel_random_unions_match_sequential() {
         use rand::{RngExt, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(5);
         let n = 2_000u32;

@@ -1,0 +1,411 @@
+//! JSONL serialization of trace events, plus the minimal parser used by
+//! replay tests and external tooling.
+//!
+//! Every line is one flat JSON object discriminated by its `"type"` field:
+//!
+//! ```text
+//! {"type":"span_start","id":0,"parent":null,"name":"decompose","t_us":12}
+//! {"type":"span_end","id":0,"t_us":340,"rounds":3,"kernel_launches":0,
+//!  "work_items":900,"edges_scanned":4000}
+//! {"type":"round","span":0,"phase":"decompose","round":0,"active":128,
+//!  "settled":40,"edges_scanned":1300,"work_items":128,"duration_us":95}
+//! ```
+//!
+//! Values are only ever unsigned integers, `null`, or plain strings
+//! (phase names — no escapes needed in practice, though the parser
+//! understands the standard JSON escapes). Hand-rolled on purpose: the
+//! build is offline, so no serde.
+
+use crate::{CounterDelta, RoundRecord, TraceEvent};
+use std::collections::HashMap;
+use std::io::Write;
+
+/// Serialize one event as a single JSONL line.
+pub fn write_event<W: Write>(w: &mut W, event: &TraceEvent) -> std::io::Result<()> {
+    match event {
+        TraceEvent::SpanStart {
+            id,
+            parent,
+            name,
+            t_us,
+        } => {
+            let parent = match parent {
+                Some(p) => p.to_string(),
+                None => "null".to_string(),
+            };
+            writeln!(
+                w,
+                "{{\"type\":\"span_start\",\"id\":{id},\"parent\":{parent},\"name\":\"{}\",\"t_us\":{t_us}}}",
+                escape(name)
+            )
+        }
+        TraceEvent::SpanEnd { id, t_us, delta } => writeln!(
+            w,
+            "{{\"type\":\"span_end\",\"id\":{id},\"t_us\":{t_us},\"rounds\":{},\"kernel_launches\":{},\"work_items\":{},\"edges_scanned\":{}}}",
+            delta.rounds, delta.kernel_launches, delta.work_items, delta.edges_scanned
+        ),
+        TraceEvent::Round {
+            span,
+            phase,
+            record,
+        } => {
+            let span = match span {
+                Some(s) => s.to_string(),
+                None => "null".to_string(),
+            };
+            writeln!(
+                w,
+                "{{\"type\":\"round\",\"span\":{span},\"phase\":\"{}\",\"round\":{},\"active\":{},\"settled\":{},\"edges_scanned\":{},\"work_items\":{},\"duration_us\":{}}}",
+                escape(phase),
+                record.round,
+                record.active,
+                record.settled,
+                record.edges_scanned,
+                record.work_items,
+                record.duration_us
+            )
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Error produced by [`parse_jsonl`], carrying the 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Line of the input that failed to parse.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace JSONL line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// One scalar JSON value as found in a trace line.
+#[derive(Debug, Clone, PartialEq)]
+enum Scalar {
+    Num(u64),
+    Str(String),
+    Null,
+}
+
+impl Scalar {
+    fn as_num(&self) -> Option<u64> {
+        match self {
+            Scalar::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_opt_num(&self) -> Option<Option<u64>> {
+        match self {
+            Scalar::Num(n) => Some(Some(*n)),
+            Scalar::Null => Some(None),
+            _ => None,
+        }
+    }
+
+    fn as_str(&self) -> Option<&str> {
+        match self {
+            Scalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a whole JSONL trace back into events. Blank lines are skipped.
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, ParseError> {
+    let mut events = Vec::new();
+    for (idx, raw) in text.lines().enumerate() {
+        let line = idx + 1;
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields = parse_object(trimmed).map_err(|message| ParseError { line, message })?;
+        events.push(event_from_fields(&fields).map_err(|message| ParseError { line, message })?);
+    }
+    Ok(events)
+}
+
+fn event_from_fields(fields: &HashMap<String, Scalar>) -> Result<TraceEvent, String> {
+    let get = |key: &str| -> Result<&Scalar, String> {
+        fields
+            .get(key)
+            .ok_or_else(|| format!("missing field {key:?}"))
+    };
+    let num = |key: &str| -> Result<u64, String> {
+        get(key)?
+            .as_num()
+            .ok_or_else(|| format!("field {key:?} must be a number"))
+    };
+    let kind = get("type")?
+        .as_str()
+        .ok_or_else(|| "field \"type\" must be a string".to_string())?;
+    match kind {
+        "span_start" => Ok(TraceEvent::SpanStart {
+            id: num("id")? as u32,
+            parent: get("parent")?
+                .as_opt_num()
+                .ok_or_else(|| "field \"parent\" must be a number or null".to_string())?
+                .map(|p| p as u32),
+            name: get("name")?
+                .as_str()
+                .ok_or_else(|| "field \"name\" must be a string".to_string())?
+                .to_string(),
+            t_us: num("t_us")?,
+        }),
+        "span_end" => Ok(TraceEvent::SpanEnd {
+            id: num("id")? as u32,
+            t_us: num("t_us")?,
+            delta: CounterDelta {
+                rounds: num("rounds")?,
+                kernel_launches: num("kernel_launches")?,
+                work_items: num("work_items")?,
+                edges_scanned: num("edges_scanned")?,
+            },
+        }),
+        "round" => Ok(TraceEvent::Round {
+            span: get("span")?
+                .as_opt_num()
+                .ok_or_else(|| "field \"span\" must be a number or null".to_string())?
+                .map(|s| s as u32),
+            phase: get("phase")?
+                .as_str()
+                .ok_or_else(|| "field \"phase\" must be a string".to_string())?
+                .to_string(),
+            record: RoundRecord {
+                round: num("round")?,
+                active: num("active")?,
+                settled: num("settled")?,
+                edges_scanned: num("edges_scanned")?,
+                work_items: num("work_items")?,
+                duration_us: num("duration_us")?,
+            },
+        }),
+        other => Err(format!("unknown event type {other:?}")),
+    }
+}
+
+/// Parse one flat JSON object of scalar values.
+fn parse_object(s: &str) -> Result<HashMap<String, Scalar>, String> {
+    let mut chars = s.char_indices().peekable();
+    let mut fields = HashMap::new();
+
+    skip_ws(&mut chars);
+    expect(&mut chars, '{')?;
+    skip_ws(&mut chars);
+    if let Some(&(_, '}')) = chars.peek() {
+        chars.next();
+        return Ok(fields);
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        expect(&mut chars, ':')?;
+        skip_ws(&mut chars);
+        let value = parse_scalar(&mut chars)?;
+        fields.insert(key, value);
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some((_, ',')) => continue,
+            Some((_, '}')) => break,
+            Some((_, c)) => return Err(format!("expected ',' or '}}', found {c:?}")),
+            None => return Err("unexpected end of line".to_string()),
+        }
+    }
+    skip_ws(&mut chars);
+    if let Some((_, c)) = chars.next() {
+        return Err(format!("trailing content starting at {c:?}"));
+    }
+    Ok(fields)
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::CharIndices<'a>>;
+
+fn skip_ws(chars: &mut Chars<'_>) {
+    while matches!(chars.peek(), Some(&(_, c)) if c.is_ascii_whitespace()) {
+        chars.next();
+    }
+}
+
+fn expect(chars: &mut Chars<'_>, want: char) -> Result<(), String> {
+    match chars.next() {
+        Some((_, c)) if c == want => Ok(()),
+        Some((_, c)) => Err(format!("expected {want:?}, found {c:?}")),
+        None => Err(format!("expected {want:?}, found end of line")),
+    }
+}
+
+fn parse_string(chars: &mut Chars<'_>) -> Result<String, String> {
+    expect(chars, '"')?;
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some((_, '"')) => return Ok(out),
+            Some((_, '\\')) => match chars.next() {
+                Some((_, '"')) => out.push('"'),
+                Some((_, '\\')) => out.push('\\'),
+                Some((_, '/')) => out.push('/'),
+                Some((_, 'n')) => out.push('\n'),
+                Some((_, 't')) => out.push('\t'),
+                Some((_, 'r')) => out.push('\r'),
+                Some((_, 'u')) => {
+                    let hex: String = (0..4)
+                        .filter_map(|_| chars.next().map(|(_, c)| c))
+                        .collect();
+                    let code = u32::from_str_radix(&hex, 16)
+                        .map_err(|_| format!("bad unicode escape \\u{hex}"))?;
+                    out.push(char::from_u32(code).ok_or("bad unicode codepoint")?);
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            Some((_, c)) => out.push(c),
+            None => return Err("unterminated string".to_string()),
+        }
+    }
+}
+
+fn parse_scalar(chars: &mut Chars<'_>) -> Result<Scalar, String> {
+    match chars.peek() {
+        Some(&(_, '"')) => Ok(Scalar::Str(parse_string(chars)?)),
+        Some(&(_, 'n')) => {
+            for want in "null".chars() {
+                expect(chars, want)?;
+            }
+            Ok(Scalar::Null)
+        }
+        Some(&(_, c)) if c.is_ascii_digit() => {
+            let mut n: u64 = 0;
+            while let Some(&(_, c)) = chars.peek() {
+                if let Some(d) = c.to_digit(10) {
+                    n = n
+                        .checked_mul(10)
+                        .and_then(|n| n.checked_add(d as u64))
+                        .ok_or("number overflows u64")?;
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            Ok(Scalar::Num(n))
+        }
+        Some(&(_, c)) => Err(format!("unexpected value start {c:?}")),
+        None => Err("expected a value, found end of line".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CounterDelta, RoundRecord, TraceEvent};
+
+    fn sample_events() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::SpanStart {
+                id: 0,
+                parent: None,
+                name: "decompose".to_string(),
+                t_us: 5,
+            },
+            TraceEvent::SpanStart {
+                id: 1,
+                parent: Some(0),
+                name: "induced-solve".to_string(),
+                t_us: 8,
+            },
+            TraceEvent::Round {
+                span: Some(1),
+                phase: "induced-solve".to_string(),
+                record: RoundRecord {
+                    round: 0,
+                    active: 100,
+                    settled: 42,
+                    edges_scanned: 350,
+                    work_items: 100,
+                    duration_us: 17,
+                },
+            },
+            TraceEvent::SpanEnd {
+                id: 1,
+                t_us: 30,
+                delta: CounterDelta {
+                    rounds: 1,
+                    kernel_launches: 2,
+                    work_items: 100,
+                    edges_scanned: 350,
+                },
+            },
+            TraceEvent::SpanEnd {
+                id: 0,
+                t_us: 44,
+                delta: CounterDelta {
+                    rounds: 1,
+                    kernel_launches: 2,
+                    work_items: 130,
+                    edges_scanned: 400,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn round_trips_through_jsonl() {
+        let events = sample_events();
+        let mut buf = Vec::new();
+        for e in &events {
+            write_event(&mut buf, e).unwrap();
+        }
+        let text = String::from_utf8(buf).unwrap();
+        assert_eq!(text.lines().count(), events.len());
+        let parsed = parse_jsonl(&text).unwrap();
+        assert_eq!(parsed, events);
+    }
+
+    #[test]
+    fn parser_skips_blank_lines_and_reports_position() {
+        let good = "{\"type\":\"span_start\",\"id\":0,\"parent\":null,\"name\":\"x\",\"t_us\":1}";
+        let parsed = parse_jsonl(&format!("\n{good}\n\n")).unwrap();
+        assert_eq!(parsed.len(), 1);
+
+        let err = parse_jsonl(&format!("{good}\nnot json")).unwrap_err();
+        assert_eq!(err.line, 2);
+
+        let err = parse_jsonl("{\"type\":\"mystery\"}").unwrap_err();
+        assert!(err.message.contains("mystery"), "{err}");
+    }
+
+    #[test]
+    fn strings_with_escapes_survive() {
+        let e = TraceEvent::SpanStart {
+            id: 0,
+            parent: None,
+            name: "weird \"name\"\\with\nescapes".to_string(),
+            t_us: 0,
+        };
+        let mut buf = Vec::new();
+        write_event(&mut buf, &e).unwrap();
+        let parsed = parse_jsonl(std::str::from_utf8(&buf).unwrap()).unwrap();
+        assert_eq!(parsed, vec![e]);
+    }
+}

@@ -1,0 +1,452 @@
+//! Per-round observability for the symmetry-breaking solvers.
+//!
+//! The paper's headline claims are stated in *rounds*, not wall-clock —
+//! "GM requires on the order of 14,000 iterations … MM-Rand finds the
+//! remaining matches in another 400" — so this crate records exactly that
+//! shape of evidence:
+//!
+//! * **Phase spans** — nested, named intervals (`decompose`,
+//!   `induced-solve`, `cross-solve`, `fringe-peel`, `cleanup`, …) carrying
+//!   wall time and the counter delta accumulated while the span was open.
+//! * **Round records** — one per outer synchronous round: round index
+//!   within its phase, active/frontier size, items settled, edges scanned,
+//!   work items, and duration.
+//! * **JSONL export** (one flat JSON object per line) plus a minimal
+//!   parser, so tests can replay a trace and reconstruct the run's totals.
+//! * **In-memory summary** — rounds to converge, p50/p95/max round time,
+//!   and a settled-per-round histogram.
+//!
+//! The sink is thread-safe and *zero-cost when disabled*: a disabled sink
+//! holds `None` internally, and every recording call starts with a single
+//! branch on that `Option`. All hot-path callers thread an
+//! `Arc<TraceSink>` obtained from [`TraceSink::disabled`] by default, so
+//! no existing call site pays for tracing it did not ask for.
+
+mod jsonl;
+mod summary;
+
+pub use jsonl::{parse_jsonl, ParseError};
+pub use summary::TraceSummary;
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Identifier of a phase span, unique within one sink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanId(pub u32);
+
+/// Counter movement attributed to a span: the difference between the
+/// solver counters at span end and span start.
+///
+/// This mirrors `sb_par::counters::CounterSnapshot` field-for-field, but
+/// lives here so the dependency points the right way (`sb-par` depends on
+/// `sb-trace`, never the reverse).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CounterDelta {
+    /// Synchronous rounds executed inside the span.
+    pub rounds: u64,
+    /// Kernel launches (BSP executor) inside the span.
+    pub kernel_launches: u64,
+    /// Work items processed inside the span.
+    pub work_items: u64,
+    /// Edge scans performed inside the span.
+    pub edges_scanned: u64,
+}
+
+impl std::ops::Add for CounterDelta {
+    type Output = CounterDelta;
+
+    /// Component-wise sum.
+    fn add(self, other: CounterDelta) -> CounterDelta {
+        CounterDelta {
+            rounds: self.rounds + other.rounds,
+            kernel_launches: self.kernel_launches + other.kernel_launches,
+            work_items: self.work_items + other.work_items,
+            edges_scanned: self.edges_scanned + other.edges_scanned,
+        }
+    }
+}
+
+/// One record of a completed synchronous round, as handed to the sink by
+/// the executing solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// Round index within the enclosing phase, starting at 0.
+    pub round: u64,
+    /// Vertices/edges active (in the frontier/work list) this round.
+    pub active: u64,
+    /// Items settled this round: matched vertices, colored vertices, or
+    /// MIS in/out decisions.
+    pub settled: u64,
+    /// Edge scans performed this round.
+    pub edges_scanned: u64,
+    /// Work items processed this round.
+    pub work_items: u64,
+    /// Wall time of the round, microseconds.
+    pub duration_us: u64,
+}
+
+/// A single trace event. The JSONL file holds one event per line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// A phase span opened.
+    SpanStart {
+        /// Span id, unique within the trace.
+        id: u32,
+        /// Enclosing span, if any.
+        parent: Option<u32>,
+        /// Phase name (`decompose`, `induced-solve`, …).
+        name: String,
+        /// Microseconds since the sink was created.
+        t_us: u64,
+    },
+    /// A phase span closed.
+    SpanEnd {
+        /// Id of the span being closed.
+        id: u32,
+        /// Microseconds since the sink was created.
+        t_us: u64,
+        /// Counter movement attributed to this span (including children).
+        delta: CounterDelta,
+    },
+    /// One synchronous round completed.
+    Round {
+        /// Enclosing span id, if a span was open.
+        span: Option<u32>,
+        /// Name of the enclosing phase (empty when no span was open).
+        phase: String,
+        /// Payload of the round.
+        record: RoundRecord,
+    },
+}
+
+struct Inner {
+    epoch: Instant,
+    events: Vec<TraceEvent>,
+    next_span: u32,
+    /// Stack of (id, name, rounds recorded so far) for currently-open
+    /// spans; phases are opened and closed by the orchestrating thread in
+    /// LIFO order.
+    open: Vec<(u32, &'static str, u64)>,
+    /// Rounds recorded while no span was open.
+    orphan_rounds: u64,
+}
+
+/// Thread-safe event sink. Construct with [`TraceSink::enabled`] to
+/// record, or [`TraceSink::disabled`] for a no-op sink whose every method
+/// is a single branch.
+pub struct TraceSink {
+    inner: Option<Mutex<Inner>>,
+    /// Redundant with `inner.is_some()` but readable without locking; kept
+    /// as an atomic so `TraceSink` stays `Sync` without interior `bool`
+    /// aliasing questions.
+    enabled: AtomicBool,
+}
+
+impl TraceSink {
+    /// A recording sink. Wrap in `Arc` to share across solver layers.
+    pub fn enabled() -> TraceSink {
+        TraceSink {
+            inner: Some(Mutex::new(Inner {
+                epoch: Instant::now(),
+                events: Vec::new(),
+                next_span: 0,
+                open: Vec::new(),
+                orphan_rounds: 0,
+            })),
+            enabled: AtomicBool::new(true),
+        }
+    }
+
+    /// A sink that records nothing; every call is one branch and a return.
+    pub fn disabled() -> TraceSink {
+        TraceSink {
+            inner: None,
+            enabled: AtomicBool::new(false),
+        }
+    }
+
+    /// Whether this sink records anything. Callers use this to skip
+    /// computing expensive record fields (e.g. settled counts).
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Open a phase span. Returns `None` on a disabled sink.
+    pub fn begin_span(&self, name: &'static str) -> Option<SpanId> {
+        let inner = self.inner.as_ref()?;
+        let mut inner = inner.lock().expect("trace sink poisoned");
+        let id = inner.next_span;
+        inner.next_span += 1;
+        let parent = inner.open.last().map(|&(p, _, _)| p);
+        let t_us = inner.epoch.elapsed().as_micros() as u64;
+        inner.open.push((id, name, 0));
+        inner.events.push(TraceEvent::SpanStart {
+            id,
+            parent,
+            name: name.to_string(),
+            t_us,
+        });
+        Some(SpanId(id))
+    }
+
+    /// Close a phase span, attributing `delta` to it.
+    pub fn end_span(&self, id: SpanId, delta: CounterDelta) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        let mut inner = inner.lock().expect("trace sink poisoned");
+        if let Some(pos) = inner
+            .open
+            .iter()
+            .rposition(|&(open_id, _, _)| open_id == id.0)
+        {
+            inner.open.remove(pos);
+        }
+        let t_us = inner.epoch.elapsed().as_micros() as u64;
+        inner.events.push(TraceEvent::SpanEnd {
+            id: id.0,
+            t_us,
+            delta,
+        });
+    }
+
+    /// Record one completed round, attributed to the innermost open span.
+    ///
+    /// The round index is assigned by the sink — a contiguous 0-based
+    /// counter per span — so indices are monotone and gap-free by
+    /// construction, which the trace consistency tests rely on.
+    pub fn record_round(
+        &self,
+        active: u64,
+        settled: u64,
+        edges_scanned: u64,
+        work_items: u64,
+        duration_us: u64,
+    ) {
+        let Some(inner) = self.inner.as_ref() else {
+            return;
+        };
+        let mut inner = inner.lock().expect("trace sink poisoned");
+        let (span, phase, round) = match inner.open.last_mut() {
+            Some((id, name, rounds)) => {
+                let round = *rounds;
+                *rounds += 1;
+                (Some(*id), name.to_string(), round)
+            }
+            None => {
+                let round = inner.orphan_rounds;
+                inner.orphan_rounds += 1;
+                (None, String::new(), round)
+            }
+        };
+        inner.events.push(TraceEvent::Round {
+            span,
+            phase,
+            record: RoundRecord {
+                round,
+                active,
+                settled,
+                edges_scanned,
+                work_items,
+                duration_us,
+            },
+        });
+    }
+
+    /// Snapshot of all events recorded so far (empty for a disabled sink).
+    pub fn events(&self) -> Vec<TraceEvent> {
+        match self.inner.as_ref() {
+            Some(inner) => inner.lock().expect("trace sink poisoned").events.clone(),
+            None => Vec::new(),
+        }
+    }
+
+    /// Compute the in-memory summary over everything recorded so far.
+    /// Returns `None` for a disabled sink.
+    pub fn summary(&self) -> Option<TraceSummary> {
+        self.inner.as_ref().map(|inner| {
+            TraceSummary::from_events(&inner.lock().expect("trace sink poisoned").events)
+        })
+    }
+
+    /// Write the trace as JSONL (one event object per line).
+    pub fn write_jsonl<W: std::io::Write>(&self, mut w: W) -> std::io::Result<()> {
+        for event in self.events() {
+            jsonl::write_event(&mut w, &event)?;
+        }
+        Ok(())
+    }
+
+    /// Write the trace to `path` as JSONL, creating parent directories.
+    pub fn save_jsonl(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let file = std::fs::File::create(path)?;
+        self.write_jsonl(std::io::BufWriter::new(file))
+    }
+}
+
+impl std::fmt::Debug for TraceSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceSink")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+/// Sum the counter deltas of all *top-level* spans (spans with no parent).
+/// Child spans are already included in their parent's delta, so this is
+/// the trace-side reconstruction of the run's total counter snapshot.
+pub fn total_delta(events: &[TraceEvent]) -> CounterDelta {
+    let top_level: std::collections::HashSet<u32> = events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::SpanStart {
+                id, parent: None, ..
+            } => Some(*id),
+            _ => None,
+        })
+        .collect();
+    events
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::SpanEnd { id, delta, .. } if top_level.contains(id) => Some(*delta),
+            _ => None,
+        })
+        .fold(CounterDelta::default(), |acc, d| acc + d)
+}
+
+/// Rounds recorded under each phase name, in first-appearance order.
+pub fn rounds_per_phase(events: &[TraceEvent]) -> Vec<(String, u64)> {
+    let mut order: Vec<String> = Vec::new();
+    let mut counts: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
+    for e in events {
+        if let TraceEvent::Round { phase, .. } = e {
+            if !counts.contains_key(phase) {
+                order.push(phase.clone());
+            }
+            *counts.entry(phase.clone()).or_insert(0) += 1;
+        }
+    }
+    order
+        .into_iter()
+        .map(|p| {
+            let c = counts[&p];
+            (p, c)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn push_round(sink: &TraceSink, settled: u64) {
+        sink.record_round(10, settled, 5, 10, 3);
+    }
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        let sink = TraceSink::disabled();
+        assert!(!sink.is_enabled());
+        assert!(sink.begin_span("decompose").is_none());
+        push_round(&sink, 1);
+        assert!(sink.events().is_empty());
+        assert!(sink.summary().is_none());
+    }
+
+    #[test]
+    fn spans_nest_and_rounds_attach_to_innermost() {
+        let sink = TraceSink::enabled();
+        let outer = sink.begin_span("solve").unwrap();
+        let inner = sink.begin_span("induced-solve").unwrap();
+        push_round(&sink, 4);
+        sink.end_span(
+            inner,
+            CounterDelta {
+                rounds: 1,
+                kernel_launches: 0,
+                work_items: 10,
+                edges_scanned: 5,
+            },
+        );
+        push_round(&sink, 2);
+        sink.end_span(
+            outer,
+            CounterDelta {
+                rounds: 2,
+                kernel_launches: 0,
+                work_items: 25,
+                edges_scanned: 9,
+            },
+        );
+
+        let events = sink.events();
+        assert_eq!(events.len(), 6);
+        match &events[1] {
+            TraceEvent::SpanStart { parent, name, .. } => {
+                assert_eq!(*parent, Some(0));
+                assert_eq!(name, "induced-solve");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        match &events[2] {
+            TraceEvent::Round { span, phase, .. } => {
+                assert_eq!(*span, Some(1));
+                assert_eq!(phase, "induced-solve");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+        match &events[4] {
+            TraceEvent::Round { span, phase, .. } => {
+                assert_eq!(*span, Some(0));
+                assert_eq!(phase, "solve");
+            }
+            other => panic!("unexpected event {other:?}"),
+        }
+
+        // Only the top-level span contributes to the reconstructed total.
+        let total = total_delta(&events);
+        assert_eq!(total.rounds, 2);
+        assert_eq!(total.work_items, 25);
+        assert_eq!(total.edges_scanned, 9);
+    }
+
+    #[test]
+    fn rounds_per_phase_counts_in_order() {
+        let sink = TraceSink::enabled();
+        let a = sink.begin_span("decompose").unwrap();
+        push_round(&sink, 1);
+        sink.end_span(a, CounterDelta::default());
+        let b = sink.begin_span("cross-solve").unwrap();
+        push_round(&sink, 1);
+        push_round(&sink, 1);
+        sink.end_span(b, CounterDelta::default());
+        assert_eq!(
+            rounds_per_phase(&sink.events()),
+            vec![("decompose".to_string(), 1), ("cross-solve".to_string(), 2)]
+        );
+        // Round indices restart per span and are contiguous within it.
+        let rounds: Vec<u64> = sink
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Round { record, .. } => Some(record.round),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(rounds, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn sink_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TraceSink>();
+    }
+}

@@ -65,11 +65,7 @@ fn main() {
         let run = vertex_coloring(&g, algo, Arch::Cpu, 3);
         let ms = t.elapsed().as_secs_f64() * 1e3;
         check_coloring(&g, &run.color).unwrap();
-        let spilled = run
-            .color
-            .iter()
-            .filter(|&&c| c >= MACHINE_REGS)
-            .count();
+        let spilled = run.color.iter().filter(|&&c| c >= MACHINE_REGS).count();
         println!(
             "{label}: {ms:>8.2} ms, {} colors, {spilled} ranges spilled past {MACHINE_REGS} regs",
             run.num_colors()

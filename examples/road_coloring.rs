@@ -52,7 +52,10 @@ fn main() {
         degk.stats.decompose_time.as_secs_f64() * 1e3,
         degk.stats.solve_time.as_secs_f64() * 1e3,
     );
-    println!("speedup     : {:.2}x (paper: 1.27x average on CPUs)", base_ms / degk_ms);
+    println!(
+        "speedup     : {:.2}x (paper: 1.27x average on CPUs)",
+        base_ms / degk_ms
+    );
 
     // Channel usage histogram for the curious.
     let mut per_channel = vec![0usize; degk.num_colors()];

@@ -11,8 +11,8 @@
 //! ```
 
 use std::time::Instant;
-use symmetry_breaking::prelude::*;
 use symmetry_breaking::graph::subgraph::induce_vertices_same_ids;
+use symmetry_breaking::prelude::*;
 
 /// Peel the conflict graph wave by wave; returns the wave of each job.
 fn schedule(g: &Graph, algo: MisAlgorithm, seed: u64) -> Vec<u32> {

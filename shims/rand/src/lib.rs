@@ -1,0 +1,226 @@
+//! Deterministic drop-in for the subset of the `rand` API this workspace
+//! uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, the `RngExt`
+//! convenience trait (`random_range`, `random_bool`), and
+//! `seq::SliceRandom::shuffle`.
+//!
+//! The build environment is offline, so the real crate cannot be fetched.
+//! The generator here is SplitMix64 — statistically fine for workload
+//! generation and randomized algorithms, NOT cryptographic. All users in
+//! this workspace seed explicitly, so determinism per seed is the only
+//! contract that matters.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core generator interface: everything is derived from `next_u64`.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a seed, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Build a generator whose stream is a pure function of `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods, available on every [`RngCore`].
+pub trait RngExt: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive integer ranges).
+    ///
+    /// Generic over the output type `T` first — like the real crate — so
+    /// integer-literal ranges infer their type from how the result is used.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to [0, 1]).
+    fn random_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        // 53 random bits → uniform f64 in [0, 1).
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: RngCore> RngExt for T {}
+
+/// Range types accepted by [`RngExt::random_range`], producing `T`.
+///
+/// Implemented as a *blanket* impl over [`SampleUniform`] element types —
+/// like the real crate — so the compiler unifies `T` with the range's
+/// element type eagerly and integer-literal ranges infer cleanly.
+pub trait SampleRange<T> {
+    /// Draw one uniform sample from the range using `rng`.
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T;
+}
+
+/// Element types [`RngExt::random_range`] can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)` (or `[lo, hi]` when `inclusive`).
+    fn sample_in<G: RngCore>(lo: Self, hi: Self, inclusive: bool, rng: &mut G) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T {
+        T::sample_in(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_from<G: RngCore>(self, rng: &mut G) -> T {
+        T::sample_in(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// Draw from `[0, span)` without modulo bias (rejection sampling).
+fn bounded<G: RngCore>(rng: &mut G, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Zone is the largest multiple of `span` that fits in u64.
+    let zone = u64::MAX - (u64::MAX % span);
+    loop {
+        let x = rng.next_u64();
+        if x < zone {
+            return x % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_in<G: RngCore>(lo: $t, hi: $t, inclusive: bool, rng: &mut G) -> $t {
+                if inclusive {
+                    assert!(lo <= hi, "cannot sample from empty range {lo}..={hi}");
+                    let span = hi.abs_diff(lo) as u64;
+                    if span == u64::MAX {
+                        return lo.wrapping_add(rng.next_u64() as $t);
+                    }
+                    lo.wrapping_add(bounded(rng, span + 1) as $t)
+                } else {
+                    assert!(lo < hi, "cannot sample from empty range {lo}..{hi}");
+                    let span = hi.abs_diff(lo) as u64;
+                    lo.wrapping_add(bounded(rng, span) as $t)
+                }
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u16, u32, u64, i32, i64);
+
+impl SampleUniform for f64 {
+    fn sample_in<G: RngCore>(lo: f64, hi: f64, _inclusive: bool, rng: &mut G) -> f64 {
+        assert!(lo < hi, "cannot sample from empty range {lo}..{hi}");
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for `rand::rngs::StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014): full-period, passes
+            // BigCrush; more than enough for graph generation.
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::{RngCore, RngExt};
+
+    /// In-place shuffling, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<G: RngCore>(&mut self, rng: &mut G);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<G: RngCore>(&mut self, rng: &mut G) {
+            for i in (1..self.len()).rev() {
+                let j = rng.random_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{rngs::StdRng, seq::SliceRandom, RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random_range(0..1000usize), b.random_range(0..1000usize));
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        let stream_a: Vec<usize> = (0..16).map(|_| a.random_range(0..1 << 20)).collect();
+        let stream_c: Vec<usize> = (0..16).map(|_| c.random_range(0..1 << 20)).collect();
+        assert_ne!(stream_a, stream_c);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.random_range(5..17usize);
+            assert!((5..17).contains(&x));
+            let y = rng.random_range(1..=3usize);
+            assert!((1..=3).contains(&y));
+            let f = rng.random_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+        }
+        // Inclusive ranges must be able to hit both endpoints.
+        let hits: std::collections::HashSet<usize> =
+            (0..1000).map(|_| rng.random_range(0..=2usize)).collect();
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let heads = (0..10_000).filter(|_| rng.random_bool(0.25)).count();
+        assert!((2000..3000).contains(&heads), "heads = {heads}");
+        assert!((0..100).all(|_| !rng.random_bool(0.0)));
+        assert!((0..100).all(|_| rng.random_bool(1.0)));
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<u32>>());
+        assert_ne!(v, (0..100).collect::<Vec<u32>>());
+    }
+}

@@ -1,0 +1,250 @@
+//! Sequential drop-in for the subset of the `rayon` API this workspace uses.
+//!
+//! The build environment has no network access and no crates.io cache, so
+//! the real `rayon` cannot be fetched. This shim preserves the API shape —
+//! `par_iter`, `into_par_iter`, `par_sort_unstable`, `ThreadPoolBuilder`,
+//! … — with sequential `std` iterators underneath. All algorithms in the
+//! workspace are written against atomics and are correct under any
+//! interleaving, so degrading to sequential execution changes timing only,
+//! never results. Swapping the real crate back in is a one-line
+//! `Cargo.toml` change; no source edits are required.
+
+/// The traits user code imports with `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator,
+        ParallelIteratorExt, ParallelSlice, ParallelSliceMut,
+    };
+}
+
+/// Rayon adaptor names that do not exist on `std::iter::Iterator`
+/// (`flat_map_iter`, …), provided as plain sequential equivalents.
+pub trait ParallelIteratorExt: Iterator + Sized {
+    /// Rayon's `flat_map_iter` — sequentially identical to `flat_map`.
+    fn flat_map_iter<U, F>(self, f: F) -> std::iter::FlatMap<Self, U, F>
+    where
+        U: IntoIterator,
+        F: FnMut(Self::Item) -> U,
+    {
+        self.flat_map(f)
+    }
+
+    /// Rayon's `find_any` — sequentially this is the *first* match, which
+    /// satisfies the weaker "any match" contract.
+    fn find_any<P>(mut self, mut predicate: P) -> Option<Self::Item>
+    where
+        P: FnMut(&Self::Item) -> bool,
+    {
+        self.find(|item| predicate(item))
+    }
+}
+
+impl<I: Iterator> ParallelIteratorExt for I {}
+
+/// `collection.into_par_iter()` — sequential `IntoIterator` underneath.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Consume `self`, yielding its (sequential) iterator.
+    fn into_par_iter(self) -> Self::IntoIter {
+        self.into_iter()
+    }
+}
+
+impl<T: IntoIterator + Sized> IntoParallelIterator for T {}
+
+/// `collection.par_iter()` — iterate over `&collection`.
+pub trait IntoParallelRefIterator<'data> {
+    /// The borrowed iterator type.
+    type Iter: Iterator;
+    /// Borrowing iteration, named like rayon's parallel form.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoIterator,
+{
+    type Iter = <&'data C as IntoIterator>::IntoIter;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// `collection.par_iter_mut()` — iterate over `&mut collection`.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The mutably-borrowed iterator type.
+    type Iter: Iterator;
+    /// Mutably-borrowing iteration, named like rayon's parallel form.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, C: ?Sized + 'data> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoIterator,
+{
+    type Iter = <&'data mut C as IntoIterator>::IntoIter;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_iter()
+    }
+}
+
+/// Chunked traversal of shared slices.
+pub trait ParallelSlice<T> {
+    /// `slice.par_chunks(n)` — sequential `chunks` underneath.
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T>;
+}
+
+impl<T> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> std::slice::Chunks<'_, T> {
+        self.chunks(chunk_size)
+    }
+}
+
+/// Chunked/sorting traversal of mutable slices.
+pub trait ParallelSliceMut<T> {
+    /// `slice.par_chunks_mut(n)` — sequential `chunks_mut` underneath.
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    /// `slice.par_sort_unstable()` — sequential unstable sort.
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    /// `slice.par_sort_unstable_by(cmp)` — sequential unstable sort.
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: FnMut(&T, &T) -> std::cmp::Ordering;
+}
+
+impl<T> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+        self.chunks_mut(chunk_size)
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: FnMut(&T, &T) -> std::cmp::Ordering,
+    {
+        self.sort_unstable_by(cmp);
+    }
+}
+
+/// Run two closures "in parallel" (sequentially here).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+/// Number of threads in the implicit pool (always 1 in the shim).
+pub fn current_num_threads() -> usize {
+    1
+}
+
+/// Error type returned by [`ThreadPoolBuilder::build`]; never constructed.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error (shim)")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A "pool" that runs closures on the calling thread.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `op` in the pool (i.e. right here).
+    pub fn install<OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce() -> R,
+    {
+        op()
+    }
+
+    /// Configured thread count (the shim still executes on one thread).
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+}
+
+/// Builder matching `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    /// Fresh builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Request a thread count (recorded, not honored by the shim).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the (sequential) pool; infallible.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads.max(1),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_sequential() {
+        let v = vec![1u32, 2, 3];
+        let s: u32 = v.par_iter().copied().sum();
+        assert_eq!(s, 6);
+        let doubled: Vec<u32> = v.into_par_iter().map(|x| 2 * x).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let n: usize = (0..10usize).into_par_iter().filter(|&i| i % 2 == 0).count();
+        assert_eq!(n, 5);
+    }
+
+    #[test]
+    fn slice_ops() {
+        let mut v = vec![3u32, 1, 2];
+        v.par_sort_unstable();
+        assert_eq!(v, vec![1, 2, 3]);
+        v.par_sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(v, vec![3, 2, 1]);
+        assert_eq!(v.par_chunks(2).count(), 2);
+        assert_eq!(v.par_chunks_mut(2).count(), 2);
+    }
+
+    #[test]
+    fn pool_installs() {
+        let pool = super::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build()
+            .unwrap();
+        assert_eq!(pool.install(|| 41 + 1), 42);
+        assert_eq!(pool.current_num_threads(), 4);
+    }
+}

@@ -12,10 +12,14 @@
 //! `<input>` is an edge-list or Matrix-Market (`.mtx`) file, or
 //! `gen:<graph>` for a Table II stand-in (e.g. `gen:germany-osm`).
 //! Solutions are always verified before they are reported or written.
+//!
+//! `--trace <out.jsonl>` (on `solve` and `decompose`) records phase spans
+//! and per-round records to a JSONL file and prints a one-line summary.
 
 use std::io::Write;
 use std::path::Path;
 use std::process::ExitCode;
+use std::sync::Arc;
 use symmetry_breaking::decompose::{
     decompose_bicc, decompose_bridge, decompose_degk, decompose_metis_like, decompose_rand,
 };
@@ -25,9 +29,9 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  sbreak generate <graph> [--scale F] [--seed S] -o <file>\n  \
          sbreak stats <input> [--bridges] [--blocks] [--scale F] [--seed S]\n  \
-         sbreak decompose <input> --method bridge|rand:K|degk:K|metis:K|bicc [--seed S]\n  \
+         sbreak decompose <input> --method bridge|rand:K|degk:K|metis:K|bicc [--seed S] [--trace <out.jsonl>]\n  \
          sbreak solve <input> --problem mm|color|mis [--algo baseline|bridge|rand:K|degk:K|bicc]\n  \
-         \x20            [--arch cpu|gpu] [--seed S] [-o <file>]\n\n\
+         \x20            [--arch cpu|gpu] [--seed S] [-o <file>] [--trace <out.jsonl>]\n\n\
          <input>: an edge-list/.mtx path, or gen:<table-II-name> (e.g. gen:lp1)"
     );
     std::process::exit(2)
@@ -39,7 +43,9 @@ fn split_param(s: &str) -> Result<(&str, Option<usize>), String> {
     match s.split_once(':') {
         Some((a, b)) => match b.parse::<usize>() {
             Ok(k) if k >= 1 => Ok((a, Some(k))),
-            _ => Err(format!("'{s}': the parameter after ':' must be a positive integer")),
+            _ => Err(format!(
+                "'{s}': the parameter after ':' must be a positive integer"
+            )),
         },
         None => Ok((s, None)),
     }
@@ -77,6 +83,7 @@ struct Flags {
     problem: Option<String>,
     algo: String,
     output: Option<String>,
+    trace: Option<String>,
     bridges: bool,
     blocks: bool,
 }
@@ -91,6 +98,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         problem: None,
         algo: "baseline".into(),
         output: None,
+        trace: None,
         bridges: false,
         blocks: false,
     };
@@ -125,6 +133,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--problem" => f.problem = Some(val("--problem")?),
             "--algo" => f.algo = val("--algo")?,
             "-o" | "--output" => f.output = Some(val("-o")?),
+            "--trace" => f.trace = Some(val("--trace")?),
             "--bridges" => f.bridges = true,
             "--blocks" => f.blocks = true,
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
@@ -132,6 +141,25 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         }
     }
     Ok(f)
+}
+
+/// Build the trace sink requested by `--trace`, if any.
+fn trace_sink(f: &Flags) -> Option<Arc<TraceSink>> {
+    f.trace.as_ref().map(|_| Arc::new(TraceSink::enabled()))
+}
+
+/// Write the recorded trace to the `--trace` path and print its summary.
+fn flush_trace(f: &Flags, sink: &Option<Arc<TraceSink>>) -> Result<(), String> {
+    let (Some(path), Some(sink)) = (f.trace.as_ref(), sink.as_ref()) else {
+        return Ok(());
+    };
+    sink.save_jsonl(Path::new(path))
+        .map_err(|e| format!("cannot write trace {path}: {e}"))?;
+    if let Some(summary) = sink.summary() {
+        println!("{}", summary.render_line());
+    }
+    println!("[trace written to {path}]");
+    Ok(())
 }
 
 fn write_or_print(output: &Option<String>, content: &str) -> Result<(), String> {
@@ -197,8 +225,13 @@ fn cmd_decompose(f: &Flags) -> Result<(), String> {
     let input = f.positional.first().ok_or("decompose needs an input")?;
     let method = f.method.as_ref().ok_or("decompose needs --method")?;
     let g = load_input(input, f.scale, f.seed)?;
-    let c = Counters::new();
+    let sink = trace_sink(f);
+    let c = match &sink {
+        Some(s) => Counters::with_trace(s.clone()),
+        None => Counters::new(),
+    };
     let sw = std::time::Instant::now();
+    let span = c.phase("decompose");
     let summary = match split_param(method)? {
         ("bridge", _) => {
             let d = decompose_bridge(&g, &c);
@@ -249,12 +282,14 @@ fn cmd_decompose(f: &Flags) -> Result<(), String> {
         }
         (other, _) => return Err(format!("unknown method '{other}'")),
     };
+    drop(span);
     println!("{summary}");
     println!(
         "decomposed in {:.2} ms ({} rounds)",
         sw.elapsed().as_secs_f64() * 1e3,
         c.rounds()
     );
+    flush_trace(f, &sink)?;
     Ok(())
 }
 
@@ -262,6 +297,7 @@ fn cmd_solve(f: &Flags) -> Result<(), String> {
     let input = f.positional.first().ok_or("solve needs an input")?;
     let problem = f.problem.as_ref().ok_or("solve needs --problem")?;
     let g = load_input(input, f.scale, f.seed)?;
+    let sink = trace_sink(f);
 
     match problem.as_str() {
         "mm" => {
@@ -275,7 +311,7 @@ fn cmd_solve(f: &Flags) -> Result<(), String> {
                 ("bicc", _) => MmAlgorithm::Bicc,
                 (other, _) => return Err(format!("unknown algo '{other}'")),
             };
-            let run = maximal_matching(&g, algo, f.arch, f.seed);
+            let run = maximal_matching_traced(&g, algo, f.arch, f.seed, sink.clone());
             check_maximal_matching(&g, &run.mate).map_err(|e| format!("INVALID RESULT: {e}"))?;
             println!(
                 "maximal matching: {} edges in {:.2} ms ({} rounds; decomposition {:.2} ms) — verified",
@@ -306,7 +342,7 @@ fn cmd_solve(f: &Flags) -> Result<(), String> {
                 ("bicc", _) => ColorAlgorithm::Bicc,
                 (other, _) => return Err(format!("unknown algo '{other}'")),
             };
-            let run = vertex_coloring(&g, algo, f.arch, f.seed);
+            let run = vertex_coloring_traced(&g, algo, f.arch, f.seed, sink.clone());
             check_coloring(&g, &run.color).map_err(|e| format!("INVALID RESULT: {e}"))?;
             println!(
                 "coloring: {} colors in {:.2} ms ({} rounds) — verified",
@@ -335,7 +371,7 @@ fn cmd_solve(f: &Flags) -> Result<(), String> {
                 ("bicc", _) => MisAlgorithm::Bicc,
                 (other, _) => return Err(format!("unknown algo '{other}'")),
             };
-            let run = maximal_independent_set(&g, algo, f.arch, f.seed);
+            let run = maximal_independent_set_traced(&g, algo, f.arch, f.seed, sink.clone());
             check_maximal_independent_set(&g, &run.in_set)
                 .map_err(|e| format!("INVALID RESULT: {e}"))?;
             println!(
@@ -357,6 +393,7 @@ fn cmd_solve(f: &Flags) -> Result<(), String> {
         }
         other => return Err(format!("unknown problem '{other}' (mm|color|mis)")),
     }
+    flush_trace(f, &sink)?;
     Ok(())
 }
 
@@ -398,8 +435,14 @@ mod tests {
     fn split_param_forms() {
         assert_eq!(split_param("rand:10").unwrap(), ("rand", Some(10)));
         assert_eq!(split_param("degk").unwrap(), ("degk", None));
-        assert!(split_param("rand:x").is_err(), "typo'd K must not fall back silently");
-        assert!(split_param("rand:0").is_err(), "zero partitions must be rejected");
+        assert!(
+            split_param("rand:x").is_err(),
+            "typo'd K must not fall back silently"
+        );
+        assert!(
+            split_param("rand:0").is_err(),
+            "zero partitions must be rejected"
+        );
     }
 
     #[test]

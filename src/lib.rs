@@ -26,13 +26,20 @@ pub use sb_datasets as datasets;
 pub use sb_decompose as decompose;
 pub use sb_graph as graph;
 pub use sb_par as par;
+pub use sb_trace as trace;
 
 /// One-stop imports for applications.
 pub mod prelude {
-    pub use sb_core::coloring::{vertex_coloring, ColorAlgorithm, ColoringRun};
+    pub use sb_core::coloring::{
+        vertex_coloring, vertex_coloring_traced, ColorAlgorithm, ColoringRun,
+    };
     pub use sb_core::common::{Arch, RunStats};
-    pub use sb_core::matching::{maximal_matching, suggested_partitions, MatchingRun, MmAlgorithm};
-    pub use sb_core::mis::{maximal_independent_set, MisAlgorithm, MisRun};
+    pub use sb_core::matching::{
+        maximal_matching, maximal_matching_traced, suggested_partitions, MatchingRun, MmAlgorithm,
+    };
+    pub use sb_core::mis::{
+        maximal_independent_set, maximal_independent_set_traced, MisAlgorithm, MisRun,
+    };
     pub use sb_core::verify::{
         check_coloring, check_independent_set, check_matching, check_maximal_independent_set,
         check_maximal_matching, color_count, matching_cardinality,
@@ -45,4 +52,5 @@ pub mod prelude {
     pub use sb_graph::csr::{Graph, VertexId, INVALID};
     pub use sb_graph::stats::GraphStats;
     pub use sb_par::counters::Counters;
+    pub use sb_trace::{TraceSink, TraceSummary};
 }

@@ -50,11 +50,19 @@ fn generate_stats_solve_round_trip() {
     // Solution file output.
     let sol = dir.join("mis.txt");
     let out = sbreak(&[
-        "solve", edges_s, "--problem", "mis", "-o", sol.to_str().unwrap(),
+        "solve",
+        edges_s,
+        "--problem",
+        "mis",
+        "-o",
+        sol.to_str().unwrap(),
     ]);
     assert!(out.status.success());
     let body = std::fs::read_to_string(&sol).unwrap();
-    assert!(body.lines().count() > 10, "solution file should list vertices");
+    assert!(
+        body.lines().count() > 10,
+        "solution file should list vertices"
+    );
 
     std::fs::remove_dir_all(&dir).ok();
 }
@@ -63,7 +71,12 @@ fn generate_stats_solve_round_trip() {
 fn decompose_methods_all_run() {
     for method in ["bridge", "rand:4", "degk:2", "metis:4", "bicc"] {
         let out = sbreak(&[
-            "decompose", "gen:c-73", "--scale", "0.05", "--method", method,
+            "decompose",
+            "gen:c-73",
+            "--scale",
+            "0.05",
+            "--method",
+            method,
         ]);
         assert!(out.status.success(), "{method}: {}", stderr(&out));
         assert!(stdout(&out).contains("decomposed in"), "{method}");
@@ -76,9 +89,21 @@ fn error_paths_are_clean() {
     let cases: Vec<(&[&str], &str)> = vec![
         (&["stats", "gen:nope"], "unknown graph"),
         (&["stats", "/definitely/not/a/file"], "cannot read"),
-        (&["solve", "gen:lp1", "--scale", "0.02", "--problem", "tsp"], "unknown problem"),
         (
-            &["solve", "gen:lp1", "--scale", "0.02", "--problem", "mm", "--algo", "rand:0"],
+            &["solve", "gen:lp1", "--scale", "0.02", "--problem", "tsp"],
+            "unknown problem",
+        ),
+        (
+            &[
+                "solve",
+                "gen:lp1",
+                "--scale",
+                "0.02",
+                "--problem",
+                "mm",
+                "--algo",
+                "rand:0",
+            ],
             "positive integer",
         ),
         (&["generate", "lp1"], "needs -o"),
@@ -115,15 +140,27 @@ fn no_args_prints_usage() {
 #[test]
 fn seed_determinism_through_the_cli() {
     let a = sbreak(&[
-        "solve", "gen:webbase-1M", "--scale", "0.05", "--problem", "mis", "--seed", "9",
+        "solve",
+        "gen:webbase-1M",
+        "--scale",
+        "0.05",
+        "--problem",
+        "mis",
+        "--seed",
+        "9",
     ]);
     let b = sbreak(&[
-        "solve", "gen:webbase-1M", "--scale", "0.05", "--problem", "mis", "--seed", "9",
+        "solve",
+        "gen:webbase-1M",
+        "--scale",
+        "0.05",
+        "--problem",
+        "mis",
+        "--seed",
+        "9",
     ]);
     assert!(a.status.success() && b.status.success());
     // Same size and rounds; only wall-clock may differ.
-    let strip_ms = |s: String| -> String {
-        s.split(" in ").next().unwrap_or_default().to_string()
-    };
+    let strip_ms = |s: String| -> String { s.split(" in ").next().unwrap_or_default().to_string() };
     assert_eq!(strip_ms(stdout(&a)), strip_ms(stdout(&b)));
 }

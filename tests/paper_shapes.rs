@@ -168,7 +168,12 @@ fn mis_bridge_noncompetitive() {
 fn gpu_model_matching_ordering_on_kron() {
     let g = generate(GraphId::KronLogn20, Scale::Factor(0.5), SEED);
     let base = maximal_matching(&g, MmAlgorithm::Baseline, Arch::GpuSim, SEED);
-    let rand = maximal_matching(&g, MmAlgorithm::Rand { partitions: 100 }, Arch::GpuSim, SEED);
+    let rand = maximal_matching(
+        &g,
+        MmAlgorithm::Rand { partitions: 100 },
+        Arch::GpuSim,
+        SEED,
+    );
     let bridge = maximal_matching(&g, MmAlgorithm::Bridge, Arch::GpuSim, SEED);
     let ms = |r: &MatchingRun| r.stats.modeled_gpu_ms();
     assert!(

@@ -32,7 +32,10 @@ fn matching_pipeline_all_algorithms() {
                 let run = maximal_matching(&g, algo, arch, 7);
                 check_maximal_matching(&g, &run.mate)
                     .unwrap_or_else(|e| panic!("{id:?} {algo:?} {arch}: {e}"));
-                assert!(run.cardinality() > 0, "{id:?} {algo:?} {arch}: empty matching");
+                assert!(
+                    run.cardinality() > 0,
+                    "{id:?} {algo:?} {arch}: empty matching"
+                );
             }
         }
     }
