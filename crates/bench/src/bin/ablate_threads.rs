@@ -1,27 +1,26 @@
 //! Strong-scaling harness: wall-clock of the CPU baselines and their best
-//! composites across rayon thread-pool sizes.
+//! composites across real thread-pool sizes.
 //!
 //! The paper runs 80 threads on a dual E5-2650; this binary reproduces that
 //! axis on whatever host it runs on (`--threads 1,2,4,…` — defaults to
-//! powers of two up to the available parallelism). On a single-core host
-//! every column is the same; the harness exists so the experiment transfers
-//! to a multicore machine unchanged.
+//! powers of two up to the available parallelism). Since the rayon layer
+//! gained a real execution engine, each column genuinely runs the solver on
+//! that many threads; on a single-core host the columns still coincide, and
+//! the host's parallelism is recorded in the saved table so readers can
+//! tell which regime produced the numbers.
+//!
+//! Besides the standard `results/ablate_threads.{csv,json}` pair, the table
+//! is saved as `results/BENCH_threads.json` with per-workload speedup of
+//! the widest pool over 1 thread.
 
-use sb_bench::harness::{load_suite, time_min, BenchConfig};
-use sb_bench::report::{fmt_ms, Table};
+use sb_bench::harness::{load_suite, thread_counts, time_min, BenchConfig};
+use sb_bench::report::{fmt_ms, fmt_x, Table};
 use sb_core::common::Arch;
 use sb_core::matching::{maximal_matching, MmAlgorithm};
 use sb_core::mis::{maximal_independent_set, MisAlgorithm};
 use sb_core::verify::{check_maximal_independent_set, check_maximal_matching};
-
-fn thread_counts() -> Vec<usize> {
-    let max = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let mut ts = vec![1usize];
-    while ts.last().unwrap() * 2 <= max {
-        ts.push(ts.last().unwrap() * 2);
-    }
-    ts
-}
+use sb_par::with_threads;
+use std::path::Path;
 
 fn main() {
     let mut cfg = BenchConfig::from_env();
@@ -29,12 +28,17 @@ fn main() {
         cfg.filter = "webbase".into(); // one representative graph by default
     }
     let suite = load_suite(&cfg);
-    let threads = thread_counts();
+    let threads = thread_counts(&cfg);
+    let host = std::thread::available_parallelism().map_or(1, |p| p.get());
     let headers: Vec<String> = std::iter::once("workload".to_string())
         .chain(threads.iter().map(|t| format!("{t} thr (ms)")))
+        .chain(std::iter::once("speedup".to_string()))
         .collect();
     let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut t = Table::new("Strong scaling — wall ms per thread count", &header_refs);
+    let mut t = Table::new(
+        format!("Strong scaling — wall ms per thread count (host parallelism: {host})"),
+        &header_refs,
+    );
 
     for (sp, g) in &suite.graphs {
         let workloads: Vec<(String, Box<dyn Fn() + Sync>)> = vec![
@@ -79,20 +83,25 @@ fn main() {
         ];
         for (label, work) in workloads {
             let mut row = vec![label];
+            let mut ms_at: Vec<f64> = Vec::with_capacity(threads.len());
             for &nt in &threads {
-                let pool = rayon::ThreadPoolBuilder::new()
-                    .num_threads(nt)
-                    .build()
-                    .expect("thread pool");
-                let (ms, _) = pool.install(|| time_min(cfg.reps, &work));
+                let (ms, _) = with_threads(nt, || time_min(cfg.reps, &work));
+                ms_at.push(ms);
                 row.push(fmt_ms(ms));
             }
+            let speedup = match (ms_at.first(), ms_at.last()) {
+                (Some(&t1), Some(&tn)) if tn > 0.0 => fmt_x(t1 / tn),
+                _ => "-".to_string(),
+            };
+            row.push(speedup);
             t.row(row);
         }
     }
     t.emit("ablate_threads");
-    println!(
-        "\nnote: this host reports {} available thread(s); the paper used 80.",
-        std::thread::available_parallelism().map_or(1, |p| p.get())
-    );
+    if let Err(e) = t.save_json(Path::new("results"), "BENCH_threads") {
+        eprintln!("warning: could not save results/BENCH_threads.json: {e}");
+    } else {
+        println!("[saved results/BENCH_threads.json]");
+    }
+    println!("\nnote: this host reports {host} available thread(s); the paper used 80.");
 }

@@ -24,6 +24,10 @@ pub struct BenchConfig {
     /// under this directory (from an extra untimed run, so the reported
     /// timings stay trace-free).
     pub trace_dir: Option<PathBuf>,
+    /// Thread counts to run at (`--threads 1,2,4`). Empty means the
+    /// binary's default axis: powers of two up to the host parallelism for
+    /// scaling harnesses, the host default for single-pool binaries.
+    pub threads: Vec<usize>,
 }
 
 impl Default for BenchConfig {
@@ -36,13 +40,15 @@ impl Default for BenchConfig {
             reps: 1,
             data_dir: None,
             trace_dir: None,
+            threads: Vec::new(),
         }
     }
 }
 
 /// The flags every bench binary accepts, for usage errors.
 pub const BENCH_USAGE: &str = "flags: --scale <float> --seed <u64> --arch cpu|gpu \
-     --graphs <substring> --reps <n> --data-dir <dir> --trace-dir <dir>";
+     --graphs <substring> --reps <n> --data-dir <dir> --trace-dir <dir> \
+     --threads <n[,n,…]>";
 
 impl BenchConfig {
     /// Parse `--scale`, `--seed`, `--arch`, `--graphs`, `--reps`,
@@ -84,6 +90,18 @@ impl BenchConfig {
                 }
                 "--data-dir" => cfg.data_dir = Some(PathBuf::from(val("--data-dir")?)),
                 "--trace-dir" => cfg.trace_dir = Some(PathBuf::from(val("--trace-dir")?)),
+                "--threads" => {
+                    let raw = val("--threads")?;
+                    cfg.threads = raw
+                        .split(',')
+                        .map(|p| match p.trim().parse::<usize>() {
+                            Ok(n) if n >= 1 => Ok(n),
+                            _ => Err(format!(
+                                "--threads takes positive integers, got '{p}' in '{raw}'"
+                            )),
+                        })
+                        .collect::<Result<Vec<usize>, String>>()?;
+                }
                 other => return Err(format!("unknown flag '{other}'")),
             }
         }
@@ -131,6 +149,20 @@ pub fn load_suite(cfg: &BenchConfig) -> Suite {
         })
         .collect();
     Suite { graphs }
+}
+
+/// Thread-count axis for scaling harnesses: the config's `--threads` list
+/// when given, else powers of two up to the host's available parallelism.
+pub fn thread_counts(cfg: &BenchConfig) -> Vec<usize> {
+    if !cfg.threads.is_empty() {
+        return cfg.threads.clone();
+    }
+    let max = std::thread::available_parallelism().map_or(1, |p| p.get());
+    let mut ts = vec![1usize];
+    while ts.last().unwrap() * 2 <= max {
+        ts.push(ts.last().unwrap() * 2);
+    }
+    ts
 }
 
 /// The RAND partition count the paper uses for matching: 10 on the CPU, 4
@@ -216,6 +248,30 @@ mod tests {
         assert!(e.contains("--reps"), "got: {e}");
         let e = BenchConfig::try_from_args(["--arch".to_string(), "tpu".to_string()]).unwrap_err();
         assert!(e.contains("--arch") && e.contains("'tpu'"), "got: {e}");
+    }
+
+    #[test]
+    fn threads_flag_parses_lists() {
+        let cfg = BenchConfig::from_args(["--threads", "1,2,4"].map(String::from));
+        assert_eq!(cfg.threads, vec![1, 2, 4]);
+        assert_eq!(thread_counts(&cfg), vec![1, 2, 4]);
+        let cfg = BenchConfig::from_args(["--threads", "8"].map(String::from));
+        assert_eq!(cfg.threads, vec![8]);
+        let e = BenchConfig::try_from_args(["--threads".into(), "1,0".into()]).unwrap_err();
+        assert!(e.contains("--threads") && e.contains("'0'"), "got: {e}");
+        let e = BenchConfig::try_from_args(["--threads".into(), "two".into()]).unwrap_err();
+        assert!(e.contains("'two'"), "got: {e}");
+    }
+
+    #[test]
+    fn default_thread_axis_is_powers_of_two() {
+        let ts = thread_counts(&BenchConfig::default());
+        assert_eq!(ts[0], 1);
+        for w in ts.windows(2) {
+            assert_eq!(w[1], w[0] * 2);
+        }
+        let max = std::thread::available_parallelism().map_or(1, |p| p.get());
+        assert!(*ts.last().unwrap() <= max);
     }
 
     #[test]

@@ -37,6 +37,9 @@ pub fn check_matching(g: &Graph, mate: &[u32]) -> Result<(), String> {
 /// Check that the matching is maximal: no edge has both endpoints unmatched.
 pub fn check_maximal_matching(g: &Graph, mate: &[u32]) -> Result<(), String> {
     check_matching(g, mate)?;
+    // find_any returns *some* violating edge, not the first: pieces race
+    // and the earliest hit cancels the rest. Fine here — maximality is a
+    // yes/no question and any witness makes the error message concrete.
     let offender = g
         .edge_list()
         .par_iter()
@@ -61,6 +64,8 @@ pub fn check_coloring(g: &Graph, color: &[u32]) -> Result<(), String> {
     if let Some(v) = (0..g.num_vertices()).find(|&v| color[v] == INVALID) {
         return Err(format!("vertex {v} uncolored"));
     }
+    // Any-match contract: which monochromatic edge gets reported may vary
+    // across runs/thread counts; existence does not.
     let offender = g
         .edge_list()
         .par_iter()
@@ -87,6 +92,8 @@ pub fn check_independent_set(g: &Graph, in_set: &[bool]) -> Result<(), String> {
     if in_set.len() != g.num_vertices() {
         return Err("membership array length mismatch".into());
     }
+    // Any-match contract (see check_maximal_matching): any adjacent
+    // in-set pair proves dependence.
     let offender = g
         .edge_list()
         .par_iter()
@@ -100,6 +107,7 @@ pub fn check_independent_set(g: &Graph, in_set: &[bool]) -> Result<(), String> {
 /// Check maximality: every vertex is in the set or has a neighbor in it.
 pub fn check_maximal_independent_set(g: &Graph, in_set: &[bool]) -> Result<(), String> {
     check_independent_set(g, in_set)?;
+    // Any-match contract: any uncovered vertex disproves maximality.
     let uncovered = (0..g.num_vertices() as VertexId)
         .into_par_iter()
         .find_any(|&v| !in_set[v as usize] && !g.neighbors(v).iter().any(|&w| in_set[w as usize]));

@@ -13,6 +13,13 @@
 //! This is the documented substitute for the K40c (see DESIGN.md §2): it does
 //! not model SM occupancy or memory coalescing, but it preserves the
 //! round/launch structure that the paper's GPU comparisons turn on.
+//!
+//! Kernels execute on the rayon layer's worker pool, so each launch is a
+//! genuinely parallel sweep and the `kernel(…)` return is a real barrier
+//! (the pool's claim loop finishes every grid point before returning). The
+//! number of kernel *launches* an algorithm performs is a property of the
+//! algorithm, not of the pool width — `tests/determinism.rs` pins that
+//! launch counts are identical at 1 and N threads.
 
 use crate::counters::Counters;
 use rayon::prelude::*;

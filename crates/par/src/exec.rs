@@ -1,0 +1,59 @@
+//! Thread-pool scoping helpers for the CPU execution model.
+//!
+//! The rayon layer (real crate or the workspace shim — both expose the same
+//! engine semantics now) runs parallel calls on the pool *installed* for the
+//! calling thread. These helpers give solvers, benches, and tests one
+//! place to pin that pool to an explicit width, which is what the paper's
+//! thread-count ablations (80-thread dual E5-2650 in Table I) vary.
+
+/// Run `f` with every parallel call inside it executing on a dedicated
+/// pool of `num_threads` threads (the calling thread plus `num_threads - 1`
+/// workers). `num_threads == 0` means the host default (respecting
+/// `RAYON_NUM_THREADS`). The pool is torn down when `f` returns.
+///
+/// This is the one sanctioned way to vary parallelism: solvers themselves
+/// never build pools, so a single `with_threads` at the entry point governs
+/// every `par_iter`/`BspExecutor` kernel underneath it.
+pub fn with_threads<R>(num_threads: usize, f: impl FnOnce() -> R) -> R {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(num_threads)
+        .build()
+        .expect("thread pool construction cannot fail");
+    pool.install(f)
+}
+
+/// Parallelism governing parallel calls issued from this thread right now
+/// (the innermost installed pool, else the global default).
+pub fn current_threads() -> usize {
+    rayon::current_num_threads()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rayon::prelude::*;
+
+    #[test]
+    fn with_threads_pins_parallelism() {
+        for n in [1, 2, 4] {
+            assert_eq!(with_threads(n, current_threads), n);
+        }
+    }
+
+    #[test]
+    fn with_threads_runs_real_work() {
+        let total: u64 = with_threads(4, || (0..200_000u64).into_par_iter().sum());
+        assert_eq!(total, 200_000u64 * 199_999 / 2);
+    }
+
+    #[test]
+    fn nested_installs_innermost_wins() {
+        let (outer, inner) = with_threads(4, || {
+            let outer = current_threads();
+            let inner = with_threads(2, current_threads);
+            (outer, inner)
+        });
+        assert_eq!(outer, 4);
+        assert_eq!(inner, 2);
+    }
+}

@@ -14,16 +14,20 @@
 //!
 //! Supporting modules: [`atomic`] (atomic min/CAS helpers and a concurrent
 //! bitset), [`counters`] (instrumentation shared by all algorithms plus the
-//! K40c cost model), [`rng`] (counter-based splittable random numbers so
-//! parallel algorithms are deterministic for a given seed regardless of
-//! thread count), and [`union_find`] (lock-free disjoint sets).
+//! K40c cost model), [`exec`] (thread-pool scoping — the one place thread
+//! counts are pinned for ablations and tests), [`rng`] (counter-based
+//! splittable random numbers so parallel algorithms are deterministic for a
+//! given seed regardless of thread count), and [`union_find`] (lock-free
+//! disjoint sets).
 
 pub mod atomic;
 pub mod bsp;
 pub mod counters;
+pub mod exec;
 pub mod prim;
 pub mod rng;
 pub mod union_find;
 
 pub use bsp::BspExecutor;
 pub use counters::{Counters, PhaseGuard, RoundScope};
+pub use exec::{current_threads, with_threads};

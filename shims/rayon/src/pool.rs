@@ -1,0 +1,332 @@
+//! The worker-pool execution engine behind the parallel iterators.
+//!
+//! Design (see DESIGN.md §9 for the full discussion):
+//!
+//! * A **pool** is `num_threads`-way parallelism: `num_threads - 1` detached
+//!   worker threads plus the calling thread, which always participates. The
+//!   global pool is built lazily on first use (`RAYON_NUM_THREADS` or the
+//!   host's available parallelism); explicit pools come from
+//!   [`crate::ThreadPoolBuilder`].
+//! * A parallel call splits its work into **pieces** and publishes one job to
+//!   the pool. Workers and the caller all run the same claim loop: grab the
+//!   next piece index from an atomic counter, run it, repeat. Dynamic
+//!   claiming load-balances skewed pieces for free.
+//! * The **caller always runs the claim loop itself**, so every parallel call
+//!   makes progress even if all workers are busy elsewhere — the pool only
+//!   ever accelerates, it can never deadlock a caller.
+//! * Workers never block while holding work, and a parallel call issued
+//!   *from inside* a worker (nested parallelism) is detected via a
+//!   thread-local flag and inlined sequentially, so there is no cyclic
+//!   waiting anywhere in the engine.
+//! * A panic in a piece is caught, the remaining pieces are drained quickly
+//!   (each claim re-checks a poison flag), and the payload is re-thrown on
+//!   the calling thread once every outstanding piece has finished — the same
+//!   observable behavior as rayon.
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Pieces-per-thread oversubscription factor: enough pieces that dynamic
+/// claiming can balance skew, few enough that claim overhead is noise.
+const PIECES_PER_THREAD: usize = 4;
+
+/// Below this many base items a parallel call runs sequentially inline —
+/// dispatch costs more than the work (compare `prim::BLOCK`).
+pub(crate) const SEQ_THRESHOLD: usize = 4096;
+
+thread_local! {
+    /// Set while this thread is executing a piece on behalf of a pool, so
+    /// nested parallel calls degrade to sequential inline execution.
+    static IN_WORKER: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+    /// Pool stack pushed by `ThreadPool::install`.
+    static CURRENT: std::cell::RefCell<Vec<Arc<PoolCore>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// True while executing on a pool worker (nested calls must inline).
+pub(crate) fn in_worker() -> bool {
+    IN_WORKER.with(|w| w.get())
+}
+
+/// One published parallel job: a lifetime-erased claim-loop runner that any
+/// number of threads may call concurrently, plus the copy accounting the
+/// caller waits on before its stack frame (which the runner borrows) dies.
+struct Job {
+    /// The claim-loop runner. SAFETY: points into the stack frame of the
+    /// caller, which blocks in [`PoolCore::run`] until `copies_left == 0`.
+    runner: &'static (dyn Fn() + Sync),
+    /// Copies published minus copies finished; guarded by `lock`.
+    lock: Mutex<usize>,
+    cv: Condvar,
+}
+
+impl Job {
+    fn copy_done(&self) {
+        let mut left = self.lock.lock().unwrap();
+        *left -= 1;
+        if *left == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    fn wait_all_copies(&self) {
+        let mut left = self.lock.lock().unwrap();
+        while *left > 0 {
+            left = self.cv.wait(left).unwrap();
+        }
+    }
+}
+
+struct Queue {
+    jobs: VecDeque<Arc<Job>>,
+    shutdown: bool,
+}
+
+/// Shared pool state: worker threads pull jobs from the queue.
+pub(crate) struct PoolCore {
+    num_threads: usize,
+    queue: Mutex<Queue>,
+    available: Condvar,
+}
+
+impl PoolCore {
+    fn start(num_threads: usize) -> Arc<PoolCore> {
+        let core = Arc::new(PoolCore {
+            num_threads,
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+        });
+        for i in 0..num_threads.saturating_sub(1) {
+            let c = Arc::clone(&core);
+            std::thread::Builder::new()
+                .name(format!("sb-pool-{i}"))
+                .spawn(move || c.worker_loop())
+                .expect("spawn pool worker");
+        }
+        core
+    }
+
+    fn worker_loop(&self) {
+        IN_WORKER.with(|w| w.set(true));
+        loop {
+            let job = {
+                let mut q = self.queue.lock().unwrap();
+                loop {
+                    if let Some(job) = q.jobs.pop_front() {
+                        break job;
+                    }
+                    if q.shutdown {
+                        return;
+                    }
+                    q = self.available.wait(q).unwrap();
+                }
+            };
+            // A panic in the runner is already captured into the job's
+            // poison slot by the runner itself (see `run`), so the worker
+            // thread survives every job.
+            (job.runner)();
+            job.copy_done();
+        }
+    }
+
+    /// Degree of parallelism this pool provides (workers + caller).
+    pub(crate) fn num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `pieces` work items: `piece_fn(i)` for every `i in 0..pieces`,
+    /// claimed dynamically by the caller and up to `num_threads - 1`
+    /// workers. Returns when every piece has finished. Re-throws the first
+    /// piece panic on the calling thread.
+    pub(crate) fn run(self: &Arc<Self>, pieces: usize, piece_fn: &(dyn Fn(usize) + Sync)) {
+        if pieces == 0 {
+            return;
+        }
+        let next = AtomicUsize::new(0);
+        let poisoned = AtomicBool::new(false);
+        let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+        let runner = || {
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= pieces || poisoned.load(Ordering::Relaxed) {
+                    break;
+                }
+                // Keep the engine alive through piece panics: record the
+                // first payload, drain the rest of the claim loop fast.
+                if let Err(payload) =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| piece_fn(i)))
+                {
+                    poisoned.store(true, Ordering::Relaxed);
+                    let mut slot = panic_slot.lock().unwrap();
+                    if slot.is_none() {
+                        *slot = Some(payload);
+                    }
+                }
+            }
+        };
+
+        let copies = (self.num_threads - 1).min(pieces.saturating_sub(1));
+        let job = if copies > 0 {
+            let erased: &(dyn Fn() + Sync) = &runner;
+            // SAFETY: `runner` borrows this stack frame. The transmute to
+            // 'static is sound because we do not return before
+            // `wait_all_copies()` observes that every published copy has
+            // finished calling it (workers call `copy_done` strictly after
+            // their last use of `runner`).
+            let erased: &'static (dyn Fn() + Sync) = unsafe { std::mem::transmute(erased) };
+            let job = Arc::new(Job {
+                runner: erased,
+                lock: Mutex::new(copies),
+                cv: Condvar::new(),
+            });
+            {
+                let mut q = self.queue.lock().unwrap();
+                for _ in 0..copies {
+                    q.jobs.push_back(Arc::clone(&job));
+                }
+            }
+            self.available.notify_all();
+            Some(job)
+        } else {
+            None
+        };
+
+        // The caller is one of the pool's threads: claim pieces too. Its
+        // runner exits only when the claim counter is exhausted, i.e. every
+        // piece is claimed; stragglers finish before `wait_all_copies`.
+        // While claiming, the caller counts as a worker so nested parallel
+        // calls inside a piece inline instead of re-entering the pool.
+        {
+            struct Restore(bool);
+            impl Drop for Restore {
+                fn drop(&mut self) {
+                    IN_WORKER.with(|w| w.set(self.0));
+                }
+            }
+            let _restore = Restore(IN_WORKER.with(|w| w.replace(true)));
+            runner();
+        }
+        if let Some(job) = job {
+            job.wait_all_copies();
+        }
+        if let Some(payload) = panic_slot.into_inner().unwrap() {
+            std::panic::resume_unwind(payload);
+        }
+    }
+
+    fn shutdown(&self) {
+        let mut q = self.queue.lock().unwrap();
+        q.shutdown = true;
+        drop(q);
+        self.available.notify_all();
+    }
+}
+
+/// Default parallelism: `RAYON_NUM_THREADS` if set and positive, else the
+/// host's available parallelism.
+fn default_num_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |p| p.get())
+}
+
+/// The lazily-built global pool backing parallel calls made outside any
+/// `ThreadPool::install` scope.
+fn global() -> &'static Arc<PoolCore> {
+    static GLOBAL: OnceLock<Arc<PoolCore>> = OnceLock::new();
+    GLOBAL.get_or_init(|| PoolCore::start(default_num_threads()))
+}
+
+/// The pool governing parallel calls on this thread right now: the
+/// innermost `install`, else the global pool.
+pub(crate) fn current() -> Arc<PoolCore> {
+    CURRENT
+        .with(|c| c.borrow().last().cloned())
+        .unwrap_or_else(|| Arc::clone(global()))
+}
+
+/// Effective parallelism for a call issued on this thread: 1 inside a
+/// worker (nested calls inline), else the current pool's thread count.
+pub(crate) fn effective_parallelism() -> usize {
+    if in_worker() {
+        1
+    } else {
+        current().num_threads()
+    }
+}
+
+/// Execute `pieces` claims of `piece_fn` with the current pool, sequentially
+/// when parallelism is unavailable (1-thread pool or nested call).
+pub(crate) fn execute(pieces: usize, piece_fn: &(dyn Fn(usize) + Sync)) {
+    let pool = if in_worker() { None } else { Some(current()) };
+    match pool {
+        Some(pool) if pool.num_threads() > 1 && pieces > 1 => pool.run(pieces, piece_fn),
+        _ => {
+            for i in 0..pieces {
+                piece_fn(i);
+            }
+        }
+    }
+}
+
+/// How many pieces a workload of `work_items` base items should split into
+/// under the current pool, or 1 when it should stay sequential.
+pub(crate) fn piece_count(work_items: usize) -> usize {
+    let threads = effective_parallelism();
+    if threads <= 1 || work_items < SEQ_THRESHOLD {
+        return 1;
+    }
+    (threads * PIECES_PER_THREAD).min(work_items)
+}
+
+/// Guard that pushes a pool as this thread's current for a scope.
+pub(crate) struct InstallGuard;
+
+impl InstallGuard {
+    pub(crate) fn push(core: Arc<PoolCore>) -> InstallGuard {
+        CURRENT.with(|c| c.borrow_mut().push(core));
+        InstallGuard
+    }
+}
+
+impl Drop for InstallGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| {
+            c.borrow_mut().pop();
+        });
+    }
+}
+
+/// Owned handle used by [`crate::ThreadPool`]: shuts the workers down (and
+/// lets them drain the queue) when the last handle drops.
+pub(crate) struct PoolHandle {
+    pub(crate) core: Arc<PoolCore>,
+}
+
+impl PoolHandle {
+    pub(crate) fn new(num_threads: usize) -> PoolHandle {
+        let n = if num_threads == 0 {
+            default_num_threads()
+        } else {
+            num_threads
+        };
+        PoolHandle {
+            core: PoolCore::start(n),
+        }
+    }
+}
+
+impl Drop for PoolHandle {
+    fn drop(&mut self) {
+        self.core.shutdown();
+    }
+}

@@ -1,0 +1,163 @@
+//! Parallel unstable sort: per-run `sort_unstable_by` in parallel, then
+//! parallel pairwise merge rounds through two scratch buffers.
+//!
+//! The slice itself is only *read* during round 1 and *written* once by the
+//! final bulk copy-back, which contains no comparator calls. A panicking
+//! comparator therefore unwinds with the input slice still holding its
+//! original (fully initialized) contents, and the scratch buffers — which
+//! hold bitwise copies that are never dropped as `T` — leak nothing and
+//! double-drop nothing.
+
+use crate::pool;
+use std::cmp::Ordering;
+use std::mem::MaybeUninit;
+use std::sync::Mutex;
+
+/// Below this length a sequential sort beats the parallel one.
+const SEQ_SORT_THRESHOLD: usize = 8192;
+
+/// Sort `slice` with `cmp`, using the current pool when it helps.
+pub(crate) fn par_sort_unstable_by<T, F>(slice: &mut [T], cmp: F)
+where
+    T: Send,
+    F: Fn(&T, &T) -> Ordering + Sync + Send,
+{
+    let n = slice.len();
+    let threads = pool::effective_parallelism();
+    if threads <= 1 || n < SEQ_SORT_THRESHOLD {
+        slice.sort_unstable_by(|a, b| cmp(a, b));
+        return;
+    }
+
+    // Contiguous runs, one per claimable piece; each run is a disjoint
+    // `&mut` sub-slice sorted in place by whichever thread claims it.
+    let runs = (threads * 2).min(n / (SEQ_SORT_THRESHOLD / 4)).max(2);
+    let run_len = n.div_ceil(runs);
+    let mut bounds: Vec<(usize, usize)> = (0..runs)
+        .map(|r| (r * run_len, ((r + 1) * run_len).min(n)))
+        .filter(|&(lo, hi)| lo < hi)
+        .collect();
+    {
+        let slots: Vec<Mutex<Option<&mut [T]>>> = slice
+            .chunks_mut(run_len)
+            .map(|c| Mutex::new(Some(c)))
+            .collect();
+        let cmp = &cmp;
+        pool::execute(slots.len(), &|i| {
+            let piece = slots[i].lock().unwrap().take().expect("run claimed twice");
+            piece.sort_unstable_by(|a, b| cmp(a, b));
+        });
+    }
+
+    // Merge rounds ping-pong between two uninitialized scratch buffers;
+    // round 1 reads the sorted runs out of `slice`.
+    let mut buf_a: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+    let mut buf_b: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit contents are allowed to be uninitialized.
+    unsafe {
+        buf_a.set_len(n);
+        buf_b.set_len(n);
+    }
+
+    let mut src_is_slice = true;
+    let mut src_buf = &mut buf_a;
+    let mut dst_buf = &mut buf_b;
+    while bounds.len() > 1 {
+        let pairs: Vec<(usize, usize, usize)> = bounds
+            .chunks(2)
+            .map(|c| {
+                if c.len() == 2 {
+                    (c[0].0, c[0].1, c[1].1)
+                } else {
+                    (c[0].0, c[0].1, c[0].1)
+                }
+            })
+            .collect();
+        {
+            let src_ptr = SendPtr(if src_is_slice {
+                slice.as_ptr() as *const MaybeUninit<T>
+            } else {
+                src_buf.as_ptr()
+            });
+            let dst_ptr = SendPtr(dst_buf.as_mut_ptr());
+            let cmp = &cmp;
+            let pairs_ref = &pairs;
+            pool::execute(pairs.len(), &move |p| {
+                let (lo, mid, hi) = pairs_ref[p];
+                // SAFETY: the pairs partition 0..n into disjoint [lo, hi)
+                // ranges; each piece reads only its own source range and
+                // writes only its own destination range, so concurrent
+                // pieces never alias.
+                unsafe { merge_into(src_ptr.get(), dst_ptr.get(), lo, mid, hi, cmp) };
+            });
+        }
+        bounds = pairs.into_iter().map(|(lo, _, hi)| (lo, hi)).collect();
+        src_is_slice = false;
+        std::mem::swap(&mut src_buf, &mut dst_buf);
+    }
+
+    if !src_is_slice {
+        // The fully merged permutation lives in `src_buf`; bulk-copy it
+        // back. No comparator runs here, so this cannot unwind mid-write.
+        // SAFETY: src_buf[0..n] holds n initialized (bitwise-moved) T values
+        // and `slice` has room for exactly n.
+        unsafe {
+            std::ptr::copy_nonoverlapping(src_buf.as_ptr() as *const T, slice.as_mut_ptr(), n);
+        }
+    }
+}
+
+/// Raw pointer wrapper so disjoint-range writes can cross thread bounds.
+#[derive(Clone, Copy)]
+struct SendPtr<P>(P);
+unsafe impl<P> Send for SendPtr<P> {}
+unsafe impl<P> Sync for SendPtr<P> {}
+
+impl<P: Copy> SendPtr<P> {
+    /// Unwrap by value — closures capture the whole `Sync` wrapper rather
+    /// than its raw-pointer field (edition-2021 disjoint capture).
+    fn get(self) -> P {
+        self.0
+    }
+}
+
+/// Merge sorted `src[lo..mid]` and `src[mid..hi]` into `dst[lo..hi]`
+/// (bitwise copies; no drops).
+///
+/// # Safety
+/// `src[lo..hi]` must hold initialized values, `dst[lo..hi]` must be valid
+/// to write, and the two regions must not overlap.
+unsafe fn merge_into<T, F>(
+    src: *const MaybeUninit<T>,
+    dst: *mut MaybeUninit<T>,
+    lo: usize,
+    mid: usize,
+    hi: usize,
+    cmp: &F,
+) where
+    F: Fn(&T, &T) -> Ordering,
+{
+    let (mut i, mut j, mut k) = (lo, mid, lo);
+    while i < mid && j < hi {
+        let a = unsafe { &*(src.add(i) as *const T) };
+        let b = unsafe { &*(src.add(j) as *const T) };
+        let take_left = cmp(a, b) != Ordering::Greater;
+        let from = if take_left { i } else { j };
+        unsafe { std::ptr::copy_nonoverlapping(src.add(from), dst.add(k), 1) };
+        if take_left {
+            i += 1;
+        } else {
+            j += 1;
+        }
+        k += 1;
+    }
+    if i < mid {
+        unsafe { std::ptr::copy_nonoverlapping(src.add(i), dst.add(k), mid - i) };
+        k += mid - i;
+    }
+    if j < hi {
+        unsafe { std::ptr::copy_nonoverlapping(src.add(j), dst.add(k), hi - j) };
+        k += hi - j;
+    }
+    debug_assert_eq!(k, hi);
+}

@@ -15,6 +15,10 @@
 //!
 //! `--trace <out.jsonl>` (on `solve` and `decompose`) records phase spans
 //! and per-round records to a JSONL file and prints a one-line summary.
+//!
+//! `--threads <n>` pins the parallel execution to an `n`-thread pool (the
+//! rayon layer runs a real worker pool); the default is the host's
+//! available parallelism.
 
 use std::io::Write;
 use std::path::Path;
@@ -31,7 +35,7 @@ fn usage() -> ! {
          sbreak stats <input> [--bridges] [--blocks] [--scale F] [--seed S]\n  \
          sbreak decompose <input> --method bridge|rand:K|degk:K|metis:K|bicc [--seed S] [--trace <out.jsonl>]\n  \
          sbreak solve <input> --problem mm|color|mis [--algo baseline|bridge|rand:K|degk:K|bicc]\n  \
-         \x20            [--arch cpu|gpu] [--seed S] [-o <file>] [--trace <out.jsonl>]\n\n\
+         \x20            [--arch cpu|gpu] [--seed S] [--threads N] [-o <file>] [--trace <out.jsonl>]\n\n\
          <input>: an edge-list/.mtx path, or gen:<table-II-name> (e.g. gen:lp1)"
     );
     std::process::exit(2)
@@ -86,6 +90,7 @@ struct Flags {
     trace: Option<String>,
     bridges: bool,
     blocks: bool,
+    threads: Option<usize>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -101,6 +106,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         trace: None,
         bridges: false,
         blocks: false,
+        threads: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -134,6 +140,12 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
             "--algo" => f.algo = val("--algo")?,
             "-o" | "--output" => f.output = Some(val("-o")?),
             "--trace" => f.trace = Some(val("--trace")?),
+            "--threads" => {
+                f.threads = Some(match val("--threads")?.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err("--threads takes a positive integer".to_string()),
+                })
+            }
             "--bridges" => f.bridges = true,
             "--blocks" => f.blocks = true,
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
@@ -409,7 +421,7 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let result = match cmd.as_str() {
+    let run = || match cmd.as_str() {
         "generate" => cmd_generate(&flags),
         "stats" => cmd_stats(&flags),
         "decompose" => cmd_decompose(&flags),
@@ -417,6 +429,12 @@ fn main() -> ExitCode {
         _ => {
             usage();
         }
+    };
+    // Pin the whole command to an explicit pool when asked; otherwise the
+    // lazily-built global pool (host parallelism) governs parallel calls.
+    let result = match flags.threads {
+        Some(n) => symmetry_breaking::par::with_threads(n, run),
+        None => run(),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
@@ -464,6 +482,8 @@ mod tests {
             "gpu".into(),
             "--seed".into(),
             "9".into(),
+            "--threads".into(),
+            "4".into(),
         ])
         .unwrap();
         assert_eq!(f.positional, vec!["input.mtx"]);
@@ -471,6 +491,11 @@ mod tests {
         assert_eq!(f.algo, "rand:4");
         assert_eq!(f.arch, Arch::GpuSim);
         assert_eq!(f.seed, 9);
+        assert_eq!(f.threads, Some(4));
         assert!(parse_flags(&["--bogus".into()]).is_err());
+        assert!(
+            parse_flags(&["--threads".into(), "0".into()]).is_err(),
+            "zero threads must be rejected"
+        );
     }
 }

@@ -1,11 +1,28 @@
 //! Reproducibility: every randomized component is a pure function of its
 //! seed, independent of thread scheduling (counter-based randomness), and
 //! different seeds genuinely vary the answers.
+//!
+//! Since the rayon layer runs a real worker pool, "independent of thread
+//! scheduling" is an actual claim about concurrent interleavings, not a
+//! vacuous one — the `*_thread_invariant` tests below pin solver output
+//! and round/launch counts at 1 vs N threads. `SBREAK_TEST_THREADS` caps
+//! the N used (CI runs 1 and 4).
 
+use symmetry_breaking::core::coloring::jp::jp_color;
+use symmetry_breaking::par::with_threads;
 use symmetry_breaking::prelude::*;
 
 fn graph() -> Graph {
     generate(GraphId::CoAuthorsCiteseer, Scale::Tiny, 99)
+}
+
+/// Widest pool for the 1-vs-N comparisons.
+fn wide() -> usize {
+    std::env::var("SBREAK_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(4)
+        .max(1)
 }
 
 #[test]
@@ -48,6 +65,84 @@ fn different_seeds_differ() {
     let i1 = maximal_independent_set(&g, MisAlgorithm::Baseline, Arch::Cpu, 1).in_set;
     let i2 = maximal_independent_set(&g, MisAlgorithm::Baseline, Arch::Cpu, 2).in_set;
     assert_ne!(i1, i2, "seeds should perturb Luby's choices");
+}
+
+#[test]
+fn seed_deterministic_solvers_thread_invariant() {
+    // Solvers documented as seed-deterministic: their per-round choices
+    // come from seeded hashes or double-buffered local-extremum rules, so
+    // any interleaving of a round commits the same decisions. VB coloring
+    // is deliberately absent — its speculative color-then-fix loop resolves
+    // conflicts in an interleaving-dependent order.
+    let g = graph();
+    let n = wide();
+
+    for arch in [Arch::Cpu, Arch::GpuSim] {
+        // GM (CPU) / LMAX (GPU-sim), and the composites over deterministic
+        // decompositions (RAND hash-partition, DEGk classification).
+        for algo in [
+            MmAlgorithm::Baseline,
+            MmAlgorithm::Rand { partitions: 5 },
+            MmAlgorithm::Degk { k: 2 },
+        ] {
+            let one = with_threads(1, || maximal_matching(&g, algo, arch, 4).mate);
+            let many = with_threads(n, || maximal_matching(&g, algo, arch, 4).mate);
+            assert_eq!(one, many, "{algo:?} on {arch}: 1 vs {n} threads differ");
+        }
+        for algo in [MisAlgorithm::Baseline, MisAlgorithm::Degk { k: 2 }] {
+            let one = with_threads(1, || maximal_independent_set(&g, algo, arch, 4).in_set);
+            let many = with_threads(n, || maximal_independent_set(&g, algo, arch, 4).in_set);
+            assert_eq!(one, many, "{algo:?} on {arch}: 1 vs {n} threads differ");
+        }
+    }
+
+    // Jones–Plassmann: double-buffered local maxima, deterministic per seed.
+    let one = with_threads(1, || jp_color(&g, 4, &Counters::new()));
+    let many = with_threads(n, || jp_color(&g, 4, &Counters::new()));
+    assert_eq!(one, many, "JP coloring: 1 vs {n} threads differ");
+}
+
+#[test]
+fn round_and_launch_counts_thread_invariant() {
+    // Round counts (and BSP kernel launches on the GPU-sim) are properties
+    // of the algorithm and seed, not of the pool width: a round launches
+    // the same kernels no matter how many threads sweep the grid.
+    let g = graph();
+    let n = wide();
+
+    let lmax = |threads| {
+        with_threads(threads, || {
+            maximal_matching(&g, MmAlgorithm::Baseline, Arch::GpuSim, 7)
+                .stats
+                .counters
+        })
+    };
+    let (one, many) = (lmax(1), lmax(n));
+    assert_eq!(one.rounds, many.rounds, "LMAX rounds vary with threads");
+    assert_eq!(
+        one.kernel_launches, many.kernel_launches,
+        "LMAX kernel launches vary with threads"
+    );
+
+    // sb-trace sees the same per-phase round records at any width.
+    let traced_rounds = |threads: usize| {
+        with_threads(threads, || {
+            let sink = std::sync::Arc::new(TraceSink::enabled());
+            maximal_independent_set_traced(
+                &g,
+                MisAlgorithm::Baseline,
+                Arch::Cpu,
+                7,
+                Some(sink.clone()),
+            );
+            symmetry_breaking::trace::rounds_per_phase(&sink.events())
+        })
+    };
+    assert_eq!(
+        traced_rounds(1),
+        traced_rounds(n),
+        "traced round counts vary with threads"
+    );
 }
 
 #[test]
