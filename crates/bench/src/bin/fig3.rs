@@ -13,6 +13,7 @@ fn main() {
         cfg.seed,
         cfg.reps,
         cfg.trace_dir.as_deref(),
+        cfg.frontier,
     );
     t.emit(&format!("fig3_{}", cfg.arch));
     if let Some(a) = avg {

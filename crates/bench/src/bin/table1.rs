@@ -7,5 +7,5 @@ use sb_bench::runners::table1;
 fn main() {
     let cfg = BenchConfig::from_env();
     let suite = load_suite(&cfg);
-    table1(&suite, cfg.seed, cfg.reps).emit("table1");
+    table1(&suite, cfg.seed, cfg.reps, cfg.frontier).emit("table1");
 }

@@ -1,6 +1,6 @@
 //! Shared configuration and dataset loading for the bench binaries.
 
-use sb_core::common::Arch;
+use sb_core::common::{Arch, FrontierMode};
 use sb_datasets::suite::{load_or_generate, spec, DatasetSpec, GraphId, Scale};
 use sb_graph::csr::Graph;
 use std::path::PathBuf;
@@ -28,6 +28,9 @@ pub struct BenchConfig {
     /// binary's default axis: powers of two up to the host parallelism for
     /// scaling harnesses, the host default for single-pool binaries.
     pub threads: Vec<usize>,
+    /// Round-loop live-set strategy (`--frontier dense|compact`): compacted
+    /// worklists (the default) vs full dense rescans, for A/B comparison.
+    pub frontier: FrontierMode,
 }
 
 impl Default for BenchConfig {
@@ -41,6 +44,7 @@ impl Default for BenchConfig {
             data_dir: None,
             trace_dir: None,
             threads: Vec::new(),
+            frontier: FrontierMode::default(),
         }
     }
 }
@@ -48,7 +52,7 @@ impl Default for BenchConfig {
 /// The flags every bench binary accepts, for usage errors.
 pub const BENCH_USAGE: &str = "flags: --scale <float> --seed <u64> --arch cpu|gpu \
      --graphs <substring> --reps <n> --data-dir <dir> --trace-dir <dir> \
-     --threads <n[,n,…]>";
+     --threads <n[,n,…]> --frontier dense|compact";
 
 impl BenchConfig {
     /// Parse `--scale`, `--seed`, `--arch`, `--graphs`, `--reps`,
@@ -101,6 +105,12 @@ impl BenchConfig {
                             )),
                         })
                         .collect::<Result<Vec<usize>, String>>()?;
+                }
+                "--frontier" => {
+                    let raw = val("--frontier")?;
+                    cfg.frontier = raw
+                        .parse()
+                        .map_err(|_| format!("--frontier must be dense or compact, got '{raw}'"))?;
                 }
                 other => return Err(format!("unknown flag '{other}'")),
             }
@@ -248,6 +258,21 @@ mod tests {
         assert!(e.contains("--reps"), "got: {e}");
         let e = BenchConfig::try_from_args(["--arch".to_string(), "tpu".to_string()]).unwrap_err();
         assert!(e.contains("--arch") && e.contains("'tpu'"), "got: {e}");
+        let e = BenchConfig::try_from_args(["--frontier".to_string(), "sparse".to_string()])
+            .unwrap_err();
+        assert!(
+            e.contains("--frontier") && e.contains("'sparse'"),
+            "got: {e}"
+        );
+    }
+
+    #[test]
+    fn frontier_flag_parses_and_defaults_to_compact() {
+        assert_eq!(BenchConfig::default().frontier, FrontierMode::Compact);
+        let cfg = BenchConfig::from_args(["--frontier", "dense"].map(String::from));
+        assert_eq!(cfg.frontier, FrontierMode::Dense);
+        let cfg = BenchConfig::from_args(["--frontier", "compact"].map(String::from));
+        assert_eq!(cfg.frontier, FrontierMode::Compact);
     }
 
     #[test]

@@ -5,10 +5,10 @@ use crate::harness::{
     color_rand_partitions, mis_rand_partitions, mm_rand_partitions, time_min, Suite,
 };
 use crate::report::{fmt_ms, fmt_x, mean, Table};
-use sb_core::coloring::{vertex_coloring, vertex_coloring_traced, ColorAlgorithm};
-use sb_core::common::Arch;
-use sb_core::matching::{maximal_matching, maximal_matching_traced, MmAlgorithm};
-use sb_core::mis::{maximal_independent_set, maximal_independent_set_traced, MisAlgorithm};
+use sb_core::coloring::{vertex_coloring_opts, ColorAlgorithm};
+use sb_core::common::{Arch, FrontierMode, SolveOpts};
+use sb_core::matching::{maximal_matching_opts, MmAlgorithm};
+use sb_core::mis::{maximal_independent_set_opts, MisAlgorithm};
 use sb_core::verify::{
     check_coloring, check_maximal_independent_set, check_maximal_matching, color_count,
 };
@@ -130,7 +130,9 @@ pub fn matching_figure(
     seed: u64,
     reps: usize,
     trace_dir: Option<&Path>,
+    mode: FrontierMode,
 ) -> (Table, Option<f64>) {
+    let opts = SolveOpts::with_mode(mode);
     let mut t = Table::new(
         format!(
             "Figure 3 ({arch}) — maximal matching time ({})",
@@ -150,23 +152,23 @@ pub fn matching_figure(
     let mut speedups = Vec::new();
     for (sp, g) in &suite.graphs {
         let (base_ms, base) = time_min(reps, || {
-            maximal_matching(g, MmAlgorithm::Baseline, arch, seed)
+            maximal_matching_opts(g, MmAlgorithm::Baseline, arch, seed, &opts)
         });
         check_maximal_matching(g, &base.mate).expect("baseline matching invalid");
         let base_ms = effective_ms(arch, base_ms, &base.stats);
         let (bridge_ms, r) = time_min(reps, || {
-            maximal_matching(g, MmAlgorithm::Bridge, arch, seed)
+            maximal_matching_opts(g, MmAlgorithm::Bridge, arch, seed, &opts)
         });
         check_maximal_matching(g, &r.mate).expect("MM-Bridge invalid");
         let bridge_ms = effective_ms(arch, bridge_ms, &r.stats);
         let k = mm_rand_partitions(arch, sp);
         let (rand_ms, rand_run) = time_min(reps, || {
-            maximal_matching(g, MmAlgorithm::Rand { partitions: k }, arch, seed)
+            maximal_matching_opts(g, MmAlgorithm::Rand { partitions: k }, arch, seed, &opts)
         });
         check_maximal_matching(g, &rand_run.mate).expect("MM-Rand invalid");
         let rand_ms = effective_ms(arch, rand_ms, &rand_run.stats);
         let (degk_ms, r2) = time_min(reps, || {
-            maximal_matching(g, MmAlgorithm::Degk { k: 2 }, arch, seed)
+            maximal_matching_opts(g, MmAlgorithm::Degk { k: 2 }, arch, seed, &opts)
         });
         check_maximal_matching(g, &r2.mate).expect("MM-Degk invalid");
         let degk_ms = effective_ms(arch, degk_ms, &r2.stats);
@@ -174,10 +176,20 @@ pub fn matching_figure(
         dump_trace(
             trace_dir,
             &format!("fig3_{arch}_{}_baseline", sp.name),
-            |t| maximal_matching_traced(g, MmAlgorithm::Baseline, arch, seed, t),
+            |t| {
+                let topts = SolveOpts {
+                    trace: t,
+                    frontier: mode,
+                };
+                maximal_matching_opts(g, MmAlgorithm::Baseline, arch, seed, &topts)
+            },
         );
         dump_trace(trace_dir, &format!("fig3_{arch}_{}_rand", sp.name), |t| {
-            maximal_matching_traced(g, MmAlgorithm::Rand { partitions: k }, arch, seed, t)
+            let topts = SolveOpts {
+                trace: t,
+                frontier: mode,
+            };
+            maximal_matching_opts(g, MmAlgorithm::Rand { partitions: k }, arch, seed, &topts)
         });
 
         let speedup = base_ms / rand_ms;
@@ -206,7 +218,9 @@ pub fn coloring_figure(
     seed: u64,
     reps: usize,
     trace_dir: Option<&Path>,
+    mode: FrontierMode,
 ) -> (Table, Option<f64>) {
+    let opts = SolveOpts::with_mode(mode);
     let headline = match arch {
         Arch::Cpu => "degk speedup",
         Arch::GpuSim => "rand speedup",
@@ -227,23 +241,29 @@ pub fn coloring_figure(
     let mut speedups = Vec::new();
     for (sp, g) in &suite.graphs {
         let (base_ms, base) = time_min(reps, || {
-            vertex_coloring(g, ColorAlgorithm::Baseline, arch, seed)
+            vertex_coloring_opts(g, ColorAlgorithm::Baseline, arch, seed, &opts)
         });
         check_coloring(g, &base.color).expect("baseline coloring invalid");
         let base_ms = effective_ms(arch, base_ms, &base.stats);
         let (bridge_ms, rb) = time_min(reps, || {
-            vertex_coloring(g, ColorAlgorithm::Bridge, arch, seed)
+            vertex_coloring_opts(g, ColorAlgorithm::Bridge, arch, seed, &opts)
         });
         check_coloring(g, &rb.color).expect("COLOR-Bridge invalid");
         let bridge_ms = effective_ms(arch, bridge_ms, &rb.stats);
         let kp = color_rand_partitions(arch);
         let (rand_ms, rr) = time_min(reps, || {
-            vertex_coloring(g, ColorAlgorithm::Rand { partitions: kp }, arch, seed)
+            vertex_coloring_opts(
+                g,
+                ColorAlgorithm::Rand { partitions: kp },
+                arch,
+                seed,
+                &opts,
+            )
         });
         check_coloring(g, &rr.color).expect("COLOR-Rand invalid");
         let rand_ms = effective_ms(arch, rand_ms, &rr.stats);
         let (degk_ms, rd) = time_min(reps, || {
-            vertex_coloring(g, ColorAlgorithm::Degk { k: 2 }, arch, seed)
+            vertex_coloring_opts(g, ColorAlgorithm::Degk { k: 2 }, arch, seed, &opts)
         });
         check_coloring(g, &rd.color).expect("COLOR-Degk invalid");
         let degk_ms = effective_ms(arch, degk_ms, &rd.stats);
@@ -259,10 +279,20 @@ pub fn coloring_figure(
         dump_trace(
             trace_dir,
             &format!("fig4_{arch}_{}_baseline", sp.name),
-            |t| vertex_coloring_traced(g, ColorAlgorithm::Baseline, arch, seed, t),
+            |t| {
+                let topts = SolveOpts {
+                    trace: t,
+                    frontier: mode,
+                };
+                vertex_coloring_opts(g, ColorAlgorithm::Baseline, arch, seed, &topts)
+            },
         );
         dump_trace(trace_dir, &format!("fig4_{arch}_{}_winner", sp.name), |t| {
-            vertex_coloring_traced(g, winner_algo, arch, seed, t)
+            let topts = SolveOpts {
+                trace: t,
+                frontier: mode,
+            };
+            vertex_coloring_opts(g, winner_algo, arch, seed, &topts)
         });
         let speedup = base_ms / winner_ms;
         speedups.push(speedup);
@@ -289,7 +319,9 @@ pub fn mis_figure(
     seed: u64,
     reps: usize,
     trace_dir: Option<&Path>,
+    mode: FrontierMode,
 ) -> (Table, Option<f64>) {
+    let opts = SolveOpts::with_mode(mode);
     let mut t = Table::new(
         format!("Figure 5 ({arch}) — MIS time ({})", time_unit(arch)),
         &[
@@ -305,23 +337,23 @@ pub fn mis_figure(
     let mut speedups = Vec::new();
     for (sp, g) in &suite.graphs {
         let (base_ms, base) = time_min(reps, || {
-            maximal_independent_set(g, MisAlgorithm::Baseline, arch, seed)
+            maximal_independent_set_opts(g, MisAlgorithm::Baseline, arch, seed, &opts)
         });
         check_maximal_independent_set(g, &base.in_set).expect("LubyMIS invalid");
         let base_ms = effective_ms(arch, base_ms, &base.stats);
         let (bridge_ms, r) = time_min(reps, || {
-            maximal_independent_set(g, MisAlgorithm::Bridge, arch, seed)
+            maximal_independent_set_opts(g, MisAlgorithm::Bridge, arch, seed, &opts)
         });
         check_maximal_independent_set(g, &r.in_set).expect("MIS-Bridge invalid");
         let bridge_ms = effective_ms(arch, bridge_ms, &r.stats);
         let k = mis_rand_partitions(arch);
         let (rand_ms, r2) = time_min(reps, || {
-            maximal_independent_set(g, MisAlgorithm::Rand { partitions: k }, arch, seed)
+            maximal_independent_set_opts(g, MisAlgorithm::Rand { partitions: k }, arch, seed, &opts)
         });
         check_maximal_independent_set(g, &r2.in_set).expect("MIS-Rand invalid");
         let rand_ms = effective_ms(arch, rand_ms, &r2.stats);
         let (deg2_ms, r3) = time_min(reps, || {
-            maximal_independent_set(g, MisAlgorithm::Degk { k: 2 }, arch, seed)
+            maximal_independent_set_opts(g, MisAlgorithm::Degk { k: 2 }, arch, seed, &opts)
         });
         check_maximal_independent_set(g, &r3.in_set).expect("MIS-Deg2 invalid");
         let deg2_ms = effective_ms(arch, deg2_ms, &r3.stats);
@@ -329,10 +361,20 @@ pub fn mis_figure(
         dump_trace(
             trace_dir,
             &format!("fig5_{arch}_{}_baseline", sp.name),
-            |t| maximal_independent_set_traced(g, MisAlgorithm::Baseline, arch, seed, t),
+            |t| {
+                let topts = SolveOpts {
+                    trace: t,
+                    frontier: mode,
+                };
+                maximal_independent_set_opts(g, MisAlgorithm::Baseline, arch, seed, &topts)
+            },
         );
         dump_trace(trace_dir, &format!("fig5_{arch}_{}_deg2", sp.name), |t| {
-            maximal_independent_set_traced(g, MisAlgorithm::Degk { k: 2 }, arch, seed, t)
+            let topts = SolveOpts {
+                trace: t,
+                frontier: mode,
+            };
+            maximal_independent_set_opts(g, MisAlgorithm::Degk { k: 2 }, arch, seed, &topts)
         });
 
         let speedup = base_ms / deg2_ms;
@@ -355,7 +397,7 @@ pub fn mis_figure(
 
 /// Table I: best decomposition + average speedup per (problem, arch),
 /// assembled by running the three figures on both architectures.
-pub fn table1(suite: &Suite, seed: u64, reps: usize) -> Table {
+pub fn table1(suite: &Suite, seed: u64, reps: usize, mode: FrontierMode) -> Table {
     let mut t = Table::new(
         "Table I — summary (decomposition, avg speedup) per problem and arch",
         &[
@@ -368,12 +410,12 @@ pub fn table1(suite: &Suite, seed: u64, reps: usize) -> Table {
             "paper GPU",
         ],
     );
-    let (_, mm_cpu) = matching_figure(suite, Arch::Cpu, seed, reps, None);
-    let (_, mm_gpu) = matching_figure(suite, Arch::GpuSim, seed, reps, None);
-    let (_, col_cpu) = coloring_figure(suite, Arch::Cpu, seed, reps, None);
-    let (_, col_gpu) = coloring_figure(suite, Arch::GpuSim, seed, reps, None);
-    let (_, mis_cpu) = mis_figure(suite, Arch::Cpu, seed, reps, None);
-    let (_, mis_gpu) = mis_figure(suite, Arch::GpuSim, seed, reps, None);
+    let (_, mm_cpu) = matching_figure(suite, Arch::Cpu, seed, reps, None, mode);
+    let (_, mm_gpu) = matching_figure(suite, Arch::GpuSim, seed, reps, None, mode);
+    let (_, col_cpu) = coloring_figure(suite, Arch::Cpu, seed, reps, None, mode);
+    let (_, col_gpu) = coloring_figure(suite, Arch::GpuSim, seed, reps, None, mode);
+    let (_, mis_cpu) = mis_figure(suite, Arch::Cpu, seed, reps, None, mode);
+    let (_, mis_gpu) = mis_figure(suite, Arch::GpuSim, seed, reps, None, mode);
     let f = |x: Option<f64>| x.map_or("-".into(), fmt_x);
     t.row(vec![
         "MM".into(),
@@ -437,20 +479,24 @@ mod tests {
     #[test]
     fn matching_figure_verifies_and_reports() {
         let suite = tiny_suite("webbase");
-        let (t, avg) = matching_figure(&suite, Arch::Cpu, 3, 1, None);
-        assert_eq!(t.rows.len(), 1);
-        assert!(avg.unwrap() > 0.0);
+        for mode in [FrontierMode::Dense, FrontierMode::Compact] {
+            let (t, avg) = matching_figure(&suite, Arch::Cpu, 3, 1, None, mode);
+            assert_eq!(t.rows.len(), 1);
+            assert!(avg.unwrap() > 0.0);
+        }
     }
 
     #[test]
     fn coloring_and_mis_figures_run_gpu() {
         let suite = tiny_suite("coAuthors");
-        let (t, s) = coloring_figure(&suite, Arch::GpuSim, 3, 1, None);
-        assert_eq!(t.rows.len(), 1);
-        assert!(s.unwrap() > 0.0);
-        let (t, s) = mis_figure(&suite, Arch::GpuSim, 3, 1, None);
-        assert_eq!(t.rows.len(), 1);
-        assert!(s.unwrap() > 0.0);
+        for mode in [FrontierMode::Dense, FrontierMode::Compact] {
+            let (t, s) = coloring_figure(&suite, Arch::GpuSim, 3, 1, None, mode);
+            assert_eq!(t.rows.len(), 1);
+            assert!(s.unwrap() > 0.0);
+            let (t, s) = mis_figure(&suite, Arch::GpuSim, 3, 1, None, mode);
+            assert_eq!(t.rows.len(), 1);
+            assert!(s.unwrap() > 0.0);
+        }
     }
 
     #[test]
@@ -458,7 +504,7 @@ mod tests {
         let dir = std::env::temp_dir().join("sb-bench-test-traces");
         std::fs::remove_dir_all(&dir).ok();
         let suite = tiny_suite("lp1");
-        let _ = matching_figure(&suite, Arch::Cpu, 3, 1, Some(&dir));
+        let _ = matching_figure(&suite, Arch::Cpu, 3, 1, Some(&dir), FrontierMode::Compact);
         let base = dir.join("fig3_cpu_lp1_baseline.jsonl");
         let rand = dir.join("fig3_cpu_lp1_rand.jsonl");
         for p in [&base, &rand] {
@@ -479,7 +525,7 @@ mod tests {
         };
         cfg.arch = Arch::GpuSim;
         let suite = load_suite(&cfg);
-        let (_, avg) = mis_figure(&suite, Arch::GpuSim, 1, 1, None);
+        let (_, avg) = mis_figure(&suite, Arch::GpuSim, 1, 1, None, FrontierMode::Compact);
         assert!(avg.is_none());
     }
 }

@@ -1,7 +1,7 @@
 //! Decomposition-based coloring (Algorithms 7–9 of the paper).
 
 use super::{eb, vb, vb_window, ColoringRun};
-use crate::common::{counters_for, Arch, RunStats};
+use crate::common::{counters_for_opts, Arch, FrontierMode, RunStats, SolveOpts};
 use crate::matching::materialize_for_gpu;
 use rayon::prelude::*;
 use sb_decompose::bicc::decompose_bicc;
@@ -12,14 +12,17 @@ use sb_graph::csr::{Graph, VertexId, INVALID};
 use sb_graph::view::EdgeView;
 use sb_par::bsp::BspExecutor;
 use sb_par::counters::{Counters, Stopwatch};
+use sb_par::frontier::Scratch;
 use sb_trace::TraceSink;
 use std::sync::Arc;
 
 /// Color the vertices of `worklist` against the edges of `view`, with the
 /// architecture's baseline, drawing colors from `base` upward using a
 /// FORBIDDEN window of `window` entries (CPU/VB only; EB's window is its
-/// 32-bit mask). GPU phases over a filtered view materialize the piece
-/// first (streaming is cheap on-device; see `matching::base_extend`).
+/// 32-bit mask). In `Dense` mode GPU phases over a filtered view
+/// materialize the piece first (streaming is cheap on-device; see
+/// `matching::base_extend`); in `Compact` mode both architectures run
+/// worklist-compacted solvers zero-copy against the masked view.
 #[allow(clippy::too_many_arguments)]
 fn base_color_extend(
     g: &Graph,
@@ -30,10 +33,17 @@ fn base_color_extend(
     window: usize,
     arch: Arch,
     counters: &Counters,
+    mode: FrontierMode,
+    scratch: &mut Scratch,
 ) {
-    match arch {
-        Arch::Cpu => vb::vb_extend(g, view, color, worklist, window, base, counters),
-        Arch::GpuSim => {
+    match (arch, mode) {
+        (Arch::Cpu, FrontierMode::Dense) => {
+            vb::vb_extend(g, view, color, worklist, window, base, counters)
+        }
+        (Arch::Cpu, FrontierMode::Compact) => {
+            vb::vb_extend_frontier(g, view, color, worklist, window, base, counters, scratch)
+        }
+        (Arch::GpuSim, FrontierMode::Dense) => {
             let exec = BspExecutor::inheriting(counters);
             if view.is_full() {
                 eb::eb_extend(g, EdgeView::full(), color, worklist, base, &exec);
@@ -41,6 +51,11 @@ fn base_color_extend(
                 let sub = materialize_for_gpu(g, view, exec.counters());
                 eb::eb_extend(&sub, EdgeView::full(), color, worklist, base, &exec);
             }
+            counters.merge(exec.counters());
+        }
+        (Arch::GpuSim, FrontierMode::Compact) => {
+            let exec = BspExecutor::inheriting(counters);
+            eb::eb_extend_frontier(g, view, color, worklist, base, &exec, scratch);
             counters.merge(exec.counters());
         }
     }
@@ -55,10 +70,16 @@ pub fn baseline_run(g: &Graph, arch: Arch, seed: u64) -> ColoringRun {
 pub fn baseline_run_traced(
     g: &Graph,
     arch: Arch,
-    _seed: u64,
+    seed: u64,
     trace: Option<Arc<TraceSink>>,
 ) -> ColoringRun {
-    let counters = counters_for(trace);
+    baseline_run_opts(g, arch, seed, &SolveOpts::traced(trace))
+}
+
+/// [`baseline_run`] with full per-run options.
+pub fn baseline_run_opts(g: &Graph, arch: Arch, _seed: u64, opts: &SolveOpts) -> ColoringRun {
+    let counters = counters_for_opts(opts);
+    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let mut color = vec![INVALID; g.num_vertices()];
     {
@@ -72,6 +93,8 @@ pub fn baseline_run_traced(
             vb_window(g),
             arch,
             &counters,
+            opts.frontier,
+            &mut scratch,
         );
     }
     let solve_time = sw.elapsed();
@@ -129,7 +152,13 @@ pub fn color_bridge_traced(
     seed: u64,
     trace: Option<Arc<TraceSink>>,
 ) -> ColoringRun {
-    let counters = counters_for(trace);
+    color_bridge_opts(g, arch, seed, &SolveOpts::traced(trace))
+}
+
+/// [`color_bridge`] with full per-run options.
+pub fn color_bridge_opts(g: &Graph, arch: Arch, seed: u64, opts: &SolveOpts) -> ColoringRun {
+    let counters = counters_for_opts(opts);
+    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let d = {
         let _span = counters.phase("decompose");
@@ -150,6 +179,8 @@ pub fn color_bridge_traced(
             vb_window(g),
             arch,
             &counters,
+            opts.frontier,
+            &mut scratch,
         );
     }
     let _ = seed;
@@ -167,6 +198,8 @@ pub fn color_bridge_traced(
             vb_window(g),
             arch,
             &counters,
+            opts.frontier,
+            &mut scratch,
         );
     }
     let solve_time = sw.elapsed();
@@ -193,7 +226,19 @@ pub fn color_rand_traced(
     seed: u64,
     trace: Option<Arc<TraceSink>>,
 ) -> ColoringRun {
-    let counters = counters_for(trace);
+    color_rand_opts(g, partitions, arch, seed, &SolveOpts::traced(trace))
+}
+
+/// [`color_rand`] with full per-run options.
+pub fn color_rand_opts(
+    g: &Graph,
+    partitions: usize,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+) -> ColoringRun {
+    let counters = counters_for_opts(opts);
+    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let d = {
         let _span = counters.phase("decompose");
@@ -214,6 +259,8 @@ pub fn color_rand_traced(
             vb_window(g),
             arch,
             &counters,
+            opts.frontier,
+            &mut scratch,
         );
     }
     // Only cross edges can conflict.
@@ -229,6 +276,8 @@ pub fn color_rand_traced(
             vb_window(g),
             arch,
             &counters,
+            opts.frontier,
+            &mut scratch,
         );
     }
     let solve_time = sw.elapsed();
@@ -257,7 +306,19 @@ pub fn color_degk_traced(
     seed: u64,
     trace: Option<Arc<TraceSink>>,
 ) -> ColoringRun {
-    let counters = counters_for(trace);
+    color_degk_opts(g, k, arch, seed, &SolveOpts::traced(trace))
+}
+
+/// [`color_degk`] with full per-run options.
+pub fn color_degk_opts(
+    g: &Graph,
+    k: usize,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+) -> ColoringRun {
+    let counters = counters_for_opts(opts);
+    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let d = {
         let _span = counters.phase("decompose");
@@ -287,6 +348,8 @@ pub fn color_degk_traced(
             high_window,
             arch,
             &counters,
+            opts.frontier,
+            &mut scratch,
         );
     }
     {
@@ -309,6 +372,8 @@ pub fn color_degk_traced(
             k + 1,
             arch,
             &counters,
+            opts.frontier,
+            &mut scratch,
         );
     }
     let solve_time = sw.elapsed();
@@ -337,7 +402,13 @@ pub fn color_bicc_traced(
     seed: u64,
     trace: Option<Arc<TraceSink>>,
 ) -> ColoringRun {
-    let counters = counters_for(trace);
+    color_bicc_opts(g, arch, seed, &SolveOpts::traced(trace))
+}
+
+/// [`color_bicc`] with full per-run options.
+pub fn color_bicc_opts(g: &Graph, arch: Arch, seed: u64, opts: &SolveOpts) -> ColoringRun {
+    let counters = counters_for_opts(opts);
+    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let d = {
         let _span = counters.phase("decompose");
@@ -365,6 +436,8 @@ pub fn color_bicc_traced(
             vb_window(g),
             arch,
             &counters,
+            opts.frontier,
+            &mut scratch,
         );
     }
     {
@@ -381,6 +454,8 @@ pub fn color_bicc_traced(
             vb_window(g),
             arch,
             &counters,
+            opts.frontier,
+            &mut scratch,
         );
     }
     let solve_time = sw.elapsed();

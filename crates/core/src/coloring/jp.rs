@@ -93,7 +93,7 @@ pub fn jp_color_ordered(
     let keys = priorities(g, ordering, seed, counters);
     let prio = |v: VertexId| (keys[v as usize], v);
     let mut color = vec![INVALID; n];
-    let mut work: Vec<VertexId> = g.vertices().collect();
+    let mut work = sb_par::frontier::Frontier::from_vec(g.vertices().collect());
 
     while !work.is_empty() {
         let round = counters.round_scope(work.len() as u64);
@@ -105,6 +105,7 @@ pub fn jp_color_ordered(
             // Double-buffered decision: only local maxima among uncolored
             // neighbors color themselves, so no conflicts can arise.
             let decided: Vec<(VertexId, u32)> = work
+                .as_slice()
                 .par_iter()
                 .filter_map(|&v| {
                     counters.add_edges(g.degree(v) as u64);
@@ -136,7 +137,12 @@ pub fn jp_color_ordered(
                 color_at[v as usize].store(c, Ordering::Relaxed);
             }
         }
-        work.retain(|&v| color[v as usize] == INVALID);
+        {
+            // Parallel ping-pong compaction in place of the sequential
+            // `Vec::retain`; order-stable, so output is unchanged.
+            let color_ro: &[u32] = &color;
+            work.compact(|v| color_ro[v as usize] == INVALID);
+        }
         counters.finish_round(round, || (before - work.len()) as u64);
     }
     color

@@ -16,7 +16,7 @@ pub mod eb;
 pub mod jp;
 pub mod vb;
 
-use crate::common::{Arch, RunStats};
+use crate::common::{Arch, RunStats, SolveOpts};
 use sb_graph::csr::Graph;
 
 /// Which coloring algorithm to run.
@@ -74,14 +74,27 @@ pub fn vertex_coloring_traced(
     seed: u64,
     trace: Option<std::sync::Arc<sb_trace::TraceSink>>,
 ) -> ColoringRun {
+    vertex_coloring_opts(g, algo, arch, seed, &SolveOpts::traced(trace))
+}
+
+/// [`vertex_coloring`] with full per-run options: trace sink and frontier
+/// mode (dense full-sweep rounds vs compacted worklists — see
+/// [`crate::common::FrontierMode`]).
+pub fn vertex_coloring_opts(
+    g: &Graph,
+    algo: ColorAlgorithm,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+) -> ColoringRun {
     match algo {
-        ColorAlgorithm::Baseline => decomp::baseline_run_traced(g, arch, seed, trace),
-        ColorAlgorithm::Bridge => decomp::color_bridge_traced(g, arch, seed, trace),
+        ColorAlgorithm::Baseline => decomp::baseline_run_opts(g, arch, seed, opts),
+        ColorAlgorithm::Bridge => decomp::color_bridge_opts(g, arch, seed, opts),
         ColorAlgorithm::Rand { partitions } => {
-            decomp::color_rand_traced(g, partitions, arch, seed, trace)
+            decomp::color_rand_opts(g, partitions, arch, seed, opts)
         }
-        ColorAlgorithm::Degk { k } => decomp::color_degk_traced(g, k, arch, seed, trace),
-        ColorAlgorithm::Bicc => decomp::color_bicc_traced(g, arch, seed, trace),
+        ColorAlgorithm::Degk { k } => decomp::color_degk_opts(g, k, arch, seed, opts),
+        ColorAlgorithm::Bicc => decomp::color_bicc_opts(g, arch, seed, opts),
     }
 }
 

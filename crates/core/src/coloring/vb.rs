@@ -18,6 +18,7 @@ use sb_graph::csr::{Graph, VertexId, INVALID};
 use sb_graph::view::EdgeView;
 use sb_par::atomic::as_atomic_u32;
 use sb_par::counters::Counters;
+use sb_par::frontier::Scratch;
 use std::sync::atomic::Ordering;
 
 /// Color every vertex in `worklist` (which must currently be uncolored),
@@ -118,6 +119,106 @@ pub fn vb_extend(
         work = next;
         counters.finish_round(round, || (before - work.len()) as u64);
     }
+}
+
+/// Frontier form of [`vb_extend`]: the same speculative rounds over a
+/// ping-pong compacted worklist, with the per-call `offset` array borrowed
+/// from `scratch` instead of freshly allocated.
+///
+/// The round logic is statement-for-statement the dense form's (speculate,
+/// bump saturated windows, keep conflicted vertices); the only change is
+/// that the retry worklist is produced by [`sb_par::Frontier::compact`]
+/// rather than a fresh `collect`. On one thread the outputs are
+/// byte-identical to [`vb_extend`]; across threads VB is the documented
+/// interleaving-dependent exception (it reads live colors), in both modes.
+#[allow(clippy::too_many_arguments)]
+pub fn vb_extend_frontier(
+    g: &Graph,
+    view: EdgeView<'_>,
+    color: &mut [u32],
+    worklist: Vec<VertexId>,
+    window: usize,
+    base: u32,
+    counters: &Counters,
+    scratch: &mut Scratch,
+) {
+    assert!(window >= 1);
+    assert_eq!(color.len(), g.num_vertices());
+    let mut work = scratch.take_frontier();
+    work.reset_from(&worklist);
+    let mut offset = scratch.take_u32(g.num_vertices(), base);
+
+    while !work.is_empty() {
+        let round = counters.round_scope(work.len() as u64);
+        let before = work.len();
+        counters.add_rounds(1);
+        counters.add_work(work.len() as u64);
+        {
+            let color_at = as_atomic_u32(color);
+
+            // Speculative coloring pass (identical to the dense form).
+            work.as_slice().par_iter().for_each(|&v| {
+                counters.add_edges(g.degree(v) as u64);
+                let off = offset[v as usize];
+                let words = window.div_ceil(64);
+                let mut forb = [0u64; 4];
+                let mut heap_forb;
+                let forb: &mut [u64] = if words <= 4 {
+                    &mut forb[..words]
+                } else {
+                    heap_forb = vec![0u64; words];
+                    &mut heap_forb
+                };
+                for (w, _) in view.arcs(g, v) {
+                    let c = color_at[w as usize].load(Ordering::Relaxed);
+                    if c != INVALID && c >= off {
+                        let d = (c - off) as usize;
+                        if d < window {
+                            forb[d / 64] |= 1 << (d % 64);
+                        }
+                    }
+                }
+                let mut pick = INVALID;
+                for (wi, &word) in forb.iter().enumerate() {
+                    let limit = (window - wi * 64).min(64);
+                    let b = (!word).trailing_zeros() as usize;
+                    if b < limit {
+                        pick = off + (wi * 64 + b) as u32;
+                        break;
+                    }
+                }
+                color_at[v as usize].store(pick, Ordering::Relaxed);
+            });
+        }
+
+        // Window bump for saturated vertices.
+        for &v in work.as_slice() {
+            if color[v as usize] == INVALID {
+                offset[v as usize] += window as u32;
+            }
+        }
+
+        // Conflict detection by frontier compaction over the unmodified
+        // colors, then uncolor the survivors — the same reads and writes
+        // the dense form performs via filter-collect.
+        {
+            let color_ref: &[u32] = color;
+            work.compact(|v| {
+                let c = color_ref[v as usize];
+                if c == INVALID {
+                    return true; // window saturated, retry with bumped offset
+                }
+                view.arcs(g, v)
+                    .any(|(w, _)| color_ref[w as usize] == c && w > v)
+            });
+        }
+        for &v in work.as_slice() {
+            color[v as usize] = INVALID;
+        }
+        counters.finish_round(round, || (before - work.len()) as u64);
+    }
+    scratch.recycle_u32(offset);
+    scratch.recycle_frontier(work);
 }
 
 /// Fresh VB coloring of the whole graph with the paper's CPU window size

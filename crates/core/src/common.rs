@@ -29,6 +29,76 @@ impl std::fmt::Display for Arch {
     }
 }
 
+/// How a solver's synchronous round loop tracks its live set.
+///
+/// `Dense` is the paper-faithful formulation: every round sweeps the full
+/// participant list fixed at entry, skipping decided vertices with an O(1)
+/// status check. `Compact` keeps the live set as a flat worklist compacted
+/// between rounds (`sb_par::frontier`), borrows its per-call working arrays
+/// from a scratch arena, and — on the GPU-sim pipeline — runs masked solves
+/// directly against the zero-copy `EdgeView` instead of materializing an
+/// induced CSR. Both modes produce valid solutions; for GM / LMAX / Luby /
+/// VB the outputs are byte-identical (pinned by `tests/frontier.rs`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum FrontierMode {
+    /// Full-sweep rounds over a participant list fixed at entry.
+    Dense,
+    /// Worklist compaction between rounds + scratch-arena buffer reuse.
+    #[default]
+    Compact,
+}
+
+impl std::fmt::Display for FrontierMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrontierMode::Dense => write!(f, "dense"),
+            FrontierMode::Compact => write!(f, "compact"),
+        }
+    }
+}
+
+impl std::str::FromStr for FrontierMode {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "dense" => Ok(FrontierMode::Dense),
+            "compact" => Ok(FrontierMode::Compact),
+            other => Err(format!(
+                "frontier mode must be dense or compact, got '{other}'"
+            )),
+        }
+    }
+}
+
+/// Per-run options shared by the `*_opts` solver entry points.
+#[derive(Debug, Clone, Default)]
+pub struct SolveOpts {
+    /// Trace sink for phase spans and round records (`None` = untraced).
+    pub trace: Option<Arc<TraceSink>>,
+    /// Live-set strategy for every round loop in the run.
+    pub frontier: FrontierMode,
+}
+
+impl SolveOpts {
+    /// Options for a traced run in the default (compact) mode — what the
+    /// legacy `*_traced` entry points construct.
+    pub fn traced(trace: Option<Arc<TraceSink>>) -> SolveOpts {
+        SolveOpts {
+            trace,
+            ..SolveOpts::default()
+        }
+    }
+
+    /// Options for an untraced run in the given mode.
+    pub fn with_mode(frontier: FrontierMode) -> SolveOpts {
+        SolveOpts {
+            trace: None,
+            frontier,
+        }
+    }
+}
+
 /// Timing and work breakdown of one solver run, reported next to every
 /// result so benches can separate decomposition cost from solve cost —
 /// the distinction Figures 2–5 of the paper turn on.
@@ -80,6 +150,12 @@ impl RunStats {
     pub fn modeled_gpu_ms(&self) -> f64 {
         sb_par::counters::GpuCostModel::K40C.modeled_ms(&self.counters)
     }
+}
+
+/// Counter block for one run's options: reporting into the options' sink
+/// when tracing was requested, plain otherwise.
+pub(crate) fn counters_for_opts(opts: &SolveOpts) -> Counters {
+    counters_for(opts.trace.clone())
 }
 
 /// Counter block for one run: reporting into `sink` when tracing was

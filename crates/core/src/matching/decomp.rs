@@ -7,7 +7,7 @@
 //! phases.
 
 use super::{base_extend, fresh_mate, MatchingRun};
-use crate::common::{counters_for, Arch, RunStats};
+use crate::common::{counters_for_opts, Arch, RunStats, SolveOpts};
 use sb_decompose::bicc::decompose_bicc;
 use sb_decompose::bridge::decompose_bridge;
 use sb_decompose::degk::decompose_degk;
@@ -15,6 +15,7 @@ use sb_decompose::rand_part::decompose_rand;
 use sb_graph::csr::{Graph, INVALID};
 use sb_graph::view::EdgeView;
 use sb_par::counters::Stopwatch;
+use sb_par::frontier::Scratch;
 use sb_trace::TraceSink;
 use std::sync::Arc;
 
@@ -31,12 +32,28 @@ pub fn baseline_run_traced(
     seed: u64,
     trace: Option<Arc<TraceSink>>,
 ) -> MatchingRun {
-    let counters = counters_for(trace);
+    baseline_run_opts(g, arch, seed, &SolveOpts::traced(trace))
+}
+
+/// [`baseline_run`] with full per-run options.
+pub fn baseline_run_opts(g: &Graph, arch: Arch, seed: u64, opts: &SolveOpts) -> MatchingRun {
+    let counters = counters_for_opts(opts);
+    let mut scratch = Scratch::new();
     let mut mate = fresh_mate(g.num_vertices());
     let sw = Stopwatch::start();
     {
         let _span = counters.phase("solve");
-        base_extend(g, EdgeView::full(), &mut mate, None, arch, seed, &counters);
+        base_extend(
+            g,
+            EdgeView::full(),
+            &mut mate,
+            None,
+            arch,
+            seed,
+            &counters,
+            opts.frontier,
+            &mut scratch,
+        );
     }
     let solve_time = sw.elapsed();
     MatchingRun {
@@ -60,7 +77,13 @@ pub fn mm_bridge_traced(
     seed: u64,
     trace: Option<Arc<TraceSink>>,
 ) -> MatchingRun {
-    let counters = counters_for(trace);
+    mm_bridge_opts(g, arch, seed, &SolveOpts::traced(trace))
+}
+
+/// [`mm_bridge`] with full per-run options.
+pub fn mm_bridge_opts(g: &Graph, arch: Arch, seed: u64, opts: &SolveOpts) -> MatchingRun {
+    let counters = counters_for_opts(opts);
+    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let d = {
         let _span = counters.phase("decompose");
@@ -81,6 +104,8 @@ pub fn mm_bridge_traced(
             arch,
             seed,
             &counters,
+            opts.frontier,
+            &mut scratch,
         );
     }
     // Phase 2: M_b on G[V'], V' = unmatched bridge vertices.
@@ -100,6 +125,8 @@ pub fn mm_bridge_traced(
             arch,
             seed ^ 1,
             &counters,
+            opts.frontier,
+            &mut scratch,
         );
     }
     let solve_time = sw.elapsed();
@@ -126,7 +153,19 @@ pub fn mm_rand_traced(
     seed: u64,
     trace: Option<Arc<TraceSink>>,
 ) -> MatchingRun {
-    let counters = counters_for(trace);
+    mm_rand_opts(g, partitions, arch, seed, &SolveOpts::traced(trace))
+}
+
+/// [`mm_rand`] with full per-run options.
+pub fn mm_rand_opts(
+    g: &Graph,
+    partitions: usize,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+) -> MatchingRun {
+    let counters = counters_for_opts(opts);
+    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let d = {
         let _span = counters.phase("decompose");
@@ -147,6 +186,8 @@ pub fn mm_rand_traced(
             arch,
             seed ^ 2,
             &counters,
+            opts.frontier,
+            &mut scratch,
         );
     }
     // Phase 2: M_{k+1} on the unmatched part of G_{k+1} (the solver skips
@@ -161,6 +202,8 @@ pub fn mm_rand_traced(
             arch,
             seed ^ 3,
             &counters,
+            opts.frontier,
+            &mut scratch,
         );
     }
     let solve_time = sw.elapsed();
@@ -187,7 +230,13 @@ pub fn mm_degk_traced(
     seed: u64,
     trace: Option<Arc<TraceSink>>,
 ) -> MatchingRun {
-    let counters = counters_for(trace);
+    mm_degk_opts(g, k, arch, seed, &SolveOpts::traced(trace))
+}
+
+/// [`mm_degk`] with full per-run options.
+pub fn mm_degk_opts(g: &Graph, k: usize, arch: Arch, seed: u64, opts: &SolveOpts) -> MatchingRun {
+    let counters = counters_for_opts(opts);
+    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let d = {
         let _span = counters.phase("decompose");
@@ -200,7 +249,17 @@ pub fn mm_degk_traced(
     // Phase 1: M_H on G_H.
     {
         let _span = counters.phase("induced-solve");
-        base_extend(g, d.high_view(), &mut mate, None, arch, seed ^ 4, &counters);
+        base_extend(
+            g,
+            d.high_view(),
+            &mut mate,
+            None,
+            arch,
+            seed ^ 4,
+            &counters,
+            opts.frontier,
+            &mut scratch,
+        );
     }
     // Phase 2: M_LC on G_LC = G_L ∪ G_C (every edge with a low endpoint —
     // the low-degree fringe).
@@ -214,6 +273,8 @@ pub fn mm_degk_traced(
             arch,
             seed ^ 5,
             &counters,
+            opts.frontier,
+            &mut scratch,
         );
     }
     let solve_time = sw.elapsed();
@@ -241,7 +302,13 @@ pub fn mm_bicc_traced(
     seed: u64,
     trace: Option<Arc<TraceSink>>,
 ) -> MatchingRun {
-    let counters = counters_for(trace);
+    mm_bicc_opts(g, arch, seed, &SolveOpts::traced(trace))
+}
+
+/// [`mm_bicc`] with full per-run options.
+pub fn mm_bicc_opts(g: &Graph, arch: Arch, seed: u64, opts: &SolveOpts) -> MatchingRun {
+    let counters = counters_for_opts(opts);
+    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let d = {
         let _span = counters.phase("decompose");
@@ -263,6 +330,8 @@ pub fn mm_bicc_traced(
             arch,
             seed,
             &counters,
+            opts.frontier,
+            &mut scratch,
         );
     }
     // Phase 2: extend over the articulation vertices.
@@ -276,6 +345,8 @@ pub fn mm_bicc_traced(
             arch,
             seed ^ 1,
             &counters,
+            opts.frontier,
+            &mut scratch,
         );
     }
     let solve_time = sw.elapsed();

@@ -17,6 +17,7 @@ use sb_graph::csr::{Graph, INVALID};
 use sb_graph::view::EdgeView;
 use sb_par::atomic::as_atomic_u32;
 use sb_par::bsp::BspExecutor;
+use sb_par::frontier::Scratch;
 use sb_par::rng::hash2;
 use std::sync::atomic::Ordering;
 
@@ -113,6 +114,107 @@ pub fn lmax_extend(
             break;
         }
     }
+}
+
+/// Frontier form of [`lmax_extend`]: the same point/match kernels per
+/// round, launched over a compacted worklist of still-unmatched
+/// participants, with the `pointer` array borrowed from `scratch`.
+///
+/// Byte-identical to [`lmax_extend`] for any seed and thread count: edge
+/// weights are keyed by edge id (unaffected by compaction), and a kernel-2
+/// read of `pointer[p]` only ever targets a vertex that was unmatched at
+/// round start — i.e. a frontier member with a fresh kernel-1 pointer — so
+/// the stale pointers of matched vertices are never consulted. The round
+/// structure (including the final no-pointer round that terminates the
+/// dense loop) is preserved exactly; compaction is charged as a third
+/// kernel over the live set.
+pub fn lmax_extend_frontier(
+    g: &Graph,
+    view: EdgeView<'_>,
+    mate: &mut [u32],
+    allowed: Option<&[bool]>,
+    seed: u64,
+    exec: &BspExecutor,
+    scratch: &mut Scratch,
+) {
+    let n = g.num_vertices();
+    assert_eq!(mate.len(), n);
+    let allow = |v: usize| allowed.is_none_or(|a| a[v]);
+    let weight = |e: u32| (hash2(seed, e as u64), e);
+
+    let mut live = scratch.take_frontier();
+    {
+        let mate_ro: &[u32] = mate;
+        live.reset_range(n, |v| {
+            mate_ro[v as usize] == INVALID && allow(v as usize) && view.has_arc(g, v)
+        });
+    }
+    let mut pointer = scratch.take_u32(n, INVALID);
+    let counters = exec.counters();
+
+    while !live.is_empty() {
+        // Every live vertex is unmatched by the frontier invariant, so the
+        // dense form's tracing-only unmatched count is just the live count.
+        let active = live.len() as u64;
+        let scope = counters.round_scope(active);
+        let any_pointer;
+        {
+            let mate_at = as_atomic_u32(mate);
+            let ptr_at = as_atomic_u32(&mut pointer);
+
+            // Kernel 1: point at the heaviest live incident edge.
+            let flag = std::sync::atomic::AtomicBool::new(false);
+            exec.kernel_over(live.as_slice(), |v| {
+                exec.counters().add_edges(g.degree(v) as u64);
+                let mut best = INVALID;
+                let mut best_key = (0u64, 0u32);
+                let mut first = true;
+                for (w, e) in view.arcs(g, v) {
+                    if mate_at[w as usize].load(Ordering::Relaxed) == INVALID && allow(w as usize) {
+                        let key = weight(e);
+                        if first || key > best_key {
+                            best_key = key;
+                            best = w;
+                            first = false;
+                        }
+                    }
+                }
+                ptr_at[v as usize].store(best, Ordering::Relaxed);
+                if best != INVALID {
+                    flag.store(true, Ordering::Relaxed);
+                }
+            });
+            any_pointer = flag.load(Ordering::Relaxed);
+
+            // Kernel 2: mutual pointers match.
+            if any_pointer {
+                exec.kernel_over(live.as_slice(), |v| {
+                    if mate_at[v as usize].load(Ordering::Relaxed) != INVALID {
+                        return;
+                    }
+                    let p = ptr_at[v as usize].load(Ordering::Relaxed);
+                    if p != INVALID && v < p && ptr_at[p as usize].load(Ordering::Relaxed) == v {
+                        mate_at[v as usize].store(p, Ordering::Relaxed);
+                        mate_at[p as usize].store(v, Ordering::Relaxed);
+                    }
+                });
+            }
+        }
+        if any_pointer {
+            // Kernel 3: frontier compaction (the dense form instead rescans
+            // the full participant list inside the next kernel 1).
+            exec.counters().add_kernel(live.len() as u64);
+            let mate_ro: &[u32] = mate;
+            live.compact(|v| mate_ro[v as usize] == INVALID);
+        }
+        exec.end_round();
+        counters.finish_round(scope, || active - live.len() as u64);
+        if !any_pointer {
+            break;
+        }
+    }
+    scratch.recycle_u32(pointer);
+    scratch.recycle_frontier(live);
 }
 
 #[cfg(test)]

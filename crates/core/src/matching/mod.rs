@@ -15,11 +15,12 @@ pub mod gm;
 pub mod ii;
 pub mod lmax;
 
-use crate::common::{Arch, RunStats};
+use crate::common::{Arch, FrontierMode, RunStats, SolveOpts};
 use sb_graph::csr::{Graph, INVALID};
 use sb_graph::view::EdgeView;
 use sb_par::bsp::BspExecutor;
 use sb_par::counters::Counters;
+use sb_par::frontier::Scratch;
 
 /// Which maximal-matching algorithm to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -78,14 +79,25 @@ pub fn maximal_matching_traced(
     seed: u64,
     trace: Option<std::sync::Arc<sb_trace::TraceSink>>,
 ) -> MatchingRun {
+    maximal_matching_opts(g, algo, arch, seed, &SolveOpts::traced(trace))
+}
+
+/// [`maximal_matching`] with full per-run options: trace sink and frontier
+/// mode (dense full-sweep rounds vs compacted worklists — see
+/// [`crate::common::FrontierMode`]).
+pub fn maximal_matching_opts(
+    g: &Graph,
+    algo: MmAlgorithm,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+) -> MatchingRun {
     match algo {
-        MmAlgorithm::Baseline => decomp::baseline_run_traced(g, arch, seed, trace),
-        MmAlgorithm::Bridge => decomp::mm_bridge_traced(g, arch, seed, trace),
-        MmAlgorithm::Rand { partitions } => {
-            decomp::mm_rand_traced(g, partitions, arch, seed, trace)
-        }
-        MmAlgorithm::Degk { k } => decomp::mm_degk_traced(g, k, arch, seed, trace),
-        MmAlgorithm::Bicc => decomp::mm_bicc_traced(g, arch, seed, trace),
+        MmAlgorithm::Baseline => decomp::baseline_run_opts(g, arch, seed, opts),
+        MmAlgorithm::Bridge => decomp::mm_bridge_opts(g, arch, seed, opts),
+        MmAlgorithm::Rand { partitions } => decomp::mm_rand_opts(g, partitions, arch, seed, opts),
+        MmAlgorithm::Degk { k } => decomp::mm_degk_opts(g, k, arch, seed, opts),
+        MmAlgorithm::Bicc => decomp::mm_bicc_opts(g, arch, seed, opts),
     }
 }
 
@@ -99,6 +111,14 @@ pub fn maximal_matching_traced(
 /// streaming passes, whereas per-arc class checks inside the solver's
 /// kernels would be gathers; the materialization work is charged to the
 /// counters (and hence to the modeled device time).
+/// In `Compact` mode the GPU pipeline instead runs the frontier LMAX
+/// zero-copy against the masked view: per-arc admit checks ride along the
+/// already-compacted worklist sweeps, so no induced CSR is built. Note the
+/// compact GPU result on a *masked* view is a (deterministic, valid)
+/// maximal matching that may differ bit-for-bit from the dense path's,
+/// because LMAX weights are keyed by edge id and materialization renumbers
+/// edges; the dense path is byte-stable versus earlier releases.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn base_extend(
     g: &Graph,
     view: EdgeView<'_>,
@@ -107,10 +127,15 @@ pub(crate) fn base_extend(
     arch: Arch,
     seed: u64,
     counters: &Counters,
+    mode: FrontierMode,
+    scratch: &mut Scratch,
 ) {
-    match arch {
-        Arch::Cpu => gm::gm_extend(g, view, mate, allowed, counters),
-        Arch::GpuSim => {
+    match (arch, mode) {
+        (Arch::Cpu, FrontierMode::Dense) => gm::gm_extend(g, view, mate, allowed, counters),
+        (Arch::Cpu, FrontierMode::Compact) => {
+            gm::gm_extend_frontier(g, view, mate, allowed, counters, scratch)
+        }
+        (Arch::GpuSim, FrontierMode::Dense) => {
             let exec = BspExecutor::inheriting(counters);
             if view.is_full() {
                 lmax::lmax_extend(g, EdgeView::full(), mate, allowed, seed, &exec);
@@ -118,6 +143,11 @@ pub(crate) fn base_extend(
                 let sub = materialize_for_gpu(g, view, exec.counters());
                 lmax::lmax_extend(&sub, EdgeView::full(), mate, allowed, seed, &exec);
             }
+            counters.merge(exec.counters());
+        }
+        (Arch::GpuSim, FrontierMode::Compact) => {
+            let exec = BspExecutor::inheriting(counters);
+            lmax::lmax_extend_frontier(g, view, mate, allowed, seed, &exec, scratch);
             counters.merge(exec.counters());
         }
     }

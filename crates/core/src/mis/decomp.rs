@@ -1,10 +1,10 @@
 //! Decomposition-based MIS (Algorithms 10–12 of the paper).
 
-use super::luby::{luby_extend, luby_extend_bsp};
+use super::luby::{luby_extend, luby_extend_bsp, luby_extend_bsp_frontier, luby_extend_frontier};
 use super::oriented::oriented_mis_extend;
 use super::status::{IN, OUT, UNDECIDED};
 use super::MisRun;
-use crate::common::{counters_for, Arch, RunStats};
+use crate::common::{counters_for_opts, Arch, FrontierMode, RunStats, SolveOpts};
 use crate::matching::materialize_for_gpu;
 use rayon::prelude::*;
 use sb_decompose::bicc::decompose_bicc;
@@ -13,20 +13,23 @@ use sb_decompose::degk::decompose_degk;
 use sb_decompose::rand_part::decompose_rand;
 use sb_graph::csr::{Graph, VertexId};
 use sb_graph::view::EdgeView;
+use sb_par::atomic::as_atomic_u8;
 use sb_par::bsp::BspExecutor;
 use sb_par::counters::{Counters, Stopwatch};
+use sb_par::frontier::Scratch;
 use sb_trace::TraceSink;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 
-fn as_atomic_u8(xs: &mut [u8]) -> &[AtomicU8] {
-    // SAFETY: see `luby::as_atomic_u8`.
-    unsafe { &*(xs as *mut [u8] as *const [AtomicU8]) }
-}
-
 /// Run the architecture's Luby form over the undecided vertices of `g`
-/// passing `allowed`, restricted to the edges of `view`. GPU phases over a
-/// filtered view materialize the piece first (see `matching::base_extend`).
+/// passing `allowed`, restricted to the edges of `view`.
+///
+/// In `Dense` mode, GPU phases over a filtered view materialize the piece
+/// first (see `matching::base_extend`). In `Compact` mode both
+/// architectures solve against the view zero-copy: Luby's decisions depend
+/// only on vertex ids and the admitted edge set, so skipping the induced
+/// CSR build cannot change the output.
+#[allow(clippy::too_many_arguments)]
 fn base_mis_extend(
     g: &Graph,
     view: EdgeView<'_>,
@@ -35,10 +38,15 @@ fn base_mis_extend(
     arch: Arch,
     seed: u64,
     counters: &Counters,
+    mode: FrontierMode,
+    scratch: &mut Scratch,
 ) {
-    match arch {
-        Arch::Cpu => luby_extend(g, view, status, allowed, seed, counters),
-        Arch::GpuSim => {
+    match (arch, mode) {
+        (Arch::Cpu, FrontierMode::Dense) => luby_extend(g, view, status, allowed, seed, counters),
+        (Arch::Cpu, FrontierMode::Compact) => {
+            luby_extend_frontier(g, view, status, allowed, seed, counters, scratch)
+        }
+        (Arch::GpuSim, FrontierMode::Dense) => {
             let exec = BspExecutor::inheriting(counters);
             if view.is_full() {
                 luby_extend_bsp(g, EdgeView::full(), status, allowed, seed, &exec);
@@ -46,6 +54,11 @@ fn base_mis_extend(
                 let sub = materialize_for_gpu(g, view, exec.counters());
                 luby_extend_bsp(&sub, EdgeView::full(), status, allowed, seed, &exec);
             }
+            counters.merge(exec.counters());
+        }
+        (Arch::GpuSim, FrontierMode::Compact) => {
+            let exec = BspExecutor::inheriting(counters);
+            luby_extend_bsp_frontier(g, view, status, allowed, seed, &exec, scratch);
             counters.merge(exec.counters());
         }
     }
@@ -95,7 +108,13 @@ pub fn baseline_run_traced(
     seed: u64,
     trace: Option<Arc<TraceSink>>,
 ) -> MisRun {
-    let counters = counters_for(trace);
+    baseline_run_opts(g, arch, seed, &SolveOpts::traced(trace))
+}
+
+/// [`baseline_run`] with full per-run options.
+pub fn baseline_run_opts(g: &Graph, arch: Arch, seed: u64, opts: &SolveOpts) -> MisRun {
+    let counters = counters_for_opts(opts);
+    let mut scratch = Scratch::new();
     let mut status = vec![UNDECIDED; g.num_vertices()];
     let sw = Stopwatch::start();
     {
@@ -108,6 +127,8 @@ pub fn baseline_run_traced(
             arch,
             seed,
             &counters,
+            opts.frontier,
+            &mut scratch,
         );
     }
     finish(status, std::time::Duration::ZERO, sw, counters)
@@ -142,7 +163,13 @@ pub fn mis_bridge_traced(
     seed: u64,
     trace: Option<Arc<TraceSink>>,
 ) -> MisRun {
-    let counters = counters_for(trace);
+    mis_bridge_opts(g, arch, seed, &SolveOpts::traced(trace))
+}
+
+/// [`mis_bridge`] with full per-run options.
+pub fn mis_bridge_opts(g: &Graph, arch: Arch, seed: u64, opts: &SolveOpts) -> MisRun {
+    let counters = counters_for_opts(opts);
+    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let d = {
         let _span = counters.phase("decompose");
@@ -171,6 +198,8 @@ pub fn mis_bridge_traced(
                 arch,
                 seed,
                 &counters,
+                opts.frontier,
+                &mut scratch,
             );
         }
         let _span = counters.phase("cross-solve");
@@ -183,6 +212,8 @@ pub fn mis_bridge_traced(
             arch,
             seed ^ 1,
             &counters,
+            opts.frontier,
+            &mut scratch,
         );
     } else {
         // I_B first. Note: an MIS of the bare bridge graph G_B would not be
@@ -200,6 +231,8 @@ pub fn mis_bridge_traced(
                 arch,
                 seed,
                 &counters,
+                opts.frontier,
+                &mut scratch,
             );
         }
         let _span = counters.phase("cross-solve");
@@ -212,6 +245,8 @@ pub fn mis_bridge_traced(
             arch,
             seed ^ 1,
             &counters,
+            opts.frontier,
+            &mut scratch,
         );
     }
     finish(status, decompose_time, sw, counters)
@@ -233,7 +268,19 @@ pub fn mis_rand_traced(
     seed: u64,
     trace: Option<Arc<TraceSink>>,
 ) -> MisRun {
-    let counters = counters_for(trace);
+    mis_rand_opts(g, partitions, arch, seed, &SolveOpts::traced(trace))
+}
+
+/// [`mis_rand`] with full per-run options.
+pub fn mis_rand_opts(
+    g: &Graph,
+    partitions: usize,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+) -> MisRun {
+    let counters = counters_for_opts(opts);
+    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let d = {
         let _span = counters.phase("decompose");
@@ -267,6 +314,8 @@ pub fn mis_rand_traced(
                 arch,
                 seed ^ 2,
                 &counters,
+                opts.frontier,
+                &mut scratch,
             );
         }
         let _span = counters.phase("cross-solve");
@@ -279,6 +328,8 @@ pub fn mis_rand_traced(
             arch,
             seed ^ 3,
             &counters,
+            opts.frontier,
+            &mut scratch,
         );
     } else {
         // Same subtlety as MIS-Bridge: cross-edge endpoints can also share
@@ -293,6 +344,8 @@ pub fn mis_rand_traced(
                 arch,
                 seed ^ 2,
                 &counters,
+                opts.frontier,
+                &mut scratch,
             );
         }
         let _span = counters.phase("cross-solve");
@@ -305,6 +358,8 @@ pub fn mis_rand_traced(
             arch,
             seed ^ 3,
             &counters,
+            opts.frontier,
+            &mut scratch,
         );
     }
     finish(status, decompose_time, sw, counters)
@@ -327,7 +382,13 @@ pub fn mis_degk_traced(
     seed: u64,
     trace: Option<Arc<TraceSink>>,
 ) -> MisRun {
-    let counters = counters_for(trace);
+    mis_degk_opts(g, k, arch, seed, &SolveOpts::traced(trace))
+}
+
+/// [`mis_degk`] with full per-run options.
+pub fn mis_degk_opts(g: &Graph, k: usize, arch: Arch, seed: u64, opts: &SolveOpts) -> MisRun {
+    let counters = counters_for_opts(opts);
+    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let d = {
         let _span = counters.phase("decompose");
@@ -355,6 +416,8 @@ pub fn mis_degk_traced(
                 arch,
                 seed ^ 4,
                 &counters,
+                opts.frontier,
+                &mut scratch,
             );
         }
     }
@@ -369,6 +432,8 @@ pub fn mis_degk_traced(
             arch,
             seed ^ 5,
             &counters,
+            opts.frontier,
+            &mut scratch,
         );
     }
     finish(status, decompose_time, sw, counters)
@@ -385,7 +450,13 @@ pub fn mis_bicc(g: &Graph, arch: Arch, seed: u64) -> MisRun {
 
 /// [`mis_bicc`] reporting into `trace` when given.
 pub fn mis_bicc_traced(g: &Graph, arch: Arch, seed: u64, trace: Option<Arc<TraceSink>>) -> MisRun {
-    let counters = counters_for(trace);
+    mis_bicc_opts(g, arch, seed, &SolveOpts::traced(trace))
+}
+
+/// [`mis_bicc`] with full per-run options.
+pub fn mis_bicc_opts(g: &Graph, arch: Arch, seed: u64, opts: &SolveOpts) -> MisRun {
+    let counters = counters_for_opts(opts);
+    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let d = {
         let _span = counters.phase("decompose");
@@ -407,6 +478,8 @@ pub fn mis_bicc_traced(g: &Graph, arch: Arch, seed: u64, trace: Option<Arc<Trace
             arch,
             seed,
             &counters,
+            opts.frontier,
+            &mut scratch,
         );
     }
     {
@@ -420,6 +493,8 @@ pub fn mis_bicc_traced(g: &Graph, arch: Arch, seed: u64, trace: Option<Arc<Trace
             arch,
             seed ^ 1,
             &counters,
+            opts.frontier,
+            &mut scratch,
         );
     }
     finish(status, decompose_time, sw, counters)

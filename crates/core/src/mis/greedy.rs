@@ -9,14 +9,10 @@
 use super::status::{IN, OUT, UNDECIDED};
 use rayon::prelude::*;
 use sb_graph::csr::{Graph, VertexId};
+use sb_par::atomic::as_atomic_u8;
 use sb_par::counters::Counters;
 use sb_par::rng::hash2;
-use std::sync::atomic::{AtomicU8, Ordering};
-
-fn as_atomic_u8(xs: &mut [u8]) -> &[AtomicU8] {
-    // SAFETY: see `luby::as_atomic_u8`.
-    unsafe { &*(xs as *mut [u8] as *const [AtomicU8]) }
-}
+use std::sync::atomic::Ordering;
 
 /// Decide all undecided vertices of `g` with the greedy-permutation MIS.
 pub fn greedy_mis(g: &Graph, status: &mut [u8], seed: u64, counters: &Counters) {

@@ -22,21 +22,16 @@
 //! it is strictly stronger than the published baselines.
 
 use super::status::{IN, OUT, UNDECIDED};
+use super::undecided_participants;
 use rayon::prelude::*;
 use sb_graph::csr::{Graph, VertexId};
 use sb_graph::view::EdgeView;
+use sb_par::atomic::as_atomic_u8;
 use sb_par::bsp::BspExecutor;
 use sb_par::counters::Counters;
+use sb_par::frontier::{compact_active, Scratch};
 use sb_par::rng::hash3;
-use std::sync::atomic::{AtomicU8, Ordering};
-
-/// View a `&mut [u8]` as atomics for a parallel phase (same layout argument
-/// as `sb_par::atomic::as_atomic_u32`).
-fn as_atomic_u8(xs: &mut [u8]) -> &[AtomicU8] {
-    // SAFETY: AtomicU8 has u8's size and alignment; the unique borrow rules
-    // out concurrent non-atomic access.
-    unsafe { &*(xs as *mut [u8] as *const [AtomicU8]) }
-}
+use std::sync::atomic::Ordering;
 
 /// Decide every undecided vertex passing `allowed` (IN or OUT) so that the
 /// IN vertices form an MIS of the subgraph of `g` induced by those vertices
@@ -53,9 +48,7 @@ pub fn luby_extend(
     assert_eq!(status.len(), n);
     let allow = |v: usize| allowed.is_none_or(|a| a[v]);
     // The vertex set of the (sub)graph being solved, fixed at entry.
-    let participants: Vec<VertexId> = (0..n as u32)
-        .filter(|&v| status[v as usize] == UNDECIDED && allow(v as usize))
-        .collect();
+    let participants: Vec<VertexId> = undecided_participants(status, allowed);
     // Residual degree and mark flag, refreshed each round.
     let mut degree = vec![0u32; n];
     let mut marked = vec![0u8; n];
@@ -168,9 +161,7 @@ pub fn luby_extend_bsp(
     let n = g.num_vertices();
     assert_eq!(status.len(), n);
     let allow = |v: usize| allowed.is_none_or(|a| a[v]);
-    let participants: Vec<u32> = (0..n as u32)
-        .filter(|&v| status[v as usize] == UNDECIDED && allow(v as usize))
-        .collect();
+    let participants: Vec<u32> = undecided_participants(status, allowed);
     let mut degree = vec![0u32; n];
     let mut marked = vec![0u8; n];
     let mut round = 0u64;
@@ -267,6 +258,277 @@ pub fn luby_extend_bsp(
     }
 }
 
+/// Frontier form of [`luby_extend`]: identical marking/conflict/exclusion
+/// rounds, but the live set is kept as a compacted worklist
+/// (`sb_par::frontier`) instead of re-sweeping the full participant list,
+/// and the per-call `degree`/`marked` arrays are borrowed from `scratch`.
+///
+/// Byte-identical to [`luby_extend`] for any seed and thread count: the
+/// frontier holds exactly the undecided participants at every round start
+/// (a vertex that leaves `UNDECIDED` never returns), and every read of
+/// `marked`/`degree` in the dense form is guarded by an `UNDECIDED` status
+/// check, so the stale entries of decided vertices are never consulted.
+/// `hash3(seed, round, v)` uses the same round numbering. Only the counters
+/// differ: each round charges the live set, not the whole participant list.
+///
+/// Beyond skipping decided vertices, this form scans strictly fewer arcs:
+/// conflict resolution compacts down to the *marked* candidates (an
+/// unmarked vertex can never join, and the dense form's `survives` bails
+/// before touching its arcs), and exclusion runs as a scatter from the
+/// round's winners rather than a gather over every live vertex. The
+/// scatter is valid from round 2 on — a live vertex can only have acquired
+/// an IN neighbor through this round's winners, because the previous
+/// round's exclusion cleared all others. Round 1 gathers, so IN vertices
+/// decided by *earlier* extend calls (outside `allowed`) still exclude
+/// their neighbors exactly as in the dense form.
+pub fn luby_extend_frontier(
+    g: &Graph,
+    view: EdgeView<'_>,
+    status: &mut [u8],
+    allowed: Option<&[bool]>,
+    seed: u64,
+    counters: &Counters,
+    scratch: &mut Scratch,
+) {
+    let n = g.num_vertices();
+    assert_eq!(status.len(), n);
+    let allow = |v: usize| allowed.is_none_or(|a| a[v]);
+    let mut work = scratch.take_frontier();
+    work.reset_range(n, |v| status[v as usize] == UNDECIDED && allow(v as usize));
+    let mut degree = scratch.take_u32(n, 0);
+    let mut marked = scratch.take_u8(n, 0);
+    // Compacted marked-candidate / winner lists, reused across rounds.
+    let mut cand: Vec<VertexId> = Vec::new();
+    let mut winners: Vec<VertexId> = Vec::new();
+    let mut round = 0u64;
+
+    while !work.is_empty() {
+        round += 1;
+        let live = work.len();
+        let scope = counters.round_scope(live as u64);
+        counters.add_rounds(1);
+        counters.add_work(3 * live as u64);
+        {
+            let st = as_atomic_u8(status);
+            let deg_at = sb_par::atomic::as_atomic_u32(&mut degree);
+            let mk = as_atomic_u8(&mut marked);
+
+            // Sweep 1: residual degree + probabilistic marking. Every live
+            // vertex is undecided by the frontier invariant, so the dense
+            // form's status check is vacuous here.
+            work.as_slice().par_iter().for_each(|&v| {
+                counters.add_edges(g.degree(v) as u64);
+                let mut d = 0u32;
+                for (w, _) in view.arcs(g, v) {
+                    if st[w as usize].load(Ordering::Relaxed) == UNDECIDED && allow(w as usize) {
+                        d += 1;
+                    }
+                }
+                deg_at[v as usize].store(d, Ordering::Relaxed);
+                let m = if d == 0 {
+                    1
+                } else {
+                    u8::from(hash3(seed, round, v as u64) < u64::MAX / (2 * d as u64))
+                };
+                mk[v as usize].store(m, Ordering::Relaxed);
+            });
+
+            // Sweep 2: conflict resolution over the marked candidates only.
+            // An unmarked vertex can never join, so compaction skips both
+            // its closure invocation and its residual-degree charge.
+            compact_active(
+                work.as_slice(),
+                |v| mk[v as usize].load(Ordering::Relaxed) == 1,
+                &mut cand,
+            );
+            cand.par_iter().for_each(|&v| {
+                counters.add_edges(deg_at[v as usize].load(Ordering::Relaxed) as u64);
+                let dv = (deg_at[v as usize].load(Ordering::Relaxed), v);
+                let beaten = view.arcs(g, v).any(|(w, _)| {
+                    let sw = st[w as usize].load(Ordering::Relaxed);
+                    sw == IN
+                        || (sw == UNDECIDED
+                            && allow(w as usize)
+                            && mk[w as usize].load(Ordering::Relaxed) == 1
+                            && (deg_at[w as usize].load(Ordering::Relaxed), w) > dv)
+                });
+                if !beaten {
+                    st[v as usize].store(IN, Ordering::Relaxed);
+                }
+            });
+
+            // Sweep 3: exclusion. Round 1 gathers over the live set so IN
+            // vertices left by earlier extend calls still exclude their
+            // neighbors; later rounds scatter from this round's winners —
+            // the only possible source of new IN neighbors.
+            if round == 1 {
+                work.as_slice().par_iter().for_each(|&v| {
+                    if st[v as usize].load(Ordering::Relaxed) != UNDECIDED {
+                        return;
+                    }
+                    if view
+                        .arcs(g, v)
+                        .any(|(w, _)| st[w as usize].load(Ordering::Relaxed) == IN)
+                    {
+                        st[v as usize].store(OUT, Ordering::Relaxed);
+                    }
+                });
+            } else {
+                compact_active(
+                    &cand,
+                    |v| st[v as usize].load(Ordering::Relaxed) == IN,
+                    &mut winners,
+                );
+                winners.par_iter().for_each(|&u| {
+                    counters.add_edges(g.degree(u) as u64);
+                    for (w, _) in view.arcs(g, u) {
+                        if st[w as usize].load(Ordering::Relaxed) == UNDECIDED && allow(w as usize)
+                        {
+                            st[w as usize].store(OUT, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        }
+        let st_now: &[u8] = status;
+        work.compact(|v| st_now[v as usize] == UNDECIDED);
+        counters.finish_round(scope, || (live - work.len()) as u64);
+    }
+    scratch.recycle_u32(degree);
+    scratch.recycle_u8(marked);
+    scratch.recycle_frontier(work);
+}
+
+/// Frontier form of [`luby_extend_bsp`]: the same per-round kernels,
+/// launched over the compacted live worklist, with the dense
+/// termination-count kernel replaced by the compaction pass. Byte-identical
+/// outputs to [`luby_extend_bsp`] (same argument as
+/// [`luby_extend_frontier`]); kernel launch counts match the dense form
+/// (four per round), but conflict resolution launches over the marked
+/// candidates and exclusion scatters from the round's winners (round 1
+/// gathers, as in [`luby_extend_frontier`]).
+pub fn luby_extend_bsp_frontier(
+    g: &Graph,
+    view: EdgeView<'_>,
+    status: &mut [u8],
+    allowed: Option<&[bool]>,
+    seed: u64,
+    exec: &BspExecutor,
+    scratch: &mut Scratch,
+) {
+    let n = g.num_vertices();
+    assert_eq!(status.len(), n);
+    let allow = |v: usize| allowed.is_none_or(|a| a[v]);
+    let mut work = scratch.take_frontier();
+    work.reset_range(n, |v| status[v as usize] == UNDECIDED && allow(v as usize));
+    let mut degree = scratch.take_u32(n, 0);
+    let mut marked = scratch.take_u8(n, 0);
+    let mut cand: Vec<VertexId> = Vec::new();
+    let mut winners: Vec<VertexId> = Vec::new();
+    let mut round = 0u64;
+    let counters = exec.counters();
+
+    while !work.is_empty() {
+        round += 1;
+        let live = work.len();
+        let scope = counters.round_scope(live as u64);
+        {
+            let st = as_atomic_u8(status);
+            let deg_at = sb_par::atomic::as_atomic_u32(&mut degree);
+            let mk = as_atomic_u8(&mut marked);
+
+            // Kernel 1: residual degree + probabilistic marking.
+            exec.kernel_over(work.as_slice(), |v| {
+                let vi = v as usize;
+                exec.counters().add_edges(g.degree(v) as u64);
+                let mut d = 0u32;
+                for (w, _) in view.arcs(g, v) {
+                    if st[w as usize].load(Ordering::Relaxed) == UNDECIDED && allow(w as usize) {
+                        d += 1;
+                    }
+                }
+                deg_at[vi].store(d, Ordering::Relaxed);
+                let m = if d == 0 {
+                    1
+                } else {
+                    u8::from(hash3(seed, round, v as u64) < u64::MAX / (2 * d as u64))
+                };
+                mk[vi].store(m, Ordering::Relaxed);
+            });
+
+            // Kernel 2: conflict resolution, launched over the marked
+            // candidates only (an unmarked vertex can never join).
+            compact_active(
+                work.as_slice(),
+                |v| mk[v as usize].load(Ordering::Relaxed) == 1,
+                &mut cand,
+            );
+            exec.kernel_over(&cand, |v| {
+                let vi = v as usize;
+                exec.counters()
+                    .add_edges(deg_at[vi].load(Ordering::Relaxed) as u64);
+                let dv = (deg_at[vi].load(Ordering::Relaxed), v);
+                let beaten = view.arcs(g, v).any(|(w, _)| {
+                    let sw = st[w as usize].load(Ordering::Relaxed);
+                    sw == IN
+                        || (sw == UNDECIDED
+                            && allow(w as usize)
+                            && mk[w as usize].load(Ordering::Relaxed) == 1
+                            && (deg_at[w as usize].load(Ordering::Relaxed), w) > dv)
+                });
+                if !beaten {
+                    st[vi].store(IN, Ordering::Relaxed);
+                }
+            });
+
+            // Kernel 3: exclusion — round 1 gathers (stale IN vertices from
+            // earlier extend calls exclude too), later rounds scatter from
+            // the winners.
+            if round == 1 {
+                exec.kernel_over(work.as_slice(), |v| {
+                    let vi = v as usize;
+                    if st[vi].load(Ordering::Relaxed) != UNDECIDED {
+                        return;
+                    }
+                    exec.counters().add_edges(g.degree(v) as u64);
+                    if view
+                        .arcs(g, v)
+                        .any(|(w, _)| st[w as usize].load(Ordering::Relaxed) == IN)
+                    {
+                        st[vi].store(OUT, Ordering::Relaxed);
+                    }
+                });
+            } else {
+                compact_active(
+                    &cand,
+                    |v| st[v as usize].load(Ordering::Relaxed) == IN,
+                    &mut winners,
+                );
+                exec.kernel_over(&winners, |u| {
+                    exec.counters().add_edges(g.degree(u) as u64);
+                    for (w, _) in view.arcs(g, u) {
+                        if st[w as usize].load(Ordering::Relaxed) == UNDECIDED && allow(w as usize)
+                        {
+                            st[w as usize].store(OUT, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        }
+
+        // Kernel 4: frontier compaction — takes the place of the dense
+        // form's termination-count kernel.
+        exec.counters().add_kernel(live as u64);
+        let st_now: &[u8] = status;
+        work.compact(|v| st_now[v as usize] == UNDECIDED);
+        exec.end_round();
+        counters.finish_round(scope, || (live - work.len()) as u64);
+    }
+    scratch.recycle_u32(degree);
+    scratch.recycle_u8(marked);
+    scratch.recycle_frontier(work);
+}
+
 /// Worklist-compacted Luby — the modern optimization of the same algorithm,
 /// kept as an ablation: every round touches only still-undecided vertices.
 /// The reproduction's baselines do NOT use this (see module docs).
@@ -281,9 +543,7 @@ pub fn luby_extend_compacted(
     let n = g.num_vertices();
     assert_eq!(status.len(), n);
     let allow = |v: usize| allowed.is_none_or(|a| a[v]);
-    let mut work: Vec<VertexId> = (0..n as u32)
-        .filter(|&v| status[v as usize] == UNDECIDED && allow(v as usize))
-        .collect();
+    let mut work: Vec<VertexId> = undecided_participants(status, allowed);
     let mut round = 0u64;
 
     while !work.is_empty() {

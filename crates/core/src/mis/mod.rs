@@ -19,8 +19,18 @@ pub mod greedy;
 pub mod luby;
 pub mod oriented;
 
-use crate::common::{Arch, RunStats};
+use crate::common::{Arch, RunStats, SolveOpts};
 use sb_graph::csr::Graph;
+
+/// Shared live-set scan for the MIS solvers: the undecided vertices passing
+/// `allowed`, as an order-stable compacted worklist. Every solver in this
+/// family fixes its participant set with exactly this predicate; keeping the
+/// scan in one place pins them to the same compaction primitive.
+pub(crate) fn undecided_participants(status: &[u8], allowed: Option<&[bool]>) -> Vec<u32> {
+    sb_par::frontier::compact_range(status.len(), |v| {
+        status[v as usize] == status::UNDECIDED && allowed.is_none_or(|a| a[v as usize])
+    })
+}
 
 /// Vertex status during MIS construction.
 pub mod status {
@@ -87,13 +97,24 @@ pub fn maximal_independent_set_traced(
     seed: u64,
     trace: Option<std::sync::Arc<sb_trace::TraceSink>>,
 ) -> MisRun {
+    maximal_independent_set_opts(g, algo, arch, seed, &SolveOpts::traced(trace))
+}
+
+/// [`maximal_independent_set`] with full per-run options: trace sink and
+/// frontier mode (dense full-sweep rounds vs compacted worklists — see
+/// [`crate::common::FrontierMode`]).
+pub fn maximal_independent_set_opts(
+    g: &Graph,
+    algo: MisAlgorithm,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+) -> MisRun {
     match algo {
-        MisAlgorithm::Baseline => decomp::baseline_run_traced(g, arch, seed, trace),
-        MisAlgorithm::Bridge => decomp::mis_bridge_traced(g, arch, seed, trace),
-        MisAlgorithm::Rand { partitions } => {
-            decomp::mis_rand_traced(g, partitions, arch, seed, trace)
-        }
-        MisAlgorithm::Degk { k } => decomp::mis_degk_traced(g, k, arch, seed, trace),
-        MisAlgorithm::Bicc => decomp::mis_bicc_traced(g, arch, seed, trace),
+        MisAlgorithm::Baseline => decomp::baseline_run_opts(g, arch, seed, opts),
+        MisAlgorithm::Bridge => decomp::mis_bridge_opts(g, arch, seed, opts),
+        MisAlgorithm::Rand { partitions } => decomp::mis_rand_opts(g, partitions, arch, seed, opts),
+        MisAlgorithm::Degk { k } => decomp::mis_degk_opts(g, k, arch, seed, opts),
+        MisAlgorithm::Bicc => decomp::mis_bicc_opts(g, arch, seed, opts),
     }
 }

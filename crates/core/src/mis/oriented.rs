@@ -21,16 +21,13 @@
 //! rounds with this O(log* n) deterministic schedule.
 
 use super::status::{IN, OUT, UNDECIDED};
+use super::undecided_participants;
 use rayon::prelude::*;
 use sb_graph::csr::{Graph, VertexId, INVALID};
 use sb_graph::view::EdgeView;
+use sb_par::atomic::as_atomic_u8;
 use sb_par::counters::Counters;
 use std::sync::atomic::{AtomicU8, Ordering};
-
-fn as_atomic_u8(xs: &mut [u8]) -> &[AtomicU8] {
-    // SAFETY: see `luby::as_atomic_u8`.
-    unsafe { &*(xs as *mut [u8] as *const [AtomicU8]) }
-}
 
 /// One Cole–Vishkin step: the code of the lowest bit where `c` differs from
 /// the parent's color `cp` (roots pass `cp = c ^ 1`).
@@ -55,12 +52,7 @@ pub fn oriented_mis_extend(
 ) {
     let n = g.num_vertices();
     assert_eq!(status.len(), n);
-    let participates =
-        |v: usize, status: &[u8]| status[v] == UNDECIDED && allowed.is_none_or(|a| a[v]);
-
-    let parts: Vec<VertexId> = (0..n as u32)
-        .filter(|&v| participates(v as usize, status))
-        .collect();
+    let parts: Vec<VertexId> = undecided_participants(status, allowed);
     if parts.is_empty() {
         return;
     }

@@ -157,21 +157,22 @@ where
         per_class_new_id.push(new_id);
         per_class_edges.push(edges);
     }
-    // Per-vertex, per-class degrees in one adjacency pass.
-    let deg_rows: Vec<Vec<usize>> = (0..n)
-        .into_par_iter()
-        .map(|v| {
-            let mut d = vec![0usize; nclasses];
+    // Per-vertex, per-class degrees in one adjacency pass, stored as one
+    // flat `n * nclasses` row-major array (`deg_flat[v * nclasses + c]`) —
+    // one allocation instead of a Vec per vertex.
+    let mut deg_flat = vec![0usize; n * nclasses];
+    deg_flat
+        .par_chunks_mut(nclasses)
+        .enumerate()
+        .for_each(|(v, d)| {
             for &e in g.edge_ids_of(v as VertexId) {
                 d[cls[e as usize] as usize] += 1;
             }
-            d
-        })
-        .collect();
+        });
     // Assemble each class graph.
     (0..nclasses)
         .map(|c| {
-            let degrees: Vec<usize> = deg_rows.iter().map(|d| d[c]).collect();
+            let degrees: Vec<usize> = (0..n).map(|v| deg_flat[v * nclasses + c]).collect();
             let (mut offsets, arcs) = sb_par::prim::exclusive_scan_vec(&degrees);
             offsets.push(arcs);
             let mut neighbors = vec![0u32; arcs];

@@ -5,7 +5,7 @@
 //! min/once operations; this module centralizes those patterns plus a
 //! concurrent bitset used for edge marking.
 
-use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 
 /// Atomically lower `a` to `min(a, v)`; returns the previous value.
 #[inline]
@@ -36,6 +36,14 @@ pub fn as_atomic_u32(xs: &mut [u32]) -> &[AtomicU32] {
     // (guaranteed same size/alignment per std docs), and we hold the unique
     // mutable borrow, so converting to a shared slice of atomics is sound.
     unsafe { &*(xs as *mut [u32] as *const [AtomicU32]) }
+}
+
+/// Reinterpret a `&mut [u8]` as atomics; see [`as_atomic_u32`]. Used for
+/// the status/marked byte arrays the MIS and frontier solvers race on.
+#[inline]
+pub fn as_atomic_u8(xs: &mut [u8]) -> &[AtomicU8] {
+    // SAFETY: same argument as `as_atomic_u32`.
+    unsafe { &*(xs as *mut [u8] as *const [AtomicU8]) }
 }
 
 /// Reinterpret a `&mut [u64]` as atomics; see [`as_atomic_u32`].

@@ -13,7 +13,9 @@
 //!   structure that drives the paper's round-count comparisons.
 //!
 //! Supporting modules: [`atomic`] (atomic min/CAS helpers and a concurrent
-//! bitset), [`counters`] (instrumentation shared by all algorithms plus the
+//! bitset), [`frontier`] (active-set worklist compaction and the scratch
+//! buffer arena the frontier solver variants borrow their per-call working
+//! memory from), [`counters`] (instrumentation shared by all algorithms plus the
 //! K40c cost model), [`exec`] (thread-pool scoping — the one place thread
 //! counts are pinned for ablations and tests), [`rng`] (counter-based
 //! splittable random numbers so parallel algorithms are deterministic for a
@@ -24,6 +26,7 @@ pub mod atomic;
 pub mod bsp;
 pub mod counters;
 pub mod exec;
+pub mod frontier;
 pub mod prim;
 pub mod rng;
 pub mod union_find;
@@ -31,3 +34,4 @@ pub mod union_find;
 pub use bsp::BspExecutor;
 pub use counters::{Counters, PhaseGuard, RoundScope};
 pub use exec::{current_threads, with_threads};
+pub use frontier::{compact_active, compact_range, Frontier, Scratch, ScratchStats};

@@ -8,8 +8,10 @@
 use rayon::prelude::*;
 
 /// Minimum number of elements per parallel block. Below this, blocked
-/// two-pass algorithms cost more than a sequential loop.
-const BLOCK: usize = 1 << 14;
+/// two-pass algorithms cost more than a sequential loop. Shared with the
+/// frontier-compaction module so every compaction in the crate switches to
+/// its sequential form at the same size.
+pub(crate) const BLOCK: usize = 1 << 14;
 
 /// Exclusive prefix sum: `out[i] = xs[0] + … + xs[i-1]`, returning the total.
 ///

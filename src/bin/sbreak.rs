@@ -19,6 +19,11 @@
 //! `--threads <n>` pins the parallel execution to an `n`-thread pool (the
 //! rayon layer runs a real worker pool); the default is the host's
 //! available parallelism.
+//!
+//! `--frontier dense|compact` (on `solve`) picks the round-loop live-set
+//! strategy: `compact` (the default) iterates compacted worklists of
+//! still-undecided vertices, `dense` rescans `0..n` every round (the
+//! pre-frontier behavior, kept for A/B comparison).
 
 use std::io::Write;
 use std::path::Path;
@@ -35,7 +40,8 @@ fn usage() -> ! {
          sbreak stats <input> [--bridges] [--blocks] [--scale F] [--seed S]\n  \
          sbreak decompose <input> --method bridge|rand:K|degk:K|metis:K|bicc [--seed S] [--trace <out.jsonl>]\n  \
          sbreak solve <input> --problem mm|color|mis [--algo baseline|bridge|rand:K|degk:K|bicc]\n  \
-         \x20            [--arch cpu|gpu] [--seed S] [--threads N] [-o <file>] [--trace <out.jsonl>]\n\n\
+         \x20            [--arch cpu|gpu] [--frontier dense|compact] [--seed S] [--threads N]\n  \
+         \x20            [-o <file>] [--trace <out.jsonl>]\n\n\
          <input>: an edge-list/.mtx path, or gen:<table-II-name> (e.g. gen:lp1)"
     );
     std::process::exit(2)
@@ -83,6 +89,7 @@ struct Flags {
     scale: Scale,
     seed: u64,
     arch: Arch,
+    frontier: FrontierMode,
     method: Option<String>,
     problem: Option<String>,
     algo: String,
@@ -99,6 +106,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         scale: Scale::Default,
         seed: 42,
         arch: Arch::Cpu,
+        frontier: FrontierMode::default(),
         method: None,
         problem: None,
         algo: "baseline".into(),
@@ -135,6 +143,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     other => return Err(format!("unknown arch '{other}'")),
                 }
             }
+            "--frontier" => f.frontier = val("--frontier")?.parse()?,
             "--method" => f.method = Some(val("--method")?),
             "--problem" => f.problem = Some(val("--problem")?),
             "--algo" => f.algo = val("--algo")?,
@@ -310,6 +319,10 @@ fn cmd_solve(f: &Flags) -> Result<(), String> {
     let problem = f.problem.as_ref().ok_or("solve needs --problem")?;
     let g = load_input(input, f.scale, f.seed)?;
     let sink = trace_sink(f);
+    let opts = SolveOpts {
+        trace: sink.clone(),
+        frontier: f.frontier,
+    };
 
     match problem.as_str() {
         "mm" => {
@@ -323,7 +336,7 @@ fn cmd_solve(f: &Flags) -> Result<(), String> {
                 ("bicc", _) => MmAlgorithm::Bicc,
                 (other, _) => return Err(format!("unknown algo '{other}'")),
             };
-            let run = maximal_matching_traced(&g, algo, f.arch, f.seed, sink.clone());
+            let run = maximal_matching_opts(&g, algo, f.arch, f.seed, &opts);
             check_maximal_matching(&g, &run.mate).map_err(|e| format!("INVALID RESULT: {e}"))?;
             println!(
                 "maximal matching: {} edges in {:.2} ms ({} rounds; decomposition {:.2} ms) — verified",
@@ -354,7 +367,7 @@ fn cmd_solve(f: &Flags) -> Result<(), String> {
                 ("bicc", _) => ColorAlgorithm::Bicc,
                 (other, _) => return Err(format!("unknown algo '{other}'")),
             };
-            let run = vertex_coloring_traced(&g, algo, f.arch, f.seed, sink.clone());
+            let run = vertex_coloring_opts(&g, algo, f.arch, f.seed, &opts);
             check_coloring(&g, &run.color).map_err(|e| format!("INVALID RESULT: {e}"))?;
             println!(
                 "coloring: {} colors in {:.2} ms ({} rounds) — verified",
@@ -383,7 +396,7 @@ fn cmd_solve(f: &Flags) -> Result<(), String> {
                 ("bicc", _) => MisAlgorithm::Bicc,
                 (other, _) => return Err(format!("unknown algo '{other}'")),
             };
-            let run = maximal_independent_set_traced(&g, algo, f.arch, f.seed, sink.clone());
+            let run = maximal_independent_set_opts(&g, algo, f.arch, f.seed, &opts);
             check_maximal_independent_set(&g, &run.in_set)
                 .map_err(|e| format!("INVALID RESULT: {e}"))?;
             println!(
@@ -493,6 +506,13 @@ mod tests {
         assert_eq!(f.seed, 9);
         assert_eq!(f.threads, Some(4));
         assert!(parse_flags(&["--bogus".into()]).is_err());
+        assert_eq!(f.frontier, FrontierMode::Compact, "compact is the default");
+        let d = parse_flags(&["--frontier".into(), "dense".into()]).unwrap();
+        assert_eq!(d.frontier, FrontierMode::Dense);
+        assert!(
+            parse_flags(&["--frontier".into(), "sparse".into()]).is_err(),
+            "unknown frontier mode must be rejected"
+        );
         assert!(
             parse_flags(&["--threads".into(), "0".into()]).is_err(),
             "zero threads must be rejected"

@@ -31,14 +31,16 @@ pub use sb_trace as trace;
 /// One-stop imports for applications.
 pub mod prelude {
     pub use sb_core::coloring::{
-        vertex_coloring, vertex_coloring_traced, ColorAlgorithm, ColoringRun,
+        vertex_coloring, vertex_coloring_opts, vertex_coloring_traced, ColorAlgorithm, ColoringRun,
     };
-    pub use sb_core::common::{Arch, RunStats};
+    pub use sb_core::common::{Arch, FrontierMode, RunStats, SolveOpts};
     pub use sb_core::matching::{
-        maximal_matching, maximal_matching_traced, suggested_partitions, MatchingRun, MmAlgorithm,
+        maximal_matching, maximal_matching_opts, maximal_matching_traced, suggested_partitions,
+        MatchingRun, MmAlgorithm,
     };
     pub use sb_core::mis::{
-        maximal_independent_set, maximal_independent_set_traced, MisAlgorithm, MisRun,
+        maximal_independent_set, maximal_independent_set_opts, maximal_independent_set_traced,
+        MisAlgorithm, MisRun,
     };
     pub use sb_core::verify::{
         check_coloring, check_independent_set, check_matching, check_maximal_independent_set,
@@ -52,5 +54,6 @@ pub mod prelude {
     pub use sb_graph::csr::{Graph, VertexId, INVALID};
     pub use sb_graph::stats::GraphStats;
     pub use sb_par::counters::Counters;
+    pub use sb_par::frontier::{Frontier, Scratch};
     pub use sb_trace::{TraceSink, TraceSummary};
 }
