@@ -32,10 +32,36 @@ pub fn lmax_extend(
     seed: u64,
     exec: &BspExecutor,
 ) {
+    lmax_extend_with_ids(g, view, mate, allowed, seed, exec, None);
+}
+
+/// [`lmax_extend`] with an explicit edge-identity map: `weight_ids[e]` is
+/// the id to key edge `e`'s random weight by (and to break weight ties
+/// with). Callers running LMAX on a *materialized* subgraph pass the
+/// new-id → original-id map (`EdgeView::admitted_edge_ids`) so the solve
+/// is byte-identical to running zero-copy against the masked view of the
+/// parent: materialization renumbers edges by rank among the kept ones —
+/// a strictly increasing map — so per-edge weights and tie-break order
+/// both transfer exactly. `None` keys weights by the local edge id.
+pub fn lmax_extend_with_ids(
+    g: &Graph,
+    view: EdgeView<'_>,
+    mate: &mut [u32],
+    allowed: Option<&[bool]>,
+    seed: u64,
+    exec: &BspExecutor,
+    weight_ids: Option<&[u32]>,
+) {
     let n = g.num_vertices();
     assert_eq!(mate.len(), n);
+    if let Some(ids) = weight_ids {
+        assert_eq!(ids.len(), g.num_edges());
+    }
     let allow = |v: usize| allowed.is_none_or(|a| a[v]);
-    let weight = |e: u32| (hash2(seed, e as u64), e);
+    let weight = |e: u32| {
+        let id = weight_ids.map_or(e, |ids| ids[e as usize]);
+        (hash2(seed, id as u64), id)
+    };
 
     // The vertex set of the (sub)graph being matched, fixed at entry (the
     // composites pass already-reduced instances; there is no per-round
@@ -109,7 +135,13 @@ pub fn lmax_extend(
             }
         }
         exec.end_round();
-        counters.finish_round(scope, || active.saturating_sub(unmatched(mate)));
+        // A no-pointer sweep settles nothing and only observes that the
+        // solve is finished: mark it vacuous so cross-mode round
+        // accounting can discount it (the frontier form skips this sweep
+        // whenever its worklist empties first).
+        counters.finish_round_flagged(scope, !any_pointer, || {
+            active.saturating_sub(unmatched(mate))
+        });
         if !any_pointer {
             break;
         }
@@ -124,10 +156,11 @@ pub fn lmax_extend(
 /// weights are keyed by edge id (unaffected by compaction), and a kernel-2
 /// read of `pointer[p]` only ever targets a vertex that was unmatched at
 /// round start — i.e. a frontier member with a fresh kernel-1 pointer — so
-/// the stale pointers of matched vertices are never consulted. The round
-/// structure (including the final no-pointer round that terminates the
-/// dense loop) is preserved exactly; compaction is charged as a third
-/// kernel over the live set.
+/// the stale pointers of matched vertices are never consulted. The
+/// productive round structure is preserved exactly; the dense form's
+/// final no-pointer sweep is skipped whenever the worklist empties first,
+/// and is marked `vacuous` in the trace when either form does run it.
+/// Compaction is charged as a third kernel over the live set.
 pub fn lmax_extend_frontier(
     g: &Graph,
     view: EdgeView<'_>,
@@ -208,7 +241,7 @@ pub fn lmax_extend_frontier(
             live.compact(|v| mate_ro[v as usize] == INVALID);
         }
         exec.end_round();
-        counters.finish_round(scope, || active - live.len() as u64);
+        counters.finish_round_flagged(scope, !any_pointer, || active - live.len() as u64);
         if !any_pointer {
             break;
         }

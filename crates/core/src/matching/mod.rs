@@ -113,11 +113,11 @@ pub fn maximal_matching_opts(
 /// counters (and hence to the modeled device time).
 /// In `Compact` mode the GPU pipeline instead runs the frontier LMAX
 /// zero-copy against the masked view: per-arc admit checks ride along the
-/// already-compacted worklist sweeps, so no induced CSR is built. Note the
-/// compact GPU result on a *masked* view is a (deterministic, valid)
-/// maximal matching that may differ bit-for-bit from the dense path's,
-/// because LMAX weights are keyed by edge id and materialization renumbers
-/// edges; the dense path is byte-stable versus earlier releases.
+/// already-compacted worklist sweeps, so no induced CSR is built. Both
+/// paths key LMAX edge weights by *original* edge id — the dense path
+/// carries the new-id → original-id map of the materialization — so dense
+/// and compact are byte-identical on masked views too (pinned by
+/// `tests/frontier.rs`).
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn base_extend(
     g: &Graph,
@@ -140,8 +140,19 @@ pub(crate) fn base_extend(
             if view.is_full() {
                 lmax::lmax_extend(g, EdgeView::full(), mate, allowed, seed, &exec);
             } else {
+                // Weights must be keyed by the parent's edge ids, not the
+                // renumbered ones, to match the zero-copy compact path.
+                let orig_ids = view.admitted_edge_ids(g);
                 let sub = materialize_for_gpu(g, view, exec.counters());
-                lmax::lmax_extend(&sub, EdgeView::full(), mate, allowed, seed, &exec);
+                lmax::lmax_extend_with_ids(
+                    &sub,
+                    EdgeView::full(),
+                    mate,
+                    allowed,
+                    seed,
+                    &exec,
+                    Some(&orig_ids),
+                );
             }
             counters.merge(exec.counters());
         }

@@ -1,0 +1,168 @@
+//! `fuzz_smoke` — the CI entry point for the differential fuzzer.
+//!
+//! Two phases, both required to pass:
+//!
+//! 1. **Planted-bug self-test**: runs a short sweep with the
+//!    `CorruptMatching` mutation planted and asserts the oracle catches
+//!    it and the shrinker minimizes it to ≤ 8 vertices. A harness that
+//!    cannot find a known bug proves nothing with a clean run.
+//! 2. **Clean sweep**: the real solvers over the adversarial suite ×
+//!    configuration matrix under a wall-clock budget. Any counterexample
+//!    fails the run; its minimized case file and regression skeleton are
+//!    printed (and written under `--out`).
+//!
+//! ```text
+//! fuzz_smoke [--seed S] [--budget-secs T] [--threads N] [--out DIR]
+//!            [--min-cases K] [--seeds-per-config C]
+//! ```
+
+use sb_fuzz::{run_fuzz, FuzzOptions, Mutation};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    seed: u64,
+    budget_secs: u64,
+    threads: usize,
+    out: PathBuf,
+    min_cases: usize,
+    seeds_per_config: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        seed: 0xF022_5EED,
+        budget_secs: 60,
+        threads: 4,
+        out: PathBuf::from("results/fuzz"),
+        min_cases: 500,
+        seeds_per_config: 2,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| it.next().ok_or(format!("{name} needs a value"));
+        match flag.as_str() {
+            "--seed" => args.seed = val("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--budget-secs" => {
+                args.budget_secs = val("--budget-secs")?
+                    .parse()
+                    .map_err(|e| format!("--budget-secs: {e}"))?
+            }
+            "--threads" => {
+                args.threads = val("--threads")?
+                    .parse()
+                    .map_err(|e| format!("--threads: {e}"))?
+            }
+            "--out" => args.out = PathBuf::from(val("--out")?),
+            "--min-cases" => {
+                args.min_cases = val("--min-cases")?
+                    .parse()
+                    .map_err(|e| format!("--min-cases: {e}"))?
+            }
+            "--seeds-per-config" => {
+                args.seeds_per_config = val("--seeds-per-config")?
+                    .parse()
+                    .map_err(|e| format!("--seeds-per-config: {e}"))?
+            }
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("fuzz_smoke: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Phase 1: the harness must catch and minimize a planted bug.
+    let planted = run_fuzz(&FuzzOptions {
+        master_seed: args.seed,
+        max_cases: Some(60),
+        wide_threads: args.threads,
+        seeds_per_config: 1,
+        mutation: Mutation::CorruptMatching,
+        max_counterexamples: 1,
+        shrink_evals: 300,
+        ..FuzzOptions::default()
+    });
+    match planted.counterexamples.first() {
+        Some(cex) if cex.shrunk.n <= 8 => {
+            println!(
+                "self-test: planted matching bug caught on '{}' ({}), shrunk {} -> {} vertices \
+                 in {} oracle evals",
+                cex.graph, cex.config, cex.orig_n, cex.shrunk.n, cex.shrunk.evals
+            );
+        }
+        Some(cex) => {
+            eprintln!(
+                "self-test FAILED: planted bug caught but only shrunk to {} vertices (want <= 8)",
+                cex.shrunk.n
+            );
+            return ExitCode::FAILURE;
+        }
+        None => {
+            eprintln!(
+                "self-test FAILED: planted matching bug not caught in {} cases",
+                planted.cases_run
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Phase 2: budgeted clean sweep of the real solvers.
+    let report = run_fuzz(&FuzzOptions {
+        master_seed: args.seed,
+        budget: Some(Duration::from_secs(args.budget_secs)),
+        wide_threads: args.threads,
+        seeds_per_config: args.seeds_per_config,
+        out_dir: Some(args.out.clone()),
+        ..FuzzOptions::default()
+    });
+    println!(
+        "clean sweep: {} cases ({} configs covered) in {:.1}s{}",
+        report.cases_run,
+        report.configs_covered,
+        report.elapsed.as_secs_f64(),
+        if report.truncated { " [truncated]" } else { "" }
+    );
+
+    if !report.counterexamples.is_empty() {
+        for cex in &report.counterexamples {
+            eprintln!(
+                "\ncounterexample: {} on '{}' seed {} — {}: {}",
+                cex.config, cex.graph, cex.seed, cex.kind, cex.detail
+            );
+            eprintln!(
+                "  minimized to n={} m={} ({} evals{})",
+                cex.shrunk.n,
+                cex.shrunk.edges.len(),
+                cex.shrunk.evals,
+                if cex.shrunk.budget_exhausted {
+                    ", shrink budget exhausted"
+                } else {
+                    ""
+                }
+            );
+            if let Some(path) = &cex.case_path {
+                eprintln!("  case file: {}", path.display());
+            }
+            eprintln!("  regression skeleton:\n{}", cex.regression);
+        }
+        return ExitCode::FAILURE;
+    }
+    if report.cases_run < args.min_cases {
+        eprintln!(
+            "clean sweep ran only {} cases (< {}): raise --budget-secs",
+            report.cases_run, args.min_cases
+        );
+        return ExitCode::FAILURE;
+    }
+    println!("zero counterexamples");
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,189 @@
+//! Adversarial graph library for the differential fuzzer.
+//!
+//! Every case is a *raw* edge list plus an explicit vertex count — kept in
+//! builder input form (duplicates, self-loops, and both orientations
+//! allowed) so the fuzzer exercises the same normalization path as file
+//! ingestion, and so shrunk counterexamples replay byte-for-byte through
+//! `sb_graph::io::read_edge_list`.
+//!
+//! The shapes target the failure modes symmetry-breaking solvers actually
+//! have: empty inputs (phase loops that assume at least one round), stars
+//! (one vertex in every conflict), long paths (worst-case round counts for
+//! local rules), cliques (every round settles one thing), disconnected
+//! unions (frontier compaction across dead components), duplicate- and
+//! self-loop-heavy raw lists (builder normalization), and hub degrees
+//! straddling the 255/256 byte boundary (mask/class width assumptions).
+//! Two Table II stand-ins are drawn at a tiny scale so the generator
+//! library also covers "realistic" degree distributions.
+
+use sb_datasets::suite::generate;
+use sb_datasets::{GraphId, Scale};
+use sb_graph::Graph;
+use sb_par::rng::{bounded, hash3};
+
+/// One fuzz input: a named raw edge list.
+#[derive(Debug, Clone)]
+pub struct CaseGraph {
+    /// Shape name, stable across runs (used in case files and labels).
+    pub name: String,
+    /// Vertex count (ids in `edges` are `< n`).
+    pub n: usize,
+    /// Raw undirected edges; duplicates and self-loops permitted.
+    pub edges: Vec<(u32, u32)>,
+}
+
+impl CaseGraph {
+    fn new(name: &str, n: usize, edges: Vec<(u32, u32)>) -> CaseGraph {
+        CaseGraph {
+            name: name.to_string(),
+            n,
+            edges,
+        }
+    }
+
+    /// Normalize into a CSR graph (dedup, drop self-loops, symmetrize).
+    pub fn build(&self) -> Graph {
+        sb_graph::builder::from_edge_list(self.n, &self.edges)
+    }
+}
+
+/// A path on `n` vertices.
+fn path(n: u32) -> Vec<(u32, u32)> {
+    (0..n.saturating_sub(1)).map(|i| (i, i + 1)).collect()
+}
+
+/// A star: vertex 0 joined to `leaves` leaves.
+fn star(leaves: u32) -> Vec<(u32, u32)> {
+    (1..=leaves).map(|v| (0, v)).collect()
+}
+
+/// Complete graph on `n` vertices.
+fn clique(n: u32) -> Vec<(u32, u32)> {
+    let mut e = Vec::new();
+    for i in 0..n {
+        for j in i + 1..n {
+            e.push((i, j));
+        }
+    }
+    e
+}
+
+/// Complete bipartite graph K(a, b); left ids `0..a`, right `a..a+b`.
+fn bipartite(a: u32, b: u32) -> Vec<(u32, u32)> {
+    let mut e = Vec::new();
+    for i in 0..a {
+        for j in 0..b {
+            e.push((i, a + j));
+        }
+    }
+    e
+}
+
+/// Sparse random multigraph: `m` raw draws over `n` vertices, duplicates
+/// and self-loops left in deliberately.
+fn random_raw(n: u32, m: usize, seed: u64) -> Vec<(u32, u32)> {
+    (0..m)
+        .map(|i| {
+            let u = bounded(hash3(seed, 0, i as u64), n as u64) as u32;
+            let v = bounded(hash3(seed, 1, i as u64), n as u64) as u32;
+            (u, v)
+        })
+        .collect()
+}
+
+/// Extract the undirected edge pairs of a built graph (u < v).
+fn edge_pairs(g: &Graph) -> Vec<(u32, u32)> {
+    g.edge_list().iter().map(|&[u, v]| (u, v)).collect()
+}
+
+/// Tiny draw of a Table II stand-in (the `.max(64)` floor in the dataset
+/// scaler keeps this around 64–80 vertices).
+fn dataset_case(name: &str, id: GraphId, seed: u64) -> CaseGraph {
+    let g = generate(id, Scale::Factor(0.002), seed);
+    CaseGraph::new(name, g.num_vertices(), edge_pairs(&g))
+}
+
+/// The full adversarial suite, ordered so edge-bearing shapes come first
+/// (a planted bug should surface within the first handful of cases) and
+/// the comparatively expensive dataset draws come last.
+pub fn adversarial_suite(seed: u64) -> Vec<CaseGraph> {
+    let mut union = vec![(0, 1), (1, 2), (2, 0)]; // triangle
+    union.extend([(4, 5), (5, 6)]); // short path
+    union.push((8, 9)); // lone edge; 3, 7, 10, 11 stay isolated
+
+    let mut two_cliques = clique(5);
+    two_cliques.extend(clique(5).into_iter().map(|(u, v)| (u + 5, v + 5)));
+    two_cliques.push((4, 5)); // the bridge
+
+    let dup_heavy = {
+        // Every edge of a 6-path four times, in both orientations, with a
+        // self-loop on every vertex.
+        let mut e = Vec::new();
+        for (u, v) in path(6) {
+            e.extend([(u, v), (v, u), (u, v), (v, u)]);
+        }
+        e.extend((0..6).map(|v| (v, v)));
+        e
+    };
+
+    vec![
+        CaseGraph::new("single-edge", 2, vec![(0, 1)]),
+        CaseGraph::new("triangle", 3, clique(3)),
+        CaseGraph::new("star-64", 65, star(64)),
+        CaseGraph::new("path-129", 129, path(129)),
+        CaseGraph::new("cycle-32", 32, {
+            let mut e = path(32);
+            e.push((31, 0));
+            e
+        }),
+        CaseGraph::new("clique-12", 12, clique(12)),
+        CaseGraph::new("bipartite-5x7", 12, bipartite(5, 7)),
+        CaseGraph::new("disconnected-union", 12, union),
+        CaseGraph::new("two-cliques-bridge", 10, two_cliques),
+        CaseGraph::new("dup-selfloop-heavy", 6, dup_heavy),
+        // Hub degrees straddling the u8 boundary: 255, 256, 257 leaves.
+        CaseGraph::new("hub-255", 256, star(255)),
+        CaseGraph::new("hub-256", 257, star(256)),
+        CaseGraph::new("hub-257", 258, star(257)),
+        CaseGraph::new("random-sparse", 60, random_raw(60, 120, seed ^ 0xA5)),
+        CaseGraph::new("random-denser", 40, random_raw(40, 200, seed ^ 0x5A)),
+        CaseGraph::new("empty-0", 0, Vec::new()),
+        CaseGraph::new("single-vertex", 1, Vec::new()),
+        CaseGraph::new("isolated-16", 16, Vec::new()),
+        dataset_case("rgg-tiny", GraphId::Rgg23, seed),
+        dataset_case("kron-tiny", GraphId::KronLogn20, seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_shapes_are_as_labeled() {
+        let suite = adversarial_suite(7);
+        assert!(suite.len() >= 15);
+        for case in &suite {
+            let g = case.build();
+            assert_eq!(g.num_vertices(), case.n, "{}", case.name);
+            g.validate().unwrap();
+        }
+        let hub = suite.iter().find(|c| c.name == "hub-257").unwrap();
+        assert_eq!(hub.build().max_degree(), 257);
+        let dup = suite
+            .iter()
+            .find(|c| c.name == "dup-selfloop-heavy")
+            .unwrap();
+        // 4× duplication and the self-loops all normalize away.
+        assert_eq!(dup.build().num_edges(), 5);
+    }
+
+    #[test]
+    fn suite_is_seed_deterministic() {
+        let a = adversarial_suite(3);
+        let b = adversarial_suite(3);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.edges, y.edges, "{}", x.name);
+        }
+    }
+}

@@ -9,6 +9,11 @@ use crate::csr::Graph;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
+/// Largest usable vertex id: `id + 1` vertices must stay below the
+/// `u32::MAX` sentinel (`sb_graph::csr::INVALID`) that every solver uses
+/// for "no vertex".
+pub const MAX_VERTEX_ID: u64 = u32::MAX as u64 - 2;
+
 /// Errors from the readers.
 #[derive(Debug)]
 pub enum IoError {
@@ -16,6 +21,27 @@ pub enum IoError {
     Io(std::io::Error),
     /// Malformed content with a line number and message.
     Parse { line: usize, msg: String },
+    /// A vertex id at or beyond the declared vertex count (the edge-list
+    /// `n_hint`, or a Matrix Market dimension). Rejected rather than
+    /// silently growing the graph: a caller that declared a size wants
+    /// ids outside it treated as corruption.
+    VertexOutOfRange {
+        /// 1-based input line.
+        line: usize,
+        /// The offending (0-based) vertex id.
+        id: u64,
+        /// Ids must be `< limit`.
+        limit: u64,
+    },
+    /// A vertex id too large to represent: ids above [`MAX_VERTEX_ID`]
+    /// would collide with the `u32::MAX` INVALID sentinel or overflow the
+    /// `u32` vertex-count domain.
+    IdOverflow {
+        /// 1-based input line.
+        line: usize,
+        /// The offending (0-based) vertex id.
+        id: u64,
+    },
 }
 
 impl std::fmt::Display for IoError {
@@ -23,6 +49,14 @@ impl std::fmt::Display for IoError {
         match self {
             IoError::Io(e) => write!(f, "io error: {e}"),
             IoError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
+            IoError::VertexOutOfRange { line, id, limit } => write!(
+                f,
+                "vertex id {id} at line {line} is outside the declared vertex count {limit}"
+            ),
+            IoError::IdOverflow { line, id } => write!(
+                f,
+                "vertex id {id} at line {line} exceeds the maximum representable id {MAX_VERTEX_ID}"
+            ),
         }
     }
 }
@@ -36,8 +70,13 @@ impl From<std::io::Error> for IoError {
 }
 
 /// Read a whitespace-separated edge list (`u v` per line, 0-based ids,
-/// `#`/`%` comments). The vertex count is `max id + 1` unless a larger hint
-/// is given.
+/// `#`/`%` comments).
+///
+/// Without a hint the vertex count is `max id + 1`. With `n_hint` the
+/// count is exactly the hint, and any id `≥ n_hint` is rejected with
+/// [`IoError::VertexOutOfRange`] — the graph never silently outgrows a
+/// declared size. Ids above [`MAX_VERTEX_ID`] are rejected with
+/// [`IoError::IdOverflow`] in either mode.
 pub fn read_edge_list<R: Read>(reader: R, n_hint: Option<usize>) -> Result<Graph, IoError> {
     let br = BufReader::new(reader);
     let mut edges: Vec<(u32, u32)> = Vec::new();
@@ -50,15 +89,32 @@ pub fn read_edge_list<R: Read>(reader: R, n_hint: Option<usize>) -> Result<Graph
         }
         let mut it = t.split_whitespace();
         let parse = |s: Option<&str>| -> Result<u32, IoError> {
-            s.ok_or_else(|| IoError::Parse {
-                line: lineno + 1,
-                msg: "expected two vertex ids".into(),
-            })?
-            .parse::<u32>()
-            .map_err(|e| IoError::Parse {
-                line: lineno + 1,
-                msg: e.to_string(),
-            })
+            let id = s
+                .ok_or_else(|| IoError::Parse {
+                    line: lineno + 1,
+                    msg: "expected two vertex ids".into(),
+                })?
+                .parse::<u64>()
+                .map_err(|e| IoError::Parse {
+                    line: lineno + 1,
+                    msg: e.to_string(),
+                })?;
+            if id > MAX_VERTEX_ID {
+                return Err(IoError::IdOverflow {
+                    line: lineno + 1,
+                    id,
+                });
+            }
+            if let Some(limit) = n_hint {
+                if id >= limit as u64 {
+                    return Err(IoError::VertexOutOfRange {
+                        line: lineno + 1,
+                        id,
+                        limit: limit as u64,
+                    });
+                }
+            }
+            Ok(id as u32)
         };
         let u = parse(it.next())?;
         let v = parse(it.next())?;
@@ -147,8 +203,17 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, IoError> {
         };
         break (p(parts[0])?, p(parts[1])?, p(parts[2])?, i);
     };
+    // Dimensions bound the 0-based ids below, so they must themselves fit
+    // the id domain (dimension d admits ids up to d - 1).
+    let max_dim = rows.max(_cols);
+    if max_dim as u64 > MAX_VERTEX_ID + 1 {
+        return Err(IoError::IdOverflow {
+            line: size_line + 1,
+            id: max_dim as u64 - 1,
+        });
+    }
 
-    let mut b = GraphBuilder::new(rows.max(_cols));
+    let mut b = GraphBuilder::new(max_dim);
     b.reserve(nnz);
     let mut read = 0usize;
     for (i, l) in lines {
@@ -174,7 +239,23 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, IoError> {
         if r == 0 || c == 0 {
             return Err(IoError::Parse {
                 line: i + 1,
-                msg: "matrix market indices are 1-based".into(),
+                msg: "matrix market indices are 1-based (found a 0 index)".into(),
+            });
+        }
+        // Entries beyond the declared dimensions are corruption, not a
+        // request to grow the matrix.
+        if r > rows as u64 {
+            return Err(IoError::VertexOutOfRange {
+                line: i + 1,
+                id: r - 1,
+                limit: rows as u64,
+            });
+        }
+        if c > _cols as u64 {
+            return Err(IoError::VertexOutOfRange {
+                line: i + 1,
+                id: c - 1,
+                limit: _cols as u64,
             });
         }
         // Value field (if any) ignored.
@@ -293,6 +374,116 @@ mod tests {
     #[test]
     fn matrix_market_rejects_zero_index() {
         let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n0 1\n";
-        assert!(read_matrix_market(Cursor::new(text)).is_err());
+        let err = read_matrix_market(Cursor::new(text)).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn edge_list_rejects_ids_beyond_hint() {
+        // A declared size is a contract, not a lower bound: ids past it
+        // are corruption, never silent growth.
+        let err = read_edge_list(Cursor::new("0 1\n2 5\n"), Some(3)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                IoError::VertexOutOfRange {
+                    line: 2,
+                    id: 5,
+                    limit: 3
+                }
+            ),
+            "{err}"
+        );
+        // Equal to the hint is already out of range (ids are 0-based).
+        let err = read_edge_list(Cursor::new("0 3\n"), Some(3)).unwrap_err();
+        assert!(
+            matches!(err, IoError::VertexOutOfRange { id: 3, .. }),
+            "{err}"
+        );
+        // The same input reads fine without the hint.
+        let g = read_edge_list(Cursor::new("0 1\n2 5\n"), None).unwrap();
+        assert_eq!(g.num_vertices(), 6);
+    }
+
+    #[test]
+    fn edge_list_rejects_ids_near_u32_boundary() {
+        // u32::MAX is the INVALID sentinel and u32::MAX - 1 would need a
+        // vertex count of u32::MAX; both are typed errors instead of a
+        // builder panic (or a sentinel-colliding graph).
+        for id in [u32::MAX as u64, u32::MAX as u64 - 1] {
+            let err = read_edge_list(Cursor::new(format!("0 {id}\n")), None).unwrap_err();
+            assert!(
+                matches!(err, IoError::IdOverflow { line: 1, id: got } if got == id),
+                "{err}"
+            );
+        }
+        // The largest representable id is accepted by the parser (the
+        // range check fires before any allocation).
+        let err = read_edge_list(Cursor::new(format!("0 {MAX_VERTEX_ID}\n")), Some(4)).unwrap_err();
+        assert!(matches!(err, IoError::VertexOutOfRange { .. }), "{err}");
+        // Ids past u64 remain plain parse errors.
+        let err = read_edge_list(Cursor::new("0 99999999999999999999999\n"), None).unwrap_err();
+        assert!(matches!(err, IoError::Parse { .. }), "{err}");
+    }
+
+    #[test]
+    fn matrix_market_rejects_entries_beyond_declared_dims() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n1 3\n";
+        let err = read_matrix_market(Cursor::new(text)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                IoError::VertexOutOfRange {
+                    line: 3,
+                    id: 2,
+                    limit: 2
+                }
+            ),
+            "{err}"
+        );
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
+        assert!(matches!(
+            read_matrix_market(Cursor::new(text)).unwrap_err(),
+            IoError::VertexOutOfRange { line: 3, id: 2, .. }
+        ));
+    }
+
+    #[test]
+    fn matrix_market_rejects_overflowing_dimensions() {
+        let text = format!(
+            "%%MatrixMarket matrix coordinate pattern general\n{} 2 0\n",
+            u32::MAX
+        );
+        let err = read_matrix_market(Cursor::new(text)).unwrap_err();
+        assert!(matches!(err, IoError::IdOverflow { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn edge_list_fuzz_case_duplicate_selfloop_heavy_with_hint() {
+        // Minimized from a fuzzed raw edge list: duplicates, self-loops,
+        // comments interleaved, and an id exactly at the hint boundary on
+        // the last line. The reader must dedup/drop-loops for the valid
+        // prefix and still flag the trailing violation with its line.
+        let text = "3 3\n0 1\n1 0\n# dup\n0 1\n2 2\n\n1 4\n";
+        let err = read_edge_list(Cursor::new(text), Some(4)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                IoError::VertexOutOfRange {
+                    line: 8,
+                    id: 4,
+                    limit: 4
+                }
+            ),
+            "{err}"
+        );
+        // One more vertex of headroom and the same input is clean.
+        let ok = read_edge_list(Cursor::new(text), Some(5)).unwrap();
+        assert_eq!(ok.num_vertices(), 5);
+        assert_eq!(
+            ok.num_edges(),
+            2,
+            "(0,1) survives dedup, (1,4) stays, loops drop"
+        );
     }
 }

@@ -92,6 +92,21 @@ impl<'a> EdgeView<'a> {
     pub fn materialize(&self, g: &Graph) -> Graph {
         crate::subgraph::filter_edges(g, |e| self.admits(e))
     }
+
+    /// Original ids of the admitted edges, ascending.
+    ///
+    /// [`EdgeView::materialize`] renumbers edges by rank among the kept
+    /// ones, so the returned vector is exactly the new-id → original-id
+    /// map of the materialized subgraph. Solvers whose output depends on
+    /// edge identity (LMAX keys its random weights by edge id) use this
+    /// to stay byte-identical between the materialized and the zero-copy
+    /// masked paths.
+    pub fn admitted_edge_ids(&self, g: &Graph) -> Vec<u32> {
+        match self.filter {
+            None => (0..g.num_edges() as u32).collect(),
+            Some(_) => sb_par::frontier::compact_range(g.num_edges(), |e| self.admits(e)),
+        }
+    }
 }
 
 #[cfg(test)]

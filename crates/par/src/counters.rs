@@ -98,6 +98,20 @@ impl Counters {
     /// invoked when tracing is live, so callers may put real counting work
     /// in it without taxing untraced runs.
     pub fn finish_round(&self, scope: RoundScope, settled: impl FnOnce() -> u64) {
+        self.finish_round_flagged(scope, false, settled);
+    }
+
+    /// [`Counters::finish_round`] with an explicit `vacuous` marker: pass
+    /// `true` for a termination-check round that settled nothing by
+    /// construction (e.g. a dense sweep that only observed emptiness), so
+    /// trace consumers can compare *productive* round counts across
+    /// frontier modes (`sb_trace::productive_rounds_per_phase`).
+    pub fn finish_round_flagged(
+        &self,
+        scope: RoundScope,
+        vacuous: bool,
+        settled: impl FnOnce() -> u64,
+    ) {
         let Some(inner) = scope.open else {
             return;
         };
@@ -113,6 +127,7 @@ impl Counters {
                 .saturating_sub(inner.at_open.edges_scanned),
             now.work_items.saturating_sub(inner.at_open.work_items),
             inner.start.elapsed().as_micros() as u64,
+            vacuous,
         );
     }
 

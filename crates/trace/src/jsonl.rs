@@ -55,14 +55,15 @@ pub fn write_event<W: Write>(w: &mut W, event: &TraceEvent) -> std::io::Result<(
             };
             writeln!(
                 w,
-                "{{\"type\":\"round\",\"span\":{span},\"phase\":\"{}\",\"round\":{},\"active\":{},\"settled\":{},\"edges_scanned\":{},\"work_items\":{},\"duration_us\":{}}}",
+                "{{\"type\":\"round\",\"span\":{span},\"phase\":\"{}\",\"round\":{},\"active\":{},\"settled\":{},\"edges_scanned\":{},\"work_items\":{},\"duration_us\":{},\"vacuous\":{}}}",
                 escape(phase),
                 record.round,
                 record.active,
                 record.settled,
                 record.edges_scanned,
                 record.work_items,
-                record.duration_us
+                record.duration_us,
+                record.vacuous
             )
         }
     }
@@ -105,6 +106,7 @@ impl std::error::Error for ParseError {}
 enum Scalar {
     Num(u64),
     Str(String),
+    Bool(bool),
     Null,
 }
 
@@ -112,6 +114,13 @@ impl Scalar {
     fn as_num(&self) -> Option<u64> {
         match self {
             Scalar::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    fn as_bool(&self) -> Option<bool> {
+        match self {
+            Scalar::Bool(b) => Some(*b),
             _ => None,
         }
     }
@@ -200,6 +209,13 @@ fn event_from_fields(fields: &HashMap<String, Scalar>) -> Result<TraceEvent, Str
                 edges_scanned: num("edges_scanned")?,
                 work_items: num("work_items")?,
                 duration_us: num("duration_us")?,
+                // Absent in traces written before the flag existed.
+                vacuous: match fields.get("vacuous") {
+                    Some(v) => v
+                        .as_bool()
+                        .ok_or_else(|| "field \"vacuous\" must be a boolean".to_string())?,
+                    None => false,
+                },
             },
         }),
         other => Err(format!("unknown event type {other:?}")),
@@ -295,6 +311,18 @@ fn parse_scalar(chars: &mut Chars<'_>) -> Result<Scalar, String> {
             }
             Ok(Scalar::Null)
         }
+        Some(&(_, 't')) => {
+            for want in "true".chars() {
+                expect(chars, want)?;
+            }
+            Ok(Scalar::Bool(true))
+        }
+        Some(&(_, 'f')) => {
+            for want in "false".chars() {
+                expect(chars, want)?;
+            }
+            Ok(Scalar::Bool(false))
+        }
         Some(&(_, c)) if c.is_ascii_digit() => {
             let mut n: u64 = 0;
             while let Some(&(_, c)) = chars.peek() {
@@ -344,6 +372,7 @@ mod tests {
                     edges_scanned: 350,
                     work_items: 100,
                     duration_us: 17,
+                    vacuous: false,
                 },
             },
             TraceEvent::SpanEnd {

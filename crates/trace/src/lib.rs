@@ -85,6 +85,13 @@ pub struct RoundRecord {
     pub work_items: u64,
     /// Wall time of the round, microseconds.
     pub duration_us: u64,
+    /// True for a termination-check round that settled nothing by
+    /// construction — e.g. the dense LMAX sweep that observes no live
+    /// pointer remains and exits. Compact (frontier) forms may skip such
+    /// rounds entirely when their worklist empties, so cross-mode round
+    /// accounting compares *productive* (non-vacuous) rounds; see
+    /// [`productive_rounds_per_phase`].
+    pub vacuous: bool,
 }
 
 /// A single trace event. The JSONL file holds one event per line.
@@ -225,6 +232,7 @@ impl TraceSink {
         edges_scanned: u64,
         work_items: u64,
         duration_us: u64,
+        vacuous: bool,
     ) {
         let Some(inner) = self.inner.as_ref() else {
             return;
@@ -252,6 +260,7 @@ impl TraceSink {
                 edges_scanned,
                 work_items,
                 duration_us,
+                vacuous,
             },
         });
     }
@@ -324,14 +333,31 @@ pub fn total_delta(events: &[TraceEvent]) -> CounterDelta {
 
 /// Rounds recorded under each phase name, in first-appearance order.
 pub fn rounds_per_phase(events: &[TraceEvent]) -> Vec<(String, u64)> {
+    count_rounds_per_phase(events, |_| true)
+}
+
+/// *Productive* (non-vacuous) rounds per phase name, in first-appearance
+/// order. This is the round count that is invariant across
+/// dense/compact frontier modes: a dense solver may need one extra
+/// sweep to observe that nothing is left (recorded with
+/// `vacuous: true`), while the compact form's emptied worklist lets it
+/// skip that sweep.
+pub fn productive_rounds_per_phase(events: &[TraceEvent]) -> Vec<(String, u64)> {
+    count_rounds_per_phase(events, |r| !r.vacuous)
+}
+
+fn count_rounds_per_phase(
+    events: &[TraceEvent],
+    keep: impl Fn(&RoundRecord) -> bool,
+) -> Vec<(String, u64)> {
     let mut order: Vec<String> = Vec::new();
     let mut counts: std::collections::HashMap<String, u64> = std::collections::HashMap::new();
     for e in events {
-        if let TraceEvent::Round { phase, .. } = e {
+        if let TraceEvent::Round { phase, record, .. } = e {
             if !counts.contains_key(phase) {
                 order.push(phase.clone());
             }
-            *counts.entry(phase.clone()).or_insert(0) += 1;
+            *counts.entry(phase.clone()).or_insert(0) += u64::from(keep(record));
         }
     }
     order
@@ -348,7 +374,7 @@ mod tests {
     use super::*;
 
     fn push_round(sink: &TraceSink, settled: u64) {
-        sink.record_round(10, settled, 5, 10, 3);
+        sink.record_round(10, settled, 5, 10, 3, false);
     }
 
     #[test]

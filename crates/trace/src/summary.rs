@@ -113,11 +113,11 @@ mod tests {
         let sink = TraceSink::enabled();
         let a = sink.begin_span("induced-solve").unwrap();
         for d in [10, 20, 30] {
-            sink.record_round(1, 4, 0, 1, d);
+            sink.record_round(1, 4, 0, 1, d, false);
         }
         sink.end_span(a, Default::default());
         let b = sink.begin_span("cross-solve").unwrap();
-        sink.record_round(1, 0, 0, 1, 100);
+        sink.record_round(1, 0, 0, 1, 100, true);
         sink.end_span(b, Default::default());
 
         let s = sink.summary().unwrap();

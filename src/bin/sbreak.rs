@@ -7,6 +7,8 @@
 //! sbreak solve     <input> --problem mm|color|mis
 //!                          [--algo baseline|bridge|rand:K|degk:K|bicc]
 //!                          [--arch cpu|gpu] [--seed S] [-o solution.txt]
+//! sbreak fuzz      [--seed S] [--budget-secs T] [--max-cases K]
+//!                  [--threads N] [-o results/fuzz] [--replay case.txt]
 //! ```
 //!
 //! `<input>` is an edge-list or Matrix-Market (`.mtx`) file, or
@@ -41,7 +43,9 @@ fn usage() -> ! {
          sbreak decompose <input> --method bridge|rand:K|degk:K|metis:K|bicc [--seed S] [--trace <out.jsonl>]\n  \
          sbreak solve <input> --problem mm|color|mis [--algo baseline|bridge|rand:K|degk:K|bicc]\n  \
          \x20            [--arch cpu|gpu] [--frontier dense|compact] [--seed S] [--threads N]\n  \
-         \x20            [-o <file>] [--trace <out.jsonl>]\n\n\
+         \x20            [-o <file>] [--trace <out.jsonl>]\n  \
+         sbreak fuzz [--seed S] [--budget-secs T] [--max-cases K] [--threads N]\n  \
+         \x20           [-o <dir>] [--replay <case.txt>]\n\n\
          <input>: an edge-list/.mtx path, or gen:<table-II-name> (e.g. gen:lp1)"
     );
     std::process::exit(2)
@@ -98,6 +102,9 @@ struct Flags {
     bridges: bool,
     blocks: bool,
     threads: Option<usize>,
+    budget_secs: Option<u64>,
+    max_cases: Option<usize>,
+    replay: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -115,6 +122,9 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         bridges: false,
         blocks: false,
         threads: None,
+        budget_secs: None,
+        max_cases: None,
+        replay: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -155,6 +165,21 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     _ => return Err("--threads takes a positive integer".to_string()),
                 })
             }
+            "--budget-secs" => {
+                f.budget_secs = Some(
+                    val("--budget-secs")?
+                        .parse()
+                        .map_err(|_| "--budget-secs takes a u64".to_string())?,
+                )
+            }
+            "--max-cases" => {
+                f.max_cases = Some(
+                    val("--max-cases")?
+                        .parse()
+                        .map_err(|_| "--max-cases takes a positive integer".to_string())?,
+                )
+            }
+            "--replay" => f.replay = Some(val("--replay")?),
             "--bridges" => f.bridges = true,
             "--blocks" => f.blocks = true,
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
@@ -422,6 +447,79 @@ fn cmd_solve(f: &Flags) -> Result<(), String> {
     Ok(())
 }
 
+/// `sbreak fuzz`: run the differential fuzzing oracle (or replay one
+/// recorded counterexample). `--threads` here sets the wide N of the
+/// 1-vs-N matrix rather than pinning a pool — the oracle manages its own
+/// pools per run.
+fn cmd_fuzz(f: &Flags) -> Result<(), String> {
+    use sb_fuzz::{run_fuzz, CaseFile, FuzzOptions, Mutation, SolverConfig};
+
+    let wide = f.threads.unwrap_or(4);
+    if let Some(path) = &f.replay {
+        let case = CaseFile::load(Path::new(path))?;
+        let cfg = SolverConfig::parse(&case.config)?;
+        let g = symmetry_breaking::graph::builder::from_edge_list(case.n, &case.edges);
+        let threads = f.threads.unwrap_or(case.threads);
+        println!(
+            "replaying {}: {} (n={}, m={}, seed={}, wide={})",
+            path,
+            case.config,
+            case.n,
+            case.edges.len(),
+            case.seed,
+            threads
+        );
+        return match sb_fuzz::oracle::check_case(&g, &cfg, case.seed, threads, Mutation::None) {
+            Ok(()) => {
+                println!("case passes: the recorded failure no longer reproduces");
+                Ok(())
+            }
+            Err(fail) => Err(format!("case still fails — {fail}")),
+        };
+    }
+
+    let out_dir = f.output.clone().unwrap_or_else(|| "results/fuzz".into());
+    let report = run_fuzz(&FuzzOptions {
+        master_seed: f.seed,
+        budget: f.budget_secs.map(std::time::Duration::from_secs),
+        max_cases: f.max_cases,
+        wide_threads: wide,
+        out_dir: Some(out_dir.clone().into()),
+        ..FuzzOptions::default()
+    });
+    println!(
+        "fuzz: {} cases ({} configs covered) in {:.1}s{}",
+        report.cases_run,
+        report.configs_covered,
+        report.elapsed.as_secs_f64(),
+        if report.truncated { " [truncated]" } else { "" }
+    );
+    if report.counterexamples.is_empty() {
+        println!("zero counterexamples");
+        return Ok(());
+    }
+    for cex in &report.counterexamples {
+        eprintln!(
+            "counterexample: {} on '{}' seed {} — {}: {}",
+            cex.config, cex.graph, cex.seed, cex.kind, cex.detail
+        );
+        eprintln!(
+            "  minimized to n={} m={}{}",
+            cex.shrunk.n,
+            cex.shrunk.edges.len(),
+            match &cex.case_path {
+                Some(p) => format!(", case file {}", p.display()),
+                None => String::new(),
+            }
+        );
+        eprintln!("  regression skeleton:\n{}", cex.regression);
+    }
+    Err(format!(
+        "{} counterexample(s) found",
+        report.counterexamples.len()
+    ))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -439,15 +537,17 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&flags),
         "decompose" => cmd_decompose(&flags),
         "solve" => cmd_solve(&flags),
+        "fuzz" => cmd_fuzz(&flags),
         _ => {
             usage();
         }
     };
     // Pin the whole command to an explicit pool when asked; otherwise the
     // lazily-built global pool (host parallelism) governs parallel calls.
+    // `fuzz` is exempt: its oracle builds a 1-vs-N pool matrix itself.
     let result = match flags.threads {
-        Some(n) => symmetry_breaking::par::with_threads(n, run),
-        None => run(),
+        Some(n) if cmd != "fuzz" => symmetry_breaking::par::with_threads(n, run),
+        _ => run(),
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

@@ -146,6 +146,48 @@ fn round_and_launch_counts_thread_invariant() {
 }
 
 #[test]
+fn productive_round_counts_frontier_mode_invariant() {
+    // Dense and compact run the same productive rounds; only the dense
+    // termination sweep (recorded with `vacuous: true`) may differ — the
+    // compact form skips it when its worklist empties first. With vacuous
+    // rounds discounted, per-phase round counts carry no mode carve-outs:
+    // the same pin holds for the full-view baseline and the masked
+    // composite phases, at any thread count.
+    let g = graph();
+    let n = wide();
+
+    let traced = |algo: MmAlgorithm, mode: FrontierMode, threads: usize| {
+        with_threads(threads, || {
+            let sink = std::sync::Arc::new(TraceSink::enabled());
+            let opts = SolveOpts {
+                trace: Some(sink.clone()),
+                frontier: mode,
+            };
+            maximal_matching_opts(&g, algo, Arch::GpuSim, 7, &opts);
+            symmetry_breaking::trace::productive_rounds_per_phase(&sink.events())
+        })
+    };
+    for algo in [
+        MmAlgorithm::Baseline,
+        MmAlgorithm::Rand { partitions: 5 },
+        MmAlgorithm::Degk { k: 2 },
+    ] {
+        let dense = traced(algo, FrontierMode::Dense, 1);
+        for (mode, threads) in [
+            (FrontierMode::Dense, n),
+            (FrontierMode::Compact, 1),
+            (FrontierMode::Compact, n),
+        ] {
+            assert_eq!(
+                dense,
+                traced(algo, mode, threads),
+                "{algo:?}: productive rounds differ ({mode} at {threads} threads)"
+            );
+        }
+    }
+}
+
+#[test]
 fn deterministic_algorithms_ignore_seed() {
     // GM (lowest-id) and the oriented MIS are deterministic by design; the
     // seed only affects the decomposition in their composites.

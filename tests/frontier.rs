@@ -60,9 +60,7 @@ fn gm_matching_frontier_byte_identical_to_dense() {
 #[test]
 fn lmax_matching_frontier_byte_identical_to_dense_on_full_view() {
     // The GPU-sim baseline runs LMAX over the full edge set in both modes
-    // (no materialization, no edge-id remap), so identity holds. Masked
-    // composite views are documented to renumber edge weights and are not
-    // pinned here.
+    // (no materialization, no edge-id remap), so identity holds directly.
     let g = graph();
     for threads in [1, wide()] {
         with_threads(threads, || {
@@ -79,6 +77,32 @@ fn lmax_matching_frontier_byte_identical_to_dense_on_full_view() {
                 "LMAX dense/compact diverged at {threads} threads"
             );
             check_maximal_matching(&g, &compact).unwrap();
+        });
+    }
+}
+
+#[test]
+fn lmax_matching_frontier_byte_identical_to_dense_on_masked_views() {
+    // The composite phases hand LMAX *masked* RAND/DEGk views. The dense
+    // path materializes the admitted piece (renumbering edges) while the
+    // compact path solves zero-copy with original edge ids; both key the
+    // random weights by original id, so the masked solves must also be
+    // byte-identical at every thread count.
+    let g = graph();
+    for threads in [1, wide()] {
+        with_threads(threads, || {
+            for algo in [
+                MmAlgorithm::Rand { partitions: 5 },
+                MmAlgorithm::Degk { k: 2 },
+            ] {
+                let dense = mm(&g, algo, Arch::GpuSim, FrontierMode::Dense).mate;
+                let compact = mm(&g, algo, Arch::GpuSim, FrontierMode::Compact).mate;
+                assert_eq!(
+                    dense, compact,
+                    "{algo:?} on gpu-sim dense/compact diverged at {threads} threads"
+                );
+                check_maximal_matching(&g, &compact).unwrap();
+            }
         });
     }
 }

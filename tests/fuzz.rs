@@ -1,0 +1,64 @@
+//! The differential fuzzing oracle, exercised end to end: a planted
+//! solver bug must be caught and minimized (the harness self-validation
+//! the CI smoke job also runs), and a short clean sweep of the real
+//! solvers must report nothing. Full-budget sweeps run in CI via the
+//! `fuzz_smoke` binary; these tests keep the harness honest under
+//! `cargo test`.
+
+use sb_fuzz::{run_fuzz, CaseFile, FuzzOptions, Mutation};
+
+fn wide() -> usize {
+    std::env::var("SBREAK_TEST_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(4)
+        .max(1)
+}
+
+fn quick(mutation: Mutation, max_cases: usize) -> FuzzOptions {
+    FuzzOptions {
+        master_seed: 23,
+        max_cases: Some(max_cases),
+        wide_threads: wide(),
+        seeds_per_config: 1,
+        mutation,
+        max_counterexamples: 1,
+        shrink_evals: 300,
+        ..FuzzOptions::default()
+    }
+}
+
+#[test]
+fn planted_bug_is_caught_shrunk_and_replayable() {
+    let dir = std::env::temp_dir().join("sb-fuzz-test-cases");
+    let report = run_fuzz(&FuzzOptions {
+        out_dir: Some(dir.clone()),
+        ..quick(Mutation::CorruptMatching, 40)
+    });
+    let cex = report
+        .counterexamples
+        .first()
+        .expect("planted matching bug must be caught");
+    assert_eq!(cex.kind, "validity");
+    assert!(cex.shrunk.n <= 8, "shrunk to {} vertices", cex.shrunk.n);
+
+    // The written case file parses back to the minimized graph, and its
+    // regression skeleton names the failing configuration.
+    let path = cex.case_path.as_ref().expect("case file written");
+    let case = CaseFile::load(path).unwrap();
+    assert_eq!(case.n, cex.shrunk.n);
+    assert_eq!(case.edges, cex.shrunk.edges);
+    assert!(cex.regression.contains(&cex.config));
+    std::fs::remove_file(path).ok();
+}
+
+#[test]
+fn short_clean_sweep_reports_zero_counterexamples() {
+    let report = run_fuzz(&quick(Mutation::None, 60));
+    assert_eq!(report.cases_run, 60);
+    assert!(
+        report.counterexamples.is_empty(),
+        "unexpected counterexample: {:?}",
+        report.counterexamples[0]
+    );
+}

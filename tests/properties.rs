@@ -231,3 +231,77 @@ proptest! {
         }
     }
 }
+
+// Degenerate inputs surfaced by the differential fuzzer (`sb-fuzz`): the
+// proptest strategies above never generate n < 2 or all-isolated shapes,
+// so the minimized fuzz cases are pinned here directly.
+
+#[test]
+fn rand_partition_with_more_parts_than_vertices() {
+    let g = from_edge_list(3, &[(0, 1), (1, 2)]);
+    for k in [4, 16, 100] {
+        let d = decompose_rand(&g, k, 7, &Counters::new());
+        assert_eq!(d.part.len(), 3);
+        assert!(d.part.iter().all(|&p| (p as usize) < k));
+        assert_eq!(d.m_induced + d.m_cross, g.num_edges());
+        // Solves over the oversplit decomposition still finish and verify.
+        for arch in [Arch::Cpu, Arch::GpuSim] {
+            let run = maximal_matching(&g, MmAlgorithm::Rand { partitions: k }, arch, 7);
+            check_maximal_matching(&g, &run.mate).unwrap();
+            let run = maximal_independent_set(&g, MisAlgorithm::Rand { partitions: k }, arch, 7);
+            check_maximal_independent_set(&g, &run.in_set).unwrap();
+        }
+    }
+}
+
+#[test]
+fn degk_on_all_isolated_vertices() {
+    let g = Graph::empty(6);
+    for k in [0, 2, 5] {
+        let d = decompose_degk(&g, k, &Counters::new());
+        assert!(d.is_high.iter().all(|&h| !h), "isolated vertices are low");
+        assert_eq!(d.m_high + d.m_low + d.m_cross, 0);
+    }
+    for arch in [Arch::Cpu, Arch::GpuSim] {
+        let run = maximal_independent_set(&g, MisAlgorithm::Degk { k: 2 }, arch, 7);
+        assert!(
+            run.in_set.iter().all(|&b| b),
+            "isolated vertices all join the MIS"
+        );
+        let run = maximal_matching(&g, MmAlgorithm::Degk { k: 2 }, arch, 7);
+        check_maximal_matching(&g, &run.mate).unwrap();
+    }
+}
+
+#[test]
+fn bridge_on_empty_and_fully_disconnected_graphs() {
+    for g in [Graph::empty(0), Graph::empty(1), Graph::empty(8)] {
+        let d = decompose_bridge(&g, &Counters::new());
+        assert!(d.bridges.is_empty());
+        for arch in [Arch::Cpu, Arch::GpuSim] {
+            let mm = maximal_matching(&g, MmAlgorithm::Bridge, arch, 7);
+            check_maximal_matching(&g, &mm.mate).unwrap();
+            let mis = maximal_independent_set(&g, MisAlgorithm::Bridge, arch, 7);
+            check_maximal_independent_set(&g, &mis.in_set).unwrap();
+            let col = vertex_coloring(&g, ColorAlgorithm::Bridge, arch, 7);
+            check_coloring(&g, &col.color).unwrap();
+        }
+    }
+}
+
+#[test]
+fn single_vertex_and_single_edge_solves() {
+    for g in [from_edge_list(1, &[]), from_edge_list(2, &[(0, 1)])] {
+        for arch in [Arch::Cpu, Arch::GpuSim] {
+            for mode in [FrontierMode::Dense, FrontierMode::Compact] {
+                let opts = SolveOpts::with_mode(mode);
+                let mm = maximal_matching_opts(&g, MmAlgorithm::Baseline, arch, 7, &opts);
+                check_maximal_matching(&g, &mm.mate).unwrap();
+                let mis = maximal_independent_set_opts(&g, MisAlgorithm::Baseline, arch, 7, &opts);
+                check_maximal_independent_set(&g, &mis.in_set).unwrap();
+                let col = vertex_coloring_opts(&g, ColorAlgorithm::Baseline, arch, 7, &opts);
+                check_coloring(&g, &col.color).unwrap();
+            }
+        }
+    }
+}
