@@ -8,7 +8,8 @@
 //! composites.
 
 use sb_bench::harness::{load_suite, time_min, BenchConfig};
-use sb_bench::report::{fmt_ms, Table};
+use sb_bench::report::fmt_ms;
+use sb_bench::schemas;
 use sb_core::coloring::{vertex_coloring, ColorAlgorithm};
 use sb_core::matching::{maximal_matching, MmAlgorithm};
 use sb_core::mis::{maximal_independent_set, MisAlgorithm};
@@ -18,21 +19,8 @@ fn main() {
     let cfg = BenchConfig::from_env();
     let suite = load_suite(&cfg);
     let arch = cfg.arch;
-    let mut t = Table::new(
-        format!("Extension — BRIDGE vs BICC composites ({arch}, ms)"),
-        &[
-            "graph",
-            "MM base",
-            "MM-Bridge",
-            "MM-Bicc",
-            "COLOR base",
-            "COLOR-Bridge",
-            "COLOR-Bicc",
-            "MIS base",
-            "MIS-Bridge",
-            "MIS-Bicc",
-        ],
-    );
+    let schema = schemas::ablate_bicc(arch);
+    let mut t = schema.table();
     for (sp, g) in &suite.graphs {
         let mm = |algo| {
             let (ms, run) = time_min(cfg.reps, || maximal_matching(g, algo, arch, cfg.seed));
@@ -64,7 +52,7 @@ fn main() {
             fmt_ms(mis(MisAlgorithm::Bicc)),
         ]);
     }
-    t.emit(&format!("ablate_bicc_{arch}"));
+    t.emit(&schema.name);
     println!(
         "\nBICC classification costs the same BFS + LCA walks as BRIDGE but replaces\n\
          the mark bitset with a union-find; the composites then split at articulation\n\

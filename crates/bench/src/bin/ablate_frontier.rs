@@ -13,7 +13,8 @@
 //! The table is saved as `results/BENCH_frontier.json`.
 
 use sb_bench::harness::{load_suite, time_min, BenchConfig};
-use sb_bench::report::{fmt_ms, fmt_x, Table};
+use sb_bench::report::{fmt_ms, fmt_x};
+use sb_bench::schemas;
 use sb_core::common::{Arch, FrontierMode, SolveOpts};
 use sb_core::matching::{maximal_matching_opts, MmAlgorithm};
 use sb_core::mis::{maximal_independent_set_opts, MisAlgorithm};
@@ -26,17 +27,8 @@ fn main() {
         cfg.filter = "rgg-n-2-23".into(); // GM's vain-tendency showcase
     }
     let suite = load_suite(&cfg);
-    let mut t = Table::new(
-        "Frontier compaction — dense vs compact per workload",
-        &[
-            "workload",
-            "dense ms",
-            "compact ms",
-            "dense edges",
-            "compact edges",
-            "edge reduction",
-        ],
-    );
+    let schema = schemas::ablate_frontier();
+    let mut t = schema.table();
 
     let mut failures = 0usize;
     for (sp, g) in &suite.graphs {
@@ -113,7 +105,7 @@ fn main() {
             ]);
         }
     }
-    t.emit("ablate_frontier");
+    t.emit(&schema.name);
     if let Err(e) = t.save_json(Path::new("results"), "BENCH_frontier") {
         eprintln!("warning: could not save results/BENCH_frontier.json: {e}");
     } else {

@@ -6,7 +6,7 @@
 //! decomposition, causes the pathology).
 
 use sb_bench::harness::{load_suite, mm_rand_partitions, BenchConfig};
-use sb_bench::report::Table;
+use sb_bench::schemas;
 use sb_core::common::Arch;
 use sb_core::matching::gm::{gm_extend, gm_random_extend};
 use sb_core::matching::{maximal_matching, MmAlgorithm};
@@ -20,16 +20,8 @@ fn main() {
         cfg.filter = "rgg".into();
     }
     let suite = load_suite(&cfg);
-    let mut t = Table::new(
-        "§III-C — proposal rounds: GM vs MM-Rand vs random-priority GM",
-        &[
-            "graph",
-            "GM rounds",
-            "MM-Rand rounds",
-            "GM-randprio rounds",
-            "round ratio GM/MM-Rand",
-        ],
-    );
+    let schema = schemas::ablate_iterations();
+    let mut t = schema.table();
     for (sp, g) in &suite.graphs {
         let base = maximal_matching(g, MmAlgorithm::Baseline, Arch::Cpu, cfg.seed);
         check_maximal_matching(g, &base.mate).unwrap();
@@ -65,6 +57,6 @@ fn main() {
             format!("{ratio:.1}"),
         ]);
     }
-    t.emit("ablate_iterations");
+    t.emit(&schema.name);
     println!("\npaper: GM ≈ 14,000 iterations on rgg-n-2-24-s0; MM-Rand ≈ 17 + ~400.");
 }

@@ -3,7 +3,8 @@
 //! COLOR-Rand slows down because cross edges (hence conflicts) increase.
 
 use sb_bench::harness::{load_suite, time_min, BenchConfig};
-use sb_bench::report::{fmt_ms, Table};
+use sb_bench::report::fmt_ms;
+use sb_bench::schemas;
 use sb_core::coloring::{vertex_coloring, ColorAlgorithm};
 use sb_core::matching::{maximal_matching, MmAlgorithm};
 use sb_core::verify::{check_coloring, check_maximal_matching};
@@ -15,14 +16,10 @@ fn main() {
     let suite = load_suite(&cfg);
     let arch = cfg.arch;
 
-    let mut mm = Table::new(
-        format!("MM-Rand ({arch}) vs partition count (ms)"),
-        &["graph", "k=2", "k=4", "k=10", "k=20", "k=50", "k=100"],
-    );
-    let mut col = Table::new(
-        format!("COLOR-Rand ({arch}) vs partition count (ms)"),
-        &["graph", "k=2", "k=4", "k=10", "k=20", "k=50", "k=100"],
-    );
+    let mm_schema = schemas::ablate_partitions("mm", arch);
+    let col_schema = schemas::ablate_partitions("color", arch);
+    let mut mm = mm_schema.table();
+    let mut col = col_schema.table();
     for (sp, g) in &suite.graphs {
         let mut mm_row = vec![sp.name.to_string()];
         let mut col_row = vec![sp.name.to_string()];
@@ -41,6 +38,6 @@ fn main() {
         mm.row(mm_row);
         col.row(col_row);
     }
-    mm.emit(&format!("ablate_partitions_mm_{arch}"));
-    col.emit(&format!("ablate_partitions_color_{arch}"));
+    mm.emit(&mm_schema.name);
+    col.emit(&col_schema.name);
 }

@@ -14,7 +14,8 @@
 //! the widest pool over 1 thread.
 
 use sb_bench::harness::{load_suite, thread_counts, time_min, BenchConfig};
-use sb_bench::report::{fmt_ms, fmt_x, Table};
+use sb_bench::report::{fmt_ms, fmt_x};
+use sb_bench::schemas;
 use sb_core::common::Arch;
 use sb_core::matching::{maximal_matching, MmAlgorithm};
 use sb_core::mis::{maximal_independent_set, MisAlgorithm};
@@ -30,15 +31,8 @@ fn main() {
     let suite = load_suite(&cfg);
     let threads = thread_counts(&cfg);
     let host = std::thread::available_parallelism().map_or(1, |p| p.get());
-    let headers: Vec<String> = std::iter::once("workload".to_string())
-        .chain(threads.iter().map(|t| format!("{t} thr (ms)")))
-        .chain(std::iter::once("speedup".to_string()))
-        .collect();
-    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
-    let mut t = Table::new(
-        format!("Strong scaling — wall ms per thread count (host parallelism: {host})"),
-        &header_refs,
-    );
+    let schema = schemas::ablate_threads(&threads, host);
+    let mut t = schema.table();
 
     for (sp, g) in &suite.graphs {
         let workloads: Vec<(String, Box<dyn Fn() + Sync>)> = vec![
@@ -97,7 +91,7 @@ fn main() {
             t.row(row);
         }
     }
-    t.emit("ablate_threads");
+    t.emit(&schema.name);
     if let Err(e) = t.save_json(Path::new("results"), "BENCH_threads") {
         eprintln!("warning: could not save results/BENCH_threads.json: {e}");
     } else {

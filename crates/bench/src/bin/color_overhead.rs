@@ -5,7 +5,8 @@
 //! +4.6% GPU; COLOR-Bridge +0% CPU / +4.5% GPU.
 
 use sb_bench::harness::{color_rand_partitions, load_suite, BenchConfig};
-use sb_bench::report::{mean, Table};
+use sb_bench::report::mean;
+use sb_bench::schemas;
 use sb_core::coloring::{vertex_coloring, ColorAlgorithm};
 use sb_core::common::Arch;
 use sb_core::verify::{check_coloring, color_count};
@@ -13,16 +14,8 @@ use sb_core::verify::{check_coloring, color_count};
 fn main() {
     let cfg = BenchConfig::from_env();
     let suite = load_suite(&cfg);
-    let mut t = Table::new(
-        "§IV-D — extra colors vs baseline (% relative / absolute Δ)",
-        &[
-            "arch",
-            "COLOR-Bridge",
-            "COLOR-Rand",
-            "COLOR-Deg2",
-            "paper (relative)",
-        ],
-    );
+    let schema = schemas::color_overhead();
+    let mut t = schema.table();
     for arch in [Arch::Cpu, Arch::GpuSim] {
         let mut over = [Vec::new(), Vec::new(), Vec::new()];
         let mut delta = [Vec::new(), Vec::new(), Vec::new()];
@@ -64,7 +57,7 @@ fn main() {
             paper.into(),
         ]);
     }
-    t.emit("color_overhead");
+    t.emit(&schema.name);
     println!(
         "
 note: the stand-in graphs use far fewer colors than the paper's (small

@@ -1,10 +1,22 @@
 //! Reproduce Figure 2: decomposition time per technique per graph.
+//!
+//! The suite loads through an `sb-engine` graph cache, so the ingestion
+//! this figure times against is the same one a `sbreak batch` run on the
+//! same `(graph, scale, seed)` keys would reuse.
 
-use sb_bench::harness::{load_suite, BenchConfig};
+use sb_bench::harness::{load_suite_with, BenchConfig};
 use sb_bench::runners::decomposition_figure;
+use sb_bench::schemas;
+use sb_engine::{Engine, EngineConfig};
 
 fn main() {
     let cfg = BenchConfig::from_env();
-    let suite = load_suite(&cfg);
-    decomposition_figure(&suite, cfg.seed, cfg.reps).emit("fig2");
+    let mut engine = Engine::new(EngineConfig::default());
+    let suite = load_suite_with(&cfg, &mut engine);
+    decomposition_figure(&suite, cfg.seed, cfg.reps).emit(&schemas::fig2().name);
+    let gs = engine.graph_cache_stats();
+    println!(
+        "[engine graph cache: {} insert(s), {} hit(s)]",
+        gs.inserts, gs.hits
+    );
 }

@@ -3,6 +3,7 @@
 
 use sb_bench::harness::{load_suite, BenchConfig};
 use sb_bench::runners::coloring_figure;
+use sb_bench::schemas;
 use sb_core::common::Arch;
 
 fn main() {
@@ -16,7 +17,7 @@ fn main() {
         cfg.trace_dir.as_deref(),
         cfg.frontier,
     );
-    t.emit(&format!("fig4_{}", cfg.arch));
+    t.emit(&schemas::fig4(cfg.arch).name);
     if let Some(a) = avg {
         let paper = match cfg.arch {
             Arch::Cpu => "paper: COLOR-Deg2 1.27x",

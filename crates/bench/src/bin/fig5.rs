@@ -3,6 +3,7 @@
 
 use sb_bench::harness::{load_suite, BenchConfig};
 use sb_bench::runners::mis_figure;
+use sb_bench::schemas;
 
 fn main() {
     let cfg = BenchConfig::from_env();
@@ -15,7 +16,7 @@ fn main() {
         cfg.trace_dir.as_deref(),
         cfg.frontier,
     );
-    t.emit(&format!("fig5_{}", cfg.arch));
+    t.emit(&schemas::fig5(cfg.arch).name);
     if let Some(a) = avg {
         println!(
             "\naverage MIS-Deg2 speedup (GPU avg excludes c-73, lp1): {a:.2}x \

@@ -9,6 +9,7 @@
 
 use sb_bench::harness::{load_suite, BenchConfig};
 use sb_bench::report::Table;
+use sb_bench::schemas;
 use sb_core::coloring::{vertex_coloring, ColorAlgorithm};
 use sb_core::common::Arch;
 use sb_core::matching::{maximal_matching, MmAlgorithm};
@@ -46,25 +47,8 @@ fn main() {
     );
 
     for (sp, g) in &suite.graphs {
-        let mut t = Table::new(
-            format!(
-                "{} — GPU counter breakdown (|V| = {}, |E| = {})",
-                sp.name,
-                g.num_vertices(),
-                g.num_edges()
-            ),
-            &[
-                "algorithm",
-                "rounds",
-                "launches",
-                "streamed",
-                "gathered",
-                "launch ms",
-                "stream ms",
-                "gather ms",
-                "modeled ms",
-            ],
-        );
+        let schema = schemas::model_report(sp.name, g.num_vertices(), g.num_edges());
+        let mut t = schema.table();
         let arch = Arch::GpuSim;
         row(
             "LMAX (baseline)",
@@ -108,6 +92,6 @@ fn main() {
                 .counters,
             &mut t,
         );
-        t.emit(&format!("model_report_{}", sp.name.replace('/', "_")));
+        t.emit(&schema.name);
     }
 }

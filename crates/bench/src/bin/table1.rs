@@ -1,11 +1,53 @@
 //! Reproduce Table I: the summary of best decomposition and average
-//! speedup per problem per architecture. Runs all six figure experiments.
+//! speedup per problem per architecture. Runs all six figure experiments,
+//! then replays the paper's three headline composites per graph as one
+//! `sb-engine` batch (cached vs fresh) and writes the amortization report
+//! to `results/BENCH_engine.json`.
 
 use sb_bench::harness::{load_suite, BenchConfig};
-use sb_bench::runners::table1;
+use sb_bench::runners::{engine_amortization, table1};
+use std::path::Path;
 
 fn main() {
     let cfg = BenchConfig::from_env();
     let suite = load_suite(&cfg);
     table1(&suite, cfg.seed, cfg.reps, cfg.frontier).emit("table1");
+
+    if cfg.data_dir.is_some() {
+        // File-backed suites have no `gen:` key for the engine's graph
+        // cache; the amortization report only covers generated suites.
+        println!("\n[skipping BENCH_engine.json: --data-dir suites are file-backed]");
+        return;
+    }
+    let scale = cfg.scale.factor();
+    let report = match engine_amortization(&suite, cfg.arch, cfg.seed, scale, cfg.frontier) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: engine amortization batch failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", report.render_markdown());
+    let out = Path::new("results/BENCH_engine.json");
+    if let Err(e) = report.save_json(out) {
+        eprintln!("warning: {e}");
+    } else {
+        println!("\n[saved {}]", out.display());
+    }
+    match report.speedup() {
+        Some(x) if x >= 1.5 => {
+            println!("cached batch is {x:.2}x faster than fresh per-job runs (>= 1.5x)");
+        }
+        Some(x) => {
+            eprintln!(
+                "error: cached batch only {x:.2}x faster than fresh per-job runs (< 1.5x); \
+                 the decomposition cache is not amortizing"
+            );
+            std::process::exit(1);
+        }
+        None => {
+            eprintln!("error: amortization report has no fresh timings");
+            std::process::exit(1);
+        }
+    }
 }

@@ -2,9 +2,10 @@
 
 use sb_bench::harness::{load_suite, BenchConfig};
 use sb_bench::runners::table2;
+use sb_bench::schemas;
 
 fn main() {
     let cfg = BenchConfig::from_env();
     let suite = load_suite(&cfg);
-    table2(&suite).emit("table2");
+    table2(&suite).emit(&schemas::table2().name);
 }

@@ -31,3 +31,4 @@
 pub mod harness;
 pub mod report;
 pub mod runners;
+pub mod schemas;

@@ -1,7 +1,6 @@
 //! Table formatting and persistence for the bench binaries.
 
 use std::fs;
-use std::io::Write;
 use std::path::Path;
 
 /// A simple result table, printed as markdown and saved as CSV.
@@ -65,10 +64,13 @@ impl Table {
     }
 
     /// Save as `results/<name>.csv` relative to `dir` (created on demand).
-    pub fn save_csv(&self, dir: &Path, name: &str) -> std::io::Result<()> {
-        fs::create_dir_all(dir)?;
-        let mut f = fs::File::create(dir.join(format!("{name}.csv")))?;
-        writeln!(f, "{}", self.headers.join(","))?;
+    /// Errors name the path that failed, not just the raw io error.
+    pub fn save_csv(&self, dir: &Path, name: &str) -> Result<(), String> {
+        let path = dir.join(format!("{name}.csv"));
+        ensure_parent(&path)?;
+        let mut out = String::new();
+        out.push_str(&self.headers.join(","));
+        out.push('\n');
         for row in &self.rows {
             let escaped: Vec<String> = row
                 .iter()
@@ -80,17 +82,18 @@ impl Table {
                     }
                 })
                 .collect();
-            writeln!(f, "{}", escaped.join(","))?;
+            out.push_str(&escaped.join(","));
+            out.push('\n');
         }
-        Ok(())
+        fs::write(&path, out).map_err(|e| format!("cannot write {}: {e}", path.display()))
     }
 
     /// Save as `<dir>/<name>.json` (created on demand): the title plus one
     /// record per row, keyed by the column headers — the machine-readable
-    /// twin of [`Table::save_csv`].
-    pub fn save_json(&self, dir: &Path, name: &str) -> std::io::Result<()> {
-        fs::create_dir_all(dir)?;
-        let mut f = fs::File::create(dir.join(format!("{name}.json")))?;
+    /// twin of [`Table::save_csv`]. Errors name the path that failed.
+    pub fn save_json(&self, dir: &Path, name: &str) -> Result<(), String> {
+        let path = dir.join(format!("{name}.json"));
+        ensure_parent(&path)?;
         let records: Vec<String> = self
             .rows
             .iter()
@@ -104,12 +107,12 @@ impl Table {
                 format!("{{{}}}", fields.join(","))
             })
             .collect();
-        writeln!(
-            f,
-            "{{\"title\":\"{}\",\"records\":[{}]}}",
+        let body = format!(
+            "{{\"title\":\"{}\",\"records\":[{}]}}\n",
             json_escape(&self.title),
             records.join(",")
-        )
+        );
+        fs::write(&path, body).map_err(|e| format!("cannot write {}: {e}", path.display()))
     }
 
     /// Print and save under `results/` in the current directory.
@@ -126,6 +129,17 @@ impl Table {
             println!("[saved results/{name}.json]");
         }
     }
+}
+
+/// Create the parent directory of `path`, naming the directory in the error.
+fn ensure_parent(path: &Path) -> Result<(), String> {
+    if let Some(dir) = path.parent() {
+        if !dir.as_os_str().is_empty() {
+            fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create directory {}: {e}", dir.display()))?;
+        }
+    }
+    Ok(())
 }
 
 /// Escape a string for inclusion in a JSON string literal.
@@ -225,6 +239,38 @@ mod tests {
     fn json_escape_control_chars() {
         assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn save_creates_parents_and_errors_name_the_path() {
+        let dir = std::env::temp_dir()
+            .join("sb-bench-test-parents")
+            .join("deep")
+            .join("er");
+        std::fs::remove_dir_all(std::env::temp_dir().join("sb-bench-test-parents")).ok();
+        let mut t = Table::new("x", &["a"]);
+        t.row(vec!["1".into()]);
+        t.save_csv(&dir, "t").unwrap();
+        t.save_json(&dir, "t").unwrap();
+        assert!(dir.join("t.csv").is_file());
+        assert!(dir.join("t.json").is_file());
+
+        // A file where a directory must go: both writers fail, and the
+        // message carries the offending path so the user can act on it.
+        let clash_root = std::env::temp_dir().join("sb-bench-test-parents-clash");
+        std::fs::remove_dir_all(&clash_root).ok();
+        std::fs::create_dir_all(&clash_root).unwrap();
+        let file_as_dir = clash_root.join("not-a-dir");
+        std::fs::write(&file_as_dir, "occupied").unwrap();
+        let err = t.save_json(&file_as_dir, "t").unwrap_err();
+        assert!(
+            err.contains("not-a-dir"),
+            "error should name the path, got: {err}"
+        );
+        let err = t.save_csv(&file_as_dir, "t").unwrap_err();
+        assert!(err.contains("not-a-dir"), "got: {err}");
+        std::fs::remove_dir_all(std::env::temp_dir().join("sb-bench-test-parents")).ok();
+        std::fs::remove_dir_all(&clash_root).ok();
     }
 
     #[test]

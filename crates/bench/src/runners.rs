@@ -5,6 +5,7 @@ use crate::harness::{
     color_rand_partitions, mis_rand_partitions, mm_rand_partitions, time_min, Suite,
 };
 use crate::report::{fmt_ms, fmt_x, mean, Table};
+use crate::schemas;
 use sb_core::coloring::{vertex_coloring_opts, ColorAlgorithm};
 use sb_core::common::{Arch, FrontierMode, SolveOpts};
 use sb_core::matching::{maximal_matching_opts, MmAlgorithm};
@@ -44,33 +45,10 @@ fn dump_trace<T>(dir: Option<&Path>, name: &str, f: impl FnOnce(Option<Arc<Trace
     }
 }
 
-/// Label for the time unit in figure titles.
-fn time_unit(arch: Arch) -> &'static str {
-    match arch {
-        Arch::Cpu => "wall ms",
-        Arch::GpuSim => "modeled K40c ms",
-    }
-}
-
 /// Table II: measured statistics of every suite graph next to the paper's
 /// values for the real graph.
 pub fn table2(suite: &Suite) -> Table {
-    let mut t = Table::new(
-        "Table II — dataset statistics (measured stand-in vs paper)",
-        &[
-            "graph",
-            "class",
-            "|V|",
-            "|E|",
-            "%DEG2",
-            "%DEG2 (paper)",
-            "%BRIDGES",
-            "%BRIDGES (paper)",
-            "avg deg",
-            "avg deg (paper)",
-            "pseudo-diam",
-        ],
-    );
+    let mut t = schemas::table2().table();
     for (sp, g) in &suite.graphs {
         let s = GraphStats::compute(g);
         let diam = sb_graph::bfs::pseudo_diameter(g, 0, &Counters::new());
@@ -100,10 +78,7 @@ pub fn table2(suite: &Suite) -> Table {
 /// Figure 2: time of each decomposition technique per graph (RAND with 10
 /// partitions, DEG2, plus the METIS-like stand-in for Remark 1).
 pub fn decomposition_figure(suite: &Suite, seed: u64, reps: usize) -> Table {
-    let mut t = Table::new(
-        "Figure 2 — decomposition time (ms)",
-        &["graph", "BRIDGE", "RAND(10)", "DEG2", "METIS-like(8)"],
-    );
+    let mut t = schemas::fig2().table();
     for (sp, g) in &suite.graphs {
         let (bridge_ms, _) = time_min(reps, || decompose_bridge(g, &Counters::new()));
         let (rand_ms, _) = time_min(reps, || decompose_rand(g, 10, seed, &Counters::new()));
@@ -133,22 +108,7 @@ pub fn matching_figure(
     mode: FrontierMode,
 ) -> (Table, Option<f64>) {
     let opts = SolveOpts::with_mode(mode);
-    let mut t = Table::new(
-        format!(
-            "Figure 3 ({arch}) — maximal matching time ({})",
-            time_unit(arch)
-        ),
-        &[
-            "graph",
-            "baseline",
-            "MM-Bridge",
-            "MM-Rand",
-            "MM-Deg2",
-            "rand speedup",
-            "baseline rounds",
-            "rand rounds",
-        ],
-    );
+    let mut t = schemas::fig3(arch).table();
     let mut speedups = Vec::new();
     for (sp, g) in &suite.graphs {
         let (base_ms, base) = time_min(reps, || {
@@ -221,23 +181,7 @@ pub fn coloring_figure(
     mode: FrontierMode,
 ) -> (Table, Option<f64>) {
     let opts = SolveOpts::with_mode(mode);
-    let headline = match arch {
-        Arch::Cpu => "degk speedup",
-        Arch::GpuSim => "rand speedup",
-    };
-    let mut t = Table::new(
-        format!("Figure 4 ({arch}) — coloring time ({})", time_unit(arch)),
-        &[
-            "graph",
-            "baseline",
-            "COLOR-Bridge",
-            "COLOR-Rand",
-            "COLOR-Deg2",
-            headline,
-            "colors base",
-            "colors winner",
-        ],
-    );
+    let mut t = schemas::fig4(arch).table();
     let mut speedups = Vec::new();
     for (sp, g) in &suite.graphs {
         let (base_ms, base) = time_min(reps, || {
@@ -322,18 +266,7 @@ pub fn mis_figure(
     mode: FrontierMode,
 ) -> (Table, Option<f64>) {
     let opts = SolveOpts::with_mode(mode);
-    let mut t = Table::new(
-        format!("Figure 5 ({arch}) — MIS time ({})", time_unit(arch)),
-        &[
-            "graph",
-            "LubyMIS",
-            "MIS-Bridge",
-            "MIS-Rand",
-            "MIS-Deg2",
-            "deg2 speedup",
-            "luby rounds",
-        ],
-    );
+    let mut t = schemas::fig5(arch).table();
     let mut speedups = Vec::new();
     for (sp, g) in &suite.graphs {
         let (base_ms, base) = time_min(reps, || {
@@ -398,18 +331,7 @@ pub fn mis_figure(
 /// Table I: best decomposition + average speedup per (problem, arch),
 /// assembled by running the three figures on both architectures.
 pub fn table1(suite: &Suite, seed: u64, reps: usize, mode: FrontierMode) -> Table {
-    let mut t = Table::new(
-        "Table I — summary (decomposition, avg speedup) per problem and arch",
-        &[
-            "problem",
-            "CPU decomposition",
-            "CPU speedup",
-            "GPU decomposition",
-            "GPU speedup",
-            "paper CPU",
-            "paper GPU",
-        ],
-    );
+    let mut t = schemas::table1().table();
     let (_, mm_cpu) = matching_figure(suite, Arch::Cpu, seed, reps, None, mode);
     let (_, mm_gpu) = matching_figure(suite, Arch::GpuSim, seed, reps, None, mode);
     let (_, col_cpu) = coloring_figure(suite, Arch::Cpu, seed, reps, None, mode);
@@ -445,6 +367,45 @@ pub fn table1(suite: &Suite, seed: u64, reps: usize, mode: FrontierMode) -> Tabl
         "DEGk 2.16x".into(),
     ]);
     t
+}
+
+/// Table I's batched twin: for every suite graph, run the paper's three
+/// headline composites (MM-Rand at the paper's partition count, COLOR-Deg2,
+/// MIS-Deg2) as one `sb-engine` batch, cached vs fresh. The three jobs
+/// share one graph ingestion and — for COLOR/MIS — one DEG2 decomposition,
+/// so the report's speedup column quantifies what the cache amortizes.
+///
+/// `scale`/`graph_seed` must match how the suite was generated so the job
+/// keys resolve to the same graphs (`--data-dir` file suites regenerate).
+pub fn engine_amortization(
+    suite: &Suite,
+    arch: Arch,
+    seed: u64,
+    scale: f64,
+    mode: FrontierMode,
+) -> Result<sb_engine::BatchReport, String> {
+    use sb_engine::{run_batch_compare, BatchOptions, EngineConfig, JobSpec, Solver};
+
+    let mut jobs = Vec::new();
+    for (sp, _) in &suite.graphs {
+        let job = |tag: &str, solver: Solver| JobSpec {
+            label: format!("{}-{tag}", sp.name.replace('/', "_")),
+            graph: format!("gen:{}", sp.name),
+            scale,
+            graph_seed: Some(seed),
+            solver,
+            arch,
+            frontier: mode,
+            seed,
+            threads: None,
+            timeout_ms: None,
+        };
+        let k = mm_rand_partitions(arch, sp);
+        jobs.push(job("mm", Solver::Mm(MmAlgorithm::Rand { partitions: k })));
+        jobs.push(job("color", Solver::Color(ColorAlgorithm::Degk { k: 2 })));
+        jobs.push(job("mis", Solver::Mis(MisAlgorithm::Degk { k: 2 })));
+    }
+    run_batch_compare(&jobs, EngineConfig::default(), &BatchOptions::default())
 }
 
 #[cfg(test)]
@@ -513,6 +474,20 @@ mod tests {
             assert!(!events.is_empty(), "{p:?} must hold events");
         }
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn engine_amortization_batches_three_jobs_per_graph() {
+        let suite = tiny_suite("lp1");
+        let rep = engine_amortization(&suite, Arch::Cpu, 42, 0.05, FrontierMode::Compact).unwrap();
+        assert_eq!(rep.jobs.len(), 3);
+        assert!(rep.all_ok());
+        assert!(rep.speedup().is_some());
+        // COLOR-Deg2 and MIS-Deg2 share one DEG2 decomposition: the later
+        // job must hit the cache.
+        assert!(rep.jobs.iter().any(|j| j.decomp_cached == Some(true)));
+        // All three share one graph ingestion.
+        assert!(rep.jobs.iter().filter(|j| j.graph_cached).count() >= 2);
     }
 
     #[test]

@@ -4,10 +4,10 @@ use super::{eb, vb, vb_window, ColoringRun};
 use crate::common::{counters_for_opts, Arch, FrontierMode, RunStats, SolveOpts};
 use crate::matching::materialize_for_gpu;
 use rayon::prelude::*;
-use sb_decompose::bicc::decompose_bicc;
-use sb_decompose::bridge::decompose_bridge;
-use sb_decompose::degk::decompose_degk;
-use sb_decompose::rand_part::decompose_rand;
+use sb_decompose::bicc::{decompose_bicc, BiccDecomposition};
+use sb_decompose::bridge::{decompose_bridge, BridgeDecomposition};
+use sb_decompose::degk::{decompose_degk, DegkDecomposition};
+use sb_decompose::rand_part::{decompose_rand, RandDecomposition};
 use sb_graph::csr::{Graph, VertexId, INVALID};
 use sb_graph::view::EdgeView;
 use sb_par::bsp::BspExecutor;
@@ -15,6 +15,7 @@ use sb_par::counters::{Counters, Stopwatch};
 use sb_par::frontier::Scratch;
 use sb_trace::TraceSink;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Color the vertices of `worklist` against the edges of `view`, with the
 /// architecture's baseline, drawing colors from `base` upward using a
@@ -158,14 +159,38 @@ pub fn color_bridge_traced(
 /// [`color_bridge`] with full per-run options.
 pub fn color_bridge_opts(g: &Graph, arch: Arch, seed: u64, opts: &SolveOpts) -> ColoringRun {
     let counters = counters_for_opts(opts);
-    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let d = {
         let _span = counters.phase("decompose");
         decompose_bridge(g, &counters)
     };
     let decompose_time = sw.elapsed();
+    color_bridge_solve(g, &d, arch, seed, opts, counters, decompose_time)
+}
 
+/// [`color_bridge`] against a precomputed decomposition (solve phases
+/// only; zero reported decomposition time, byte-identical coloring).
+pub fn color_bridge_with(
+    g: &Graph,
+    d: &BridgeDecomposition,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+) -> ColoringRun {
+    let counters = counters_for_opts(opts);
+    color_bridge_solve(g, d, arch, seed, opts, counters, Duration::ZERO)
+}
+
+fn color_bridge_solve(
+    g: &Graph,
+    d: &BridgeDecomposition,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+    counters: Counters,
+    decompose_time: Duration,
+) -> ColoringRun {
+    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let mut color = vec![INVALID; g.num_vertices()];
     {
@@ -238,14 +263,38 @@ pub fn color_rand_opts(
     opts: &SolveOpts,
 ) -> ColoringRun {
     let counters = counters_for_opts(opts);
-    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let d = {
         let _span = counters.phase("decompose");
         decompose_rand(g, partitions, seed, &counters)
     };
     let decompose_time = sw.elapsed();
+    color_rand_solve(g, &d, arch, seed, opts, counters, decompose_time)
+}
 
+/// [`color_rand`] against a precomputed decomposition. `d` must come from
+/// `decompose_rand(g, partitions, seed, …)` with this same `seed`.
+pub fn color_rand_with(
+    g: &Graph,
+    d: &RandDecomposition,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+) -> ColoringRun {
+    let counters = counters_for_opts(opts);
+    color_rand_solve(g, d, arch, seed, opts, counters, Duration::ZERO)
+}
+
+fn color_rand_solve(
+    g: &Graph,
+    d: &RandDecomposition,
+    arch: Arch,
+    _seed: u64,
+    opts: &SolveOpts,
+    counters: Counters,
+    decompose_time: Duration,
+) -> ColoringRun {
+    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let mut color = vec![INVALID; g.num_vertices()];
     {
@@ -318,7 +367,6 @@ pub fn color_degk_opts(
     opts: &SolveOpts,
 ) -> ColoringRun {
     let counters = counters_for_opts(opts);
-    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let d = {
         let _span = counters.phase("decompose");
@@ -326,8 +374,33 @@ pub fn color_degk_opts(
     };
     let decompose_time = sw.elapsed();
     let _ = seed;
+    color_degk_solve(g, &d, arch, opts, counters, decompose_time)
+}
 
+/// [`color_degk`] against a precomputed decomposition. The decomposition
+/// carries its own `k` (palette window `d.k + 1` on the low side).
+pub fn color_degk_with(
+    g: &Graph,
+    d: &DegkDecomposition,
+    arch: Arch,
+    _seed: u64,
+    opts: &SolveOpts,
+) -> ColoringRun {
+    let counters = counters_for_opts(opts);
+    color_degk_solve(g, d, arch, opts, counters, Duration::ZERO)
+}
+
+fn color_degk_solve(
+    g: &Graph,
+    d: &DegkDecomposition,
+    arch: Arch,
+    opts: &SolveOpts,
+    counters: Counters,
+    decompose_time: Duration,
+) -> ColoringRun {
+    let k = d.k;
     let sw = Stopwatch::start();
+    let mut scratch = Scratch::new();
     let mut color = vec![INVALID; g.num_vertices()];
     {
         let _span = counters.phase("induced-solve");
@@ -408,7 +481,6 @@ pub fn color_bicc_traced(
 /// [`color_bicc`] with full per-run options.
 pub fn color_bicc_opts(g: &Graph, arch: Arch, seed: u64, opts: &SolveOpts) -> ColoringRun {
     let counters = counters_for_opts(opts);
-    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let d = {
         let _span = counters.phase("decompose");
@@ -416,7 +488,30 @@ pub fn color_bicc_opts(g: &Graph, arch: Arch, seed: u64, opts: &SolveOpts) -> Co
     };
     let decompose_time = sw.elapsed();
     let _ = seed;
+    color_bicc_solve(g, &d, arch, opts, counters, decompose_time)
+}
 
+/// [`color_bicc`] against a precomputed decomposition.
+pub fn color_bicc_with(
+    g: &Graph,
+    d: &BiccDecomposition,
+    arch: Arch,
+    _seed: u64,
+    opts: &SolveOpts,
+) -> ColoringRun {
+    let counters = counters_for_opts(opts);
+    color_bicc_solve(g, d, arch, opts, counters, Duration::ZERO)
+}
+
+fn color_bicc_solve(
+    g: &Graph,
+    d: &BiccDecomposition,
+    arch: Arch,
+    opts: &SolveOpts,
+    counters: Counters,
+    decompose_time: Duration,
+) -> ColoringRun {
+    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let mut color = vec![INVALID; g.num_vertices()];
     {

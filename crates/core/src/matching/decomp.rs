@@ -8,16 +8,17 @@
 
 use super::{base_extend, fresh_mate, MatchingRun};
 use crate::common::{counters_for_opts, Arch, RunStats, SolveOpts};
-use sb_decompose::bicc::decompose_bicc;
-use sb_decompose::bridge::decompose_bridge;
-use sb_decompose::degk::decompose_degk;
-use sb_decompose::rand_part::decompose_rand;
+use sb_decompose::bicc::{decompose_bicc, BiccDecomposition};
+use sb_decompose::bridge::{decompose_bridge, BridgeDecomposition};
+use sb_decompose::degk::{decompose_degk, DegkDecomposition};
+use sb_decompose::rand_part::{decompose_rand, RandDecomposition};
 use sb_graph::csr::{Graph, INVALID};
 use sb_graph::view::EdgeView;
-use sb_par::counters::Stopwatch;
+use sb_par::counters::{Counters, Stopwatch};
 use sb_par::frontier::Scratch;
 use sb_trace::TraceSink;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Run the architecture's baseline matcher on the whole graph (no
 /// decomposition). This is the comparison bar in Figure 3.
@@ -83,14 +84,40 @@ pub fn mm_bridge_traced(
 /// [`mm_bridge`] with full per-run options.
 pub fn mm_bridge_opts(g: &Graph, arch: Arch, seed: u64, opts: &SolveOpts) -> MatchingRun {
     let counters = counters_for_opts(opts);
-    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let d = {
         let _span = counters.phase("decompose");
         decompose_bridge(g, &counters)
     };
     let decompose_time = sw.elapsed();
+    mm_bridge_solve(g, &d, arch, seed, opts, counters, decompose_time)
+}
 
+/// [`mm_bridge`] against a precomputed decomposition (e.g. from a cache):
+/// the solve phases only, with zero reported decomposition time. The mate
+/// array is byte-identical to [`mm_bridge_opts`] at the same seed — the
+/// solve depends only on `(g, d, arch, seed, frontier)`.
+pub fn mm_bridge_with(
+    g: &Graph,
+    d: &BridgeDecomposition,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+) -> MatchingRun {
+    let counters = counters_for_opts(opts);
+    mm_bridge_solve(g, d, arch, seed, opts, counters, Duration::ZERO)
+}
+
+fn mm_bridge_solve(
+    g: &Graph,
+    d: &BridgeDecomposition,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+    counters: Counters,
+    decompose_time: Duration,
+) -> MatchingRun {
+    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let mut mate = fresh_mate(g.num_vertices());
     // Phase 1: M_c on the components.
@@ -165,14 +192,39 @@ pub fn mm_rand_opts(
     opts: &SolveOpts,
 ) -> MatchingRun {
     let counters = counters_for_opts(opts);
-    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let d = {
         let _span = counters.phase("decompose");
         decompose_rand(g, partitions, seed, &counters)
     };
     let decompose_time = sw.elapsed();
+    mm_rand_solve(g, &d, arch, seed, opts, counters, decompose_time)
+}
 
+/// [`mm_rand`] against a precomputed decomposition. `d` must come from
+/// `decompose_rand(g, partitions, seed, …)` with this same `seed` for the
+/// output to match [`mm_rand_opts`] byte for byte.
+pub fn mm_rand_with(
+    g: &Graph,
+    d: &RandDecomposition,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+) -> MatchingRun {
+    let counters = counters_for_opts(opts);
+    mm_rand_solve(g, d, arch, seed, opts, counters, Duration::ZERO)
+}
+
+fn mm_rand_solve(
+    g: &Graph,
+    d: &RandDecomposition,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+    counters: Counters,
+    decompose_time: Duration,
+) -> MatchingRun {
+    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let mut mate = fresh_mate(g.num_vertices());
     // Phase 1: M_IS on G[V_1] ∪ … ∪ G[V_k].
@@ -236,14 +288,37 @@ pub fn mm_degk_traced(
 /// [`mm_degk`] with full per-run options.
 pub fn mm_degk_opts(g: &Graph, k: usize, arch: Arch, seed: u64, opts: &SolveOpts) -> MatchingRun {
     let counters = counters_for_opts(opts);
-    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let d = {
         let _span = counters.phase("decompose");
         decompose_degk(g, k, &counters)
     };
     let decompose_time = sw.elapsed();
+    mm_degk_solve(g, &d, arch, seed, opts, counters, decompose_time)
+}
 
+/// [`mm_degk`] against a precomputed decomposition.
+pub fn mm_degk_with(
+    g: &Graph,
+    d: &DegkDecomposition,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+) -> MatchingRun {
+    let counters = counters_for_opts(opts);
+    mm_degk_solve(g, d, arch, seed, opts, counters, Duration::ZERO)
+}
+
+fn mm_degk_solve(
+    g: &Graph,
+    d: &DegkDecomposition,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+    counters: Counters,
+    decompose_time: Duration,
+) -> MatchingRun {
+    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let mut mate = fresh_mate(g.num_vertices());
     // Phase 1: M_H on G_H.
@@ -308,14 +383,37 @@ pub fn mm_bicc_traced(
 /// [`mm_bicc`] with full per-run options.
 pub fn mm_bicc_opts(g: &Graph, arch: Arch, seed: u64, opts: &SolveOpts) -> MatchingRun {
     let counters = counters_for_opts(opts);
-    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let d = {
         let _span = counters.phase("decompose");
         decompose_bicc(g, &counters)
     };
     let decompose_time = sw.elapsed();
+    mm_bicc_solve(g, &d, arch, seed, opts, counters, decompose_time)
+}
 
+/// [`mm_bicc`] against a precomputed decomposition.
+pub fn mm_bicc_with(
+    g: &Graph,
+    d: &BiccDecomposition,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+) -> MatchingRun {
+    let counters = counters_for_opts(opts);
+    mm_bicc_solve(g, d, arch, seed, opts, counters, Duration::ZERO)
+}
+
+fn mm_bicc_solve(
+    g: &Graph,
+    d: &BiccDecomposition,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+    counters: Counters,
+    decompose_time: Duration,
+) -> MatchingRun {
+    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let mut mate = fresh_mate(g.num_vertices());
     // Phase 1: block interiors (non-articulation vertices).

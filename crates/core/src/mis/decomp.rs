@@ -7,10 +7,10 @@ use super::MisRun;
 use crate::common::{counters_for_opts, Arch, FrontierMode, RunStats, SolveOpts};
 use crate::matching::materialize_for_gpu;
 use rayon::prelude::*;
-use sb_decompose::bicc::decompose_bicc;
-use sb_decompose::bridge::decompose_bridge;
-use sb_decompose::degk::decompose_degk;
-use sb_decompose::rand_part::decompose_rand;
+use sb_decompose::bicc::{decompose_bicc, BiccDecomposition};
+use sb_decompose::bridge::{decompose_bridge, BridgeDecomposition};
+use sb_decompose::degk::{decompose_degk, DegkDecomposition};
+use sb_decompose::rand_part::{decompose_rand, RandDecomposition};
 use sb_graph::csr::{Graph, VertexId};
 use sb_graph::view::EdgeView;
 use sb_par::atomic::as_atomic_u8;
@@ -20,6 +20,7 @@ use sb_par::frontier::Scratch;
 use sb_trace::TraceSink;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Run the architecture's Luby form over the undecided vertices of `g`
 /// passing `allowed`, restricted to the edges of `view`.
@@ -169,14 +170,38 @@ pub fn mis_bridge_traced(
 /// [`mis_bridge`] with full per-run options.
 pub fn mis_bridge_opts(g: &Graph, arch: Arch, seed: u64, opts: &SolveOpts) -> MisRun {
     let counters = counters_for_opts(opts);
-    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let d = {
         let _span = counters.phase("decompose");
         decompose_bridge(g, &counters)
     };
     let decompose_time = sw.elapsed();
+    mis_bridge_solve(g, &d, arch, seed, opts, counters, decompose_time)
+}
 
+/// [`mis_bridge`] against a precomputed decomposition (solve phases only;
+/// zero reported decomposition time, byte-identical set).
+pub fn mis_bridge_with(
+    g: &Graph,
+    d: &BridgeDecomposition,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+) -> MisRun {
+    let counters = counters_for_opts(opts);
+    mis_bridge_solve(g, d, arch, seed, opts, counters, Duration::ZERO)
+}
+
+fn mis_bridge_solve(
+    g: &Graph,
+    d: &BridgeDecomposition,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+    counters: Counters,
+    decompose_time: Duration,
+) -> MisRun {
+    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let n = g.num_vertices();
     let mut is_bridge_vertex = vec![false; n];
@@ -280,14 +305,38 @@ pub fn mis_rand_opts(
     opts: &SolveOpts,
 ) -> MisRun {
     let counters = counters_for_opts(opts);
-    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let d = {
         let _span = counters.phase("decompose");
         decompose_rand(g, partitions, seed, &counters)
     };
     let decompose_time = sw.elapsed();
+    mis_rand_solve(g, &d, arch, seed, opts, counters, decompose_time)
+}
 
+/// [`mis_rand`] against a precomputed decomposition. `d` must come from
+/// `decompose_rand(g, partitions, seed, …)` with this same `seed`.
+pub fn mis_rand_with(
+    g: &Graph,
+    d: &RandDecomposition,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+) -> MisRun {
+    let counters = counters_for_opts(opts);
+    mis_rand_solve(g, d, arch, seed, opts, counters, Duration::ZERO)
+}
+
+fn mis_rand_solve(
+    g: &Graph,
+    d: &RandDecomposition,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+    counters: Counters,
+    decompose_time: Duration,
+) -> MisRun {
+    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let n = g.num_vertices();
     let cross_endpoint: Vec<bool> = {
@@ -388,14 +437,39 @@ pub fn mis_degk_traced(
 /// [`mis_degk`] with full per-run options.
 pub fn mis_degk_opts(g: &Graph, k: usize, arch: Arch, seed: u64, opts: &SolveOpts) -> MisRun {
     let counters = counters_for_opts(opts);
-    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let d = {
         let _span = counters.phase("decompose");
         decompose_degk(g, k, &counters)
     };
     let decompose_time = sw.elapsed();
+    mis_degk_solve(g, &d, arch, seed, opts, counters, decompose_time)
+}
 
+/// [`mis_degk`] against a precomputed decomposition. The decomposition
+/// carries its own `k` (selects oriented vs Luby peeling for the fringe).
+pub fn mis_degk_with(
+    g: &Graph,
+    d: &DegkDecomposition,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+) -> MisRun {
+    let counters = counters_for_opts(opts);
+    mis_degk_solve(g, d, arch, seed, opts, counters, Duration::ZERO)
+}
+
+fn mis_degk_solve(
+    g: &Graph,
+    d: &DegkDecomposition,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+    counters: Counters,
+    decompose_time: Duration,
+) -> MisRun {
+    let k = d.k;
+    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let n = g.num_vertices();
     let low_side: Vec<bool> = (0..n).map(|v| !d.is_high[v]).collect();
@@ -456,14 +530,37 @@ pub fn mis_bicc_traced(g: &Graph, arch: Arch, seed: u64, trace: Option<Arc<Trace
 /// [`mis_bicc`] with full per-run options.
 pub fn mis_bicc_opts(g: &Graph, arch: Arch, seed: u64, opts: &SolveOpts) -> MisRun {
     let counters = counters_for_opts(opts);
-    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let d = {
         let _span = counters.phase("decompose");
         decompose_bicc(g, &counters)
     };
     let decompose_time = sw.elapsed();
+    mis_bicc_solve(g, &d, arch, seed, opts, counters, decompose_time)
+}
 
+/// [`mis_bicc`] against a precomputed decomposition.
+pub fn mis_bicc_with(
+    g: &Graph,
+    d: &BiccDecomposition,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+) -> MisRun {
+    let counters = counters_for_opts(opts);
+    mis_bicc_solve(g, d, arch, seed, opts, counters, Duration::ZERO)
+}
+
+fn mis_bicc_solve(
+    g: &Graph,
+    d: &BiccDecomposition,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+    counters: Counters,
+    decompose_time: Duration,
+) -> MisRun {
+    let mut scratch = Scratch::new();
     let sw = Stopwatch::start();
     let n = g.num_vertices();
     let interior: Vec<bool> = d.is_articulation.iter().map(|&a| !a).collect();

@@ -102,7 +102,10 @@ pub enum Scale {
 }
 
 impl Scale {
-    fn factor(self) -> f64 {
+    /// The multiplier this scale applies to the default vertex budget
+    /// (`Tiny` = 0.05, `Default` = 1.0). Public so callers that key on
+    /// scale (the engine's graph cache) normalize consistently.
+    pub fn factor(self) -> f64 {
         match self {
             Scale::Tiny => 0.05,
             Scale::Default => 1.0,

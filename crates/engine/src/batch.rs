@@ -1,0 +1,466 @@
+//! Job scheduling: per-job watchdog, cache admission, batch driver.
+//!
+//! Each job runs on its own worker thread so the coordinator can enforce a
+//! per-job timeout without cooperation from the solver. Cache admission is
+//! coordinator-side and happens *only after* a job completes cleanly: a
+//! timed-out or failed job inserts nothing, so a wedged solver can never
+//! poison the caches for the jobs behind it. (The abandoned worker keeps
+//! running detached until its solve returns; its results are discarded.)
+
+use crate::engine::{
+    compute_decomposition, run_solver, CachedDecomposition, DecompKey, DecompSpec, Engine,
+    GraphSource, Solution,
+};
+use crate::fingerprint::fingerprint_graph;
+use crate::jobs::JobSpec;
+use crate::report::BatchReport;
+use sb_core::common::{RunStats, SolveOpts};
+use sb_graph::csr::Graph;
+use sb_par::counters::Stopwatch;
+use sb_par::exec::with_threads;
+use sb_trace::TraceSink;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::Duration;
+
+/// How a job ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobOutcome {
+    /// Solved and verified.
+    Ok,
+    /// The watchdog fired before the worker finished.
+    TimedOut,
+    /// The job errored (load failure, solver panic, failed verification).
+    Failed(String),
+}
+
+impl JobOutcome {
+    /// Fixed-vocabulary outcome cell for reports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobOutcome::Ok => "ok",
+            JobOutcome::TimedOut => "timeout",
+            JobOutcome::Failed(_) => "failed",
+        }
+    }
+}
+
+/// Everything recorded about one job's run.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Job label from the jobs file.
+    pub label: String,
+    /// Graph-source cache key.
+    pub graph: String,
+    /// `solver@arch/frontier` summary.
+    pub config: String,
+    /// Solver seed.
+    pub seed: u64,
+    /// How the job ended.
+    pub outcome: JobOutcome,
+    /// Solution summary (Ok) or error text (Failed); empty on timeout.
+    pub detail: String,
+    /// Whether the parsed graph came from the cache.
+    pub graph_cached: bool,
+    /// Decomposition provenance: cached / computed / baseline (`None`).
+    pub decomp_cached: Option<bool>,
+    /// Measured decomposition time (0 on a cache hit).
+    pub decompose_ms: f64,
+    /// Solver time.
+    pub solve_ms: f64,
+    /// End-to-end wall clock for the job, ingestion included.
+    pub wall_ms: f64,
+    /// Wall clock of the matching job in the cache-disabled reference run
+    /// (filled by [`run_batch_compare`]).
+    pub fresh_wall_ms: Option<f64>,
+    /// The solution itself (Ok jobs only) for byte-equality checks and
+    /// `--out-dir` rendering.
+    pub solution: Option<Solution>,
+}
+
+/// Batch-level options.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOptions {
+    /// When set, each job records a trace written to
+    /// `<trace_dir>/<label>.jsonl`.
+    pub trace_dir: Option<PathBuf>,
+}
+
+/// What a worker sends back on success.
+struct WorkerDone {
+    solution: Solution,
+    stats: RunStats,
+    verify: Result<(), String>,
+    graph: Arc<Graph>,
+    fingerprint: u64,
+    loaded_graph: bool,
+    decomp: Option<Arc<CachedDecomposition>>,
+    computed_decomp: bool,
+}
+
+impl Engine {
+    /// Run one job through the caches with a watchdog. Cache inserts happen
+    /// here, after a clean finish — never from the worker.
+    pub fn run_job(&mut self, job: &JobSpec, trace: Option<Arc<TraceSink>>) -> JobRecord {
+        let sw = Stopwatch::start();
+        let config = format!("{}@{}/{}", job.solver.label(), job.arch, job.frontier);
+        let mut record = JobRecord {
+            label: job.label.clone(),
+            graph: job.graph.clone(),
+            config,
+            seed: job.seed,
+            outcome: JobOutcome::Ok,
+            detail: String::new(),
+            graph_cached: false,
+            decomp_cached: None,
+            decompose_ms: 0.0,
+            solve_ms: 0.0,
+            wall_ms: 0.0,
+            fresh_wall_ms: None,
+            solution: None,
+        };
+        let src = match GraphSource::parse(&job.graph, job.scale, job.effective_graph_seed()) {
+            Ok(src) => src,
+            Err(e) => {
+                record.outcome = JobOutcome::Failed(e.clone());
+                record.detail = e;
+                record.wall_ms = sw.elapsed().as_secs_f64() * 1e3;
+                return record;
+            }
+        };
+        let src_key = src.key();
+        record.graph = src_key.clone();
+
+        let cached_graph = self.graphs.get(&src_key).cloned();
+        record.graph_cached = cached_graph.is_some();
+        let spec = job.solver.decomp_spec();
+        let cached_decomp = match &cached_graph {
+            Some((_, fp)) if spec != DecompSpec::None => self
+                .decomps
+                .get(&DecompKey::new(*fp, spec, job.seed))
+                .cloned(),
+            _ => None,
+        };
+        if spec != DecompSpec::None {
+            record.decomp_cached = Some(cached_decomp.is_some());
+        }
+
+        let opts = SolveOpts {
+            trace,
+            frontier: job.frontier,
+        };
+        let fingerprint_seed = self.fingerprint_seed;
+        let worker_job = job.clone();
+        let (tx, rx) = mpsc::channel::<Result<WorkerDone, String>>();
+        thread::spawn(move || {
+            let job = worker_job;
+            let run = || -> Result<WorkerDone, String> {
+                let (graph, fingerprint, loaded_graph) = match cached_graph {
+                    Some((g, fp)) => (g, fp, false),
+                    None => {
+                        let g = Arc::new(src.load()?);
+                        let fp = fingerprint_graph(&g, fingerprint_seed);
+                        (g, fp, true)
+                    }
+                };
+                let work = || {
+                    let (decomp, computed_decomp, decompose_time) = if spec == DecompSpec::None {
+                        (None, false, Duration::ZERO)
+                    } else {
+                        match cached_decomp {
+                            Some(d) => (Some(d), false, Duration::ZERO),
+                            None => {
+                                let (d, dt) = compute_decomposition(
+                                    &graph,
+                                    spec,
+                                    job.seed,
+                                    opts.trace.clone(),
+                                );
+                                (Some(Arc::new(d)), true, dt)
+                            }
+                        }
+                    };
+                    let (solution, mut stats) = run_solver(
+                        &graph,
+                        job.solver,
+                        decomp.as_deref(),
+                        job.arch,
+                        job.seed,
+                        &opts,
+                    );
+                    stats.decompose_time = decompose_time;
+                    (decomp, computed_decomp, solution, stats)
+                };
+                let (decomp, computed_decomp, solution, stats) = match job.threads {
+                    Some(t) => with_threads(t, work),
+                    None => work(),
+                };
+                let verify = solution.verify(&graph);
+                Ok(WorkerDone {
+                    solution,
+                    stats,
+                    verify,
+                    graph,
+                    fingerprint,
+                    loaded_graph,
+                    decomp,
+                    computed_decomp,
+                })
+            };
+            let result = catch_unwind(AssertUnwindSafe(run)).unwrap_or_else(|p| {
+                let msg = p
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".into());
+                Err(format!("solver panicked: {msg}"))
+            });
+            let _ = tx.send(result);
+        });
+
+        let received = match job.timeout_ms {
+            Some(ms) => rx.recv_timeout(Duration::from_millis(ms)),
+            None => rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected),
+        };
+        match received {
+            Ok(Ok(done)) => {
+                record.decompose_ms = done.stats.decompose_time.as_secs_f64() * 1e3;
+                record.solve_ms = done.stats.solve_time.as_secs_f64() * 1e3;
+                match done.verify {
+                    Ok(()) => {
+                        // Clean finish: only now may the caches learn
+                        // anything from this job.
+                        if done.loaded_graph {
+                            self.graphs
+                                .insert(src_key.clone(), (done.graph, done.fingerprint));
+                        }
+                        if done.computed_decomp {
+                            if let Some(d) = done.decomp {
+                                self.decomps
+                                    .insert(DecompKey::new(done.fingerprint, spec, job.seed), d);
+                            }
+                        }
+                        record.detail = done.solution.summary();
+                        record.solution = Some(done.solution);
+                    }
+                    Err(e) => {
+                        let msg = format!("verification failed: {e}");
+                        record.outcome = JobOutcome::Failed(msg.clone());
+                        record.detail = msg;
+                    }
+                }
+            }
+            Ok(Err(e)) => {
+                record.outcome = JobOutcome::Failed(e.clone());
+                record.detail = e;
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                record.outcome = JobOutcome::TimedOut;
+                record.detail = format!("exceeded {} ms", job.timeout_ms.unwrap_or(0));
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                let msg = "worker thread died without reporting".to_string();
+                record.outcome = JobOutcome::Failed(msg.clone());
+                record.detail = msg;
+            }
+        }
+        record.wall_ms = sw.elapsed().as_secs_f64() * 1e3;
+        record
+    }
+
+    /// Run a batch of jobs in order through this engine's caches.
+    pub fn run_batch(
+        &mut self,
+        jobs: &[JobSpec],
+        opts: &BatchOptions,
+    ) -> Result<BatchReport, String> {
+        if let Some(dir) = &opts.trace_dir {
+            std::fs::create_dir_all(dir)
+                .map_err(|e| format!("cannot create trace dir {}: {e}", dir.display()))?;
+        }
+        let sw = Stopwatch::start();
+        let mut records = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            let sink = opts
+                .trace_dir
+                .as_ref()
+                .map(|_| Arc::new(TraceSink::enabled()));
+            let record = self.run_job(job, sink.clone());
+            if let (Some(dir), Some(sink)) = (&opts.trace_dir, sink) {
+                let path = dir.join(format!("{}.jsonl", job.label));
+                sink.save_jsonl(&path)
+                    .map_err(|e| format!("cannot write trace {}: {e}", path.display()))?;
+            }
+            records.push(record);
+        }
+        Ok(BatchReport {
+            jobs: records,
+            graph_cache: self.graphs.stats(),
+            decomp_cache: self.decomps.stats(),
+            total_wall_ms: sw.elapsed().as_secs_f64() * 1e3,
+            fresh_total_wall_ms: None,
+        })
+    }
+}
+
+/// Run `jobs` twice — once through a caching engine with `cfg`, once
+/// through a cache-disabled engine — assert the outputs are identical, and
+/// return the cached run's report annotated with the fresh wall clocks.
+/// Any Ok/Ok solution divergence is a hard error (the stale-cache oracle).
+pub fn run_batch_compare(
+    jobs: &[JobSpec],
+    cfg: crate::engine::EngineConfig,
+    opts: &BatchOptions,
+) -> Result<BatchReport, String> {
+    let mut cached_engine = Engine::new(cfg);
+    let mut report = cached_engine.run_batch(jobs, opts)?;
+    let mut fresh_engine = Engine::new(crate::engine::EngineConfig {
+        cache_cap: 0,
+        ..cfg
+    });
+    let fresh = fresh_engine.run_batch(jobs, &BatchOptions::default())?;
+    for (cached, fresh) in report.jobs.iter_mut().zip(&fresh.jobs) {
+        cached.fresh_wall_ms = Some(fresh.wall_ms);
+        if cached.outcome == JobOutcome::Ok
+            && fresh.outcome == JobOutcome::Ok
+            && cached.solution != fresh.solution
+        {
+            return Err(format!(
+                "job '{}': cached and fresh outputs diverge — stale cache entry",
+                cached.label
+            ));
+        }
+        if cached.outcome.label() != fresh.outcome.label() {
+            return Err(format!(
+                "job '{}': cached run {} but fresh run {}",
+                cached.label,
+                cached.outcome.label(),
+                fresh.outcome.label()
+            ));
+        }
+    }
+    report.fresh_total_wall_ms = Some(fresh.total_wall_ms);
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineConfig;
+    use crate::jobs::parse_jobs;
+
+    const BATCH: &str = r#"
+[defaults]
+graph = "gen:lp1"
+scale = 0.05
+seed = 11
+graph_seed = 42
+
+[[job]]
+label = "mm"
+problem = "mm"
+algo = "rand:4"
+
+[[job]]
+label = "color"
+problem = "color"
+algo = "degk"
+
+[[job]]
+label = "mis"
+problem = "mis"
+algo = "degk"
+"#;
+
+    #[test]
+    fn batch_amortizes_graph_and_decomposition() {
+        let jobs = parse_jobs(BATCH, "t").unwrap();
+        let mut engine = Engine::with_cap(8);
+        let report = engine.run_batch(&jobs, &BatchOptions::default()).unwrap();
+        assert!(report.all_ok(), "{:?}", report.jobs);
+        // Job 1 loads the graph; jobs 2 and 3 reuse it.
+        assert!(!report.jobs[0].graph_cached);
+        assert!(report.jobs[1].graph_cached);
+        assert!(report.jobs[2].graph_cached);
+        // color and mis share the DEG2 decomposition.
+        assert_eq!(report.jobs[1].decomp_cached, Some(false));
+        assert_eq!(report.jobs[2].decomp_cached, Some(true));
+        assert_eq!(report.jobs[2].decompose_ms, 0.0);
+    }
+
+    #[test]
+    fn compare_matches_and_fills_fresh_times() {
+        let jobs = parse_jobs(BATCH, "t").unwrap();
+        let report =
+            run_batch_compare(&jobs, EngineConfig::default(), &BatchOptions::default()).unwrap();
+        assert!(report.all_ok());
+        for job in &report.jobs {
+            assert!(job.fresh_wall_ms.is_some());
+        }
+        assert!(report.fresh_total_wall_ms.is_some());
+    }
+
+    #[test]
+    fn timeout_reports_and_does_not_poison_cache() {
+        let mut jobs = parse_jobs(BATCH, "t").unwrap();
+        jobs.truncate(1);
+        jobs[0].timeout_ms = Some(0); // fires before any worker can finish
+        let mut engine = Engine::with_cap(8);
+        let report = engine.run_batch(&jobs, &BatchOptions::default()).unwrap();
+        assert_eq!(report.jobs[0].outcome, JobOutcome::TimedOut);
+        assert!(report.jobs[0].solution.is_none());
+        assert_eq!(
+            engine.graph_cache_stats().inserts,
+            0,
+            "a timed-out job must not insert into the graph cache"
+        );
+        assert_eq!(engine.decomp_cache_stats().inserts, 0);
+        // The same job without the watchdog then runs fine.
+        jobs[0].timeout_ms = None;
+        let report = engine.run_batch(&jobs, &BatchOptions::default()).unwrap();
+        assert_eq!(report.jobs[0].outcome, JobOutcome::Ok);
+    }
+
+    #[test]
+    fn bad_graph_source_fails_the_job_not_the_batch() {
+        let text = "[[job]]\ngraph = \"gen:nope\"\nproblem = \"mm\"\nalgo = \"bicc\"\n\
+                    [[job]]\ngraph = \"gen:lp1\"\nscale = 0.05\nproblem = \"mm\"\nalgo = \"bicc\"\n";
+        let jobs = parse_jobs(text, "t").unwrap();
+        let mut engine = Engine::with_cap(8);
+        let report = engine.run_batch(&jobs, &BatchOptions::default()).unwrap();
+        assert!(matches!(report.jobs[0].outcome, JobOutcome::Failed(_)));
+        assert!(report.jobs[0].detail.contains("unknown graph"));
+        assert_eq!(report.jobs[1].outcome, JobOutcome::Ok);
+    }
+
+    #[test]
+    fn traces_written_per_job() {
+        let dir = std::env::temp_dir().join("sb-engine-test-traces");
+        std::fs::remove_dir_all(&dir).ok();
+        let jobs = parse_jobs(BATCH, "t").unwrap();
+        let mut engine = Engine::with_cap(8);
+        let opts = BatchOptions {
+            trace_dir: Some(dir.clone()),
+        };
+        engine.run_batch(&jobs, &opts).unwrap();
+        for label in ["mm", "color", "mis"] {
+            let path = dir.join(format!("{label}.jsonl"));
+            let text = std::fs::read_to_string(&path).unwrap();
+            assert!(!text.is_empty(), "empty trace for {label}");
+        }
+        // The cached decomposition must NOT re-emit a decompose span.
+        let mis = std::fs::read_to_string(dir.join("mis.jsonl")).unwrap();
+        assert!(
+            !mis.contains("\"decompose\""),
+            "cache-hit job should not record a decompose phase"
+        );
+        let color = std::fs::read_to_string(dir.join("color.jsonl")).unwrap();
+        assert!(
+            color.contains("decompose"),
+            "cache-miss job records decompose"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

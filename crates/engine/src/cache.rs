@@ -1,0 +1,194 @@
+//! Bounded least-recently-used cache.
+//!
+//! A deliberately simple LRU: a `HashMap` of entries stamped with a
+//! monotonic use tick, evicting the minimum-tick entry when full. Eviction
+//! is O(capacity), which is irrelevant at the cache sizes the engine runs
+//! (tens of entries, each worth milliseconds-to-seconds of decomposition
+//! work). Capacity 0 disables the cache entirely: every lookup misses and
+//! inserts are dropped, which is the `--cache-cap 0` reference path the
+//! CLI and fuzz layers diff cached runs against.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Hit/miss/eviction counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a live entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries displaced to make room.
+    pub evictions: u64,
+    /// Entries stored.
+    pub inserts: u64,
+}
+
+struct Entry<V> {
+    value: V,
+    last_used: u64,
+}
+
+/// A bounded LRU map.
+pub struct Lru<K, V> {
+    cap: usize,
+    tick: u64,
+    map: HashMap<K, Entry<V>>,
+    stats: CacheStats,
+}
+
+impl<K: Eq + Hash + Clone, V> Lru<K, V> {
+    /// An LRU holding at most `cap` entries (0 = disabled).
+    pub fn new(cap: usize) -> Lru<K, V> {
+        Lru {
+            cap,
+            tick: 0,
+            map: HashMap::new(),
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Capacity this cache was built with.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Live entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no entries are live.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Look `k` up, refreshing its recency on a hit.
+    pub fn get(&mut self, k: &K) -> Option<&V> {
+        self.tick += 1;
+        match self.map.get_mut(k) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(&e.value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Mutable lookup (same recency/statistics behavior as [`get`]).
+    ///
+    /// [`get`]: Lru::get
+    pub fn get_mut(&mut self, k: &K) -> Option<&mut V> {
+        self.tick += 1;
+        match self.map.get_mut(k) {
+            Some(e) => {
+                e.last_used = self.tick;
+                self.stats.hits += 1;
+                Some(&mut e.value)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Snapshot of the live keys (unordered). Does not touch recency or
+    /// statistics; exists for test hooks that need to walk the cache.
+    pub fn keys(&self) -> Vec<K> {
+        self.map.keys().cloned().collect()
+    }
+
+    /// Store `v` under `k`, evicting the least-recently-used entry when the
+    /// cache is full. A no-op at capacity 0.
+    pub fn insert(&mut self, k: K, v: V) {
+        if self.cap == 0 {
+            return;
+        }
+        self.tick += 1;
+        if !self.map.contains_key(&k) && self.map.len() >= self.cap {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.stats.inserts += 1;
+        self.map.insert(
+            k,
+            Entry {
+                value: v,
+                last_used: self.tick,
+            },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_accounting() {
+        let mut c: Lru<u32, &str> = Lru::new(4);
+        assert!(c.get(&1).is_none());
+        c.insert(1, "one");
+        assert_eq!(c.get(&1), Some(&"one"));
+        assert_eq!(
+            c.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0,
+                inserts: 1
+            }
+        );
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c: Lru<u32, u32> = Lru::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.get(&1); // 2 is now the LRU entry
+        c.insert(3, 30);
+        assert!(c.get(&2).is_none(), "LRU entry should have been evicted");
+        assert_eq!(c.get(&1), Some(&10));
+        assert_eq!(c.get(&3), Some(&30));
+        assert_eq!(c.stats().evictions, 1);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_existing_key_does_not_evict() {
+        let mut c: Lru<u32, u32> = Lru::new(2);
+        c.insert(1, 10);
+        c.insert(2, 20);
+        c.insert(1, 11);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get(&1), Some(&11));
+        assert_eq!(c.get(&2), Some(&20));
+    }
+
+    #[test]
+    fn capacity_zero_disables_storage() {
+        let mut c: Lru<u32, u32> = Lru::new(0);
+        c.insert(1, 10);
+        assert!(c.is_empty());
+        assert!(c.get(&1).is_none());
+        assert_eq!(c.stats().inserts, 0);
+    }
+}

@@ -1,0 +1,762 @@
+//! The engine proper: graph sources, decomposition specs, the two LRU
+//! caches, and the cached solve path.
+
+use crate::cache::{CacheStats, Lru};
+use crate::fingerprint::{self, fingerprint_graph};
+use sb_core::coloring::{decomp as color_decomp, ColorAlgorithm};
+use sb_core::common::{Arch, FrontierMode, RunStats, SolveOpts};
+use sb_core::matching::{decomp as mm_decomp, MmAlgorithm};
+use sb_core::mis::{decomp as mis_decomp, MisAlgorithm};
+use sb_core::verify;
+use sb_datasets::suite::{generate, spec, GraphId, Scale};
+use sb_decompose::bicc::{decompose_bicc, BiccDecomposition};
+use sb_decompose::bridge::{decompose_bridge, BridgeDecomposition};
+use sb_decompose::degk::{decompose_degk, DegkDecomposition};
+use sb_decompose::rand_part::{decompose_rand, RandDecomposition};
+use sb_graph::csr::{Graph, INVALID};
+use sb_par::counters::{Counters, Stopwatch};
+use sb_trace::TraceSink;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Where a job's graph comes from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphSource {
+    /// A Table II stand-in generated at the given scale factor and seed.
+    Gen {
+        /// Registry entry.
+        id: GraphId,
+        /// Registry name (`lp1`, `web-Google`, …).
+        name: String,
+        /// Multiplier on the default vertex budget.
+        scale: f64,
+        /// Generation seed.
+        seed: u64,
+    },
+    /// An edge-list or Matrix-Market file on disk.
+    File(PathBuf),
+}
+
+impl GraphSource {
+    /// Parse a job's `graph` field: `gen:<name>` resolves against the
+    /// Table II registry, anything else is a path.
+    pub fn parse(input: &str, scale: f64, seed: u64) -> Result<GraphSource, String> {
+        if let Some(name) = input.strip_prefix("gen:") {
+            let id = GraphId::ALL
+                .into_iter()
+                .find(|&id| spec(id).name == name)
+                .ok_or_else(|| {
+                    let names: Vec<&str> =
+                        GraphId::ALL.into_iter().map(|id| spec(id).name).collect();
+                    format!("unknown graph '{name}'; available: {}", names.join(", "))
+                })?;
+            Ok(GraphSource::Gen {
+                id,
+                name: name.to_string(),
+                scale,
+                seed,
+            })
+        } else {
+            Ok(GraphSource::File(PathBuf::from(input)))
+        }
+    }
+
+    /// The graph-cache key. Generated graphs key on `(name, scale, seed)`;
+    /// files key on their path (content changes on disk between jobs of
+    /// one batch are not tracked).
+    pub fn key(&self) -> String {
+        match self {
+            GraphSource::Gen {
+                name, scale, seed, ..
+            } => format!("gen:{name}@{scale}#{seed}"),
+            GraphSource::File(p) => format!("file:{}", p.display()),
+        }
+    }
+
+    /// Load (generate or read) the graph.
+    pub fn load(&self) -> Result<Graph, String> {
+        match self {
+            GraphSource::Gen {
+                id, scale, seed, ..
+            } => Ok(generate(*id, Scale::Factor(*scale), *seed)),
+            GraphSource::File(p) => {
+                sb_graph::io::read_path(p).map_err(|e| format!("cannot read {}: {e}", p.display()))
+            }
+        }
+    }
+}
+
+/// Which decomposition a solver runs over — the cacheable part of a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DecompSpec {
+    /// Baseline solvers: nothing to decompose or cache.
+    None,
+    /// BRIDGE (2-edge-connected components).
+    Bridge,
+    /// RAND with the given partition count (seed-dependent).
+    Rand {
+        /// Partition count.
+        partitions: usize,
+    },
+    /// DEGk with the given degree threshold.
+    Degk {
+        /// Degree threshold.
+        k: usize,
+    },
+    /// BICC (block decomposition).
+    Bicc,
+}
+
+impl DecompSpec {
+    /// Whether the decomposition depends on the solver seed (only RAND's
+    /// partition assignment does). Seed-independent specs normalize the
+    /// seed component of their cache key to 0 so all seeds share.
+    pub fn uses_seed(self) -> bool {
+        matches!(self, DecompSpec::Rand { .. })
+    }
+
+    /// Short label (`bridge`, `rand:10`, …) for keys and reports.
+    pub fn label(self) -> String {
+        match self {
+            DecompSpec::None => "-".into(),
+            DecompSpec::Bridge => "bridge".into(),
+            DecompSpec::Rand { partitions } => format!("rand:{partitions}"),
+            DecompSpec::Degk { k } => format!("degk:{k}"),
+            DecompSpec::Bicc => "bicc".into(),
+        }
+    }
+}
+
+/// One problem × algorithm choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Solver {
+    /// Maximal matching.
+    Mm(MmAlgorithm),
+    /// Vertex coloring.
+    Color(ColorAlgorithm),
+    /// Maximal independent set.
+    Mis(MisAlgorithm),
+}
+
+impl Solver {
+    /// The decomposition this solver consumes.
+    pub fn decomp_spec(self) -> DecompSpec {
+        match self {
+            Solver::Mm(MmAlgorithm::Baseline)
+            | Solver::Color(ColorAlgorithm::Baseline)
+            | Solver::Mis(MisAlgorithm::Baseline) => DecompSpec::None,
+            Solver::Mm(MmAlgorithm::Bridge)
+            | Solver::Color(ColorAlgorithm::Bridge)
+            | Solver::Mis(MisAlgorithm::Bridge) => DecompSpec::Bridge,
+            Solver::Mm(MmAlgorithm::Rand { partitions })
+            | Solver::Color(ColorAlgorithm::Rand { partitions })
+            | Solver::Mis(MisAlgorithm::Rand { partitions }) => DecompSpec::Rand { partitions },
+            Solver::Mm(MmAlgorithm::Degk { k })
+            | Solver::Color(ColorAlgorithm::Degk { k })
+            | Solver::Mis(MisAlgorithm::Degk { k }) => DecompSpec::Degk { k },
+            Solver::Mm(MmAlgorithm::Bicc)
+            | Solver::Color(ColorAlgorithm::Bicc)
+            | Solver::Mis(MisAlgorithm::Bicc) => DecompSpec::Bicc,
+        }
+    }
+
+    /// Label like `mm-rand:10`.
+    pub fn label(self) -> String {
+        let (problem, spec) = match self {
+            Solver::Mm(_) => ("mm", self.decomp_spec()),
+            Solver::Color(_) => ("color", self.decomp_spec()),
+            Solver::Mis(_) => ("mis", self.decomp_spec()),
+        };
+        match spec {
+            DecompSpec::None => format!("{problem}-baseline"),
+            s => format!("{problem}-{}", s.label()),
+        }
+    }
+}
+
+/// A memoized decomposition, shared by reference between cache and jobs.
+#[derive(Debug)]
+pub enum CachedDecomposition {
+    /// BRIDGE result.
+    Bridge(BridgeDecomposition),
+    /// RAND result.
+    Rand(RandDecomposition),
+    /// DEGk result.
+    Degk(DegkDecomposition),
+    /// BICC result.
+    Bicc(BiccDecomposition),
+}
+
+/// Decomposition-cache key: graph content, decomposition, params, seed.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct DecompKey {
+    /// Seeded content fingerprint of the graph.
+    pub fingerprint: u64,
+    /// Decomposition and its parameters.
+    pub spec: DecompSpec,
+    /// Solver seed for seed-dependent specs, 0 otherwise.
+    pub seed: u64,
+}
+
+impl DecompKey {
+    /// The key for `spec` on the graph with `fingerprint` at `seed`.
+    pub fn new(fingerprint: u64, spec: DecompSpec, seed: u64) -> DecompKey {
+        DecompKey {
+            fingerprint,
+            spec,
+            seed: if spec.uses_seed() { seed } else { 0 },
+        }
+    }
+}
+
+/// A solver output in family-agnostic form, rendered and compared
+/// byte-for-byte across cached and fresh paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Solution {
+    /// `mate[v]` per vertex (matching).
+    Mate(Vec<u32>),
+    /// Color per vertex.
+    Color(Vec<u32>),
+    /// In-set flag per vertex (MIS).
+    Set(Vec<bool>),
+}
+
+impl Solution {
+    /// Canonical text rendering — the same format `sbreak solve -o` writes,
+    /// so batch outputs diff cleanly against single-shot runs.
+    pub fn render(&self) -> String {
+        match self {
+            Solution::Mate(mate) => mate
+                .iter()
+                .enumerate()
+                .filter(|&(v, &m)| (m as usize) > v && m != INVALID)
+                .map(|(v, &m)| format!("{v} {m}\n"))
+                .collect(),
+            Solution::Color(color) => color
+                .iter()
+                .enumerate()
+                .map(|(v, c)| format!("{v} {c}\n"))
+                .collect(),
+            Solution::Set(in_set) => in_set
+                .iter()
+                .enumerate()
+                .filter(|&(_, &b)| b)
+                .map(|(v, _)| format!("{v}\n"))
+                .collect(),
+        }
+    }
+
+    /// Check the solution against the sequential oracles.
+    pub fn verify(&self, g: &Graph) -> Result<(), String> {
+        match self {
+            Solution::Mate(mate) => {
+                verify::check_maximal_matching(g, mate).map_err(|e| e.to_string())
+            }
+            Solution::Color(color) => verify::check_coloring(g, color).map_err(|e| e.to_string()),
+            Solution::Set(in_set) => {
+                verify::check_maximal_independent_set(g, in_set).map_err(|e| e.to_string())
+            }
+        }
+    }
+
+    /// One-phrase result summary for reports.
+    pub fn summary(&self) -> String {
+        match self {
+            Solution::Mate(mate) => format!(
+                "matching of {} edges",
+                sb_core::verify::matching_cardinality(mate)
+            ),
+            Solution::Color(color) => {
+                let colors = color
+                    .iter()
+                    .filter(|&&c| c != INVALID)
+                    .max()
+                    .map_or(0, |&c| c as usize + 1);
+                format!("{colors} colors")
+            }
+            Solution::Set(in_set) => {
+                format!("MIS of {} vertices", in_set.iter().filter(|&&b| b).count())
+            }
+        }
+    }
+}
+
+/// Engine construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// Bound on each LRU cache (graphs and decompositions); 0 disables
+    /// caching entirely.
+    pub cache_cap: usize,
+    /// Seed for the graph fingerprint hash.
+    pub fingerprint_seed: u64,
+}
+
+impl Default for EngineConfig {
+    fn default() -> EngineConfig {
+        EngineConfig {
+            cache_cap: 64,
+            fingerprint_seed: fingerprint::DEFAULT_SEED,
+        }
+    }
+}
+
+/// Outcome of one cached solve (see [`Engine::solve_on`]).
+#[derive(Debug)]
+pub struct SolveOutcome {
+    /// The verified-comparable output.
+    pub solution: Solution,
+    /// Solver stats; `decompose_time` is the *measured* decomposition time
+    /// on a cache miss and zero on a hit.
+    pub stats: RunStats,
+    /// `Some(true)` when the decomposition came from the cache,
+    /// `Some(false)` when it was computed here, `None` for baselines.
+    pub decomp_cached: Option<bool>,
+}
+
+/// The multi-tenant batch-solve engine: two bounded LRUs (parsed graphs by
+/// source key; decompositions by `(fingerprint, spec, params, seed)`) and
+/// the scheduling machinery in [`crate::batch`].
+pub struct Engine {
+    pub(crate) fingerprint_seed: u64,
+    pub(crate) graphs: Lru<String, (Arc<Graph>, u64)>,
+    pub(crate) decomps: Lru<DecompKey, Arc<CachedDecomposition>>,
+}
+
+impl Engine {
+    /// An engine with the given configuration.
+    pub fn new(cfg: EngineConfig) -> Engine {
+        Engine {
+            fingerprint_seed: cfg.fingerprint_seed,
+            graphs: Lru::new(cfg.cache_cap),
+            decomps: Lru::new(cfg.cache_cap),
+        }
+    }
+
+    /// An engine with the given cache bound and default fingerprint seed.
+    pub fn with_cap(cache_cap: usize) -> Engine {
+        Engine::new(EngineConfig {
+            cache_cap,
+            ..EngineConfig::default()
+        })
+    }
+
+    /// Graph-cache statistics.
+    pub fn graph_cache_stats(&self) -> CacheStats {
+        self.graphs.stats()
+    }
+
+    /// Decomposition-cache statistics.
+    pub fn decomp_cache_stats(&self) -> CacheStats {
+        self.decomps.stats()
+    }
+
+    /// Fetch (or load and memoize) the graph for `src`. Returns the shared
+    /// graph, its fingerprint, and whether it came from the cache.
+    pub fn graph(&mut self, src: &GraphSource) -> Result<(Arc<Graph>, u64, bool), String> {
+        let key = src.key();
+        if let Some((g, fp)) = self.graphs.get(&key) {
+            return Ok((g.clone(), *fp, true));
+        }
+        let g = Arc::new(src.load()?);
+        let fp = fingerprint_graph(&g, self.fingerprint_seed);
+        self.graphs.insert(key, (g.clone(), fp));
+        Ok((g, fp, false))
+    }
+
+    /// Solve `solver` on an already-loaded graph through the decomposition
+    /// cache. This is the synchronous library path (no watchdog, current
+    /// thread pool); [`Engine::run_job`] wraps the same computation with
+    /// source resolution, thread pinning, and a timeout.
+    pub fn solve_on(
+        &mut self,
+        g: &Arc<Graph>,
+        solver: Solver,
+        arch: Arch,
+        seed: u64,
+        opts: &SolveOpts,
+    ) -> SolveOutcome {
+        let spec = solver.decomp_spec();
+        if spec == DecompSpec::None {
+            let (solution, stats) = run_solver(g, solver, None, arch, seed, opts);
+            return SolveOutcome {
+                solution,
+                stats,
+                decomp_cached: None,
+            };
+        }
+        let fp = fingerprint_graph(g, self.fingerprint_seed);
+        let key = DecompKey::new(fp, spec, seed);
+        let (d, cached, decompose_time) = match self.decomps.get(&key) {
+            Some(d) => (d.clone(), true, Duration::ZERO),
+            None => {
+                let (d, dt) = compute_decomposition(g, spec, seed, opts.trace.clone());
+                let d = Arc::new(d);
+                self.decomps.insert(key, d.clone());
+                (d, false, dt)
+            }
+        };
+        let (solution, mut stats) = run_solver(g, solver, Some(&d), arch, seed, opts);
+        stats.decompose_time = decompose_time;
+        SolveOutcome {
+            solution,
+            stats,
+            decomp_cached: Some(cached),
+        }
+    }
+
+    /// Test hook: corrupt every cached decomposition in place (rotate
+    /// every edge's class / flip every articulation flag), simulating a
+    /// stale entry left behind for a different graph. Returns how many
+    /// entries were corrupted. Used by the fuzz layer's planted
+    /// stale-cache self-test — a correct engine never mutates a cached
+    /// view, so the byte-equality oracle must catch this.
+    #[doc(hidden)]
+    pub fn corrupt_cached_decompositions(&mut self) -> usize {
+        let mut corrupted = 0;
+        for key in self.decomps.keys() {
+            let Some(entry) = self.decomps.get_mut(&key) else {
+                continue;
+            };
+            let Some(d) = Arc::get_mut(entry) else {
+                continue;
+            };
+            match d {
+                CachedDecomposition::Bridge(b) => {
+                    for c in &mut b.class {
+                        *c ^= 1;
+                    }
+                }
+                CachedDecomposition::Rand(r) => {
+                    for c in &mut r.class {
+                        *c ^= 1;
+                    }
+                }
+                CachedDecomposition::Degk(d) => {
+                    for c in &mut d.class {
+                        *c = (*c + 1) % 3;
+                    }
+                }
+                CachedDecomposition::Bicc(b) => {
+                    for a in &mut b.is_articulation {
+                        *a = !*a;
+                    }
+                }
+            }
+            corrupted += 1;
+        }
+        corrupted
+    }
+}
+
+/// Compute the decomposition for `spec`, timing it and charging its work
+/// (and a `decompose` phase span) to the job's trace sink when given.
+pub(crate) fn compute_decomposition(
+    g: &Graph,
+    spec: DecompSpec,
+    seed: u64,
+    trace: Option<Arc<TraceSink>>,
+) -> (CachedDecomposition, Duration) {
+    let counters = match trace {
+        Some(sink) => Counters::with_trace(sink),
+        None => Counters::new(),
+    };
+    let sw = Stopwatch::start();
+    let d = {
+        let _span = counters.phase("decompose");
+        match spec {
+            DecompSpec::None => unreachable!("baselines have no decomposition"),
+            DecompSpec::Bridge => CachedDecomposition::Bridge(decompose_bridge(g, &counters)),
+            DecompSpec::Rand { partitions } => {
+                CachedDecomposition::Rand(decompose_rand(g, partitions, seed, &counters))
+            }
+            DecompSpec::Degk { k } => CachedDecomposition::Degk(decompose_degk(g, k, &counters)),
+            DecompSpec::Bicc => CachedDecomposition::Bicc(decompose_bicc(g, &counters)),
+        }
+    };
+    (d, sw.elapsed())
+}
+
+/// Dispatch `solver` against a precomputed decomposition (or none for
+/// baselines). The `*_with` entry points guarantee the output is
+/// byte-identical to the decompose-inline `*_opts` path.
+pub(crate) fn run_solver(
+    g: &Graph,
+    solver: Solver,
+    d: Option<&CachedDecomposition>,
+    arch: Arch,
+    seed: u64,
+    opts: &SolveOpts,
+) -> (Solution, RunStats) {
+    use CachedDecomposition as D;
+    match (solver, d) {
+        (Solver::Mm(MmAlgorithm::Baseline), None) => {
+            let run = mm_decomp::baseline_run_opts(g, arch, seed, opts);
+            (Solution::Mate(run.mate), run.stats)
+        }
+        (Solver::Mm(MmAlgorithm::Bridge), Some(D::Bridge(d))) => {
+            let run = mm_decomp::mm_bridge_with(g, d, arch, seed, opts);
+            (Solution::Mate(run.mate), run.stats)
+        }
+        (Solver::Mm(MmAlgorithm::Rand { .. }), Some(D::Rand(d))) => {
+            let run = mm_decomp::mm_rand_with(g, d, arch, seed, opts);
+            (Solution::Mate(run.mate), run.stats)
+        }
+        (Solver::Mm(MmAlgorithm::Degk { .. }), Some(D::Degk(d))) => {
+            let run = mm_decomp::mm_degk_with(g, d, arch, seed, opts);
+            (Solution::Mate(run.mate), run.stats)
+        }
+        (Solver::Mm(MmAlgorithm::Bicc), Some(D::Bicc(d))) => {
+            let run = mm_decomp::mm_bicc_with(g, d, arch, seed, opts);
+            (Solution::Mate(run.mate), run.stats)
+        }
+        (Solver::Color(ColorAlgorithm::Baseline), None) => {
+            let run = color_decomp::baseline_run_opts(g, arch, seed, opts);
+            (Solution::Color(run.color), run.stats)
+        }
+        (Solver::Color(ColorAlgorithm::Bridge), Some(D::Bridge(d))) => {
+            let run = color_decomp::color_bridge_with(g, d, arch, seed, opts);
+            (Solution::Color(run.color), run.stats)
+        }
+        (Solver::Color(ColorAlgorithm::Rand { .. }), Some(D::Rand(d))) => {
+            let run = color_decomp::color_rand_with(g, d, arch, seed, opts);
+            (Solution::Color(run.color), run.stats)
+        }
+        (Solver::Color(ColorAlgorithm::Degk { .. }), Some(D::Degk(d))) => {
+            let run = color_decomp::color_degk_with(g, d, arch, seed, opts);
+            (Solution::Color(run.color), run.stats)
+        }
+        (Solver::Color(ColorAlgorithm::Bicc), Some(D::Bicc(d))) => {
+            let run = color_decomp::color_bicc_with(g, d, arch, seed, opts);
+            (Solution::Color(run.color), run.stats)
+        }
+        (Solver::Mis(MisAlgorithm::Baseline), None) => {
+            let run = mis_decomp::baseline_run_opts(g, arch, seed, opts);
+            (Solution::Set(run.in_set), run.stats)
+        }
+        (Solver::Mis(MisAlgorithm::Bridge), Some(D::Bridge(d))) => {
+            let run = mis_decomp::mis_bridge_with(g, d, arch, seed, opts);
+            (Solution::Set(run.in_set), run.stats)
+        }
+        (Solver::Mis(MisAlgorithm::Rand { .. }), Some(D::Rand(d))) => {
+            let run = mis_decomp::mis_rand_with(g, d, arch, seed, opts);
+            (Solution::Set(run.in_set), run.stats)
+        }
+        (Solver::Mis(MisAlgorithm::Degk { .. }), Some(D::Degk(d))) => {
+            let run = mis_decomp::mis_degk_with(g, d, arch, seed, opts);
+            (Solution::Set(run.in_set), run.stats)
+        }
+        (Solver::Mis(MisAlgorithm::Bicc), Some(D::Bicc(d))) => {
+            let run = mis_decomp::mis_bicc_with(g, d, arch, seed, opts);
+            (Solution::Set(run.in_set), run.stats)
+        }
+        (solver, _) => unreachable!("solver {solver:?} paired with wrong decomposition"),
+    }
+}
+
+/// Parse an `sbreak`-style `--frontier` value.
+pub fn parse_frontier(s: &str) -> Result<FrontierMode, String> {
+    s.parse()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sb_core::matching::maximal_matching_opts;
+    use sb_core::mis::maximal_independent_set_opts;
+    use sb_graph::builder::from_edge_list;
+
+    fn chain_graph(n: u32) -> Arc<Graph> {
+        let edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        Arc::new(from_edge_list(n as usize, &edges))
+    }
+
+    fn all_solvers() -> Vec<Solver> {
+        let mut v = Vec::new();
+        for p in 0..3 {
+            for a in 0..5 {
+                v.push(match (p, a) {
+                    (0, 0) => Solver::Mm(MmAlgorithm::Baseline),
+                    (0, 1) => Solver::Mm(MmAlgorithm::Bridge),
+                    (0, 2) => Solver::Mm(MmAlgorithm::Rand { partitions: 3 }),
+                    (0, 3) => Solver::Mm(MmAlgorithm::Degk { k: 2 }),
+                    (0, 4) => Solver::Mm(MmAlgorithm::Bicc),
+                    (1, 0) => Solver::Color(ColorAlgorithm::Baseline),
+                    (1, 1) => Solver::Color(ColorAlgorithm::Bridge),
+                    (1, 2) => Solver::Color(ColorAlgorithm::Rand { partitions: 3 }),
+                    (1, 3) => Solver::Color(ColorAlgorithm::Degk { k: 2 }),
+                    (1, 4) => Solver::Color(ColorAlgorithm::Bicc),
+                    (2, 0) => Solver::Mis(MisAlgorithm::Baseline),
+                    (2, 1) => Solver::Mis(MisAlgorithm::Bridge),
+                    (2, 2) => Solver::Mis(MisAlgorithm::Rand { partitions: 3 }),
+                    (2, 3) => Solver::Mis(MisAlgorithm::Degk { k: 2 }),
+                    _ => Solver::Mis(MisAlgorithm::Bicc),
+                });
+            }
+        }
+        v
+    }
+
+    #[test]
+    fn cached_path_matches_direct_opts_path_bytewise() {
+        // The core byte-identity contract: engine (fresh miss, then cache
+        // hit) == the plain *_opts composite, for every solver family.
+        let g = chain_graph(40);
+        let opts = SolveOpts::default();
+        for solver in all_solvers() {
+            let mut engine = Engine::with_cap(8);
+            let fresh = engine.solve_on(&g, solver, Arch::Cpu, 7, &opts);
+            let hit = engine.solve_on(&g, solver, Arch::Cpu, 7, &opts);
+            assert_eq!(
+                fresh.solution,
+                hit.solution,
+                "cache hit diverged for {}",
+                solver.label()
+            );
+            if solver.decomp_spec() != DecompSpec::None {
+                assert_eq!(fresh.decomp_cached, Some(false));
+                assert_eq!(hit.decomp_cached, Some(true));
+            }
+            let direct: Solution = match solver {
+                Solver::Mm(a) => {
+                    Solution::Mate(maximal_matching_opts(&g, a, Arch::Cpu, 7, &opts).mate)
+                }
+                Solver::Color(a) => Solution::Color(
+                    sb_core::coloring::vertex_coloring_opts(&g, a, Arch::Cpu, 7, &opts).color,
+                ),
+                Solver::Mis(a) => {
+                    Solution::Set(maximal_independent_set_opts(&g, a, Arch::Cpu, 7, &opts).in_set)
+                }
+            };
+            assert_eq!(
+                fresh.solution,
+                direct,
+                "engine output differs from composite for {}",
+                solver.label()
+            );
+            fresh.solution.verify(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn decompositions_shared_across_problem_families() {
+        // COLOR-Degk2 and MIS-Degk2 on the same graph share one DEGk
+        // decomposition; the second solve must be a cache hit.
+        let g = chain_graph(64);
+        let mut engine = Engine::with_cap(8);
+        let opts = SolveOpts::default();
+        let a = engine.solve_on(
+            &g,
+            Solver::Color(ColorAlgorithm::Degk { k: 2 }),
+            Arch::Cpu,
+            5,
+            &opts,
+        );
+        let b = engine.solve_on(
+            &g,
+            Solver::Mis(MisAlgorithm::Degk { k: 2 }),
+            Arch::Cpu,
+            5,
+            &opts,
+        );
+        assert_eq!(a.decomp_cached, Some(false));
+        assert_eq!(b.decomp_cached, Some(true), "DEGk must be shared");
+        b.solution.verify(&g).unwrap();
+    }
+
+    #[test]
+    fn rand_cache_key_includes_seed() {
+        let g = chain_graph(64);
+        let mut engine = Engine::with_cap(8);
+        let opts = SolveOpts::default();
+        let solver = Solver::Mm(MmAlgorithm::Rand { partitions: 4 });
+        assert_eq!(
+            engine
+                .solve_on(&g, solver, Arch::Cpu, 1, &opts)
+                .decomp_cached,
+            Some(false)
+        );
+        assert_eq!(
+            engine
+                .solve_on(&g, solver, Arch::Cpu, 2, &opts)
+                .decomp_cached,
+            Some(false),
+            "different seed must not hit RAND's cache entry"
+        );
+        // Seed-independent DEGk: different seeds share.
+        let dk = Solver::Mm(MmAlgorithm::Degk { k: 2 });
+        assert_eq!(
+            engine.solve_on(&g, dk, Arch::Cpu, 1, &opts).decomp_cached,
+            Some(false)
+        );
+        assert_eq!(
+            engine.solve_on(&g, dk, Arch::Cpu, 2, &opts).decomp_cached,
+            Some(true)
+        );
+    }
+
+    #[test]
+    fn cap_zero_never_caches() {
+        let g = chain_graph(32);
+        let mut engine = Engine::with_cap(0);
+        let opts = SolveOpts::default();
+        let solver = Solver::Mis(MisAlgorithm::Degk { k: 2 });
+        let a = engine.solve_on(&g, solver, Arch::Cpu, 3, &opts);
+        let b = engine.solve_on(&g, solver, Arch::Cpu, 3, &opts);
+        assert_eq!(a.decomp_cached, Some(false));
+        assert_eq!(b.decomp_cached, Some(false));
+        assert_eq!(a.solution, b.solution, "fresh runs are deterministic");
+    }
+
+    #[test]
+    fn corrupt_hook_changes_cached_output() {
+        // The stale-cache planted bug: after corrupting the cached view,
+        // the cached run must diverge from a fresh engine's run.
+        let n: u32 = 32;
+        let mut edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        edges.extend((0..n).map(|i| (i, (i * 7 + 3) % n)));
+        let g = Arc::new(from_edge_list(n as usize, &edges));
+        let opts = SolveOpts::default();
+        let solver = Solver::Color(ColorAlgorithm::Rand { partitions: 3 });
+        let mut engine = Engine::with_cap(8);
+        let clean = engine.solve_on(&g, solver, Arch::Cpu, 9, &opts);
+        assert!(engine.corrupt_cached_decompositions() > 0);
+        let stale = engine.solve_on(&g, solver, Arch::Cpu, 9, &opts);
+        assert_eq!(stale.decomp_cached, Some(true));
+        assert_ne!(
+            clean.solution, stale.solution,
+            "swapping every edge's induced/cross class must change the output"
+        );
+    }
+
+    #[test]
+    fn graph_cache_by_source_key() {
+        let mut engine = Engine::with_cap(4);
+        let src = GraphSource::parse("gen:lp1", 0.05, 42).unwrap();
+        let (a, fp_a, hit_a) = engine.graph(&src).unwrap();
+        let (b, fp_b, hit_b) = engine.graph(&src).unwrap();
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert_eq!(fp_a, fp_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        // Different generation seed = different key and fingerprint.
+        let other = GraphSource::parse("gen:lp1", 0.05, 43).unwrap();
+        let (_, fp_c, hit_c) = engine.graph(&other).unwrap();
+        assert!(!hit_c);
+        assert_ne!(fp_a, fp_c);
+        assert!(GraphSource::parse("gen:nope", 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn solver_labels() {
+        assert_eq!(Solver::Mm(MmAlgorithm::Baseline).label(), "mm-baseline");
+        assert_eq!(
+            Solver::Color(ColorAlgorithm::Rand { partitions: 2 }).label(),
+            "color-rand:2"
+        );
+        assert_eq!(
+            Solver::Mis(MisAlgorithm::Degk { k: 2 }).label(),
+            "mis-degk:2"
+        );
+    }
+}

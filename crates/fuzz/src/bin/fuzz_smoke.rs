@@ -115,6 +115,27 @@ fn main() -> ExitCode {
         }
     }
 
+    // Phase 1b: the engine axis must catch a planted stale cache entry.
+    // A chain with chord edges is dense enough that a corrupted RAND
+    // decomposition visibly changes the coloring.
+    {
+        use sb_core::coloring::ColorAlgorithm;
+        use sb_core::Arch;
+        use sb_fuzz::SolverConfig;
+        let n = 32u32;
+        let mut edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        edges.extend((0..n).map(|i| (i, (i * 7 + 3) % n)));
+        let g = sb_graph::builder::from_edge_list(n as usize, &edges);
+        let cfg = SolverConfig::Color(ColorAlgorithm::Rand { partitions: 3 }, Arch::Cpu);
+        match sb_fuzz::oracle::check_engine_case(&g, &cfg, 9, Mutation::StaleDecompCache) {
+            Err(f) => println!("self-test: planted stale decomposition cache caught ({f})"),
+            Ok(()) => {
+                eprintln!("self-test FAILED: stale decomposition cache not caught");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     // Phase 2: budgeted clean sweep of the real solvers.
     let report = run_fuzz(&FuzzOptions {
         master_seed: args.seed,

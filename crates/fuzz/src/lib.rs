@@ -5,7 +5,11 @@
 //! registered solver matrix ([`config`]), runs each configuration at
 //! dense/compact × 1/N threads, and cross-checks validity, the
 //! byte-equality contract, and sb-trace round/counter accounting
-//! ([`oracle`]). A failing case is minimized by delta-debugging
+//! ([`oracle`]). Each case also runs the **engine axis**
+//! ([`oracle::check_engine_case`]): the same configuration through
+//! `sb-engine` with a warm decomposition cache and with caching disabled
+//! (`cache cap 0`), asserting cached and fresh outputs are byte-identical
+//! with identical verify outcomes. A failing case is minimized by delta-debugging
 //! ([`shrink`]) and written as a replayable case file plus a
 //! ready-to-paste regression test ([`case`]).
 //!
@@ -48,6 +52,10 @@ pub struct FuzzOptions {
     pub max_counterexamples: usize,
     /// Oracle evaluations the shrinker may spend per counterexample.
     pub shrink_evals: usize,
+    /// Also run the engine configuration axis per case: cached vs cap-0
+    /// fresh `sb-engine` runs must be byte-identical with identical
+    /// verify outcomes (see [`oracle::check_engine_case`]).
+    pub engine_axis: bool,
 }
 
 impl Default for FuzzOptions {
@@ -62,8 +70,25 @@ impl Default for FuzzOptions {
             mutation: Mutation::None,
             max_counterexamples: 5,
             shrink_evals: 400,
+            engine_axis: true,
         }
     }
+}
+
+/// The full per-case oracle: the solver matrix cross-check, then (when
+/// enabled) the engine cached-vs-fresh axis. Used by the sweep and by the
+/// shrinker, so minimization preserves whichever axis failed.
+fn full_check(
+    g: &sb_graph::csr::Graph,
+    cfg: &SolverConfig,
+    seed: u64,
+    opts: &FuzzOptions,
+) -> Result<(), oracle::Failure> {
+    oracle::check_case(g, cfg, seed, opts.wide_threads, opts.mutation)?;
+    if opts.engine_axis {
+        oracle::check_engine_case(g, cfg, seed, opts.mutation)?;
+    }
+    Ok(())
 }
 
 /// One confirmed, minimized contract violation.
@@ -152,11 +177,10 @@ pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
                 report.cases_run += 1;
                 covered[ci] = true;
 
-                let failure =
-                    match oracle::check_case(&g, cfg, seed, opts.wide_threads, opts.mutation) {
-                        Ok(()) => continue,
-                        Err(f) => f,
-                    };
+                let failure = match full_check(&g, cfg, seed, opts) {
+                    Ok(()) => continue,
+                    Err(f) => f,
+                };
 
                 let cex = minimize(case, cfg, seed, failure, opts);
                 report.counterexamples.push(cex);
@@ -188,10 +212,7 @@ fn minimize(
         &case.edges,
         |n, edges| {
             let g = sb_graph::builder::from_edge_list(n, edges);
-            matches!(
-                oracle::check_case(&g, cfg, seed, opts.wide_threads, opts.mutation),
-                Err(f) if f.kind == kind
-            )
+            matches!(full_check(&g, cfg, seed, opts), Err(f) if f.kind == kind)
         },
         opts.shrink_evals,
     );

@@ -40,6 +40,11 @@ pub enum Mutation {
     /// leaving an edge with two free endpoints — a maximality violation
     /// on any graph with at least one edge.
     CorruptMatching,
+    /// Corrupt every cached decomposition in the engine between priming
+    /// and the cache-hit run ([`check_engine_case`]) — simulating a stale
+    /// or mis-keyed cache entry. The engine axis must catch the resulting
+    /// cached-vs-fresh divergence; the solver matrix ignores it.
+    StaleDecompCache,
 }
 
 /// One contract violation found by the oracle.
@@ -249,6 +254,92 @@ pub fn check_case(
     Ok(())
 }
 
+/// The engine configuration axis: run `cfg` once through a cap-0 engine
+/// (never caches — the fresh reference), then through a caching engine
+/// twice (prime, then cache hit), and check the cached-vs-fresh contract:
+///
+/// 1. The primed and cache-hit solutions are **byte-identical** to the
+///    fresh one — a decomposition served from the cache must not change
+///    any output bit.
+/// 2. All three solutions have identical `verify` outcomes (and for the
+///    real solvers, all must verify).
+/// 3. For decomposed solvers the hit run actually *was* a cache hit —
+///    otherwise the axis silently tested nothing.
+///
+/// [`Mutation::StaleDecompCache`] corrupts every cached decomposition
+/// between priming and the hit run; this check must then fail (the
+/// planted-bug self-test for the axis).
+pub fn check_engine_case(
+    g: &Graph,
+    cfg: &SolverConfig,
+    seed: u64,
+    mutation: Mutation,
+) -> Result<(), Failure> {
+    use sb_engine::engine::DecompSpec;
+    use sb_engine::{Engine, EngineConfig, Solver};
+
+    let solver = match *cfg {
+        SolverConfig::Mm(a, _) => Solver::Mm(a),
+        SolverConfig::Mis(a, _) => Solver::Mis(a),
+        SolverConfig::Color(a, _) => Solver::Color(a),
+    };
+    let arch = cfg.arch();
+    let g = Arc::new(g.clone());
+    let opts = SolveOpts::default();
+
+    // Fresh reference: a cap-0 engine never caches anything.
+    let mut fresh_engine = Engine::with_cap(0);
+    let fresh = fresh_engine.solve_on(&g, solver, arch, seed, &opts);
+
+    // Cached path: prime, (maybe corrupt,) then solve again on the hit.
+    let mut cached_engine = Engine::new(EngineConfig::default());
+    let primed = cached_engine.solve_on(&g, solver, arch, seed, &opts);
+    if mutation == Mutation::StaleDecompCache {
+        cached_engine.corrupt_cached_decompositions();
+    }
+    let hit = cached_engine.solve_on(&g, solver, arch, seed, &opts);
+
+    let decomposed = solver.decomp_spec() != DecompSpec::None;
+    if decomposed && hit.decomp_cached != Some(true) {
+        return Err(Failure {
+            kind: "accounting",
+            detail: format!(
+                "engine axis: second solve did not hit the decomposition \
+                 cache (decomp_cached = {:?})",
+                hit.decomp_cached
+            ),
+        });
+    }
+
+    for (tag, sol) in [("primed", &primed.solution), ("cache-hit", &hit.solution)] {
+        if sol != &fresh.solution {
+            return Err(Failure {
+                kind: "equality",
+                detail: format!("engine axis: {tag} output differs from cap-0 fresh output"),
+            });
+        }
+    }
+    let fresh_verify = fresh.solution.verify(&g);
+    for (tag, sol) in [("primed", &primed.solution), ("cache-hit", &hit.solution)] {
+        let v = sol.verify(&g);
+        if v.is_ok() != fresh_verify.is_ok() {
+            return Err(Failure {
+                kind: "validity",
+                detail: format!(
+                    "engine axis: {tag} verify outcome {v:?} differs from fresh {fresh_verify:?}"
+                ),
+            });
+        }
+    }
+    if let Err(e) = fresh_verify {
+        return Err(Failure {
+            kind: "validity",
+            detail: format!("engine axis: fresh solution fails verification: {e}"),
+        });
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,5 +361,45 @@ mod tests {
         let cfg = SolverConfig::Mm(MmAlgorithm::Baseline, Arch::Cpu);
         let f = check_case(&g, &cfg, 7, 2, Mutation::CorruptMatching).unwrap_err();
         assert_eq!(f.kind, "validity");
+    }
+
+    /// A chain with chord edges: dense enough that a corrupted
+    /// decomposition visibly changes solver output (a bare chain's
+    /// matchings are too rigid to diverge).
+    fn chorded_graph() -> Graph {
+        let n = 32u32;
+        let mut edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        edges.extend((0..n).map(|i| (i, (i * 7 + 3) % n)));
+        from_edge_list(n as usize, &edges)
+    }
+
+    #[test]
+    fn engine_axis_clean_solvers_pass() {
+        let g = chorded_graph();
+        for cfg in SolverConfig::all() {
+            check_engine_case(&g, &cfg, 9, Mutation::None)
+                .unwrap_or_else(|f| panic!("{}: {f}", cfg.label()));
+        }
+    }
+
+    #[test]
+    fn engine_axis_catches_planted_stale_cache() {
+        use sb_core::coloring::ColorAlgorithm;
+        let g = chorded_graph();
+        let cfg = SolverConfig::Color(ColorAlgorithm::Rand { partitions: 3 }, Arch::Cpu);
+        let f = check_engine_case(&g, &cfg, 9, Mutation::StaleDecompCache).unwrap_err();
+        assert!(
+            f.kind == "equality" || f.kind == "validity",
+            "want cached-vs-fresh divergence, got {f}"
+        );
+    }
+
+    #[test]
+    fn engine_axis_stale_cache_is_noop_for_undecomposed_solvers() {
+        // Baseline solvers cache no decomposition, so the planted stale
+        // entry has nothing to corrupt: the check must still pass.
+        let g = chorded_graph();
+        let cfg = SolverConfig::Mm(MmAlgorithm::Baseline, Arch::Cpu);
+        check_engine_case(&g, &cfg, 9, Mutation::StaleDecompCache).unwrap();
     }
 }

@@ -9,6 +9,8 @@
 //!                          [--arch cpu|gpu] [--seed S] [-o solution.txt]
 //! sbreak fuzz      [--seed S] [--budget-secs T] [--max-cases K]
 //!                  [--threads N] [-o results/fuzz] [--replay case.txt]
+//! sbreak batch     <jobs.toml> [--cache-cap N] [--compare-fresh]
+//!                  [--trace-dir d] [--out-dir d] [-o BENCH_engine.json]
 //! ```
 //!
 //! `<input>` is an edge-list or Matrix-Market (`.mtx`) file, or
@@ -26,6 +28,12 @@
 //! strategy: `compact` (the default) iterates compacted worklists of
 //! still-undecided vertices, `dense` rescans `0..n` every round (the
 //! pre-frontier behavior, kept for A/B comparison).
+//!
+//! `batch` runs a jobs file through the cached-decomposition engine
+//! (`sb-engine`): N jobs on one graph pay for ingestion and each distinct
+//! decomposition once. `--cache-cap 0` disables the caches (the reference
+//! path), `--compare-fresh` additionally re-runs everything cache-disabled
+//! and hard-errors on any output divergence.
 
 use std::io::Write;
 use std::path::Path;
@@ -45,7 +53,9 @@ fn usage() -> ! {
          \x20            [--arch cpu|gpu] [--frontier dense|compact] [--seed S] [--threads N]\n  \
          \x20            [-o <file>] [--trace <out.jsonl>]\n  \
          sbreak fuzz [--seed S] [--budget-secs T] [--max-cases K] [--threads N]\n  \
-         \x20           [-o <dir>] [--replay <case.txt>]\n\n\
+         \x20           [-o <dir>] [--replay <case.txt>]\n  \
+         sbreak batch <jobs.toml> [--cache-cap N] [--compare-fresh] [--threads N]\n  \
+         \x20            [--trace-dir <dir>] [--out-dir <dir>] [-o <report.json>]\n\n\
          <input>: an edge-list/.mtx path, or gen:<table-II-name> (e.g. gen:lp1)"
     );
     std::process::exit(2)
@@ -105,6 +115,10 @@ struct Flags {
     budget_secs: Option<u64>,
     max_cases: Option<usize>,
     replay: Option<String>,
+    cache_cap: Option<usize>,
+    trace_dir: Option<String>,
+    out_dir: Option<String>,
+    compare_fresh: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -125,6 +139,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         budget_secs: None,
         max_cases: None,
         replay: None,
+        cache_cap: None,
+        trace_dir: None,
+        out_dir: None,
+        compare_fresh: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -180,6 +198,16 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 )
             }
             "--replay" => f.replay = Some(val("--replay")?),
+            "--cache-cap" => {
+                f.cache_cap = Some(
+                    val("--cache-cap")?
+                        .parse()
+                        .map_err(|_| "--cache-cap takes a non-negative integer".to_string())?,
+                )
+            }
+            "--trace-dir" => f.trace_dir = Some(val("--trace-dir")?),
+            "--out-dir" => f.out_dir = Some(val("--out-dir")?),
+            "--compare-fresh" => f.compare_fresh = true,
             "--bridges" => f.bridges = true,
             "--blocks" => f.blocks = true,
             other if other.starts_with('-') => return Err(format!("unknown flag {other}")),
@@ -520,6 +548,78 @@ fn cmd_fuzz(f: &Flags) -> Result<(), String> {
     ))
 }
 
+/// `sbreak batch`: run a jobs file through the cached-decomposition
+/// engine. Per-job thread pins come from the jobs file; `--threads` sets
+/// the default for jobs that don't pin (the engine's workers run outside
+/// any pool installed on this thread, so the global pin would not reach
+/// them).
+fn cmd_batch(f: &Flags) -> Result<(), String> {
+    use symmetry_breaking::engine::{
+        parse_jobs, run_batch_compare, BatchOptions, Engine, EngineConfig,
+    };
+
+    let path = f.positional.first().ok_or("batch needs a jobs file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut jobs = parse_jobs(&text, path)?;
+    if let Some(n) = f.threads {
+        for job in &mut jobs {
+            job.threads.get_or_insert(n);
+        }
+    }
+    println!("batch: {} job(s) from {path}", jobs.len());
+
+    let cfg = EngineConfig {
+        cache_cap: f.cache_cap.unwrap_or(64),
+        ..EngineConfig::default()
+    };
+    let opts = BatchOptions {
+        trace_dir: f.trace_dir.as_ref().map(std::path::PathBuf::from),
+    };
+    let report = if f.compare_fresh {
+        run_batch_compare(&jobs, cfg, &opts)?
+    } else {
+        Engine::new(cfg).run_batch(&jobs, &opts)?
+    };
+
+    if let Some(dir) = &f.out_dir {
+        let dir = Path::new(dir);
+        std::fs::create_dir_all(dir)
+            .map_err(|e| format!("cannot create {}: {e}", dir.display()))?;
+        for job in &report.jobs {
+            if let Some(solution) = &job.solution {
+                let out = dir.join(format!("{}.txt", job.label));
+                std::fs::write(&out, solution.render())
+                    .map_err(|e| format!("cannot write {}: {e}", out.display()))?;
+            }
+        }
+        println!("[solutions written to {}]", dir.display());
+    }
+
+    print!("{}", report.render_markdown());
+    let json_path = f
+        .output
+        .clone()
+        .unwrap_or_else(|| "results/BENCH_engine.json".into());
+    report.save_json(Path::new(&json_path))?;
+    println!("\n[saved {json_path}]");
+
+    if report.all_ok() {
+        Ok(())
+    } else {
+        let bad: Vec<String> = report
+            .jobs
+            .iter()
+            .filter(|j| j.outcome != symmetry_breaking::engine::JobOutcome::Ok)
+            .map(|j| format!("{} ({}: {})", j.label, j.outcome.label(), j.detail))
+            .collect();
+        Err(format!(
+            "{} job(s) did not complete: {}",
+            bad.len(),
+            bad.join("; ")
+        ))
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -538,15 +638,17 @@ fn main() -> ExitCode {
         "decompose" => cmd_decompose(&flags),
         "solve" => cmd_solve(&flags),
         "fuzz" => cmd_fuzz(&flags),
+        "batch" => cmd_batch(&flags),
         _ => {
             usage();
         }
     };
     // Pin the whole command to an explicit pool when asked; otherwise the
     // lazily-built global pool (host parallelism) governs parallel calls.
-    // `fuzz` is exempt: its oracle builds a 1-vs-N pool matrix itself.
+    // `fuzz` is exempt (its oracle builds a 1-vs-N pool matrix itself), as
+    // is `batch` (each job pins its own worker).
     let result = match flags.threads {
-        Some(n) if cmd != "fuzz" => symmetry_breaking::par::with_threads(n, run),
+        Some(n) if cmd != "fuzz" && cmd != "batch" => symmetry_breaking::par::with_threads(n, run),
         _ => run(),
     };
     match result {

@@ -24,6 +24,7 @@
 pub use sb_core as core;
 pub use sb_datasets as datasets;
 pub use sb_decompose as decompose;
+pub use sb_engine as engine;
 pub use sb_graph as graph;
 pub use sb_par as par;
 pub use sb_trace as trace;
@@ -49,6 +50,10 @@ pub mod prelude {
     pub use sb_datasets::suite::{generate, load_or_generate, spec, GraphId, Scale};
     pub use sb_decompose::{
         decompose_bridge, decompose_degk, decompose_metis_like, decompose_rand,
+    };
+    pub use sb_engine::{
+        parse_jobs, run_batch_compare, BatchOptions, BatchReport, Engine, EngineConfig,
+        GraphSource, JobSpec, Solver,
     };
     pub use sb_graph::builder::{from_edge_list, GraphBuilder};
     pub use sb_graph::csr::{Graph, VertexId, INVALID};

@@ -1,0 +1,176 @@
+//! Golden-output tests: pin the schema of every `results/*` writer and
+//! the bytes of the deterministic tables. Any schema change — a renamed
+//! column, a reordered header, a new table — fails here first.
+//!
+//! Intentional changes are blessed, never hand-edited:
+//!
+//! ```text
+//! SBREAK_BLESS=1 cargo test --test golden
+//! ```
+
+use sb_bench::harness::{load_suite, BenchConfig};
+use sb_bench::{runners, schemas};
+use sb_core::coloring::ColorAlgorithm;
+use sb_core::common::{Arch, FrontierMode};
+use sb_core::matching::MmAlgorithm;
+use sb_core::mis::MisAlgorithm;
+use sb_datasets::suite::Scale;
+use sb_engine::{run_batch_compare, BatchOptions, EngineConfig, JobSpec, Solver};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn golden_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// Compare `actual` against the checked-in golden file, or rewrite the
+/// golden file when `SBREAK_BLESS` is set.
+fn check_golden(name: &str, actual: &str) {
+    let path = golden_dir().join(name);
+    if std::env::var_os("SBREAK_BLESS").is_some() {
+        fs::create_dir_all(path.parent().unwrap()).unwrap();
+        fs::write(&path, actual).unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+    let expected = match fs::read_to_string(&path) {
+        Ok(s) => s,
+        Err(e) => panic!(
+            "cannot read golden file {}: {e}\n\
+             run `SBREAK_BLESS=1 cargo test --test golden` to generate it",
+            path.display()
+        ),
+    };
+    if expected != actual {
+        let (line, want, got) = first_diff(&expected, actual);
+        panic!(
+            "{name} diverges from its golden file at line {line}:\n\
+             \x20 golden: {want:?}\n\
+             \x20 actual: {got:?}\n\
+             If this schema change is intentional, regenerate with \
+             `SBREAK_BLESS=1 cargo test --test golden` and commit the diff."
+        );
+    }
+}
+
+fn first_diff(a: &str, b: &str) -> (usize, String, String) {
+    for (i, (la, lb)) in a.lines().zip(b.lines()).enumerate() {
+        if la != lb {
+            return (i + 1, la.into(), lb.into());
+        }
+    }
+    let (an, bn) = (a.lines().count(), b.lines().count());
+    (
+        an.min(bn) + 1,
+        format!("<{an} lines>"),
+        format!("<{bn} lines>"),
+    )
+}
+
+/// Blank out the value of each volatile (timing-derived) key in the
+/// flat `"key":"value"` JSON the reports write, keeping the structure.
+fn mask_values(body: &str, keys: &[&str]) -> String {
+    let mut out = body.to_string();
+    for key in keys {
+        let pat = format!("\"{key}\":\"");
+        let mut masked = String::with_capacity(out.len());
+        let mut rest = out.as_str();
+        while let Some(i) = rest.find(&pat) {
+            let start = i + pat.len();
+            masked.push_str(&rest[..start]);
+            masked.push('#');
+            let tail = &rest[start..];
+            let end = tail.find('"').expect("unterminated JSON string");
+            rest = &tail[end..];
+        }
+        masked.push_str(rest);
+        out = masked;
+    }
+    out
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("sbreak-golden-{tag}"));
+    fs::remove_dir_all(&dir).ok();
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn schema_registry_is_pinned() {
+    // Every results/* writer declares its table in sb_bench::schemas; this
+    // pins the full registry (names, titles, headers) in one file.
+    check_golden("schema_registry.txt", &schemas::render_registry());
+}
+
+#[test]
+fn table2_csv_bytes_are_pinned_at_tiny_scale() {
+    // Table II is pure graph statistics — no wall-clock columns — so the
+    // whole CSV is a deterministic function of (scale, seed). Pin it.
+    let cfg = BenchConfig {
+        scale: Scale::Factor(0.05),
+        ..BenchConfig::default()
+    };
+    let suite = load_suite(&cfg);
+    let table = runners::table2(&suite);
+    let dir = scratch("table2");
+    table.save_csv(&dir, "table2").unwrap();
+    let csv = fs::read_to_string(dir.join("table2.csv")).unwrap();
+    check_golden("table2_tiny.csv", &csv);
+
+    // The JSON twin shares the bytes-level guarantee.
+    table.save_json(&dir, "table2").unwrap();
+    let json = fs::read_to_string(dir.join("table2.json")).unwrap();
+    check_golden("table2_tiny.json", &json);
+    fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn engine_batch_report_json_shape_is_pinned() {
+    // Three problems on one graph through the engine with a fresh-reference
+    // comparison: everything but the wall-clock numbers is deterministic.
+    // Mask the timing values, pin the rest (keys, order, labels, cache
+    // accounting, outcome strings).
+    let job = |label: &str, solver: Solver| JobSpec {
+        label: label.to_string(),
+        graph: "gen:lp1".to_string(),
+        scale: 0.05,
+        graph_seed: Some(42),
+        solver,
+        arch: Arch::Cpu,
+        frontier: FrontierMode::Compact,
+        seed: 42,
+        threads: None,
+        timeout_ms: None,
+    };
+    let jobs = [
+        job("mm", Solver::Mm(MmAlgorithm::Rand { partitions: 4 })),
+        job("color", Solver::Color(ColorAlgorithm::Degk { k: 2 })),
+        job("mis", Solver::Mis(MisAlgorithm::Degk { k: 2 })),
+    ];
+    let report = run_batch_compare(&jobs, EngineConfig::default(), &BatchOptions::default())
+        .expect("batch must run");
+    assert!(report.all_ok(), "{:?}", report.jobs);
+
+    let dir = scratch("engine-report");
+    let path = dir.join("BENCH_engine.json");
+    report.save_json(&path).unwrap();
+    let body = fs::read_to_string(&path).unwrap();
+
+    // Every schema key must appear verbatim before masking.
+    for key in sb_engine::report::RECORD_KEYS {
+        assert!(body.contains(&format!("\"{key}\":")), "missing key {key}");
+    }
+    let masked = mask_values(
+        &body,
+        &[
+            "decompose_ms",
+            "solve_ms",
+            "wall_ms",
+            "fresh_wall_ms",
+            "speedup",
+        ],
+    );
+    check_golden("bench_engine_shape.json", &masked);
+    fs::remove_dir_all(&dir).ok();
+}
