@@ -596,12 +596,22 @@ fn cmd_batch(f: &Flags) -> Result<(), String> {
     }
 
     print!("{}", report.render_markdown());
-    let json_path = f
-        .output
-        .clone()
-        .unwrap_or_else(|| "results/BENCH_engine.json".into());
-    report.save_json(Path::new(&json_path))?;
-    println!("\n[saved {json_path}]");
+    // A run that did not complete every job must never clobber the
+    // checked-in default artifact; failed runs only write a report when
+    // one is explicitly requested with -o.
+    if f.output.is_some() || report.all_ok() {
+        let json_path = f
+            .output
+            .clone()
+            .unwrap_or_else(|| "results/BENCH_engine.json".into());
+        report.save_json(Path::new(&json_path))?;
+        println!("\n[saved {json_path}]");
+    } else {
+        eprintln!(
+            "warning: run failed; not overwriting default \
+             results/BENCH_engine.json (pass -o to write a report)"
+        );
+    }
 
     if report.all_ok() {
         Ok(())

@@ -285,14 +285,39 @@ fn batch_timeout_fails_the_run_and_names_the_job() {
     let jobs = dir.join("jobs.toml");
     std::fs::write(
         &jobs,
-        "[[job]]\nlabel = \"slow\"\ngraph = \"gen:lp1\"\nscale = 0.05\n\
+        // Full-scale so the job cannot finish inside the parent's
+        // scheduling quantum and beat the 0 ms watchdog (seen on
+        // single-core hosts with small graphs).
+        "[[job]]\nlabel = \"slow\"\ngraph = \"gen:lp1\"\nscale = 1.0\n\
          problem = \"mm\"\nalgo = \"rand:4\"\ntimeout_ms = 0\n",
     )
     .unwrap();
-    let out = sbreak(&["batch", jobs.to_str().unwrap()]);
+    let json = dir.join("report.json");
+    let out = sbreak(&["batch", jobs.to_str().unwrap(), "-o", json.to_str().unwrap()]);
     assert_eq!(out.status.code(), Some(1));
     let err = stderr(&out);
     assert!(err.contains("slow") && err.contains("timeout"), "{err}");
+    // An explicit -o report is still written for a failed run.
+    assert!(json.exists(), "explicit -o report missing for failed run");
+
+    // Without -o, a failed run must refuse to touch the default
+    // results/BENCH_engine.json artifact (run from a scratch cwd so a
+    // regression can't clobber the repo's checked-in benchmark).
+    let out = Command::new(env!("CARGO_BIN_EXE_sbreak"))
+        .args(["batch", jobs.to_str().unwrap()])
+        .current_dir(&dir)
+        .output()
+        .expect("failed to launch sbreak");
+    assert_eq!(out.status.code(), Some(1));
+    assert!(
+        stderr(&out).contains("not overwriting default"),
+        "{}",
+        stderr(&out)
+    );
+    assert!(
+        !dir.join("results").exists(),
+        "failed run without -o must not create results/"
+    );
     std::fs::remove_dir_all(&dir).ok();
 }
 
