@@ -29,6 +29,7 @@
 //! `results/<name>.csv` next to printing it.
 
 pub mod harness;
+pub mod perfdiff;
 pub mod report;
 pub mod runners;
 pub mod schemas;

@@ -1,0 +1,349 @@
+//! Performance-regression sentinel over the checked-in `BENCH_*.json`
+//! reports.
+//!
+//! Every report writer in this workspace (bench `Table::save_json`, the
+//! engine's `BatchReport::save_json`) emits the same flat shape: a
+//! `title` plus `records`, each record an ordered object of
+//! string-valued cells whose *first* column names the row. `perfdiff`
+//! compares a baseline and a candidate of that shape cell by cell and
+//! flags regressions on the lower-is-better columns.
+//!
+//! Which columns are compared is decided by name, not position: a column
+//! participates when its header mentions a cost unit (`ms`, `us`, or
+//! `edges`) *and* the baseline cell parses as a plain number. That rule
+//! skips derived ratios (`speedup` renders as `2.00x`), placeholder
+//! dashes, and identity columns (`seed`, `workload`) without a
+//! per-report schema.
+//!
+//! The noise model is two-sided: a candidate cell only counts as a
+//! regression (or an improvement) when it moves by more than
+//! `rel_tol` *relatively* and by more than `abs_floor` in absolute
+//! units. The absolute floor keeps sub-millisecond jitter on tiny rows
+//! from tripping the relative gate; see DESIGN.md §12.
+
+use sb_metrics::{parse_json_value, JsonValue};
+
+/// Two-sided noise gate for one cell comparison.
+#[derive(Debug, Clone, Copy)]
+pub struct Tolerance {
+    /// Relative slack: a cell must move by more than this fraction of
+    /// the baseline value to count. 0.10 = 10%.
+    pub rel: f64,
+    /// Absolute floor, in the column's own units (ms, us, or edges): a
+    /// cell must also move by more than this much.
+    pub abs: f64,
+}
+
+impl Default for Tolerance {
+    fn default() -> Tolerance {
+        Tolerance {
+            rel: 0.10,
+            abs: 0.5,
+        }
+    }
+}
+
+/// Outcome of one cell comparison under the noise gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Candidate is lower than baseline by more than the tolerance.
+    Improved,
+    /// Movement within the noise gate (either direction).
+    WithinNoise,
+    /// Candidate is higher than baseline by more than the tolerance.
+    Regressed,
+}
+
+impl Verdict {
+    fn label(self) -> &'static str {
+        match self {
+            Verdict::Improved => "improved",
+            Verdict::WithinNoise => "ok",
+            Verdict::Regressed => "REGRESSED",
+        }
+    }
+}
+
+/// One compared cell.
+#[derive(Debug, Clone)]
+pub struct CellDiff {
+    /// Row name (the first column of the record).
+    pub row: String,
+    /// Column header.
+    pub column: String,
+    /// Baseline value.
+    pub baseline: f64,
+    /// Candidate value.
+    pub candidate: f64,
+    /// `candidate / baseline` (`inf` when the baseline is 0).
+    pub ratio: f64,
+    /// Noise-gated verdict.
+    pub verdict: Verdict,
+}
+
+/// Full comparison of two reports.
+#[derive(Debug, Clone)]
+pub struct DiffReport {
+    /// Baseline report title.
+    pub title: String,
+    /// Every compared cell, in baseline order.
+    pub cells: Vec<CellDiff>,
+    /// Rows/cells present in the baseline but absent (or non-numeric)
+    /// in the candidate. A shrunk candidate is a failure, not a pass:
+    /// a regression that removes its own measurement must not go green.
+    pub missing: Vec<String>,
+}
+
+impl DiffReport {
+    /// True when the candidate regressed: any cell over tolerance, or
+    /// any baseline measurement the candidate no longer reports.
+    pub fn regressed(&self) -> bool {
+        !self.missing.is_empty() || self.cells.iter().any(|c| c.verdict == Verdict::Regressed)
+    }
+
+    /// Count of cells with the given verdict.
+    pub fn count(&self, v: Verdict) -> usize {
+        self.cells.iter().filter(|c| c.verdict == v).count()
+    }
+
+    /// Human rendering: one line per compared cell plus a summary line.
+    pub fn render(&self) -> String {
+        let mut out = format!("perfdiff: {}\n", self.title);
+        for c in &self.cells {
+            out.push_str(&format!(
+                "  {:<10} {} · {}: {} -> {} ({:+.1}%)\n",
+                c.verdict.label(),
+                c.row,
+                c.column,
+                c.baseline,
+                c.candidate,
+                100.0 * (c.ratio - 1.0)
+            ));
+        }
+        for m in &self.missing {
+            out.push_str(&format!("  MISSING    {m}\n"));
+        }
+        out.push_str(&format!(
+            "  {} compared: {} improved, {} within noise, {} regressed, {} missing\n",
+            self.cells.len(),
+            self.count(Verdict::Improved),
+            self.count(Verdict::WithinNoise),
+            self.count(Verdict::Regressed),
+            self.missing.len()
+        ));
+        out
+    }
+}
+
+/// True when `header` names a lower-is-better cost column.
+fn cost_column(header: &str) -> bool {
+    let h = header.to_ascii_lowercase();
+    h.split(|c: char| !c.is_ascii_alphanumeric())
+        .any(|w| w == "ms" || w == "us" || w == "edges")
+}
+
+/// The cell as a plain number, or `None` for dashes / `2.00x` ratios.
+fn numeric(v: &JsonValue) -> Option<f64> {
+    let s = v.as_str()?;
+    s.trim().parse::<f64>().ok().filter(|x| x.is_finite())
+}
+
+struct Report<'a> {
+    title: String,
+    records: Vec<&'a [(String, JsonValue)]>,
+}
+
+fn parse_report<'a>(doc: &'a JsonValue, which: &str) -> Result<Report<'a>, String> {
+    let title = doc
+        .get("title")
+        .and_then(|t| t.as_str())
+        .unwrap_or("(untitled)")
+        .to_string();
+    let records = doc
+        .get("records")
+        .and_then(|r| r.as_arr())
+        .ok_or_else(|| format!("{which}: no 'records' array — not a BENCH-shaped report"))?;
+    let records = records
+        .iter()
+        .map(|r| {
+            r.as_obj()
+                .filter(|m| !m.is_empty())
+                .ok_or_else(|| format!("{which}: record is not a non-empty object"))
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Report { title, records })
+}
+
+/// Compare two `{"title", "records": [...]}` report texts.
+///
+/// The baseline drives the comparison: every numeric cost cell it holds
+/// must still be present and within tolerance in the candidate. Extra
+/// candidate rows or columns are ignored (adding measurements is not a
+/// regression).
+pub fn diff_reports(baseline: &str, candidate: &str, tol: Tolerance) -> Result<DiffReport, String> {
+    let base_doc = parse_json_value(baseline).map_err(|e| format!("baseline: {e}"))?;
+    let cand_doc = parse_json_value(candidate).map_err(|e| format!("candidate: {e}"))?;
+    let base = parse_report(&base_doc, "baseline")?;
+    let cand = parse_report(&cand_doc, "candidate")?;
+
+    let row_name = |rec: &[(String, JsonValue)]| -> String {
+        rec[0].1.as_str().unwrap_or_default().to_string()
+    };
+    let mut cells = Vec::new();
+    let mut missing = Vec::new();
+    for rec in &base.records {
+        let row = row_name(rec);
+        let Some(crec) = cand.records.iter().find(|r| row_name(r) == row) else {
+            missing.push(format!("row '{row}'"));
+            continue;
+        };
+        for (col, val) in rec.iter() {
+            if !cost_column(col) {
+                continue;
+            }
+            let Some(b) = numeric(val) else { continue };
+            let Some(c) = crec
+                .iter()
+                .find(|(k, _)| k == col)
+                .and_then(|(_, v)| numeric(v))
+            else {
+                missing.push(format!("row '{row}' column '{col}'"));
+                continue;
+            };
+            let delta = c - b;
+            let verdict = if delta > b * tol.rel && delta > tol.abs {
+                Verdict::Regressed
+            } else if -delta > b * tol.rel && -delta > tol.abs {
+                Verdict::Improved
+            } else {
+                Verdict::WithinNoise
+            };
+            cells.push(CellDiff {
+                row: row.clone(),
+                column: col.clone(),
+                baseline: b,
+                candidate: c,
+                ratio: if b == 0.0 { f64::INFINITY } else { c / b },
+                verdict,
+            });
+        }
+    }
+    Ok(DiffReport {
+        title: base.title,
+        cells,
+        missing,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(rows: &[(&str, &[(&str, &str)])]) -> String {
+        let recs: Vec<String> = rows
+            .iter()
+            .map(|(name, cells)| {
+                let body: Vec<String> = std::iter::once(format!("\"workload\":\"{name}\""))
+                    .chain(cells.iter().map(|(k, v)| format!("\"{k}\":\"{v}\"")))
+                    .collect();
+                format!("{{{}}}", body.join(","))
+            })
+            .collect();
+        format!("{{\"title\":\"t\",\"records\":[{}]}}", recs.join(","))
+    }
+
+    #[test]
+    fn improvement_is_not_a_regression() {
+        let base = report(&[("a", &[("wall ms", "100")])]);
+        let cand = report(&[("a", &[("wall ms", "60")])]);
+        let d = diff_reports(&base, &cand, Tolerance::default()).unwrap();
+        assert!(!d.regressed());
+        assert_eq!(d.cells[0].verdict, Verdict::Improved);
+    }
+
+    #[test]
+    fn within_noise_passes_both_gates() {
+        // +8% relative: inside the 10% gate.
+        let base = report(&[("a", &[("wall ms", "100")])]);
+        let cand = report(&[("a", &[("wall ms", "108")])]);
+        let d = diff_reports(&base, &cand, Tolerance::default()).unwrap();
+        assert_eq!(d.cells[0].verdict, Verdict::WithinNoise);
+        // +50% relative but only +0.3 absolute: under the 0.5 floor.
+        let base = report(&[("a", &[("wall ms", "0.6")])]);
+        let cand = report(&[("a", &[("wall ms", "0.9")])]);
+        let d = diff_reports(&base, &cand, Tolerance::default()).unwrap();
+        assert_eq!(d.cells[0].verdict, Verdict::WithinNoise);
+        assert!(!d.regressed());
+    }
+
+    #[test]
+    fn regression_over_both_gates_fails() {
+        let base = report(&[("a", &[("wall ms", "100"), ("speedup", "2.00x")])]);
+        let cand = report(&[("a", &[("wall ms", "120"), ("speedup", "1.50x")])]);
+        let d = diff_reports(&base, &cand, Tolerance::default()).unwrap();
+        assert!(d.regressed());
+        assert_eq!(d.cells.len(), 1, "speedup (non-numeric ratio) is skipped");
+        assert_eq!(d.cells[0].verdict, Verdict::Regressed);
+        assert!(d.render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn missing_row_or_column_is_a_failure() {
+        let base = report(&[
+            ("a", &[("wall ms", "10"), ("scan edges", "500")]),
+            ("b", &[("wall ms", "20")]),
+        ]);
+        let cand = report(&[("a", &[("wall ms", "10")])]);
+        let d = diff_reports(&base, &cand, Tolerance::default()).unwrap();
+        assert!(d.regressed());
+        assert_eq!(d.missing, vec!["row 'a' column 'scan edges'", "row 'b'"]);
+    }
+
+    #[test]
+    fn non_cost_columns_and_dashes_are_skipped() {
+        let base = report(&[(
+            "a",
+            &[("seed", "42"), ("wall ms", "-"), ("dense edges", "100")],
+        )]);
+        let cand = report(&[(
+            "a",
+            &[("seed", "7"), ("wall ms", "5"), ("dense edges", "100")],
+        )]);
+        let d = diff_reports(&base, &cand, Tolerance::default()).unwrap();
+        assert_eq!(d.cells.len(), 1, "only the numeric cost cell is compared");
+        assert_eq!(d.cells[0].column, "dense edges");
+        assert!(!d.regressed());
+    }
+
+    #[test]
+    fn checked_in_shape_self_compares_clean() {
+        // A report diffed against itself is always green.
+        let base = report(&[
+            (
+                "g / GM",
+                &[
+                    ("dense ms", "380"),
+                    ("compact ms", "211"),
+                    ("edge reduction", "15.07x"),
+                ],
+            ),
+            (
+                "g / Luby",
+                &[
+                    ("dense ms", "20.4"),
+                    ("compact ms", "12.3"),
+                    ("edge reduction", "1.70x"),
+                ],
+            ),
+        ]);
+        let d = diff_reports(&base, &base, Tolerance::default()).unwrap();
+        assert!(!d.regressed());
+        assert_eq!(d.count(Verdict::WithinNoise), d.cells.len());
+    }
+
+    #[test]
+    fn malformed_input_is_an_error() {
+        assert!(diff_reports("nonsense", "{}", Tolerance::default()).is_err());
+        assert!(diff_reports("{\"title\":\"t\"}", "{}", Tolerance::default()).is_err());
+    }
+}

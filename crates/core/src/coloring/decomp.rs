@@ -101,7 +101,8 @@ pub fn baseline_run_opts(g: &Graph, arch: Arch, _seed: u64, opts: &SolveOpts) ->
     let solve_time = sw.elapsed();
     ColoringRun {
         color,
-        stats: RunStats::from_counters(std::time::Duration::ZERO, solve_time, &counters),
+        stats: RunStats::from_counters(std::time::Duration::ZERO, solve_time, &counters)
+            .with_scratch(scratch.stats()),
     }
 }
 
@@ -231,7 +232,8 @@ fn color_bridge_solve(
 
     ColoringRun {
         color,
-        stats: RunStats::from_counters(decompose_time, solve_time, &counters),
+        stats: RunStats::from_counters(decompose_time, solve_time, &counters)
+            .with_scratch(scratch.stats()),
     }
 }
 
@@ -333,7 +335,8 @@ fn color_rand_solve(
 
     ColoringRun {
         color,
-        stats: RunStats::from_counters(decompose_time, solve_time, &counters),
+        stats: RunStats::from_counters(decompose_time, solve_time, &counters)
+            .with_scratch(scratch.stats()),
     }
 }
 
@@ -453,7 +456,8 @@ fn color_degk_solve(
 
     ColoringRun {
         color,
-        stats: RunStats::from_counters(decompose_time, solve_time, &counters),
+        stats: RunStats::from_counters(decompose_time, solve_time, &counters)
+            .with_scratch(scratch.stats()),
     }
 }
 
@@ -557,7 +561,8 @@ fn color_bicc_solve(
 
     ColoringRun {
         color,
-        stats: RunStats::from_counters(decompose_time, solve_time, &counters),
+        stats: RunStats::from_counters(decompose_time, solve_time, &counters)
+            .with_scratch(scratch.stats()),
     }
 }
 

@@ -1,6 +1,7 @@
 //! Shared run configuration and reporting types.
 
 use sb_par::counters::{CounterSnapshot, Counters};
+use sb_par::frontier::ScratchStats;
 use sb_trace::{TraceSink, TraceSummary};
 use std::sync::Arc;
 use std::time::Duration;
@@ -114,6 +115,9 @@ pub struct RunStats {
     /// `sb_trace`): rounds to converge, round-time percentiles, and
     /// settled-per-round histogram.
     pub trace: Option<TraceSummary>,
+    /// Scratch-arena allocation behavior of the run (fresh allocations vs
+    /// pool reuses) — zeroed when the composite predates the accounting.
+    pub scratch: ScratchStats,
 }
 
 impl RunStats {
@@ -129,7 +133,15 @@ impl RunStats {
             solve_time,
             counters: counters.snapshot(),
             trace: counters.trace_sink().and_then(|s| s.summary()),
+            scratch: ScratchStats::default(),
         }
+    }
+
+    /// Attach the run's scratch-arena snapshot (builder style, so the
+    /// composites' `from_counters` call sites stay one expression).
+    pub fn with_scratch(mut self, scratch: ScratchStats) -> RunStats {
+        self.scratch = scratch;
+        self
     }
 
     /// Total wall-clock time.
@@ -184,6 +196,7 @@ mod tests {
             solve_time: Duration::from_millis(7),
             counters: CounterSnapshot::default(),
             trace: None,
+            scratch: ScratchStats::default(),
         };
         assert_eq!(s.total_time(), Duration::from_millis(10));
         assert!((s.total_ms() - 10.0).abs() < 1e-9);

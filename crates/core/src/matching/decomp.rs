@@ -59,7 +59,8 @@ pub fn baseline_run_opts(g: &Graph, arch: Arch, seed: u64, opts: &SolveOpts) -> 
     let solve_time = sw.elapsed();
     MatchingRun {
         mate,
-        stats: RunStats::from_counters(std::time::Duration::ZERO, solve_time, &counters),
+        stats: RunStats::from_counters(std::time::Duration::ZERO, solve_time, &counters)
+            .with_scratch(scratch.stats()),
     }
 }
 
@@ -160,7 +161,8 @@ fn mm_bridge_solve(
 
     MatchingRun {
         mate,
-        stats: RunStats::from_counters(decompose_time, solve_time, &counters),
+        stats: RunStats::from_counters(decompose_time, solve_time, &counters)
+            .with_scratch(scratch.stats()),
     }
 }
 
@@ -262,7 +264,8 @@ fn mm_rand_solve(
 
     MatchingRun {
         mate,
-        stats: RunStats::from_counters(decompose_time, solve_time, &counters),
+        stats: RunStats::from_counters(decompose_time, solve_time, &counters)
+            .with_scratch(scratch.stats()),
     }
 }
 
@@ -356,7 +359,8 @@ fn mm_degk_solve(
 
     MatchingRun {
         mate,
-        stats: RunStats::from_counters(decompose_time, solve_time, &counters),
+        stats: RunStats::from_counters(decompose_time, solve_time, &counters)
+            .with_scratch(scratch.stats()),
     }
 }
 
@@ -451,7 +455,8 @@ fn mm_bicc_solve(
 
     MatchingRun {
         mate,
-        stats: RunStats::from_counters(decompose_time, solve_time, &counters),
+        stats: RunStats::from_counters(decompose_time, solve_time, &counters)
+            .with_scratch(scratch.stats()),
     }
 }
 

@@ -89,11 +89,13 @@ fn finish(
     decompose_time: std::time::Duration,
     sw: Stopwatch,
     counters: Counters,
+    scratch: &Scratch,
 ) -> MisRun {
     let solve_time = sw.elapsed();
     MisRun {
         in_set: status.iter().map(|&s| s == IN).collect(),
-        stats: RunStats::from_counters(decompose_time, solve_time, &counters),
+        stats: RunStats::from_counters(decompose_time, solve_time, &counters)
+            .with_scratch(scratch.stats()),
     }
 }
 
@@ -132,7 +134,7 @@ pub fn baseline_run_opts(g: &Graph, arch: Arch, seed: u64, opts: &SolveOpts) -> 
             &mut scratch,
         );
     }
-    finish(status, std::time::Duration::ZERO, sw, counters)
+    finish(status, std::time::Duration::ZERO, sw, counters, &scratch)
 }
 
 /// Average degree over the non-isolated vertices of a view — the sparsity
@@ -274,7 +276,7 @@ fn mis_bridge_solve(
             &mut scratch,
         );
     }
-    finish(status, decompose_time, sw, counters)
+    finish(status, decompose_time, sw, counters, &scratch)
 }
 
 /// Algorithm 11 — MIS-Rand.
@@ -411,7 +413,7 @@ fn mis_rand_solve(
             &mut scratch,
         );
     }
-    finish(status, decompose_time, sw, counters)
+    finish(status, decompose_time, sw, counters, &scratch)
 }
 
 /// Algorithm 12 — MIS-Degk (the paper's MIS-Deg2 for k = 2).
@@ -510,7 +512,7 @@ fn mis_degk_solve(
             &mut scratch,
         );
     }
-    finish(status, decompose_time, sw, counters)
+    finish(status, decompose_time, sw, counters, &scratch)
 }
 
 /// MIS-Bicc (extension, after Hochbaum \[16\]).
@@ -594,7 +596,7 @@ fn mis_bicc_solve(
             &mut scratch,
         );
     }
-    finish(status, decompose_time, sw, counters)
+    finish(status, decompose_time, sw, counters, &scratch)
 }
 
 #[cfg(test)]

@@ -8,8 +8,8 @@
 //! running detached until its solve returns; its results are discarded.)
 
 use crate::engine::{
-    compute_decomposition, run_solver, CachedDecomposition, DecompKey, DecompSpec, Engine,
-    GraphSource, Solution,
+    compute_decomposition, graph_approx_bytes, run_solver, CachedDecomposition, DecompKey,
+    DecompSpec, Engine, GraphSource, Solution,
 };
 use crate::fingerprint::fingerprint_graph;
 use crate::jobs::JobSpec;
@@ -233,13 +233,21 @@ impl Engine {
                         // Clean finish: only now may the caches learn
                         // anything from this job.
                         if done.loaded_graph {
-                            self.graphs
-                                .insert(src_key.clone(), (done.graph, done.fingerprint));
+                            let bytes = graph_approx_bytes(&done.graph);
+                            self.graphs.insert_weighted(
+                                src_key.clone(),
+                                (done.graph, done.fingerprint),
+                                bytes,
+                            );
                         }
                         if done.computed_decomp {
                             if let Some(d) = done.decomp {
-                                self.decomps
-                                    .insert(DecompKey::new(done.fingerprint, spec, job.seed), d);
+                                let bytes = d.approx_bytes();
+                                self.decomps.insert_weighted(
+                                    DecompKey::new(done.fingerprint, spec, job.seed),
+                                    d,
+                                    bytes,
+                                );
                             }
                         }
                         record.detail = done.solution.summary();

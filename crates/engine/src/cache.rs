@@ -24,9 +24,68 @@ pub struct CacheStats {
     pub inserts: u64,
 }
 
+impl CacheStats {
+    /// Total lookups (hits + misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups that hit, in `[0, 1]`; 0 when never queried.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+
+    /// `"66.7%"`-style rendering of [`CacheStats::hit_rate`], `"-"` when
+    /// the cache was never queried.
+    pub fn hit_rate_label(&self) -> String {
+        if self.lookups() == 0 {
+            "-".into()
+        } else {
+            format!("{:.1}%", 100.0 * self.hit_rate())
+        }
+    }
+}
+
 struct Entry<V> {
     value: V,
     last_used: u64,
+    /// Caller-estimated resident size, for the bytes gauge (0 when the
+    /// caller used plain [`Lru::insert`]).
+    weight: u64,
+}
+
+/// Global-registry handles for one named cache (see DESIGN.md §12).
+///
+/// Hit/miss/eviction/insert counts are `Logical`: the engine touches its
+/// caches in deterministic job order, so they must match across thread
+/// counts. The occupancy gauges are `Runtime`: levels, not event counts.
+struct LruMetrics {
+    hits: sb_metrics::Counter,
+    misses: sb_metrics::Counter,
+    evictions: sb_metrics::Counter,
+    inserts: sb_metrics::Counter,
+    entries: sb_metrics::Gauge,
+    bytes: sb_metrics::Gauge,
+}
+
+impl LruMetrics {
+    fn new(name: &str) -> LruMetrics {
+        use sb_metrics::Class::{Logical, Runtime};
+        let r = sb_metrics::global();
+        let series = |suffix: &str| format!("sb_engine_{name}_cache_{suffix}");
+        LruMetrics {
+            hits: r.counter(&series("hits"), Logical),
+            misses: r.counter(&series("misses"), Logical),
+            evictions: r.counter(&series("evictions"), Logical),
+            inserts: r.counter(&series("inserts"), Logical),
+            entries: r.gauge(&series("entries"), Runtime),
+            bytes: r.gauge(&series("bytes"), Runtime),
+        }
+    }
 }
 
 /// A bounded LRU map.
@@ -35,6 +94,7 @@ pub struct Lru<K, V> {
     tick: u64,
     map: HashMap<K, Entry<V>>,
     stats: CacheStats,
+    metrics: Option<LruMetrics>,
 }
 
 impl<K: Eq + Hash + Clone, V> Lru<K, V> {
@@ -45,6 +105,16 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
             tick: 0,
             map: HashMap::new(),
             stats: CacheStats::default(),
+            metrics: None,
+        }
+    }
+
+    /// [`Lru::new`], additionally reporting into the global metrics
+    /// registry as `sb_engine_<name>_cache_*`.
+    pub fn with_metrics(cap: usize, name: &str) -> Lru<K, V> {
+        Lru {
+            metrics: Some(LruMetrics::new(name)),
+            ..Lru::new(cap)
         }
     }
 
@@ -68,20 +138,23 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
         self.stats
     }
 
+    fn note_hit(&mut self) {
+        self.stats.hits += 1;
+        if let Some(m) = &self.metrics {
+            m.hits.inc();
+        }
+    }
+
+    fn note_miss(&mut self) {
+        self.stats.misses += 1;
+        if let Some(m) = &self.metrics {
+            m.misses.inc();
+        }
+    }
+
     /// Look `k` up, refreshing its recency on a hit.
     pub fn get(&mut self, k: &K) -> Option<&V> {
-        self.tick += 1;
-        match self.map.get_mut(k) {
-            Some(e) => {
-                e.last_used = self.tick;
-                self.stats.hits += 1;
-                Some(&e.value)
-            }
-            None => {
-                self.stats.misses += 1;
-                None
-            }
-        }
+        self.get_mut(k).map(|v| &*v)
     }
 
     /// Mutable lookup (same recency/statistics behavior as [`get`]).
@@ -89,17 +162,20 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
     /// [`get`]: Lru::get
     pub fn get_mut(&mut self, k: &K) -> Option<&mut V> {
         self.tick += 1;
-        match self.map.get_mut(k) {
+        let tick = self.tick;
+        let hit = match self.map.get_mut(k) {
             Some(e) => {
-                e.last_used = self.tick;
-                self.stats.hits += 1;
-                Some(&mut e.value)
+                e.last_used = tick;
+                true
             }
-            None => {
-                self.stats.misses += 1;
-                None
-            }
+            None => false,
+        };
+        if hit {
+            self.note_hit();
+        } else {
+            self.note_miss();
         }
+        self.map.get_mut(k).map(|e| &mut e.value)
     }
 
     /// Snapshot of the live keys (unordered). Does not touch recency or
@@ -111,6 +187,12 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
     /// Store `v` under `k`, evicting the least-recently-used entry when the
     /// cache is full. A no-op at capacity 0.
     pub fn insert(&mut self, k: K, v: V) {
+        self.insert_weighted(k, v, 0);
+    }
+
+    /// [`Lru::insert`] with an estimated resident size in bytes, carried
+    /// into the `sb_engine_<name>_cache_bytes` gauge.
+    pub fn insert_weighted(&mut self, k: K, v: V, weight: u64) {
         if self.cap == 0 {
             return;
         }
@@ -122,18 +204,29 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
                 .min_by_key(|(_, e)| e.last_used)
                 .map(|(k, _)| k.clone())
             {
-                self.map.remove(&victim);
+                let evicted = self.map.remove(&victim).expect("victim key is live");
                 self.stats.evictions += 1;
+                if let Some(m) = &self.metrics {
+                    m.evictions.inc();
+                    m.bytes.sub(evicted.weight);
+                }
             }
         }
         self.stats.inserts += 1;
-        self.map.insert(
+        let displaced = self.map.insert(
             k,
             Entry {
                 value: v,
                 last_used: self.tick,
+                weight,
             },
         );
+        if let Some(m) = &self.metrics {
+            m.inserts.inc();
+            m.bytes.sub(displaced.map_or(0, |e| e.weight));
+            m.bytes.add(weight);
+            m.entries.set(self.map.len() as u64);
+        }
     }
 }
 

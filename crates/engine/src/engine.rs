@@ -188,6 +188,28 @@ pub enum CachedDecomposition {
     Bicc(BiccDecomposition),
 }
 
+impl CachedDecomposition {
+    /// Estimated resident size for the cache bytes gauge. The per-edge
+    /// class vector dominates every variant; auxiliary component tables
+    /// are the same order and not worth itemizing.
+    pub fn approx_bytes(&self) -> u64 {
+        match self {
+            CachedDecomposition::Bridge(d) => (d.class.len() + 4 * d.bridges.len()) as u64,
+            CachedDecomposition::Rand(d) => d.class.len() as u64,
+            CachedDecomposition::Degk(d) => d.class.len() as u64,
+            CachedDecomposition::Bicc(d) => d.is_articulation.len() as u64,
+        }
+    }
+}
+
+/// Estimated resident size of a parsed graph: CSR offsets, arcs with edge
+/// ids, and the edge list.
+pub(crate) fn graph_approx_bytes(g: &Graph) -> u64 {
+    let n = g.num_vertices() as u64;
+    let m = g.num_edges() as u64;
+    (n + 1) * 8 + 2 * m * (4 + 4) + m * 8
+}
+
 /// Decomposition-cache key: graph content, decomposition, params, seed.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct DecompKey {
@@ -328,8 +350,8 @@ impl Engine {
     pub fn new(cfg: EngineConfig) -> Engine {
         Engine {
             fingerprint_seed: cfg.fingerprint_seed,
-            graphs: Lru::new(cfg.cache_cap),
-            decomps: Lru::new(cfg.cache_cap),
+            graphs: Lru::with_metrics(cfg.cache_cap, "graph"),
+            decomps: Lru::with_metrics(cfg.cache_cap, "decomp"),
         }
     }
 
@@ -360,7 +382,8 @@ impl Engine {
         }
         let g = Arc::new(src.load()?);
         let fp = fingerprint_graph(&g, self.fingerprint_seed);
-        self.graphs.insert(key, (g.clone(), fp));
+        let bytes = graph_approx_bytes(&g);
+        self.graphs.insert_weighted(key, (g.clone(), fp), bytes);
         Ok((g, fp, false))
     }
 
@@ -392,7 +415,8 @@ impl Engine {
             None => {
                 let (d, dt) = compute_decomposition(g, spec, seed, opts.trace.clone());
                 let d = Arc::new(d);
-                self.decomps.insert(key, d.clone());
+                let bytes = d.approx_bytes();
+                self.decomps.insert_weighted(key, d.clone(), bytes);
                 (d, false, dt)
             }
         };

@@ -140,6 +140,38 @@ impl BatchReport {
         rows
     }
 
+    /// One cache's counters as the flat `"key":"value"` JSON object the
+    /// report embeds under `"graph_cache"` / `"decomp_cache"` — all values
+    /// strings, like every other report cell.
+    fn cache_json(stats: &CacheStats) -> String {
+        format!(
+            "{{\"hits\":\"{}\",\"misses\":\"{}\",\"evictions\":\"{}\",\"inserts\":\"{}\",\"hit_rate\":\"{}\"}}",
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+            stats.inserts,
+            json_escape(&stats.hit_rate_label())
+        )
+    }
+
+    /// Human cache summary appended below the markdown table.
+    fn cache_lines(&self) -> String {
+        let line = |name: &str, s: &CacheStats| {
+            format!(
+                "- {name} cache: {} hits / {} misses ({} hit rate), {} inserts, {} evictions\n",
+                s.hits,
+                s.misses,
+                s.hit_rate_label(),
+                s.inserts,
+                s.evictions
+            )
+        };
+        let mut out = String::new();
+        out.push_str(&line("graph", &self.graph_cache));
+        out.push_str(&line("decomp", &self.decomp_cache));
+        out
+    }
+
     /// Render as a GitHub-flavored markdown table.
     pub fn render_markdown(&self) -> String {
         let headers: Vec<String> = RECORD_KEYS.iter().map(|k| k.to_string()).collect();
@@ -167,6 +199,8 @@ impl BatchReport {
             out.push_str(&fmt_row(row));
             out.push('\n');
         }
+        out.push('\n');
+        out.push_str(&self.cache_lines());
         out
     }
 
@@ -194,9 +228,11 @@ impl BatchReport {
             .collect();
         writeln!(
             f,
-            "{{\"title\":\"{}\",\"records\":[{}]}}",
+            "{{\"title\":\"{}\",\"records\":[{}],\"graph_cache\":{},\"decomp_cache\":{}}}",
             json_escape(REPORT_TITLE),
-            records.join(",")
+            records.join(","),
+            Self::cache_json(&self.graph_cache),
+            Self::cache_json(&self.decomp_cache)
         )
         .map_err(|e| format!("cannot write {}: {e}", path.display()))
     }
@@ -243,7 +279,12 @@ mod tests {
     fn report() -> BatchReport {
         BatchReport {
             jobs: vec![record("a", 10.0, Some(30.0)), record("b", 10.0, Some(10.0))],
-            graph_cache: CacheStats::default(),
+            graph_cache: CacheStats {
+                hits: 2,
+                misses: 1,
+                evictions: 0,
+                inserts: 1,
+            },
             decomp_cache: CacheStats::default(),
             total_wall_ms: 20.0,
             fresh_total_wall_ms: Some(40.0),
@@ -269,6 +310,26 @@ mod tests {
         assert!(md.contains("| a "));
         assert!(md.contains("TOTAL"));
         assert!(md.contains("3.00x"), "per-job speedup column: {md}");
+        assert!(
+            md.contains("graph cache: 2 hits / 1 misses (66.7% hit rate), 1 inserts, 0 evictions"),
+            "cache summary lines: {md}"
+        );
+        assert!(md.contains("decomp cache: 0 hits / 0 misses (- hit rate)"));
+    }
+
+    #[test]
+    fn json_carries_cache_sections_with_hit_rates() {
+        let dir = std::env::temp_dir().join("sb-engine-test-report-caches");
+        std::fs::remove_dir_all(&dir).ok();
+        let path = dir.join("BENCH_engine.json");
+        report().save_json(&path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains(
+            "\"graph_cache\":{\"hits\":\"2\",\"misses\":\"1\",\"evictions\":\"0\",\
+             \"inserts\":\"1\",\"hit_rate\":\"66.7%\"}"
+        ));
+        assert!(text.contains("\"decomp_cache\":{\"hits\":\"0\""));
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -1,0 +1,391 @@
+//! Point-in-time snapshots of a [`Registry`](crate::Registry) and their
+//! two export formats: a line-oriented JSON document (the `--metrics`
+//! file, machine-diffable and re-parseable) and Prometheus text exposition
+//! (for the serve daemon's `/stats` endpoint).
+
+use crate::json::{self, JsonValue};
+use crate::{bucket_upper_bound, Class, HISTOGRAM_BUCKETS};
+
+/// Plain-data copy of one histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts; see [`crate::bucket_index`].
+    pub buckets: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: u64,
+    /// Number of observations.
+    pub count: u64,
+}
+
+/// Value of one series at snapshot time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeriesValue {
+    /// Monotonic count.
+    Counter(u64),
+    /// Instantaneous level.
+    Gauge(u64),
+    /// Distribution.
+    Histogram(HistogramSnapshot),
+}
+
+impl SeriesValue {
+    /// Stable kind name used in exports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SeriesValue::Counter(_) => "counter",
+            SeriesValue::Gauge(_) => "gauge",
+            SeriesValue::Histogram(_) => "histogram",
+        }
+    }
+
+    /// Scalar payload for counters and gauges (histograms: `None`).
+    pub fn scalar(&self) -> Option<u64> {
+        match self {
+            SeriesValue::Counter(v) | SeriesValue::Gauge(v) => Some(*v),
+            SeriesValue::Histogram(_) => None,
+        }
+    }
+}
+
+/// One series in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Family name (`sb_<crate>_<name>`).
+    pub name: String,
+    /// Sorted label pairs.
+    pub labels: Vec<(String, String)>,
+    /// Thread-count invariance class.
+    pub class: Class,
+    /// The value.
+    pub value: SeriesValue,
+}
+
+impl Series {
+    /// Canonical `name{k="v",...}` identity (no labels: the bare name).
+    pub fn key_string(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let labels: Vec<String> = self
+            .labels
+            .iter()
+            .map(|(k, v)| format!("{k}=\"{}\"", prom_escape(v)))
+            .collect();
+        format!("{}{{{}}}", self.name, labels.join(","))
+    }
+}
+
+/// A deterministic, ordered copy of every series in a registry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// All series, sorted by (name, labels).
+    pub series: Vec<Series>,
+}
+
+impl Snapshot {
+    /// The series with this exact name and labels, if present.
+    pub fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Series> {
+        let mut want: Vec<(String, String)> = labels
+            .iter()
+            .map(|&(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        want.sort();
+        self.series
+            .iter()
+            .find(|s| s.name == name && s.labels == want)
+    }
+
+    /// Scalar value of the series `name` (no labels), or 0 when absent —
+    /// convenient for report code that treats missing as "never happened".
+    pub fn scalar_or_zero(&self, name: &str) -> u64 {
+        self.find(name, &[])
+            .and_then(|s| s.value.scalar())
+            .unwrap_or(0)
+    }
+
+    /// Only the [`Class::Logical`] series: the thread-count-invariant
+    /// subset that determinism tests compare.
+    pub fn logical(&self) -> Snapshot {
+        Snapshot {
+            series: self
+                .series
+                .iter()
+                .filter(|s| s.class == Class::Logical)
+                .cloned()
+                .collect(),
+        }
+    }
+
+    /// Serialize as JSON: one series object per line inside a `"series"`
+    /// array, so the file both parses as one document and greps line-wise.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"version\":1,\"series\":[\n");
+        for (i, s) in self.series.iter().enumerate() {
+            let labels: Vec<String> = s
+                .labels
+                .iter()
+                .map(|(k, v)| format!("\"{}\":\"{}\"", json::escape(k), json::escape(v)))
+                .collect();
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"labels\":{{{}}},\"class\":\"{}\",\"kind\":\"{}\"",
+                json::escape(&s.name),
+                labels.join(","),
+                s.class.as_str(),
+                s.value.kind()
+            ));
+            match &s.value {
+                SeriesValue::Counter(v) | SeriesValue::Gauge(v) => {
+                    out.push_str(&format!(",\"value\":{v}"));
+                }
+                SeriesValue::Histogram(h) => {
+                    let buckets: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
+                    out.push_str(&format!(
+                        ",\"count\":{},\"sum\":{},\"buckets\":[{}]",
+                        h.count,
+                        h.sum,
+                        buckets.join(",")
+                    ));
+                }
+            }
+            out.push('}');
+            if i + 1 < self.series.len() {
+                out.push(',');
+            }
+            out.push('\n');
+        }
+        out.push_str("]}\n");
+        out
+    }
+
+    /// Parse a document produced by [`Snapshot::to_json`].
+    pub fn parse_json(text: &str) -> Result<Snapshot, String> {
+        let doc = json::parse(text)?;
+        let series_json = doc
+            .get("series")
+            .and_then(JsonValue::as_arr)
+            .ok_or("snapshot JSON has no \"series\" array")?;
+        let mut series = Vec::with_capacity(series_json.len());
+        for (i, s) in series_json.iter().enumerate() {
+            let err = |what: &str| format!("series[{i}]: {what}");
+            let name = s
+                .get("name")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| err("missing name"))?
+                .to_string();
+            let mut labels: Vec<(String, String)> = s
+                .get("labels")
+                .and_then(JsonValue::as_obj)
+                .unwrap_or(&[])
+                .iter()
+                .map(|(k, v)| (k.clone(), v.as_str().unwrap_or_default().to_string()))
+                .collect();
+            labels.sort();
+            let class = s
+                .get("class")
+                .and_then(JsonValue::as_str)
+                .and_then(Class::parse)
+                .ok_or_else(|| err("bad class"))?;
+            let kind = s
+                .get("kind")
+                .and_then(JsonValue::as_str)
+                .ok_or_else(|| err("missing kind"))?;
+            let value = match kind {
+                "counter" | "gauge" => {
+                    let v = s
+                        .get("value")
+                        .and_then(JsonValue::as_u64)
+                        .ok_or_else(|| err("missing value"))?;
+                    if kind == "counter" {
+                        SeriesValue::Counter(v)
+                    } else {
+                        SeriesValue::Gauge(v)
+                    }
+                }
+                "histogram" => {
+                    let buckets: Vec<u64> = s
+                        .get("buckets")
+                        .and_then(JsonValue::as_arr)
+                        .ok_or_else(|| err("missing buckets"))?
+                        .iter()
+                        .map(|b| b.as_u64().unwrap_or(0))
+                        .collect();
+                    SeriesValue::Histogram(HistogramSnapshot {
+                        buckets,
+                        sum: s.get("sum").and_then(JsonValue::as_u64).unwrap_or(0),
+                        count: s.get("count").and_then(JsonValue::as_u64).unwrap_or(0),
+                    })
+                }
+                other => return Err(err(&format!("unknown kind {other:?}"))),
+            };
+            series.push(Series {
+                name,
+                labels,
+                class,
+                value,
+            });
+        }
+        Ok(Snapshot { series })
+    }
+
+    /// Render in the Prometheus text exposition format: one `# TYPE` line
+    /// per family, histograms expanded into cumulative `_bucket{le=...}`
+    /// lines plus `_sum` and `_count`.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family: Option<&str> = None;
+        for s in &self.series {
+            if last_family != Some(s.name.as_str()) {
+                out.push_str(&format!("# TYPE {} {}\n", s.name, s.value.kind()));
+                last_family = Some(s.name.as_str());
+            }
+            match &s.value {
+                SeriesValue::Counter(v) | SeriesValue::Gauge(v) => {
+                    out.push_str(&format!("{}{} {v}\n", s.name, prom_labels(&s.labels, None)));
+                }
+                SeriesValue::Histogram(h) => {
+                    let mut cumulative = 0u64;
+                    for (i, &b) in h.buckets.iter().enumerate().take(HISTOGRAM_BUCKETS) {
+                        cumulative += b;
+                        // Collapse empty interior buckets; always emit the
+                        // zero bucket and +Inf so the shape is recognizable.
+                        let le = match bucket_upper_bound(i) {
+                            Some(bound) => bound.to_string(),
+                            None => "+Inf".to_string(),
+                        };
+                        if b > 0 || i == 0 || bucket_upper_bound(i).is_none() {
+                            out.push_str(&format!(
+                                "{}_bucket{} {cumulative}\n",
+                                s.name,
+                                prom_labels(&s.labels, Some(&le))
+                            ));
+                        }
+                    }
+                    out.push_str(&format!(
+                        "{}_sum{} {}\n",
+                        s.name,
+                        prom_labels(&s.labels, None),
+                        h.sum
+                    ));
+                    out.push_str(&format!(
+                        "{}_count{} {}\n",
+                        s.name,
+                        prom_labels(&s.labels, None),
+                        h.count
+                    ));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Escape a Prometheus label value: backslash, double-quote, newline.
+fn prom_escape(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn prom_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", prom_escape(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Class, Registry};
+
+    fn sample() -> Snapshot {
+        let r = Registry::new();
+        r.counter("sb_engine_graph_cache_hits", Class::Logical)
+            .add(2);
+        r.gauge("sb_engine_graph_cache_entries", Class::Runtime)
+            .set(3);
+        let h = r.histogram_with(
+            "sb_par_phase_duration_us",
+            &[("phase", "decompose")],
+            Class::Runtime,
+        );
+        h.observe(0);
+        h.observe(3);
+        h.observe(3);
+        h.observe(100);
+        r.snapshot()
+    }
+
+    #[test]
+    fn json_roundtrips_exactly() {
+        let snap = sample();
+        let parsed = Snapshot::parse_json(&snap.to_json()).unwrap();
+        assert_eq!(parsed, snap);
+    }
+
+    #[test]
+    fn logical_filter_drops_runtime_series() {
+        let snap = sample().logical();
+        assert_eq!(snap.series.len(), 1);
+        assert_eq!(snap.series[0].name, "sb_engine_graph_cache_hits");
+        assert_eq!(snap.scalar_or_zero("sb_engine_graph_cache_hits"), 2);
+        assert_eq!(snap.scalar_or_zero("sb_engine_graph_cache_entries"), 0);
+    }
+
+    #[test]
+    fn prometheus_text_format_is_pinned() {
+        // The full exposition for a small registry, pinned byte-for-byte:
+        // TYPE lines, cumulative buckets with collapsed empty interiors,
+        // _sum/_count, and label escaping.
+        let r = Registry::new();
+        r.counter("sb_demo_total", Class::Logical).add(7);
+        r.counter_with(
+            "sb_demo_labeled",
+            &[("name", "we\"ird\\path\nx")],
+            Class::Runtime,
+        )
+        .add(1);
+        let h = r.histogram("sb_demo_us", Class::Runtime);
+        h.observe(0);
+        h.observe(2);
+        h.observe(2);
+        let got = r.snapshot().to_prometheus();
+        let want = "# TYPE sb_demo_labeled counter\n\
+                    sb_demo_labeled{name=\"we\\\"ird\\\\path\\nx\"} 1\n\
+                    # TYPE sb_demo_total counter\n\
+                    sb_demo_total 7\n\
+                    # TYPE sb_demo_us histogram\n\
+                    sb_demo_us_bucket{le=\"0\"} 1\n\
+                    sb_demo_us_bucket{le=\"3\"} 3\n\
+                    sb_demo_us_bucket{le=\"+Inf\"} 3\n\
+                    sb_demo_us_sum 4\n\
+                    sb_demo_us_count 3\n";
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn key_string_renders_labels() {
+        let snap = sample();
+        let hist = snap
+            .find("sb_par_phase_duration_us", &[("phase", "decompose")])
+            .unwrap();
+        assert_eq!(
+            hist.key_string(),
+            "sb_par_phase_duration_us{phase=\"decompose\"}"
+        );
+    }
+}

@@ -75,6 +75,8 @@ impl Counters {
         PhaseGuard {
             counters: self,
             open,
+            name,
+            start: Instant::now(),
         }
     }
 
@@ -207,10 +209,23 @@ impl Counters {
 pub struct PhaseGuard<'a> {
     counters: &'a Counters,
     open: Option<(SpanId, CounterSnapshot)>,
+    name: &'static str,
+    start: Instant,
 }
 
 impl Drop for PhaseGuard<'_> {
     fn drop(&mut self) {
+        // Unlike the trace span, the latency histogram is fed on every
+        // run: phases are coarse (a handful per solve), so one registry
+        // lookup plus three relaxed atomics per phase is noise, and it
+        // means `--metrics` reports percentiles without `--trace`.
+        sb_metrics::global()
+            .histogram_with(
+                "sb_par_phase_duration_us",
+                &[("phase", self.name)],
+                sb_metrics::Class::Runtime,
+            )
+            .observe(self.start.elapsed().as_micros() as u64);
         if let Some((id, at_open)) = self.open.take() {
             let sink = self
                 .counters

@@ -29,6 +29,36 @@
 use rayon::prelude::*;
 
 use crate::prim::BLOCK;
+use std::sync::OnceLock;
+
+/// Frontier/arena observability (DESIGN.md §12). Every series here is
+/// `Logical`-class: compaction counts, items scanned, and arena
+/// allocation behavior are fixed by the algorithm and must be identical
+/// at 1 and N threads — the CLI determinism test pins that.
+struct FrontierMetrics {
+    /// Compaction passes executed (one per `compact_active_with` call).
+    compactions: sb_metrics::Counter,
+    /// Worklist items scanned across all compaction passes.
+    items_scanned: sb_metrics::Counter,
+    /// Scratch-arena buffers that had to be freshly allocated.
+    scratch_fresh_allocs: sb_metrics::Counter,
+    /// Scratch-arena buffers handed out without allocating.
+    scratch_reuses: sb_metrics::Counter,
+}
+
+fn metrics() -> &'static FrontierMetrics {
+    static METRICS: OnceLock<FrontierMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        use sb_metrics::Class::Logical;
+        let r = sb_metrics::global();
+        FrontierMetrics {
+            compactions: r.counter("sb_par_frontier_compactions", Logical),
+            items_scanned: r.counter("sb_par_frontier_items_scanned", Logical),
+            scratch_fresh_allocs: r.counter("sb_par_scratch_fresh_allocs", Logical),
+            scratch_reuses: r.counter("sb_par_scratch_reuses", Logical),
+        }
+    })
+}
 
 /// Filter `src` into `dst` (cleared first), keeping order: the parallel
 /// filter-compact primitive behind [`Frontier::compact`].
@@ -53,6 +83,9 @@ where
 {
     dst.clear();
     let n = src.len();
+    let m = metrics();
+    m.compactions.inc();
+    m.items_scanned.add(n as u64);
     if n == 0 {
         return;
     }
@@ -318,6 +351,21 @@ impl Scratch {
             fresh_allocs: self.fresh_allocs,
             reuses: self.reuses,
         }
+    }
+}
+
+impl Drop for Scratch {
+    /// Publish the arena's lifetime totals to the global metrics registry,
+    /// so arena behavior is observable (`--metrics`) without any caller
+    /// plumbing. Untouched arenas (including the empties `mem::take`
+    /// leaves behind) publish nothing.
+    fn drop(&mut self) {
+        if self.fresh_allocs == 0 && self.reuses == 0 {
+            return;
+        }
+        let m = metrics();
+        m.scratch_fresh_allocs.add(self.fresh_allocs);
+        m.scratch_reuses.add(self.reuses);
     }
 }
 

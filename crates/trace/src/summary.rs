@@ -21,6 +21,8 @@ pub struct TraceSummary {
     pub round_time_p50_us: u64,
     /// 95th-percentile round duration, microseconds.
     pub round_time_p95_us: u64,
+    /// 99th-percentile round duration, microseconds.
+    pub round_time_p99_us: u64,
     /// Slowest round, microseconds.
     pub round_time_max_us: u64,
     /// Log2 histogram of items settled per round; see [`HISTOGRAM_BUCKETS`].
@@ -60,6 +62,7 @@ impl TraceSummary {
             rounds_to_converge,
             round_time_p50_us: percentile(0.50),
             round_time_p95_us: percentile(0.95),
+            round_time_p99_us: percentile(0.99),
             round_time_max_us: durations.last().copied().unwrap_or(0),
             settled_histogram: histogram,
             phase_rounds,
@@ -83,11 +86,12 @@ impl TraceSummary {
             .map(|(name, c)| format!("{name}:{c}"))
             .collect();
         format!(
-            "trace: {} rounds ({}), round time p50 {} us / p95 {} us / max {} us",
+            "trace: {} rounds ({}), round time p50 {} us / p95 {} us / p99 {} us / max {} us",
             self.total_rounds,
             phases.join(" "),
             self.round_time_p50_us,
             self.round_time_p95_us,
+            self.round_time_p99_us,
             self.round_time_max_us
         )
     }
@@ -125,6 +129,8 @@ mod tests {
         assert_eq!(s.rounds_to_converge, 3);
         assert_eq!(s.round_time_max_us, 100);
         assert_eq!(s.round_time_p50_us, 20);
+        // Nearest-rank p99 over 4 samples is the maximum.
+        assert_eq!(s.round_time_p99_us, 100);
         assert_eq!(s.rounds_in_phase("induced-solve"), 3);
         assert_eq!(s.rounds_in_phase("cross-solve"), 1);
         assert_eq!(s.rounds_in_phase("cleanup"), 0);
@@ -140,6 +146,7 @@ mod tests {
         assert_eq!(s.total_rounds, 0);
         assert_eq!(s.rounds_to_converge, 0);
         assert_eq!(s.round_time_p95_us, 0);
+        assert_eq!(s.round_time_p99_us, 0);
     }
 
     #[test]

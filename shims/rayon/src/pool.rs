@@ -26,6 +26,49 @@
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Pool observability (DESIGN.md §12): every series is `Runtime`-class —
+/// piece counts, idle time, and wait time all legitimately vary with
+/// thread count and scheduling. Handles are resolved once and cached.
+struct PoolMetrics {
+    /// Parallel calls dispatched through a pool's claim loop.
+    par_calls: sb_metrics::Counter,
+    /// Parallel calls degraded to sequential inline execution (1-thread
+    /// pool, nested call, or a single piece).
+    inline_calls: sb_metrics::Counter,
+    /// Work pieces claimed and executed, across callers and workers.
+    pieces_claimed: sb_metrics::Counter,
+    /// Job copies published to worker queues.
+    jobs_published: sb_metrics::Counter,
+    /// `ThreadPool::install` scopes entered.
+    installs: sb_metrics::Counter,
+    /// Worker threads spawned (across all pools ever started).
+    threads_started: sb_metrics::Counter,
+    /// Time workers spent parked waiting for a job, microseconds.
+    worker_idle_us: sb_metrics::Counter,
+    /// Time callers spent waiting for stragglers after exhausting the
+    /// claim counter themselves, microseconds.
+    caller_wait_us: sb_metrics::Counter,
+}
+
+fn metrics() -> &'static PoolMetrics {
+    static METRICS: OnceLock<PoolMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        use sb_metrics::Class::Runtime;
+        let r = sb_metrics::global();
+        PoolMetrics {
+            par_calls: r.counter("sb_pool_par_calls", Runtime),
+            inline_calls: r.counter("sb_pool_inline_calls", Runtime),
+            pieces_claimed: r.counter("sb_pool_pieces_claimed", Runtime),
+            jobs_published: r.counter("sb_pool_jobs_published", Runtime),
+            installs: r.counter("sb_pool_installs", Runtime),
+            threads_started: r.counter("sb_pool_threads_started", Runtime),
+            worker_idle_us: r.counter("sb_pool_worker_idle_us", Runtime),
+            caller_wait_us: r.counter("sb_pool_caller_wait_us", Runtime),
+        }
+    })
+}
 
 /// Pieces-per-thread oversubscription factor: enough pieces that dynamic
 /// claiming can balance skew, few enough that claim overhead is noise.
@@ -107,12 +150,16 @@ impl PoolCore {
                 .spawn(move || c.worker_loop())
                 .expect("spawn pool worker");
         }
+        metrics()
+            .threads_started
+            .add(num_threads.saturating_sub(1) as u64);
         core
     }
 
     fn worker_loop(&self) {
         IN_WORKER.with(|w| w.set(true));
         loop {
+            let idle_from = Instant::now();
             let job = {
                 let mut q = self.queue.lock().unwrap();
                 loop {
@@ -125,6 +172,9 @@ impl PoolCore {
                     q = self.available.wait(q).unwrap();
                 }
             };
+            metrics()
+                .worker_idle_us
+                .add(idle_from.elapsed().as_micros() as u64);
             // A panic in the runner is already captured into the job's
             // poison slot by the runner itself (see `run`), so the worker
             // thread survives every job.
@@ -146,15 +196,20 @@ impl PoolCore {
         if pieces == 0 {
             return;
         }
+        metrics().par_calls.inc();
         let next = AtomicUsize::new(0);
         let poisoned = AtomicBool::new(false);
         let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
         let runner = || {
+            // One batched metrics update per runner copy, not per piece:
+            // the claim loop itself must stay two atomic ops long.
+            let mut claimed = 0u64;
             loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= pieces || poisoned.load(Ordering::Relaxed) {
                     break;
                 }
+                claimed += 1;
                 // Keep the engine alive through piece panics: record the
                 // first payload, drain the rest of the claim loop fast.
                 if let Err(payload) =
@@ -166,6 +221,9 @@ impl PoolCore {
                         *slot = Some(payload);
                     }
                 }
+            }
+            if claimed > 0 {
+                metrics().pieces_claimed.add(claimed);
             }
         };
 
@@ -189,6 +247,7 @@ impl PoolCore {
                     q.jobs.push_back(Arc::clone(&job));
                 }
             }
+            metrics().jobs_published.add(copies as u64);
             self.available.notify_all();
             Some(job)
         } else {
@@ -211,7 +270,11 @@ impl PoolCore {
             runner();
         }
         if let Some(job) = job {
+            let wait_from = Instant::now();
             job.wait_all_copies();
+            metrics()
+                .caller_wait_us
+                .add(wait_from.elapsed().as_micros() as u64);
         }
         if let Some(payload) = panic_slot.into_inner().unwrap() {
             std::panic::resume_unwind(payload);
@@ -271,6 +334,9 @@ pub(crate) fn execute(pieces: usize, piece_fn: &(dyn Fn(usize) + Sync)) {
     match pool {
         Some(pool) if pool.num_threads() > 1 && pieces > 1 => pool.run(pieces, piece_fn),
         _ => {
+            if pieces > 0 {
+                metrics().inline_calls.inc();
+            }
             for i in 0..pieces {
                 piece_fn(i);
             }
@@ -293,6 +359,7 @@ pub(crate) struct InstallGuard;
 
 impl InstallGuard {
     pub(crate) fn push(core: Arc<PoolCore>) -> InstallGuard {
+        metrics().installs.inc();
         CURRENT.with(|c| c.borrow_mut().push(core));
         InstallGuard
     }

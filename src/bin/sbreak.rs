@@ -11,6 +11,9 @@
 //!                  [--threads N] [-o results/fuzz] [--replay case.txt]
 //! sbreak batch     <jobs.toml> [--cache-cap N] [--compare-fresh]
 //!                  [--trace-dir d] [--out-dir d] [-o BENCH_engine.json]
+//! sbreak profile   <trace.jsonl> [--top K] [--metrics snapshot.json]
+//! sbreak perfdiff  <baseline.json> <candidate.json>
+//!                  [--rel-tol F] [--abs-floor F]
 //! ```
 //!
 //! `<input>` is an edge-list or Matrix-Market (`.mtx`) file, or
@@ -19,6 +22,14 @@
 //!
 //! `--trace <out.jsonl>` (on `solve` and `decompose`) records phase spans
 //! and per-round records to a JSONL file and prints a one-line summary.
+//!
+//! `--metrics <out.json>` (on `solve`, `batch`, and `fuzz`) writes the
+//! process-wide `sb-metrics` registry snapshot — worker-pool, engine-cache,
+//! and frontier/scratch series plus per-phase latency histograms — as JSON
+//! (Prometheus text when the path ends in `.prom`) on exit. `profile` digests a recorded trace into per-phase round-time
+//! percentiles and the hottest rounds (pass the snapshot back via
+//! `--metrics` for the cache/arena summary); `perfdiff` compares two
+//! BENCH-shaped reports and exits nonzero on regression (DESIGN.md §12).
 //!
 //! `--threads <n>` pins the parallel execution to an `n`-thread pool (the
 //! rayon layer runs a real worker pool); the default is the host's
@@ -55,8 +66,11 @@ fn usage() -> ! {
          sbreak fuzz [--seed S] [--budget-secs T] [--max-cases K] [--threads N]\n  \
          \x20           [-o <dir>] [--replay <case.txt>]\n  \
          sbreak batch <jobs.toml> [--cache-cap N] [--compare-fresh] [--threads N]\n  \
-         \x20            [--trace-dir <dir>] [--out-dir <dir>] [-o <report.json>]\n\n\
-         <input>: an edge-list/.mtx path, or gen:<table-II-name> (e.g. gen:lp1)"
+         \x20            [--trace-dir <dir>] [--out-dir <dir>] [-o <report.json>]\n  \
+         sbreak profile <trace.jsonl> [--top K] [--metrics <snapshot.json>]\n  \
+         sbreak perfdiff <baseline.json> <candidate.json> [--rel-tol F] [--abs-floor F]\n\n\
+         <input>: an edge-list/.mtx path, or gen:<table-II-name> (e.g. gen:lp1)\n\
+         --metrics <out.json> (solve/batch/fuzz): write the metrics registry snapshot on exit"
     );
     std::process::exit(2)
 }
@@ -119,6 +133,10 @@ struct Flags {
     trace_dir: Option<String>,
     out_dir: Option<String>,
     compare_fresh: bool,
+    metrics: Option<String>,
+    top: usize,
+    rel_tol: f64,
+    abs_floor: f64,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -143,6 +161,10 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         trace_dir: None,
         out_dir: None,
         compare_fresh: false,
+        metrics: None,
+        top: 5,
+        rel_tol: 0.10,
+        abs_floor: 0.5,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -205,6 +227,25 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                         .map_err(|_| "--cache-cap takes a non-negative integer".to_string())?,
                 )
             }
+            "--metrics" => f.metrics = Some(val("--metrics")?),
+            "--top" => {
+                f.top = match val("--top")?.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err("--top takes a positive integer".to_string()),
+                }
+            }
+            "--rel-tol" => {
+                f.rel_tol = match val("--rel-tol")?.parse::<f64>() {
+                    Ok(x) if x >= 0.0 => x,
+                    _ => return Err("--rel-tol takes a non-negative float".to_string()),
+                }
+            }
+            "--abs-floor" => {
+                f.abs_floor = match val("--abs-floor")?.parse::<f64>() {
+                    Ok(x) if x >= 0.0 => x,
+                    _ => return Err("--abs-floor takes a non-negative float".to_string()),
+                }
+            }
             "--trace-dir" => f.trace_dir = Some(val("--trace-dir")?),
             "--out-dir" => f.out_dir = Some(val("--out-dir")?),
             "--compare-fresh" => f.compare_fresh = true,
@@ -233,6 +274,24 @@ fn flush_trace(f: &Flags, sink: &Option<Arc<TraceSink>>) -> Result<(), String> {
         println!("{}", summary.render_line());
     }
     println!("[trace written to {path}]");
+    Ok(())
+}
+
+/// Write the process-wide metrics snapshot to the `--metrics` path, if
+/// one was requested. Runs after the command body so the snapshot sees
+/// everything the run recorded (on `solve`/`batch`/`fuzz`).
+fn flush_metrics(f: &Flags) -> Result<(), String> {
+    let Some(path) = f.metrics.as_ref() else {
+        return Ok(());
+    };
+    let snap = sb_metrics::global().snapshot();
+    let body = if path.ends_with(".prom") {
+        snap.to_prometheus()
+    } else {
+        snap.to_json()
+    };
+    std::fs::write(path, body).map_err(|e| format!("cannot write metrics {path}: {e}"))?;
+    println!("[metrics written to {path}: {} series]", snap.series.len());
     Ok(())
 }
 
@@ -630,6 +689,161 @@ fn cmd_batch(f: &Flags) -> Result<(), String> {
     }
 }
 
+/// `sbreak profile`: digest a recorded `--trace` JSONL into the numbers a
+/// perf investigation starts from — the same one-line summary the traced
+/// run printed (byte-for-byte, from the same `TraceSummary`), a per-phase
+/// round-time percentile table, and the hottest individual rounds. With
+/// `--metrics <snapshot.json>` it also summarizes the engine caches and
+/// the scratch arena from a snapshot the run wrote.
+fn cmd_profile(f: &Flags) -> Result<(), String> {
+    use sb_bench::report::Table;
+
+    let path = f.positional.first().ok_or("profile needs a trace file")?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let events = symmetry_breaking::trace::parse_jsonl(&text).map_err(|e| e.to_string())?;
+    let summary = TraceSummary::from_events(&events);
+    println!("{}", summary.render_line());
+
+    // Round durations grouped by phase, in first-appearance order.
+    let mut order: Vec<String> = Vec::new();
+    let mut by_phase: std::collections::HashMap<String, Vec<u64>> = Default::default();
+    let mut rounds: Vec<(&String, &symmetry_breaking::trace::RoundRecord)> = Vec::new();
+    for e in &events {
+        if let symmetry_breaking::trace::TraceEvent::Round { phase, record, .. } = e {
+            if !by_phase.contains_key(phase) {
+                order.push(phase.clone());
+            }
+            by_phase
+                .entry(phase.clone())
+                .or_default()
+                .push(record.duration_us);
+            rounds.push((phase, record));
+        }
+    }
+    // Nearest-rank percentile over a sorted slice — the TraceSummary rule,
+    // applied per phase.
+    let pct = |sorted: &[u64], p: f64| -> u64 {
+        let rank = (p * sorted.len() as f64).ceil() as usize;
+        sorted[rank.clamp(1, sorted.len()) - 1]
+    };
+    let mut phases = Table::new(
+        "Per-phase round times",
+        &["phase", "rounds", "p50 us", "p95 us", "p99 us", "max us"],
+    );
+    for name in &order {
+        let durs = by_phase.get_mut(name).expect("phase seen");
+        durs.sort_unstable();
+        phases.row(vec![
+            name.clone(),
+            durs.len().to_string(),
+            pct(durs, 0.50).to_string(),
+            pct(durs, 0.95).to_string(),
+            pct(durs, 0.99).to_string(),
+            durs.last().copied().unwrap_or(0).to_string(),
+        ]);
+    }
+    phases.print();
+
+    rounds.sort_by_key(|r| std::cmp::Reverse(r.1.duration_us));
+    let mut hot = Table::new(
+        format!("Hottest {} rounds", f.top.min(rounds.len())),
+        &[
+            "phase",
+            "round",
+            "duration us",
+            "active",
+            "settled",
+            "edges scanned",
+        ],
+    );
+    for (phase, r) in rounds.iter().take(f.top) {
+        hot.row(vec![
+            (*phase).clone(),
+            r.round.to_string(),
+            r.duration_us.to_string(),
+            r.active.to_string(),
+            r.settled.to_string(),
+            r.edges_scanned.to_string(),
+        ]);
+    }
+    hot.print();
+
+    if let Some(mpath) = &f.metrics {
+        let text =
+            std::fs::read_to_string(mpath).map_err(|e| format!("cannot read {mpath}: {e}"))?;
+        let snap = sb_metrics::Snapshot::parse_json(&text)?;
+        let mut caches = Table::new(
+            "Caches and scratch arena",
+            &["series", "hits", "misses", "hit rate", "evictions"],
+        );
+        for cache in ["graph", "decomp"] {
+            let v = |s: &str| snap.scalar_or_zero(&format!("sb_engine_{cache}_cache_{s}"));
+            let (h, m) = (v("hits"), v("misses"));
+            let rate = if h + m == 0 {
+                "-".to_string()
+            } else {
+                format!("{:.1}%", 100.0 * h as f64 / (h + m) as f64)
+            };
+            caches.row(vec![
+                format!("{cache} cache"),
+                h.to_string(),
+                m.to_string(),
+                rate,
+                v("evictions").to_string(),
+            ]);
+        }
+        let fresh = snap.scalar_or_zero("sb_par_scratch_fresh_allocs");
+        let reused = snap.scalar_or_zero("sb_par_scratch_reuses");
+        let rate = if fresh + reused == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.1}%", 100.0 * reused as f64 / (fresh + reused) as f64)
+        };
+        caches.row(vec![
+            "scratch arena".into(),
+            reused.to_string(),
+            fresh.to_string(),
+            rate,
+            "-".into(),
+        ]);
+        println!("(scratch arena: hits = buffer reuses, misses = fresh allocations)");
+        caches.print();
+    }
+    Ok(())
+}
+
+/// `sbreak perfdiff`: compare a candidate BENCH-shaped report against a
+/// baseline and fail (exit 1) when any lower-is-better cost cell regressed
+/// past the noise gate or disappeared. See `sb_bench::perfdiff`.
+fn cmd_perfdiff(f: &Flags) -> Result<(), String> {
+    use sb_bench::perfdiff::{diff_reports, Tolerance};
+
+    let [base, cand] = f.positional.as_slice() else {
+        return Err("perfdiff needs <baseline.json> <candidate.json>".into());
+    };
+    let base_text =
+        std::fs::read_to_string(base).map_err(|e| format!("cannot read {base}: {e}"))?;
+    let cand_text =
+        std::fs::read_to_string(cand).map_err(|e| format!("cannot read {cand}: {e}"))?;
+    let tol = Tolerance {
+        rel: f.rel_tol,
+        abs: f.abs_floor,
+    };
+    let diff = diff_reports(&base_text, &cand_text, tol)?;
+    print!("{}", diff.render());
+    if diff.regressed() {
+        Err(format!(
+            "performance regression: {} cell(s) over tolerance (rel {:.0}%, abs {}), {} missing",
+            diff.count(sb_bench::perfdiff::Verdict::Regressed),
+            100.0 * tol.rel,
+            tol.abs,
+            diff.missing.len()
+        ))
+    } else {
+        Ok(())
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -649,6 +863,8 @@ fn main() -> ExitCode {
         "solve" => cmd_solve(&flags),
         "fuzz" => cmd_fuzz(&flags),
         "batch" => cmd_batch(&flags),
+        "profile" => cmd_profile(&flags),
+        "perfdiff" => cmd_perfdiff(&flags),
         _ => {
             usage();
         }
@@ -660,6 +876,17 @@ fn main() -> ExitCode {
     let result = match flags.threads {
         Some(n) if cmd != "fuzz" && cmd != "batch" => symmetry_breaking::par::with_threads(n, run),
         _ => run(),
+    };
+    // The metrics snapshot is written even when the run itself failed: a
+    // counterexample-bearing fuzz run still has pool/cache series worth
+    // keeping. `profile` consumes --metrics as an input instead.
+    let result = if cmd == "profile" || cmd == "perfdiff" {
+        result
+    } else {
+        match (result, flush_metrics(&flags)) {
+            (Ok(()), flushed) => flushed,
+            (Err(e), _) => Err(e),
+        }
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,

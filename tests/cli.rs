@@ -293,7 +293,12 @@ fn batch_timeout_fails_the_run_and_names_the_job() {
     )
     .unwrap();
     let json = dir.join("report.json");
-    let out = sbreak(&["batch", jobs.to_str().unwrap(), "-o", json.to_str().unwrap()]);
+    let out = sbreak(&[
+        "batch",
+        jobs.to_str().unwrap(),
+        "-o",
+        json.to_str().unwrap(),
+    ]);
     assert_eq!(out.status.code(), Some(1));
     let err = stderr(&out);
     assert!(err.contains("slow") && err.contains("timeout"), "{err}");

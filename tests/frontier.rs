@@ -258,3 +258,22 @@ fn scratch_arena_stops_allocating_after_first_solve() {
     assert!(after_second.reuses > after_first.reuses);
     assert_eq!(first, second, "same seed on a warm arena must not diverge");
 }
+
+#[test]
+fn runstats_carry_the_scratch_arena_snapshot() {
+    let g = graph();
+    let run = mis(
+        &g,
+        MisAlgorithm::Degk { k: 2 },
+        Arch::Cpu,
+        FrontierMode::Compact,
+    );
+    assert!(
+        run.stats.scratch.fresh_allocs > 0,
+        "a compact-mode run must report its arena allocations via RunStats"
+    );
+    let dense = mis(&g, MisAlgorithm::Baseline, Arch::Cpu, FrontierMode::Dense);
+    // Dense baselines may legitimately use no scratch; the field still
+    // reads as an explicit zero rather than being absent.
+    let _ = dense.stats.scratch.reuses;
+}

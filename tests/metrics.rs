@@ -1,0 +1,299 @@
+//! End-to-end tests of the observability surface: `--metrics` snapshots,
+//! `sbreak profile`, and the `sbreak perfdiff` regression sentinel.
+//!
+//! The metrics registry is process-wide, so the 1-vs-N determinism
+//! comparison runs two real `sbreak` processes and compares their
+//! snapshots — exactly the situation the `Logical`/`Runtime` class split
+//! exists for (DESIGN.md §12).
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn sbreak(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_sbreak"))
+        .args(args)
+        .output()
+        .expect("failed to launch sbreak")
+}
+
+fn stdout(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stdout).into_owned()
+}
+
+fn stderr(o: &Output) -> String {
+    String::from_utf8_lossy(&o.stderr).into_owned()
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(name);
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn repo_path(rel: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join(rel)
+}
+
+/// Snapshot of one `sbreak solve --metrics` run at the given thread count.
+fn solve_snapshot(dir: &Path, threads: &str) -> sb_metrics::Snapshot {
+    let out = dir.join(format!("metrics-{threads}.json"));
+    let run = sbreak(&[
+        "solve",
+        "gen:lp1",
+        "--scale",
+        "0.05",
+        "--problem",
+        "mis",
+        "--algo",
+        "degk:2",
+        "--seed",
+        "7",
+        "--threads",
+        threads,
+        "--metrics",
+        out.to_str().unwrap(),
+    ]);
+    assert!(run.status.success(), "{}", stderr(&run));
+    let text = std::fs::read_to_string(&out).unwrap();
+    sb_metrics::Snapshot::parse_json(&text).unwrap()
+}
+
+#[test]
+fn logical_series_are_identical_across_thread_counts() {
+    let dir = tmp_dir("sbreak-metrics-det");
+    let one = solve_snapshot(&dir, "1");
+    let four = solve_snapshot(&dir, "4");
+
+    let logical = |s: &sb_metrics::Snapshot| -> Vec<(String, u64)> {
+        s.logical()
+            .series
+            .iter()
+            .map(|series| {
+                (
+                    series.key_string(),
+                    series.value.scalar().expect("logical series are scalar"),
+                )
+            })
+            .collect()
+    };
+    let (l1, l4) = (logical(&one), logical(&four));
+    assert!(
+        !l1.is_empty(),
+        "a traced solve must record logical series (frontier + scratch)"
+    );
+    assert_eq!(
+        l1, l4,
+        "logical (thread-invariant) series must not depend on the pool size"
+    );
+    // The runtime class exists precisely because these are NOT comparable:
+    // the 4-thread run starts workers the 1-thread run never does.
+    assert_eq!(four.scalar_or_zero("sb_pool_threads_started"), 3);
+    assert_eq!(one.scalar_or_zero("sb_pool_threads_started"), 0);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+const SMOKE_JOBS: &str = r#"
+[defaults]
+graph = "gen:lp1"
+scale = 0.05
+seed = 11
+graph_seed = 42
+
+[[job]]
+label = "mm"
+problem = "mm"
+algo = "rand:4"
+
+[[job]]
+label = "color"
+problem = "color"
+algo = "degk:2"
+
+[[job]]
+label = "mis"
+problem = "mis"
+algo = "degk:2"
+"#;
+
+#[test]
+fn batch_metrics_snapshot_covers_engine_pool_and_scratch() {
+    let dir = tmp_dir("sbreak-metrics-batch");
+    let jobs = dir.join("jobs.toml");
+    std::fs::write(&jobs, SMOKE_JOBS).unwrap();
+    let mpath = dir.join("metrics.json");
+    let out = sbreak(&[
+        "batch",
+        jobs.to_str().unwrap(),
+        "--threads",
+        "2",
+        "-o",
+        dir.join("report.json").to_str().unwrap(),
+        "--metrics",
+        mpath.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("[metrics written to"));
+
+    let snap = sb_metrics::Snapshot::parse_json(&std::fs::read_to_string(&mpath).unwrap()).unwrap();
+    // One graph shared by three jobs: the second and third hit the cache.
+    assert!(snap.scalar_or_zero("sb_engine_graph_cache_hits") > 0);
+    assert!(snap.scalar_or_zero("sb_engine_graph_cache_inserts") > 0);
+    // Each job pinned a 2-thread pool.
+    assert!(snap.scalar_or_zero("sb_pool_installs") > 0);
+    assert!(snap.scalar_or_zero("sb_pool_threads_started") > 0);
+    // Compact-mode round loops borrowed scratch buffers.
+    assert!(snap.scalar_or_zero("sb_par_scratch_fresh_allocs") > 0);
+    assert!(snap.scalar_or_zero("sb_par_frontier_items_scanned") > 0);
+    // Phase latency histograms came along.
+    assert!(snap
+        .find("sb_par_phase_duration_us", &[("phase", "decompose")])
+        .is_some());
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn metrics_prom_extension_writes_prometheus_text() {
+    let dir = tmp_dir("sbreak-metrics-prom");
+    let mpath = dir.join("metrics.prom");
+    let out = sbreak(&[
+        "solve",
+        "gen:lp1",
+        "--scale",
+        "0.05",
+        "--problem",
+        "mm",
+        "--metrics",
+        mpath.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = std::fs::read_to_string(&mpath).unwrap();
+    assert!(
+        text.contains("# TYPE sb_par_frontier_compactions counter"),
+        "{text}"
+    );
+    assert!(text.contains("le=\"+Inf\""), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn profile_reproduces_the_trace_summary_byte_for_byte() {
+    let fixture = repo_path("tests/golden/profile_trace.jsonl");
+    let text = std::fs::read_to_string(&fixture).unwrap();
+    let events = symmetry_breaking::trace::parse_jsonl(&text).unwrap();
+    let expected = symmetry_breaking::trace::TraceSummary::from_events(&events).render_line();
+
+    let out = sbreak(&["profile", fixture.to_str().unwrap(), "--top", "3"]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert_eq!(
+        text.lines().next().unwrap(),
+        expected,
+        "profile's first line is the library TraceSummary rendering, unchanged"
+    );
+    assert!(text.contains("Per-phase round times"), "{text}");
+    assert!(text.contains("p99 us"), "{text}");
+    assert!(text.contains("Hottest 3 rounds"), "{text}");
+    for phase in ["decompose", "fringe-peel", "cross-solve"] {
+        assert!(text.contains(phase), "missing phase {phase}: {text}");
+    }
+}
+
+#[test]
+fn profile_renders_cache_and_arena_summary_from_a_snapshot() {
+    let dir = tmp_dir("sbreak-profile-metrics");
+    let snapshot = dir.join("m.json");
+    let trace = dir.join("t.jsonl");
+    let out = sbreak(&[
+        "solve",
+        "gen:lp1",
+        "--scale",
+        "0.05",
+        "--problem",
+        "mis",
+        "--trace",
+        trace.to_str().unwrap(),
+        "--metrics",
+        snapshot.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let out = sbreak(&[
+        "profile",
+        trace.to_str().unwrap(),
+        "--metrics",
+        snapshot.to_str().unwrap(),
+    ]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    let text = stdout(&out);
+    assert!(text.contains("Caches and scratch arena"), "{text}");
+    assert!(text.contains("scratch arena"), "{text}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn perfdiff_fails_on_a_planted_regression_and_passes_within_noise() {
+    let dir = tmp_dir("sbreak-perfdiff");
+    let base = dir.join("base.json");
+    let good = dir.join("good.json");
+    let bad = dir.join("bad.json");
+    std::fs::write(
+        &base,
+        r#"{"title":"t","records":[{"workload":"a","wall ms":"100","speedup":"2.00x"}]}"#,
+    )
+    .unwrap();
+    // +5%: inside the default 10% gate.
+    std::fs::write(
+        &good,
+        r#"{"title":"t","records":[{"workload":"a","wall ms":"105","speedup":"1.90x"}]}"#,
+    )
+    .unwrap();
+    // +20%: over the gate — the acceptance scenario.
+    std::fs::write(
+        &bad,
+        r#"{"title":"t","records":[{"workload":"a","wall ms":"120","speedup":"1.70x"}]}"#,
+    )
+    .unwrap();
+
+    let out = sbreak(&["perfdiff", base.to_str().unwrap(), good.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
+    assert!(stdout(&out).contains("within noise"));
+
+    let out = sbreak(&["perfdiff", base.to_str().unwrap(), bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    assert!(stdout(&out).contains("REGRESSED"), "{}", stdout(&out));
+    assert!(
+        stderr(&out).contains("performance regression"),
+        "{}",
+        stderr(&out)
+    );
+
+    // A tighter gate flips the within-noise case too.
+    let out = sbreak(&[
+        "perfdiff",
+        base.to_str().unwrap(),
+        good.to_str().unwrap(),
+        "--rel-tol",
+        "0.02",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn perfdiff_accepts_the_checked_in_baselines() {
+    for name in ["results/BENCH_frontier.json", "results/BENCH_engine.json"] {
+        let path = repo_path(name);
+        if !path.exists() {
+            continue;
+        }
+        let p = path.to_str().unwrap();
+        let out = sbreak(&["perfdiff", p, p]);
+        assert!(
+            out.status.success(),
+            "{name} vs itself must be green: {}\n{}",
+            stdout(&out),
+            stderr(&out)
+        );
+        assert!(stdout(&out).contains("0 regressed"), "{}", stdout(&out));
+    }
+}
