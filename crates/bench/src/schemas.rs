@@ -290,6 +290,29 @@ pub fn bench_engine() -> TableSchema {
     )
 }
 
+/// The serve loadgen report (`BENCH_serve.json`): client-observed latency
+/// and throughput per phase (cold first-touch vs warm resident caches).
+pub fn bench_serve() -> TableSchema {
+    TableSchema::new(
+        "BENCH_serve",
+        "Serve loadgen — client-side latency per phase (cold vs warm caches)",
+        &[
+            "phase",
+            "clients",
+            "requests",
+            "ok",
+            "overloaded",
+            "timeout",
+            "error",
+            "p50 ms",
+            "p99 ms",
+            "mean ms",
+            "rps",
+            "decomp hits",
+        ],
+    )
+}
+
 /// Every schema, instantiated with canonical parameters (both arches;
 /// thread axis `1,2,4` at host parallelism 8; the `model_report` default
 /// graph with the example sizes used in its documentation). The golden
@@ -314,6 +337,7 @@ pub fn all() -> Vec<TableSchema> {
     v.push(ablate_threads(&[1, 2, 4], 8));
     v.push(model_report("kron-g500-logn20", 52_000, 2_100_000));
     v.push(bench_engine());
+    v.push(bench_serve());
     v
 }
 

@@ -7,6 +7,7 @@
 //! poison the caches for the jobs behind it. (The abandoned worker keeps
 //! running detached until its solve returns; its results are discarded.)
 
+use crate::cache::DEFAULT_TENANT;
 use crate::engine::{
     compute_decomposition, graph_approx_bytes, run_solver, CachedDecomposition, DecompKey,
     DecompSpec, Engine, GraphSource, Solution,
@@ -14,6 +15,7 @@ use crate::engine::{
 use crate::fingerprint::fingerprint_graph;
 use crate::jobs::JobSpec;
 use crate::report::BatchReport;
+use crate::session::CancelToken;
 use sb_core::common::{RunStats, SolveOpts};
 use sb_graph::csr::Graph;
 use sb_par::counters::Stopwatch;
@@ -23,7 +25,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::{mpsc, Arc};
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How a job ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,6 +36,8 @@ pub enum JobOutcome {
     TimedOut,
     /// The job errored (load failure, solver panic, failed verification).
     Failed(String),
+    /// The client cancelled the job before it finished.
+    Cancelled,
 }
 
 impl JobOutcome {
@@ -43,6 +47,7 @@ impl JobOutcome {
             JobOutcome::Ok => "ok",
             JobOutcome::TimedOut => "timeout",
             JobOutcome::Failed(_) => "failed",
+            JobOutcome::Cancelled => "cancelled",
         }
     }
 }
@@ -89,7 +94,7 @@ pub struct BatchOptions {
 }
 
 /// What a worker sends back on success.
-struct WorkerDone {
+pub(crate) struct WorkerDone {
     solution: Solution,
     stats: RunStats,
     verify: Result<(), String>,
@@ -100,182 +105,87 @@ struct WorkerDone {
     computed_decomp: bool,
 }
 
-impl Engine {
-    /// Run one job through the caches with a watchdog. Cache inserts happen
-    /// here, after a clean finish — never from the worker.
-    pub fn run_job(&mut self, job: &JobSpec, trace: Option<Arc<TraceSink>>) -> JobRecord {
-        let sw = Stopwatch::start();
-        let config = format!("{}@{}/{}", job.solver.label(), job.arch, job.frontier);
-        let mut record = JobRecord {
-            label: job.label.clone(),
-            graph: job.graph.clone(),
-            config,
-            seed: job.seed,
-            outcome: JobOutcome::Ok,
-            detail: String::new(),
-            graph_cached: false,
-            decomp_cached: None,
-            decompose_ms: 0.0,
-            solve_ms: 0.0,
-            wall_ms: 0.0,
-            fresh_wall_ms: None,
-            solution: None,
-        };
-        let src = match GraphSource::parse(&job.graph, job.scale, job.effective_graph_seed()) {
-            Ok(src) => src,
-            Err(e) => {
-                record.outcome = JobOutcome::Failed(e.clone());
-                record.detail = e;
-                record.wall_ms = sw.elapsed().as_secs_f64() * 1e3;
-                return record;
-            }
-        };
-        let src_key = src.key();
-        record.graph = src_key.clone();
+/// Cache-probe result for one job: what the engine already holds. Taken
+/// under the engine lock (or `&mut Engine`), then released while the
+/// worker computes.
+pub(crate) struct JobProbe {
+    cached_graph: Option<(Arc<Graph>, u64)>,
+    cached_decomp: Option<Arc<CachedDecomposition>>,
+    fingerprint_seed: u64,
+}
 
-        let cached_graph = self.graphs.get(&src_key).cloned();
-        record.graph_cached = cached_graph.is_some();
-        let spec = job.solver.decomp_spec();
+/// How the coordinator may reach the engine: directly (`&mut Engine`, the
+/// batch path) or through a shared lock ([`crate::session::SharedEngine`],
+/// the serve path). The probe→compute→commit pipeline in
+/// [`run_job_shared`] only touches the engine through this, so the serve
+/// path holds the lock for microseconds around cache operations, never
+/// across a solve.
+pub(crate) trait EngineAccess {
+    /// Run `f` with exclusive access to the engine.
+    fn with_engine<R>(&mut self, f: impl FnOnce(&mut Engine) -> R) -> R;
+}
+
+impl EngineAccess for Engine {
+    fn with_engine<R>(&mut self, f: impl FnOnce(&mut Engine) -> R) -> R {
+        f(self)
+    }
+}
+
+impl Engine {
+    /// Probe both caches for `job`'s inputs, refreshing recency and
+    /// hit/miss statistics. Cheap: two map lookups and two `Arc` clones.
+    pub(crate) fn probe_job(&mut self, src_key: &String, spec: DecompSpec, seed: u64) -> JobProbe {
+        let cached_graph = self.graphs.get(src_key).cloned();
         let cached_decomp = match &cached_graph {
-            Some((_, fp)) if spec != DecompSpec::None => self
-                .decomps
-                .get(&DecompKey::new(*fp, spec, job.seed))
-                .cloned(),
+            Some((_, fp)) if spec != DecompSpec::None => {
+                self.decomps.get(&DecompKey::new(*fp, spec, seed)).cloned()
+            }
             _ => None,
         };
-        if spec != DecompSpec::None {
-            record.decomp_cached = Some(cached_decomp.is_some());
+        JobProbe {
+            cached_graph,
+            cached_decomp,
+            fingerprint_seed: self.fingerprint_seed,
         }
+    }
 
-        let opts = SolveOpts {
-            trace,
-            frontier: job.frontier,
-        };
-        let fingerprint_seed = self.fingerprint_seed;
-        let worker_job = job.clone();
-        let (tx, rx) = mpsc::channel::<Result<WorkerDone, String>>();
-        thread::spawn(move || {
-            let job = worker_job;
-            let run = || -> Result<WorkerDone, String> {
-                let (graph, fingerprint, loaded_graph) = match cached_graph {
-                    Some((g, fp)) => (g, fp, false),
-                    None => {
-                        let g = Arc::new(src.load()?);
-                        let fp = fingerprint_graph(&g, fingerprint_seed);
-                        (g, fp, true)
-                    }
-                };
-                let work = || {
-                    let (decomp, computed_decomp, decompose_time) = if spec == DecompSpec::None {
-                        (None, false, Duration::ZERO)
-                    } else {
-                        match cached_decomp {
-                            Some(d) => (Some(d), false, Duration::ZERO),
-                            None => {
-                                let (d, dt) = compute_decomposition(
-                                    &graph,
-                                    spec,
-                                    job.seed,
-                                    opts.trace.clone(),
-                                );
-                                (Some(Arc::new(d)), true, dt)
-                            }
-                        }
-                    };
-                    let (solution, mut stats) = run_solver(
-                        &graph,
-                        job.solver,
-                        decomp.as_deref(),
-                        job.arch,
-                        job.seed,
-                        &opts,
-                    );
-                    stats.decompose_time = decompose_time;
-                    (decomp, computed_decomp, solution, stats)
-                };
-                let (decomp, computed_decomp, solution, stats) = match job.threads {
-                    Some(t) => with_threads(t, work),
-                    None => work(),
-                };
-                let verify = solution.verify(&graph);
-                Ok(WorkerDone {
-                    solution,
-                    stats,
-                    verify,
-                    graph,
-                    fingerprint,
-                    loaded_graph,
-                    decomp,
-                    computed_decomp,
-                })
-            };
-            let result = catch_unwind(AssertUnwindSafe(run)).unwrap_or_else(|p| {
-                let msg = p
-                    .downcast_ref::<&str>()
-                    .map(|s| s.to_string())
-                    .or_else(|| p.downcast_ref::<String>().cloned())
-                    .unwrap_or_else(|| "unknown panic".into());
-                Err(format!("solver panicked: {msg}"))
-            });
-            let _ = tx.send(result);
-        });
-
-        let received = match job.timeout_ms {
-            Some(ms) => rx.recv_timeout(Duration::from_millis(ms)),
-            None => rx.recv().map_err(|_| mpsc::RecvTimeoutError::Disconnected),
-        };
-        match received {
-            Ok(Ok(done)) => {
-                record.decompose_ms = done.stats.decompose_time.as_secs_f64() * 1e3;
-                record.solve_ms = done.stats.solve_time.as_secs_f64() * 1e3;
-                match done.verify {
-                    Ok(()) => {
-                        // Clean finish: only now may the caches learn
-                        // anything from this job.
-                        if done.loaded_graph {
-                            let bytes = graph_approx_bytes(&done.graph);
-                            self.graphs.insert_weighted(
-                                src_key.clone(),
-                                (done.graph, done.fingerprint),
-                                bytes,
-                            );
-                        }
-                        if done.computed_decomp {
-                            if let Some(d) = done.decomp {
-                                let bytes = d.approx_bytes();
-                                self.decomps.insert_weighted(
-                                    DecompKey::new(done.fingerprint, spec, job.seed),
-                                    d,
-                                    bytes,
-                                );
-                            }
-                        }
-                        record.detail = done.solution.summary();
-                        record.solution = Some(done.solution);
-                    }
-                    Err(e) => {
-                        let msg = format!("verification failed: {e}");
-                        record.outcome = JobOutcome::Failed(msg.clone());
-                        record.detail = msg;
-                    }
-                }
-            }
-            Ok(Err(e)) => {
-                record.outcome = JobOutcome::Failed(e.clone());
-                record.detail = e;
-            }
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                record.outcome = JobOutcome::TimedOut;
-                record.detail = format!("exceeded {} ms", job.timeout_ms.unwrap_or(0));
-            }
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                let msg = "worker thread died without reporting".to_string();
-                record.outcome = JobOutcome::Failed(msg.clone());
-                record.detail = msg;
+    /// Admit a cleanly-finished job's products into the caches, charged to
+    /// `tenant`. Only called after verification succeeded — a timed-out,
+    /// failed, or cancelled job never reaches this point.
+    pub(crate) fn commit_job(
+        &mut self,
+        tenant: &str,
+        src_key: &str,
+        spec: DecompSpec,
+        seed: u64,
+        done: &WorkerDone,
+    ) {
+        if done.loaded_graph {
+            let bytes = graph_approx_bytes(&done.graph);
+            self.graphs.insert_weighted_for(
+                tenant,
+                src_key.to_string(),
+                (done.graph.clone(), done.fingerprint),
+                bytes,
+            );
+        }
+        if done.computed_decomp {
+            if let Some(d) = &done.decomp {
+                let bytes = d.approx_bytes();
+                self.decomps.insert_weighted_for(
+                    tenant,
+                    DecompKey::new(done.fingerprint, spec, seed),
+                    d.clone(),
+                    bytes,
+                );
             }
         }
-        record.wall_ms = sw.elapsed().as_secs_f64() * 1e3;
-        record
+    }
+
+    /// Run one job through the caches with a watchdog. Cache inserts happen
+    /// in the coordinator, after a clean finish — never from the worker.
+    pub fn run_job(&mut self, job: &JobSpec, trace: Option<Arc<TraceSink>>) -> JobRecord {
+        run_job_shared(self, DEFAULT_TENANT, job, trace, None, None)
     }
 
     /// Run a batch of jobs in order through this engine's caches.
@@ -311,6 +221,251 @@ impl Engine {
             fresh_total_wall_ms: None,
         })
     }
+}
+
+/// How [`wait_for_worker`] ended.
+pub(crate) enum WaitVerdict {
+    /// The worker reported (success or error) in time.
+    Finished(Box<Result<WorkerDone, String>>),
+    /// The watchdog budget elapsed first.
+    TimedOut,
+    /// The job's cancel token fired first.
+    Cancelled,
+    /// The worker vanished without reporting.
+    Died,
+}
+
+/// Spawn the solve worker for one job. The worker loads/computes whatever
+/// the probe missed, runs the solver, and self-verifies; it never touches
+/// the caches.
+pub(crate) fn spawn_worker(
+    src: GraphSource,
+    probe: JobProbe,
+    spec: DecompSpec,
+    job: JobSpec,
+    opts: SolveOpts,
+) -> mpsc::Receiver<Result<WorkerDone, String>> {
+    let JobProbe {
+        cached_graph,
+        cached_decomp,
+        fingerprint_seed,
+    } = probe;
+    let (tx, rx) = mpsc::channel::<Result<WorkerDone, String>>();
+    thread::spawn(move || {
+        let run = || -> Result<WorkerDone, String> {
+            let (graph, fingerprint, loaded_graph) = match cached_graph {
+                Some((g, fp)) => (g, fp, false),
+                None => {
+                    let g = Arc::new(src.load()?);
+                    let fp = fingerprint_graph(&g, fingerprint_seed);
+                    (g, fp, true)
+                }
+            };
+            let work = || {
+                let (decomp, computed_decomp, decompose_time) = if spec == DecompSpec::None {
+                    (None, false, Duration::ZERO)
+                } else {
+                    match cached_decomp {
+                        Some(d) => (Some(d), false, Duration::ZERO),
+                        None => {
+                            let (d, dt) =
+                                compute_decomposition(&graph, spec, job.seed, opts.trace.clone());
+                            (Some(Arc::new(d)), true, dt)
+                        }
+                    }
+                };
+                let (solution, mut stats) = run_solver(
+                    &graph,
+                    job.solver,
+                    decomp.as_deref(),
+                    job.arch,
+                    job.seed,
+                    &opts,
+                );
+                stats.decompose_time = decompose_time;
+                (decomp, computed_decomp, solution, stats)
+            };
+            let (decomp, computed_decomp, solution, stats) = match job.threads {
+                Some(t) => with_threads(t, work),
+                None => work(),
+            };
+            let verify = solution.verify(&graph);
+            Ok(WorkerDone {
+                solution,
+                stats,
+                verify,
+                graph,
+                fingerprint,
+                loaded_graph,
+                decomp,
+                computed_decomp,
+            })
+        };
+        let result = catch_unwind(AssertUnwindSafe(run)).unwrap_or_else(|p| {
+            let msg = p
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| p.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "unknown panic".into());
+            Err(format!("solver panicked: {msg}"))
+        });
+        let _ = tx.send(result);
+    });
+    rx
+}
+
+/// Block until the worker reports, the watchdog budget elapses, or the
+/// cancel token fires. With a cancel token the wait is sliced so a
+/// cancellation is observed within ~10 ms; without one, a single blocking
+/// receive (the original batch behavior).
+pub(crate) fn wait_for_worker(
+    rx: &mpsc::Receiver<Result<WorkerDone, String>>,
+    timeout: Option<Duration>,
+    cancel: Option<&CancelToken>,
+) -> WaitVerdict {
+    const SLICE: Duration = Duration::from_millis(10);
+    let deadline = timeout.map(|t| Instant::now() + t);
+    loop {
+        if cancel.is_some_and(|c| c.is_cancelled()) {
+            return WaitVerdict::Cancelled;
+        }
+        let wait = match deadline {
+            Some(d) => {
+                let remaining = d.saturating_duration_since(Instant::now());
+                if remaining.is_zero() {
+                    return WaitVerdict::TimedOut;
+                }
+                if cancel.is_some() {
+                    remaining.min(SLICE)
+                } else {
+                    remaining
+                }
+            }
+            None => {
+                if cancel.is_none() {
+                    return match rx.recv() {
+                        Ok(r) => WaitVerdict::Finished(Box::new(r)),
+                        Err(_) => WaitVerdict::Died,
+                    };
+                }
+                SLICE
+            }
+        };
+        match rx.recv_timeout(wait) {
+            Ok(r) => return WaitVerdict::Finished(Box::new(r)),
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => return WaitVerdict::Died,
+        }
+    }
+}
+
+/// The probe→compute→commit job pipeline shared by [`Engine::run_job`]
+/// (direct access, no cancellation) and the serve path (locked access,
+/// deadline + cancel token). Cache state is only touched inside
+/// `access.with_engine` closures.
+pub(crate) fn run_job_shared<A: EngineAccess>(
+    access: &mut A,
+    tenant: &str,
+    job: &JobSpec,
+    trace: Option<Arc<TraceSink>>,
+    cancel: Option<&CancelToken>,
+    deadline: Option<Duration>,
+) -> JobRecord {
+    let sw = Stopwatch::start();
+    let config = format!("{}@{}/{}", job.solver.label(), job.arch, job.frontier);
+    let mut record = JobRecord {
+        label: job.label.clone(),
+        graph: job.graph.clone(),
+        config,
+        seed: job.seed,
+        outcome: JobOutcome::Ok,
+        detail: String::new(),
+        graph_cached: false,
+        decomp_cached: None,
+        decompose_ms: 0.0,
+        solve_ms: 0.0,
+        wall_ms: 0.0,
+        fresh_wall_ms: None,
+        solution: None,
+    };
+    let finish = |mut record: JobRecord| {
+        record.wall_ms = sw.elapsed().as_secs_f64() * 1e3;
+        record
+    };
+    if cancel.is_some_and(|c| c.is_cancelled()) {
+        record.outcome = JobOutcome::Cancelled;
+        record.detail = "cancelled before start".into();
+        return finish(record);
+    }
+    let src = match GraphSource::parse(&job.graph, job.scale, job.effective_graph_seed()) {
+        Ok(src) => src,
+        Err(e) => {
+            record.outcome = JobOutcome::Failed(e.clone());
+            record.detail = e;
+            return finish(record);
+        }
+    };
+    let src_key = src.key();
+    record.graph = src_key.clone();
+    let spec = job.solver.decomp_spec();
+    let probe = access.with_engine(|e| e.probe_job(&src_key, spec, job.seed));
+    record.graph_cached = probe.cached_graph.is_some();
+    if spec != DecompSpec::None {
+        record.decomp_cached = Some(probe.cached_decomp.is_some());
+    }
+
+    let opts = SolveOpts {
+        trace,
+        frontier: job.frontier,
+    };
+    // The effective watchdog budget: the tighter of the job's own timeout
+    // and the caller's deadline (serve: time remaining on the request).
+    let budget_ms = match (job.timeout_ms, deadline.map(|d| d.as_millis() as u64)) {
+        (Some(a), Some(b)) => Some(a.min(b)),
+        (a, b) => a.or(b),
+    };
+    let rx = spawn_worker(src, probe, spec, job.clone(), opts);
+    match wait_for_worker(&rx, budget_ms.map(Duration::from_millis), cancel) {
+        WaitVerdict::Finished(done) => match *done {
+            Ok(done) => {
+                record.decompose_ms = done.stats.decompose_time.as_secs_f64() * 1e3;
+                record.solve_ms = done.stats.solve_time.as_secs_f64() * 1e3;
+                match &done.verify {
+                    Ok(()) => {
+                        // Clean finish: only now may the caches learn
+                        // anything from this job.
+                        access
+                            .with_engine(|e| e.commit_job(tenant, &src_key, spec, job.seed, &done));
+                        record.detail = done.solution.summary();
+                        record.solution = Some(done.solution);
+                    }
+                    Err(e) => {
+                        let msg = format!("verification failed: {e}");
+                        record.outcome = JobOutcome::Failed(msg.clone());
+                        record.detail = msg;
+                    }
+                }
+            }
+            Err(e) => {
+                record.outcome = JobOutcome::Failed(e.clone());
+                record.detail = e;
+            }
+        },
+        WaitVerdict::TimedOut => {
+            record.outcome = JobOutcome::TimedOut;
+            record.detail = format!("exceeded {} ms", budget_ms.unwrap_or(0));
+        }
+        WaitVerdict::Cancelled => {
+            record.outcome = JobOutcome::Cancelled;
+            record.detail = "cancelled".into();
+        }
+        WaitVerdict::Died => {
+            let msg = "worker thread died without reporting".to_string();
+            record.outcome = JobOutcome::Failed(msg.clone());
+            record.detail = msg;
+        }
+    }
+    finish(record)
 }
 
 /// Run `jobs` twice — once through a caching engine with `cfg`, once

@@ -10,6 +10,10 @@
 
 use std::collections::HashMap;
 use std::hash::Hash;
+use std::sync::Arc;
+
+/// Entries inserted without an explicit tenant are charged to this one.
+pub const DEFAULT_TENANT: &str = "-";
 
 /// Hit/miss/eviction counters for one cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -56,6 +60,8 @@ struct Entry<V> {
     /// Caller-estimated resident size, for the bytes gauge (0 when the
     /// caller used plain [`Lru::insert`]).
     weight: u64,
+    /// Which tenant's byte budget this entry is charged to.
+    tenant: Arc<str>,
 }
 
 /// Global-registry handles for one named cache (see DESIGN.md §12).
@@ -88,13 +94,27 @@ impl LruMetrics {
     }
 }
 
-/// A bounded LRU map.
+/// A bounded LRU map with optional per-tenant byte quotas.
+///
+/// Quota semantics (see DESIGN.md §13): with `tenant_quota = None` (the
+/// default) every entry belongs to one global pool and eviction is plain
+/// LRU — byte-for-byte the pre-quota behavior. With a quota set, a tenant
+/// may *burst* past its byte budget while the cache has spare slots (the
+/// cache stays work-conserving), but under capacity pressure the victim is
+/// chosen LRU-first among entries of tenants currently **over** quota,
+/// then among the inserting tenant's own entries. Entries of other tenants
+/// at-or-under quota are never evicted on a third party's behalf; if no
+/// eligible victim exists (an over-committed configuration: every slot is
+/// held by a protected foreign tenant), the insert is dropped rather than
+/// violating the protection.
 pub struct Lru<K, V> {
     cap: usize,
     tick: u64,
     map: HashMap<K, Entry<V>>,
     stats: CacheStats,
     metrics: Option<LruMetrics>,
+    tenant_quota: Option<u64>,
+    tenant_bytes: HashMap<Arc<str>, u64>,
 }
 
 impl<K: Eq + Hash + Clone, V> Lru<K, V> {
@@ -106,6 +126,8 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
             map: HashMap::new(),
             stats: CacheStats::default(),
             metrics: None,
+            tenant_quota: None,
+            tenant_bytes: HashMap::new(),
         }
     }
 
@@ -121,6 +143,33 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
     /// Capacity this cache was built with.
     pub fn cap(&self) -> usize {
         self.cap
+    }
+
+    /// Set the per-tenant byte quota (`None` = unlimited, the default).
+    pub fn set_tenant_quota(&mut self, quota: Option<u64>) {
+        self.tenant_quota = quota;
+    }
+
+    /// The per-tenant byte quota, if one is set.
+    pub fn tenant_quota(&self) -> Option<u64> {
+        self.tenant_quota
+    }
+
+    /// Bytes currently charged to `tenant` (0 for an unknown tenant).
+    pub fn tenant_bytes(&self, tenant: &str) -> u64 {
+        self.tenant_bytes.get(tenant).copied().unwrap_or(0)
+    }
+
+    /// `(tenant, resident bytes)` for every tenant with live entries,
+    /// sorted by tenant name for stable rendering.
+    pub fn tenant_usage(&self) -> Vec<(String, u64)> {
+        let mut usage: Vec<(String, u64)> = self
+            .tenant_bytes
+            .iter()
+            .map(|(t, b)| (t.to_string(), *b))
+            .collect();
+        usage.sort();
+        usage
     }
 
     /// Live entries.
@@ -191,41 +240,85 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
     }
 
     /// [`Lru::insert`] with an estimated resident size in bytes, carried
-    /// into the `sb_engine_<name>_cache_bytes` gauge.
+    /// into the `sb_engine_<name>_cache_bytes` gauge. Charged to
+    /// [`DEFAULT_TENANT`].
     pub fn insert_weighted(&mut self, k: K, v: V, weight: u64) {
+        self.insert_weighted_for(DEFAULT_TENANT, k, v, weight);
+    }
+
+    /// [`Lru::insert_weighted`], charging the entry to `tenant`'s byte
+    /// budget. With a quota set, eviction under capacity pressure follows
+    /// the fairness policy documented on [`Lru`].
+    pub fn insert_weighted_for(&mut self, tenant: &str, k: K, v: V, weight: u64) {
         if self.cap == 0 {
             return;
         }
         self.tick += 1;
         if !self.map.contains_key(&k) && self.map.len() >= self.cap {
-            if let Some(victim) = self
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| k.clone())
-            {
-                let evicted = self.map.remove(&victim).expect("victim key is live");
-                self.stats.evictions += 1;
-                if let Some(m) = &self.metrics {
-                    m.evictions.inc();
-                    m.bytes.sub(evicted.weight);
-                }
+            let victim = match self.tenant_quota {
+                None => self.lru_key(|_| true),
+                Some(quota) => self
+                    .lru_key(|e| self.tenant_bytes(&e.tenant) > quota)
+                    .or_else(|| self.lru_key(|e| &*e.tenant == tenant)),
+            };
+            match victim {
+                Some(victim) => self.evict(&victim),
+                // Every slot is held by a protected foreign tenant: drop
+                // the insert instead of breaking another tenant's quota.
+                None => return,
             }
         }
         self.stats.inserts += 1;
+        let tenant: Arc<str> = match self.tenant_bytes.get_key_value(tenant) {
+            Some((t, _)) => t.clone(),
+            None => Arc::from(tenant),
+        };
+        *self.tenant_bytes.entry(tenant.clone()).or_insert(0) += weight;
         let displaced = self.map.insert(
             k,
             Entry {
                 value: v,
                 last_used: self.tick,
                 weight,
+                tenant,
             },
         );
+        if let Some(e) = &displaced {
+            self.uncharge(e.tenant.clone(), e.weight);
+        }
         if let Some(m) = &self.metrics {
             m.inserts.inc();
             m.bytes.sub(displaced.map_or(0, |e| e.weight));
             m.bytes.add(weight);
             m.entries.set(self.map.len() as u64);
+        }
+    }
+
+    /// Least-recently-used key among entries matching `eligible`.
+    fn lru_key(&self, eligible: impl Fn(&Entry<V>) -> bool) -> Option<K> {
+        self.map
+            .iter()
+            .filter(|(_, e)| eligible(e))
+            .min_by_key(|(_, e)| e.last_used)
+            .map(|(k, _)| k.clone())
+    }
+
+    fn evict(&mut self, victim: &K) {
+        let evicted = self.map.remove(victim).expect("victim key is live");
+        self.stats.evictions += 1;
+        self.uncharge(evicted.tenant, evicted.weight);
+        if let Some(m) = &self.metrics {
+            m.evictions.inc();
+            m.bytes.sub(evicted.weight);
+        }
+    }
+
+    fn uncharge(&mut self, tenant: Arc<str>, weight: u64) {
+        if let Some(bytes) = self.tenant_bytes.get_mut(&tenant) {
+            *bytes = bytes.saturating_sub(weight);
+            if *bytes == 0 && !self.map.values().any(|e| e.tenant == tenant) {
+                self.tenant_bytes.remove(&tenant);
+            }
         }
     }
 }
@@ -283,5 +376,86 @@ mod tests {
         assert!(c.is_empty());
         assert!(c.get(&1).is_none());
         assert_eq!(c.stats().inserts, 0);
+    }
+
+    #[test]
+    fn tenant_bytes_track_inserts_displacements_and_evictions() {
+        let mut c: Lru<u32, u32> = Lru::new(2);
+        c.insert_weighted_for("a", 1, 10, 100);
+        c.insert_weighted_for("b", 2, 20, 30);
+        assert_eq!(c.tenant_bytes("a"), 100);
+        assert_eq!(c.tenant_bytes("b"), 30);
+        // Re-keying an entry to another tenant transfers the charge.
+        c.insert_weighted_for("b", 1, 11, 40);
+        assert_eq!(c.tenant_bytes("a"), 0);
+        assert_eq!(c.tenant_bytes("b"), 70);
+        assert_eq!(c.tenant_usage(), vec![("b".to_string(), 70)]);
+    }
+
+    #[test]
+    fn eviction_fairness_flooding_tenant_cannot_evict_protected_tenant() {
+        // The satellite pin: tenant "a" sits at-or-under its byte quota;
+        // tenant "b" floods far more entries than the cache holds. Every
+        // one of b's pressure evictions must land on b's own entries.
+        let mut c: Lru<u32, u32> = Lru::new(4);
+        c.set_tenant_quota(Some(100));
+        c.insert_weighted_for("a", 1, 10, 40);
+        c.insert_weighted_for("a", 2, 20, 40);
+        for i in 0..16 {
+            c.insert_weighted_for("b", 100 + i, 0, 30);
+        }
+        assert_eq!(c.get(&1), Some(&10), "protected tenant entry evicted");
+        assert_eq!(c.get(&2), Some(&20), "protected tenant entry evicted");
+        assert_eq!(c.tenant_bytes("a"), 80);
+        assert!(
+            c.tenant_bytes("b") <= 60,
+            "flooding tenant holds at most the two slots it can recycle"
+        );
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn over_quota_tenant_is_first_eviction_victim() {
+        // A tenant may burst past quota while there is spare room, but its
+        // entries are first in line once anyone needs a slot.
+        let mut c: Lru<u32, u32> = Lru::new(3);
+        c.set_tenant_quota(Some(50));
+        c.insert_weighted_for("a", 1, 10, 40);
+        c.insert_weighted_for("a", 2, 20, 40); // a bursts to 80 > 50
+        c.insert_weighted_for("b", 3, 30, 10);
+        assert_eq!(c.len(), 3);
+        // b needs a slot: the victim must be a's LRU entry, not b's.
+        c.insert_weighted_for("b", 4, 40, 10);
+        assert!(c.get(&1).is_none(), "over-quota tenant keeps its newest");
+        assert_eq!(c.get(&2), Some(&20));
+        assert_eq!(c.get(&3), Some(&30));
+        assert_eq!(c.get(&4), Some(&40));
+        assert_eq!(c.tenant_bytes("a"), 40);
+    }
+
+    #[test]
+    fn insert_dropped_when_every_slot_is_protected_and_foreign() {
+        let mut c: Lru<u32, u32> = Lru::new(2);
+        c.set_tenant_quota(Some(100));
+        c.insert_weighted_for("a", 1, 10, 50);
+        c.insert_weighted_for("b", 2, 20, 50);
+        // "c" owns nothing and no one is over quota: nothing may be
+        // evicted on c's behalf, so the insert is dropped.
+        c.insert_weighted_for("c", 3, 30, 10);
+        assert!(c.get(&3).is_none());
+        assert_eq!(c.get(&1), Some(&10));
+        assert_eq!(c.get(&2), Some(&20));
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn no_quota_keeps_global_lru_semantics_across_tenants() {
+        let mut c: Lru<u32, u32> = Lru::new(2);
+        c.insert_weighted_for("a", 1, 10, 1);
+        c.insert_weighted_for("b", 2, 20, 1);
+        c.insert_weighted_for("b", 3, 30, 1);
+        assert!(c.get(&1).is_none(), "unquota'd cache evicts global LRU");
+        assert_eq!(c.get(&2), Some(&20));
+        assert_eq!(c.get(&3), Some(&30));
     }
 }

@@ -36,12 +36,56 @@ pub enum GraphSource {
     },
     /// An edge-list or Matrix-Market file on disk.
     File(PathBuf),
+    /// A graph carried inline in the source string itself
+    /// (`inline:<n>:<u>-<v>,<u>-<v>,...`). This is the wire form `sbreak
+    /// serve` clients and the fuzz serve axis use to ship exact graphs —
+    /// vertex count included, so trailing isolated vertices survive —
+    /// without touching the filesystem.
+    Inline {
+        /// Vertex count.
+        n: usize,
+        /// Undirected edge list.
+        edges: Vec<(u32, u32)>,
+    },
 }
 
 impl GraphSource {
+    /// Render `(n, edges)` in the `inline:` source-string form accepted by
+    /// [`GraphSource::parse`].
+    pub fn encode_inline(n: usize, edges: &[(u32, u32)]) -> String {
+        let body: Vec<String> = edges.iter().map(|(u, v)| format!("{u}-{v}")).collect();
+        format!("inline:{n}:{}", body.join(","))
+    }
+
     /// Parse a job's `graph` field: `gen:<name>` resolves against the
-    /// Table II registry, anything else is a path.
+    /// Table II registry, `inline:` carries the graph in the string, and
+    /// anything else is a path.
     pub fn parse(input: &str, scale: f64, seed: u64) -> Result<GraphSource, String> {
+        if let Some(body) = input.strip_prefix("inline:") {
+            let (n, edge_text) = body
+                .split_once(':')
+                .ok_or("inline graph must be 'inline:<n>:<u>-<v>,...'")?;
+            let n: usize = n
+                .parse()
+                .map_err(|_| format!("bad inline vertex count '{n}'"))?;
+            let mut edges = Vec::new();
+            for pair in edge_text.split(',').filter(|p| !p.is_empty()) {
+                let (u, v) = pair
+                    .split_once('-')
+                    .ok_or_else(|| format!("bad inline edge '{pair}' (expected 'u-v')"))?;
+                let u: u32 = u
+                    .parse()
+                    .map_err(|_| format!("bad inline endpoint '{u}'"))?;
+                let v: u32 = v
+                    .parse()
+                    .map_err(|_| format!("bad inline endpoint '{v}'"))?;
+                if (u as usize) >= n || (v as usize) >= n {
+                    return Err(format!("inline edge {u}-{v} out of range for n={n}"));
+                }
+                edges.push((u, v));
+            }
+            return Ok(GraphSource::Inline { n, edges });
+        }
         if let Some(name) = input.strip_prefix("gen:") {
             let id = GraphId::ALL
                 .into_iter()
@@ -71,10 +115,24 @@ impl GraphSource {
                 name, scale, seed, ..
             } => format!("gen:{name}@{scale}#{seed}"),
             GraphSource::File(p) => format!("file:{}", p.display()),
+            GraphSource::Inline { n, edges } => {
+                // Content-hash the edge list so distinct inline graphs get
+                // distinct keys without embedding the whole list.
+                let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+                let mut mix = |x: u64| {
+                    h ^= x;
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                };
+                mix(*n as u64);
+                for &(u, v) in edges {
+                    mix(((u as u64) << 32) | v as u64);
+                }
+                format!("inline:{n}:{}#{h:016x}", edges.len())
+            }
         }
     }
 
-    /// Load (generate or read) the graph.
+    /// Load (generate, read, or materialize) the graph.
     pub fn load(&self) -> Result<Graph, String> {
         match self {
             GraphSource::Gen {
@@ -83,6 +141,7 @@ impl GraphSource {
             GraphSource::File(p) => {
                 sb_graph::io::read_path(p).map_err(|e| format!("cannot read {}: {e}", p.display()))
             }
+            GraphSource::Inline { n, edges } => Ok(sb_graph::builder::from_edge_list(*n, edges)),
         }
     }
 }
@@ -312,6 +371,10 @@ pub struct EngineConfig {
     pub cache_cap: usize,
     /// Seed for the graph fingerprint hash.
     pub fingerprint_seed: u64,
+    /// Per-tenant resident-byte quota applied to each cache (`None` =
+    /// unlimited, the single-tenant default). See [`crate::cache::Lru`]
+    /// for the burst-then-protect eviction semantics.
+    pub tenant_quota_bytes: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -319,6 +382,7 @@ impl Default for EngineConfig {
         EngineConfig {
             cache_cap: 64,
             fingerprint_seed: fingerprint::DEFAULT_SEED,
+            tenant_quota_bytes: None,
         }
     }
 }
@@ -348,10 +412,14 @@ pub struct Engine {
 impl Engine {
     /// An engine with the given configuration.
     pub fn new(cfg: EngineConfig) -> Engine {
+        let mut graphs = Lru::with_metrics(cfg.cache_cap, "graph");
+        let mut decomps = Lru::with_metrics(cfg.cache_cap, "decomp");
+        graphs.set_tenant_quota(cfg.tenant_quota_bytes);
+        decomps.set_tenant_quota(cfg.tenant_quota_bytes);
         Engine {
             fingerprint_seed: cfg.fingerprint_seed,
-            graphs: Lru::with_metrics(cfg.cache_cap, "graph"),
-            decomps: Lru::with_metrics(cfg.cache_cap, "decomp"),
+            graphs,
+            decomps,
         }
     }
 
@@ -769,6 +837,28 @@ mod tests {
         assert!(!hit_c);
         assert_ne!(fp_a, fp_c);
         assert!(GraphSource::parse("gen:nope", 1.0, 1).is_err());
+    }
+
+    #[test]
+    fn inline_source_roundtrips_and_keeps_isolated_vertices() {
+        let edges = vec![(0u32, 1u32), (1, 2)];
+        let text = GraphSource::encode_inline(5, &edges);
+        assert_eq!(text, "inline:5:0-1,1-2");
+        let src = GraphSource::parse(&text, 1.0, 0).unwrap();
+        assert_eq!(src, GraphSource::Inline { n: 5, edges });
+        let g = src.load().unwrap();
+        assert_eq!(g.num_vertices(), 5, "trailing isolated vertices survive");
+        assert_eq!(g.num_edges(), 2);
+        // Distinct graphs get distinct cache keys; same graph, same key.
+        let same = GraphSource::parse("inline:5:0-1,1-2", 0.3, 9).unwrap();
+        assert_eq!(src.key(), same.key());
+        let other = GraphSource::parse("inline:5:0-1,1-3", 1.0, 0).unwrap();
+        assert_ne!(src.key(), other.key());
+        // Empty edge lists are legal; malformed ones are not.
+        assert!(GraphSource::parse("inline:3:", 1.0, 0).is_ok());
+        assert!(GraphSource::parse("inline:3", 1.0, 0).is_err());
+        assert!(GraphSource::parse("inline:3:0-9", 1.0, 0).is_err());
+        assert!(GraphSource::parse("inline:3:0+1", 1.0, 0).is_err());
     }
 
     #[test]

@@ -125,7 +125,7 @@ pub fn parse_solver(problem: &str, algo: &str) -> Result<Solver, String> {
     }
 }
 
-fn parse_arch(s: &str) -> Result<Arch, String> {
+pub(crate) fn parse_arch(s: &str) -> Result<Arch, String> {
     match s {
         "cpu" => Ok(Arch::Cpu),
         "gpu" | "gpu-sim" | "gpusim" => Ok(Arch::GpuSim),

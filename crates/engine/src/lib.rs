@@ -26,7 +26,10 @@ pub mod cache;
 pub mod engine;
 pub mod fingerprint;
 pub mod jobs;
+pub mod protocol;
 pub mod report;
+pub mod serve;
+pub mod session;
 
 pub use batch::{run_batch_compare, BatchOptions, JobOutcome, JobRecord};
 pub use cache::CacheStats;
@@ -34,3 +37,5 @@ pub use engine::{DecompSpec, Engine, EngineConfig, GraphSource, Solution, Solver
 pub use fingerprint::fingerprint_graph;
 pub use jobs::{parse_jobs, JobSpec};
 pub use report::BatchReport;
+pub use serve::{Client, ServeConfig, Server, ServerHandle};
+pub use session::{CancelToken, Session, SharedEngine};

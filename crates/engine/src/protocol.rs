@@ -1,0 +1,552 @@
+//! The `sbreak serve` wire protocol: JSONL over TCP.
+//!
+//! One request object per line in, one response object per line out.
+//! Requests carry an `op` (`solve`, `stats`, `ping`, `cancel`,
+//! `shutdown`); responses carry a `status` (`ok`, `error`, `overloaded`,
+//! `timeout`, `cancelled`) and echo the request `id` so clients may
+//! pipeline. Parsing is strict — unknown ops, unknown keys, and
+//! wrong-typed fields are rejected with a typed `bad_request` error
+//! response instead of being ignored, so a typo'd field name fails loudly
+//! (the same stance the batch jobs-file parser takes).
+//!
+//! The JSON reader is the offline-friendly recursive-descent parser from
+//! `sb-metrics`; serialization is hand-rolled here. The `stats` response
+//! body and the loadgen report are schema-pinned by the golden tests.
+
+use crate::jobs::{parse_arch, parse_solver, JobSpec};
+use crate::{JobOutcome, JobRecord};
+use sb_core::common::FrontierMode;
+use sb_metrics::{escape_json, parse_json_value, JsonValue};
+
+/// Everything a `solve` request may carry, as raw strings plus defaults —
+/// resolved into a [`JobSpec`] by [`SolveParams::to_job_spec`]. Also the
+/// client-side builder ([`SolveParams::to_json`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveParams {
+    /// Client-chosen request id, echoed on the response ("" = none).
+    pub id: String,
+    /// Tenant the request's cache inserts are charged to.
+    pub tenant: String,
+    /// Graph source string (`gen:<name>`, `inline:...`, or a path).
+    pub graph: String,
+    /// Scale factor for generated graphs.
+    pub scale: f64,
+    /// Generation seed (defaults to the solver seed).
+    pub graph_seed: Option<u64>,
+    /// Problem family: `mm` | `color` | `mis`.
+    pub problem: String,
+    /// Algorithm: `baseline` | `bridge` | `rand[:P]` | `degk[:K]` | `bicc`.
+    pub algo: String,
+    /// `cpu` | `gpu`.
+    pub arch: String,
+    /// `dense` | `compact`.
+    pub frontier: String,
+    /// Solver seed.
+    pub seed: u64,
+    /// Per-request thread-pool pin.
+    pub threads: Option<usize>,
+    /// Per-request deadline: total milliseconds from admission (queue wait
+    /// included) before the request is abandoned with `timeout`.
+    pub deadline_ms: Option<u64>,
+    /// Whether the response should carry the rendered solution text.
+    pub want_solution: bool,
+    /// Test hook: hold the worker for this long before solving. Honored
+    /// only when the server runs with `allow_debug` (integration tests);
+    /// rejected otherwise.
+    pub debug_sleep_ms: u64,
+}
+
+impl SolveParams {
+    /// A solve request with every optional field at its default.
+    pub fn new(graph: &str, problem: &str, algo: &str) -> SolveParams {
+        SolveParams {
+            id: String::new(),
+            tenant: "anon".into(),
+            graph: graph.into(),
+            scale: 1.0,
+            graph_seed: None,
+            problem: problem.into(),
+            algo: algo.into(),
+            arch: "cpu".into(),
+            frontier: "compact".into(),
+            seed: 42,
+            threads: None,
+            deadline_ms: None,
+            want_solution: false,
+            debug_sleep_ms: 0,
+        }
+    }
+
+    /// Resolve the raw fields into an executable [`JobSpec`].
+    pub fn to_job_spec(&self) -> Result<JobSpec, String> {
+        let solver = parse_solver(&self.problem, &self.algo)?;
+        let arch = parse_arch(&self.arch)?;
+        let frontier: FrontierMode = self.frontier.parse()?;
+        if !(self.scale.is_finite() && self.scale > 0.0) {
+            return Err(format!(
+                "'scale' must be a positive number, got {}",
+                self.scale
+            ));
+        }
+        let label = if self.id.is_empty() {
+            "solve".into()
+        } else {
+            self.id.clone()
+        };
+        Ok(JobSpec {
+            label,
+            graph: self.graph.clone(),
+            scale: self.scale,
+            graph_seed: self.graph_seed,
+            solver,
+            arch,
+            frontier,
+            seed: self.seed,
+            threads: self.threads,
+            // The deadline covers queue wait and solve together; the
+            // remaining budget is applied by the server at dequeue.
+            timeout_ms: None,
+        })
+    }
+
+    /// Render the request as one JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"op\":\"solve\"");
+        if !self.id.is_empty() {
+            s += &format!(",\"id\":\"{}\"", escape_json(&self.id));
+        }
+        s += &format!(",\"tenant\":\"{}\"", escape_json(&self.tenant));
+        s += &format!(",\"graph\":\"{}\"", escape_json(&self.graph));
+        s += &format!(",\"scale\":{}", self.scale);
+        if let Some(gs) = self.graph_seed {
+            s += &format!(",\"graph_seed\":{gs}");
+        }
+        s += &format!(",\"problem\":\"{}\"", escape_json(&self.problem));
+        s += &format!(",\"algo\":\"{}\"", escape_json(&self.algo));
+        s += &format!(",\"arch\":\"{}\"", escape_json(&self.arch));
+        s += &format!(",\"frontier\":\"{}\"", escape_json(&self.frontier));
+        s += &format!(",\"seed\":{}", self.seed);
+        if let Some(t) = self.threads {
+            s += &format!(",\"threads\":{t}");
+        }
+        if let Some(d) = self.deadline_ms {
+            s += &format!(",\"deadline_ms\":{d}");
+        }
+        if self.want_solution {
+            s += ",\"want_solution\":true";
+        }
+        if self.debug_sleep_ms > 0 {
+            s += &format!(",\"debug_sleep_ms\":{}", self.debug_sleep_ms);
+        }
+        s.push('}');
+        s
+    }
+}
+
+/// One parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Run one solve job.
+    Solve(Box<SolveParams>),
+    /// Report server/cache/latency statistics.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Cancel the in-flight or queued request with this id (same
+    /// connection only).
+    Cancel {
+        /// Id of the request to cancel.
+        id: String,
+    },
+    /// Drain and stop the server.
+    Shutdown,
+}
+
+const SOLVE_KEYS: &[&str] = &[
+    "op",
+    "id",
+    "tenant",
+    "graph",
+    "scale",
+    "graph_seed",
+    "problem",
+    "algo",
+    "arch",
+    "frontier",
+    "seed",
+    "threads",
+    "deadline_ms",
+    "want_solution",
+    "debug_sleep_ms",
+];
+
+fn want_str(obj: &JsonValue, key: &str) -> Result<Option<String>, String> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(JsonValue::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(format!("'{key}' must be a string")),
+    }
+}
+
+/// The largest integer a JSON number (an f64 on both ends of the wire)
+/// carries exactly. Larger values would round silently, so the protocol
+/// rejects them instead — a solve with a quietly altered seed is worse
+/// than a typed error.
+pub const MAX_SAFE_JSON_INT: u64 = (1 << 53) - 1;
+
+fn want_u64(obj: &JsonValue, key: &str) -> Result<Option<u64>, String> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) => match v.as_u64() {
+            Some(n) if n <= MAX_SAFE_JSON_INT => Ok(Some(n)),
+            Some(n) => Err(format!(
+                "'{key}' value {n} exceeds 2^53-1 and would lose precision in JSON"
+            )),
+            None => Err(format!("'{key}' must be a non-negative integer")),
+        },
+    }
+}
+
+fn want_f64(obj: &JsonValue, key: &str) -> Result<Option<f64>, String> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("'{key}' must be a number")),
+    }
+}
+
+fn want_bool(obj: &JsonValue, key: &str) -> Result<Option<bool>, String> {
+    match obj.get(key) {
+        None => Ok(None),
+        Some(JsonValue::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(format!("'{key}' must be a boolean")),
+    }
+}
+
+/// Parse one request line. Errors are client-facing `bad_request` details.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let v = parse_json_value(line).map_err(|e| format!("invalid JSON: {e}"))?;
+    let members = v.as_obj().ok_or("request must be a JSON object")?;
+    let op = want_str(&v, "op")?.ok_or("request is missing 'op'")?;
+    match op.as_str() {
+        "solve" => {
+            for (key, _) in members {
+                if !SOLVE_KEYS.contains(&key.as_str()) {
+                    return Err(format!(
+                        "unknown key '{key}' for op solve (known keys: {})",
+                        SOLVE_KEYS.join(", ")
+                    ));
+                }
+            }
+            let graph = want_str(&v, "graph")?.ok_or("solve is missing 'graph'")?;
+            let problem = want_str(&v, "problem")?.ok_or("solve is missing 'problem'")?;
+            let algo = want_str(&v, "algo")?.ok_or("solve is missing 'algo'")?;
+            let mut p = SolveParams::new(&graph, &problem, &algo);
+            if let Some(id) = want_str(&v, "id")? {
+                p.id = id;
+            }
+            if let Some(tenant) = want_str(&v, "tenant")? {
+                if tenant.is_empty() {
+                    return Err("'tenant' must not be empty".into());
+                }
+                p.tenant = tenant;
+            }
+            if let Some(scale) = want_f64(&v, "scale")? {
+                p.scale = scale;
+            }
+            p.graph_seed = want_u64(&v, "graph_seed")?;
+            if let Some(arch) = want_str(&v, "arch")? {
+                p.arch = arch;
+            }
+            if let Some(frontier) = want_str(&v, "frontier")? {
+                p.frontier = frontier;
+            }
+            if let Some(seed) = want_u64(&v, "seed")? {
+                p.seed = seed;
+            }
+            p.threads = want_u64(&v, "threads")?.map(|t| t as usize);
+            p.deadline_ms = want_u64(&v, "deadline_ms")?;
+            p.want_solution = want_bool(&v, "want_solution")?.unwrap_or(false);
+            p.debug_sleep_ms = want_u64(&v, "debug_sleep_ms")?.unwrap_or(0);
+            // Fail malformed solver/arch/frontier fields at parse time so
+            // the client gets a bad_request, not a failed job.
+            p.to_job_spec()?;
+            Ok(Request::Solve(Box::new(p)))
+        }
+        "stats" => Ok(Request::Stats),
+        "ping" => Ok(Request::Ping),
+        "cancel" => {
+            let id = want_str(&v, "id")?.ok_or("cancel is missing 'id'")?;
+            Ok(Request::Cancel { id })
+        }
+        "shutdown" => Ok(Request::Shutdown),
+        other => Err(format!(
+            "unknown op '{other}' (expected solve, stats, ping, cancel, or shutdown)"
+        )),
+    }
+}
+
+fn id_prefix(id: &str) -> String {
+    if id.is_empty() {
+        String::new()
+    } else {
+        format!("\"id\":\"{}\",", escape_json(id))
+    }
+}
+
+/// Response for a completed solve, whatever its outcome. `queue_ms` is the
+/// time spent waiting for a worker slot.
+pub fn solve_response_json(
+    id: &str,
+    record: &JobRecord,
+    queue_ms: f64,
+    want_solution: bool,
+) -> String {
+    let mut s = format!("{{{}", id_prefix(id));
+    match &record.outcome {
+        JobOutcome::Ok => s += "\"status\":\"ok\"",
+        JobOutcome::TimedOut => s += "\"status\":\"timeout\"",
+        JobOutcome::Cancelled => s += "\"status\":\"cancelled\"",
+        JobOutcome::Failed(_) => s += "\"status\":\"error\",\"code\":\"failed\"",
+    }
+    s += &format!(",\"detail\":\"{}\"", escape_json(&record.detail));
+    s += &format!(",\"graph\":\"{}\"", escape_json(&record.graph));
+    s += &format!(",\"config\":\"{}\"", escape_json(&record.config));
+    s += &format!(",\"graph_cached\":{}", record.graph_cached);
+    match record.decomp_cached {
+        Some(b) => s += &format!(",\"decomp_cached\":{b}"),
+        None => s += ",\"decomp_cached\":null",
+    }
+    s += &format!(",\"decompose_ms\":{:.3}", record.decompose_ms);
+    s += &format!(",\"solve_ms\":{:.3}", record.solve_ms);
+    s += &format!(",\"wall_ms\":{:.3}", record.wall_ms);
+    s += &format!(",\"queue_ms\":{queue_ms:.3}");
+    if want_solution {
+        match &record.solution {
+            Some(solution) => {
+                s += &format!(",\"solution\":\"{}\"", escape_json(&solution.render()));
+            }
+            None => s += ",\"solution\":null",
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// A typed failure: `status: error` plus a machine-readable `code`
+/// (`bad_request`, `failed`, `shutting_down`).
+pub fn error_response_json(id: &str, code: &str, detail: &str) -> String {
+    format!(
+        "{{{}\"status\":\"error\",\"code\":\"{}\",\"detail\":\"{}\"}}",
+        id_prefix(id),
+        escape_json(code),
+        escape_json(detail)
+    )
+}
+
+/// Admission-control rejection: the bounded queue is full.
+pub fn overloaded_response_json(id: &str, queue_depth: usize, queue_cap: usize) -> String {
+    format!(
+        "{{{}\"status\":\"overloaded\",\"detail\":\"queue full ({queue_depth}/{queue_cap})\"}}",
+        id_prefix(id)
+    )
+}
+
+/// Queued-too-long / abandoned-at-deadline rejection.
+pub fn timeout_response_json(id: &str, detail: &str) -> String {
+    format!(
+        "{{{}\"status\":\"timeout\",\"detail\":\"{}\"}}",
+        id_prefix(id),
+        escape_json(detail)
+    )
+}
+
+/// Cancellation acknowledgement for a request that never ran.
+pub fn cancelled_response_json(id: &str, detail: &str) -> String {
+    format!(
+        "{{{}\"status\":\"cancelled\",\"detail\":\"{}\"}}",
+        id_prefix(id),
+        escape_json(detail)
+    )
+}
+
+/// Plain `ok` acknowledgement for control ops (`ping`, `shutdown`).
+pub fn ack_response_json(op: &str) -> String {
+    format!("{{\"status\":\"ok\",\"op\":\"{}\"}}", escape_json(op))
+}
+
+/// Acknowledgement for a `cancel` op: whether the id was found in flight.
+pub fn cancel_ack_json(id: &str, found: bool) -> String {
+    format!(
+        "{{\"status\":\"ok\",\"op\":\"cancel\",\"id\":\"{}\",\"found\":{found}}}",
+        escape_json(id)
+    )
+}
+
+/// One parsed response line, with typed accessors over the raw document.
+#[derive(Debug, Clone)]
+pub struct Reply {
+    /// The parsed response document.
+    pub raw: JsonValue,
+}
+
+impl Reply {
+    /// Parse one response line.
+    pub fn parse(line: &str) -> Result<Reply, String> {
+        let raw = parse_json_value(line).map_err(|e| format!("invalid response JSON: {e}"))?;
+        if raw.as_obj().is_none() {
+            return Err("response must be a JSON object".into());
+        }
+        Ok(Reply { raw })
+    }
+
+    /// The `status` field ("" when absent).
+    pub fn status(&self) -> &str {
+        self.raw
+            .get("status")
+            .and_then(|v| v.as_str())
+            .unwrap_or("")
+    }
+
+    /// The echoed request id ("" when absent).
+    pub fn id(&self) -> &str {
+        self.raw.get("id").and_then(|v| v.as_str()).unwrap_or("")
+    }
+
+    /// A string field.
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        self.raw.get(key).and_then(|v| v.as_str())
+    }
+
+    /// A numeric field.
+    pub fn num_field(&self, key: &str) -> Option<f64> {
+        self.raw.get(key).and_then(|v| v.as_f64())
+    }
+
+    /// A boolean field.
+    pub fn bool_field(&self, key: &str) -> Option<bool> {
+        match self.raw.get(key) {
+            Some(JsonValue::Bool(b)) => Some(*b),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Solver;
+    use sb_core::matching::MmAlgorithm;
+
+    #[test]
+    fn solve_roundtrips_through_json() {
+        let mut p = SolveParams::new("gen:lp1", "mm", "rand:4");
+        p.id = "r7".into();
+        p.tenant = "team-a".into();
+        p.scale = 0.25;
+        p.graph_seed = Some(9);
+        p.seed = 3;
+        p.threads = Some(2);
+        p.deadline_ms = Some(1500);
+        p.want_solution = true;
+        let parsed = parse_request(&p.to_json()).unwrap();
+        assert_eq!(parsed, Request::Solve(Box::new(p.clone())));
+        let job = p.to_job_spec().unwrap();
+        assert_eq!(job.solver, Solver::Mm(MmAlgorithm::Rand { partitions: 4 }));
+        assert_eq!(job.label, "r7");
+        assert_eq!(job.scale, 0.25);
+        assert_eq!(job.graph_seed, Some(9));
+        assert_eq!(job.threads, Some(2));
+        assert_eq!(job.timeout_ms, None, "deadline is applied at dequeue");
+    }
+
+    #[test]
+    fn control_ops_parse() {
+        assert_eq!(parse_request(r#"{"op":"ping"}"#).unwrap(), Request::Ping);
+        assert_eq!(parse_request(r#"{"op":"stats"}"#).unwrap(), Request::Stats);
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown"}"#).unwrap(),
+            Request::Shutdown
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"cancel","id":"r1"}"#).unwrap(),
+            Request::Cancel { id: "r1".into() }
+        );
+    }
+
+    #[test]
+    fn malformed_requests_get_typed_details() {
+        let cases = [
+            ("not json at all", "invalid JSON"),
+            ("[1,2]", "must be a JSON object"),
+            (r#"{"graph":"gen:lp1"}"#, "missing 'op'"),
+            (r#"{"op":"quux"}"#, "unknown op 'quux'"),
+            (
+                r#"{"op":"solve","problem":"mm","algo":"bicc"}"#,
+                "missing 'graph'",
+            ),
+            (
+                r#"{"op":"solve","graph":"gen:lp1","problem":"mm","algo":"bicc","bogus":1}"#,
+                "unknown key 'bogus'",
+            ),
+            (
+                r#"{"op":"solve","graph":"gen:lp1","problem":"mm","algo":"bicc","seed":"x"}"#,
+                "'seed' must be a non-negative integer",
+            ),
+            (
+                r#"{"op":"solve","graph":"gen:lp1","problem":"mm","algo":"bicc","seed":9610570636375330354}"#,
+                "lose precision",
+            ),
+            (
+                r#"{"op":"solve","graph":"gen:lp1","problem":"lp","algo":"bicc"}"#,
+                "unknown problem",
+            ),
+            (
+                r#"{"op":"solve","graph":"gen:lp1","problem":"mm","algo":"bicc","arch":"tpu"}"#,
+                "unknown arch",
+            ),
+            (r#"{"op":"cancel"}"#, "missing 'id'"),
+        ];
+        for (line, needle) in cases {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line} → {err}");
+        }
+    }
+
+    #[test]
+    fn responses_parse_back_with_typed_fields() {
+        let record = JobRecord {
+            label: "r1".into(),
+            graph: "gen:lp1@0.05#42".into(),
+            config: "mm-rand:4@cpu/compact".into(),
+            seed: 11,
+            outcome: JobOutcome::Ok,
+            detail: "matching of 3 edges".into(),
+            graph_cached: true,
+            decomp_cached: Some(true),
+            decompose_ms: 0.0,
+            solve_ms: 1.25,
+            wall_ms: 1.5,
+            fresh_wall_ms: None,
+            solution: Some(crate::Solution::Mate(vec![1, 0, 3, 2])),
+        };
+        let reply = Reply::parse(&solve_response_json("r1", &record, 0.5, true)).unwrap();
+        assert_eq!(reply.status(), "ok");
+        assert_eq!(reply.id(), "r1");
+        assert_eq!(reply.bool_field("graph_cached"), Some(true));
+        assert_eq!(reply.bool_field("decomp_cached"), Some(true));
+        assert_eq!(reply.num_field("queue_ms"), Some(0.5));
+        assert_eq!(reply.str_field("solution"), Some("0 1\n2 3\n"));
+
+        let reply = Reply::parse(&error_response_json("x", "bad_request", "nope")).unwrap();
+        assert_eq!(reply.status(), "error");
+        assert_eq!(reply.str_field("code"), Some("bad_request"));
+        let reply = Reply::parse(&overloaded_response_json("", 8, 8)).unwrap();
+        assert_eq!(reply.status(), "overloaded");
+        assert_eq!(reply.id(), "");
+        let reply = Reply::parse(&cancel_ack_json("r9", true)).unwrap();
+        assert_eq!(reply.bool_field("found"), Some(true));
+    }
+}

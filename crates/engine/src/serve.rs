@@ -1,0 +1,748 @@
+//! `sbreak serve` — a resident multi-tenant solve service.
+//!
+//! One process holds one [`SharedEngine`] (graph + decomposition LRUs with
+//! per-tenant byte quotas) and accepts JSONL requests over TCP (see
+//! [`crate::protocol`]). Connections are cheap reader threads; solves are
+//! executed by a fixed pool of `workers` threads fed from a **bounded**
+//! queue — when the queue is full the request is rejected immediately with
+//! an `overloaded` response (admission control) instead of building an
+//! unbounded backlog. Deadlines are measured from admission, so a request
+//! that waited out its budget in the queue is answered `timeout` without
+//! ever spawning a solve; cancellation releases the coordinator exactly
+//! like the batch watchdog does, so neither path can poison the caches.
+//!
+//! The `stats` op exports the sb-metrics cache counters, per-tenant byte
+//! usage, and sb-trace per-phase latency percentiles aggregated across all
+//! completed solves; its shape is pinned by the golden-output tests.
+//!
+//! Everything here is std-only networking: loopback TCP, line-buffered,
+//! no external dependencies, so the whole service builds offline.
+
+use crate::cache::CacheStats;
+use crate::engine::EngineConfig;
+use crate::jobs::JobSpec;
+use crate::protocol::{
+    ack_response_json, cancel_ack_json, cancelled_response_json, error_response_json,
+    overloaded_response_json, parse_request, solve_response_json, timeout_response_json, Reply,
+    Request, SolveParams,
+};
+use crate::session::{CancelToken, SharedEngine};
+use sb_trace::{span_durations, TraceSink};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// How long blocking reads and drains wait before re-checking the
+/// shutdown flag.
+const POLL: Duration = Duration::from_millis(100);
+
+/// Server construction parameters.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port 0 picks a free port (see [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Solve worker threads. Connections beyond this share the pool.
+    pub workers: usize,
+    /// Bound on the admission queue; a solve arriving with the queue full
+    /// is answered `overloaded` immediately.
+    pub queue_cap: usize,
+    /// Configuration for the shared engine (cache caps, tenant quotas).
+    pub engine: EngineConfig,
+    /// Deadline applied to solves that don't carry their own
+    /// `deadline_ms`. `None` = wait forever.
+    pub default_deadline_ms: Option<u64>,
+    /// Thread pin applied to solves that don't carry their own `threads`.
+    pub default_threads: Option<usize>,
+    /// Honor the `debug_sleep_ms` test hook. Integration tests only;
+    /// a production server rejects the field as a bad request.
+    pub allow_debug: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_cap: 64,
+            engine: EngineConfig::default(),
+            default_deadline_ms: None,
+            default_threads: None,
+            allow_debug: false,
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A connection's write half, shared between its reader thread (control
+/// responses) and whichever worker finishes its solves. One response is
+/// one line; the mutex keeps lines whole under interleaving.
+struct ConnWriter {
+    stream: Mutex<TcpStream>,
+}
+
+impl ConnWriter {
+    fn send(&self, line: &str) {
+        let mut s = lock(&self.stream);
+        // A dead peer is not the server's problem: the solve already
+        // committed (or not) before we got here.
+        let _ = s.write_all(line.as_bytes());
+        let _ = s.write_all(b"\n");
+        let _ = s.flush();
+    }
+}
+
+/// One admitted solve waiting for a worker.
+struct QueuedJob {
+    writer: Arc<ConnWriter>,
+    conn_id: u64,
+    params: SolveParams,
+    job: JobSpec,
+    enqueued: Instant,
+    deadline: Option<Duration>,
+    cancel: CancelToken,
+}
+
+/// Monotone response counters for the `stats` op.
+#[derive(Default)]
+struct Counts {
+    received: AtomicU64,
+    ok: AtomicU64,
+    failed: AtomicU64,
+    bad_request: AtomicU64,
+    overloaded: AtomicU64,
+    timeout: AtomicU64,
+    cancelled: AtomicU64,
+}
+
+/// Latency samples aggregated across completed solves.
+#[derive(Default)]
+struct LatencyAgg {
+    /// End-to-end wall clock of `ok` solves, milliseconds.
+    wall_ms: Vec<f64>,
+    /// Per-phase durations from each solve's trace, microseconds.
+    phases_us: BTreeMap<String, Vec<u64>>,
+}
+
+const MAX_SAMPLES: usize = 65_536;
+
+/// Global-registry handles for the serve surface (`sbreak profile`).
+/// All `Runtime`: arrival order and queue occupancy depend on scheduling.
+struct ServeMetrics {
+    requests: sb_metrics::Counter,
+    overloaded: sb_metrics::Counter,
+    timeouts: sb_metrics::Counter,
+    queue_depth: sb_metrics::Gauge,
+}
+
+impl ServeMetrics {
+    fn new() -> ServeMetrics {
+        use sb_metrics::Class::Runtime;
+        let r = sb_metrics::global();
+        ServeMetrics {
+            requests: r.counter("sb_serve_requests", Runtime),
+            overloaded: r.counter("sb_serve_overloaded", Runtime),
+            timeouts: r.counter("sb_serve_timeouts", Runtime),
+            queue_depth: r.gauge("sb_serve_queue_depth", Runtime),
+        }
+    }
+}
+
+/// State shared by the listener, connection readers, and solve workers.
+struct Shared {
+    cfg: ServeConfig,
+    addr: SocketAddr,
+    engine: SharedEngine,
+    queue: Mutex<VecDeque<QueuedJob>>,
+    available: Condvar,
+    shutdown: AtomicBool,
+    counts: Counts,
+    latency: Mutex<LatencyAgg>,
+    /// Cancel tokens for in-flight solves, keyed by `(connection, id)` so
+    /// a `cancel` op can only reach requests from its own connection.
+    pending: Mutex<HashMap<(u64, String), CancelToken>>,
+    conns: Mutex<Vec<JoinHandle<()>>>,
+    metrics: ServeMetrics,
+    started: Instant,
+}
+
+impl Shared {
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Trip the shutdown flag once: wake every worker and kick the
+    /// listener out of `accept` with a throwaway self-connection.
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::AcqRel) {
+            self.available.notify_all();
+            let _ = TcpStream::connect(self.addr);
+        }
+    }
+
+    fn clear_pending(&self, conn_id: u64, id: &str) {
+        if !id.is_empty() {
+            lock(&self.pending).remove(&(conn_id, id.to_string()));
+        }
+    }
+
+    /// Sleep in shutdown/cancel-aware slices (the `debug_sleep_ms` hook).
+    fn debug_sleep(&self, ms: u64, cancel: &CancelToken) {
+        let until = Instant::now() + Duration::from_millis(ms);
+        loop {
+            if self.shutting_down() || cancel.is_cancelled() {
+                return;
+            }
+            let left = until.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return;
+            }
+            thread::sleep(left.min(Duration::from_millis(10)));
+        }
+    }
+
+    /// Admit or reject one solve. Called on the connection thread, so it
+    /// must never block on anything but the queue mutex.
+    fn admit(self: &Arc<Shared>, writer: &Arc<ConnWriter>, conn_id: u64, p: SolveParams) {
+        self.counts.received.fetch_add(1, Ordering::Relaxed);
+        self.metrics.requests.inc();
+        if p.debug_sleep_ms > 0 && !self.cfg.allow_debug {
+            self.counts.bad_request.fetch_add(1, Ordering::Relaxed);
+            writer.send(&error_response_json(
+                &p.id,
+                "bad_request",
+                "debug_sleep_ms requires a debug-enabled server",
+            ));
+            return;
+        }
+        // Parsed once already (protocol rejects malformed specs), so this
+        // cannot fail here.
+        let mut job = match p.to_job_spec() {
+            Ok(job) => job,
+            Err(e) => {
+                self.counts.bad_request.fetch_add(1, Ordering::Relaxed);
+                writer.send(&error_response_json(&p.id, "bad_request", &e));
+                return;
+            }
+        };
+        if job.threads.is_none() {
+            job.threads = self.cfg.default_threads;
+        }
+        let deadline = p
+            .deadline_ms
+            .or(self.cfg.default_deadline_ms)
+            .map(Duration::from_millis);
+        let mut q = lock(&self.queue);
+        if self.shutting_down() {
+            writer.send(&error_response_json(
+                &p.id,
+                "shutting_down",
+                "server is shutting down",
+            ));
+            return;
+        }
+        if q.len() >= self.cfg.queue_cap {
+            drop(q);
+            self.counts.overloaded.fetch_add(1, Ordering::Relaxed);
+            self.metrics.overloaded.inc();
+            writer.send(&overloaded_response_json(
+                &p.id,
+                self.cfg.queue_cap,
+                self.cfg.queue_cap,
+            ));
+            return;
+        }
+        let cancel = CancelToken::new();
+        if !p.id.is_empty() {
+            lock(&self.pending).insert((conn_id, p.id.clone()), cancel.clone());
+        }
+        q.push_back(QueuedJob {
+            writer: writer.clone(),
+            conn_id,
+            params: p,
+            job,
+            enqueued: Instant::now(),
+            deadline,
+            cancel,
+        });
+        self.metrics.queue_depth.inc();
+        drop(q);
+        self.available.notify_one();
+    }
+
+    /// Worker side: run one dequeued job end to end and answer its
+    /// connection.
+    fn process(&self, item: QueuedJob) {
+        self.metrics.queue_depth.dec();
+        let QueuedJob {
+            writer,
+            conn_id,
+            params,
+            job,
+            enqueued,
+            deadline,
+            cancel,
+        } = item;
+        let done = |counter: &AtomicU64, line: String| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            writer.send(&line);
+            self.clear_pending(conn_id, &params.id);
+        };
+        if self.shutting_down() {
+            return done(
+                &self.counts.failed,
+                error_response_json(&params.id, "shutting_down", "server is shutting down"),
+            );
+        }
+        if cancel.is_cancelled() {
+            return done(
+                &self.counts.cancelled,
+                cancelled_response_json(&params.id, "cancelled while queued"),
+            );
+        }
+        if params.debug_sleep_ms > 0 {
+            self.debug_sleep(params.debug_sleep_ms, &cancel);
+        }
+        // The deadline spans queue wait + solve: hand the session only
+        // what's left, and skip the solve entirely if nothing is.
+        let waited = enqueued.elapsed();
+        let remaining = deadline.map(|d| d.saturating_sub(waited));
+        if remaining.as_ref().is_some_and(|r| r.is_zero()) {
+            self.metrics.timeouts.inc();
+            return done(
+                &self.counts.timeout,
+                timeout_response_json(
+                    &params.id,
+                    &format!("deadline expired after {} ms in queue", waited.as_millis()),
+                ),
+            );
+        }
+        let sink = Arc::new(TraceSink::enabled());
+        let session = self.engine.session(&params.tenant);
+        let record = session.run_job(&job, Some(sink.clone()), Some(&cancel), remaining);
+        let queue_ms = waited.as_secs_f64() * 1e3;
+        let counter = match &record.outcome {
+            crate::JobOutcome::Ok => {
+                let mut agg = lock(&self.latency);
+                if agg.wall_ms.len() < MAX_SAMPLES {
+                    agg.wall_ms.push(record.wall_ms);
+                }
+                for (phase, us) in span_durations(&sink.events()) {
+                    let samples = agg.phases_us.entry(phase).or_default();
+                    if samples.len() < MAX_SAMPLES {
+                        samples.push(us);
+                    }
+                }
+                &self.counts.ok
+            }
+            crate::JobOutcome::TimedOut => {
+                self.metrics.timeouts.inc();
+                &self.counts.timeout
+            }
+            crate::JobOutcome::Cancelled => &self.counts.cancelled,
+            crate::JobOutcome::Failed(_) => &self.counts.failed,
+        };
+        done(
+            counter,
+            solve_response_json(&params.id, &record, queue_ms, params.want_solution),
+        );
+    }
+
+    /// Render the `stats` response. Values change run to run; the *shape*
+    /// is pinned by the golden tests.
+    fn stats_json(&self) -> String {
+        let c = &self.counts;
+        let count = |a: &AtomicU64| a.load(Ordering::Relaxed);
+        let (graph_stats, decomp_stats, tenants) = {
+            let engine = self.engine.lock();
+            let mut tenants: BTreeMap<String, (u64, u64)> = BTreeMap::new();
+            for (tenant, bytes) in engine.graphs.tenant_usage() {
+                tenants.entry(tenant).or_default().0 = bytes;
+            }
+            for (tenant, bytes) in engine.decomps.tenant_usage() {
+                tenants.entry(tenant).or_default().1 = bytes;
+            }
+            (
+                engine.graph_cache_stats(),
+                engine.decomp_cache_stats(),
+                tenants,
+            )
+        };
+        let cache = |s: &CacheStats| {
+            format!(
+                "{{\"hits\":{},\"misses\":{},\"inserts\":{},\"evictions\":{},\"hit_rate\":{:.4}}}",
+                s.hits,
+                s.misses,
+                s.inserts,
+                s.evictions,
+                s.hit_rate()
+            )
+        };
+        let tenants = tenants
+            .iter()
+            .map(|(t, (g, d))| {
+                format!(
+                    "{{\"tenant\":\"{}\",\"graph_bytes\":{g},\"decomp_bytes\":{d}}}",
+                    sb_metrics::escape_json(t)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let agg = lock(&self.latency);
+        let phases = agg
+            .phases_us
+            .iter()
+            .map(|(phase, samples)| {
+                let mut sorted = samples.clone();
+                sorted.sort_unstable();
+                format!(
+                    "\"{}\":{{\"count\":{},\"p50_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+                    sb_metrics::escape_json(phase),
+                    sorted.len(),
+                    percentile_u64(&sorted, 0.50),
+                    percentile_u64(&sorted, 0.99),
+                    sorted.last().copied().unwrap_or(0)
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(",");
+        let mut wall = agg.wall_ms.clone();
+        drop(agg);
+        wall.sort_by(|a, b| a.total_cmp(b));
+        format!(
+            "{{\"status\":\"ok\",\"op\":\"stats\",\"uptime_ms\":{},\
+             \"workers\":{},\"queue_cap\":{},\"queue_depth\":{},\
+             \"requests\":{{\"received\":{},\"ok\":{},\"error\":{},\"bad_request\":{},\
+             \"overloaded\":{},\"timeout\":{},\"cancelled\":{}}},\
+             \"solve_wall_ms\":{{\"count\":{},\"p50\":{:.3},\"p99\":{:.3}}},\
+             \"graph_cache\":{},\"decomp_cache\":{},\
+             \"tenants\":[{}],\"phase_latency_us\":{{{}}}}}",
+            self.started.elapsed().as_millis(),
+            self.cfg.workers,
+            self.cfg.queue_cap,
+            lock(&self.queue).len(),
+            count(&c.received),
+            count(&c.ok),
+            count(&c.failed),
+            count(&c.bad_request),
+            count(&c.overloaded),
+            count(&c.timeout),
+            count(&c.cancelled),
+            wall.len(),
+            percentile_f64(&wall, 0.50),
+            percentile_f64(&wall, 0.99),
+            cache(&graph_stats),
+            cache(&decomp_stats),
+            tenants,
+            phases,
+        )
+    }
+}
+
+/// Nearest-rank percentile over a sorted slice (0 for empty input).
+pub fn percentile_u64(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Nearest-rank percentile over a sorted slice (0.0 for empty input).
+pub fn percentile_f64(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// The serve daemon. [`Server::spawn`] binds, starts the worker pool and
+/// listener, and returns a [`ServerHandle`].
+pub struct Server;
+
+impl Server {
+    /// Bind `cfg.addr` and start serving. Returns once the listener is
+    /// accepting; solves run until [`ServerHandle::shutdown`] or a client
+    /// `shutdown` op.
+    pub fn spawn(cfg: ServeConfig) -> io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&cfg.addr)?;
+        let addr = listener.local_addr()?;
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            engine: SharedEngine::new(cfg.engine),
+            cfg,
+            addr,
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            counts: Counts::default(),
+            latency: Mutex::new(LatencyAgg::default()),
+            pending: Mutex::new(HashMap::new()),
+            conns: Mutex::new(Vec::new()),
+            metrics: ServeMetrics::new(),
+            started: Instant::now(),
+        });
+        let worker_handles = (0..workers)
+            .map(|_| {
+                let shared = shared.clone();
+                thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        let listener_handle = {
+            let shared = shared.clone();
+            thread::spawn(move || listen_loop(&shared, &listener))
+        };
+        Ok(ServerHandle {
+            addr,
+            shared,
+            listener: Some(listener_handle),
+            workers: worker_handles,
+        })
+    }
+}
+
+/// A running server: its bound address and the levers to stop it.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    listener: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The shared engine, for inspecting cache state in tests.
+    pub fn engine(&self) -> SharedEngine {
+        self.shared.engine.clone()
+    }
+
+    /// Trip shutdown: stop accepting, drain the queue with
+    /// `shutting_down` responses, stop the workers. Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Block until the server stops — via [`ServerHandle::shutdown`] or a
+    /// client `shutdown` op — then join every thread.
+    pub fn join(mut self) {
+        if let Some(listener) = self.listener.take() {
+            let _ = listener.join();
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        let conns = std::mem::take(&mut *lock(&self.shared.conns));
+        for h in conns {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    loop {
+        let mut q = lock(&shared.queue);
+        let job = loop {
+            if let Some(job) = q.pop_front() {
+                break Some(job);
+            }
+            if shared.shutting_down() {
+                break None;
+            }
+            q = shared
+                .available
+                .wait(q)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        };
+        drop(q);
+        match job {
+            Some(job) => shared.process(job),
+            None => return,
+        }
+    }
+}
+
+fn listen_loop(shared: &Arc<Shared>, listener: &TcpListener) {
+    let mut next_conn = 0u64;
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutting_down() {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutting_down() {
+            // The wake-up kick from begin_shutdown, or a late client.
+            return;
+        }
+        let conn_id = next_conn;
+        next_conn += 1;
+        let shared2 = shared.clone();
+        let handle = thread::spawn(move || serve_connection(&shared2, stream, conn_id));
+        lock(&shared.conns).push(handle);
+    }
+}
+
+/// Read JSONL requests off one connection until EOF or shutdown.
+fn serve_connection(shared: &Arc<Shared>, stream: TcpStream, conn_id: u64) {
+    // A finite read timeout lets the reader observe shutdown without a
+    // request arriving. No Nagle: responses are single small lines and
+    // the client is blocked on them.
+    let _ = stream.set_read_timeout(Some(POLL));
+    let _ = stream.set_nodelay(true);
+    let writer = match stream.try_clone() {
+        Ok(w) => Arc::new(ConnWriter {
+            stream: Mutex::new(w),
+        }),
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    loop {
+        if shared.shutting_down() {
+            break;
+        }
+        match reader.read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {
+                handle_line(shared, &writer, conn_id, line.trim());
+                line.clear();
+            }
+            // Timed out mid-wait (or mid-line: whatever was read stays in
+            // `line` and the next read appends to it — framing holds).
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => continue,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+    // The peer is gone (or we're stopping): release any of its solves
+    // still queued or running. Workers discard cancelled work unsent.
+    let mut pending = lock(&shared.pending);
+    pending.retain(|(cid, _), token| {
+        if *cid == conn_id {
+            token.cancel();
+            false
+        } else {
+            true
+        }
+    });
+}
+
+fn handle_line(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, conn_id: u64, line: &str) {
+    if line.is_empty() {
+        return;
+    }
+    match parse_request(line) {
+        Err(detail) => {
+            // Best-effort id echo so a pipelining client can correlate
+            // the rejection.
+            let id = sb_metrics::parse_json_value(line)
+                .ok()
+                .and_then(|v| v.get("id").and_then(|i| i.as_str().map(String::from)))
+                .unwrap_or_default();
+            shared.counts.bad_request.fetch_add(1, Ordering::Relaxed);
+            writer.send(&error_response_json(&id, "bad_request", &detail));
+        }
+        Ok(Request::Ping) => writer.send(&ack_response_json("ping")),
+        Ok(Request::Stats) => writer.send(&shared.stats_json()),
+        Ok(Request::Cancel { id }) => {
+            let found = lock(&shared.pending)
+                .get(&(conn_id, id.clone()))
+                .map(|token| token.cancel())
+                .is_some();
+            writer.send(&cancel_ack_json(&id, found));
+        }
+        Ok(Request::Shutdown) => {
+            writer.send(&ack_response_json("shutdown"));
+            shared.begin_shutdown();
+        }
+        Ok(Request::Solve(p)) => shared.admit(writer, conn_id, *p),
+    }
+}
+
+/// A blocking JSONL client for [`Server`] — used by `sbreak loadgen`, the
+/// integration tests, and the fuzz serve axis.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connect to a serve daemon.
+    pub fn connect(addr: SocketAddr) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Send one raw request line.
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Block for the next response line.
+    pub fn recv(&mut self) -> Result<Reply, String> {
+        let mut line = String::new();
+        loop {
+            match self.reader.read_line(&mut line) {
+                Ok(0) => return Err("server closed the connection".into()),
+                Ok(_) => {
+                    let trimmed = line.trim();
+                    if trimmed.is_empty() {
+                        line.clear();
+                        continue;
+                    }
+                    return Reply::parse(trimmed);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(format!("read error: {e}")),
+            }
+        }
+    }
+
+    /// Send one line and block for one response.
+    pub fn request(&mut self, line: &str) -> Result<Reply, String> {
+        self.send_line(line)
+            .map_err(|e| format!("write error: {e}"))?;
+        self.recv()
+    }
+
+    /// Run one solve to completion.
+    pub fn solve(&mut self, params: &SolveParams) -> Result<Reply, String> {
+        self.request(&params.to_json())
+    }
+
+    /// Fetch the server's statistics document.
+    pub fn stats(&mut self) -> Result<Reply, String> {
+        self.request("{\"op\":\"stats\"}")
+    }
+
+    /// Liveness round-trip.
+    pub fn ping(&mut self) -> Result<Reply, String> {
+        self.request("{\"op\":\"ping\"}")
+    }
+
+    /// Ask the server to shut down (acknowledged before it stops).
+    pub fn shutdown(&mut self) -> Result<Reply, String> {
+        self.request("{\"op\":\"shutdown\"}")
+    }
+}

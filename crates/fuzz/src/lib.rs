@@ -56,7 +56,17 @@ pub struct FuzzOptions {
     /// fresh `sb-engine` runs must be byte-identical with identical
     /// verify outcomes (see [`oracle::check_engine_case`]).
     pub engine_axis: bool,
+    /// Also run the serve axis: every [`SERVE_INTERVAL`]-th case is
+    /// routed through a resident loopback `sbreak serve` daemon as an
+    /// `inline:` graph and its solution text byte-compared against an
+    /// in-process engine (see [`oracle::check_serve_case`]).
+    pub serve_axis: bool,
 }
+
+/// One in [`SERVE_INTERVAL`] cases rides the serve axis: the wire adds
+/// real latency per case, so the sweep samples it rather than paying it
+/// everywhere.
+pub const SERVE_INTERVAL: u64 = 16;
 
 impl Default for FuzzOptions {
     fn default() -> FuzzOptions {
@@ -71,22 +81,28 @@ impl Default for FuzzOptions {
             max_counterexamples: 5,
             shrink_evals: 400,
             engine_axis: true,
+            serve_axis: true,
         }
     }
 }
 
 /// The full per-case oracle: the solver matrix cross-check, then (when
-/// enabled) the engine cached-vs-fresh axis. Used by the sweep and by the
-/// shrinker, so minimization preserves whichever axis failed.
+/// enabled) the engine cached-vs-fresh axis, then — when a daemon is
+/// supplied — the serve wire axis. Used by the sweep and by the shrinker,
+/// so minimization preserves whichever axis failed.
 fn full_check(
     g: &sb_graph::csr::Graph,
     cfg: &SolverConfig,
     seed: u64,
     opts: &FuzzOptions,
+    serve: Option<&oracle::ServeOracle>,
 ) -> Result<(), oracle::Failure> {
     oracle::check_case(g, cfg, seed, opts.wide_threads, opts.mutation)?;
     if opts.engine_axis {
         oracle::check_engine_case(g, cfg, seed, opts.mutation)?;
+    }
+    if let Some(daemon) = serve {
+        oracle::check_serve_case(g, cfg, seed, opts.mutation, daemon)?;
     }
     Ok(())
 }
@@ -161,6 +177,15 @@ pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
     };
     let mut covered = vec![false; configs.len()];
     let mut case_index = 0u64;
+    // One resident daemon serves every sampled case of the sweep; a bind
+    // failure downgrades the sweep rather than failing it.
+    let serve = if opts.serve_axis {
+        oracle::ServeOracle::spawn()
+            .map_err(|e| eprintln!("sb-fuzz: serve axis disabled: {e}"))
+            .ok()
+    } else {
+        None
+    };
 
     'sweep: for case in &suite {
         let g = case.build();
@@ -173,16 +198,19 @@ pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
                     break 'sweep;
                 }
                 let seed = hash2(opts.master_seed, case_index);
+                let serve_this = serve
+                    .as_ref()
+                    .filter(|_| case_index.is_multiple_of(SERVE_INTERVAL));
                 case_index += 1;
                 report.cases_run += 1;
                 covered[ci] = true;
 
-                let failure = match full_check(&g, cfg, seed, opts) {
+                let failure = match full_check(&g, cfg, seed, opts, serve_this) {
                     Ok(()) => continue,
                     Err(f) => f,
                 };
 
-                let cex = minimize(case, cfg, seed, failure, opts);
+                let cex = minimize(case, cfg, seed, failure, opts, serve.as_ref());
                 report.counterexamples.push(cex);
                 if report.counterexamples.len() >= opts.max_counterexamples {
                     report.truncated = true;
@@ -192,6 +220,9 @@ pub fn run_fuzz(opts: &FuzzOptions) -> FuzzReport {
         }
     }
 
+    if let Some(daemon) = serve {
+        daemon.stop();
+    }
     report.configs_covered = covered.iter().filter(|&&c| c).count();
     report.elapsed = start.elapsed();
     report
@@ -205,14 +236,18 @@ fn minimize(
     seed: u64,
     failure: Failure,
     opts: &FuzzOptions,
+    serve: Option<&oracle::ServeOracle>,
 ) -> Counterexample {
     let kind = failure.kind;
+    // Shrink attempts only pay the wire round-trip when the failure being
+    // preserved is a serve-axis failure.
+    let serve = serve.filter(|_| kind == "serve");
     let shrunk = shrink::shrink_case(
         case.n,
         &case.edges,
         |n, edges| {
             let g = sb_graph::builder::from_edge_list(n, edges);
-            matches!(full_check(&g, cfg, seed, opts), Err(f) if f.kind == kind)
+            matches!(full_check(&g, cfg, seed, opts, serve), Err(f) if f.kind == kind)
         },
         opts.shrink_evals,
     );
@@ -297,7 +332,7 @@ mod tests {
             shrink_evals: 2000,
             ..FuzzOptions::default()
         };
-        let cex = minimize(case, &cfg, 3, failure, &opts);
+        let cex = minimize(case, &cfg, 3, failure, &opts, None);
         assert_eq!(cex.orig_n, 129);
         assert_eq!(
             cex.shrunk.n, 2,

@@ -50,7 +50,8 @@ pub enum Mutation {
 /// One contract violation found by the oracle.
 #[derive(Debug, Clone)]
 pub struct Failure {
-    /// Which check tripped: `validity`, `equality`, `accounting`, `rounds`.
+    /// Which check tripped: `validity`, `equality`, `accounting`,
+    /// `rounds`, or `serve`.
     pub kind: &'static str,
     /// Human-readable description naming the runs involved.
     pub detail: String,
@@ -340,6 +341,160 @@ pub fn check_engine_case(
     Ok(())
 }
 
+/// A resident loopback `sbreak serve` daemon shared by every serve-axis
+/// check of one fuzz sweep, so the sweep pays the bind/connect cost once
+/// and the daemon's caches accumulate real cross-case traffic.
+pub struct ServeOracle {
+    handle: sb_engine::ServerHandle,
+    client: std::sync::Mutex<sb_engine::Client>,
+}
+
+impl ServeOracle {
+    /// Bind a loopback daemon with default serve settings.
+    pub fn spawn() -> Result<ServeOracle, String> {
+        let handle = sb_engine::Server::spawn(sb_engine::ServeConfig::default())
+            .map_err(|e| format!("cannot spawn serve oracle: {e}"))?;
+        let client = sb_engine::Client::connect(handle.addr())
+            .map_err(|e| format!("cannot connect to serve oracle: {e}"))?;
+        Ok(ServeOracle {
+            handle,
+            client: std::sync::Mutex::new(client),
+        })
+    }
+
+    /// Shut the daemon down and join its threads.
+    pub fn stop(self) {
+        self.handle.shutdown();
+        drop(self.client);
+        self.handle.join();
+    }
+}
+
+/// Recover the undirected edge list from a CSR graph (each edge once,
+/// lower endpoint first) — the form `inline:` graph sources carry.
+fn edge_list(g: &Graph) -> Vec<(u32, u32)> {
+    let mut edges = Vec::new();
+    for u in 0..g.num_vertices() as u32 {
+        for &v in g.neighbors(u) {
+            if u < v {
+                edges.push((u, v));
+            }
+        }
+    }
+    edges
+}
+
+/// The algo string in `sbreak` wire form (`rand:3`, `degk:2`, `bicc`, …).
+fn wire_algo(cfg: &SolverConfig) -> String {
+    let label = cfg.label();
+    let algo = label
+        .split_once('@')
+        .and_then(|(body, _)| body.split_once('-'))
+        .map(|(_, algo)| algo)
+        .unwrap_or_default();
+    if let Some(p) = algo.strip_prefix("rand") {
+        format!("rand:{p}")
+    } else if let Some(k) = algo.strip_prefix("degk") {
+        format!("degk:{k}")
+    } else {
+        algo.to_string()
+    }
+}
+
+/// The serve axis: route the case through the loopback daemon as an
+/// `inline:` graph with `want_solution`, and byte-compare the returned
+/// solution text against an in-process cap-0 engine running the *same*
+/// `JobSpec`. Any divergence — outcome, detail, or a single solution
+/// byte — is a `serve` failure: the wire protocol, admission pipeline,
+/// and shared caches must be invisible to the solver contract.
+///
+/// [`Mutation::CorruptMatching`] corrupts the in-process reference before
+/// the comparison, so the planted-bug self-test covers this axis too.
+pub fn check_serve_case(
+    g: &Graph,
+    cfg: &SolverConfig,
+    seed: u64,
+    mutation: Mutation,
+    serve: &ServeOracle,
+) -> Result<(), Failure> {
+    use sb_engine::protocol::SolveParams;
+    use sb_engine::{Engine, GraphSource, Solution};
+
+    let fail = |detail: String| Failure {
+        kind: "serve",
+        detail,
+    };
+    // JSON numbers are f64 on both ends of the wire, and the protocol
+    // rejects integers above 2^53-1 rather than rounding them; fold the
+    // fuzzer's full-width seed into the representable range.
+    let seed = seed & sb_engine::protocol::MAX_SAFE_JSON_INT;
+    let mut params = SolveParams::new(
+        &GraphSource::encode_inline(g.num_vertices(), &edge_list(g)),
+        cfg.family(),
+        &wire_algo(cfg),
+    );
+    params.id = format!("fuzz-{}-{seed}", cfg.label());
+    params.arch = cfg.arch().to_string();
+    params.seed = seed;
+    params.want_solution = true;
+    let job = params
+        .to_job_spec()
+        .map_err(|e| fail(format!("config does not cross the wire: {e}")))?;
+
+    let mut fresh = Engine::with_cap(0);
+    let mut reference = fresh.run_job(&job, None);
+    if mutation == Mutation::CorruptMatching {
+        if let Some(Solution::Mate(mate)) = &mut reference.solution {
+            if let Some(v) = mate.iter().position(|&m| m != INVALID) {
+                let m = mate[v] as usize;
+                mate[v] = INVALID;
+                mate[m] = INVALID;
+            }
+        }
+    }
+
+    let reply = lock_client(&serve.client)
+        .solve(&params)
+        .map_err(|e| fail(format!("daemon round-trip failed: {e}")))?;
+    if reply.status() != "ok" {
+        return Err(fail(format!(
+            "daemon answered {:?} ({:?}) but the in-process engine ran \
+             to {:?}",
+            reply.status(),
+            reply.str_field("detail").unwrap_or_default(),
+            reference.outcome
+        )));
+    }
+    let expected = reference
+        .solution
+        .as_ref()
+        .map(|s| s.render())
+        .unwrap_or_default();
+    let served = reply.str_field("solution").unwrap_or_default();
+    if served != expected {
+        return Err(fail(format!(
+            "served solution differs from the in-process engine \
+             ({} served bytes vs {} expected)",
+            served.len(),
+            expected.len()
+        )));
+    }
+    if reply.str_field("detail") != Some(reference.detail.as_str()) {
+        return Err(fail(format!(
+            "served detail {:?} differs from in-process detail {:?}",
+            reply.str_field("detail"),
+            reference.detail
+        )));
+    }
+    Ok(())
+}
+
+fn lock_client(
+    m: &std::sync::Mutex<sb_engine::Client>,
+) -> std::sync::MutexGuard<'_, sb_engine::Client> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,5 +556,31 @@ mod tests {
         let g = chorded_graph();
         let cfg = SolverConfig::Mm(MmAlgorithm::Baseline, Arch::Cpu);
         check_engine_case(&g, &cfg, 9, Mutation::StaleDecompCache).unwrap();
+    }
+
+    #[test]
+    fn serve_axis_clean_matrix_passes_through_one_daemon() {
+        // Every registered configuration crosses the wire cleanly, all
+        // through one resident daemon — cross-case cache reuse included.
+        let g = chorded_graph();
+        let daemon = ServeOracle::spawn().unwrap();
+        for cfg in SolverConfig::all() {
+            check_serve_case(&g, &cfg, 9, Mutation::None, &daemon)
+                .unwrap_or_else(|f| panic!("{}: {f}", cfg.label()));
+        }
+        daemon.stop();
+    }
+
+    #[test]
+    fn serve_axis_catches_a_diverging_solution() {
+        // Planted-bug self-test: corrupting the in-process reference must
+        // surface as a byte-level serve divergence.
+        let g = chorded_graph();
+        let daemon = ServeOracle::spawn().unwrap();
+        let cfg = SolverConfig::Mm(MmAlgorithm::Baseline, Arch::Cpu);
+        let f = check_serve_case(&g, &cfg, 9, Mutation::CorruptMatching, &daemon).unwrap_err();
+        assert_eq!(f.kind, "serve");
+        assert!(f.detail.contains("differs"), "{f}");
+        daemon.stop();
     }
 }

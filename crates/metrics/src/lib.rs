@@ -31,7 +31,7 @@
 mod json;
 mod snapshot;
 
-pub use json::{parse as parse_json_value, JsonValue};
+pub use json::{escape as escape_json, parse as parse_json_value, JsonValue};
 pub use snapshot::{HistogramSnapshot, Series, SeriesValue, Snapshot};
 
 use std::collections::BTreeMap;
@@ -135,6 +135,18 @@ impl Gauge {
     #[inline]
     pub fn add(&self, n: u64) {
         self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Raise the level by one (a connection opened, a request queued).
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Lower the level by one (saturating at zero).
+    #[inline]
+    pub fn dec(&self) {
+        self.sub(1);
     }
 
     /// Lower the level by `n` (saturating at zero).

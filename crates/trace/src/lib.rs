@@ -346,6 +346,30 @@ pub fn productive_rounds_per_phase(events: &[TraceEvent]) -> Vec<(String, u64)> 
     count_rounds_per_phase(events, |r| !r.vacuous)
 }
 
+/// Wall-clock duration of every *completed* span, as `(phase name, µs)`
+/// pairs in span-end order. This is the per-request latency feed `sbreak
+/// serve` aggregates into its `stats` response: each request records into
+/// its own sink, and the server folds these pairs into per-phase
+/// percentile summaries. Spans still open at snapshot time are skipped.
+pub fn span_durations(events: &[TraceEvent]) -> Vec<(String, u64)> {
+    let mut open: std::collections::HashMap<u32, (&str, u64)> = std::collections::HashMap::new();
+    let mut out = Vec::new();
+    for e in events {
+        match e {
+            TraceEvent::SpanStart { id, name, t_us, .. } => {
+                open.insert(*id, (name.as_str(), *t_us));
+            }
+            TraceEvent::SpanEnd { id, t_us, .. } => {
+                if let Some((name, start)) = open.remove(id) {
+                    out.push((name.to_string(), t_us.saturating_sub(start)));
+                }
+            }
+            TraceEvent::Round { .. } => {}
+        }
+    }
+    out
+}
+
 fn count_rounds_per_phase(
     events: &[TraceEvent],
     keep: impl Fn(&RoundRecord) -> bool,
@@ -468,6 +492,26 @@ mod tests {
             })
             .collect();
         assert_eq!(rounds, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn span_durations_pair_starts_with_ends() {
+        let sink = TraceSink::enabled();
+        let outer = sink.begin_span("solve").unwrap();
+        let inner = sink.begin_span("decompose").unwrap();
+        sink.end_span(inner, CounterDelta::default());
+        sink.end_span(outer, CounterDelta::default());
+        let left_open = sink.begin_span("cleanup").unwrap();
+        let _ = left_open; // never closed: must not appear
+        let durations = span_durations(&sink.events());
+        let names: Vec<&str> = durations.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            ["decompose", "solve"],
+            "end order, open spans skipped"
+        );
+        // The outer span fully contains the inner one.
+        assert!(durations[1].1 >= durations[0].1);
     }
 
     #[test]

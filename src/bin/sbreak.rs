@@ -14,6 +14,11 @@
 //! sbreak profile   <trace.jsonl> [--top K] [--metrics snapshot.json]
 //! sbreak perfdiff  <baseline.json> <candidate.json>
 //!                  [--rel-tol F] [--abs-floor F]
+//! sbreak serve     [--addr HOST:PORT] [--workers N] [--queue-cap N]
+//!                  [--cache-cap N] [--tenant-quota BYTES] [--deadline-ms T]
+//! sbreak loadgen   [gen:<graph>] [--addr HOST:PORT] [--clients N]
+//!                  [--repeats R] [--scale F] [--seed S] [--workers N]
+//!                  [--shutdown] [-o <dir>]
 //! ```
 //!
 //! `<input>` is an edge-list or Matrix-Market (`.mtx`) file, or
@@ -39,6 +44,13 @@
 //! strategy: `compact` (the default) iterates compacted worklists of
 //! still-undecided vertices, `dense` rescans `0..n` every round (the
 //! pre-frontier behavior, kept for A/B comparison).
+//!
+//! `serve` runs the resident multi-tenant solve daemon: JSONL requests
+//! over TCP against one shared cached-decomposition engine (DESIGN.md
+//! §13). `loadgen` drives a serve daemon (or an in-process one when no
+//! `--addr` is given) through a cold pass and a concurrent warm pass and
+//! writes client-observed latency percentiles to
+//! `results/BENCH_serve.json`.
 //!
 //! `batch` runs a jobs file through the cached-decomposition engine
 //! (`sb-engine`): N jobs on one graph pay for ingestion and each distinct
@@ -68,7 +80,11 @@ fn usage() -> ! {
          sbreak batch <jobs.toml> [--cache-cap N] [--compare-fresh] [--threads N]\n  \
          \x20            [--trace-dir <dir>] [--out-dir <dir>] [-o <report.json>]\n  \
          sbreak profile <trace.jsonl> [--top K] [--metrics <snapshot.json>]\n  \
-         sbreak perfdiff <baseline.json> <candidate.json> [--rel-tol F] [--abs-floor F]\n\n\
+         sbreak perfdiff <baseline.json> <candidate.json> [--rel-tol F] [--abs-floor F]\n  \
+         sbreak serve [--addr H:P] [--workers N] [--queue-cap N] [--cache-cap N]\n  \
+         \x20            [--tenant-quota BYTES] [--deadline-ms T] [--threads N]\n  \
+         sbreak loadgen [gen:<graph>] [--addr H:P] [--clients N] [--repeats R]\n  \
+         \x20              [--scale F] [--seed S] [--workers N] [--shutdown] [-o <dir>]\n\n\
          <input>: an edge-list/.mtx path, or gen:<table-II-name> (e.g. gen:lp1)\n\
          --metrics <out.json> (solve/batch/fuzz): write the metrics registry snapshot on exit"
     );
@@ -137,6 +153,14 @@ struct Flags {
     top: usize,
     rel_tol: f64,
     abs_floor: f64,
+    addr: Option<String>,
+    workers: Option<usize>,
+    queue_cap: Option<usize>,
+    tenant_quota: Option<u64>,
+    deadline_ms: Option<u64>,
+    clients: Option<usize>,
+    repeats: Option<usize>,
+    shutdown: bool,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -165,6 +189,14 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         top: 5,
         rel_tol: 0.10,
         abs_floor: 0.5,
+        addr: None,
+        workers: None,
+        queue_cap: None,
+        tenant_quota: None,
+        deadline_ms: None,
+        clients: None,
+        repeats: None,
+        shutdown: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -246,6 +278,46 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     _ => return Err("--abs-floor takes a non-negative float".to_string()),
                 }
             }
+            "--addr" => f.addr = Some(val("--addr")?),
+            "--workers" => {
+                f.workers = Some(match val("--workers")?.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err("--workers takes a positive integer".to_string()),
+                })
+            }
+            "--queue-cap" => {
+                f.queue_cap = Some(match val("--queue-cap")?.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err("--queue-cap takes a positive integer".to_string()),
+                })
+            }
+            "--tenant-quota" => {
+                f.tenant_quota = Some(
+                    val("--tenant-quota")?
+                        .parse()
+                        .map_err(|_| "--tenant-quota takes a byte count (u64)".to_string())?,
+                )
+            }
+            "--deadline-ms" => {
+                f.deadline_ms = Some(
+                    val("--deadline-ms")?
+                        .parse()
+                        .map_err(|_| "--deadline-ms takes a u64".to_string())?,
+                )
+            }
+            "--clients" => {
+                f.clients = Some(match val("--clients")?.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err("--clients takes a positive integer".to_string()),
+                })
+            }
+            "--repeats" => {
+                f.repeats = Some(match val("--repeats")?.parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => return Err("--repeats takes a positive integer".to_string()),
+                })
+            }
+            "--shutdown" => f.shutdown = true,
             "--trace-dir" => f.trace_dir = Some(val("--trace-dir")?),
             "--out-dir" => f.out_dir = Some(val("--out-dir")?),
             "--compare-fresh" => f.compare_fresh = true,
@@ -844,6 +916,88 @@ fn cmd_perfdiff(f: &Flags) -> Result<(), String> {
     }
 }
 
+/// `sbreak serve`: run the resident multi-tenant solve daemon until a
+/// client sends a `shutdown` op. One shared engine, a bounded admission
+/// queue, and a fixed worker pool (DESIGN.md §13).
+fn cmd_serve(f: &Flags) -> Result<(), String> {
+    use symmetry_breaking::engine::{EngineConfig, ServeConfig, Server};
+
+    let cfg = ServeConfig {
+        addr: f.addr.clone().unwrap_or_else(|| "127.0.0.1:7199".into()),
+        workers: f.workers.unwrap_or(2),
+        queue_cap: f.queue_cap.unwrap_or(64),
+        engine: EngineConfig {
+            cache_cap: f.cache_cap.unwrap_or(64),
+            tenant_quota_bytes: f.tenant_quota,
+            ..EngineConfig::default()
+        },
+        default_deadline_ms: f.deadline_ms,
+        default_threads: f.threads,
+        allow_debug: false,
+    };
+    let workers = cfg.workers;
+    let queue_cap = cfg.queue_cap;
+    let handle = Server::spawn(cfg).map_err(|e| format!("cannot start server: {e}"))?;
+    println!(
+        "sbreak serve: listening on {} ({workers} worker(s), queue cap {queue_cap})",
+        handle.addr()
+    );
+    handle.join();
+    println!("sbreak serve: shut down cleanly");
+    Ok(())
+}
+
+/// `sbreak loadgen`: drive a serve daemon (`--addr`), or an in-process one,
+/// through a cold pass and a concurrent warm pass; write the
+/// client-observed latency report to `<out-dir>/BENCH_serve.json`.
+fn cmd_loadgen(f: &Flags) -> Result<(), String> {
+    use symmetry_breaking::loadgen::{run_loadgen, LoadgenOptions};
+
+    let addr = match &f.addr {
+        Some(a) => Some(
+            a.parse()
+                .map_err(|_| format!("--addr '{a}' is not a socket address"))?,
+        ),
+        None => None,
+    };
+    let defaults = LoadgenOptions::default();
+    let opts = LoadgenOptions {
+        addr,
+        clients: f.clients.unwrap_or(defaults.clients),
+        repeats: f.repeats.unwrap_or(defaults.repeats),
+        graph: f
+            .positional
+            .first()
+            .cloned()
+            .unwrap_or_else(|| defaults.graph.clone()),
+        scale: match f.scale {
+            Scale::Factor(x) => x,
+            _ => defaults.scale,
+        },
+        seed: f.seed,
+        workers: f.workers.unwrap_or(defaults.workers),
+        shutdown: f.shutdown,
+    };
+    let summary = run_loadgen(&opts)?;
+    summary.table.print();
+    println!(
+        "cold p50 {:.3} ms → warm p50 {:.3} ms over {} warm request(s)",
+        summary.cold.p50_ms, summary.warm.p50_ms, summary.warm.requests
+    );
+    let dir = f.output.clone().unwrap_or_else(|| "results".into());
+    summary.table.save_json(Path::new(&dir), "BENCH_serve")?;
+    println!("[saved {dir}/BENCH_serve.json]");
+    // The whole point of a resident service is the warm path: a run where
+    // nothing completed or nothing hit the shared caches is a failure.
+    if summary.warm.ok == 0 {
+        return Err("warm phase completed zero solves".into());
+    }
+    if summary.warm.decomp_hits == 0 {
+        return Err("warm phase recorded zero decomposition-cache hits".into());
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = args.split_first() else {
@@ -865,6 +1019,8 @@ fn main() -> ExitCode {
         "batch" => cmd_batch(&flags),
         "profile" => cmd_profile(&flags),
         "perfdiff" => cmd_perfdiff(&flags),
+        "serve" => cmd_serve(&flags),
+        "loadgen" => cmd_loadgen(&flags),
         _ => {
             usage();
         }
@@ -872,9 +1028,12 @@ fn main() -> ExitCode {
     // Pin the whole command to an explicit pool when asked; otherwise the
     // lazily-built global pool (host parallelism) governs parallel calls.
     // `fuzz` is exempt (its oracle builds a 1-vs-N pool matrix itself), as
-    // is `batch` (each job pins its own worker).
+    // are `batch`, `serve`, and `loadgen` (each engine job pins its own
+    // worker; for `serve`, --threads is the per-request default pin).
     let result = match flags.threads {
-        Some(n) if cmd != "fuzz" && cmd != "batch" => symmetry_breaking::par::with_threads(n, run),
+        Some(n) if !matches!(cmd.as_str(), "fuzz" | "batch" | "serve" | "loadgen") => {
+            symmetry_breaking::par::with_threads(n, run)
+        }
         _ => run(),
     };
     // The metrics snapshot is written even when the run itself failed: a

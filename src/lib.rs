@@ -21,6 +21,8 @@
 //! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
 //! paper-vs-measured record of every table and figure.
 
+pub mod loadgen;
+
 pub use sb_core as core;
 pub use sb_datasets as datasets;
 pub use sb_decompose as decompose;
@@ -52,8 +54,9 @@ pub mod prelude {
         decompose_bridge, decompose_degk, decompose_metis_like, decompose_rand,
     };
     pub use sb_engine::{
-        parse_jobs, run_batch_compare, BatchOptions, BatchReport, Engine, EngineConfig,
-        GraphSource, JobSpec, Solver,
+        parse_jobs, run_batch_compare, BatchOptions, BatchReport, CancelToken, Client, Engine,
+        EngineConfig, GraphSource, JobSpec, ServeConfig, Server, ServerHandle, Session,
+        SharedEngine, Solver,
     };
     pub use sb_graph::builder::{from_edge_list, GraphBuilder};
     pub use sb_graph::csr::{Graph, VertexId, INVALID};

@@ -1,0 +1,288 @@
+//! `sbreak loadgen` — a load generator for the serve daemon.
+//!
+//! Two phases against one server:
+//!
+//! 1. **cold** — a single client runs the workload once against empty
+//!    caches, so every request pays graph ingestion and decomposition.
+//! 2. **warm** — `clients` concurrent client threads (each its own tenant)
+//!    repeat the same workload `repeats` times; everything after the first
+//!    round rides the shared graph/decomposition caches.
+//!
+//! Latency is measured client-side around each request round-trip, so
+//! queueing and protocol overhead count, exactly as a tenant would see
+//! them. The report (`results/BENCH_serve.json`, schema-pinned via
+//! `sb_bench::schemas::bench_serve`) carries p50/p99/mean latency,
+//! throughput, and the server's decomposition-cache hit delta per phase —
+//! the repeat-solve p50 dropping below the cold p50 is the resident
+//! service's reason to exist.
+//!
+//! Pass `addr: None` to spawn an in-process server (the golden tests and
+//! `tests/serve.rs` do); pass an address to drive an external `sbreak
+//! serve` (the CI smoke job does).
+
+use sb_bench::report::Table;
+use sb_bench::schemas;
+use sb_engine::protocol::SolveParams;
+use sb_engine::serve::percentile_f64;
+use sb_engine::{Client, EngineConfig, ServeConfig, Server};
+use std::net::SocketAddr;
+use std::thread;
+use std::time::Instant;
+
+/// Load-generator parameters.
+#[derive(Debug, Clone)]
+pub struct LoadgenOptions {
+    /// Server to drive; `None` spawns an in-process server.
+    pub addr: Option<SocketAddr>,
+    /// Concurrent client threads in the warm phase.
+    pub clients: usize,
+    /// Workload repetitions per client in the warm phase.
+    pub repeats: usize,
+    /// Graph source for the workload.
+    pub graph: String,
+    /// Scale factor for generated graphs.
+    pub scale: f64,
+    /// Solver + generation seed.
+    pub seed: u64,
+    /// Worker threads for the spawned in-process server.
+    pub workers: usize,
+    /// Send a `shutdown` op to an external server when done (CI smoke).
+    pub shutdown: bool,
+}
+
+impl Default for LoadgenOptions {
+    fn default() -> LoadgenOptions {
+        LoadgenOptions {
+            addr: None,
+            clients: 1,
+            repeats: 8,
+            graph: "gen:lp1".into(),
+            scale: 0.1,
+            seed: 42,
+            workers: 2,
+            shutdown: false,
+        }
+    }
+}
+
+/// Aggregated client-side view of one phase.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseStats {
+    /// Requests sent.
+    pub requests: u64,
+    /// `ok` responses.
+    pub ok: u64,
+    /// `overloaded` rejections.
+    pub overloaded: u64,
+    /// `timeout` responses.
+    pub timeout: u64,
+    /// `error` (and transport-failure) responses.
+    pub error: u64,
+    /// Median round-trip latency, milliseconds.
+    pub p50_ms: f64,
+    /// Tail round-trip latency, milliseconds.
+    pub p99_ms: f64,
+    /// Mean round-trip latency, milliseconds.
+    pub mean_ms: f64,
+    /// Completed requests per second of phase wall-clock.
+    pub rps: f64,
+    /// Server decomposition-cache hits gained during the phase.
+    pub decomp_hits: u64,
+}
+
+impl PhaseStats {
+    fn from_latencies(mut lat_ms: Vec<f64>, counts: PhaseCounts, wall_secs: f64) -> PhaseStats {
+        lat_ms.sort_by(|a, b| a.total_cmp(b));
+        let mean = if lat_ms.is_empty() {
+            0.0
+        } else {
+            lat_ms.iter().sum::<f64>() / lat_ms.len() as f64
+        };
+        PhaseStats {
+            requests: counts.requests,
+            ok: counts.ok,
+            overloaded: counts.overloaded,
+            timeout: counts.timeout,
+            error: counts.error,
+            p50_ms: percentile_f64(&lat_ms, 0.50),
+            p99_ms: percentile_f64(&lat_ms, 0.99),
+            mean_ms: mean,
+            rps: if wall_secs > 0.0 {
+                counts.requests as f64 / wall_secs
+            } else {
+                0.0
+            },
+            decomp_hits: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct PhaseCounts {
+    requests: u64,
+    ok: u64,
+    overloaded: u64,
+    timeout: u64,
+    error: u64,
+}
+
+impl PhaseCounts {
+    fn absorb(&mut self, status: &str) {
+        self.requests += 1;
+        match status {
+            "ok" => self.ok += 1,
+            "overloaded" => self.overloaded += 1,
+            "timeout" => self.timeout += 1,
+            _ => self.error += 1,
+        }
+    }
+}
+
+/// The loadgen result: both phases plus the rendered report table.
+pub struct LoadgenSummary {
+    /// Cold-cache phase (single client, first touch).
+    pub cold: PhaseStats,
+    /// Warm-cache phase (`clients × repeats` over resident caches).
+    pub warm: PhaseStats,
+    /// The `BENCH_serve` table, ready to print/save.
+    pub table: Table,
+}
+
+/// The canonical three-problem workload: one matching, one coloring, one
+/// MIS solve. Each job generates the graph at its *own* seed, so every
+/// cold request pays generation, ingestion, and decomposition, and every
+/// warm repeat of the same job rides the caches for all three.
+pub fn workload(graph: &str, scale: f64, seed: u64) -> Vec<SolveParams> {
+    [("mm", "rand:10"), ("color", "degk:2"), ("mis", "degk:2")]
+        .iter()
+        .enumerate()
+        .map(|(i, (problem, algo))| {
+            let mut p = SolveParams::new(graph, problem, algo);
+            p.id = format!("{problem}-{algo}");
+            p.scale = scale;
+            p.seed = seed;
+            p.graph_seed = Some(seed.wrapping_add(i as u64));
+            p
+        })
+        .collect()
+}
+
+fn decomp_hits(client: &mut Client) -> Result<u64, String> {
+    let stats = client.stats()?;
+    stats
+        .raw
+        .get("decomp_cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(|h| h.as_u64())
+        .ok_or_else(|| "stats response is missing decomp_cache.hits".to_string())
+}
+
+fn run_phase(
+    addr: SocketAddr,
+    jobs: &[SolveParams],
+    clients: usize,
+    repeats: usize,
+) -> Result<PhaseStats, String> {
+    let start = Instant::now();
+    let handles: Vec<_> = (0..clients)
+        .map(|c| {
+            let jobs = jobs.to_vec();
+            thread::spawn(move || -> Result<(Vec<f64>, PhaseCounts), String> {
+                let mut client = Client::connect(addr).map_err(|e| format!("connect: {e}"))?;
+                let mut latencies = Vec::with_capacity(repeats * jobs.len());
+                let mut counts = PhaseCounts::default();
+                for r in 0..repeats {
+                    for job in &jobs {
+                        let mut job = job.clone();
+                        job.tenant = format!("client-{c}");
+                        job.id = format!("{}-r{r}", job.id);
+                        let sent = Instant::now();
+                        let reply = client.solve(&job)?;
+                        latencies.push(sent.elapsed().as_secs_f64() * 1e3);
+                        counts.absorb(reply.status());
+                    }
+                }
+                Ok((latencies, counts))
+            })
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut counts = PhaseCounts::default();
+    for h in handles {
+        let (lat, c) = h
+            .join()
+            .map_err(|_| "loadgen client thread panicked".to_string())??;
+        latencies.extend(lat);
+        counts.requests += c.requests;
+        counts.ok += c.ok;
+        counts.overloaded += c.overloaded;
+        counts.timeout += c.timeout;
+        counts.error += c.error;
+    }
+    Ok(PhaseStats::from_latencies(
+        latencies,
+        counts,
+        start.elapsed().as_secs_f64(),
+    ))
+}
+
+fn phase_row(table: &mut Table, phase: &str, clients: usize, s: &PhaseStats) {
+    table.row(vec![
+        phase.to_string(),
+        clients.to_string(),
+        s.requests.to_string(),
+        s.ok.to_string(),
+        s.overloaded.to_string(),
+        s.timeout.to_string(),
+        s.error.to_string(),
+        format!("{:.3}", s.p50_ms),
+        format!("{:.3}", s.p99_ms),
+        format!("{:.3}", s.mean_ms),
+        format!("{:.1}", s.rps),
+        s.decomp_hits.to_string(),
+    ]);
+}
+
+/// Run the cold + warm phases and build the `BENCH_serve` report.
+pub fn run_loadgen(opts: &LoadgenOptions) -> Result<LoadgenSummary, String> {
+    // An in-process server when no address was given: loopback, quiet
+    // defaults, generous queue so the warm phase measures latency rather
+    // than admission control.
+    let spawned = match opts.addr {
+        Some(_) => None,
+        None => Some(
+            Server::spawn(ServeConfig {
+                workers: opts.workers,
+                queue_cap: (opts.clients * 4).max(64),
+                engine: EngineConfig::default(),
+                ..ServeConfig::default()
+            })
+            .map_err(|e| format!("cannot spawn server: {e}"))?,
+        ),
+    };
+    let addr = opts
+        .addr
+        .unwrap_or_else(|| spawned.as_ref().expect("spawned above").addr());
+    let jobs = workload(&opts.graph, opts.scale, opts.seed);
+
+    let mut control = Client::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let hits_base = decomp_hits(&mut control)?;
+    let mut cold = run_phase(addr, &jobs, 1, 1)?;
+    let hits_cold = decomp_hits(&mut control)?;
+    cold.decomp_hits = hits_cold.saturating_sub(hits_base);
+    let mut warm = run_phase(addr, &jobs, opts.clients.max(1), opts.repeats.max(1))?;
+    let hits_warm = decomp_hits(&mut control)?;
+    warm.decomp_hits = hits_warm.saturating_sub(hits_cold);
+
+    if let Some(handle) = spawned {
+        handle.shutdown();
+        handle.join();
+    } else if opts.shutdown {
+        control.shutdown()?;
+    }
+
+    let mut table = schemas::bench_serve().table();
+    phase_row(&mut table, "cold", 1, &cold);
+    phase_row(&mut table, "warm", opts.clients.max(1), &warm);
+    Ok(LoadgenSummary { cold, warm, table })
+}

@@ -15,9 +15,14 @@ use sb_core::common::{Arch, FrontierMode};
 use sb_core::matching::MmAlgorithm;
 use sb_core::mis::MisAlgorithm;
 use sb_datasets::suite::Scale;
-use sb_engine::{run_batch_compare, BatchOptions, EngineConfig, JobSpec, Solver};
+use sb_engine::protocol::SolveParams;
+use sb_engine::{
+    run_batch_compare, BatchOptions, EngineConfig, JobSpec, ServeConfig, Server, Solver,
+};
+use sb_metrics::JsonValue;
 use std::fs;
 use std::path::{Path, PathBuf};
+use symmetry_breaking::loadgen::{run_loadgen, LoadgenOptions};
 
 fn golden_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
@@ -172,5 +177,87 @@ fn engine_batch_report_json_shape_is_pinned() {
         ],
     );
     check_golden("bench_engine_shape.json", &masked);
+    fs::remove_dir_all(&dir).ok();
+}
+
+/// Render a parsed JSON document as one `path: kind` line per leaf, in
+/// document order. Strings keep their value (they are all deterministic
+/// in the serve stats document); numbers and booleans reduce to their
+/// kind, so wall-clock values can't destabilise the golden file.
+fn render_shape(value: &JsonValue, path: &str, out: &mut String) {
+    match value {
+        JsonValue::Obj(members) => {
+            for (key, v) in members {
+                let child = if path.is_empty() {
+                    key.clone()
+                } else {
+                    format!("{path}.{key}")
+                };
+                render_shape(v, &child, out);
+            }
+        }
+        JsonValue::Arr(items) => {
+            for (i, v) in items.iter().enumerate() {
+                render_shape(v, &format!("{path}[{i}]"), out);
+            }
+        }
+        JsonValue::Str(s) => out.push_str(&format!("{path}: str {s:?}\n")),
+        JsonValue::Num(_) => out.push_str(&format!("{path}: num\n")),
+        JsonValue::Bool(_) => out.push_str(&format!("{path}: bool\n")),
+        JsonValue::Null => out.push_str(&format!("{path}: null\n")),
+    }
+}
+
+#[test]
+fn serve_stats_shape_is_pinned() {
+    // Drive a fixed two-tenant workload through a real server, then pin
+    // the shape of the `stats` document: every key path, the tenant
+    // listing, and the per-phase latency key set are deterministic; only
+    // the measured numbers vary, and those reduce to `num`.
+    let server = Server::spawn(ServeConfig::default()).expect("bind loopback");
+    let mut client = sb_engine::Client::connect(server.addr()).unwrap();
+
+    let mut job = SolveParams::new("gen:lp1", "color", "degk:2");
+    job.scale = 0.05;
+    job.graph_seed = Some(42);
+    job.seed = 11;
+    job.id = "g1".into();
+    job.tenant = "tenant-a".into();
+    assert_eq!(client.solve(&job).unwrap().status(), "ok");
+    job.tenant = "tenant-b".into();
+    assert_eq!(client.solve(&job).unwrap().status(), "ok");
+    let mut mm = job.clone();
+    mm.problem = "mm".into();
+    mm.algo = "rand:4".into();
+    assert_eq!(client.solve(&mm).unwrap().status(), "ok");
+
+    let stats = client.stats().unwrap();
+    let mut shape = String::new();
+    render_shape(&stats.raw, "", &mut shape);
+    check_golden("serve_stats_shape.txt", &shape);
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn bench_serve_report_json_shape_is_pinned() {
+    // The loadgen report at a fixed tiny workload: request/outcome counts
+    // and cache-hit columns are deterministic (single client, generous
+    // queue, no deadlines); only the latency/throughput cells vary.
+    let summary = run_loadgen(&LoadgenOptions {
+        clients: 1,
+        repeats: 2,
+        scale: 0.05,
+        ..LoadgenOptions::default()
+    })
+    .expect("loadgen runs");
+    assert_eq!(summary.warm.ok, 6, "deterministic warm request count");
+
+    let dir = scratch("bench-serve");
+    summary.table.save_json(&dir, "BENCH_serve").unwrap();
+    let body = fs::read_to_string(dir.join("BENCH_serve.json")).unwrap();
+    let masked = mask_values(&body, &["p50 ms", "p99 ms", "mean ms", "rps"]);
+    check_golden("bench_serve_shape.json", &masked);
     fs::remove_dir_all(&dir).ok();
 }
