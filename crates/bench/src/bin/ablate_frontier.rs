@@ -1,10 +1,19 @@
-//! Frontier-compaction A/B: every solver family runs in `dense` mode
-//! (full-sweep rounds, the pre-frontier behavior) and `compact` mode
-//! (ping-pong worklists + scratch-arena reuse), on the same graphs with the
-//! same seeds. Reports wall-clock and total `edges_scanned` per mode and
-//! **asserts** that compaction reduced the scanned-edge total for every
-//! workload — exiting non-zero otherwise, so CI can run this as a perf
-//! smoke leg.
+//! Frontier-representation A/B/C: every solver family runs in `dense` mode
+//! (full-sweep rounds, the pre-frontier behavior), `compact` mode
+//! (ping-pong worklists + scratch-arena reuse), and `bitset` mode (u64
+//! word-bitset frontiers, trailing-zeros iteration, word-level masks), on
+//! the same graphs with the same seeds. Reports wall-clock and total
+//! `edges_scanned` per mode and **asserts**:
+//!
+//! * compaction reduced the scanned-edge total vs dense for every workload;
+//! * the bitset frontier scanned no more edges than compact (the two visit
+//!   identical member sets, so their logical work must coincide);
+//! * with `--reps >= 2` (stable timing), bitset wall-clock does not regress
+//!   past compact on the GM and Luby workloads.
+//!
+//! Exits non-zero on any violation, so CI can run this as a perf smoke leg
+//! (`--reps 1` there: the edge assertions are deterministic, the timing
+//! assertion needs repetitions to be meaningful and is skipped).
 //!
 //! The default graph is the 60k-vertex `rgg-n-2-23-s0` stand-in: GM's vain
 //! tendency makes it the paper's round-count worst case (§III-C), which is
@@ -83,10 +92,30 @@ fn main() {
         for (label, run) in workloads {
             let (dense_ms, dense_edges) = run(FrontierMode::Dense);
             let (compact_ms, compact_edges) = run(FrontierMode::Compact);
+            let (bitset_ms, bitset_edges) = run(FrontierMode::Bitset);
             if compact_edges >= dense_edges {
                 eprintln!(
                     "FAIL: {label}: compact scanned {compact_edges} edges, \
                      dense {dense_edges} — compaction must reduce the total"
+                );
+                failures += 1;
+            }
+            if bitset_edges > compact_edges {
+                eprintln!(
+                    "FAIL: {label}: bitset scanned {bitset_edges} edges, compact \
+                     {compact_edges} — identical member sets must scan identically"
+                );
+                failures += 1;
+            }
+            // Wall-clock is only trustworthy with repetitions (time_min
+            // takes the minimum); the gpu-sim workload reports modeled
+            // device time, so the host-side comparison targets the CPU
+            // solvers.
+            let timing_workload = !label.ends_with("(gpu-sim)");
+            if cfg.reps >= 2 && timing_workload && bitset_ms > compact_ms {
+                eprintln!(
+                    "FAIL: {label}: bitset {bitset_ms:.3} ms vs compact \
+                     {compact_ms:.3} ms — the bitset frontier regressed wall-clock"
                 );
                 failures += 1;
             }
@@ -99,8 +128,10 @@ fn main() {
                 label,
                 fmt_ms(dense_ms),
                 fmt_ms(compact_ms),
+                fmt_ms(bitset_ms),
                 dense_edges.to_string(),
                 compact_edges.to_string(),
+                bitset_edges.to_string(),
                 reduction,
             ]);
         }
@@ -112,8 +143,14 @@ fn main() {
         println!("[saved results/BENCH_frontier.json]");
     }
     if failures > 0 {
-        eprintln!("{failures} workload(s) did not reduce edges_scanned");
+        eprintln!("{failures} frontier assertion(s) failed");
         std::process::exit(1);
     }
-    println!("\nall workloads scanned fewer edges in compact mode — OK");
+    if cfg.reps >= 2 {
+        println!("\ncompact < dense edges, bitset <= compact edges and ms — OK");
+    } else {
+        println!(
+            "\ncompact < dense edges, bitset <= compact edges — OK (timing skipped at --reps 1)"
+        );
+    }
 }

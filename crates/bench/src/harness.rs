@@ -30,8 +30,9 @@ pub struct BenchConfig {
     /// binary's default axis: powers of two up to the host parallelism for
     /// scaling harnesses, the host default for single-pool binaries.
     pub threads: Vec<usize>,
-    /// Round-loop live-set strategy (`--frontier dense|compact`): compacted
-    /// worklists (the default) vs full dense rescans, for A/B comparison.
+    /// Round-loop live-set strategy (`--frontier dense|compact|bitset`):
+    /// compacted worklists (the default) vs full dense rescans vs u64-bitset
+    /// live sets, for A/B/C comparison.
     pub frontier: FrontierMode,
 }
 
@@ -54,7 +55,7 @@ impl Default for BenchConfig {
 /// The flags every bench binary accepts, for usage errors.
 pub const BENCH_USAGE: &str = "flags: --scale <float> --seed <u64> --arch cpu|gpu \
      --graphs <substring> --reps <n> --data-dir <dir> --trace-dir <dir> \
-     --threads <n[,n,…]> --frontier dense|compact";
+     --threads <n[,n,…]> --frontier dense|compact|bitset";
 
 impl BenchConfig {
     /// Parse `--scale`, `--seed`, `--arch`, `--graphs`, `--reps`,
@@ -110,9 +111,9 @@ impl BenchConfig {
                 }
                 "--frontier" => {
                     let raw = val("--frontier")?;
-                    cfg.frontier = raw
-                        .parse()
-                        .map_err(|_| format!("--frontier must be dense or compact, got '{raw}'"))?;
+                    cfg.frontier = raw.parse().map_err(|_| {
+                        format!("--frontier must be dense, compact, or bitset, got '{raw}'")
+                    })?;
                 }
                 other => return Err(format!("unknown flag '{other}'")),
             }
@@ -306,6 +307,8 @@ mod tests {
         assert_eq!(cfg.frontier, FrontierMode::Dense);
         let cfg = BenchConfig::from_args(["--frontier", "compact"].map(String::from));
         assert_eq!(cfg.frontier, FrontierMode::Compact);
+        let cfg = BenchConfig::from_args(["--frontier", "bitset"].map(String::from));
+        assert_eq!(cfg.frontier, FrontierMode::Bitset);
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //! dashes, and identity columns (`seed`, `workload`) without a
 //! per-report schema.
 //!
+//! Columns carry an enforcement class mirroring the `sb_metrics` split
+//! (DESIGN.md §12): `edges` columns are **Logical** — deterministic work
+//! totals that must not regress on any host — while `ms`/`us` columns are
+//! **Runtime** — they vary with the machine and scheduling, so their
+//! regressions are reported but only enforced when the caller opts in
+//! (`sbreak perfdiff --strict`).
+//!
 //! The noise model is two-sided: a candidate cell only counts as a
 //! regression (or an improvement) when it moves by more than
 //! `rel_tol` *relatively* and by more than `abs_floor` in absolute
@@ -64,6 +71,19 @@ impl Verdict {
     }
 }
 
+/// Enforcement class of a cost column, mirroring `sb_metrics::Class`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CostClass {
+    /// Deterministic work totals (`edges` columns): identical on every
+    /// host for a given build, so a regression is a real algorithmic
+    /// change — enforced.
+    Logical,
+    /// Wall-clock and modeled-time columns (`ms`, `us`): legitimately
+    /// vary with the machine, thread count, and scheduler — warn-only
+    /// unless the caller opts into strict mode.
+    Runtime,
+}
+
 /// One compared cell.
 #[derive(Debug, Clone)]
 pub struct CellDiff {
@@ -71,6 +91,8 @@ pub struct CellDiff {
     pub row: String,
     /// Column header.
     pub column: String,
+    /// Enforcement class of the column.
+    pub class: CostClass,
     /// Baseline value.
     pub baseline: f64,
     /// Candidate value.
@@ -95,10 +117,23 @@ pub struct DiffReport {
 }
 
 impl DiffReport {
-    /// True when the candidate regressed: any cell over tolerance, or
-    /// any baseline measurement the candidate no longer reports.
+    /// True when the candidate regressed anywhere: any cell over
+    /// tolerance (either class), or any baseline measurement the
+    /// candidate no longer reports.
     pub fn regressed(&self) -> bool {
         !self.missing.is_empty() || self.cells.iter().any(|c| c.verdict == Verdict::Regressed)
+    }
+
+    /// True when the enforced subset regressed: a missing measurement
+    /// (a regression that removes its own measurement must not go green)
+    /// or a Logical-class cell over tolerance. Runtime-class cells do not
+    /// trip this — CI-runner timing noise is not an algorithmic change.
+    pub fn enforced_regressed(&self) -> bool {
+        !self.missing.is_empty()
+            || self
+                .cells
+                .iter()
+                .any(|c| c.verdict == Verdict::Regressed && c.class == CostClass::Logical)
     }
 
     /// Count of cells with the given verdict.
@@ -106,12 +141,27 @@ impl DiffReport {
         self.cells.iter().filter(|c| c.verdict == v).count()
     }
 
+    /// Count of regressed cells of the given class.
+    pub fn regressed_of(&self, class: CostClass) -> usize {
+        self.cells
+            .iter()
+            .filter(|c| c.verdict == Verdict::Regressed && c.class == class)
+            .count()
+    }
+
     /// Human rendering: one line per compared cell plus a summary line.
+    /// Runtime-class regressions are tagged `(runtime, warn-only)` so the
+    /// log says why the gate did or did not trip.
     pub fn render(&self) -> String {
         let mut out = format!("perfdiff: {}\n", self.title);
         for c in &self.cells {
+            let tag = match (c.verdict, c.class) {
+                (Verdict::Regressed, CostClass::Runtime) => " (runtime, warn-only)",
+                (Verdict::Regressed, CostClass::Logical) => " (logical, enforced)",
+                _ => "",
+            };
             out.push_str(&format!(
-                "  {:<10} {} · {}: {} -> {} ({:+.1}%)\n",
+                "  {:<10} {} · {}: {} -> {} ({:+.1}%){tag}\n",
                 c.verdict.label(),
                 c.row,
                 c.column,
@@ -124,22 +174,35 @@ impl DiffReport {
             out.push_str(&format!("  MISSING    {m}\n"));
         }
         out.push_str(&format!(
-            "  {} compared: {} improved, {} within noise, {} regressed, {} missing\n",
+            "  {} compared: {} improved, {} within noise, {} regressed \
+             ({} enforced logical, {} warn-only runtime), {} missing\n",
             self.cells.len(),
             self.count(Verdict::Improved),
             self.count(Verdict::WithinNoise),
             self.count(Verdict::Regressed),
+            self.regressed_of(CostClass::Logical),
+            self.regressed_of(CostClass::Runtime),
             self.missing.len()
         ));
         out
     }
 }
 
-/// True when `header` names a lower-is-better cost column.
-fn cost_column(header: &str) -> bool {
+/// The enforcement class of a lower-is-better cost column, or `None` when
+/// the header names no cost unit. `edges` wins over `ms`/`us` if a header
+/// somehow mentions both: misclassifying a logical total as runtime would
+/// silently un-enforce it.
+fn cost_class(header: &str) -> Option<CostClass> {
     let h = header.to_ascii_lowercase();
-    h.split(|c: char| !c.is_ascii_alphanumeric())
-        .any(|w| w == "ms" || w == "us" || w == "edges")
+    let mut class = None;
+    for w in h.split(|c: char| !c.is_ascii_alphanumeric()) {
+        match w {
+            "edges" => return Some(CostClass::Logical),
+            "ms" | "us" => class = Some(CostClass::Runtime),
+            _ => {}
+        }
+    }
+    class
 }
 
 /// The cell as a plain number, or `None` for dashes / `2.00x` ratios.
@@ -198,9 +261,9 @@ pub fn diff_reports(baseline: &str, candidate: &str, tol: Tolerance) -> Result<D
             continue;
         };
         for (col, val) in rec.iter() {
-            if !cost_column(col) {
+            let Some(class) = cost_class(col) else {
                 continue;
-            }
+            };
             let Some(b) = numeric(val) else { continue };
             let Some(c) = crec
                 .iter()
@@ -221,6 +284,7 @@ pub fn diff_reports(baseline: &str, candidate: &str, tol: Tolerance) -> Result<D
             cells.push(CellDiff {
                 row: row.clone(),
                 column: col.clone(),
+                class,
                 baseline: b,
                 candidate: c,
                 ratio: if b == 0.0 { f64::INFINITY } else { c / b },
@@ -288,6 +352,38 @@ mod tests {
     }
 
     #[test]
+    fn runtime_regressions_are_warn_only_logical_are_enforced() {
+        // ms over tolerance: reported, but not enforced.
+        let base = report(&[("a", &[("wall ms", "100"), ("dense edges", "1000")])]);
+        let cand = report(&[("a", &[("wall ms", "200"), ("dense edges", "1000")])]);
+        let d = diff_reports(&base, &cand, Tolerance::default()).unwrap();
+        assert!(d.regressed());
+        assert!(!d.enforced_regressed(), "ms is runtime class: warn-only");
+        assert_eq!(d.regressed_of(CostClass::Runtime), 1);
+        assert_eq!(d.regressed_of(CostClass::Logical), 0);
+        assert!(d.render().contains("(runtime, warn-only)"));
+
+        // edges over tolerance: enforced — logical work totals are
+        // deterministic, so this is a real algorithmic regression.
+        let cand = report(&[("a", &[("wall ms", "100"), ("dense edges", "2000")])]);
+        let d = diff_reports(&base, &cand, Tolerance::default()).unwrap();
+        assert!(d.enforced_regressed());
+        assert_eq!(d.regressed_of(CostClass::Logical), 1);
+        assert!(d.render().contains("(logical, enforced)"));
+    }
+
+    #[test]
+    fn cost_class_by_header_name() {
+        assert_eq!(cost_class("wall ms"), Some(CostClass::Runtime));
+        assert_eq!(cost_class("launch us"), Some(CostClass::Runtime));
+        assert_eq!(cost_class("dense edges"), Some(CostClass::Logical));
+        // A header naming both units classifies as logical (enforced).
+        assert_eq!(cost_class("edges per ms"), Some(CostClass::Logical));
+        assert_eq!(cost_class("speedup"), None);
+        assert_eq!(cost_class("workload"), None);
+    }
+
+    #[test]
     fn missing_row_or_column_is_a_failure() {
         let base = report(&[
             ("a", &[("wall ms", "10"), ("scan edges", "500")]),
@@ -296,6 +392,7 @@ mod tests {
         let cand = report(&[("a", &[("wall ms", "10")])]);
         let d = diff_reports(&base, &cand, Tolerance::default()).unwrap();
         assert!(d.regressed());
+        assert!(d.enforced_regressed(), "missing measurements are enforced");
         assert_eq!(d.missing, vec!["row 'a' column 'scan edges'", "row 'b'"]);
     }
 

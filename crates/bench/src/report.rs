@@ -92,6 +92,18 @@ impl Table {
     /// record per row, keyed by the column headers — the machine-readable
     /// twin of [`Table::save_csv`]. Errors name the path that failed.
     pub fn save_json(&self, dir: &Path, name: &str) -> Result<(), String> {
+        self.save_json_extra(dir, name, &[])
+    }
+
+    /// [`Table::save_json`] with extra top-level fields appended after the
+    /// title. Values are emitted verbatim (raw JSON), so callers can attach
+    /// booleans or numbers — e.g. `("host_limited", "true")`.
+    pub fn save_json_extra(
+        &self,
+        dir: &Path,
+        name: &str,
+        extra: &[(&str, String)],
+    ) -> Result<(), String> {
         let path = dir.join(format!("{name}.json"));
         ensure_parent(&path)?;
         let records: Vec<String> = self
@@ -107,11 +119,11 @@ impl Table {
                 format!("{{{}}}", fields.join(","))
             })
             .collect();
-        let body = format!(
-            "{{\"title\":\"{}\",\"records\":[{}]}}\n",
-            json_escape(&self.title),
-            records.join(",")
-        );
+        let mut head = format!("\"title\":\"{}\"", json_escape(&self.title));
+        for (k, v) in extra {
+            head.push_str(&format!(",\"{}\":{v}", json_escape(k)));
+        }
+        let body = format!("{{{head},\"records\":[{}]}}\n", records.join(","));
         fs::write(&path, body).map_err(|e| format!("cannot write {}: {e}", path.display()))
     }
 
@@ -177,6 +189,17 @@ pub fn fmt_x(x: f64) -> String {
     format!("{x:.2}x")
 }
 
+/// Format a speedup cell, refusing to present a clean multiplier when the
+/// host had no real parallelism: every thread count ran on one core, so the
+/// ratio measures pool overhead, not scaling.
+pub fn fmt_speedup(x: f64, host_limited: bool) -> String {
+    if host_limited {
+        format!("{} (host-limited)", fmt_x(x))
+    } else {
+        fmt_x(x)
+    }
+}
+
 /// Arithmetic mean (the paper's "average speedup"); `None` when empty.
 pub fn mean(xs: &[f64]) -> Option<f64> {
     if xs.is_empty() {
@@ -233,6 +256,27 @@ mod tests {
              {\"graph\":\"quo\\\"ted\",\"ms\":\"2\"}]}\n"
         );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn json_extra_fields_are_raw_values() {
+        let dir = std::env::temp_dir().join("sb-bench-test-json-extra");
+        let mut t = Table::new("T", &["a"]);
+        t.row(vec!["1".into()]);
+        t.save_json_extra(&dir, "t", &[("host_limited", "true".into())])
+            .unwrap();
+        let got = std::fs::read_to_string(dir.join("t.json")).unwrap();
+        assert_eq!(
+            got,
+            "{\"title\":\"T\",\"host_limited\":true,\"records\":[{\"a\":\"1\"}]}\n"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn speedup_annotates_host_limited_hosts() {
+        assert_eq!(fmt_speedup(2.5, false), "2.50x");
+        assert_eq!(fmt_speedup(1.02, true), "1.02x (host-limited)");
     }
 
     #[test]

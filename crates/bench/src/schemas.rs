@@ -230,17 +230,21 @@ pub fn ablate_bicc(arch: Arch) -> TableSchema {
     )
 }
 
-/// Frontier-compaction A/B table (also saved as `BENCH_frontier.json`).
+/// Frontier-representation A/B/C table (also saved as
+/// `BENCH_frontier.json`): dense full sweeps vs compact worklists vs u64
+/// bitset frontiers, per workload.
 pub fn ablate_frontier() -> TableSchema {
     TableSchema::new(
         "ablate_frontier",
-        "Frontier compaction — dense vs compact per workload",
+        "Frontier representation — dense vs compact vs bitset per workload",
         &[
             "workload",
             "dense ms",
             "compact ms",
+            "bitset ms",
             "dense edges",
             "compact edges",
+            "bitset edges",
             "edge reduction",
         ],
     )
@@ -248,6 +252,10 @@ pub fn ablate_frontier() -> TableSchema {
 
 /// Strong-scaling table (also saved as `BENCH_threads.json`). The column
 /// set depends on the thread axis; `host` is the recorded host parallelism.
+/// Besides the solver workloads, the table carries skewed-workload rows
+/// comparing the pool's claim strategies (stealing vs global counter); on a
+/// host without real parallelism every speedup cell is annotated
+/// host-limited and the saved JSON carries `host_limited: true`.
 pub fn ablate_threads(threads: &[usize], host: usize) -> TableSchema {
     let headers: Vec<String> = std::iter::once("workload".to_string())
         .chain(threads.iter().map(|t| format!("{t} thr (ms)")))
@@ -256,7 +264,10 @@ pub fn ablate_threads(threads: &[usize], host: usize) -> TableSchema {
     let refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
     TableSchema::new(
         "ablate_threads",
-        format!("Strong scaling — wall ms per thread count (host parallelism: {host})"),
+        format!(
+            "Strong scaling — wall ms per thread count and claim strategy \
+             (host parallelism: {host})"
+        ),
         &refs,
     )
 }

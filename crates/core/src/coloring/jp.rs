@@ -9,10 +9,11 @@
 //! Hasenplaugh et al. (the paper's reference \[14\]): largest-degree-first
 //! and smallest-degree-last.
 
-use rayon::prelude::*;
+use crate::common::FrontierMode;
 use sb_graph::csr::{Graph, VertexId, INVALID};
 use sb_par::atomic::as_atomic_u32;
 use sb_par::counters::Counters;
+use sb_par::frontier::{ActiveSet, BitFrontier, Frontier, Scratch};
 use sb_par::rng::hash2;
 use std::sync::atomic::Ordering;
 
@@ -89,11 +90,47 @@ pub fn jp_color_ordered(
     seed: u64,
     counters: &Counters,
 ) -> Vec<u32> {
+    jp_color_ordered_opts(g, ordering, seed, counters, FrontierMode::default())
+}
+
+/// [`jp_color_ordered`] with an explicit live-set representation. `Dense`
+/// and `Compact` run the worklist form (JP's worklist *is* its frontier —
+/// there is no separate dense sweep); `Bitset` runs the identical rounds
+/// over a [`BitFrontier`]. Outputs are byte-identical across modes and
+/// thread counts: decisions are double-buffered through a proposal array,
+/// so they depend only on pre-round colors, never on iteration order.
+pub fn jp_color_ordered_opts(
+    g: &Graph,
+    ordering: JpOrdering,
+    seed: u64,
+    counters: &Counters,
+    mode: FrontierMode,
+) -> Vec<u32> {
+    let mut scratch = Scratch::new();
+    match mode {
+        FrontierMode::Dense | FrontierMode::Compact => {
+            jp_color_ordered_impl::<Frontier>(g, ordering, seed, counters, &mut scratch)
+        }
+        FrontierMode::Bitset => {
+            jp_color_ordered_impl::<BitFrontier>(g, ordering, seed, counters, &mut scratch)
+        }
+    }
+}
+
+fn jp_color_ordered_impl<W: ActiveSet>(
+    g: &Graph,
+    ordering: JpOrdering,
+    seed: u64,
+    counters: &Counters,
+    scratch: &mut Scratch,
+) -> Vec<u32> {
     let n = g.num_vertices();
     let keys = priorities(g, ordering, seed, counters);
     let prio = |v: VertexId| (keys[v as usize], v);
     let mut color = vec![INVALID; n];
-    let mut work = sb_par::frontier::Frontier::from_vec(g.vertices().collect());
+    let mut proposal = scratch.take_u32(n, INVALID);
+    let mut work = W::take(scratch);
+    work.reset_range(n, |_| true);
 
     while !work.is_empty() {
         let round = counters.round_scope(work.len() as u64);
@@ -102,49 +139,54 @@ pub fn jp_color_ordered(
         counters.add_work(work.len() as u64);
         {
             let color_at = as_atomic_u32(&mut color);
-            // Double-buffered decision: only local maxima among uncolored
-            // neighbors color themselves, so no conflicts can arise.
-            let decided: Vec<(VertexId, u32)> = work
-                .as_slice()
-                .par_iter()
-                .filter_map(|&v| {
-                    counters.add_edges(g.degree(v) as u64);
-                    let pv = prio(v);
-                    let mut is_max = true;
-                    for &w in g.neighbors(v) {
-                        if color_at[w as usize].load(Ordering::Relaxed) == INVALID && prio(w) > pv {
-                            is_max = false;
-                            break;
-                        }
+            let prop_at = as_atomic_u32(&mut proposal);
+            // Pass A — double-buffered decision: only local maxima among
+            // uncolored neighbors propose a color, reading pre-round colors
+            // only, so no conflicts can arise.
+            work.for_each(|v| {
+                counters.add_edges(g.degree(v) as u64);
+                let pv = prio(v);
+                let mut is_max = true;
+                for &w in g.neighbors(v) {
+                    if color_at[w as usize].load(Ordering::Relaxed) == INVALID && prio(w) > pv {
+                        is_max = false;
+                        break;
                     }
-                    if !is_max {
-                        return None;
+                }
+                if !is_max {
+                    return;
+                }
+                // Smallest color unused by (colored) neighbors.
+                let deg = g.degree(v);
+                let mut used = vec![false; deg + 1];
+                for &w in g.neighbors(v) {
+                    let c = color_at[w as usize].load(Ordering::Relaxed);
+                    if c != INVALID && (c as usize) <= deg {
+                        used[c as usize] = true;
                     }
-                    // Smallest color unused by (colored) neighbors.
-                    let deg = g.degree(v);
-                    let mut used = vec![false; deg + 1];
-                    for &w in g.neighbors(v) {
-                        let c = color_at[w as usize].load(Ordering::Relaxed);
-                        if c != INVALID && (c as usize) <= deg {
-                            used[c as usize] = true;
-                        }
-                    }
-                    let c = used.iter().position(|&u| !u).unwrap() as u32;
-                    Some((v, c))
-                })
-                .collect();
-            for &(v, c) in &decided {
-                color_at[v as usize].store(c, Ordering::Relaxed);
-            }
+                }
+                let c = used.iter().position(|&u| !u).unwrap() as u32;
+                prop_at[v as usize].store(c, Ordering::Relaxed);
+            });
+            // Pass B — apply and clear proposals (disjoint per-vertex
+            // writes, so parallel application equals sequential).
+            work.for_each(|v| {
+                let p = prop_at[v as usize].load(Ordering::Relaxed);
+                if p != INVALID {
+                    color_at[v as usize].store(p, Ordering::Relaxed);
+                    prop_at[v as usize].store(INVALID, Ordering::Relaxed);
+                }
+            });
         }
         {
-            // Parallel ping-pong compaction in place of the sequential
-            // `Vec::retain`; order-stable, so output is unchanged.
+            // Order-stable live-set compaction, so output is unchanged.
             let color_ro: &[u32] = &color;
-            work.compact(|v| color_ro[v as usize] == INVALID);
+            work.retain(|v| color_ro[v as usize] == INVALID);
         }
         counters.finish_round(round, || (before - work.len()) as u64);
     }
+    work.recycle(scratch);
+    scratch.recycle_u32(proposal);
     color
 }
 

@@ -15,9 +15,9 @@
 use rayon::prelude::*;
 use sb_graph::csr::{Graph, VertexId, INVALID};
 use sb_graph::view::EdgeView;
-use sb_par::atomic::{as_atomic_u32, as_atomic_u8, as_atomic_usize};
+use sb_par::atomic::{as_atomic_u32, as_atomic_usize};
 use sb_par::counters::Counters;
-use sb_par::frontier::Scratch;
+use sb_par::frontier::{ActiveSet, BitFrontier, Frontier, MarkSet, Scratch};
 use sb_par::rng::hash2;
 use std::sync::atomic::Ordering;
 
@@ -126,11 +126,38 @@ pub fn gm_extend_frontier(
     counters: &Counters,
     scratch: &mut Scratch,
 ) {
+    gm_extend_frontier_impl::<Frontier>(g, view, mate, allowed, counters, scratch);
+}
+
+/// Bitset form of [`gm_extend_frontier`]: the identical dirty-cache proposal
+/// rounds with the live set held as u64 bitset words ([`BitFrontier`]) and
+/// the dirty marks as a word bitset. Iteration walks nonzero words by
+/// trailing zeros in ascending order — the same order as the worklist form —
+/// so outputs stay byte-identical to [`gm_extend`].
+pub fn gm_extend_bitset(
+    g: &Graph,
+    view: EdgeView<'_>,
+    mate: &mut [u32],
+    allowed: Option<&[bool]>,
+    counters: &Counters,
+    scratch: &mut Scratch,
+) {
+    gm_extend_frontier_impl::<BitFrontier>(g, view, mate, allowed, counters, scratch);
+}
+
+fn gm_extend_frontier_impl<W: ActiveSet>(
+    g: &Graph,
+    view: EdgeView<'_>,
+    mate: &mut [u32],
+    allowed: Option<&[bool]>,
+    counters: &Counters,
+    scratch: &mut Scratch,
+) {
     let n = g.num_vertices();
     assert_eq!(mate.len(), n);
     let allow = |v: usize| allowed.is_none_or(|a| a[v]);
 
-    let mut live = scratch.take_frontier();
+    let mut live = W::take(scratch);
     {
         let mate_ro: &[u32] = mate;
         live.reset_range(n, |v| {
@@ -140,7 +167,7 @@ pub fn gm_extend_frontier(
     let mut proposal = scratch.take_u32(n, INVALID);
     let mut cursor = scratch.take_usize(n, 0);
     // Dirty = the cached proposal may be stale; everything starts dirty.
-    let mut dirty = scratch.take_u8(n, 1);
+    let dirty = W::take_marks(scratch, n, true);
 
     while !live.is_empty() {
         let round = counters.round_scope(live.len() as u64);
@@ -151,14 +178,14 @@ pub fn gm_extend_frontier(
             let mate_at = as_atomic_u32(mate);
             let prop_at = as_atomic_u32(&mut proposal);
             let cur_at = as_atomic_usize(&mut cursor);
-            let dirty_at = as_atomic_u8(&mut dirty);
+            let dirty_mk = &dirty;
 
             // Phase 1: re-propose only where the cache is invalid.
-            live.as_slice().par_iter().for_each(|&v| {
-                if dirty_at[v as usize].load(Ordering::Relaxed) == 0 {
+            live.for_each(|v| {
+                if !dirty_mk.get(v) {
                     return;
                 }
-                dirty_at[v as usize].store(0, Ordering::Relaxed);
+                dirty_mk.put(v, false);
                 let nbrs = g.neighbors(v);
                 let eids = g.edge_ids_of(v);
                 let mut c = cur_at[v as usize].load(Ordering::Relaxed);
@@ -181,7 +208,7 @@ pub fn gm_extend_frontier(
             });
 
             // Phase 2: mutual proposals match, exactly as in the dense form.
-            live.as_slice().par_iter().for_each(|&v| {
+            live.for_each(|v| {
                 let p = prop_at[v as usize].load(Ordering::Relaxed);
                 if p != INVALID && v < p && prop_at[p as usize].load(Ordering::Relaxed) == v {
                     mate_at[v as usize].store(p, Ordering::Relaxed);
@@ -192,29 +219,29 @@ pub fn gm_extend_frontier(
             // Phase 2b: every vertex matched this round invalidates its
             // neighbors' cached proposals. Each vertex matches at most once,
             // so these scatters total O(m) over the whole run.
-            live.as_slice().par_iter().for_each(|&v| {
+            live.for_each(|v| {
                 if mate_at[v as usize].load(Ordering::Relaxed) == INVALID {
                     return;
                 }
                 counters.add_edges(g.degree(v) as u64);
                 for (w, _) in view.arcs(g, v) {
-                    dirty_at[w as usize].store(1, Ordering::Relaxed);
+                    dirty_mk.put(w, true);
                 }
             });
         }
 
-        // Phase 3: ping-pong compaction under the dense form's predicate.
+        // Phase 3: in-place compaction under the dense form's predicate.
         {
             let mate_ro: &[u32] = mate;
             let prop_ro: &[u32] = &proposal;
-            live.compact(|v| mate_ro[v as usize] == INVALID && prop_ro[v as usize] != INVALID);
+            live.retain(|v| mate_ro[v as usize] == INVALID && prop_ro[v as usize] != INVALID);
         }
         counters.finish_round(round, || (before - live.len()) as u64);
     }
     scratch.recycle_u32(proposal);
     scratch.recycle_usize(cursor);
-    scratch.recycle_u8(dirty);
-    scratch.recycle_frontier(live);
+    W::recycle_marks(dirty, scratch);
+    live.recycle(scratch);
 }
 
 /// The random-edge-priority variant (Blelloch-style): each vertex proposes

@@ -1,7 +1,10 @@
 //! Decomposition-based MIS (Algorithms 10–12 of the paper).
 
-use super::luby::{luby_extend, luby_extend_bsp, luby_extend_bsp_frontier, luby_extend_frontier};
-use super::oriented::oriented_mis_extend;
+use super::luby::{
+    luby_extend, luby_extend_bitset, luby_extend_bsp, luby_extend_bsp_bitset,
+    luby_extend_bsp_frontier, luby_extend_frontier,
+};
+use super::oriented::oriented_mis_extend_opts;
 use super::status::{IN, OUT, UNDECIDED};
 use super::MisRun;
 use crate::common::{counters_for_opts, Arch, FrontierMode, RunStats, SolveOpts};
@@ -60,6 +63,14 @@ fn base_mis_extend(
         (Arch::GpuSim, FrontierMode::Compact) => {
             let exec = BspExecutor::inheriting(counters);
             luby_extend_bsp_frontier(g, view, status, allowed, seed, &exec, scratch);
+            counters.merge(exec.counters());
+        }
+        (Arch::Cpu, FrontierMode::Bitset) => {
+            luby_extend_bitset(g, view, status, allowed, seed, counters, scratch)
+        }
+        (Arch::GpuSim, FrontierMode::Bitset) => {
+            let exec = BspExecutor::inheriting(counters);
+            luby_extend_bsp_bitset(g, view, status, allowed, seed, &exec, scratch);
             counters.merge(exec.counters());
         }
     }
@@ -482,7 +493,14 @@ fn mis_degk_solve(
     {
         let _span = counters.phase("fringe-peel");
         if k <= 2 {
-            oriented_mis_extend(g, d.low_view(), &mut status, Some(&low_side), &counters);
+            oriented_mis_extend_opts(
+                g,
+                d.low_view(),
+                &mut status,
+                Some(&low_side),
+                &counters,
+                opts.frontier,
+            );
         } else {
             base_mis_extend(
                 g,

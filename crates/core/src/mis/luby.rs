@@ -29,7 +29,7 @@ use sb_graph::view::EdgeView;
 use sb_par::atomic::as_atomic_u8;
 use sb_par::bsp::BspExecutor;
 use sb_par::counters::Counters;
-use sb_par::frontier::{compact_active, Scratch};
+use sb_par::frontier::{ActiveSet, BitFrontier, Frontier, MarkSet, Scratch};
 use sb_par::rng::hash3;
 use std::sync::atomic::Ordering;
 
@@ -290,16 +290,46 @@ pub fn luby_extend_frontier(
     counters: &Counters,
     scratch: &mut Scratch,
 ) {
+    luby_extend_frontier_impl::<Frontier>(g, view, status, allowed, seed, counters, scratch);
+}
+
+/// Bitset form of [`luby_extend_frontier`]: the same monomorphized round
+/// loop instantiated with [`BitFrontier`], so the live set is u64 words,
+/// the marked-candidate selection is a word-level AND (`select_marked_into`
+/// with one-bit-per-vertex marks), and compaction emits word-index runs.
+/// Byte-identical to the worklist form: both iterate members in increasing
+/// vertex order wherever order matters.
+pub fn luby_extend_bitset(
+    g: &Graph,
+    view: EdgeView<'_>,
+    status: &mut [u8],
+    allowed: Option<&[bool]>,
+    seed: u64,
+    counters: &Counters,
+    scratch: &mut Scratch,
+) {
+    luby_extend_frontier_impl::<BitFrontier>(g, view, status, allowed, seed, counters, scratch);
+}
+
+fn luby_extend_frontier_impl<W: ActiveSet>(
+    g: &Graph,
+    view: EdgeView<'_>,
+    status: &mut [u8],
+    allowed: Option<&[bool]>,
+    seed: u64,
+    counters: &Counters,
+    scratch: &mut Scratch,
+) {
     let n = g.num_vertices();
     assert_eq!(status.len(), n);
     let allow = |v: usize| allowed.is_none_or(|a| a[v]);
-    let mut work = scratch.take_frontier();
+    let mut work = W::take(scratch);
     work.reset_range(n, |v| status[v as usize] == UNDECIDED && allow(v as usize));
     let mut degree = scratch.take_u32(n, 0);
-    let mut marked = scratch.take_u8(n, 0);
-    // Compacted marked-candidate / winner lists, reused across rounds.
-    let mut cand: Vec<VertexId> = Vec::new();
-    let mut winners: Vec<VertexId> = Vec::new();
+    let marked = W::take_marks(scratch, n, false);
+    // Compacted marked-candidate / winner sets, reused across rounds.
+    let mut cand = W::take(scratch);
+    let mut winners = W::take(scratch);
     let mut round = 0u64;
 
     while !work.is_empty() {
@@ -311,12 +341,12 @@ pub fn luby_extend_frontier(
         {
             let st = as_atomic_u8(status);
             let deg_at = sb_par::atomic::as_atomic_u32(&mut degree);
-            let mk = as_atomic_u8(&mut marked);
+            let mk = &marked;
 
             // Sweep 1: residual degree + probabilistic marking. Every live
             // vertex is undecided by the frontier invariant, so the dense
             // form's status check is vacuous here.
-            work.as_slice().par_iter().for_each(|&v| {
+            work.for_each(|v| {
                 counters.add_edges(g.degree(v) as u64);
                 let mut d = 0u32;
                 for (w, _) in view.arcs(g, v) {
@@ -325,23 +355,17 @@ pub fn luby_extend_frontier(
                     }
                 }
                 deg_at[v as usize].store(d, Ordering::Relaxed);
-                let m = if d == 0 {
-                    1
-                } else {
-                    u8::from(hash3(seed, round, v as u64) < u64::MAX / (2 * d as u64))
-                };
-                mk[v as usize].store(m, Ordering::Relaxed);
+                let m = d == 0 // isolated in the residual graph: always a candidate
+                    || hash3(seed, round, v as u64) < u64::MAX / (2 * d.max(1) as u64);
+                mk.put(v, m);
             });
 
             // Sweep 2: conflict resolution over the marked candidates only.
-            // An unmarked vertex can never join, so compaction skips both
-            // its closure invocation and its residual-degree charge.
-            compact_active(
-                work.as_slice(),
-                |v| mk[v as usize].load(Ordering::Relaxed) == 1,
-                &mut cand,
-            );
-            cand.par_iter().for_each(|&v| {
+            // An unmarked vertex can never join, so the selection skips both
+            // its closure invocation and its residual-degree charge. In
+            // bitset mode this is live ∩ marked as one AND per word.
+            work.select_marked_into(mk, &mut cand);
+            cand.for_each(|v| {
                 counters.add_edges(deg_at[v as usize].load(Ordering::Relaxed) as u64);
                 let dv = (deg_at[v as usize].load(Ordering::Relaxed), v);
                 let beaten = view.arcs(g, v).any(|(w, _)| {
@@ -349,7 +373,7 @@ pub fn luby_extend_frontier(
                     sw == IN
                         || (sw == UNDECIDED
                             && allow(w as usize)
-                            && mk[w as usize].load(Ordering::Relaxed) == 1
+                            && mk.get(w)
                             && (deg_at[w as usize].load(Ordering::Relaxed), w) > dv)
                 });
                 if !beaten {
@@ -362,7 +386,7 @@ pub fn luby_extend_frontier(
             // neighbors; later rounds scatter from this round's winners —
             // the only possible source of new IN neighbors.
             if round == 1 {
-                work.as_slice().par_iter().for_each(|&v| {
+                work.for_each(|v| {
                     if st[v as usize].load(Ordering::Relaxed) != UNDECIDED {
                         return;
                     }
@@ -374,12 +398,11 @@ pub fn luby_extend_frontier(
                     }
                 });
             } else {
-                compact_active(
-                    &cand,
+                cand.select_into(
                     |v| st[v as usize].load(Ordering::Relaxed) == IN,
                     &mut winners,
                 );
-                winners.par_iter().for_each(|&u| {
+                winners.for_each(|u| {
                     counters.add_edges(g.degree(u) as u64);
                     for (w, _) in view.arcs(g, u) {
                         if st[w as usize].load(Ordering::Relaxed) == UNDECIDED && allow(w as usize)
@@ -391,12 +414,14 @@ pub fn luby_extend_frontier(
             }
         }
         let st_now: &[u8] = status;
-        work.compact(|v| st_now[v as usize] == UNDECIDED);
+        work.retain(|v| st_now[v as usize] == UNDECIDED);
         counters.finish_round(scope, || (live - work.len()) as u64);
     }
     scratch.recycle_u32(degree);
-    scratch.recycle_u8(marked);
-    scratch.recycle_frontier(work);
+    W::recycle_marks(marked, scratch);
+    winners.recycle(scratch);
+    cand.recycle(scratch);
+    work.recycle(scratch);
 }
 
 /// Frontier form of [`luby_extend_bsp`]: the same per-round kernels,
@@ -416,15 +441,41 @@ pub fn luby_extend_bsp_frontier(
     exec: &BspExecutor,
     scratch: &mut Scratch,
 ) {
+    luby_extend_bsp_frontier_impl::<Frontier>(g, view, status, allowed, seed, exec, scratch);
+}
+
+/// Bitset form of [`luby_extend_bsp_frontier`] (the [`BitFrontier`]
+/// instantiation); see [`luby_extend_bitset`] for the representation.
+pub fn luby_extend_bsp_bitset(
+    g: &Graph,
+    view: EdgeView<'_>,
+    status: &mut [u8],
+    allowed: Option<&[bool]>,
+    seed: u64,
+    exec: &BspExecutor,
+    scratch: &mut Scratch,
+) {
+    luby_extend_bsp_frontier_impl::<BitFrontier>(g, view, status, allowed, seed, exec, scratch);
+}
+
+fn luby_extend_bsp_frontier_impl<W: ActiveSet>(
+    g: &Graph,
+    view: EdgeView<'_>,
+    status: &mut [u8],
+    allowed: Option<&[bool]>,
+    seed: u64,
+    exec: &BspExecutor,
+    scratch: &mut Scratch,
+) {
     let n = g.num_vertices();
     assert_eq!(status.len(), n);
     let allow = |v: usize| allowed.is_none_or(|a| a[v]);
-    let mut work = scratch.take_frontier();
+    let mut work = W::take(scratch);
     work.reset_range(n, |v| status[v as usize] == UNDECIDED && allow(v as usize));
     let mut degree = scratch.take_u32(n, 0);
-    let mut marked = scratch.take_u8(n, 0);
-    let mut cand: Vec<VertexId> = Vec::new();
-    let mut winners: Vec<VertexId> = Vec::new();
+    let marked = W::take_marks(scratch, n, false);
+    let mut cand = W::take(scratch);
+    let mut winners = W::take(scratch);
     let mut round = 0u64;
     let counters = exec.counters();
 
@@ -435,10 +486,10 @@ pub fn luby_extend_bsp_frontier(
         {
             let st = as_atomic_u8(status);
             let deg_at = sb_par::atomic::as_atomic_u32(&mut degree);
-            let mk = as_atomic_u8(&mut marked);
+            let mk = &marked;
 
             // Kernel 1: residual degree + probabilistic marking.
-            exec.kernel_over(work.as_slice(), |v| {
+            exec.kernel_over_set(&work, |v| {
                 let vi = v as usize;
                 exec.counters().add_edges(g.degree(v) as u64);
                 let mut d = 0u32;
@@ -448,22 +499,14 @@ pub fn luby_extend_bsp_frontier(
                     }
                 }
                 deg_at[vi].store(d, Ordering::Relaxed);
-                let m = if d == 0 {
-                    1
-                } else {
-                    u8::from(hash3(seed, round, v as u64) < u64::MAX / (2 * d as u64))
-                };
-                mk[vi].store(m, Ordering::Relaxed);
+                let m = d == 0 || hash3(seed, round, v as u64) < u64::MAX / (2 * d.max(1) as u64);
+                mk.put(v, m);
             });
 
             // Kernel 2: conflict resolution, launched over the marked
             // candidates only (an unmarked vertex can never join).
-            compact_active(
-                work.as_slice(),
-                |v| mk[v as usize].load(Ordering::Relaxed) == 1,
-                &mut cand,
-            );
-            exec.kernel_over(&cand, |v| {
+            work.select_marked_into(mk, &mut cand);
+            exec.kernel_over_set(&cand, |v| {
                 let vi = v as usize;
                 exec.counters()
                     .add_edges(deg_at[vi].load(Ordering::Relaxed) as u64);
@@ -473,7 +516,7 @@ pub fn luby_extend_bsp_frontier(
                     sw == IN
                         || (sw == UNDECIDED
                             && allow(w as usize)
-                            && mk[w as usize].load(Ordering::Relaxed) == 1
+                            && mk.get(w)
                             && (deg_at[w as usize].load(Ordering::Relaxed), w) > dv)
                 });
                 if !beaten {
@@ -485,7 +528,7 @@ pub fn luby_extend_bsp_frontier(
             // earlier extend calls exclude too), later rounds scatter from
             // the winners.
             if round == 1 {
-                exec.kernel_over(work.as_slice(), |v| {
+                exec.kernel_over_set(&work, |v| {
                     let vi = v as usize;
                     if st[vi].load(Ordering::Relaxed) != UNDECIDED {
                         return;
@@ -499,12 +542,11 @@ pub fn luby_extend_bsp_frontier(
                     }
                 });
             } else {
-                compact_active(
-                    &cand,
+                cand.select_into(
                     |v| st[v as usize].load(Ordering::Relaxed) == IN,
                     &mut winners,
                 );
-                exec.kernel_over(&winners, |u| {
+                exec.kernel_over_set(&winners, |u| {
                     exec.counters().add_edges(g.degree(u) as u64);
                     for (w, _) in view.arcs(g, u) {
                         if st[w as usize].load(Ordering::Relaxed) == UNDECIDED && allow(w as usize)
@@ -520,13 +562,15 @@ pub fn luby_extend_bsp_frontier(
         // form's termination-count kernel.
         exec.counters().add_kernel(live as u64);
         let st_now: &[u8] = status;
-        work.compact(|v| st_now[v as usize] == UNDECIDED);
+        work.retain(|v| st_now[v as usize] == UNDECIDED);
         exec.end_round();
         counters.finish_round(scope, || (live - work.len()) as u64);
     }
     scratch.recycle_u32(degree);
-    scratch.recycle_u8(marked);
-    scratch.recycle_frontier(work);
+    W::recycle_marks(marked, scratch);
+    winners.recycle(scratch);
+    cand.recycle(scratch);
+    work.recycle(scratch);
 }
 
 /// Worklist-compacted Luby — the modern optimization of the same algorithm,

@@ -22,6 +22,7 @@
 
 use super::status::{IN, OUT, UNDECIDED};
 use super::undecided_participants;
+use crate::common::FrontierMode;
 use rayon::prelude::*;
 use sb_graph::csr::{Graph, VertexId, INVALID};
 use sb_graph::view::EdgeView;
@@ -50,20 +51,64 @@ pub fn oriented_mis_extend(
     allowed: Option<&[bool]>,
     counters: &Counters,
 ) {
+    oriented_mis_extend_opts(g, view, status, allowed, counters, FrontierMode::default());
+}
+
+/// [`oriented_mis_extend`] with an explicit live-set representation. The
+/// algorithm has no round-over-round frontier (the participant set is fixed
+/// at entry), so the mode only selects how the participant *membership
+/// mask* is held: `Dense`/`Compact` use the byte array, `Bitset` packs it
+/// into u64 words probed with shift-and-mask. Outputs are identical — the
+/// mask answers exactly the same membership queries either way.
+pub fn oriented_mis_extend_opts(
+    g: &Graph,
+    view: EdgeView<'_>,
+    status: &mut [u8],
+    allowed: Option<&[bool]>,
+    counters: &Counters,
+    mode: FrontierMode,
+) {
     let n = g.num_vertices();
     assert_eq!(status.len(), n);
     let parts: Vec<VertexId> = undecided_participants(status, allowed);
     if parts.is_empty() {
         return;
     }
-    let active: Vec<bool> = {
-        let mut a = vec![false; n];
-        for &v in &parts {
-            a[v as usize] = true;
+    match mode {
+        FrontierMode::Dense | FrontierMode::Compact => {
+            let active: Vec<bool> = {
+                let mut a = vec![false; n];
+                for &v in &parts {
+                    a[v as usize] = true;
+                }
+                a
+            };
+            oriented_mis_impl(g, view, status, counters, &parts, |w| active[w]);
         }
-        a
-    };
+        FrontierMode::Bitset => {
+            let words: Vec<u64> = {
+                let mut w = vec![0u64; n.div_ceil(64)];
+                for &v in &parts {
+                    w[v as usize / 64] |= 1u64 << (v % 64);
+                }
+                w
+            };
+            oriented_mis_impl(g, view, status, counters, &parts, |w| {
+                words[w / 64] >> (w % 64) & 1 == 1
+            });
+        }
+    }
+}
 
+fn oriented_mis_impl<A: Fn(usize) -> bool + Sync>(
+    g: &Graph,
+    view: EdgeView<'_>,
+    status: &mut [u8],
+    counters: &Counters,
+    parts: &[VertexId],
+    active: A,
+) {
+    let n = g.num_vertices();
     // Step 1: id-orientation → two forests. parent1 = smaller out-neighbor,
     // parent2 = larger out-neighbor (out-neighbor = active neighbor with a
     // larger id). Parents have strictly larger ids → both relations are
@@ -76,7 +121,7 @@ pub fn oriented_mis_extend(
             let mut cnt = 0;
             let mut deg_active = 0;
             for (w, _) in view.arcs(g, v) {
-                if active[w as usize] {
+                if active(w as usize) {
                     deg_active += 1;
                     if w > v {
                         debug_assert!(cnt < 2, "degree > 2 among participants at {v}");
@@ -102,8 +147,8 @@ pub fn oriented_mis_extend(
     }
 
     // Step 2: Cole–Vishkin on both forests simultaneously.
-    let mut c1: Vec<u32> = parts.clone();
-    let mut c2: Vec<u32> = parts.clone();
+    let mut c1: Vec<u32> = parts.to_vec();
+    let mut c2: Vec<u32> = parts.to_vec();
     loop {
         let max1 = c1.par_iter().copied().max().unwrap();
         let max2 = c2.par_iter().copied().max().unwrap();
@@ -169,7 +214,7 @@ pub fn oriented_mis_extend(
                 let v = parts[i as usize];
                 let mut used = [false; 3];
                 for (w, _) in view.arcs(g, v) {
-                    if active[w as usize] {
+                    if active(w as usize) {
                         let cw = color[dense[w as usize] as usize];
                         if cw < 3 {
                             used[cw as usize] = true;
@@ -226,7 +271,7 @@ pub fn oriented_mis_extend(
                 st[v as usize].store(IN, Ordering::Relaxed);
                 // Exclude active undecided neighbors (idempotent stores).
                 for (w, _) in view.arcs(g, v) {
-                    if active[w as usize] && st[w as usize].load(Ordering::Relaxed) == UNDECIDED {
+                    if active(w as usize) && st[w as usize].load(Ordering::Relaxed) == UNDECIDED {
                         st[w as usize].store(OUT, Ordering::Relaxed);
                     }
                 }

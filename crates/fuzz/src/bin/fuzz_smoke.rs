@@ -2,10 +2,13 @@
 //!
 //! Two phases, both required to pass:
 //!
-//! 1. **Planted-bug self-test**: runs a short sweep with the
-//!    `CorruptMatching` mutation planted and asserts the oracle catches
-//!    it and the shrinker minimizes it to ≤ 8 vertices. A harness that
-//!    cannot find a known bug proves nothing with a clean run.
+//! 1. **Planted-bug self-tests**: a short sweep with the
+//!    `CorruptMatching` mutation planted (the oracle must catch it and
+//!    the shrinker minimize it to ≤ 8 vertices), a stale decomposition
+//!    cache entry on the engine axis, and a bitset word-boundary
+//!    off-by-one (vertices 63/64/65) on the frontier-mode matrix. A
+//!    harness that cannot find a known bug proves nothing with a clean
+//!    run.
 //! 2. **Clean sweep**: the real solvers over the adversarial suite ×
 //!    configuration matrix under a wall-clock budget. Any counterexample
 //!    fails the run; its minimized case file and regression skeleton are
@@ -131,6 +134,27 @@ fn main() -> ExitCode {
             Err(f) => println!("self-test: planted stale decomposition cache caught ({f})"),
             Ok(()) => {
                 eprintln!("self-test FAILED: stale decomposition cache not caught");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Phase 1c: the mode matrix must catch a planted word-boundary
+    // off-by-one in the bitset frontier path — MIS bits flipped at
+    // vertices 63/64/65, the seam between u64 words 0 and 1.
+    {
+        use sb_core::mis::MisAlgorithm;
+        use sb_core::Arch;
+        use sb_fuzz::SolverConfig;
+        let n = 70u32;
+        let mut edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        edges.extend((0..n).map(|i| (i, (i * 7 + 3) % n)));
+        let g = sb_graph::builder::from_edge_list(n as usize, &edges);
+        let cfg = SolverConfig::Mis(MisAlgorithm::Baseline, Arch::Cpu);
+        match sb_fuzz::oracle::check_case(&g, &cfg, 9, args.threads, Mutation::BitsetWordBoundary) {
+            Err(f) => println!("self-test: planted bitset word-boundary bug caught ({f})"),
+            Ok(()) => {
+                eprintln!("self-test FAILED: bitset word-boundary off-by-one not caught");
                 return ExitCode::FAILURE;
             }
         }

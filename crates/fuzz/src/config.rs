@@ -9,7 +9,7 @@ use sb_core::Arch;
 
 /// One solver configuration: problem family × algorithm × architecture.
 /// Frontier mode and thread count are *not* part of the configuration —
-/// the oracle runs every configuration at dense/compact × 1/N and
+/// the oracle runs every configuration at dense/compact/bitset × 1/N and
 /// cross-checks, which is the whole point.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SolverConfig {

@@ -2,14 +2,15 @@
 //! frontier-mode × thread-count matrix and cross-check everything the
 //! project's contracts promise (DESIGN.md §10–§11).
 //!
-//! Per case the oracle runs dense@1, compact@1, dense@N, compact@N, and
-//! checks:
+//! Per case the oracle runs all three frontier modes (dense, compact,
+//! bitset) at 1 and N threads — six runs — and checks:
 //!
 //! 1. **Validity + maximality** of every run against the sequential
 //!    oracles in `sb_core::verify`.
-//! 2. **Byte-equality** where the contract promises it: all four runs for
-//!    matching and MIS; dense@1 vs compact@1 for coloring (VB's
-//!    speculative conflict resolution is interleaving-dependent at N).
+//! 2. **Byte-equality** where the contract promises it: all six runs for
+//!    matching and MIS; the 1-thread runs across all three modes for
+//!    coloring (VB's speculative conflict resolution is
+//!    interleaving-dependent at N).
 //! 3. **Trace/counter accounting**: the top-level span deltas of the
 //!    trace must sum to exactly the run's counter snapshot.
 //! 4. **Round accounting**: per-phase round records are thread-invariant
@@ -45,6 +46,13 @@ pub enum Mutation {
     /// or mis-keyed cache entry. The engine axis must catch the resulting
     /// cached-vs-fresh divergence; the solver matrix ignores it.
     StaleDecompCache,
+    /// Flip the MIS membership of vertices 63/64/65 after every
+    /// *bitset-mode* solve — the footprint of the classic `i & 63` /
+    /// `i >> 6` off-by-one at the u64 word seam. Flipping any bit of a
+    /// maximal independent set breaks independence or maximality, so the
+    /// oracle must flag it on any graph whose universe reaches word 1
+    /// (and must stay clean on graphs that never do).
+    BitsetWordBoundary,
 }
 
 /// One contract violation found by the oracle.
@@ -109,7 +117,15 @@ fn run_one(
             }
             SolverConfig::Mis(algo, arch) => {
                 let run = maximal_independent_set_opts(g, algo, arch, seed, &opts);
-                (Output::Set(run.in_set), run.stats)
+                let mut in_set = run.in_set;
+                if mutation == Mutation::BitsetWordBoundary && mode == FrontierMode::Bitset {
+                    for v in [63usize, 64, 65] {
+                        if let Some(b) = in_set.get_mut(v) {
+                            *b = !*b;
+                        }
+                    }
+                }
+                (Output::Set(in_set), run.stats)
             }
             SolverConfig::Color(algo, arch) => {
                 let run = vertex_coloring_opts(g, algo, arch, seed, &opts);
@@ -153,8 +169,10 @@ pub fn check_case(
     let combos = [
         (FrontierMode::Dense, 1),
         (FrontierMode::Compact, 1),
+        (FrontierMode::Bitset, 1),
         (FrontierMode::Dense, wide.max(1)),
         (FrontierMode::Compact, wide.max(1)),
+        (FrontierMode::Bitset, wide.max(1)),
     ];
     let runs: Vec<RunOutput> = combos
         .iter()
@@ -180,12 +198,14 @@ pub fn check_case(
         }
         SolverConfig::Color(..) => {
             // VB's conflict-fix loop is interleaving-dependent, so the
-            // contract only promises identity at one thread.
-            if runs[1].out != runs[0].out {
-                return Err(Failure {
-                    kind: "equality",
-                    detail: format!("{} differs from {}", runs[1].tag, runs[0].tag),
-                });
+            // contract only promises cross-mode identity at one thread.
+            for run in runs.iter().filter(|r| r.threads == 1).skip(1) {
+                if run.out != runs[0].out {
+                    return Err(Failure {
+                        kind: "equality",
+                        detail: format!("{} differs from {}", run.tag, runs[0].tag),
+                    });
+                }
             }
         }
     }
@@ -217,7 +237,11 @@ pub fn check_case(
     // 4a. Per-phase round records are thread-invariant within a mode for
     // the seed-deterministic families (matching, MIS).
     if !matches!(cfg, SolverConfig::Color(..)) {
-        for mode in [FrontierMode::Dense, FrontierMode::Compact] {
+        for mode in [
+            FrontierMode::Dense,
+            FrontierMode::Compact,
+            FrontierMode::Bitset,
+        ] {
             let pair: Vec<&RunOutput> = runs.iter().filter(|r| r.mode == mode).collect();
             let a = sb_trace::rounds_per_phase(&pair[0].events);
             let b = sb_trace::rounds_per_phase(&pair[1].events);
@@ -526,6 +550,34 @@ mod tests {
         let mut edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
         edges.extend((0..n).map(|i| (i, (i * 7 + 3) % n)));
         from_edge_list(n as usize, &edges)
+    }
+
+    #[test]
+    fn planted_word_boundary_bug_is_caught() {
+        // A universe reaching into u64 word 1 (70 > 65): the planted
+        // bitset off-by-one at vertices 63/64/65 must trip the oracle as
+        // a validity or cross-mode equality failure.
+        let n = 70u32;
+        let mut edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i, i + 1)).collect();
+        edges.extend((0..n).map(|i| (i, (i * 7 + 3) % n)));
+        let g = from_edge_list(n as usize, &edges);
+        let cfg = SolverConfig::Mis(sb_core::mis::MisAlgorithm::Baseline, Arch::Cpu);
+        let f = check_case(&g, &cfg, 7, 2, Mutation::BitsetWordBoundary).unwrap_err();
+        assert!(
+            f.kind == "validity" || f.kind == "equality",
+            "want a word-boundary violation, got {f}"
+        );
+    }
+
+    #[test]
+    fn word_boundary_bug_needs_a_second_word() {
+        // The mutation targets bits 63/64/65; a 5-vertex universe never
+        // reaches them, so the planted bug is a no-op and the sweep must
+        // stay clean — pinning that the self-test really is about the
+        // word seam, not generic corruption.
+        let g = from_edge_list(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let cfg = SolverConfig::Mis(sb_core::mis::MisAlgorithm::Baseline, Arch::Cpu);
+        check_case(&g, &cfg, 7, 2, Mutation::BitsetWordBoundary).unwrap();
     }
 
     #[test]

@@ -24,6 +24,8 @@ pub mod iter;
 mod pool;
 mod sort;
 
+pub use pool::{schedule_strategy, set_schedule_strategy, ScheduleStrategy};
+
 /// The traits user code imports with `use rayon::prelude::*`.
 pub mod prelude {
     pub use crate::iter::{FromParallelIterator, IndexedParallelIterator, ParallelIterator};
@@ -425,6 +427,56 @@ mod tests {
         // The pool survives the panic and keeps executing.
         let s: usize = pool.install(|| (0..N).into_par_iter().map(|_| 1usize).sum());
         assert_eq!(s, N);
+    }
+
+    #[test]
+    fn both_schedule_strategies_cover_every_item_once() {
+        // The strategy knob is process-global, so this test only asserts
+        // properties that hold under either strategy for concurrently
+        // running tests: here, exactly-once execution and correct sums.
+        let pool = quad_pool();
+        let before = super::schedule_strategy();
+        for strat in [
+            super::ScheduleStrategy::GlobalCounter,
+            super::ScheduleStrategy::Stealing,
+        ] {
+            super::set_schedule_strategy(strat);
+            pool.install(|| {
+                let cells: Vec<AtomicUsize> = (0..N).map(|_| AtomicUsize::new(0)).collect();
+                cells.par_iter().for_each(|c| {
+                    c.fetch_add(1, Ordering::Relaxed);
+                });
+                assert!(
+                    cells.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                    "{strat:?} missed or repeated items"
+                );
+                let s: u64 = (0..N as u64).into_par_iter().sum();
+                assert_eq!(s, (N as u64 - 1) * N as u64 / 2, "{strat:?}");
+            });
+        }
+        super::set_schedule_strategy(before);
+    }
+
+    #[test]
+    fn skewed_workload_completes_under_stealing() {
+        // One item ~1000x heavier than the rest: the static partitions are
+        // badly imbalanced, so steal-half rebalancing carries the load.
+        let pool = quad_pool();
+        pool.install(|| {
+            let heavy = N / 2;
+            let s: u64 = (0..N)
+                .into_par_iter()
+                .map(|i| {
+                    let spins = if i == heavy { 100_000u64 } else { 100 };
+                    let mut acc = i as u64;
+                    for k in 0..spins {
+                        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(k);
+                    }
+                    acc & 1
+                })
+                .sum();
+            assert!(s <= N as u64);
+        });
     }
 
     #[test]

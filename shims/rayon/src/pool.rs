@@ -8,9 +8,17 @@
 //!   host's available parallelism); explicit pools come from
 //!   [`crate::ThreadPoolBuilder`].
 //! * A parallel call splits its work into **pieces** and publishes one job to
-//!   the pool. Workers and the caller all run the same claim loop: grab the
-//!   next piece index from an atomic counter, run it, repeat. Dynamic
-//!   claiming load-balances skewed pieces for free.
+//!   the pool. Workers and the caller all run the same claim loop. Two
+//!   claim disciplines exist, selected by [`ScheduleStrategy`]:
+//!   - **Stealing** (the default): each participant owns a bounded deque — a
+//!     contiguous piece range packed into one `AtomicU64` — pops chunks from
+//!     its own bottom, and steals the top half of a victim's range when its
+//!     own deque runs dry. Chunk size starts coarse and halves under
+//!     observed steal pressure, so uniform workloads pay near-zero claim
+//!     traffic while skewed workloads rebalance (see DESIGN.md §14).
+//!   - **GlobalCounter**: the original single `AtomicUsize` claim counter,
+//!     kept runtime-selectable (`SBREAK_POOL_STRATEGY=counter`) as the A/B
+//!     baseline for `ablate_threads`.
 //! * The **caller always runs the claim loop itself**, so every parallel call
 //!   makes progress even if all workers are busy elsewhere — the pool only
 //!   ever accelerates, it can never deadlock a caller.
@@ -24,7 +32,7 @@
 //!   observable behavior as rayon.
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::time::Instant;
 
@@ -50,6 +58,16 @@ struct PoolMetrics {
     /// Time callers spent waiting for stragglers after exhausting the
     /// claim counter themselves, microseconds.
     caller_wait_us: sb_metrics::Counter,
+    /// Successful steals: a participant took the top half of a victim's
+    /// piece range (stealing strategy only).
+    steals: sb_metrics::Counter,
+    /// Steal attempts that lost the CAS race or found the victim drained
+    /// between the scan and the attempt.
+    steal_failures: sb_metrics::Counter,
+    /// Chunk sizes (in pieces) claimed by pop/steal operations, log2
+    /// buckets — shows how far the adaptive chunk size decayed under steal
+    /// pressure.
+    chunk_pieces: sb_metrics::Histogram,
 }
 
 fn metrics() -> &'static PoolMetrics {
@@ -66,13 +84,251 @@ fn metrics() -> &'static PoolMetrics {
             threads_started: r.counter("sb_pool_threads_started", Runtime),
             worker_idle_us: r.counter("sb_pool_worker_idle_us", Runtime),
             caller_wait_us: r.counter("sb_pool_caller_wait_us", Runtime),
+            steals: r.counter("sb_pool_steals", Runtime),
+            steal_failures: r.counter("sb_pool_steal_failures", Runtime),
+            chunk_pieces: r.histogram("sb_pool_chunk_pieces", Runtime),
         }
     })
 }
 
-/// Pieces-per-thread oversubscription factor: enough pieces that dynamic
-/// claiming can balance skew, few enough that claim overhead is noise.
+/// How a parallel call's pieces are claimed by the pool's participants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleStrategy {
+    /// Per-participant bounded deques with steal-half rebalancing and an
+    /// adaptive chunk size (the default).
+    Stealing,
+    /// The original single global `AtomicUsize` claim counter — the A/B
+    /// baseline for the stealing scheduler.
+    GlobalCounter,
+}
+
+/// Current strategy, encoded: 0 = unresolved, 1 = Stealing, 2 = GlobalCounter.
+static STRATEGY: AtomicU8 = AtomicU8::new(0);
+
+/// The strategy governing parallel calls right now. Resolved once from
+/// `SBREAK_POOL_STRATEGY` (`stealing` | `counter`) on first use, default
+/// `Stealing`; overridable at runtime with [`set_schedule_strategy`].
+pub fn schedule_strategy() -> ScheduleStrategy {
+    match STRATEGY.load(Ordering::Relaxed) {
+        1 => ScheduleStrategy::Stealing,
+        2 => ScheduleStrategy::GlobalCounter,
+        _ => {
+            let resolved = match std::env::var("SBREAK_POOL_STRATEGY").as_deref() {
+                Ok("counter") | Ok("global-counter") => ScheduleStrategy::GlobalCounter,
+                _ => ScheduleStrategy::Stealing,
+            };
+            set_schedule_strategy(resolved);
+            resolved
+        }
+    }
+}
+
+/// Select the claim discipline for subsequent parallel calls (process-wide;
+/// in-flight calls finish under the strategy they started with).
+pub fn set_schedule_strategy(s: ScheduleStrategy) {
+    let code = match s {
+        ScheduleStrategy::Stealing => 1,
+        ScheduleStrategy::GlobalCounter => 2,
+    };
+    STRATEGY.store(code, Ordering::Relaxed);
+}
+
+/// A claim discipline distributes piece indices `0..pieces` over the
+/// participants of one parallel call. Every participant (caller + worker
+/// copies) calls [`claim`](ClaimDiscipline::claim) exactly once; each piece
+/// index must be handed to `run_piece` exactly once across all participants.
+/// `run_piece` returns `false` when the call is poisoned and the loop should
+/// drain without executing further pieces.
+trait ClaimDiscipline: Sync {
+    fn claim(&self, run_piece: &(dyn Fn(usize) -> bool + Sync));
+}
+
+/// The original discipline: one global fetch-add counter. Two atomic ops
+/// per claim, but every claim contends on one cache line.
+struct CounterClaim {
+    next: AtomicUsize,
+    pieces: usize,
+}
+
+impl ClaimDiscipline for CounterClaim {
+    fn claim(&self, run_piece: &(dyn Fn(usize) -> bool + Sync)) {
+        // One batched metrics update per runner copy, not per piece:
+        // the claim loop itself must stay two atomic ops long.
+        let mut claimed = 0u64;
+        loop {
+            let i = self.next.fetch_add(1, Ordering::Relaxed);
+            if i >= self.pieces {
+                break;
+            }
+            claimed += 1;
+            if !run_piece(i) {
+                break;
+            }
+        }
+        if claimed > 0 {
+            metrics().pieces_claimed.add(claimed);
+        }
+    }
+}
+
+/// Pack a half-open piece range `[lo, hi)` into one `AtomicU64` word so a
+/// pop or steal is a single compare-exchange — no Chase–Lev ABA concerns,
+/// because the whole deque state moves atomically.
+#[inline]
+fn pack(lo: u32, hi: u32) -> u64 {
+    (u64::from(hi) << 32) | u64::from(lo)
+}
+
+#[inline]
+fn unpack(word: u64) -> (u32, u32) {
+    (word as u32, (word >> 32) as u32)
+}
+
+/// The stealing discipline (DESIGN.md §14): each participant owns one
+/// bounded deque — a contiguous range of piece indices in a packed
+/// `AtomicU64`. Owners pop adaptive-size chunks from the bottom (`lo`);
+/// when dry, they scan the other slots and steal the **top half** of a
+/// victim's range (`hi` side), depositing the stolen range into their own
+/// empty slot. The chunk size starts coarse (half a slot's initial share)
+/// and halves per observed steal, floor 1: uniform workloads touch their
+/// own cache line a handful of times, skewed workloads decay to fine-grained
+/// rebalancing.
+struct StealClaim {
+    /// One packed `[lo, hi)` range per slot. Invariant: a slot is written
+    /// by arbitrary thieves via CAS, but *stored* (non-CAS) only by its
+    /// owner, and only while empty — see the deposit comment in `claim`.
+    deques: Vec<AtomicU64>,
+    /// Participants that have entered `claim`, used to hand out unique
+    /// slot indices. Participants ≤ num_threads = slot count by
+    /// construction of `run`.
+    joined: AtomicUsize,
+    /// Total successful steals in this call — the pressure signal the
+    /// adaptive chunk size keys off.
+    steals: AtomicUsize,
+    /// Starting chunk size: half of one slot's initial share.
+    initial_chunk: usize,
+}
+
+impl StealClaim {
+    fn new(pieces: usize, slots: usize) -> StealClaim {
+        let slots = slots.max(1);
+        // Contiguous static partition; slots past the work end start empty.
+        let share = pieces.div_ceil(slots);
+        let deques = (0..slots)
+            .map(|s| {
+                let lo = (s * share).min(pieces);
+                let hi = ((s + 1) * share).min(pieces);
+                AtomicU64::new(pack(lo as u32, hi as u32))
+            })
+            .collect();
+        StealClaim {
+            deques,
+            joined: AtomicUsize::new(0),
+            steals: AtomicUsize::new(0),
+            initial_chunk: share.div_ceil(2).max(1),
+        }
+    }
+
+    /// Chunk size under current steal pressure: start coarse, halve per
+    /// observed steal (saturating at a 64x reduction), floor 1.
+    fn chunk_size(&self) -> usize {
+        let pressure = self.steals.load(Ordering::Relaxed).min(6) as u32;
+        (self.initial_chunk >> pressure).max(1)
+    }
+}
+
+impl ClaimDiscipline for StealClaim {
+    fn claim(&self, run_piece: &(dyn Fn(usize) -> bool + Sync)) {
+        let slots = self.deques.len();
+        let me = self.joined.fetch_add(1, Ordering::Relaxed) % slots;
+        let mut claimed = 0u64;
+        'work: loop {
+            // Pop chunks from the bottom of our own deque until it is dry.
+            loop {
+                let cur = self.deques[me].load(Ordering::Acquire);
+                let (lo, hi) = unpack(cur);
+                if lo >= hi {
+                    break;
+                }
+                let take = self.chunk_size().min((hi - lo) as usize) as u32;
+                if self.deques[me]
+                    .compare_exchange(
+                        cur,
+                        pack(lo + take, hi),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_err()
+                {
+                    // A thief moved `hi` under us; reload and retry.
+                    continue;
+                }
+                metrics().chunk_pieces.observe(u64::from(take));
+                claimed += u64::from(take);
+                for i in lo..lo + take {
+                    if !run_piece(i as usize) {
+                        break 'work;
+                    }
+                }
+            }
+            // Own deque dry: scan the other slots for a victim and steal
+            // the top half of its range.
+            let mut saw_work = false;
+            for d in 1..slots {
+                let victim = (me + d) % slots;
+                let cur = self.deques[victim].load(Ordering::Acquire);
+                let (lo, hi) = unpack(cur);
+                if lo >= hi {
+                    continue;
+                }
+                saw_work = true;
+                let take = ((hi - lo) as usize).div_ceil(2) as u32;
+                if self.deques[victim]
+                    .compare_exchange(
+                        cur,
+                        pack(lo, hi - take),
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    )
+                    .is_ok()
+                {
+                    // Deposit the stolen range into our own slot. A plain
+                    // store (not CAS) is sound: only the owner stores to
+                    // its slot, and only while the slot is empty — a
+                    // concurrent thief's CAS on this slot either read the
+                    // pre-store empty word (so it skipped us as drained) or
+                    // the post-store word (an ordinary race-free steal).
+                    self.deques[me].store(pack(hi - take, hi), Ordering::Release);
+                    self.steals.fetch_add(1, Ordering::Relaxed);
+                    metrics().steals.inc();
+                    continue 'work;
+                }
+                metrics().steal_failures.inc();
+            }
+            if !saw_work {
+                // Every deque observed empty: all pieces are claimed
+                // (in-flight chunks belong to participants executing them).
+                break;
+            }
+            // Lost every steal race this scan; back off briefly and rescan.
+            std::hint::spin_loop();
+        }
+        if claimed > 0 {
+            metrics().pieces_claimed.add(claimed);
+        }
+    }
+}
+
+/// Pieces-per-thread oversubscription factor under the global-counter
+/// discipline: enough pieces that dynamic claiming can balance skew, few
+/// enough that claim overhead is noise.
 const PIECES_PER_THREAD: usize = 4;
+
+/// Pieces-per-thread under the stealing discipline: the per-owner deques
+/// make claims nearly free (uniform loads pop a handful of coarse chunks),
+/// so we can afford a finer split that gives steal-half rebalancing real
+/// granularity on skewed workloads.
+const STEAL_PIECES_PER_THREAD: usize = 16;
 
 /// Below this many base items a parallel call runs sequentially inline —
 /// dispatch costs more than the work (compare `prim::BLOCK`).
@@ -190,42 +446,57 @@ impl PoolCore {
 
     /// Run `pieces` work items: `piece_fn(i)` for every `i in 0..pieces`,
     /// claimed dynamically by the caller and up to `num_threads - 1`
-    /// workers. Returns when every piece has finished. Re-throws the first
-    /// piece panic on the calling thread.
+    /// workers under the current [`ScheduleStrategy`]. Returns when every
+    /// piece has finished. Re-throws the first piece panic on the calling
+    /// thread.
     pub(crate) fn run(self: &Arc<Self>, pieces: usize, piece_fn: &(dyn Fn(usize) + Sync)) {
         if pieces == 0 {
             return;
         }
+        match schedule_strategy() {
+            ScheduleStrategy::GlobalCounter => self.run_with(
+                pieces,
+                piece_fn,
+                &CounterClaim {
+                    next: AtomicUsize::new(0),
+                    pieces,
+                },
+            ),
+            ScheduleStrategy::Stealing => {
+                self.run_with(pieces, piece_fn, &StealClaim::new(pieces, self.num_threads))
+            }
+        }
+    }
+
+    fn run_with(
+        self: &Arc<Self>,
+        pieces: usize,
+        piece_fn: &(dyn Fn(usize) + Sync),
+        discipline: &dyn ClaimDiscipline,
+    ) {
         metrics().par_calls.inc();
-        let next = AtomicUsize::new(0);
         let poisoned = AtomicBool::new(false);
         let panic_slot: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
-        let runner = || {
-            // One batched metrics update per runner copy, not per piece:
-            // the claim loop itself must stay two atomic ops long.
-            let mut claimed = 0u64;
-            loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= pieces || poisoned.load(Ordering::Relaxed) {
-                    break;
-                }
-                claimed += 1;
-                // Keep the engine alive through piece panics: record the
-                // first payload, drain the rest of the claim loop fast.
-                if let Err(payload) =
-                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| piece_fn(i)))
-                {
-                    poisoned.store(true, Ordering::Relaxed);
-                    let mut slot = panic_slot.lock().unwrap();
-                    if slot.is_none() {
-                        *slot = Some(payload);
-                    }
+        // Shared piece executor: claimed by whichever discipline is active.
+        // Returns false once the call is poisoned, telling the discipline's
+        // claim loop to drain fast. Keeps the engine alive through piece
+        // panics: record the first payload, re-throw it on the caller.
+        let run_piece = |i: usize| -> bool {
+            if poisoned.load(Ordering::Relaxed) {
+                return false;
+            }
+            if let Err(payload) =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| piece_fn(i)))
+            {
+                poisoned.store(true, Ordering::Relaxed);
+                let mut slot = panic_slot.lock().unwrap();
+                if slot.is_none() {
+                    *slot = Some(payload);
                 }
             }
-            if claimed > 0 {
-                metrics().pieces_claimed.add(claimed);
-            }
+            true
         };
+        let runner = || discipline.claim(&run_piece);
 
         let copies = (self.num_threads - 1).min(pieces.saturating_sub(1));
         let job = if copies > 0 {
@@ -351,7 +622,11 @@ pub(crate) fn piece_count(work_items: usize) -> usize {
     if threads <= 1 || work_items < SEQ_THRESHOLD {
         return 1;
     }
-    (threads * PIECES_PER_THREAD).min(work_items)
+    let per_thread = match schedule_strategy() {
+        ScheduleStrategy::Stealing => STEAL_PIECES_PER_THREAD,
+        ScheduleStrategy::GlobalCounter => PIECES_PER_THREAD,
+    };
+    (threads * per_thread).min(work_items)
 }
 
 /// Guard that pushes a pool as this thread's current for a scope.
@@ -395,5 +670,144 @@ impl PoolHandle {
 impl Drop for PoolHandle {
     fn drop(&mut self) {
         self.core.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive a discipline with `participants` scoped threads and return how
+    /// many times each piece index was handed out.
+    fn drive(d: &dyn ClaimDiscipline, pieces: usize, participants: usize) -> Vec<usize> {
+        let counts: Vec<AtomicUsize> = (0..pieces).map(|_| AtomicUsize::new(0)).collect();
+        let run_piece = |i: usize| -> bool {
+            counts[i].fetch_add(1, Ordering::Relaxed);
+            true
+        };
+        std::thread::scope(|s| {
+            for _ in 0..participants {
+                s.spawn(|| d.claim(&run_piece));
+            }
+        });
+        counts.iter().map(|c| c.load(Ordering::Relaxed)).collect()
+    }
+
+    #[test]
+    fn counter_claim_hands_out_each_piece_exactly_once() {
+        for (pieces, parts) in [(1, 1), (7, 3), (64, 4), (1000, 8)] {
+            let d = CounterClaim {
+                next: AtomicUsize::new(0),
+                pieces,
+            };
+            let counts = drive(&d, pieces, parts);
+            assert!(
+                counts.iter().all(|&c| c == 1),
+                "pieces={pieces} parts={parts}: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn steal_claim_hands_out_each_piece_exactly_once() {
+        // Shapes chosen to hit: single slot (no thieves), pieces < slots
+        // (empty tail slots), pieces not divisible by slots, fewer
+        // participants than slots (unowned non-empty slots must be stolen),
+        // and chunk sizes spanning several halvings.
+        for (pieces, slots, parts) in [
+            (1, 1, 1),
+            (7, 4, 3),
+            (64, 4, 4),
+            (5, 8, 5),
+            (129, 2, 2),
+            (1000, 8, 8),
+            (33, 8, 2),
+        ] {
+            let d = StealClaim::new(pieces, slots);
+            let counts = drive(&d, pieces, parts);
+            assert!(
+                counts.iter().all(|&c| c == 1),
+                "pieces={pieces} slots={slots} parts={parts}: {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn steal_claim_rebalances_away_from_a_stuck_owner() {
+        // Slot 0's owner stalls inside its first chunk; the other
+        // participant must drain its own partition and then steal the rest
+        // of slot 0's range, so the call still covers every piece.
+        let pieces = 64;
+        let d = StealClaim::new(pieces, 2);
+        let counts: Vec<AtomicUsize> = (0..pieces).map(|_| AtomicUsize::new(0)).collect();
+        let run_piece = |i: usize| -> bool {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(40));
+            }
+            counts[i].fetch_add(1, Ordering::Relaxed);
+            true
+        };
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| d.claim(&run_piece));
+            }
+        });
+        assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        assert!(
+            d.steals.load(Ordering::Relaxed) > 0,
+            "the free participant never stole from the stuck owner"
+        );
+    }
+
+    #[test]
+    fn steal_claim_chunk_size_decays_under_pressure() {
+        let d = StealClaim::new(1024, 4);
+        assert_eq!(d.chunk_size(), 128);
+        d.steals.store(1, Ordering::Relaxed);
+        assert_eq!(d.chunk_size(), 64);
+        d.steals.store(6, Ordering::Relaxed);
+        assert_eq!(d.chunk_size(), 2);
+        // Pressure saturates: the floor is 1 piece, never 0.
+        d.steals.store(1000, Ordering::Relaxed);
+        assert_eq!(d.chunk_size(), 2);
+        let tiny = StealClaim::new(3, 4);
+        tiny.steals.store(1000, Ordering::Relaxed);
+        assert_eq!(tiny.chunk_size(), 1);
+    }
+
+    #[test]
+    fn steal_claim_poison_drains_without_running_pieces() {
+        // Once run_piece reports poison, participants must exit their claim
+        // loops promptly instead of spinning on unclaimed work.
+        let d = StealClaim::new(256, 2);
+        let executed = AtomicUsize::new(0);
+        let run_piece = |_i: usize| -> bool {
+            executed.fetch_add(1, Ordering::Relaxed);
+            false
+        };
+        std::thread::scope(|s| {
+            for _ in 0..2 {
+                s.spawn(|| d.claim(&run_piece));
+            }
+        });
+        assert!(executed.load(Ordering::Relaxed) <= 2);
+    }
+
+    #[test]
+    fn packed_range_roundtrips() {
+        for (lo, hi) in [(0u32, 0u32), (0, 1), (17, 4096), (u32::MAX - 1, u32::MAX)] {
+            assert_eq!(unpack(pack(lo, hi)), (lo, hi));
+        }
+    }
+
+    #[test]
+    fn strategy_env_and_setter_resolve() {
+        // The setter wins over whatever the env resolved to; restore after.
+        let before = schedule_strategy();
+        set_schedule_strategy(ScheduleStrategy::GlobalCounter);
+        assert_eq!(schedule_strategy(), ScheduleStrategy::GlobalCounter);
+        set_schedule_strategy(ScheduleStrategy::Stealing);
+        assert_eq!(schedule_strategy(), ScheduleStrategy::Stealing);
+        set_schedule_strategy(before);
     }
 }

@@ -13,7 +13,7 @@
 //!                  [--trace-dir d] [--out-dir d] [-o BENCH_engine.json]
 //! sbreak profile   <trace.jsonl> [--top K] [--metrics snapshot.json]
 //! sbreak perfdiff  <baseline.json> <candidate.json>
-//!                  [--rel-tol F] [--abs-floor F]
+//!                  [--rel-tol F] [--abs-floor F] [--strict]
 //! sbreak serve     [--addr HOST:PORT] [--workers N] [--queue-cap N]
 //!                  [--cache-cap N] [--tenant-quota BYTES] [--deadline-ms T]
 //! sbreak loadgen   [gen:<graph>] [--addr HOST:PORT] [--clients N]
@@ -34,16 +34,21 @@
 //! (Prometheus text when the path ends in `.prom`) on exit. `profile` digests a recorded trace into per-phase round-time
 //! percentiles and the hottest rounds (pass the snapshot back via
 //! `--metrics` for the cache/arena summary); `perfdiff` compares two
-//! BENCH-shaped reports and exits nonzero on regression (DESIGN.md §12).
+//! BENCH-shaped reports and exits nonzero when an enforced cell regressed:
+//! `edges` columns (Logical class — deterministic work totals) always,
+//! `ms`/`us` columns (Runtime class — host timing) only under `--strict`
+//! (DESIGN.md §12).
 //!
 //! `--threads <n>` pins the parallel execution to an `n`-thread pool (the
 //! rayon layer runs a real worker pool); the default is the host's
 //! available parallelism.
 //!
-//! `--frontier dense|compact` (on `solve`) picks the round-loop live-set
+//! `--frontier dense|compact|bitset` (on `solve`) picks the round-loop live-set
 //! strategy: `compact` (the default) iterates compacted worklists of
 //! still-undecided vertices, `dense` rescans `0..n` every round (the
-//! pre-frontier behavior, kept for A/B comparison).
+//! pre-frontier behavior, kept for A/B comparison), and `bitset` keeps the
+//! live set as u64 bitset words iterated by trailing zeros — byte-identical
+//! results to `compact` at lower memory traffic.
 //!
 //! `serve` runs the resident multi-tenant solve daemon: JSONL requests
 //! over TCP against one shared cached-decomposition engine (DESIGN.md
@@ -73,14 +78,14 @@ fn usage() -> ! {
          sbreak stats <input> [--bridges] [--blocks] [--scale F] [--seed S]\n  \
          sbreak decompose <input> --method bridge|rand:K|degk:K|metis:K|bicc [--seed S] [--trace <out.jsonl>]\n  \
          sbreak solve <input> --problem mm|color|mis [--algo baseline|bridge|rand:K|degk:K|bicc]\n  \
-         \x20            [--arch cpu|gpu] [--frontier dense|compact] [--seed S] [--threads N]\n  \
+         \x20            [--arch cpu|gpu] [--frontier dense|compact|bitset] [--seed S] [--threads N]\n  \
          \x20            [-o <file>] [--trace <out.jsonl>]\n  \
          sbreak fuzz [--seed S] [--budget-secs T] [--max-cases K] [--threads N]\n  \
          \x20           [-o <dir>] [--replay <case.txt>]\n  \
          sbreak batch <jobs.toml> [--cache-cap N] [--compare-fresh] [--threads N]\n  \
          \x20            [--trace-dir <dir>] [--out-dir <dir>] [-o <report.json>]\n  \
          sbreak profile <trace.jsonl> [--top K] [--metrics <snapshot.json>]\n  \
-         sbreak perfdiff <baseline.json> <candidate.json> [--rel-tol F] [--abs-floor F]\n  \
+         sbreak perfdiff <baseline.json> <candidate.json> [--rel-tol F] [--abs-floor F] [--strict]\n  \
          sbreak serve [--addr H:P] [--workers N] [--queue-cap N] [--cache-cap N]\n  \
          \x20            [--tenant-quota BYTES] [--deadline-ms T] [--threads N]\n  \
          sbreak loadgen [gen:<graph>] [--addr H:P] [--clients N] [--repeats R]\n  \
@@ -153,6 +158,7 @@ struct Flags {
     top: usize,
     rel_tol: f64,
     abs_floor: f64,
+    strict: bool,
     addr: Option<String>,
     workers: Option<usize>,
     queue_cap: Option<usize>,
@@ -189,6 +195,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         top: 5,
         rel_tol: 0.10,
         abs_floor: 0.5,
+        strict: false,
         addr: None,
         workers: None,
         queue_cap: None,
@@ -278,6 +285,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                     _ => return Err("--abs-floor takes a non-negative float".to_string()),
                 }
             }
+            "--strict" => f.strict = true,
             "--addr" => f.addr = Some(val("--addr")?),
             "--workers" => {
                 f.workers = Some(match val("--workers")?.parse::<usize>() {
@@ -885,10 +893,13 @@ fn cmd_profile(f: &Flags) -> Result<(), String> {
 }
 
 /// `sbreak perfdiff`: compare a candidate BENCH-shaped report against a
-/// baseline and fail (exit 1) when any lower-is-better cost cell regressed
-/// past the noise gate or disappeared. See `sb_bench::perfdiff`.
+/// baseline and fail (exit 1) when an *enforced* cell regressed past the
+/// noise gate or disappeared. Logical-class columns (`edges` — work
+/// totals, deterministic per build) are always enforced; Runtime-class
+/// columns (`ms`/`us` — host timing) warn by default and are enforced
+/// only under `--strict`. See `sb_bench::perfdiff`.
 fn cmd_perfdiff(f: &Flags) -> Result<(), String> {
-    use sb_bench::perfdiff::{diff_reports, Tolerance};
+    use sb_bench::perfdiff::{diff_reports, CostClass, Tolerance};
 
     let [base, cand] = f.positional.as_slice() else {
         return Err("perfdiff needs <baseline.json> <candidate.json>".into());
@@ -903,15 +914,30 @@ fn cmd_perfdiff(f: &Flags) -> Result<(), String> {
     };
     let diff = diff_reports(&base_text, &cand_text, tol)?;
     print!("{}", diff.render());
-    if diff.regressed() {
+    let gate_tripped = if f.strict {
+        diff.regressed()
+    } else {
+        diff.enforced_regressed()
+    };
+    if gate_tripped {
         Err(format!(
-            "performance regression: {} cell(s) over tolerance (rel {:.0}%, abs {}), {} missing",
-            diff.count(sb_bench::perfdiff::Verdict::Regressed),
+            "performance regression: {} logical + {} runtime cell(s) over tolerance \
+             (rel {:.0}%, abs {}{}), {} missing",
+            diff.regressed_of(CostClass::Logical),
+            diff.regressed_of(CostClass::Runtime),
             100.0 * tol.rel,
             tol.abs,
+            if f.strict { ", strict" } else { "" },
             diff.missing.len()
         ))
     } else {
+        if diff.regressed() {
+            println!(
+                "warning: {} runtime-class cell(s) regressed — warn-only \
+                 (re-run with --strict to enforce timing columns)",
+                diff.regressed_of(CostClass::Runtime)
+            );
+        }
         Ok(())
     }
 }

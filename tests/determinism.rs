@@ -9,7 +9,9 @@
 //! the N used (CI runs 1 and 4).
 
 use symmetry_breaking::core::coloring::jp::jp_color;
-use symmetry_breaking::par::with_threads;
+use symmetry_breaking::par::{
+    schedule_strategy, set_schedule_strategy, with_threads, ScheduleStrategy,
+};
 use symmetry_breaking::prelude::*;
 
 fn graph() -> Graph {
@@ -177,6 +179,8 @@ fn productive_round_counts_frontier_mode_invariant() {
             (FrontierMode::Dense, n),
             (FrontierMode::Compact, 1),
             (FrontierMode::Compact, n),
+            (FrontierMode::Bitset, 1),
+            (FrontierMode::Bitset, n),
         ] {
             assert_eq!(
                 dense,
@@ -185,6 +189,56 @@ fn productive_round_counts_frontier_mode_invariant() {
             );
         }
     }
+}
+
+#[test]
+fn solver_output_invariant_under_both_claim_strategies() {
+    // The pool's claim discipline (work-stealing deques vs the global
+    // counter baseline) redistributes pieces across workers, never the
+    // decisions made inside them: solver output must be identical at any
+    // width under either scheduler, in every frontier mode. This is the
+    // determinism pin the stealing scheduler ships behind.
+    let g = graph();
+    let n = wide();
+    let before = schedule_strategy();
+
+    let reference = maximal_independent_set(&g, MisAlgorithm::Baseline, Arch::Cpu, 4).in_set;
+    for strat in [ScheduleStrategy::Stealing, ScheduleStrategy::GlobalCounter] {
+        set_schedule_strategy(strat);
+        for mode in [
+            FrontierMode::Dense,
+            FrontierMode::Compact,
+            FrontierMode::Bitset,
+        ] {
+            let solve = |threads| {
+                with_threads(threads, || {
+                    maximal_independent_set_opts(
+                        &g,
+                        MisAlgorithm::Baseline,
+                        Arch::Cpu,
+                        4,
+                        &SolveOpts::with_mode(mode),
+                    )
+                    .in_set
+                })
+            };
+            let one = solve(1);
+            let many = solve(n);
+            assert_eq!(one, many, "{strat:?}/{mode}: 1 vs {n} threads differ");
+            assert_eq!(
+                one, reference,
+                "{strat:?}/{mode} diverged from the default-strategy output"
+            );
+        }
+        let one = with_threads(1, || {
+            maximal_matching(&g, MmAlgorithm::Degk { k: 2 }, Arch::Cpu, 4).mate
+        });
+        let many = with_threads(n, || {
+            maximal_matching(&g, MmAlgorithm::Degk { k: 2 }, Arch::Cpu, 4).mate
+        });
+        assert_eq!(one, many, "{strat:?}: GM/degk 1 vs {n} threads differ");
+    }
+    set_schedule_strategy(before);
 }
 
 #[test]

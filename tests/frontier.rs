@@ -1,15 +1,23 @@
 //! Frontier-compaction equivalence: the compacted-worklist solvers
-//! (`FrontierMode::Compact`, the default) must produce byte-identical
-//! assignments to the dense full-sweep forms wherever that identity is
-//! documented, while scanning strictly fewer edges — and the scratch
-//! arena must stop allocating after the first solve on it.
+//! (`FrontierMode::Compact`, the default) and the u64-bitset solvers
+//! (`FrontierMode::Bitset`) must produce byte-identical assignments to
+//! the dense full-sweep forms wherever that identity is documented, while
+//! scanning strictly fewer edges — and the scratch arena must stop
+//! allocating after the first solve on it.
+//!
+//! The byte-identity pins run at 1 and `wide()` threads for each of the
+//! three modes; below them, a randomized property test drives the
+//! `ActiveSet` trait directly, checking `BitFrontier` (and the worklist
+//! `Frontier`) against a plain boolean-array model over seeded op
+//! sequences whose universes straddle the u64 word boundaries.
 //!
 //! VB coloring is the documented exception: its speculative
-//! color-then-fix loop is interleaving-dependent, so dense-vs-compact
+//! color-then-fix loop is interleaving-dependent, so cross-mode
 //! identity is only pinned at one thread; wider pools assert validity.
 
 use std::sync::Arc;
 use symmetry_breaking::core::mis::luby::luby_extend_frontier;
+use symmetry_breaking::par::frontier::{ActiveSet, BitFrontier, MarkSet};
 use symmetry_breaking::par::with_threads;
 use symmetry_breaking::prelude::*;
 use symmetry_breaking::trace::{TraceEvent, TraceSink};
@@ -47,9 +55,14 @@ fn gm_matching_frontier_byte_identical_to_dense() {
             ] {
                 let dense = mm(&g, algo, Arch::Cpu, FrontierMode::Dense).mate;
                 let compact = mm(&g, algo, Arch::Cpu, FrontierMode::Compact).mate;
+                let bitset = mm(&g, algo, Arch::Cpu, FrontierMode::Bitset).mate;
                 assert_eq!(
                     dense, compact,
                     "{algo:?} dense/compact diverged at {threads} threads"
+                );
+                assert_eq!(
+                    compact, bitset,
+                    "{algo:?} compact/bitset diverged at {threads} threads"
                 );
                 check_maximal_matching(&g, &compact).unwrap();
             }
@@ -72,9 +85,20 @@ fn lmax_matching_frontier_byte_identical_to_dense_on_full_view() {
                 FrontierMode::Compact,
             )
             .mate;
+            let bitset = mm(
+                &g,
+                MmAlgorithm::Baseline,
+                Arch::GpuSim,
+                FrontierMode::Bitset,
+            )
+            .mate;
             assert_eq!(
                 dense, compact,
                 "LMAX dense/compact diverged at {threads} threads"
+            );
+            assert_eq!(
+                compact, bitset,
+                "LMAX compact/bitset diverged at {threads} threads"
             );
             check_maximal_matching(&g, &compact).unwrap();
         });
@@ -97,9 +121,14 @@ fn lmax_matching_frontier_byte_identical_to_dense_on_masked_views() {
             ] {
                 let dense = mm(&g, algo, Arch::GpuSim, FrontierMode::Dense).mate;
                 let compact = mm(&g, algo, Arch::GpuSim, FrontierMode::Compact).mate;
+                let bitset = mm(&g, algo, Arch::GpuSim, FrontierMode::Bitset).mate;
                 assert_eq!(
                     dense, compact,
                     "{algo:?} on gpu-sim dense/compact diverged at {threads} threads"
+                );
+                assert_eq!(
+                    compact, bitset,
+                    "{algo:?} on gpu-sim compact/bitset diverged at {threads} threads"
                 );
                 check_maximal_matching(&g, &compact).unwrap();
             }
@@ -116,9 +145,14 @@ fn luby_mis_frontier_byte_identical_to_dense() {
                 for algo in [MisAlgorithm::Baseline, MisAlgorithm::Rand { partitions: 5 }] {
                     let dense = mis(&g, algo, arch, FrontierMode::Dense).in_set;
                     let compact = mis(&g, algo, arch, FrontierMode::Compact).in_set;
+                    let bitset = mis(&g, algo, arch, FrontierMode::Bitset).in_set;
                     assert_eq!(
                         dense, compact,
                         "{algo:?}/{arch} dense/compact diverged at {threads} threads"
+                    );
+                    assert_eq!(
+                        compact, bitset,
+                        "{algo:?}/{arch} compact/bitset diverged at {threads} threads"
                     );
                     check_maximal_independent_set(&g, &compact).unwrap();
                 }
@@ -147,10 +181,23 @@ fn vb_coloring_frontier_identical_at_one_thread_valid_at_many() {
             &SolveOpts::with_mode(FrontierMode::Compact),
         )
         .color;
+        let bitset = vertex_coloring_opts(
+            &g,
+            ColorAlgorithm::Baseline,
+            Arch::Cpu,
+            7,
+            &SolveOpts::with_mode(FrontierMode::Bitset),
+        )
+        .color;
         assert_eq!(dense, compact, "VB dense/compact diverged at 1 thread");
+        assert_eq!(compact, bitset, "VB compact/bitset diverged at 1 thread");
     });
     with_threads(wide(), || {
-        for mode in [FrontierMode::Dense, FrontierMode::Compact] {
+        for mode in [
+            FrontierMode::Dense,
+            FrontierMode::Compact,
+            FrontierMode::Bitset,
+        ] {
             let run = vertex_coloring_opts(
                 &g,
                 ColorAlgorithm::Baseline,
@@ -165,22 +212,38 @@ fn vb_coloring_frontier_identical_at_one_thread_valid_at_many() {
 
 #[test]
 fn compact_mode_scans_fewer_edges() {
+    // Compact must beat dense outright; bitset holds the same member sets
+    // as compact, so its logical edge work must not exceed compact's.
     let g = graph();
     let dense = mm(&g, MmAlgorithm::Baseline, Arch::Cpu, FrontierMode::Dense);
     let compact = mm(&g, MmAlgorithm::Baseline, Arch::Cpu, FrontierMode::Compact);
+    let bitset = mm(&g, MmAlgorithm::Baseline, Arch::Cpu, FrontierMode::Bitset);
     assert!(
         compact.stats.counters.edges_scanned < dense.stats.counters.edges_scanned,
         "GM compact scanned {} edges, dense {}",
         compact.stats.counters.edges_scanned,
         dense.stats.counters.edges_scanned,
     );
+    assert!(
+        bitset.stats.counters.edges_scanned <= compact.stats.counters.edges_scanned,
+        "GM bitset scanned {} edges, compact {}",
+        bitset.stats.counters.edges_scanned,
+        compact.stats.counters.edges_scanned,
+    );
     let dense = mis(&g, MisAlgorithm::Baseline, Arch::Cpu, FrontierMode::Dense);
     let compact = mis(&g, MisAlgorithm::Baseline, Arch::Cpu, FrontierMode::Compact);
+    let bitset = mis(&g, MisAlgorithm::Baseline, Arch::Cpu, FrontierMode::Bitset);
     assert!(
         compact.stats.counters.edges_scanned < dense.stats.counters.edges_scanned,
         "Luby compact scanned {} edges, dense {}",
         compact.stats.counters.edges_scanned,
         dense.stats.counters.edges_scanned,
+    );
+    assert!(
+        bitset.stats.counters.edges_scanned <= compact.stats.counters.edges_scanned,
+        "Luby bitset scanned {} edges, compact {}",
+        bitset.stats.counters.edges_scanned,
+        compact.stats.counters.edges_scanned,
     );
 }
 
@@ -276,4 +339,144 @@ fn runstats_carry_the_scratch_arena_snapshot() {
     // Dense baselines may legitimately use no scratch; the field still
     // reads as an explicit zero rather than being absent.
     let _ = dense.stats.scratch.reuses;
+}
+
+// ---- randomized ActiveSet equivalence against a boolean-array model ----
+
+/// splitmix64 finalizer: the property tests' only randomness source, so
+/// every run (and every failure) replays from `(n, seed)` alone.
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Round-`round` survival predicate (~3/4 keep, so sets shrink but live a
+/// few rounds). `round == u64::MAX` is the initial population.
+fn keep(seed: u64, round: u64, i: u32) -> bool {
+    mix(seed ^ round.wrapping_mul(0x0000_0100_0000_01B3) ^ i as u64) & 3 != 0
+}
+
+/// Round-`round` mark bit (~1/2 set) for the `select_marked_into` op.
+fn marked(seed: u64, round: u64, i: u32) -> bool {
+    mix(seed ^ round.wrapping_mul(0xC2B2_AE3D_27D4_EB4F) ^ i as u64) & 1 == 0
+}
+
+/// Which shrink op round `round` applies (shared by model and drivers).
+fn op_of(seed: u64, round: u64) -> u64 {
+    mix(seed ^ 0x000F_F1CE ^ round) % 4
+}
+
+/// Replay the op sequence against a plain boolean array: the ground truth
+/// every `ActiveSet` implementation must reproduce member-for-member.
+fn model_ops(n: usize, seed: u64, rounds: u64) -> Vec<Vec<u32>> {
+    let mut active: Vec<bool> = (0..n as u32).map(|i| keep(seed, u64::MAX, i)).collect();
+    let mut log = Vec::new();
+    for round in 0..rounds {
+        let members: Vec<u32> = (0..n as u32).filter(|&i| active[i as usize]).collect();
+        let done = members.is_empty();
+        log.push(members);
+        if done {
+            break;
+        }
+        // Ops 0, 1, and 3 drop by the survival predicate; op 2 drops by
+        // the mark bits. All four are intersections, so the model needs no
+        // per-op branches beyond the predicate choice.
+        let by_marks = op_of(seed, round) == 2;
+        for i in 0..n as u32 {
+            let stay = if by_marks {
+                marked(seed, round, i)
+            } else {
+                keep(seed, round, i)
+            };
+            active[i as usize] = active[i as usize] && stay;
+        }
+    }
+    log
+}
+
+/// Drive one `ActiveSet` implementation through the same seeded sequence,
+/// rotating over every shrink op the trait offers (`retain`,
+/// `select_into`, `select_marked_into`, `reset_from`), and log the member
+/// list observed via `for_each_seq` before each op.
+fn drive_ops<W: ActiveSet>(n: usize, seed: u64, rounds: u64) -> Vec<Vec<u32>> {
+    let mut scratch = Scratch::new();
+    let mut cur = W::take(&mut scratch);
+    let mut aux = W::take(&mut scratch);
+    let mut log = Vec::new();
+    cur.reset_range(n, move |i| keep(seed, u64::MAX, i));
+    for round in 0..rounds {
+        let mut members = Vec::new();
+        cur.for_each_seq(|v| members.push(v));
+        assert_eq!(
+            members.len(),
+            cur.len(),
+            "len() disagrees with the members for_each_seq visits"
+        );
+        let done = cur.is_empty();
+        log.push(members.clone());
+        if done {
+            break;
+        }
+        match op_of(seed, round) {
+            0 => cur.retain(move |i| keep(seed, round, i)),
+            1 => {
+                cur.select_into(move |i| keep(seed, round, i), &mut aux);
+                std::mem::swap(&mut cur, &mut aux);
+            }
+            2 => {
+                let marks = W::take_marks(&mut scratch, n, false);
+                for i in 0..n as u32 {
+                    if marked(seed, round, i) {
+                        marks.put(i, true);
+                    }
+                }
+                cur.select_marked_into(&marks, &mut aux);
+                std::mem::swap(&mut cur, &mut aux);
+                W::recycle_marks(marks, &mut scratch);
+            }
+            _ => {
+                let survivors: Vec<u32> = members
+                    .into_iter()
+                    .filter(|&i| keep(seed, round, i))
+                    .collect();
+                cur.reset_from(&survivors, n);
+            }
+        }
+    }
+    cur.recycle(&mut scratch);
+    aux.recycle(&mut scratch);
+    log
+}
+
+#[test]
+fn bitset_and_worklist_frontiers_match_the_boolean_array_model() {
+    // Universe sizes straddle the u64 word boundaries (63/64/65, 127/128/
+    // 129) where bitset masking bugs live, plus a multi-word tail. Each
+    // (n, seed) pair replays a full op sequence; the parallel ops run under
+    // both pool widths so word-level races would also surface.
+    const ROUNDS: u64 = 12;
+    for threads in [1, wide()] {
+        with_threads(threads, || {
+            for &n in &[0usize, 1, 5, 63, 64, 65, 127, 128, 129, 1000] {
+                for salt in 0..3u64 {
+                    let seed = mix(n as u64 ^ salt.wrapping_mul(0x0005_DEEC_E66D));
+                    let expect = model_ops(n, seed, ROUNDS);
+                    let bits = drive_ops::<BitFrontier>(n, seed, ROUNDS);
+                    assert_eq!(
+                        bits, expect,
+                        "BitFrontier diverged from the boolean-array model \
+                         (n={n}, seed={seed:#x}, {threads} threads)"
+                    );
+                    let list = drive_ops::<Frontier>(n, seed, ROUNDS);
+                    assert_eq!(
+                        list, expect,
+                        "worklist Frontier diverged from the boolean-array model \
+                         (n={n}, seed={seed:#x}, {threads} threads)"
+                    );
+                }
+            }
+        });
+    }
 }

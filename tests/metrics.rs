@@ -235,22 +235,29 @@ fn perfdiff_fails_on_a_planted_regression_and_passes_within_noise() {
     let dir = tmp_dir("sbreak-perfdiff");
     let base = dir.join("base.json");
     let good = dir.join("good.json");
+    let slow = dir.join("slow.json");
     let bad = dir.join("bad.json");
     std::fs::write(
         &base,
-        r#"{"title":"t","records":[{"workload":"a","wall ms":"100","speedup":"2.00x"}]}"#,
+        r#"{"title":"t","records":[{"workload":"a","wall ms":"100","scan edges":"1000","speedup":"2.00x"}]}"#,
     )
     .unwrap();
-    // +5%: inside the default 10% gate.
+    // +5% ms: inside the default 10% gate.
     std::fs::write(
         &good,
-        r#"{"title":"t","records":[{"workload":"a","wall ms":"105","speedup":"1.90x"}]}"#,
+        r#"{"title":"t","records":[{"workload":"a","wall ms":"105","scan edges":"1000","speedup":"1.90x"}]}"#,
     )
     .unwrap();
-    // +20%: over the gate — the acceptance scenario.
+    // +20% ms: over the gate, but Runtime class — warn-only by default.
+    std::fs::write(
+        &slow,
+        r#"{"title":"t","records":[{"workload":"a","wall ms":"120","scan edges":"1000","speedup":"1.70x"}]}"#,
+    )
+    .unwrap();
+    // +100% edges: a Logical-class regression — always enforced.
     std::fs::write(
         &bad,
-        r#"{"title":"t","records":[{"workload":"a","wall ms":"120","speedup":"1.70x"}]}"#,
+        r#"{"title":"t","records":[{"workload":"a","wall ms":"100","scan edges":"2000","speedup":"2.00x"}]}"#,
     )
     .unwrap();
 
@@ -258,22 +265,48 @@ fn perfdiff_fails_on_a_planted_regression_and_passes_within_noise() {
     assert!(out.status.success(), "{}", stderr(&out));
     assert!(stdout(&out).contains("within noise"));
 
-    let out = sbreak(&["perfdiff", base.to_str().unwrap(), bad.to_str().unwrap()]);
-    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    // Runtime-only regression: reported and warned about, exit 0.
+    let out = sbreak(&["perfdiff", base.to_str().unwrap(), slow.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", stderr(&out));
     assert!(stdout(&out).contains("REGRESSED"), "{}", stdout(&out));
+    assert!(stdout(&out).contains("warn-only"), "{}", stdout(&out));
+
+    // The same candidate under --strict: timing columns are enforced.
+    let out = sbreak(&[
+        "perfdiff",
+        base.to_str().unwrap(),
+        slow.to_str().unwrap(),
+        "--strict",
+    ]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
     assert!(
         stderr(&out).contains("performance regression"),
         "{}",
         stderr(&out)
     );
 
-    // A tighter gate flips the within-noise case too.
+    // Logical-class regression (edges_scanned): enforced by default.
+    let out = sbreak(&["perfdiff", base.to_str().unwrap(), bad.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1), "{}", stdout(&out));
+    assert!(
+        stdout(&out).contains("(logical, enforced)"),
+        "{}",
+        stdout(&out)
+    );
+    assert!(
+        stderr(&out).contains("performance regression"),
+        "{}",
+        stderr(&out)
+    );
+
+    // A tighter gate plus --strict flips the within-noise case too.
     let out = sbreak(&[
         "perfdiff",
         base.to_str().unwrap(),
         good.to_str().unwrap(),
         "--rel-tol",
         "0.02",
+        "--strict",
     ]);
     assert_eq!(out.status.code(), Some(1));
     std::fs::remove_dir_all(&dir).ok();
