@@ -250,6 +250,30 @@ pub fn ablate_frontier() -> TableSchema {
     )
 }
 
+/// Out-of-core ablation (also saved as `BENCH_outofcore.json`): each
+/// Table I workload solved twice — from the in-heap CSR and from a
+/// read-only mapping of the same graph serialized to `.sbg` — with the
+/// solver outputs byte-compared. `heap/mapped resident` is what each
+/// representation charges the allocator (the mapping's array bytes live
+/// in page cache, not the heap).
+pub fn ablate_outofcore() -> TableSchema {
+    TableSchema::new(
+        "ablate_outofcore",
+        "Out-of-core — heap CSR vs mapped .sbg per workload (outputs byte-compared)",
+        &[
+            "workload",
+            "heap ms",
+            "mapped ms",
+            "heap edges",
+            "mapped edges",
+            "file MB",
+            "heap resident MB",
+            "mapped resident bytes",
+            "identical",
+        ],
+    )
+}
+
 /// Strong-scaling table (also saved as `BENCH_threads.json`). The column
 /// set depends on the thread axis; `host` is the recorded host parallelism.
 /// Besides the solver workloads, the table carries skewed-workload rows
@@ -345,6 +369,7 @@ pub fn all() -> Vec<TableSchema> {
         v.push(ablate_bicc(arch));
     }
     v.push(ablate_frontier());
+    v.push(ablate_outofcore());
     v.push(ablate_threads(&[1, 2, 4], 8));
     v.push(model_report("kron-g500-logn20", 52_000, 2_100_000));
     v.push(bench_engine());

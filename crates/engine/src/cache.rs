@@ -292,6 +292,7 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
             m.bytes.add(weight);
             m.entries.set(self.map.len() as u64);
         }
+        self.debug_assert_tenant_accounting();
     }
 
     /// Least-recently-used key among entries matching `eligible`.
@@ -311,13 +312,64 @@ impl<K: Eq + Hash + Clone, V> Lru<K, V> {
             m.evictions.inc();
             m.bytes.sub(evicted.weight);
         }
+        self.debug_assert_tenant_accounting();
     }
 
+    /// Subtract an entry's weight from its tenant exactly once (the entry
+    /// has just left the map, by eviction or displacement). Every live
+    /// entry keeps its tenant's byte row alive, so the row must exist and
+    /// must hold at least this entry's weight — in debug builds both are
+    /// hard errors instead of a silent saturating clamp, because a clamp
+    /// here means some weight was subtracted twice (or never charged) and
+    /// the quota fairness policy is running on stale numbers.
     fn uncharge(&mut self, tenant: Arc<str>, weight: u64) {
-        if let Some(bytes) = self.tenant_bytes.get_mut(&tenant) {
-            *bytes = bytes.saturating_sub(weight);
-            if *bytes == 0 && !self.map.values().any(|e| e.tenant == tenant) {
-                self.tenant_bytes.remove(&tenant);
+        match self.tenant_bytes.get_mut(&tenant) {
+            Some(bytes) => {
+                debug_assert!(
+                    *bytes >= weight,
+                    "uncharging {weight} bytes from tenant {tenant:?} holding only {bytes}"
+                );
+                *bytes = bytes.saturating_sub(weight);
+                if *bytes == 0 && !self.map.values().any(|e| e.tenant == tenant) {
+                    self.tenant_bytes.remove(&tenant);
+                }
+            }
+            None => debug_assert!(
+                false,
+                "uncharge of {weight} bytes for tenant {tenant:?} with no byte row"
+            ),
+        }
+    }
+
+    /// Debug-build invariant: for every tenant, the charged byte total
+    /// equals the sum of its live entries' weights, and no tenant is
+    /// charged without appearing in the map (a zero-byte row may linger
+    /// only while the tenant still has live zero-weight entries). Runs
+    /// after every mutation, so any test suite that exercises the engine
+    /// caches — serve, batch, fuzz — verifies the accounting for free.
+    #[inline]
+    pub fn debug_assert_tenant_accounting(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let mut live: HashMap<&str, u64> = HashMap::new();
+            for e in self.map.values() {
+                *live.entry(&e.tenant).or_insert(0) += e.weight;
+            }
+            for (t, &b) in &self.tenant_bytes {
+                match live.get(&**t) {
+                    Some(&owned) => assert_eq!(
+                        b, owned,
+                        "tenant {t:?} charged {b} bytes but owns {owned} in live entries"
+                    ),
+                    None => assert_eq!(b, 0, "tenant {t:?} charged {b} bytes with no live entries"),
+                }
+            }
+            for (t, &w) in &live {
+                assert_eq!(
+                    self.tenant_bytes.get(*t).copied().unwrap_or(0),
+                    w,
+                    "tenant {t:?} owns {w} bytes of live entries but the charge map disagrees"
+                );
             }
         }
     }
@@ -446,6 +498,72 @@ mod tests {
         assert_eq!(c.get(&1), Some(&10));
         assert_eq!(c.get(&2), Some(&20));
         assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn randomized_churn_preserves_tenant_accounting() {
+        // Model-free stress: every mutation re-verifies the sum invariant
+        // internally (debug builds), so this test's job is to drive the
+        // paths where stale bytes could hide — overwrite under an existing
+        // key, same- and cross-tenant re-keying, pressure evictions under
+        // quota, protected-drop inserts, and quota flips mid-stream.
+        let mut rng = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let tenants = ["a", "b", "c", "d"];
+        for cap in [1usize, 2, 5, 8] {
+            let mut c: Lru<u32, u32> = Lru::new(cap);
+            for step in 0..4000u32 {
+                match next() % 10 {
+                    0..=6 => {
+                        let t = tenants[(next() % 4) as usize];
+                        let k = (next() % 12) as u32; // small key space → overwrites
+                        let w = next() % 100;
+                        c.insert_weighted_for(t, k, step, w);
+                    }
+                    7 => {
+                        let k = (next() % 12) as u32;
+                        let _ = c.get(&k);
+                    }
+                    8 => c.set_tenant_quota(Some(next() % 200)),
+                    _ => c.set_tenant_quota(None),
+                }
+                c.debug_assert_tenant_accounting();
+            }
+            // Post-churn: the explicit recount must also match the public
+            // per-tenant view.
+            let total: u64 = c.tenant_usage().iter().map(|(_, b)| b).sum();
+            let per_tenant: u64 = tenants.iter().map(|t| c.tenant_bytes(t)).sum();
+            assert_eq!(total, per_tenant);
+            assert!(c.len() <= cap);
+        }
+    }
+
+    #[test]
+    fn overwrite_under_existing_key_charges_weight_exactly_once() {
+        // The audit pin for the satellite: repeatedly overwriting one key
+        // must leave the tenant charged for exactly the last weight, with
+        // no residue from the displaced entries (same tenant or not).
+        let mut c: Lru<u32, u32> = Lru::new(2);
+        c.insert_weighted_for("a", 1, 10, 100);
+        c.insert_weighted_for("a", 1, 11, 60);
+        c.insert_weighted_for("a", 1, 12, 60);
+        assert_eq!(c.tenant_bytes("a"), 60);
+        // Zero-weight overwrite of the only entry: charge drops to zero
+        // but the row survives while the entry lives.
+        c.insert_weighted_for("a", 1, 13, 0);
+        assert_eq!(c.tenant_bytes("a"), 0);
+        assert_eq!(c.get(&1), Some(&13));
+        // Cross-tenant overwrite transfers the whole charge.
+        c.insert_weighted_for("b", 1, 14, 25);
+        assert_eq!(c.tenant_bytes("a"), 0);
+        assert_eq!(c.tenant_bytes("b"), 25);
+        assert_eq!(c.tenant_usage(), vec![("b".to_string(), 25)]);
+        c.debug_assert_tenant_accounting();
     }
 
     #[test]

@@ -261,12 +261,15 @@ impl CachedDecomposition {
     }
 }
 
-/// Estimated resident size of a parsed graph: CSR offsets, arcs with edge
-/// ids, and the edge list.
+/// Resident size of a parsed graph for cache weighting. Heap graphs
+/// charge their full CSR arrays; graphs mapped from a `.sbg` charge only
+/// the struct header and resident metadata — their array bytes are page
+/// cache against the file, reclaimable by the kernel, so weighting them
+/// into tenant quotas would double-count memory nobody holds. (This is
+/// exactly [`Graph::resident_bytes`]; the wrapper keeps the engine's
+/// historical name and u64 domain.)
 pub(crate) fn graph_approx_bytes(g: &Graph) -> u64 {
-    let n = g.num_vertices() as u64;
-    let m = g.num_edges() as u64;
-    (n + 1) * 8 + 2 * m * (4 + 4) + m * 8
+    g.resident_bytes() as u64
 }
 
 /// Decomposition-cache key: graph content, decomposition, params, seed.

@@ -106,8 +106,30 @@ impl WordHasher {
     }
 }
 
+/// Domain-separation tag mixed into identity-based fingerprints so a
+/// mapped graph can never collide with a content hash by construction.
+const MAPPED_DOMAIN: u64 = 0x5b67_4d41_5050_4544; // "sbgMAPPED"-ish
+
 /// Fingerprint a graph's structure under `seed`.
+///
+/// Heap graphs hash their content (`n`, `m`, edge list). Mapped graphs
+/// hash the *identity* of the backing file (device, inode, size, mtime)
+/// plus `(n, m)` instead: an O(1) fingerprint that does not fault the
+/// whole multi-GB mapping in, at the cost that a mapped graph and a heap
+/// graph with identical content get distinct cache keys. An edited or
+/// replaced `.sbg` file changes identity (size/mtime/inode), so stale
+/// cache hits against rewritten files are keyed away.
 pub fn fingerprint_graph(g: &Graph, seed: u64) -> u64 {
+    if let Some(ident) = g.mapped_ident() {
+        let mut h = WordHasher::new(seed ^ MAPPED_DOMAIN);
+        h.write(ident.dev);
+        h.write(ident.ino);
+        h.write(ident.size);
+        h.write(ident.mtime_ns);
+        h.write(g.num_vertices() as u64);
+        h.write(g.num_edges() as u64);
+        return h.finish();
+    }
     let mut h = WordHasher::new(seed);
     h.write(g.num_vertices() as u64);
     h.write(g.num_edges() as u64);

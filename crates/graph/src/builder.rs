@@ -56,6 +56,19 @@ impl GraphBuilder {
         self.edges.reserve(extra);
     }
 
+    /// Grow the declared vertex count to at least `n` (never shrinks).
+    /// Streaming readers that discover the id range as they parse call
+    /// this per chunk instead of pre-declaring a size.
+    pub fn ensure_vertices(&mut self, n: usize) {
+        assert!(n < u32::MAX as usize, "vertex ids must fit in u32");
+        self.n = self.n.max(n);
+    }
+
+    /// Current declared vertex count.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
     /// Number of raw (pre-dedup) edges added so far.
     pub fn raw_len(&self) -> usize {
         self.edges.len()
@@ -125,12 +138,7 @@ impl GraphBuilder {
             });
         }
 
-        let g = Graph {
-            offsets: full_offsets,
-            neighbors,
-            edge_ids,
-            edges,
-        };
+        let g = Graph::from_parts(full_offsets, neighbors, edge_ids, edges);
         debug_assert!(g.validate().is_ok());
         g
     }

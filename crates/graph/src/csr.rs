@@ -1,5 +1,7 @@
 //! The compressed-sparse-row graph type.
 
+use crate::store::{FileIdent, GraphStore, Slab};
+
 /// Vertex identifier. `u32` keeps the adjacency arrays compact (see the
 /// "Smaller Integers" guidance in the Rust Performance Book); graphs in this
 /// study stay far below `u32::MAX` vertices.
@@ -15,27 +17,113 @@ pub const INVALID: u32 = u32::MAX;
 /// [`crate::builder::GraphBuilder`], which deduplicates, drops self-loops,
 /// and symmetrizes directed input — the preprocessing the paper applies to
 /// its dataset.
+///
+/// The four arrays live in [`Slab`]s: heap vectors when built in memory, or
+/// windows into one shared read-only file mapping when loaded from a `.sbg`
+/// file ([`crate::sbg::map_sbg`]). Every accessor below is backend-agnostic,
+/// and equality is content-based either way.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Graph {
     /// CSR row offsets; `offsets[v]..offsets[v+1]` indexes `v`'s arcs.
-    pub(crate) offsets: Vec<usize>,
+    pub(crate) offsets: Slab<usize>,
     /// Arc targets, grouped by source vertex, sorted within each row.
-    pub(crate) neighbors: Vec<VertexId>,
+    pub(crate) neighbors: Slab<VertexId>,
     /// Undirected edge id of each arc (parallel to `neighbors`).
-    pub(crate) edge_ids: Vec<u32>,
+    pub(crate) edge_ids: Slab<u32>,
     /// Endpoint pairs per edge id, normalized `u < v`.
-    pub(crate) edges: Vec<[VertexId; 2]>,
+    pub(crate) edges: Slab<[VertexId; 2]>,
 }
 
 impl Graph {
     /// The empty graph on `n` vertices.
     pub fn empty(n: usize) -> Self {
+        Self::from_parts(vec![0; n + 1], Vec::new(), Vec::new(), Vec::new())
+    }
+
+    /// Assemble a heap-backed graph from already-built CSR arrays. The
+    /// caller (builder, subgraph induction, file decode) guarantees the
+    /// CSR invariants; debug builds re-check via [`Graph::validate`] at
+    /// the public construction sites.
+    pub(crate) fn from_parts(
+        offsets: Vec<usize>,
+        neighbors: Vec<VertexId>,
+        edge_ids: Vec<u32>,
+        edges: Vec<[VertexId; 2]>,
+    ) -> Self {
         Self {
-            offsets: vec![0; n + 1],
-            neighbors: Vec::new(),
-            edge_ids: Vec::new(),
-            edges: Vec::new(),
+            offsets: offsets.into(),
+            neighbors: neighbors.into(),
+            edge_ids: edge_ids.into(),
+            edges: edges.into(),
         }
+    }
+
+    /// Assemble a graph over pre-validated slabs (the mapped-load path).
+    pub(crate) fn from_slabs(
+        offsets: Slab<usize>,
+        neighbors: Slab<VertexId>,
+        edge_ids: Slab<u32>,
+        edges: Slab<[VertexId; 2]>,
+    ) -> Self {
+        Self {
+            offsets,
+            neighbors,
+            edge_ids,
+            edges,
+        }
+    }
+
+    /// Which backing store this graph's arrays live in.
+    pub fn store(&self) -> GraphStore {
+        if self.offsets.mapping().is_some() {
+            GraphStore::Mapped
+        } else {
+            GraphStore::Heap
+        }
+    }
+
+    /// Heap bytes resident for this graph: the full CSR arrays for a heap
+    /// graph, only `size_of::<Graph>()` for a mapped one (whose array bytes
+    /// are page cache against the file, not process heap). This is the
+    /// weight a cache should charge for holding the graph.
+    pub fn resident_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.offsets.heap_bytes()
+            + self.neighbors.heap_bytes()
+            + self.edge_ids.heap_bytes()
+            + self.edges.heap_bytes()
+    }
+
+    /// Identity of the mapped file backing this graph (`None` for heap
+    /// graphs). Two graphs mapped from the same file report the same
+    /// identity, which is what cache fingerprints key on.
+    pub fn mapped_ident(&self) -> Option<&FileIdent> {
+        self.offsets.mapping().map(|m| m.ident())
+    }
+
+    /// The stored new→old vertex renumbering (`perm[new] = old`) when this
+    /// graph was mapped from a `.sbg` written with `--renumber`; solver
+    /// output index `v` on this graph refers to original vertex `perm[v]`.
+    pub fn renumber_perm(&self) -> Option<&[u32]> {
+        self.offsets.mapping().and_then(|m| m.perm_slice())
+    }
+
+    /// Raw CSR offsets array (length `n + 1`).
+    #[inline]
+    pub(crate) fn raw_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Raw arc-target array (length `2m`).
+    #[inline]
+    pub(crate) fn raw_neighbors(&self) -> &[VertexId] {
+        &self.neighbors
+    }
+
+    /// Raw per-arc edge-id array (length `2m`).
+    #[inline]
+    pub(crate) fn raw_edge_ids(&self) -> &[u32] {
+        &self.edge_ids
     }
 
     /// Number of vertices.

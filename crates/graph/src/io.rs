@@ -19,6 +19,8 @@ pub const MAX_VERTEX_ID: u64 = u32::MAX as u64 - 2;
 pub enum IoError {
     /// Underlying I/O failure.
     Io(std::io::Error),
+    /// A malformed `.sbg` binary file (dispatched through [`read_path`]).
+    Sbg(crate::sbg::SbgError),
     /// Malformed content with a line number and message.
     Parse { line: usize, msg: String },
     /// A vertex id at or beyond the declared vertex count (the edge-list
@@ -48,6 +50,7 @@ impl std::fmt::Display for IoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             IoError::Io(e) => write!(f, "io error: {e}"),
+            IoError::Sbg(e) => write!(f, "{e}"),
             IoError::Parse { line, msg } => write!(f, "parse error at line {line}: {msg}"),
             IoError::VertexOutOfRange { line, id, limit } => write!(
                 f,
@@ -69,6 +72,12 @@ impl From<std::io::Error> for IoError {
     }
 }
 
+/// Edges per parse-buffer flush in the streaming edge-list reader. At 8
+/// bytes per parsed edge this bounds the reader's own staging memory at
+/// 8 MiB regardless of input size; the builder it feeds is the only O(m)
+/// consumer.
+const CHUNK_EDGES: usize = 1 << 20;
+
 /// Read a whitespace-separated edge list (`u v` per line, 0-based ids,
 /// `#`/`%` comments).
 ///
@@ -77,10 +86,43 @@ impl From<std::io::Error> for IoError {
 /// [`IoError::VertexOutOfRange`] — the graph never silently outgrows a
 /// declared size. Ids above [`MAX_VERTEX_ID`] are rejected with
 /// [`IoError::IdOverflow`] in either mode.
+///
+/// Parsing streams through a bounded chunk buffer ([`CHUNK_EDGES`])
+/// flushed into the [`GraphBuilder`] as it fills, so ingesting a 100M+
+/// edge list holds one copy of the edges (the builder's), not two. The
+/// `sb_graph_io_parse_buffer_peak_bytes` gauge records the staging
+/// buffer's peak occupancy so tests can pin the bound.
 pub fn read_edge_list<R: Read>(reader: R, n_hint: Option<usize>) -> Result<Graph, IoError> {
+    read_edge_list_chunked(reader, n_hint, CHUNK_EDGES).map(|(g, _)| g)
+}
+
+/// Streaming core of [`read_edge_list`]; returns the graph together with
+/// the staging buffer's peak byte occupancy (also exported through the
+/// `sb_graph_io_parse_buffer_peak_bytes` gauge) so tests can assert the
+/// memory bound without racing on the process-global registry.
+pub(crate) fn read_edge_list_chunked<R: Read>(
+    reader: R,
+    n_hint: Option<usize>,
+    chunk_edges: usize,
+) -> Result<(Graph, usize), IoError> {
+    assert!(chunk_edges > 0);
     let br = BufReader::new(reader);
-    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut b = GraphBuilder::new(n_hint.unwrap_or(0));
+    let mut chunk: Vec<(u32, u32)> = Vec::with_capacity(chunk_edges);
     let mut max_id = 0u32;
+    let mut any = false;
+    let mut peak_bytes = 0usize;
+    let mut flush = |b: &mut GraphBuilder, chunk: &mut Vec<(u32, u32)>, max_id: u32| {
+        peak_bytes = peak_bytes.max(chunk.len() * std::mem::size_of::<(u32, u32)>());
+        // Ids were range-checked against the hint on parse; without a hint
+        // the vertex set grows to cover what this chunk saw.
+        b.ensure_vertices(max_id as usize + 1);
+        b.reserve(chunk.len());
+        for &(u, v) in chunk.iter() {
+            b.push(u, v);
+        }
+        chunk.clear();
+    };
     for (lineno, line) in br.lines().enumerate() {
         let line = line?;
         let t = line.trim();
@@ -119,14 +161,22 @@ pub fn read_edge_list<R: Read>(reader: R, n_hint: Option<usize>) -> Result<Graph
         let u = parse(it.next())?;
         let v = parse(it.next())?;
         max_id = max_id.max(u).max(v);
-        edges.push((u, v));
+        any = true;
+        chunk.push((u, v));
+        if chunk.len() == chunk_edges {
+            flush(&mut b, &mut chunk, max_id);
+        }
     }
-    let n = n_hint.unwrap_or(0).max(if edges.is_empty() {
-        0
-    } else {
-        max_id as usize + 1
-    });
-    Ok(GraphBuilder::new(n).edges(edges).build())
+    if !chunk.is_empty() || (any && b.num_vertices() <= max_id as usize) {
+        flush(&mut b, &mut chunk, max_id);
+    }
+    sb_metrics::global()
+        .gauge(
+            "sb_graph_io_parse_buffer_peak_bytes",
+            sb_metrics::Class::Runtime,
+        )
+        .set(peak_bytes as u64);
+    Ok((b.build(), peak_bytes))
 }
 
 /// Write a graph as a 0-based edge list, one `u v` per line.
@@ -159,10 +209,12 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, IoError> {
                 }
             }
             None => {
+                // Absolute-line contract: the header was expected on the
+                // first line of the file.
                 return Err(IoError::Parse {
-                    line: 0,
+                    line: 1,
                     msg: "empty file".into(),
-                })
+                });
             }
         }
     };
@@ -177,12 +229,16 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, IoError> {
         });
     }
 
-    // Size line: rows cols nnz (skipping comments).
+    // Size line: rows cols nnz (skipping comments). Errors carry absolute
+    // file lines: a missing size line points one past the last line that
+    // exists (header and comments counted), not at the header.
+    let mut last_line = hline;
     let (rows, _cols, nnz, size_line) = loop {
         let (i, l) = lines.next().ok_or(IoError::Parse {
-            line: hline + 1,
+            line: last_line + 2,
             msg: "missing size line".into(),
         })?;
+        last_line = i;
         let l = l?;
         let t = l.trim();
         if t.is_empty() || t.starts_with('%') {
@@ -272,8 +328,15 @@ pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, IoError> {
 }
 
 /// Read a graph from a path, dispatching on extension (`.mtx` → Matrix
-/// Market, anything else → edge list).
+/// Market, `.sbg` → zero-copy mapped binary CSR, anything else → edge
+/// list).
 pub fn read_path(path: &Path) -> Result<Graph, IoError> {
+    if path.extension().is_some_and(|e| e == "sbg") {
+        return crate::sbg::map_sbg(path).map_err(|e| match e {
+            crate::sbg::SbgError::Io(io) => IoError::Io(io),
+            other => IoError::Sbg(other),
+        });
+    }
     let f = std::fs::File::open(path)?;
     if path.extension().is_some_and(|e| e == "mtx") {
         read_matrix_market(f)
@@ -456,6 +519,107 @@ mod tests {
         );
         let err = read_matrix_market(Cursor::new(text)).unwrap_err();
         assert!(matches!(err, IoError::IdOverflow { line: 2, .. }), "{err}");
+    }
+
+    #[test]
+    fn matrix_market_line_numbers_are_absolute_file_lines() {
+        // Comments and the header count: the bad entry below sits on
+        // physical line 7, and that is the line the error must name, not
+        // its rank within the data section (which would be 2).
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    % comment line 2\n\
+                    % comment line 3\n\
+                    3 3 3\n\
+                    1 2\n\
+                    % comment line 6\n\
+                    0 3\n\
+                    2 3\n";
+        let err = read_matrix_market(Cursor::new(text)).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 7, .. }), "{err}");
+
+        // Same file shape, out-of-range entry instead: still line 7.
+        let text = text.replace("0 3", "9 3");
+        let err = read_matrix_market(Cursor::new(text)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                IoError::VertexOutOfRange {
+                    line: 7,
+                    id: 8,
+                    limit: 3
+                }
+            ),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn matrix_market_size_line_errors_are_absolute() {
+        // The malformed size line is physical line 4 (header + 2 comments).
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    % c\n% c\nnot a size line\n";
+        let err = read_matrix_market(Cursor::new(text)).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 4, .. }), "{err}");
+
+        // A file that ends before any size line points one past its last
+        // physical line (line 4 here), not at the header.
+        let text = "%%MatrixMarket matrix coordinate pattern general\n% c\n% c\n";
+        let err = read_matrix_market(Cursor::new(text)).unwrap_err();
+        let IoError::Parse { line, msg } = &err else {
+            panic!("{err}")
+        };
+        assert_eq!(*line, 4, "{err}");
+        assert!(msg.contains("missing size line"));
+    }
+
+    #[test]
+    fn matrix_market_empty_file_reports_line_one() {
+        let err = read_matrix_market(Cursor::new("")).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }), "{err}");
+        let err = read_matrix_market(Cursor::new("\n\n  \n")).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }), "{err}");
+    }
+
+    #[test]
+    fn matrix_market_count_mismatch_points_at_size_line() {
+        // Size line is physical line 3 after one comment; the mismatch is
+        // reported against the promise made there.
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    % c\n2 2 3\n1 2\n";
+        let err = read_matrix_market(Cursor::new(text)).unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 3, .. }), "{err}");
+    }
+
+    #[test]
+    fn edge_list_streaming_chunks_match_buffered_read() {
+        // 1000 edges through a 7-edge chunk buffer must build the same
+        // graph as one big buffer, with peak staging bounded by the chunk.
+        let mut text = String::new();
+        let n = 200u32;
+        for i in 0..1000u32 {
+            text.push_str(&format!("{} {}\n", i % n, (i * 7 + 3) % n));
+        }
+        let (small, small_peak) = read_edge_list_chunked(Cursor::new(&text), None, 7).unwrap();
+        let (big, big_peak) = read_edge_list_chunked(Cursor::new(&text), None, 1 << 20).unwrap();
+        assert_eq!(small, big);
+        assert!(
+            small_peak <= 7 * 8,
+            "staging peak {small_peak} exceeds the 7-edge chunk bound"
+        );
+        // The wide-chunk path stages everything; the bounded path must not.
+        assert_eq!(big_peak, 1000 * 8);
+        assert!(small_peak < big_peak);
+    }
+
+    #[test]
+    fn edge_list_streaming_grows_vertex_set_across_chunks() {
+        // Max id appears in the last chunk; earlier flushes must not have
+        // frozen the vertex count.
+        let text = "0 1\n1 2\n2 3\n3 4\n4 5\n5 6\n90 91\n";
+        let (g, _) = read_edge_list_chunked(Cursor::new(text), None, 2).unwrap();
+        assert_eq!(g.num_vertices(), 92);
+        assert_eq!(g.num_edges(), 7);
+        g.validate().unwrap();
     }
 
     #[test]

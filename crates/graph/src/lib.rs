@@ -18,17 +18,28 @@
 //! * [`io`] — edge-list and Matrix-Market readers/writers so the original
 //!   SuiteSparse inputs drop in when available.
 //! * [`stats`] — the Table II statistics (%DEG2, average degree, …).
+//! * [`store`] — storage backends: heap vectors vs shared read-only file
+//!   mappings (the out-of-core substrate).
+//! * [`sbg`] — the `.sbg` on-disk CSR format: writer + zero-copy mapped
+//!   loader.
+//! * [`renumber`] — degree-ordered vertex renumbering for convert-time
+//!   locality, with the stored new→old permutation.
 
 pub mod bfs;
 pub mod builder;
 pub mod components;
 pub mod csr;
 pub mod io;
+pub mod renumber;
+pub mod sbg;
 pub mod stats;
+pub mod store;
 pub mod subgraph;
 pub mod view;
 
 pub use builder::GraphBuilder;
 pub use csr::{Graph, VertexId, INVALID};
+pub use sbg::{map_sbg, write_sbg, SbgError};
 pub use stats::GraphStats;
+pub use store::{FileIdent, GraphStore, Mapping};
 pub use view::EdgeView;

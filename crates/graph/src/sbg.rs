@@ -1,0 +1,515 @@
+//! The `.sbg` on-disk CSR format and its zero-copy mapped loader.
+//!
+//! A `.sbg` file is the CSR arrays of one [`Graph`], laid out so a mapping
+//! of the file can be aliased in place (no decode pass, no heap copy):
+//!
+//! ```text
+//! offset  size      field
+//! 0       8         magic  "SBGRAPH\0"
+//! 8       4         version (u32 LE) — currently 1
+//! 12      4         byte-order mark (u32 LE) — 0x01020304 as written by a
+//!                   little-endian encoder; any other pattern means the
+//!                   file was produced with the wrong byte order
+//! 16      8         n — vertex count (u64 LE)
+//! 24      8         m — undirected edge count (u64 LE)
+//! 32      8         flags (u64 LE); bit 0 = file carries a renumbering
+//!                   permutation section
+//! 40      24        reserved, zero
+//! 64      (n+1)*8   offsets   — CSR arc offsets (u64 LE), offsets[n] = 2m
+//! ..      2m*4      neighbors — arc targets (u32 LE)
+//! ..      2m*4      edge_ids  — undirected edge id per arc (u32 LE)
+//! ..      m*8       edges     — endpoint pairs [u, v] (u32 LE each, u < v)
+//! ..      n*4       perm      — optional: new→old vertex permutation
+//! ```
+//!
+//! Every section starts on an 8-byte boundary (explicit zero padding is
+//! inserted between sections; with these element sizes the sections are
+//! naturally aligned, but the writer and reader both go through the same
+//! [`pad8`] so the invariant survives format evolution). All integers are
+//! little-endian with fixed widths.
+//!
+//! The loader validates the header, the section table against the file
+//! size, and the offsets array (monotone, `offsets[0] = 0`,
+//! `offsets[n] = 2m` — an O(n) pass) before exposing any slice. Neighbor
+//! and edge payloads are *not* scanned at load time: that would fault in
+//! the whole mapping and defeat out-of-core loading. Callers that want a
+//! full structural check can still run [`Graph::validate`].
+
+use crate::csr::Graph;
+use crate::store::{Mapping, Slab};
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+
+/// File magic: 8 bytes at offset 0.
+pub const MAGIC: [u8; 8] = *b"SBGRAPH\0";
+/// Current format version.
+pub const VERSION: u32 = 1;
+/// Byte-order mark as seen by a little-endian reader of a little-endian
+/// file. A big-endian writer of the same constant produces `0x04030201`.
+pub const BOM: u32 = 0x0102_0304;
+/// Header length in bytes.
+pub const HEADER_LEN: usize = 64;
+/// Flags bit 0: the file carries a new→old renumbering permutation.
+pub const FLAG_HAS_PERM: u64 = 1;
+
+/// Typed errors from the `.sbg` writer and loader.
+#[derive(Debug)]
+pub enum SbgError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is not [`VERSION`].
+    Version {
+        /// Version found in the header.
+        found: u32,
+    },
+    /// The byte-order mark shows the file was written with the opposite
+    /// endianness (or a corrupted mark).
+    Endianness {
+        /// The mark as decoded little-endian.
+        found: u32,
+    },
+    /// The file is shorter than its header and section table require.
+    Truncated {
+        /// Bytes the sections require.
+        expected: u64,
+        /// Bytes actually present.
+        found: u64,
+    },
+    /// Structurally invalid content (non-monotone offsets, size overflow,
+    /// trailing garbage, unknown flags, …).
+    Corrupt(String),
+}
+
+impl std::fmt::Display for SbgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SbgError::Io(e) => write!(f, "io error: {e}"),
+            SbgError::BadMagic => write!(f, "not an .sbg file (bad magic)"),
+            SbgError::Version { found } => {
+                write!(f, "unsupported .sbg version {found} (expected {VERSION})")
+            }
+            SbgError::Endianness { found } => write!(
+                f,
+                "byte-order mark {found:#010x} is not {BOM:#010x}: file written with the wrong endianness"
+            ),
+            SbgError::Truncated { expected, found } => {
+                write!(f, "truncated .sbg: need {expected} bytes, file has {found}")
+            }
+            SbgError::Corrupt(msg) => write!(f, "corrupt .sbg: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SbgError {}
+
+impl From<std::io::Error> for SbgError {
+    fn from(e: std::io::Error) -> Self {
+        SbgError::Io(e)
+    }
+}
+
+/// Round `off` up to the next multiple of 8 (section alignment).
+#[inline]
+pub fn pad8(off: u64) -> u64 {
+    (off + 7) & !7
+}
+
+/// Byte layout of one file: section start offsets and total length, all
+/// derived from `(n, m, has_perm)`.
+struct Layout {
+    offsets: u64,
+    neighbors: u64,
+    edge_ids: u64,
+    edges: u64,
+    perm: u64,
+    total: u64,
+}
+
+impl Layout {
+    fn new(n: u64, m: u64, has_perm: bool) -> Option<Layout> {
+        let arcs = m.checked_mul(2)?;
+        let offsets = HEADER_LEN as u64;
+        let neighbors = pad8(offsets.checked_add(n.checked_add(1)?.checked_mul(8)?)?);
+        let edge_ids = pad8(neighbors.checked_add(arcs.checked_mul(4)?)?);
+        let edges = pad8(edge_ids.checked_add(arcs.checked_mul(4)?)?);
+        let perm = pad8(edges.checked_add(m.checked_mul(8)?)?);
+        let total = if has_perm {
+            perm.checked_add(n.checked_mul(4)?)?
+        } else {
+            perm
+        };
+        Some(Layout {
+            offsets,
+            neighbors,
+            edge_ids,
+            edges,
+            perm,
+            total,
+        })
+    }
+}
+
+/// Serialize `g` (plus an optional new→old permutation) to `path`.
+/// Returns the number of bytes written.
+///
+/// The permutation, when given, must have exactly `n` entries; it is
+/// stored verbatim so downstream consumers can map solver output on the
+/// renumbered graph back to original vertex ids (`perm[new] = old`).
+pub fn write_sbg(g: &Graph, perm: Option<&[u32]>, path: &Path) -> Result<u64, SbgError> {
+    let n = g.num_vertices() as u64;
+    let m = g.num_edges() as u64;
+    if let Some(p) = perm {
+        if p.len() as u64 != n {
+            return Err(SbgError::Corrupt(format!(
+                "permutation has {} entries for {n} vertices",
+                p.len()
+            )));
+        }
+    }
+    let layout = Layout::new(n, m, perm.is_some())
+        .ok_or_else(|| SbgError::Corrupt("graph too large for the format".into()))?;
+
+    let file = std::fs::File::create(path)?;
+    let mut w = CountingWriter {
+        inner: std::io::BufWriter::new(file),
+        written: 0,
+    };
+
+    let mut header = [0u8; HEADER_LEN];
+    header[0..8].copy_from_slice(&MAGIC);
+    header[8..12].copy_from_slice(&VERSION.to_le_bytes());
+    header[12..16].copy_from_slice(&BOM.to_le_bytes());
+    header[16..24].copy_from_slice(&n.to_le_bytes());
+    header[24..32].copy_from_slice(&m.to_le_bytes());
+    let flags: u64 = if perm.is_some() { FLAG_HAS_PERM } else { 0 };
+    header[32..40].copy_from_slice(&flags.to_le_bytes());
+    w.write_all(&header)?;
+
+    write_u64s(&mut w, g.raw_offsets().iter().map(|&o| o as u64))?;
+    w.pad_to(layout.neighbors)?;
+    write_u32s(&mut w, g.raw_neighbors().iter().copied())?;
+    w.pad_to(layout.edge_ids)?;
+    write_u32s(&mut w, g.raw_edge_ids().iter().copied())?;
+    w.pad_to(layout.edges)?;
+    write_u32s(&mut w, g.edge_list().iter().flat_map(|&[u, v]| [u, v]))?;
+    if let Some(p) = perm {
+        w.pad_to(layout.perm)?;
+        write_u32s(&mut w, p.iter().copied())?;
+    }
+    debug_assert_eq!(w.written, layout.total);
+    w.inner.flush()?;
+    Ok(w.written)
+}
+
+struct CountingWriter<W: Write> {
+    inner: W,
+    written: u64,
+}
+
+impl<W: Write> CountingWriter<W> {
+    fn write_all(&mut self, buf: &[u8]) -> std::io::Result<()> {
+        self.inner.write_all(buf)?;
+        self.written += buf.len() as u64;
+        Ok(())
+    }
+
+    /// Write zero padding up to absolute offset `target`.
+    fn pad_to(&mut self, target: u64) -> std::io::Result<()> {
+        debug_assert!(target >= self.written && target - self.written < 8);
+        const ZERO: [u8; 8] = [0; 8];
+        let gap = (target - self.written) as usize;
+        self.write_all(&ZERO[..gap])
+    }
+}
+
+/// Stream little-endian u64s through a fixed chunk buffer (no O(n) staging
+/// allocation, amortized syscalls).
+fn write_u64s<W: Write>(
+    w: &mut CountingWriter<W>,
+    it: impl Iterator<Item = u64>,
+) -> std::io::Result<()> {
+    let mut buf = [0u8; 8 * 1024];
+    let mut used = 0;
+    for v in it {
+        buf[used..used + 8].copy_from_slice(&v.to_le_bytes());
+        used += 8;
+        if used == buf.len() {
+            w.write_all(&buf)?;
+            used = 0;
+        }
+    }
+    w.write_all(&buf[..used])
+}
+
+/// Stream little-endian u32s through a fixed chunk buffer.
+fn write_u32s<W: Write>(
+    w: &mut CountingWriter<W>,
+    it: impl Iterator<Item = u32>,
+) -> std::io::Result<()> {
+    let mut buf = [0u8; 8 * 1024];
+    let mut used = 0;
+    for v in it {
+        buf[used..used + 4].copy_from_slice(&v.to_le_bytes());
+        used += 4;
+        if used == buf.len() {
+            w.write_all(&buf)?;
+            used = 0;
+        }
+    }
+    w.write_all(&buf[..used])
+}
+
+/// Map `path` and expose it as a [`Graph`] whose arrays alias the mapping.
+///
+/// On 64-bit little-endian targets all four CSR arrays are zero-copy; on
+/// other targets the arrays are decoded into heap storage (same `Graph`,
+/// same results, no aliasing). Validation covers the header, the section
+/// table against the file size, and the offsets array; see the module
+/// docs for what is deliberately *not* scanned.
+pub fn map_sbg(path: &Path) -> Result<Graph, SbgError> {
+    let mut mapping = Mapping::open(path)?;
+    let found = mapping.len() as u64;
+    if mapping.len() < HEADER_LEN {
+        return Err(SbgError::Truncated {
+            expected: HEADER_LEN as u64,
+            found,
+        });
+    }
+    let (n, m, flags) = {
+        let bytes = mapping.bytes();
+        if bytes[0..8] != MAGIC {
+            return Err(SbgError::BadMagic);
+        }
+        let u32_at = |o: usize| u32::from_le_bytes(bytes[o..o + 4].try_into().unwrap());
+        let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+        let version = u32_at(8);
+        if version != VERSION {
+            return Err(SbgError::Version { found: version });
+        }
+        let bom = u32_at(12);
+        if bom != BOM {
+            return Err(SbgError::Endianness { found: bom });
+        }
+        (u64_at(16), u64_at(24), u64_at(32))
+    };
+    if flags & !FLAG_HAS_PERM != 0 {
+        return Err(SbgError::Corrupt(format!("unknown flags {flags:#x}")));
+    }
+    let has_perm = flags & FLAG_HAS_PERM != 0;
+    let layout = Layout::new(n, m, has_perm)
+        .ok_or_else(|| SbgError::Corrupt("section table overflows u64".into()))?;
+    if layout.total > found {
+        return Err(SbgError::Truncated {
+            expected: layout.total,
+            found,
+        });
+    }
+    if layout.total < found {
+        return Err(SbgError::Corrupt(format!(
+            "{} trailing bytes after the last section",
+            found - layout.total
+        )));
+    }
+    let n_us = usize::try_from(n).map_err(|_| SbgError::Corrupt("n overflows usize".into()))?;
+    let m_us = usize::try_from(m).map_err(|_| SbgError::Corrupt("m overflows usize".into()))?;
+    let arcs = 2 * m_us;
+
+    // Validate the offsets section: offsets[0] = 0, monotone, last = 2m.
+    // This is the array the accessors index with, so out-of-bounds values
+    // here must be a typed load error, not a later panic or OOB slice.
+    {
+        let bytes = mapping.bytes();
+        let off_base = layout.offsets as usize;
+        let word = |i: usize| {
+            u64::from_le_bytes(
+                bytes[off_base + i * 8..off_base + i * 8 + 8]
+                    .try_into()
+                    .unwrap(),
+            )
+        };
+        let mut prev = word(0);
+        if prev != 0 {
+            return Err(SbgError::Corrupt(format!("offsets[0] = {prev}, want 0")));
+        }
+        for i in 1..=n_us {
+            let cur = word(i);
+            if cur < prev {
+                return Err(SbgError::Corrupt(format!(
+                    "offsets not monotone at index {i} ({cur} < {prev})"
+                )));
+            }
+            prev = cur;
+        }
+        if prev != arcs as u64 {
+            return Err(SbgError::Corrupt(format!(
+                "offsets[{n_us}] = {prev} out of bounds for {arcs} arcs"
+            )));
+        }
+    }
+    if has_perm {
+        mapping.perm = Some((layout.perm as usize, n_us));
+    }
+    let map = Arc::new(mapping);
+
+    // Zero-copy requires the in-memory element layout to equal the on-disk
+    // one: little-endian integers, and usize == u64 for the offsets array.
+    #[cfg(all(target_endian = "little", target_pointer_width = "64"))]
+    {
+        Ok(Graph::from_slabs(
+            Slab::<usize>::mapped(Arc::clone(&map), layout.offsets as usize, n_us + 1),
+            Slab::<u32>::mapped(Arc::clone(&map), layout.neighbors as usize, arcs),
+            Slab::<u32>::mapped(Arc::clone(&map), layout.edge_ids as usize, arcs),
+            Slab::<[u32; 2]>::mapped(Arc::clone(&map), layout.edges as usize, m_us),
+        ))
+    }
+    #[cfg(not(all(target_endian = "little", target_pointer_width = "64")))]
+    {
+        // Decode copy: correctness everywhere, zero-copy nowhere.
+        let bytes = map.bytes();
+        let off_base = layout.offsets as usize;
+        let offsets: Vec<usize> = (0..=n_us)
+            .map(|i| {
+                u64::from_le_bytes(
+                    bytes[off_base + i * 8..off_base + i * 8 + 8]
+                        .try_into()
+                        .unwrap(),
+                ) as usize
+            })
+            .collect();
+        let u32s = |base: usize, count: usize| -> Vec<u32> {
+            (0..count)
+                .map(|i| {
+                    u32::from_le_bytes(bytes[base + i * 4..base + i * 4 + 4].try_into().unwrap())
+                })
+                .collect()
+        };
+        let neighbors = u32s(layout.neighbors as usize, arcs);
+        let edge_ids = u32s(layout.edge_ids as usize, arcs);
+        let flat = u32s(layout.edges as usize, 2 * m_us);
+        let edges: Vec<[u32; 2]> = flat.chunks_exact(2).map(|c| [c[0], c[1]]).collect();
+        // The perm section (if any) is validated above but not attached to
+        // the decoded heap graph; [`read_sbg_perm`] recovers it portably.
+        let _ = &map;
+        Ok(Graph::from_parts(offsets, neighbors, edge_ids, edges))
+    }
+}
+
+/// Read just the stored new→old permutation from a `.sbg` file (decoded,
+/// endian-portable — works whether or not the graph itself would be
+/// mapped zero-copy). Returns `None` when the file carries no permutation.
+pub fn read_sbg_perm(path: &Path) -> Result<Option<Vec<u32>>, SbgError> {
+    use std::io::{Read, Seek, SeekFrom};
+    let mut f = std::fs::File::open(path)?;
+    let found = f.metadata()?.len();
+    if found < HEADER_LEN as u64 {
+        return Err(SbgError::Truncated {
+            expected: HEADER_LEN as u64,
+            found,
+        });
+    }
+    let mut header = [0u8; HEADER_LEN];
+    f.read_exact(&mut header)?;
+    if header[0..8] != MAGIC {
+        return Err(SbgError::BadMagic);
+    }
+    let version = u32::from_le_bytes(header[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(SbgError::Version { found: version });
+    }
+    let bom = u32::from_le_bytes(header[12..16].try_into().unwrap());
+    if bom != BOM {
+        return Err(SbgError::Endianness { found: bom });
+    }
+    let n = u64::from_le_bytes(header[16..24].try_into().unwrap());
+    let m = u64::from_le_bytes(header[24..32].try_into().unwrap());
+    let flags = u64::from_le_bytes(header[32..40].try_into().unwrap());
+    if flags & FLAG_HAS_PERM == 0 {
+        return Ok(None);
+    }
+    let layout = Layout::new(n, m, true)
+        .ok_or_else(|| SbgError::Corrupt("section table overflows u64".into()))?;
+    if layout.total > found {
+        return Err(SbgError::Truncated {
+            expected: layout.total,
+            found,
+        });
+    }
+    f.seek(SeekFrom::Start(layout.perm))?;
+    let n_us = usize::try_from(n).map_err(|_| SbgError::Corrupt("n overflows usize".into()))?;
+    let mut buf = vec![0u8; n_us * 4];
+    f.read_exact(&mut buf)?;
+    Ok(Some(
+        buf.chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
+            .collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edge_list;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("sbg-format-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    fn sample() -> Graph {
+        from_edge_list(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)])
+    }
+
+    #[test]
+    fn round_trip_equals_heap_graph() {
+        let g = sample();
+        let path = tmp("round.sbg");
+        let written = write_sbg(&g, None, &path).unwrap();
+        assert_eq!(written, std::fs::metadata(&path).unwrap().len());
+        let h = map_sbg(&path).unwrap();
+        assert_eq!(g, h);
+        h.validate().unwrap();
+        assert!(h.renumber_perm().is_none());
+    }
+
+    #[test]
+    fn round_trip_with_perm() {
+        let g = sample();
+        let perm: Vec<u32> = (0..6).rev().collect();
+        let path = tmp("perm.sbg");
+        write_sbg(&g, Some(&perm), &path).unwrap();
+        let h = map_sbg(&path).unwrap();
+        assert_eq!(g, h);
+        assert_eq!(h.renumber_perm().unwrap(), &perm[..]);
+    }
+
+    #[test]
+    fn empty_graph_round_trips() {
+        let g = Graph::empty(4);
+        let path = tmp("empty.sbg");
+        write_sbg(&g, None, &path).unwrap();
+        let h = map_sbg(&path).unwrap();
+        assert_eq!(g, h);
+    }
+
+    #[test]
+    fn writer_rejects_wrong_perm_length() {
+        let g = sample();
+        let err = write_sbg(&g, Some(&[0, 1]), &tmp("badperm.sbg")).unwrap_err();
+        assert!(matches!(err, SbgError::Corrupt(_)), "{err}");
+    }
+
+    #[test]
+    fn layout_is_aligned_and_padded() {
+        for (n, m) in [(0u64, 0u64), (1, 0), (5, 7), (100, 1)] {
+            let l = Layout::new(n, m, true).unwrap();
+            for off in [l.offsets, l.neighbors, l.edge_ids, l.edges, l.perm] {
+                assert_eq!(off % 8, 0, "section at {off} misaligned (n={n}, m={m})");
+            }
+            assert!(l.total >= l.perm);
+        }
+    }
+}

@@ -1,0 +1,475 @@
+//! Storage backends for the CSR arrays: resident heap vectors or byte
+//! ranges of a shared, read-only file mapping (the `.sbg` format, see
+//! [`crate::sbg`]).
+//!
+//! The design goal is that [`crate::Graph`] keeps its exact accessor API
+//! (`neighbors(v)`, `edge_ids_of(v)`, `edge_list()`, …) regardless of where
+//! the arrays live, so every solver and decomposer runs unmodified over a
+//! mapped graph. Each array is a [`Slab<T>`] that derefs to `&[T]`; the
+//! mapped variant points into an [`Arc<Mapping>`], so any number of graphs,
+//! jobs, and serve connections share one mapping and the bytes cost page
+//! cache, not heap.
+//!
+//! Mapped slabs reinterpret file bytes in place, which is only sound when
+//! the platform layout matches the on-disk layout. [`crate::sbg`] constructs
+//! them exclusively on little-endian targets (and, for the `u64 → usize`
+//! offsets array, only on 64-bit targets); everywhere else it decodes into
+//! heap slabs instead.
+
+use std::fmt;
+use std::ops::Deref;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Which backing store a [`crate::Graph`]'s arrays live in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GraphStore {
+    /// Arrays are owned heap vectors (builder output, decoded files).
+    Heap,
+    /// Arrays alias a shared read-only file mapping of a `.sbg` file.
+    Mapped,
+}
+
+/// Identity of the file backing a mapping: device, inode, size, and
+/// modification time. Cheap to hash (no content pass over a multi-GB
+/// mapping) and stable across separate opens of the same file, which is
+/// what the engine's fingerprint cache needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FileIdent {
+    /// Device id (0 where the platform has no inode concept).
+    pub dev: u64,
+    /// Inode number (a path hash where the platform has no inode concept).
+    pub ino: u64,
+    /// File size in bytes.
+    pub size: u64,
+    /// Modification time, nanoseconds since the Unix epoch (0 if unknown).
+    pub mtime_ns: u64,
+}
+
+impl FileIdent {
+    fn from_metadata(path: &Path, meta: &std::fs::Metadata) -> FileIdent {
+        let mtime_ns = meta
+            .modified()
+            .ok()
+            .and_then(|t| t.duration_since(std::time::UNIX_EPOCH).ok())
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        #[cfg(unix)]
+        {
+            use std::os::unix::fs::MetadataExt;
+            let _ = path;
+            FileIdent {
+                dev: meta.dev(),
+                ino: meta.ino(),
+                size: meta.len(),
+                mtime_ns,
+            }
+        }
+        #[cfg(not(unix))]
+        {
+            // No inode: substitute an FNV-1a hash of the path string.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in path.to_string_lossy().as_bytes() {
+                h = (h ^ *b as u64).wrapping_mul(0x100_0000_01b3);
+            }
+            FileIdent {
+                dev: 0,
+                ino: h,
+                size: meta.len(),
+                mtime_ns,
+            }
+        }
+    }
+}
+
+/// A read-only mapping of one file, shared via `Arc` by every slab cut
+/// from it. On Unix this is `mmap(PROT_READ, MAP_SHARED)` — the kernel
+/// pages bytes in on demand and the process pays page cache, not RSS.
+/// Elsewhere (or when `SBREAK_NO_MMAP=1`, or if `mmap` fails) the file is
+/// read into an 8-byte-aligned heap buffer with identical semantics.
+///
+/// The mapping is immutable for its whole lifetime, so sharing it across
+/// threads is sound; it unmaps when the last `Arc` drops.
+pub struct Mapping {
+    data: MapData,
+    ident: FileIdent,
+    /// Byte offset and element count of the stored new→old renumbering
+    /// permutation section, when the file carries one.
+    pub(crate) perm: Option<(usize, usize)>,
+}
+
+enum MapData {
+    #[cfg(unix)]
+    Mmap {
+        ptr: std::ptr::NonNull<u8>,
+        len: usize,
+    },
+    /// 8-byte-aligned heap fallback; `len` is the byte length (the word
+    /// vector is padded up to the next multiple of 8).
+    Heap { words: Vec<u64>, len: usize },
+}
+
+// SAFETY: the mapped bytes are immutable (PROT_READ, never written through)
+// for the lifetime of the Mapping, so shared access from any thread is fine.
+unsafe impl Send for Mapping {}
+unsafe impl Sync for Mapping {}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+
+    pub const PROT_READ: i32 = 1;
+    pub const MAP_SHARED: i32 = 1;
+
+    // std already links libc on every Unix target, so declaring the two
+    // symbols directly avoids a dependency the container may not have.
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> i32;
+    }
+}
+
+impl MapData {
+    fn read_heap(file: &mut std::fs::File, len: usize) -> std::io::Result<MapData> {
+        use std::io::Read;
+        let mut words = vec![0u64; len.div_ceil(8)];
+        // SAFETY: the u64 buffer is a valid writable byte region of
+        // `len.div_ceil(8) * 8 >= len` bytes; u64 has no invalid patterns.
+        let bytes = unsafe {
+            std::slice::from_raw_parts_mut(words.as_mut_ptr() as *mut u8, words.len() * 8)
+        };
+        file.read_exact(&mut bytes[..len])?;
+        Ok(MapData::Heap { words, len })
+    }
+
+    #[cfg(unix)]
+    fn map(file: &mut std::fs::File, len: usize) -> std::io::Result<MapData> {
+        use std::os::unix::io::AsRawFd;
+        if len == 0 || std::env::var_os("SBREAK_NO_MMAP").is_some_and(|v| v == "1") {
+            return Self::read_heap(file, len);
+        }
+        // SAFETY: fd is a valid open file descriptor and len > 0; a failed
+        // map returns MAP_FAILED, handled below.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_SHARED,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr as isize == -1 {
+            // e.g. a filesystem without mmap support: degrade to a heap read.
+            return Self::read_heap(file, len);
+        }
+        Ok(MapData::Mmap {
+            ptr: std::ptr::NonNull::new(ptr as *mut u8).expect("mmap returned null"),
+            len,
+        })
+    }
+
+    #[cfg(not(unix))]
+    fn map(file: &mut std::fs::File, len: usize) -> std::io::Result<MapData> {
+        Self::read_heap(file, len)
+    }
+}
+
+impl Drop for Mapping {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let MapData::Mmap { ptr, len } = self.data {
+            // SAFETY: (ptr, len) came from a successful mmap and is unmapped
+            // exactly once, here.
+            unsafe { sys::munmap(ptr.as_ptr() as *mut _, len) };
+        }
+    }
+}
+
+impl Mapping {
+    /// Map `path` read-only (whole file).
+    pub fn open(path: &Path) -> std::io::Result<Mapping> {
+        let mut file = std::fs::File::open(path)?;
+        let meta = file.metadata()?;
+        let ident = FileIdent::from_metadata(path, &meta);
+        let len = usize::try_from(meta.len()).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "file too large to map")
+        })?;
+        let data = MapData::map(&mut file, len)?;
+        Ok(Mapping {
+            data,
+            ident,
+            perm: None,
+        })
+    }
+
+    /// The mapped bytes. The base pointer is at least 8-byte aligned
+    /// (page-aligned from mmap; u64-backed in the heap fallback).
+    #[inline]
+    pub fn bytes(&self) -> &[u8] {
+        match &self.data {
+            #[cfg(unix)]
+            // SAFETY: (ptr, len) is the live read-only mapping.
+            MapData::Mmap { ptr, len } => unsafe { std::slice::from_raw_parts(ptr.as_ptr(), *len) },
+            MapData::Heap { words, len } => {
+                // SAFETY: the word buffer covers `len` initialized bytes.
+                unsafe { std::slice::from_raw_parts(words.as_ptr() as *const u8, *len) }
+            }
+        }
+    }
+
+    /// Byte length of the mapping.
+    #[inline]
+    pub fn len(&self) -> usize {
+        match &self.data {
+            #[cfg(unix)]
+            MapData::Mmap { len, .. } => *len,
+            MapData::Heap { len, .. } => *len,
+        }
+    }
+
+    /// True when the mapping is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Identity of the backing file.
+    #[inline]
+    pub fn ident(&self) -> &FileIdent {
+        &self.ident
+    }
+
+    /// The stored new→old renumbering permutation, if the file has one.
+    /// `perm[new_id] = old_id`.
+    pub fn perm_slice(&self) -> Option<&[u32]> {
+        let (off, count) = self.perm?;
+        debug_assert!(off % 4 == 0 && off + count * 4 <= self.len());
+        // SAFETY: (off, count) was bounds- and alignment-checked against the
+        // mapping when the section table was validated at load time.
+        Some(unsafe {
+            std::slice::from_raw_parts(self.bytes().as_ptr().add(off) as *const u32, count)
+        })
+    }
+
+    /// True when this mapping was produced by `mmap` (false for the heap
+    /// fallback). Lets tests pin the zero-copy path on Unix.
+    pub fn is_mmap(&self) -> bool {
+        match &self.data {
+            #[cfg(unix)]
+            MapData::Mmap { .. } => true,
+            MapData::Heap { .. } => false,
+        }
+    }
+}
+
+impl fmt::Debug for Mapping {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mapping")
+            .field("len", &self.len())
+            .field("mmap", &self.is_mmap())
+            .field("ident", &self.ident)
+            .finish()
+    }
+}
+
+/// Marker for element types that may be reinterpreted directly from mapped
+/// file bytes.
+///
+/// # Safety
+/// Implementors must be plain-old-data: no padding, no niches, valid for
+/// every bit pattern, and layout-identical to their on-disk little-endian
+/// encoding on the targets where a mapped slab is constructed.
+pub unsafe trait Pod: Copy + 'static {}
+unsafe impl Pod for u8 {}
+unsafe impl Pod for u32 {}
+unsafe impl Pod for u64 {}
+unsafe impl Pod for usize {}
+unsafe impl Pod for [u32; 2] {}
+
+/// One CSR array: either an owned heap vector or a typed window into a
+/// shared [`Mapping`]. Derefs to `&[T]`, so all existing slice-based
+/// accessors work unchanged; equality and hashing are content-based.
+pub enum Slab<T: Pod> {
+    /// Owned, resident storage.
+    Heap(Vec<T>),
+    /// `len` elements starting `byte_off` bytes into the mapping.
+    Mapped {
+        map: Arc<Mapping>,
+        byte_off: usize,
+        len: usize,
+    },
+}
+
+impl<T: Pod> Slab<T> {
+    /// A slab aliasing `len` elements of `map` at `byte_off`. Bounds and
+    /// alignment are asserted here so `deref` can be branch-free unsafe.
+    pub(crate) fn mapped(map: Arc<Mapping>, byte_off: usize, len: usize) -> Slab<T> {
+        let bytes = len
+            .checked_mul(std::mem::size_of::<T>())
+            .expect("slab byte length overflows usize");
+        assert!(
+            byte_off.is_multiple_of(std::mem::align_of::<T>()),
+            "slab offset {byte_off} misaligned for element alignment {}",
+            std::mem::align_of::<T>()
+        );
+        assert!(
+            byte_off
+                .checked_add(bytes)
+                .is_some_and(|end| end <= map.len()),
+            "slab range {byte_off}+{bytes} exceeds mapping of {} bytes",
+            map.len()
+        );
+        Slab::Mapped { map, byte_off, len }
+    }
+
+    /// The mapping this slab aliases, if any.
+    #[inline]
+    pub(crate) fn mapping(&self) -> Option<&Arc<Mapping>> {
+        match self {
+            Slab::Heap(_) => None,
+            Slab::Mapped { map, .. } => Some(map),
+        }
+    }
+
+    /// Heap bytes owned by this slab (0 for mapped slabs — their bytes are
+    /// page cache, charged to nobody's quota).
+    #[inline]
+    pub(crate) fn heap_bytes(&self) -> usize {
+        match self {
+            Slab::Heap(v) => v.len() * std::mem::size_of::<T>(),
+            Slab::Mapped { .. } => 0,
+        }
+    }
+}
+
+impl<T: Pod> Deref for Slab<T> {
+    type Target = [T];
+
+    #[inline]
+    fn deref(&self) -> &[T] {
+        match self {
+            Slab::Heap(v) => v,
+            Slab::Mapped { map, byte_off, len } => {
+                // SAFETY: constructor checked alignment and bounds; the
+                // mapping is immutable and outlives `self` via the Arc; T is
+                // Pod so any byte pattern is a valid value.
+                unsafe {
+                    std::slice::from_raw_parts(
+                        map.bytes().as_ptr().add(*byte_off) as *const T,
+                        *len,
+                    )
+                }
+            }
+        }
+    }
+}
+
+impl<T: Pod> From<Vec<T>> for Slab<T> {
+    fn from(v: Vec<T>) -> Self {
+        Slab::Heap(v)
+    }
+}
+
+impl<T: Pod> Default for Slab<T> {
+    fn default() -> Self {
+        Slab::Heap(Vec::new())
+    }
+}
+
+impl<T: Pod> Clone for Slab<T> {
+    fn clone(&self) -> Self {
+        match self {
+            Slab::Heap(v) => Slab::Heap(v.clone()),
+            Slab::Mapped { map, byte_off, len } => Slab::Mapped {
+                map: Arc::clone(map),
+                byte_off: *byte_off,
+                len: *len,
+            },
+        }
+    }
+}
+
+impl<T: Pod + PartialEq> PartialEq for Slab<T> {
+    fn eq(&self, other: &Self) -> bool {
+        **self == **other
+    }
+}
+
+impl<T: Pod + Eq> Eq for Slab<T> {}
+
+impl<T: Pod + fmt::Debug> fmt::Debug for Slab<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heap_slab_behaves_like_vec() {
+        let s: Slab<u32> = vec![3, 1, 4].into();
+        assert_eq!(&*s, &[3, 1, 4]);
+        assert_eq!(s.heap_bytes(), 12);
+        assert!(s.mapping().is_none());
+        let t = s.clone();
+        assert_eq!(s, t);
+    }
+
+    #[test]
+    fn mapped_slab_reads_file_bytes() {
+        let dir = std::env::temp_dir().join("sbg-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("words.bin");
+        let words: Vec<u64> = (0..16).map(|i| i * 0x0101).collect();
+        let mut bytes = Vec::new();
+        for w in &words {
+            bytes.extend_from_slice(&w.to_le_bytes());
+        }
+        std::fs::write(&path, &bytes).unwrap();
+
+        let map = Arc::new(Mapping::open(&path).unwrap());
+        assert_eq!(map.len(), 128);
+        assert_eq!(map.ident().size, 128);
+        let slab = Slab::<u64>::mapped(Arc::clone(&map), 0, 16);
+        assert_eq!(&*slab, &words[..]);
+        assert_eq!(slab.heap_bytes(), 0);
+        // A second slab over the tail shares the same mapping.
+        let tail = Slab::<u64>::mapped(Arc::clone(&map), 64, 8);
+        assert_eq!(&*tail, &words[8..]);
+        assert_eq!(Arc::strong_count(&map), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds mapping")]
+    fn mapped_slab_rejects_out_of_bounds() {
+        let dir = std::env::temp_dir().join("sbg-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("short.bin");
+        std::fs::write(&path, [0u8; 8]).unwrap();
+        let map = Arc::new(Mapping::open(&path).unwrap());
+        let _ = Slab::<u64>::mapped(map, 0, 2);
+    }
+
+    #[test]
+    fn heap_fallback_is_byte_identical() {
+        let dir = std::env::temp_dir().join("sbg-store-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("odd.bin");
+        // Deliberately not a multiple of 8 to exercise the padded tail.
+        std::fs::write(&path, (0u8..13).collect::<Vec<_>>()).unwrap();
+        let map = Mapping::open(&path).unwrap();
+        assert_eq!(map.bytes(), &(0u8..13).collect::<Vec<_>>()[..]);
+        assert_eq!(map.len(), 13);
+    }
+}

@@ -102,12 +102,7 @@ where
             debug_assert_eq!(cursor, offsets[v + 1]);
         });
     }
-    let out = Graph {
-        offsets,
-        neighbors,
-        edge_ids,
-        edges,
-    };
+    let out = Graph::from_parts(offsets, neighbors, edge_ids, edges);
     debug_assert!(out.validate().is_ok());
     out
 }
@@ -196,12 +191,12 @@ where
                     debug_assert_eq!(cursor, offsets[v + 1]);
                 });
             }
-            let out = Graph {
+            let out = Graph::from_parts(
                 offsets,
                 neighbors,
                 edge_ids,
-                edges: std::mem::take(&mut per_class_edges[c]),
-            };
+                std::mem::take(&mut per_class_edges[c]),
+            );
             debug_assert!(out.validate().is_ok());
             out
         })

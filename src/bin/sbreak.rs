@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! sbreak generate <graph> [--scale F] [--seed S] -o out.edges
+//! sbreak convert  <input> <out.sbg> [--renumber degree] [--scale F] [--seed S]
 //! sbreak stats     <input> [--bridges] [--blocks]
 //! sbreak decompose <input> --method bridge|rand:K|degk:K|metis:K|bicc
 //! sbreak solve     <input> --problem mm|color|mis
@@ -21,9 +22,18 @@
 //!                  [--shutdown] [-o <dir>]
 //! ```
 //!
-//! `<input>` is an edge-list or Matrix-Market (`.mtx`) file, or
-//! `gen:<graph>` for a Table II stand-in (e.g. `gen:germany-osm`).
-//! Solutions are always verified before they are reported or written.
+//! `<input>` is an edge-list, Matrix-Market (`.mtx`), or binary CSR
+//! (`.sbg`) file, or `gen:<graph>` for a Table II stand-in (e.g.
+//! `gen:germany-osm`). Solutions are always verified before they are
+//! reported or written.
+//!
+//! `convert` serializes any input to the `.sbg` on-disk CSR format
+//! (DESIGN.md §15). Every command that takes `<input>` accepts the
+//! resulting file and loads it through a zero-copy read-only mapping —
+//! the out-of-core path for graphs that should cost page cache, not
+//! heap. `--renumber degree` reorders vertices by descending degree at
+//! convert time and stores the new→old permutation in the file, so
+//! solver output maps back to original ids.
 //!
 //! `--trace <out.jsonl>` (on `solve` and `decompose`) records phase spans
 //! and per-round records to a JSONL file and prints a one-line summary.
@@ -75,6 +85,7 @@ use symmetry_breaking::prelude::*;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  sbreak generate <graph> [--scale F] [--seed S] -o <file>\n  \
+         sbreak convert <input> <out.sbg> [--renumber degree] [--scale F] [--seed S]\n  \
          sbreak stats <input> [--bridges] [--blocks] [--scale F] [--seed S]\n  \
          sbreak decompose <input> --method bridge|rand:K|degk:K|metis:K|bicc [--seed S] [--trace <out.jsonl>]\n  \
          sbreak solve <input> --problem mm|color|mis [--algo baseline|bridge|rand:K|degk:K|bicc]\n  \
@@ -90,7 +101,7 @@ fn usage() -> ! {
          \x20            [--tenant-quota BYTES] [--deadline-ms T] [--threads N]\n  \
          sbreak loadgen [gen:<graph>] [--addr H:P] [--clients N] [--repeats R]\n  \
          \x20              [--scale F] [--seed S] [--workers N] [--shutdown] [-o <dir>]\n\n\
-         <input>: an edge-list/.mtx path, or gen:<table-II-name> (e.g. gen:lp1)\n\
+         <input>: an edge-list/.mtx/.sbg path, or gen:<table-II-name> (e.g. gen:lp1)\n\
          --metrics <out.json> (solve/batch/fuzz): write the metrics registry snapshot on exit"
     );
     std::process::exit(2)
@@ -167,6 +178,7 @@ struct Flags {
     clients: Option<usize>,
     repeats: Option<usize>,
     shutdown: bool,
+    renumber: Option<String>,
 }
 
 fn parse_flags(args: &[String]) -> Result<Flags, String> {
@@ -204,6 +216,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
         clients: None,
         repeats: None,
         shutdown: false,
+        renumber: None,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -326,6 +339,7 @@ fn parse_flags(args: &[String]) -> Result<Flags, String> {
                 })
             }
             "--shutdown" => f.shutdown = true,
+            "--renumber" => f.renumber = Some(val("--renumber")?),
             "--trace-dir" => f.trace_dir = Some(val("--trace-dir")?),
             "--out-dir" => f.out_dir = Some(val("--out-dir")?),
             "--compare-fresh" => f.compare_fresh = true,
@@ -404,6 +418,42 @@ fn cmd_generate(f: &Flags) -> Result<(), String> {
         name,
         g.num_vertices(),
         g.num_edges()
+    );
+    Ok(())
+}
+
+fn cmd_convert(f: &Flags) -> Result<(), String> {
+    let input = f.positional.first().ok_or("convert needs an input")?;
+    let out = f
+        .positional
+        .get(1)
+        .cloned()
+        .or_else(|| f.output.clone())
+        .ok_or("convert needs an output path (second positional or -o)")?;
+    let g = load_input(input, f.scale, f.seed)?;
+    let (g, perm) = match f.renumber.as_deref() {
+        None | Some("none") => (g, None),
+        Some("degree") => {
+            let (h, p) = symmetry_breaking::graph::renumber::renumber_by_degree(&g);
+            (h, Some(p))
+        }
+        Some(other) => {
+            return Err(format!(
+                "unknown --renumber mode '{other}' (expected 'degree' or 'none')"
+            ))
+        }
+    };
+    let bytes = symmetry_breaking::graph::sbg::write_sbg(&g, perm.as_deref(), Path::new(&out))
+        .map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "wrote {out}: {} vertices, {} edges, {bytes} bytes{}",
+        g.num_vertices(),
+        g.num_edges(),
+        if perm.is_some() {
+            " (degree-renumbered, permutation stored)"
+        } else {
+            ""
+        }
     );
     Ok(())
 }
@@ -1038,6 +1088,7 @@ fn main() -> ExitCode {
     };
     let run = || match cmd.as_str() {
         "generate" => cmd_generate(&flags),
+        "convert" => cmd_convert(&flags),
         "stats" => cmd_stats(&flags),
         "decompose" => cmd_decompose(&flags),
         "solve" => cmd_solve(&flags),

@@ -60,7 +60,10 @@ pub mod prelude {
     };
     pub use sb_graph::builder::{from_edge_list, GraphBuilder};
     pub use sb_graph::csr::{Graph, VertexId, INVALID};
+    pub use sb_graph::renumber::{renumber_by_degree, unpermute_labels};
+    pub use sb_graph::sbg::{map_sbg, read_sbg_perm, write_sbg, SbgError};
     pub use sb_graph::stats::GraphStats;
+    pub use sb_graph::store::{FileIdent, GraphStore, Mapping};
     pub use sb_par::counters::Counters;
     pub use sb_par::frontier::{Frontier, Scratch};
     pub use sb_trace::{TraceSink, TraceSummary};
