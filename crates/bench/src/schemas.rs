@@ -274,6 +274,31 @@ pub fn ablate_outofcore() -> TableSchema {
     )
 }
 
+/// Incremental-repair ablation (also saved as `BENCH_incremental.json`):
+/// each Table I workload is solved once on the base graph, then an edit
+/// batch of the given size is answered two ways — repairing the prior
+/// solution through the edit overlay vs materializing the edited CSR and
+/// solving fresh. `valid` is the verifier's verdict on the repaired
+/// solution against the edited graph; `repair wins` records whether the
+/// repair path was strictly cheaper (asserted at batch ≤ 100).
+pub fn ablate_incremental() -> TableSchema {
+    TableSchema::new(
+        "ablate_incremental",
+        "Incremental repair — patch prior solution vs fresh solve per edit-batch size",
+        &[
+            "workload",
+            "batch",
+            "repair ms",
+            "fresh ms",
+            "speedup",
+            "repair edges",
+            "fresh edges",
+            "valid",
+            "repair wins",
+        ],
+    )
+}
+
 /// Strong-scaling table (also saved as `BENCH_threads.json`). The column
 /// set depends on the thread axis; `host` is the recorded host parallelism.
 /// Besides the solver workloads, the table carries skewed-workload rows
@@ -370,6 +395,7 @@ pub fn all() -> Vec<TableSchema> {
     }
     v.push(ablate_frontier());
     v.push(ablate_outofcore());
+    v.push(ablate_incremental());
     v.push(ablate_threads(&[1, 2, 4], 8));
     v.push(model_report("kron-g500-logn20", 52_000, 2_100_000));
     v.push(bench_engine());

@@ -28,6 +28,7 @@ pub mod coloring;
 pub mod common;
 pub mod matching;
 pub mod mis;
+pub mod repair;
 pub mod verify;
 
 pub use common::{Arch, RunStats};

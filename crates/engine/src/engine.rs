@@ -2,7 +2,7 @@
 //! caches, and the cached solve path.
 
 use crate::cache::{CacheStats, Lru};
-use crate::fingerprint::{self, fingerprint_graph};
+use crate::fingerprint::{self, fingerprint_graph, fingerprint_with_edits};
 use sb_core::coloring::{decomp as color_decomp, ColorAlgorithm};
 use sb_core::common::{Arch, FrontierMode, RunStats, SolveOpts};
 use sb_core::matching::{decomp as mm_decomp, MmAlgorithm};
@@ -14,7 +14,9 @@ use sb_decompose::bridge::{decompose_bridge, BridgeDecomposition};
 use sb_decompose::degk::{decompose_degk, DegkDecomposition};
 use sb_decompose::rand_part::{decompose_rand, RandDecomposition};
 use sb_graph::csr::{Graph, INVALID};
+use sb_graph::editlog::{EditLog, Overlay};
 use sb_par::counters::{Counters, Stopwatch};
+use sb_par::rng::{bounded, hash2};
 use sb_trace::TraceSink;
 use std::path::PathBuf;
 use std::sync::Arc;
@@ -470,6 +472,26 @@ impl Engine {
         seed: u64,
         opts: &SolveOpts,
     ) -> SolveOutcome {
+        let fp = fingerprint_graph(g, self.fingerprint_seed);
+        self.solve_on_fingerprinted(g, fp, solver, arch, seed, opts)
+    }
+
+    /// [`Engine::solve_on`] with the graph's cache fingerprint supplied by
+    /// the caller instead of recomputed. This is how edited graphs keep
+    /// their `(base, edit log)` identity: [`Engine::apply_edits`] keys its
+    /// patched decompositions under [`fingerprint_with_edits`], and solves
+    /// against the materialized graph must probe under that same key (the
+    /// heap content hash of the materialized CSR would both miss the
+    /// patched entries and cost O(m) on every call).
+    pub fn solve_on_fingerprinted(
+        &mut self,
+        g: &Arc<Graph>,
+        fp: u64,
+        solver: Solver,
+        arch: Arch,
+        seed: u64,
+        opts: &SolveOpts,
+    ) -> SolveOutcome {
         let spec = solver.decomp_spec();
         if spec == DecompSpec::None {
             let (solution, stats) = run_solver(g, solver, None, arch, seed, opts);
@@ -479,7 +501,6 @@ impl Engine {
                 decomp_cached: None,
             };
         }
-        let fp = fingerprint_graph(g, self.fingerprint_seed);
         let key = DecompKey::new(fp, spec, seed);
         let (d, cached, decompose_time) = match self.decomps.get(&key) {
             Some(d) => (d.clone(), true, Duration::ZERO),
@@ -497,6 +518,73 @@ impl Engine {
             solution,
             stats,
             decomp_cached: Some(cached),
+        }
+    }
+
+    /// Apply an edit log against a loaded base graph: materialize the
+    /// edited CSR (memoized under its `(base, edit log)` fingerprint) and
+    /// *patch* every cached decomposition of the base across to the new
+    /// fingerprint instead of letting it go cold — the warm entries follow
+    /// the graph. DEGk patches by re-testing only edit-touched vertex
+    /// degrees; RAND extends its pure per-vertex hash draw; BRIDGE and
+    /// BICC recompute (2-edge-connectivity and block structure are global
+    /// invariants a local edit can reshape). Patched entries are
+    /// byte-identical to freshly computed ones — the fuzz engine axis and
+    /// the unit tests below pin this.
+    ///
+    /// Cache inserts are charged to `tenant` (use
+    /// [`crate::cache::DEFAULT_TENANT`]-equivalent semantics by passing
+    /// `"default"`-style names; serve passes the session tenant).
+    pub fn apply_edits(&mut self, tenant: &str, base: &Arc<Graph>, edits: &EditLog) -> EditOutcome {
+        let fp = fingerprint_with_edits(base, edits, self.fingerprint_seed);
+        if edits.is_empty() {
+            // No edits: the base *is* the edited graph, and its cached
+            // decompositions are already keyed under `fp` (the edit
+            // fingerprint degenerates to the base's). Patching here would
+            // re-insert every entry onto its own key — re-charging other
+            // tenants' bytes to this one for no structural change.
+            return EditOutcome {
+                graph: base.clone(),
+                fingerprint: fp,
+                graph_cached: true,
+                decomps_patched: 0,
+            };
+        }
+        let key = format!("edit:{fp:016x}");
+        if let Some((g, cached_fp)) = self.graphs.get(&key) {
+            return EditOutcome {
+                graph: g.clone(),
+                fingerprint: *cached_fp,
+                graph_cached: true,
+                decomps_patched: 0,
+            };
+        }
+        let base_fp = fingerprint_graph(base, self.fingerprint_seed);
+        let overlay = edits.apply(base);
+        let edited = Arc::new(overlay.materialize());
+        let mut decomps_patched = 0;
+        for old_key in self.decomps.keys() {
+            if old_key.fingerprint != base_fp {
+                continue;
+            }
+            let new_key = DecompKey::new(fp, old_key.spec, old_key.seed);
+            let Some(old) = self.decomps.get(&old_key).cloned() else {
+                continue;
+            };
+            let patched = patch_decomposition(&old, &overlay, &edited, old_key.spec, old_key.seed);
+            let bytes = patched.approx_bytes();
+            self.decomps
+                .insert_weighted_for(tenant, new_key, Arc::new(patched), bytes);
+            decomps_patched += 1;
+        }
+        let bytes = graph_approx_bytes(&edited);
+        self.graphs
+            .insert_weighted_for(tenant, key, (edited.clone(), fp), bytes);
+        EditOutcome {
+            graph: edited,
+            fingerprint: fp,
+            graph_cached: false,
+            decomps_patched,
         }
     }
 
@@ -541,6 +629,98 @@ impl Engine {
             corrupted += 1;
         }
         corrupted
+    }
+}
+
+/// Outcome of [`Engine::apply_edits`].
+#[derive(Debug)]
+pub struct EditOutcome {
+    /// The materialized edited graph (shared from the cache when warm).
+    pub graph: Arc<Graph>,
+    /// The `(base, edit log)` fingerprint — the cache identity of the
+    /// edited graph; pass it to [`Engine::solve_on_fingerprinted`].
+    pub fingerprint: u64,
+    /// Whether the edited graph was already resident.
+    pub graph_cached: bool,
+    /// How many cached decompositions of the base were patched across.
+    pub decomps_patched: usize,
+}
+
+/// Carry one cached decomposition of the base graph across an edit,
+/// producing the decomposition of `edited` byte-identical to computing it
+/// fresh. DEGk re-tests degrees only for edit-touched vertices (untouched
+/// degrees cannot change); RAND's per-vertex draw is the pure hash of
+/// `(seed, v)`, so existing draws are reused verbatim and new vertices
+/// drawn on demand. Per-edge class vectors are re-derived over the edited
+/// edge list in either case — edge ids shift on rebuild, so the class
+/// array cannot be spliced, but deriving a class from two vertex flags is
+/// O(1) per edge with no graph traversal. BRIDGE and BICC recompute.
+fn patch_decomposition(
+    old: &CachedDecomposition,
+    overlay: &Overlay<'_>,
+    edited: &Graph,
+    spec: DecompSpec,
+    seed: u64,
+) -> CachedDecomposition {
+    let n = edited.num_vertices();
+    match old {
+        CachedDecomposition::Degk(old) => {
+            let k = old.k;
+            let mut is_high = old.is_high.clone();
+            is_high.resize(n, false);
+            for v in overlay.touched() {
+                is_high[v as usize] = edited.degree(v) > k;
+            }
+            let class: Vec<u8> = edited
+                .edge_list()
+                .iter()
+                .map(|&[u, v]| match (is_high[u as usize], is_high[v as usize]) {
+                    (true, true) => DegkDecomposition::HIGH,
+                    (false, false) => DegkDecomposition::LOW,
+                    _ => DegkDecomposition::CROSS,
+                })
+                .collect();
+            let mut counts = [0usize; 3];
+            for &c in &class {
+                counts[c as usize] += 1;
+            }
+            CachedDecomposition::Degk(DegkDecomposition {
+                k,
+                is_high,
+                class,
+                m_high: counts[0],
+                m_low: counts[1],
+                m_cross: counts[2],
+            })
+        }
+        CachedDecomposition::Rand(old) => {
+            let k = old.k;
+            let base_n = old.part.len();
+            let mut part = old.part.clone();
+            part.resize(n, 0);
+            for v in base_n..n {
+                part[v] = bounded(hash2(seed, v as u64), k as u64) as u32;
+            }
+            let class: Vec<u8> = edited
+                .edge_list()
+                .iter()
+                .map(|&[u, v]| u8::from(part[u as usize] != part[v as usize]))
+                .collect();
+            let m_cross = class
+                .iter()
+                .filter(|&&c| c == RandDecomposition::CROSS)
+                .count();
+            CachedDecomposition::Rand(RandDecomposition {
+                k,
+                part,
+                m_induced: edited.num_edges() - m_cross,
+                m_cross,
+                class,
+            })
+        }
+        CachedDecomposition::Bridge(_) | CachedDecomposition::Bicc(_) => {
+            compute_decomposition(edited, spec, seed, None).0
+        }
     }
 }
 
@@ -862,6 +1042,88 @@ mod tests {
         assert!(GraphSource::parse("inline:3", 1.0, 0).is_err());
         assert!(GraphSource::parse("inline:3:0-9", 1.0, 0).is_err());
         assert!(GraphSource::parse("inline:3:0+1", 1.0, 0).is_err());
+    }
+
+    fn edit_script() -> EditLog {
+        let mut log = EditLog::new();
+        log.add_edge(0, 20).remove_edge(5, 6).add_edge(40, 41);
+        log
+    }
+
+    #[test]
+    fn apply_edits_patches_decompositions_byte_identically() {
+        // Prime the cache with every decomposition family, apply edits,
+        // then check each patched solve equals a fresh engine's solve on
+        // the materialized edited graph — byte for byte.
+        let g = chain_graph(40);
+        let opts = SolveOpts::default();
+        let solvers = [
+            Solver::Mm(MmAlgorithm::Degk { k: 2 }),
+            Solver::Mm(MmAlgorithm::Rand { partitions: 3 }),
+            Solver::Mis(MisAlgorithm::Bridge),
+            Solver::Color(ColorAlgorithm::Bicc),
+        ];
+        let mut engine = Engine::with_cap(16);
+        for &s in &solvers {
+            engine.solve_on(&g, s, Arch::Cpu, 7, &opts);
+        }
+        let log = edit_script();
+        let out = engine.apply_edits("default", &g, &log);
+        assert!(!out.graph_cached);
+        assert_eq!(out.decomps_patched, 4, "all four primed entries follow");
+        assert_eq!(out.graph.num_vertices(), 42);
+        for &s in &solvers {
+            let patched =
+                engine.solve_on_fingerprinted(&out.graph, out.fingerprint, s, Arch::Cpu, 7, &opts);
+            assert_eq!(
+                patched.decomp_cached,
+                Some(true),
+                "patched entry missed for {}",
+                s.label()
+            );
+            let fresh = Engine::with_cap(0).solve_on(&out.graph, s, Arch::Cpu, 7, &opts);
+            assert_eq!(
+                patched.solution,
+                fresh.solution,
+                "patched decomposition diverged for {}",
+                s.label()
+            );
+            patched.solution.verify(&out.graph).unwrap();
+        }
+        // Re-applying the same log is a warm graph hit.
+        let again = engine.apply_edits("default", &g, &log);
+        assert!(again.graph_cached);
+        assert!(Arc::ptr_eq(&again.graph, &out.graph));
+    }
+
+    #[test]
+    fn apply_edits_empty_log_shares_base_fingerprint() {
+        let g = chain_graph(12);
+        let mut engine = Engine::with_cap(8);
+        let primed = engine.solve_on(
+            &g,
+            Solver::Mis(MisAlgorithm::Degk { k: 2 }),
+            Arch::Cpu,
+            3,
+            &SolveOpts::default(),
+        );
+        assert_eq!(primed.decomp_cached, Some(false));
+        let out = engine.apply_edits("default", &g, &EditLog::new());
+        assert_eq!(
+            out.fingerprint,
+            fingerprint_graph(&g, fingerprint::DEFAULT_SEED),
+            "no edits = the base's own identity"
+        );
+        let hit = engine.solve_on_fingerprinted(
+            &out.graph,
+            out.fingerprint,
+            Solver::Mis(MisAlgorithm::Degk { k: 2 }),
+            Arch::Cpu,
+            3,
+            &SolveOpts::default(),
+        );
+        assert_eq!(hit.decomp_cached, Some(true));
+        assert_eq!(hit.solution, primed.solution);
     }
 
     #[test]

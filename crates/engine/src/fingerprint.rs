@@ -15,6 +15,7 @@
 //! cache hit, which the fuzz layer's byte-equality oracle would surface.
 
 use sb_graph::csr::Graph;
+use sb_graph::editlog::{Edit, EditLog};
 
 /// Default fingerprint seed (any fixed value works; this one spells the
 /// project out in hex-ish).
@@ -139,10 +140,82 @@ pub fn fingerprint_graph(g: &Graph, seed: u64) -> u64 {
     h.finish()
 }
 
+/// Domain-separation tag for `(base graph, edit log)` fingerprints, so an
+/// edited view can never collide with a plain content or identity hash.
+const EDIT_DOMAIN: u64 = 0x5b45_4449_5453_4c47; // "sbEDITSLG"-ish
+
+/// Fingerprint the graph that results from applying `edits` to `base`,
+/// without materializing it.
+///
+/// The digest covers the base *through its own fingerprint* plus the
+/// literal edit sequence, under a separate domain. Crucially this means a
+/// mapped `.sbg` base keeps its O(1) file-identity path
+/// ([`fingerprint_graph`]'s `MAPPED_DOMAIN` branch): fingerprinting an
+/// edit-log overlay on a multi-GB mapping never faults the payload in —
+/// cost is O(edits), not O(m) (pinned by `tests/outofcore.rs`).
+///
+/// Two logs with the same net effect but different edit sequences hash
+/// differently. That is deliberate and safe: distinct keys can only cost
+/// a duplicate cache entry, never a wrong hit, and it keeps the hash
+/// independent of base content (a net-effect hash would need the base's
+/// edge membership — an O(m) read on mapped graphs).
+///
+/// An empty log degenerates to [`fingerprint_graph`], so "no edits" and
+/// "the base itself" share cache entries.
+pub fn fingerprint_with_edits(base: &Graph, edits: &EditLog, seed: u64) -> u64 {
+    if edits.is_empty() {
+        return fingerprint_graph(base, seed);
+    }
+    let mut h = WordHasher::new(seed ^ EDIT_DOMAIN);
+    h.write(fingerprint_graph(base, seed));
+    h.write(edits.len() as u64);
+    for e in edits.edits() {
+        match *e {
+            Edit::AddEdge(u, v) => {
+                h.write(0);
+                h.write(((u as u64) << 32) | v as u64);
+            }
+            Edit::RemoveEdge(u, v) => {
+                h.write(1);
+                h.write(((u as u64) << 32) | v as u64);
+            }
+            Edit::AddVertex(n) => {
+                h.write(2);
+                h.write(n as u64);
+            }
+        }
+    }
+    h.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use sb_graph::builder::from_edge_list;
+
+    #[test]
+    fn edit_fingerprint_depends_only_on_base_fingerprint_and_log() {
+        let g = from_edge_list(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let mut log = EditLog::new();
+        log.add_edge(0, 4).remove_edge(1, 2);
+        let a = fingerprint_with_edits(&g, &log, DEFAULT_SEED);
+        assert_eq!(a, fingerprint_with_edits(&g, &log, DEFAULT_SEED));
+        // Distinct from the base, the edited content, and other logs.
+        assert_ne!(a, fingerprint_graph(&g, DEFAULT_SEED));
+        assert_ne!(a, fingerprint_graph(&log.materialize(&g), DEFAULT_SEED));
+        let mut other = EditLog::new();
+        other.add_edge(0, 4).remove_edge(1, 3);
+        assert_ne!(a, fingerprint_with_edits(&g, &other, DEFAULT_SEED));
+        // Order-sensitive: same net effect, different sequence, new key.
+        let mut reordered = EditLog::new();
+        reordered.remove_edge(1, 2).add_edge(0, 4);
+        assert_ne!(a, fingerprint_with_edits(&g, &reordered, DEFAULT_SEED));
+        // Empty log degenerates to the plain graph fingerprint.
+        assert_eq!(
+            fingerprint_with_edits(&g, &EditLog::new(), DEFAULT_SEED),
+            fingerprint_graph(&g, DEFAULT_SEED)
+        );
+    }
 
     #[test]
     fn deterministic_and_seed_sensitive() {

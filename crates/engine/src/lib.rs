@@ -33,8 +33,8 @@ pub mod session;
 
 pub use batch::{run_batch_compare, BatchOptions, JobOutcome, JobRecord};
 pub use cache::CacheStats;
-pub use engine::{DecompSpec, Engine, EngineConfig, GraphSource, Solution, Solver};
-pub use fingerprint::fingerprint_graph;
+pub use engine::{DecompSpec, EditOutcome, Engine, EngineConfig, GraphSource, Solution, Solver};
+pub use fingerprint::{fingerprint_graph, fingerprint_with_edits};
 pub use jobs::{parse_jobs, JobSpec};
 pub use report::BatchReport;
 pub use serve::{Client, ServeConfig, Server, ServerHandle};

@@ -1,13 +1,19 @@
 //! The `sbreak serve` wire protocol: JSONL over TCP.
 //!
 //! One request object per line in, one response object per line out.
-//! Requests carry an `op` (`solve`, `stats`, `ping`, `cancel`,
+//! Requests carry an `op` (`solve`, `mutate`, `stats`, `ping`, `cancel`,
 //! `shutdown`); responses carry a `status` (`ok`, `error`, `overloaded`,
 //! `timeout`, `cancelled`) and echo the request `id` so clients may
 //! pipeline. Parsing is strict — unknown ops, unknown keys, and
 //! wrong-typed fields are rejected with a typed `bad_request` error
 //! response instead of being ignored, so a typo'd field name fails loudly
 //! (the same stance the batch jobs-file parser takes).
+//!
+//! The `mutate` op is the dynamic-graph surface: a solve request plus an
+//! `edits` string in the [`EditLog`] wire form (`+u-v,-u-v,v:n`). Each
+//! mutate appends its edits to the tenant's stream for that
+//! `(graph, config, seed)` and repairs the previous solution instead of
+//! re-solving; the first mutate of a stream primes it with a fresh solve.
 //!
 //! The JSON reader is the offline-friendly recursive-descent parser from
 //! `sb-metrics`; serialization is hand-rolled here. The `stats` response
@@ -16,6 +22,7 @@
 use crate::jobs::{parse_arch, parse_solver, JobSpec};
 use crate::{JobOutcome, JobRecord};
 use sb_core::common::FrontierMode;
+use sb_graph::editlog::EditLog;
 use sb_metrics::{escape_json, parse_json_value, JsonValue};
 
 /// Everything a `solve` request may carry, as raw strings plus defaults —
@@ -112,32 +119,78 @@ impl SolveParams {
     /// Render the request as one JSONL line (no trailing newline).
     pub fn to_json(&self) -> String {
         let mut s = String::from("{\"op\":\"solve\"");
+        self.push_fields(&mut s);
+        s.push('}');
+        s
+    }
+
+    /// Append the solve fields (shared by the `solve` and `mutate` wire
+    /// forms) to a partially-built request object.
+    fn push_fields(&self, s: &mut String) {
         if !self.id.is_empty() {
-            s += &format!(",\"id\":\"{}\"", escape_json(&self.id));
+            *s += &format!(",\"id\":\"{}\"", escape_json(&self.id));
         }
-        s += &format!(",\"tenant\":\"{}\"", escape_json(&self.tenant));
-        s += &format!(",\"graph\":\"{}\"", escape_json(&self.graph));
-        s += &format!(",\"scale\":{}", self.scale);
+        *s += &format!(",\"tenant\":\"{}\"", escape_json(&self.tenant));
+        *s += &format!(",\"graph\":\"{}\"", escape_json(&self.graph));
+        *s += &format!(",\"scale\":{}", self.scale);
         if let Some(gs) = self.graph_seed {
-            s += &format!(",\"graph_seed\":{gs}");
+            *s += &format!(",\"graph_seed\":{gs}");
         }
-        s += &format!(",\"problem\":\"{}\"", escape_json(&self.problem));
-        s += &format!(",\"algo\":\"{}\"", escape_json(&self.algo));
-        s += &format!(",\"arch\":\"{}\"", escape_json(&self.arch));
-        s += &format!(",\"frontier\":\"{}\"", escape_json(&self.frontier));
-        s += &format!(",\"seed\":{}", self.seed);
+        *s += &format!(",\"problem\":\"{}\"", escape_json(&self.problem));
+        *s += &format!(",\"algo\":\"{}\"", escape_json(&self.algo));
+        *s += &format!(",\"arch\":\"{}\"", escape_json(&self.arch));
+        *s += &format!(",\"frontier\":\"{}\"", escape_json(&self.frontier));
+        *s += &format!(",\"seed\":{}", self.seed);
         if let Some(t) = self.threads {
-            s += &format!(",\"threads\":{t}");
+            *s += &format!(",\"threads\":{t}");
         }
         if let Some(d) = self.deadline_ms {
-            s += &format!(",\"deadline_ms\":{d}");
+            *s += &format!(",\"deadline_ms\":{d}");
         }
         if self.want_solution {
-            s += ",\"want_solution\":true";
+            *s += ",\"want_solution\":true";
         }
         if self.debug_sleep_ms > 0 {
-            s += &format!(",\"debug_sleep_ms\":{}", self.debug_sleep_ms);
+            *s += &format!(",\"debug_sleep_ms\":{}", self.debug_sleep_ms);
         }
+    }
+}
+
+/// A `mutate` request: a solve configuration plus an edit batch in the
+/// [`EditLog`] wire form. The solve fields identify the *base* graph and
+/// the solver stream the edits extend; the server accumulates edits per
+/// `(tenant, graph, config, seed)` and repairs that stream's previous
+/// solution rather than re-solving from scratch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MutateParams {
+    /// The solve configuration (base graph, problem, algo, tenant, ...).
+    pub solve: SolveParams,
+    /// Edit batch in wire form (`+u-v` add, `-u-v` remove, `v:n` grow to
+    /// `n` vertices; comma-separated). May encode an empty batch, which
+    /// primes the stream with a fresh solve.
+    pub edits: String,
+}
+
+impl MutateParams {
+    /// A mutate request with every optional solve field at its default.
+    pub fn new(graph: &str, problem: &str, algo: &str, edits: &str) -> MutateParams {
+        MutateParams {
+            solve: SolveParams::new(graph, problem, algo),
+            edits: edits.into(),
+        }
+    }
+
+    /// Parse the edit batch. Validated at request-parse time, so this
+    /// cannot fail for a `MutateParams` that came off the wire.
+    pub fn edit_log(&self) -> Result<EditLog, String> {
+        EditLog::parse(&self.edits).map_err(|e| format!("bad 'edits': {e}"))
+    }
+
+    /// Render the request as one JSONL line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\"op\":\"mutate\"");
+        self.solve.push_fields(&mut s);
+        s += &format!(",\"edits\":\"{}\"", escape_json(&self.edits));
         s.push('}');
         s
     }
@@ -148,6 +201,8 @@ impl SolveParams {
 pub enum Request {
     /// Run one solve job.
     Solve(Box<SolveParams>),
+    /// Stream an edit batch into a solver stream and repair its solution.
+    Mutate(Box<MutateParams>),
     /// Report server/cache/latency statistics.
     Stats,
     /// Liveness probe.
@@ -178,6 +233,25 @@ const SOLVE_KEYS: &[&str] = &[
     "deadline_ms",
     "want_solution",
     "debug_sleep_ms",
+];
+
+const MUTATE_KEYS: &[&str] = &[
+    "op",
+    "id",
+    "tenant",
+    "graph",
+    "scale",
+    "graph_seed",
+    "problem",
+    "algo",
+    "arch",
+    "frontier",
+    "seed",
+    "threads",
+    "deadline_ms",
+    "want_solution",
+    "debug_sleep_ms",
+    "edits",
 ];
 
 fn want_str(obj: &JsonValue, key: &str) -> Result<Option<String>, String> {
@@ -225,6 +299,57 @@ fn want_bool(obj: &JsonValue, key: &str) -> Result<Option<bool>, String> {
     }
 }
 
+/// Parse the solve-shaped fields shared by `solve` and `mutate`, after
+/// the caller has checked the op's key whitelist.
+fn parse_solve_fields(v: &JsonValue, op: &str) -> Result<SolveParams, String> {
+    let graph = want_str(v, "graph")?.ok_or_else(|| format!("{op} is missing 'graph'"))?;
+    let problem = want_str(v, "problem")?.ok_or_else(|| format!("{op} is missing 'problem'"))?;
+    let algo = want_str(v, "algo")?.ok_or_else(|| format!("{op} is missing 'algo'"))?;
+    let mut p = SolveParams::new(&graph, &problem, &algo);
+    if let Some(id) = want_str(v, "id")? {
+        p.id = id;
+    }
+    if let Some(tenant) = want_str(v, "tenant")? {
+        if tenant.is_empty() {
+            return Err("'tenant' must not be empty".into());
+        }
+        p.tenant = tenant;
+    }
+    if let Some(scale) = want_f64(v, "scale")? {
+        p.scale = scale;
+    }
+    p.graph_seed = want_u64(v, "graph_seed")?;
+    if let Some(arch) = want_str(v, "arch")? {
+        p.arch = arch;
+    }
+    if let Some(frontier) = want_str(v, "frontier")? {
+        p.frontier = frontier;
+    }
+    if let Some(seed) = want_u64(v, "seed")? {
+        p.seed = seed;
+    }
+    p.threads = want_u64(v, "threads")?.map(|t| t as usize);
+    p.deadline_ms = want_u64(v, "deadline_ms")?;
+    p.want_solution = want_bool(v, "want_solution")?.unwrap_or(false);
+    p.debug_sleep_ms = want_u64(v, "debug_sleep_ms")?.unwrap_or(0);
+    // Fail malformed solver/arch/frontier fields at parse time so the
+    // client gets a bad_request, not a failed job.
+    p.to_job_spec()?;
+    Ok(p)
+}
+
+fn check_keys(members: &[(String, JsonValue)], op: &str, known: &[&str]) -> Result<(), String> {
+    for (key, _) in members {
+        if !known.contains(&key.as_str()) {
+            return Err(format!(
+                "unknown key '{key}' for op {op} (known keys: {})",
+                known.join(", ")
+            ));
+        }
+    }
+    Ok(())
+}
+
 /// Parse one request line. Errors are client-facing `bad_request` details.
 pub fn parse_request(line: &str) -> Result<Request, String> {
     let v = parse_json_value(line).map_err(|e| format!("invalid JSON: {e}"))?;
@@ -232,48 +357,19 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     let op = want_str(&v, "op")?.ok_or("request is missing 'op'")?;
     match op.as_str() {
         "solve" => {
-            for (key, _) in members {
-                if !SOLVE_KEYS.contains(&key.as_str()) {
-                    return Err(format!(
-                        "unknown key '{key}' for op solve (known keys: {})",
-                        SOLVE_KEYS.join(", ")
-                    ));
-                }
-            }
-            let graph = want_str(&v, "graph")?.ok_or("solve is missing 'graph'")?;
-            let problem = want_str(&v, "problem")?.ok_or("solve is missing 'problem'")?;
-            let algo = want_str(&v, "algo")?.ok_or("solve is missing 'algo'")?;
-            let mut p = SolveParams::new(&graph, &problem, &algo);
-            if let Some(id) = want_str(&v, "id")? {
-                p.id = id;
-            }
-            if let Some(tenant) = want_str(&v, "tenant")? {
-                if tenant.is_empty() {
-                    return Err("'tenant' must not be empty".into());
-                }
-                p.tenant = tenant;
-            }
-            if let Some(scale) = want_f64(&v, "scale")? {
-                p.scale = scale;
-            }
-            p.graph_seed = want_u64(&v, "graph_seed")?;
-            if let Some(arch) = want_str(&v, "arch")? {
-                p.arch = arch;
-            }
-            if let Some(frontier) = want_str(&v, "frontier")? {
-                p.frontier = frontier;
-            }
-            if let Some(seed) = want_u64(&v, "seed")? {
-                p.seed = seed;
-            }
-            p.threads = want_u64(&v, "threads")?.map(|t| t as usize);
-            p.deadline_ms = want_u64(&v, "deadline_ms")?;
-            p.want_solution = want_bool(&v, "want_solution")?.unwrap_or(false);
-            p.debug_sleep_ms = want_u64(&v, "debug_sleep_ms")?.unwrap_or(0);
-            // Fail malformed solver/arch/frontier fields at parse time so
-            // the client gets a bad_request, not a failed job.
-            p.to_job_spec()?;
+            check_keys(members, "solve", SOLVE_KEYS)?;
+            let p = parse_solve_fields(&v, "solve")?;
             Ok(Request::Solve(Box::new(p)))
+        }
+        "mutate" => {
+            check_keys(members, "mutate", MUTATE_KEYS)?;
+            let solve = parse_solve_fields(&v, "mutate")?;
+            let edits = want_str(&v, "edits")?.ok_or("mutate is missing 'edits'")?;
+            let m = MutateParams { solve, edits };
+            // Malformed or out-of-range edit batches are a bad_request,
+            // not a failed job.
+            m.edit_log()?;
+            Ok(Request::Mutate(Box::new(m)))
         }
         "stats" => Ok(Request::Stats),
         "ping" => Ok(Request::Ping),
@@ -283,7 +379,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         }
         "shutdown" => Ok(Request::Shutdown),
         other => Err(format!(
-            "unknown op '{other}' (expected solve, stats, ping, cancel, or shutdown)"
+            "unknown op '{other}' (expected solve, mutate, stats, ping, cancel, or shutdown)"
         )),
     }
 }
@@ -332,6 +428,30 @@ pub fn solve_response_json(
         }
     }
     s.push('}');
+    s
+}
+
+/// Response for a completed mutate: the solve response plus the repair
+/// provenance — whether the solution was repaired from the stream's prior
+/// (vs freshly solved to prime it), how many edits this request applied,
+/// the stream's cumulative edit count, and how many cached decompositions
+/// of the base were patched across the edit.
+pub fn mutate_response_json(
+    id: &str,
+    record: &JobRecord,
+    queue_ms: f64,
+    want_solution: bool,
+    repaired: bool,
+    edits_applied: u64,
+    edits_total: u64,
+    decomps_patched: u64,
+) -> String {
+    let mut s = solve_response_json(id, record, queue_ms, want_solution);
+    s.pop(); // strip the closing brace; the base form is a JSON object
+    s += &format!(
+        ",\"op\":\"mutate\",\"repaired\":{repaired},\"edits_applied\":{edits_applied},\
+         \"edits_total\":{edits_total},\"decomps_patched\":{decomps_patched}}}"
+    );
     s
 }
 
@@ -460,6 +580,85 @@ mod tests {
         assert_eq!(job.graph_seed, Some(9));
         assert_eq!(job.threads, Some(2));
         assert_eq!(job.timeout_ms, None, "deadline is applied at dequeue");
+    }
+
+    #[test]
+    fn mutate_roundtrips_through_json() {
+        let mut m = MutateParams::new("inline:6:0-1,1-2,2-3", "mis", "degk:2", "+0-4,-1-2,v:8");
+        m.solve.id = "m1".into();
+        m.solve.tenant = "team-b".into();
+        m.solve.seed = 5;
+        let parsed = parse_request(&m.to_json()).unwrap();
+        assert_eq!(parsed, Request::Mutate(Box::new(m.clone())));
+        let log = m.edit_log().unwrap();
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.wire(), "+0-4,-1-2,v:8");
+        // An empty batch is legal (stream priming).
+        let prime = MutateParams::new("gen:lp1", "mm", "baseline", "");
+        assert!(parse_request(&prime.to_json()).is_ok());
+        assert!(prime.edit_log().unwrap().is_empty());
+    }
+
+    #[test]
+    fn mutate_rejects_bad_requests() {
+        let cases = [
+            (
+                r#"{"op":"mutate","graph":"gen:lp1","problem":"mm","algo":"bicc"}"#,
+                "missing 'edits'",
+            ),
+            (
+                r#"{"op":"mutate","graph":"gen:lp1","problem":"mm","algo":"bicc","edits":"+1"}"#,
+                "bad 'edits'",
+            ),
+            (
+                r#"{"op":"mutate","graph":"gen:lp1","problem":"mm","algo":"bicc","edits":"+0-4294967295"}"#,
+                "bad 'edits'",
+            ),
+            (
+                r#"{"op":"mutate","problem":"mm","algo":"bicc","edits":""}"#,
+                "mutate is missing 'graph'",
+            ),
+            (
+                r#"{"op":"mutate","graph":"gen:lp1","problem":"mm","algo":"bicc","edits":"","bogus":1}"#,
+                "unknown key 'bogus' for op mutate",
+            ),
+            (
+                r#"{"op":"solve","graph":"gen:lp1","problem":"mm","algo":"bicc","edits":"+0-1"}"#,
+                "unknown key 'edits' for op solve",
+            ),
+        ];
+        for (line, needle) in cases {
+            let err = parse_request(line).unwrap_err();
+            assert!(err.contains(needle), "{line} → {err}");
+        }
+    }
+
+    #[test]
+    fn mutate_response_extends_solve_response() {
+        let record = JobRecord {
+            label: "m1".into(),
+            graph: "gen:lp1@0.05#42".into(),
+            config: "mis-degk:2@cpu/compact".into(),
+            seed: 5,
+            outcome: JobOutcome::Ok,
+            detail: "MIS of 4 vertices".into(),
+            graph_cached: true,
+            decomp_cached: None,
+            decompose_ms: 0.0,
+            solve_ms: 0.08,
+            wall_ms: 0.2,
+            fresh_wall_ms: None,
+            solution: None,
+        };
+        let line = mutate_response_json("m1", &record, 0.1, false, true, 3, 7, 2);
+        let reply = Reply::parse(&line).unwrap();
+        assert_eq!(reply.status(), "ok");
+        assert_eq!(reply.str_field("op"), Some("mutate"));
+        assert_eq!(reply.bool_field("repaired"), Some(true));
+        assert_eq!(reply.num_field("edits_applied"), Some(3.0));
+        assert_eq!(reply.num_field("edits_total"), Some(7.0));
+        assert_eq!(reply.num_field("decomps_patched"), Some(2.0));
+        assert_eq!(reply.num_field("queue_ms"), Some(0.1));
     }
 
     #[test]

@@ -19,14 +19,20 @@
 //! no external dependencies, so the whole service builds offline.
 
 use crate::cache::CacheStats;
-use crate::engine::EngineConfig;
+use crate::engine::{EngineConfig, GraphSource, Solution, Solver};
 use crate::jobs::JobSpec;
 use crate::protocol::{
     ack_response_json, cancel_ack_json, cancelled_response_json, error_response_json,
-    overloaded_response_json, parse_request, solve_response_json, timeout_response_json, Reply,
-    Request, SolveParams,
+    mutate_response_json, overloaded_response_json, parse_request, solve_response_json,
+    timeout_response_json, MutateParams, Reply, Request, SolveParams,
 };
 use crate::session::{CancelToken, SharedEngine};
+use crate::{JobOutcome, JobRecord};
+use sb_core::common::SolveOpts;
+use sb_core::repair;
+use sb_graph::csr::Graph;
+use sb_graph::editlog::EditLog;
+use sb_par::exec::with_threads;
 use sb_trace::{span_durations, TraceSink};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, ErrorKind, Write};
@@ -98,11 +104,14 @@ impl ConnWriter {
     }
 }
 
-/// One admitted solve waiting for a worker.
+/// One admitted solve or mutate waiting for a worker.
 struct QueuedJob {
     writer: Arc<ConnWriter>,
     conn_id: u64,
     params: SolveParams,
+    /// `Some(batch)` makes this a mutate: the edit batch to stream into
+    /// the tenant's solver stream before repairing its solution.
+    edits: Option<EditLog>,
     job: JobSpec,
     enqueued: Instant,
     deadline: Option<Duration>,
@@ -120,6 +129,44 @@ struct Counts {
     timeout: AtomicU64,
     cancelled: AtomicU64,
 }
+
+/// Monotone repair counters for the `stats` op's `repairs` block.
+#[derive(Default)]
+struct RepairCounts {
+    /// Mutate requests admitted to a worker.
+    requests: AtomicU64,
+    /// Mutates answered by repairing a prior solution.
+    repaired: AtomicU64,
+    /// Mutates answered by a fresh solve (stream priming).
+    fresh: AtomicU64,
+    /// Individual edits applied across all mutates.
+    edits_applied: AtomicU64,
+    /// Cached decompositions patched across edits.
+    decomps_patched: AtomicU64,
+}
+
+/// Per-stream mutation state. A stream is one tenant's edit history
+/// against one `(graph, solver config, seed)`: the accumulated log, the
+/// materialized edited graph it produced, and the solution to repair from
+/// on the next batch. Streams are keyed by tenant, so one tenant's edits
+/// can never leak into another's solutions even when both caches share
+/// the underlying base graph.
+#[derive(Clone)]
+struct MutationState {
+    /// Accumulated edit log (every batch so far, in arrival order).
+    log: EditLog,
+    /// The materialized `base + log` graph (shared with the graph cache).
+    /// Its cache fingerprint is not stored: `apply_edits` re-derives it
+    /// from `(base, log)` on every batch.
+    graph: Arc<Graph>,
+    /// The solution for `graph` — the repair seed for the next batch.
+    prior: Solution,
+    /// Cumulative edit count (for the response's `edits_total`).
+    edits_total: u64,
+}
+
+/// Stream key: `(tenant, graph cache key, config#seed)`.
+type StreamKey = (String, String, String);
 
 /// Latency samples aggregated across completed solves.
 #[derive(Default)]
@@ -167,6 +214,9 @@ struct Shared {
     /// Cancel tokens for in-flight solves, keyed by `(connection, id)` so
     /// a `cancel` op can only reach requests from its own connection.
     pending: Mutex<HashMap<(u64, String), CancelToken>>,
+    /// Mutation streams for the `mutate` op, keyed per tenant.
+    mutations: Mutex<HashMap<StreamKey, MutationState>>,
+    repairs: RepairCounts,
     conns: Mutex<Vec<JoinHandle<()>>>,
     metrics: ServeMetrics,
     started: Instant,
@@ -207,9 +257,16 @@ impl Shared {
         }
     }
 
-    /// Admit or reject one solve. Called on the connection thread, so it
-    /// must never block on anything but the queue mutex.
-    fn admit(self: &Arc<Shared>, writer: &Arc<ConnWriter>, conn_id: u64, p: SolveParams) {
+    /// Admit or reject one solve or mutate (`edits: Some`). Called on the
+    /// connection thread, so it must never block on anything but the
+    /// queue mutex.
+    fn admit(
+        self: &Arc<Shared>,
+        writer: &Arc<ConnWriter>,
+        conn_id: u64,
+        p: SolveParams,
+        edits: Option<EditLog>,
+    ) {
         self.counts.received.fetch_add(1, Ordering::Relaxed);
         self.metrics.requests.inc();
         if p.debug_sleep_ms > 0 && !self.cfg.allow_debug {
@@ -266,6 +323,7 @@ impl Shared {
             writer: writer.clone(),
             conn_id,
             params: p,
+            edits,
             job,
             enqueued: Instant::now(),
             deadline,
@@ -284,6 +342,7 @@ impl Shared {
             writer,
             conn_id,
             params,
+            edits,
             job,
             enqueued,
             deadline,
@@ -323,10 +382,14 @@ impl Shared {
                 ),
             );
         }
+        let queue_ms = waited.as_secs_f64() * 1e3;
+        if let Some(batch) = &edits {
+            let (counter, line) = self.run_mutate(&params, &job, batch, &cancel, queue_ms);
+            return done(counter, line);
+        }
         let sink = Arc::new(TraceSink::enabled());
         let session = self.engine.session(&params.tenant);
         let record = session.run_job(&job, Some(sink.clone()), Some(&cancel), remaining);
-        let queue_ms = waited.as_secs_f64() * 1e3;
         let counter = match &record.outcome {
             crate::JobOutcome::Ok => {
                 let mut agg = lock(&self.latency);
@@ -352,6 +415,180 @@ impl Shared {
             counter,
             solve_response_json(&params.id, &record, queue_ms, params.want_solution),
         );
+    }
+
+    /// Worker side of the `mutate` op: append `edits` to the tenant's
+    /// stream for `(graph, config, seed)`, repair the stream's prior
+    /// solution across the batch (or prime the stream with a fresh solve
+    /// on the first mutate), and commit the advanced stream state only on
+    /// a clean, uncancelled finish. Returns the response counter to bump
+    /// and the response line.
+    ///
+    /// Cancellation discipline mirrors the batch watchdog: a cancel
+    /// observed at the commit gate discards the new stream state — the
+    /// stream stays at its previous position and the batch can be
+    /// resubmitted. Whatever the edit landed in the shared caches
+    /// (the materialized graph, patched decompositions) is valid data
+    /// under its own `(base, edit log)` key, so leaving it is a warm
+    /// cache, not poison.
+    fn run_mutate(
+        &self,
+        params: &SolveParams,
+        job: &JobSpec,
+        edits: &EditLog,
+        cancel: &CancelToken,
+        queue_ms: f64,
+    ) -> (&AtomicU64, String) {
+        self.repairs.requests.fetch_add(1, Ordering::Relaxed);
+        let started = Instant::now();
+        let fail = |detail: String| {
+            (
+                &self.counts.failed,
+                error_response_json(&params.id, "failed", &detail),
+            )
+        };
+        let src = match GraphSource::parse(&job.graph, job.scale, job.effective_graph_seed()) {
+            Ok(src) => src,
+            Err(e) => return fail(e),
+        };
+        let src_key = src.key();
+        let config = format!("{}@{}/{}", job.solver.label(), job.arch, job.frontier);
+        let stream_key: StreamKey = (
+            params.tenant.clone(),
+            src_key.clone(),
+            format!("{config}#{}", job.seed),
+        );
+        // The base graph comes through the shared graph cache; only the
+        // first touch of a stream loads it under the lock — a resident
+        // tenant hits from then on.
+        let (base, _base_fp, graph_cached) = match self.engine.lock().graph(&src) {
+            Ok(t) => t,
+            Err(e) => return fail(e),
+        };
+        let prev = lock(&self.mutations).get(&stream_key).cloned();
+        let mut accumulated = prev.as_ref().map(|s| s.log.clone()).unwrap_or_default();
+        accumulated.extend(edits);
+        // Materialize `base + accumulated` (memoized) and carry the base's
+        // cached decompositions across to the new fingerprint.
+        let out = self
+            .engine
+            .lock()
+            .apply_edits(&params.tenant, &base, &accumulated);
+        let sink = Arc::new(TraceSink::enabled());
+        let opts = SolveOpts {
+            trace: Some(sink.clone()),
+            frontier: job.frontier,
+        };
+        // Repair from the prior when the stream has one. The stream key
+        // pins the solver family, so the prior's variant always matches;
+        // the defensive fallback below re-solves rather than panicking a
+        // worker if it ever did not.
+        let repair_run = prev.as_ref().and_then(|st| match (&st.prior, job.solver) {
+            (Solution::Mate(mate), Solver::Mm(_)) => {
+                let r = repair::repair_matching(&st.graph, edits, mate, &opts);
+                Some((Solution::Mate(r.mate), r.stats))
+            }
+            (Solution::Color(color), Solver::Color(_)) => {
+                let r = repair::repair_coloring(&st.graph, edits, color, &opts);
+                Some((Solution::Color(r.color), r.stats))
+            }
+            (Solution::Set(in_set), Solver::Mis(_)) => {
+                let r = repair::repair_mis(&st.graph, edits, in_set, &opts);
+                Some((Solution::Set(r.in_set), r.stats))
+            }
+            _ => None,
+        });
+        let repaired = repair_run.is_some();
+        let (solution, stats, decomp_cached) = match repair_run {
+            Some((solution, stats)) => (solution, stats, None),
+            None => {
+                let solve = || {
+                    self.engine.lock().solve_on_fingerprinted(
+                        &out.graph,
+                        out.fingerprint,
+                        job.solver,
+                        job.arch,
+                        job.seed,
+                        &opts,
+                    )
+                };
+                let o = match job.threads {
+                    Some(t) => with_threads(t, solve),
+                    None => solve(),
+                };
+                (o.solution, o.stats, o.decomp_cached)
+            }
+        };
+        // Commit gate: advance the stream only if nobody cancelled while
+        // we computed.
+        if self.shutting_down() || cancel.is_cancelled() {
+            return (
+                &self.counts.cancelled,
+                cancelled_response_json(&params.id, "cancelled before commit"),
+            );
+        }
+        let edits_total = prev.map_or(0, |s| s.edits_total) + edits.len() as u64;
+        lock(&self.mutations).insert(
+            stream_key,
+            MutationState {
+                log: accumulated,
+                graph: out.graph.clone(),
+                prior: solution.clone(),
+                edits_total,
+            },
+        );
+        let bump = |c: &AtomicU64, n: u64| c.fetch_add(n, Ordering::Relaxed);
+        bump(if repaired {
+            &self.repairs.repaired
+        } else {
+            &self.repairs.fresh
+        }, 1);
+        bump(&self.repairs.edits_applied, edits.len() as u64);
+        bump(&self.repairs.decomps_patched, out.decomps_patched as u64);
+        let record = JobRecord {
+            label: if params.id.is_empty() {
+                "mutate".into()
+            } else {
+                params.id.clone()
+            },
+            graph: src_key,
+            config,
+            seed: job.seed,
+            outcome: JobOutcome::Ok,
+            detail: solution.summary(),
+            graph_cached,
+            decomp_cached,
+            decompose_ms: stats.decompose_time.as_secs_f64() * 1e3,
+            solve_ms: stats.solve_time.as_secs_f64() * 1e3,
+            wall_ms: started.elapsed().as_secs_f64() * 1e3,
+            fresh_wall_ms: None,
+            solution: Some(solution),
+        };
+        {
+            let mut agg = lock(&self.latency);
+            if agg.wall_ms.len() < MAX_SAMPLES {
+                agg.wall_ms.push(record.wall_ms);
+            }
+            for (phase, us) in span_durations(&sink.events()) {
+                let samples = agg.phases_us.entry(phase).or_default();
+                if samples.len() < MAX_SAMPLES {
+                    samples.push(us);
+                }
+            }
+        }
+        (
+            &self.counts.ok,
+            mutate_response_json(
+                &params.id,
+                &record,
+                queue_ms,
+                params.want_solution,
+                repaired,
+                edits.len() as u64,
+                edits_total,
+                out.decomps_patched as u64,
+            ),
+        )
     }
 
     /// Render the `stats` response. Values change run to run; the *shape*
@@ -420,6 +657,8 @@ impl Shared {
              \"workers\":{},\"queue_cap\":{},\"queue_depth\":{},\
              \"requests\":{{\"received\":{},\"ok\":{},\"error\":{},\"bad_request\":{},\
              \"overloaded\":{},\"timeout\":{},\"cancelled\":{}}},\
+             \"repairs\":{{\"requests\":{},\"repaired\":{},\"fresh\":{},\
+             \"edits_applied\":{},\"decomps_patched\":{},\"streams\":{}}},\
              \"solve_wall_ms\":{{\"count\":{},\"p50\":{:.3},\"p99\":{:.3}}},\
              \"graph_cache\":{},\"decomp_cache\":{},\
              \"tenants\":[{}],\"phase_latency_us\":{{{}}}}}",
@@ -434,6 +673,12 @@ impl Shared {
             count(&c.overloaded),
             count(&c.timeout),
             count(&c.cancelled),
+            count(&self.repairs.requests),
+            count(&self.repairs.repaired),
+            count(&self.repairs.fresh),
+            count(&self.repairs.edits_applied),
+            count(&self.repairs.decomps_patched),
+            lock(&self.mutations).len(),
             wall.len(),
             percentile_f64(&wall, 0.50),
             percentile_f64(&wall, 0.99),
@@ -485,6 +730,8 @@ impl Server {
             counts: Counts::default(),
             latency: Mutex::new(LatencyAgg::default()),
             pending: Mutex::new(HashMap::new()),
+            mutations: Mutex::new(HashMap::new()),
+            repairs: RepairCounts::default(),
             conns: Mutex::new(Vec::new()),
             metrics: ServeMetrics::new(),
             started: Instant::now(),
@@ -669,7 +916,16 @@ fn handle_line(shared: &Arc<Shared>, writer: &Arc<ConnWriter>, conn_id: u64, lin
             writer.send(&ack_response_json("shutdown"));
             shared.begin_shutdown();
         }
-        Ok(Request::Solve(p)) => shared.admit(writer, conn_id, *p),
+        Ok(Request::Solve(p)) => shared.admit(writer, conn_id, *p, None),
+        Ok(Request::Mutate(m)) => match m.edit_log() {
+            // Validated at parse time, so the error arm is unreachable in
+            // practice; answer it typed anyway rather than panicking.
+            Ok(edits) => shared.admit(writer, conn_id, m.solve, Some(edits)),
+            Err(detail) => {
+                shared.counts.bad_request.fetch_add(1, Ordering::Relaxed);
+                writer.send(&error_response_json(&m.solve.id, "bad_request", &detail));
+            }
+        },
     }
 }
 
@@ -728,6 +984,12 @@ impl Client {
 
     /// Run one solve to completion.
     pub fn solve(&mut self, params: &SolveParams) -> Result<Reply, String> {
+        self.request(&params.to_json())
+    }
+
+    /// Stream one edit batch into a solver stream and block for the
+    /// repaired (or stream-priming) solution.
+    pub fn mutate(&mut self, params: &MutateParams) -> Result<Reply, String> {
         self.request(&params.to_json())
     }
 

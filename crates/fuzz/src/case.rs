@@ -34,6 +34,10 @@ pub struct CaseFile {
     pub n: usize,
     /// Raw edge list.
     pub edges: Vec<(u32, u32)>,
+    /// Edit-axis failures only: the minimized edit sequence, batches in
+    /// `EditLog` wire form joined with `;` (replay with
+    /// `oracle::check_edit_chain`).
+    pub edits: Option<String>,
 }
 
 impl CaseFile {
@@ -50,6 +54,9 @@ impl CaseFile {
             "# failure: {}\n",
             self.failure.replace('\n', " | ")
         ));
+        if let Some(edits) = &self.edits {
+            s.push_str(&format!("# edits: {edits}\n"));
+        }
         s.push_str(&format!("# n: {}\n", self.n));
         for &(u, v) in &self.edges {
             s.push_str(&format!("{u} {v}\n"));
@@ -65,6 +72,7 @@ impl CaseFile {
         let mut failure = String::new();
         let mut n = None;
         let mut edges = Vec::new();
+        let mut edits = None;
         for (idx, line) in text.lines().enumerate() {
             let line = line.trim();
             if line.is_empty() {
@@ -84,6 +92,8 @@ impl CaseFile {
                     );
                 } else if let Some(v) = rest.strip_prefix("failure:") {
                     failure = v.trim().to_string();
+                } else if let Some(v) = rest.strip_prefix("edits:") {
+                    edits = Some(v.trim().to_string());
                 } else if let Some(v) = rest.strip_prefix("n:") {
                     n = Some(v.trim().parse::<usize>().map_err(|e| format!("n: {e}"))?);
                 }
@@ -111,6 +121,7 @@ impl CaseFile {
             failure,
             n: n.ok_or("missing '# n:' header")?,
             edges,
+            edits,
         })
     }
 
@@ -131,7 +142,10 @@ impl CaseFile {
     }
 
     /// A ready-to-paste regression test exercising this case through the
-    /// oracle (drop into `tests/fuzz.rs` or a crate test module).
+    /// oracle (drop into `tests/fuzz.rs` or a crate test module). Edit-axis
+    /// cases replay their minimized edit sequence through
+    /// `check_edit_chain`; everything else replays the mode × thread
+    /// matrix through `check_case`.
     pub fn regression_skeleton(&self) -> String {
         let name = self.config.replace(['-', '@'], "_");
         let edges = self
@@ -140,13 +154,32 @@ impl CaseFile {
             .map(|&(u, v)| format!("({u}, {v})"))
             .collect::<Vec<_>>()
             .join(", ");
+        let check = match &self.edits {
+            Some(wire) => format!(
+                "\x20   let seq: Vec<_> = \"{wire}\"\n\
+                 \x20       .split(';')\n\
+                 \x20       .map(|w| sb_graph::editlog::EditLog::parse(w).unwrap())\n\
+                 \x20       .collect();\n\
+                 \x20   sb_fuzz::oracle::check_edit_chain(&g, &cfg, {seed}, {threads}, \
+                 sb_fuzz::Mutation::None, &seq)\n",
+                wire = wire,
+                seed = self.seed,
+                threads = self.threads,
+            ),
+            None => format!(
+                "\x20   sb_fuzz::oracle::check_case(&g, &cfg, {seed}, {threads}, \
+                 sb_fuzz::Mutation::None)\n",
+                seed = self.seed,
+                threads = self.threads,
+            ),
+        };
         format!(
             "#[test]\n\
              fn fuzz_regression_{name}_{seed}() {{\n\
             \x20   // {failure}\n\
             \x20   let g = sb_graph::builder::from_edge_list({n}, &[{edges}]);\n\
             \x20   let cfg = sb_fuzz::SolverConfig::parse(\"{config}\").unwrap();\n\
-            \x20   sb_fuzz::oracle::check_case(&g, &cfg, {seed}, {threads}, sb_fuzz::Mutation::None)\n\
+             {check}\
             \x20       .unwrap_or_else(|f| panic!(\"still failing: {{f}}\"));\n\
              }}\n",
             name = name,
@@ -155,7 +188,7 @@ impl CaseFile {
             n = self.n,
             edges = edges,
             config = self.config,
-            threads = self.threads,
+            check = check,
         )
     }
 }
@@ -172,6 +205,7 @@ mod tests {
             failure: "equality: compact@4t differs from dense@1t".to_string(),
             n: 3,
             edges: vec![(0, 1), (1, 2)],
+            edits: None,
         }
     }
 
@@ -195,5 +229,18 @@ mod tests {
         assert!(skel.contains("fuzz_regression_mm_rand3_gpu_42"));
         assert!(skel.contains("(0, 1), (1, 2)"));
         assert!(skel.contains("mm-rand3@gpu"));
+        assert!(skel.contains("check_case"));
+    }
+
+    #[test]
+    fn edit_case_round_trips_and_replays_through_the_chain() {
+        let mut c = case();
+        c.failure = "edit-validity: dense batch 0 [-0-1]: ...".to_string();
+        c.edits = Some("-0-1;+1-2".to_string());
+        let parsed = CaseFile::parse(&c.render()).unwrap();
+        assert_eq!(parsed, c);
+        let skel = c.regression_skeleton();
+        assert!(skel.contains("check_edit_chain"), "{skel}");
+        assert!(skel.contains("-0-1;+1-2"), "{skel}");
     }
 }

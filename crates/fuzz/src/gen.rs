@@ -18,6 +18,7 @@
 
 use sb_datasets::suite::generate;
 use sb_datasets::{GraphId, Scale};
+use sb_graph::editlog::EditLog;
 use sb_graph::Graph;
 use sb_par::rng::{bounded, hash3};
 
@@ -155,9 +156,76 @@ pub fn adversarial_suite(seed: u64) -> Vec<CaseGraph> {
     ]
 }
 
+/// Derive a deterministic random edit sequence for `g`: `batches` edit
+/// batches of up to `batch_size` entries each, drawn from the graph's
+/// current shape as the sequence advances (removals target edges that
+/// exist, additions are drawn over the live vertex range, and an
+/// occasional batch grows the vertex set). Additions may duplicate
+/// existing edges and may be self-loops — the edit layer's net-effect
+/// normalization is part of what the axis fuzzes.
+pub fn edit_sequence(g: &Graph, seed: u64, batches: usize, batch_size: usize) -> Vec<EditLog> {
+    let mut n = g.num_vertices() as u64;
+    let mut live: Vec<(u32, u32)> = edge_pairs(g);
+    let mut seq = Vec::with_capacity(batches);
+    let mut draw = 0u64;
+    let mut rng = |bound: u64| {
+        draw += 1;
+        bounded(hash3(seed ^ 0xED17, draw, bound), bound.max(1))
+    };
+    for _ in 0..batches {
+        let mut log = EditLog::new();
+        for _ in 0..batch_size.max(1) {
+            let kind = rng(10);
+            if n == 0 || kind >= 9 {
+                // Grow: one fresh isolated vertex, occasionally wired in.
+                n += 1;
+                log.add_vertex(n as usize);
+                if n > 1 && kind >= 9 {
+                    let u = rng(n - 1) as u32;
+                    log.add_edge(u, (n - 1) as u32);
+                    live.push((u, (n - 1) as u32));
+                }
+            } else if kind >= 5 || live.is_empty() {
+                // Add: random pair over the live range (dup/self-loop ok).
+                let (u, v) = (rng(n) as u32, rng(n) as u32);
+                log.add_edge(u, v);
+                if u != v {
+                    live.push((u.min(v), u.max(v)));
+                }
+            } else {
+                // Remove: an edge that (net of this very sequence) exists.
+                let i = rng(live.len() as u64) as usize;
+                let (u, v) = live.swap_remove(i);
+                log.remove_edge(u, v);
+            }
+        }
+        seq.push(log);
+    }
+    seq
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn edit_sequences_are_deterministic_and_applicable() {
+        for case in adversarial_suite(3) {
+            let g = case.build();
+            let a = edit_sequence(&g, 7, 3, 4);
+            let b = edit_sequence(&g, 7, 3, 4);
+            assert_eq!(a.len(), 3, "{}", case.name);
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.wire(), y.wire(), "{}", case.name);
+            }
+            // The whole chain materializes without panicking, batch by
+            // batch (ids stay in range as the sequence advances).
+            let mut cur = g;
+            for log in &a {
+                cur = log.materialize(&cur);
+            }
+        }
+    }
 
     #[test]
     fn suite_shapes_are_as_labeled() {

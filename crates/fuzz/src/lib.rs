@@ -61,6 +61,11 @@ pub struct FuzzOptions {
     /// `inline:` graph and its solution text byte-compared against an
     /// in-process engine (see [`oracle::check_serve_case`]).
     pub serve_axis: bool,
+    /// Also run the edit axis per case: chain a derived random edit
+    /// sequence over the graph, repairing the prior solution per batch,
+    /// and check validity, repaired-vs-fresh agreement, and frontier-mode
+    /// invariance (see [`oracle::check_edit_case`]).
+    pub edit_axis: bool,
 }
 
 /// One in [`SERVE_INTERVAL`] cases rides the serve axis: the wire adds
@@ -82,6 +87,7 @@ impl Default for FuzzOptions {
             shrink_evals: 400,
             engine_axis: true,
             serve_axis: true,
+            edit_axis: true,
         }
     }
 }
@@ -100,6 +106,9 @@ fn full_check(
     oracle::check_case(g, cfg, seed, opts.wide_threads, opts.mutation)?;
     if opts.engine_axis {
         oracle::check_engine_case(g, cfg, seed, opts.mutation)?;
+    }
+    if opts.edit_axis {
+        oracle::check_edit_case(g, cfg, seed, opts.wide_threads, opts.mutation)?;
     }
     if let Some(daemon) = serve {
         oracle::check_serve_case(g, cfg, seed, opts.mutation, daemon)?;
@@ -124,6 +133,9 @@ pub struct Counterexample {
     pub orig_n: usize,
     /// Minimized case.
     pub shrunk: shrink::Shrunk,
+    /// For edit-axis failures: the ddmin-minimized edit sequence over the
+    /// shrunk graph, batches in wire form joined with `;`.
+    pub edits: Option<String>,
     /// Where the case file was written, if an output dir was given.
     pub case_path: Option<PathBuf>,
     /// Ready-to-paste regression test for the minimized case.
@@ -140,6 +152,7 @@ impl Counterexample {
             failure: format!("{}: {}", self.kind, self.detail),
             n: self.shrunk.n,
             edges: self.shrunk.edges.clone(),
+            edits: self.edits.clone(),
         }
     }
 }
@@ -259,9 +272,51 @@ fn minimize(
         detail: failure.detail,
         orig_n: case.n,
         shrunk,
+        edits: None,
         case_path: None,
         regression: String::new(),
     };
+    // Edit-axis failures additionally ddmin the edit *sequence*: the
+    // graph shrink above re-derived the sequence per candidate graph, so
+    // on the final graph we re-derive once more and strip every edit the
+    // failure does not need (empty batches are legal and stay in place so
+    // batch boundaries survive).
+    if kind.starts_with("edit") {
+        let g = sb_graph::builder::from_edge_list(cex.shrunk.n, &cex.shrunk.edges);
+        let seq = gen::edit_sequence(&g, seed, oracle::EDIT_BATCHES, oracle::EDIT_BATCH_SIZE);
+        let flat: Vec<(usize, sb_graph::editlog::Edit)> = seq
+            .iter()
+            .enumerate()
+            .flat_map(|(i, log)| log.edits().iter().map(move |&e| (i, e)))
+            .collect();
+        let rebuild = |subset: &[(usize, sb_graph::editlog::Edit)]| {
+            let mut out = vec![sb_graph::editlog::EditLog::new(); seq.len()];
+            for &(i, e) in subset {
+                out[i].push(e);
+            }
+            out
+        };
+        let (min_flat, _, _) = shrink::ddmin_list(
+            &flat,
+            |subset| {
+                let candidate = rebuild(subset);
+                matches!(
+                    oracle::check_edit_chain(
+                        &g, cfg, seed, opts.wide_threads, opts.mutation, &candidate
+                    ),
+                    Err(f) if f.kind == kind
+                )
+            },
+            opts.shrink_evals,
+        );
+        cex.edits = Some(
+            rebuild(&min_flat)
+                .iter()
+                .map(|l| l.wire())
+                .collect::<Vec<_>>()
+                .join(";"),
+        );
+    }
     let file = cex.case_file(opts.wide_threads);
     cex.regression = file.regression_skeleton();
     if let Some(dir) = &opts.out_dir {
@@ -341,6 +396,24 @@ mod tests {
         );
         assert_eq!(cex.shrunk.edges, vec![(0, 1)]);
         assert!(!cex.shrunk.budget_exhausted);
+    }
+
+    #[test]
+    fn planted_stale_repair_is_caught_and_the_edit_sequence_minimized() {
+        // With the stale-repair mutation planted, the edit axis must
+        // surface a counterexample within the first configurations, and
+        // the minimizer must emit an explicit (ddmin'd) edit sequence.
+        let report = run_fuzz(&quick(Mutation::StaleRepair, 60));
+        assert!(
+            !report.counterexamples.is_empty(),
+            "planted stale repair not caught in {} cases",
+            report.cases_run
+        );
+        let cex = &report.counterexamples[0];
+        assert!(cex.kind.starts_with("edit"), "{}: {}", cex.kind, cex.detail);
+        let edits = cex.edits.as_deref().expect("edit-axis cex carries edits");
+        assert!(!edits.is_empty(), "minimized sequence should keep an edit");
+        assert!(cex.regression.contains("check_edit_chain"));
     }
 
     #[test]

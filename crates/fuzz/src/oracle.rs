@@ -53,6 +53,13 @@ pub enum Mutation {
     /// oracle must flag it on any graph whose universe reaches word 1
     /// (and must stay clean on graphs that never do).
     BitsetWordBoundary,
+    /// Serve the stream's *prior* solution instead of running the repair
+    /// on every edit batch ([`check_edit_chain`]) — the footprint of a
+    /// stale-stream bug where a dynamic-graph service answers from the
+    /// pre-edit solution. The edit axis must flag it whenever a batch
+    /// actually invalidates the prior (and must stay clean when every
+    /// batch happens to preserve it).
+    StaleRepair,
 }
 
 /// One contract violation found by the oracle.
@@ -365,6 +372,135 @@ pub fn check_engine_case(
     Ok(())
 }
 
+/// The edit axis driven by an explicit edit sequence: chain `seq` over
+/// `g` per frontier mode, repairing the prior solution across each batch
+/// with the family's `sb_core::repair` entry point, and check the
+/// dynamic-graph contracts (DESIGN.md §16):
+///
+/// 1. **Validity + maximality per batch**: every repaired solution must
+///    pass the sequential oracle *on the edited graph*.
+/// 2. **Repaired-vs-fresh agreement**: a fresh solve of the edited graph
+///    must agree with the repaired solution on validity (both verify) —
+///    checked on the first mode so each batch pays one fresh solve, not
+///    three.
+/// 3. **Mode-invariance**: repairs are sequential and deterministic, and
+///    single-thread initial solves are mode-invariant for every family,
+///    so the final repaired output must be byte-identical across
+///    frontier modes.
+///
+/// [`Mutation::StaleRepair`] serves the prior unrepaired instead; any
+/// batch that invalidates the prior must then trip check 1 or 2.
+pub fn check_edit_chain(
+    g: &Graph,
+    cfg: &SolverConfig,
+    seed: u64,
+    wide: usize,
+    mutation: Mutation,
+    seq: &[sb_graph::editlog::EditLog],
+) -> Result<(), Failure> {
+    use sb_core::repair;
+
+    let modes = [
+        FrontierMode::Dense,
+        FrontierMode::Compact,
+        FrontierMode::Bitset,
+    ];
+    let mut finals: Vec<(FrontierMode, Output)> = Vec::new();
+    for (mi, &mode) in modes.iter().enumerate() {
+        let opts = SolveOpts {
+            trace: None,
+            frontier: mode,
+        };
+        let mut cur = g.clone();
+        let mut prior = run_one(g, cfg, seed, mode, 1, Mutation::None).out;
+        for (bi, batch) in seq.iter().enumerate() {
+            let next = batch.materialize(&cur);
+            let repaired = if mutation == Mutation::StaleRepair {
+                prior.clone()
+            } else {
+                match &prior {
+                    Output::Mate(mate) => {
+                        Output::Mate(repair::repair_matching(&cur, batch, mate, &opts).mate)
+                    }
+                    Output::Set(in_set) => {
+                        Output::Set(repair::repair_mis(&cur, batch, in_set, &opts).in_set)
+                    }
+                    Output::Color(color) => {
+                        Output::Color(repair::repair_coloring(&cur, batch, color, &opts).color)
+                    }
+                }
+            };
+            let tag = format!("{mode} batch {bi} [{}]", batch.wire());
+            let repaired_check = match &repaired {
+                Output::Mate(mate) => {
+                    verify::check_maximal_matching(&next, mate).map_err(|e| e.to_string())
+                }
+                Output::Set(in_set) => verify::check_maximal_independent_set(&next, in_set)
+                    .map_err(|e| e.to_string()),
+                Output::Color(color) => {
+                    verify::check_coloring(&next, color).map_err(|e| e.to_string())
+                }
+            };
+            if mi == 0 {
+                let fresh = run_one(&next, cfg, seed, mode, wide.max(1), Mutation::None);
+                let fresh_ok = check_valid(&next, &fresh).is_ok();
+                if repaired_check.is_ok() != fresh_ok {
+                    return Err(Failure {
+                        kind: "edit-validity",
+                        detail: format!(
+                            "{tag}: repaired ({}) and fresh ({}) disagree on validity: {}",
+                            if repaired_check.is_ok() { "valid" } else { "invalid" },
+                            if fresh_ok { "valid" } else { "invalid" },
+                            repaired_check.err().unwrap_or_else(|| "-".into()),
+                        ),
+                    });
+                }
+            }
+            if let Err(e) = repaired_check {
+                return Err(Failure {
+                    kind: "edit-validity",
+                    detail: format!("{tag}: repaired solution invalid on the edited graph: {e}"),
+                });
+            }
+            cur = next;
+            prior = repaired;
+        }
+        finals.push((mode, prior));
+    }
+    for (mode, out) in &finals[1..] {
+        if out != &finals[0].1 {
+            return Err(Failure {
+                kind: "edit-equality",
+                detail: format!(
+                    "final repaired output at {mode} differs from {}",
+                    finals[0].0
+                ),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Batches per derived edit sequence ([`check_edit_case`]); the
+/// minimizer re-derives with the same shape.
+pub const EDIT_BATCHES: usize = 2;
+/// Edits per derived batch.
+pub const EDIT_BATCH_SIZE: usize = 3;
+
+/// The edit axis with the sequence derived from `(g, seed)` — what the
+/// sweep runs per case. Two batches of up to three edits keep the axis
+/// roughly as expensive as one extra mode pass.
+pub fn check_edit_case(
+    g: &Graph,
+    cfg: &SolverConfig,
+    seed: u64,
+    wide: usize,
+    mutation: Mutation,
+) -> Result<(), Failure> {
+    let seq = crate::gen::edit_sequence(g, seed, EDIT_BATCHES, EDIT_BATCH_SIZE);
+    check_edit_chain(g, cfg, seed, wide, mutation, &seq)
+}
+
 /// A resident loopback `sbreak serve` daemon shared by every serve-axis
 /// check of one fuzz sweep, so the sweep pays the bind/connect cost once
 /// and the daemon's caches accumulate real cross-case traffic.
@@ -608,6 +744,67 @@ mod tests {
         let g = chorded_graph();
         let cfg = SolverConfig::Mm(MmAlgorithm::Baseline, Arch::Cpu);
         check_engine_case(&g, &cfg, 9, Mutation::StaleDecompCache).unwrap();
+    }
+
+    #[test]
+    fn edit_axis_clean_matrix_passes() {
+        // Every registered configuration survives a derived edit chain:
+        // repairs verify per batch, agree with fresh solves, and are
+        // mode-invariant.
+        let g = chorded_graph();
+        for cfg in SolverConfig::all() {
+            check_edit_case(&g, &cfg, 9, 2, Mutation::None)
+                .unwrap_or_else(|f| panic!("{}: {f}", cfg.label()));
+        }
+    }
+
+    /// Two disjoint triangles: dismantling the first and wiring vertex 0
+    /// into every vertex of the second invalidates any pre-edit solution
+    /// of every family, whatever the solver chose. A maximal matching
+    /// matches exactly one triangle-1 edge (now gone); a MIS takes
+    /// exactly one triangle-1 vertex (0 becomes adjacent to the whole
+    /// second triangle, 1/2 leave an isolated unclaimed vertex); a
+    /// greedy coloring gives each triangle the palette {0,1,2}, so 0
+    /// must collide with one of its three new neighbors.
+    fn stale_repair_case() -> (Graph, [sb_graph::editlog::EditLog; 1]) {
+        let g = from_edge_list(6, &[(0, 1), (0, 2), (1, 2), (3, 4), (3, 5), (4, 5)]);
+        let seq = [sb_graph::editlog::EditLog::parse("-0-1,-0-2,-1-2,+0-3,+0-4,+0-5").unwrap()];
+        (g, seq)
+    }
+
+    #[test]
+    fn edit_axis_catches_a_planted_stale_repair_per_family() {
+        use sb_core::coloring::ColorAlgorithm;
+        use sb_core::mis::MisAlgorithm;
+
+        let (g, seq) = stale_repair_case();
+        for cfg in [
+            SolverConfig::Mm(MmAlgorithm::Baseline, Arch::Cpu),
+            SolverConfig::Mis(MisAlgorithm::Baseline, Arch::Cpu),
+            SolverConfig::Color(ColorAlgorithm::Baseline, Arch::Cpu),
+        ] {
+            let f = match check_edit_chain(&g, &cfg, 7, 2, Mutation::StaleRepair, &seq) {
+                Err(f) => f,
+                Ok(()) => panic!("{}: stale repair not caught", cfg.label()),
+            };
+            assert_eq!(f.kind, "edit-validity", "{}: {f}", cfg.label());
+            // The same chain with the real repair passes.
+            check_edit_chain(&g, &cfg, 7, 2, Mutation::None, &seq)
+                .unwrap_or_else(|f| panic!("{}: {f}", cfg.label()));
+        }
+    }
+
+    #[test]
+    fn edit_axis_stale_repair_is_noop_on_a_net_noop_batch() {
+        // A batch whose net effect is empty (remove then re-add the same
+        // edge) leaves the graph unchanged, so the unrepaired prior stays
+        // valid and the planted bug must NOT fire — pinning that the
+        // self-test is about edits that matter, not generic corruption.
+        use sb_graph::editlog::EditLog;
+        let g = from_edge_list(2, &[(0, 1)]);
+        let seq = [EditLog::parse("-0-1,+0-1").unwrap()];
+        let cfg = SolverConfig::Mm(MmAlgorithm::Baseline, Arch::Cpu);
+        check_edit_chain(&g, &cfg, 7, 2, Mutation::StaleRepair, &seq).unwrap();
     }
 
     #[test]

@@ -103,9 +103,61 @@ pub fn shrink_case(
     }
 }
 
+/// One-dimensional ddmin over an arbitrary item list: delete chunks while
+/// `fails` keeps returning true, halving the chunk size down to single
+/// items. Used by the edit axis to minimize the edit *sequence* after the
+/// graph itself has been shrunk. Returns the minimized list, predicate
+/// evaluations spent, and whether the budget stopped the search.
+pub fn ddmin_list<T: Clone>(
+    items: &[T],
+    mut fails: impl FnMut(&[T]) -> bool,
+    max_evals: usize,
+) -> (Vec<T>, usize, bool) {
+    let mut cur: Vec<T> = items.to_vec();
+    let mut evals = 0usize;
+    let mut out_of_budget = false;
+    let mut chunk = cur.len().div_ceil(2).max(1);
+    'outer: while chunk >= 1 {
+        let mut i = 0;
+        while i < cur.len() {
+            if evals >= max_evals {
+                out_of_budget = true;
+                break 'outer;
+            }
+            evals += 1;
+            let end = (i + chunk).min(cur.len());
+            let mut candidate = cur.clone();
+            candidate.drain(i..end);
+            if fails(&candidate) {
+                cur = candidate;
+            } else {
+                i = end;
+            }
+        }
+        if chunk == 1 {
+            break;
+        }
+        chunk /= 2;
+    }
+    (cur, evals, out_of_budget)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn ddmin_list_keeps_only_the_failing_items() {
+        // Failure: "contains both 7 and 13". Everything else must go.
+        let items: Vec<u32> = (0..40).collect();
+        let (min, _, oob) = ddmin_list(
+            &items,
+            |s| s.contains(&7) && s.contains(&13),
+            10_000,
+        );
+        assert_eq!(min, vec![7, 13]);
+        assert!(!oob);
+    }
 
     #[test]
     fn shrinks_to_the_failing_core() {

@@ -15,6 +15,8 @@
 //!   id remapping.
 //! * [`view`] — zero-copy edge-filtered views (the output form of the
 //!   light-weight decompositions).
+//! * [`editlog`] — dynamic-graph edit logs and overlay views: the delta
+//!   substrate for incremental re-solving.
 //! * [`io`] — edge-list and Matrix-Market readers/writers so the original
 //!   SuiteSparse inputs drop in when available.
 //! * [`stats`] — the Table II statistics (%DEG2, average degree, …).
@@ -29,6 +31,7 @@ pub mod bfs;
 pub mod builder;
 pub mod components;
 pub mod csr;
+pub mod editlog;
 pub mod io;
 pub mod renumber;
 pub mod sbg;
@@ -39,6 +42,7 @@ pub mod view;
 
 pub use builder::GraphBuilder;
 pub use csr::{Graph, VertexId, INVALID};
+pub use editlog::{Edit, EditLog, Overlay};
 pub use sbg::{map_sbg, write_sbg, SbgError};
 pub use stats::GraphStats;
 pub use store::{FileIdent, GraphStore, Mapping};

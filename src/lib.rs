@@ -45,6 +45,7 @@ pub mod prelude {
         maximal_independent_set, maximal_independent_set_opts, maximal_independent_set_traced,
         MisAlgorithm, MisRun,
     };
+    pub use sb_core::repair::{repair_coloring, repair_matching, repair_mis};
     pub use sb_core::verify::{
         check_coloring, check_independent_set, check_matching, check_maximal_independent_set,
         check_maximal_matching, color_count, matching_cardinality,
@@ -60,6 +61,7 @@ pub mod prelude {
     };
     pub use sb_graph::builder::{from_edge_list, GraphBuilder};
     pub use sb_graph::csr::{Graph, VertexId, INVALID};
+    pub use sb_graph::editlog::{Edit, EditLog, Overlay, MAX_EDIT_VERTEX};
     pub use sb_graph::renumber::{renumber_by_degree, unpermute_labels};
     pub use sb_graph::sbg::{map_sbg, read_sbg_perm, write_sbg, SbgError};
     pub use sb_graph::stats::GraphStats;

@@ -15,7 +15,7 @@ use sb_core::common::{Arch, FrontierMode};
 use sb_core::matching::MmAlgorithm;
 use sb_core::mis::MisAlgorithm;
 use sb_datasets::suite::Scale;
-use sb_engine::protocol::SolveParams;
+use sb_engine::protocol::{MutateParams, SolveParams};
 use sb_engine::{
     run_batch_compare, BatchOptions, EngineConfig, JobSpec, ServeConfig, Server, Solver,
 };
@@ -230,6 +230,18 @@ fn serve_stats_shape_is_pinned() {
     mm.problem = "mm".into();
     mm.algo = "rand:4".into();
     assert_eq!(client.solve(&mm).unwrap().status(), "ok");
+
+    // One mutate stream (prime, then a repair) so the repairs block and
+    // the repair phase-latency key are exercised in the pinned shape.
+    let mut mutate = MutateParams::new("gen:lp1", "mis", "degk:2", "");
+    mutate.solve.scale = 0.05;
+    mutate.solve.graph_seed = Some(42);
+    mutate.solve.seed = 11;
+    mutate.solve.id = "m1".into();
+    mutate.solve.tenant = "tenant-a".into();
+    assert_eq!(client.mutate(&mutate).unwrap().status(), "ok");
+    mutate.edits = "+0-5,-0-1".into();
+    assert_eq!(client.mutate(&mutate).unwrap().status(), "ok");
 
     let stats = client.stats().unwrap();
     let mut shape = String::new();

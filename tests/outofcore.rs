@@ -365,3 +365,71 @@ fn engine_shares_one_mapping_and_charges_header_weight() {
     assert_ne!(*g3, *g1);
     assert_ne!(fp3, fp1, "rewritten file must not reuse the old key");
 }
+
+#[test]
+fn edit_fingerprints_on_mapped_graphs_are_identity_keyed() {
+    use symmetry_breaking::engine::fingerprint::DEFAULT_SEED;
+    use symmetry_breaking::engine::{fingerprint_graph, fingerprint_with_edits};
+
+    let dir = scratch("editfp");
+    let heap = test_graph();
+    let path = write_test_sbg(&dir, &heap);
+    let mapped = map_sbg(&path).unwrap();
+    if mapped.mapped_ident().is_none() {
+        return; // identity metadata unavailable on this platform
+    }
+
+    let mut log = EditLog::new();
+    log.add_edge(0, 1).remove_edge(1, 2).add_vertex(99);
+
+    // Deterministic across independent mappings of the same file.
+    let fp = fingerprint_with_edits(&mapped, &log, DEFAULT_SEED);
+    let remapped = map_sbg(&path).unwrap();
+    assert_eq!(fp, fingerprint_with_edits(&remapped, &log, DEFAULT_SEED));
+
+    // Domain-separated from the heap twin with identical content, and
+    // from the unedited base / other logs.
+    assert_ne!(fp, fingerprint_with_edits(&heap, &log, DEFAULT_SEED));
+    assert_ne!(fp, fingerprint_graph(&mapped, DEFAULT_SEED));
+    assert_eq!(
+        fingerprint_with_edits(&mapped, &EditLog::new(), DEFAULT_SEED),
+        fingerprint_graph(&mapped, DEFAULT_SEED),
+        "an empty log must degenerate to the base fingerprint"
+    );
+
+    // O(1) pin: the mapped branch hashes file identity (dev, ino, size,
+    // mtime) plus (n, m) — never the multi-GB payload. Rewrite the
+    // payload in place with a different same-shape graph and restore the
+    // recorded mtime: every identity word is unchanged, so the
+    // fingerprint must not move — proof the edge arrays are never read.
+    let mtime = fs::metadata(&path).unwrap().modified().unwrap();
+    let mut twisted: Vec<(u32, u32)> = heap
+        .edge_list()
+        .iter()
+        .map(|&[u, v]| (u.min(v), u.max(v)))
+        .collect();
+    let spare = (0..heap.num_vertices() as u32)
+        .flat_map(|a| ((a + 1)..heap.num_vertices() as u32).map(move |b| (a, b)))
+        .find(|&(a, b)| !heap.has_edge(a, b))
+        .expect("test graph is not complete");
+    twisted[0] = spare;
+    let twin = from_edge_list(heap.num_vertices(), &twisted);
+    assert_eq!(twin.num_edges(), heap.num_edges(), "same-shape rewrite");
+    assert_ne!(twin, heap, "content must actually differ");
+    let old_size = fs::metadata(&path).unwrap().len();
+    write_sbg(&twin, None, &path).unwrap();
+    assert_eq!(fs::metadata(&path).unwrap().len(), old_size);
+    fs::OpenOptions::new()
+        .write(true)
+        .open(&path)
+        .unwrap()
+        .set_modified(mtime)
+        .unwrap();
+    let rewritten = map_sbg(&path).unwrap();
+    assert_eq!(rewritten, twin, "payload really changed on disk");
+    assert_eq!(
+        fp,
+        fingerprint_with_edits(&rewritten, &log, DEFAULT_SEED),
+        "identity unchanged -> fingerprint unchanged (payload never hashed)"
+    );
+}

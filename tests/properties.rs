@@ -230,6 +230,58 @@ proptest! {
             }
         }
     }
+
+    #[test]
+    fn overlay_materialize_matches_direct_build(
+        g in arb_graph(60, 150),
+        ops in proptest::collection::vec((0u8..5, 0u32..40, 0u32..40), 0..40),
+    ) {
+        // Reference model: apply the same edits to a plain normalized
+        // edge set. Kinds 3 (self-loop) and 4 (duplicate add) force the
+        // degenerate shapes the edit model must absorb silently.
+        let mut n = g.num_vertices();
+        let mut model: std::collections::BTreeSet<(u32, u32)> =
+            g.edge_list().iter().map(|&[u, v]| (u.min(v), u.max(v))).collect();
+        let mut log = EditLog::new();
+        let add = |log: &mut EditLog, model: &mut std::collections::BTreeSet<(u32, u32)>,
+                       n: &mut usize, u: u32, v: u32| {
+            log.add_edge(u, v);
+            if u != v {
+                *n = (*n).max(u.max(v) as usize + 1);
+                model.insert((u.min(v), u.max(v)));
+            }
+        };
+        for &(kind, u, v) in &ops {
+            match kind {
+                0 => add(&mut log, &mut model, &mut n, u, v),
+                1 => {
+                    log.remove_edge(u, v);
+                    model.remove(&(u.min(v), u.max(v)));
+                }
+                2 => {
+                    log.add_vertex(u as usize);
+                    n = n.max(u as usize);
+                }
+                3 => add(&mut log, &mut model, &mut n, u, u),
+                _ => {
+                    add(&mut log, &mut model, &mut n, u, v);
+                    add(&mut log, &mut model, &mut n, u, v);
+                }
+            }
+        }
+        let direct = from_edge_list(n, &model.iter().copied().collect::<Vec<_>>());
+        let edited = log.materialize(&g);
+        prop_assert_eq!(&edited, &direct);
+        // The zero-rebuild overlay must read identically to what it
+        // materializes: same counts, same sorted adjacency per vertex.
+        let ov = log.apply(&g);
+        prop_assert_eq!(ov.num_vertices(), direct.num_vertices());
+        prop_assert_eq!(ov.num_edges(), direct.num_edges());
+        for vtx in direct.vertices() {
+            prop_assert_eq!(ov.degree(vtx), direct.degree(vtx));
+            prop_assert_eq!(ov.neighbors(vtx), direct.neighbors(vtx).to_vec());
+        }
+    }
 }
 
 // Degenerate inputs surfaced by the differential fuzzer (`sb-fuzz`): the
@@ -304,4 +356,27 @@ fn single_vertex_and_single_edge_solves() {
             }
         }
     }
+}
+
+#[test]
+fn edit_log_hardening_at_the_io_vertex_limit() {
+    // The edit parser enforces the same id ceiling as the edge-list io
+    // layer: ids at MAX_EDIT_VERTEX pass, one past is rejected, and the
+    // `v:` count may reach MAX_EDIT_VERTEX + 1 (a count, not an id).
+    let max = MAX_EDIT_VERTEX;
+    let log = EditLog::parse(&format!("+{max}-0")).unwrap();
+    assert_eq!(EditLog::parse(&log.wire()).unwrap(), log);
+    assert!(EditLog::parse(&format!("+{}-0", max + 1)).is_err());
+    assert!(EditLog::parse(&format!("v:{}", max + 1)).is_ok());
+    assert!(EditLog::parse(&format!("v:{}", max + 2)).is_err());
+
+    // Degenerate edits at the limit must be absorbed without growing the
+    // graph: a self-loop on the largest legal id drops before it can
+    // allocate 4 billion vertices, and removing an absent edge touching
+    // it (twice) is a no-op.
+    let g = from_edge_list(2, &[(0, 1)]);
+    let looped = EditLog::parse(&format!("+{max}-{max}")).unwrap();
+    assert_eq!(looped.materialize(&g), g);
+    let ghost = EditLog::parse(&format!("-{max}-0,-{max}-0")).unwrap();
+    assert_eq!(ghost.materialize(&g), g);
 }

@@ -5,8 +5,10 @@
 //! (expired → `timeout` without cache poisoning), cancellation, clean
 //! shutdown, and the loadgen cold-vs-warm contract.
 
-use symmetry_breaking::engine::protocol::SolveParams;
-use symmetry_breaking::engine::{Client, Engine, ServeConfig, Server, ServerHandle};
+use symmetry_breaking::core::verify::check_maximal_independent_set;
+use symmetry_breaking::engine::protocol::{MutateParams, SolveParams};
+use symmetry_breaking::engine::{Client, Engine, GraphSource, ServeConfig, Server, ServerHandle};
+use symmetry_breaking::graph::editlog::EditLog;
 use symmetry_breaking::loadgen::{run_loadgen, LoadgenOptions};
 
 /// A loopback server with the test-relevant knobs exposed.
@@ -27,6 +29,180 @@ fn params(problem: &str, algo: &str) -> SolveParams {
     p.graph_seed = Some(42);
     p.seed = 11;
     p
+}
+
+/// The standard mutate request: same tiny graph/seeds as [`params`], on
+/// the MIS family (whose rendered solution is trivially parseable back).
+fn mutate_params(tenant: &str, edits: &str) -> MutateParams {
+    let mut m = MutateParams::new("gen:lp1", "mis", "degk:2", edits);
+    m.solve.scale = 0.05;
+    m.solve.graph_seed = Some(42);
+    m.solve.seed = 11;
+    m.solve.tenant = tenant.into();
+    m
+}
+
+/// Parse a rendered MIS solution (one in-set vertex id per line) back
+/// into the flag vector `verify` expects.
+fn parse_mis(rendered: &str, n: usize) -> Vec<bool> {
+    let mut in_set = vec![false; n];
+    for line in rendered.lines() {
+        in_set[line.trim().parse::<usize>().unwrap()] = true;
+    }
+    in_set
+}
+
+#[test]
+fn mutate_repairs_are_valid_for_the_edited_graph() {
+    let server = spawn(2, 8, false);
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // First mutate on a stream primes it with a fresh solve.
+    let mut m = mutate_params("tenant-a", "");
+    m.solve.id = "m0".into();
+    m.solve.want_solution = true;
+    let prime = client.mutate(&m).unwrap();
+    assert_eq!(prime.status(), "ok", "{:?}", prime.raw);
+    assert_eq!(prime.str_field("op"), Some("mutate"));
+    assert_eq!(prime.bool_field("repaired"), Some(false));
+    assert_eq!(prime.num_field("edits_applied"), Some(0.0));
+    assert_eq!(prime.num_field("edits_total"), Some(0.0));
+
+    // The second batch repairs the prior across the delta.
+    m.edits = "+0-5,-0-1".into();
+    m.solve.id = "m1".into();
+    let repaired = client.mutate(&m).unwrap();
+    assert_eq!(repaired.status(), "ok", "{:?}", repaired.raw);
+    assert_eq!(repaired.bool_field("repaired"), Some(true));
+    assert_eq!(repaired.num_field("edits_applied"), Some(2.0));
+    assert_eq!(repaired.num_field("edits_total"), Some(2.0));
+
+    // The repaired solution must be valid and maximal for the *edited*
+    // graph — checked against an in-process materialization of the same
+    // (base, edit log) pair.
+    let job = m.solve.to_job_spec().unwrap();
+    let src = GraphSource::parse(&job.graph, job.scale, job.effective_graph_seed()).unwrap();
+    let (base, _, _) = Engine::with_cap(0).graph(&src).unwrap();
+    let edited = EditLog::parse("+0-5,-0-1").unwrap().materialize(&base);
+    let in_set = parse_mis(
+        repaired.str_field("solution").expect("want_solution set"),
+        edited.num_vertices(),
+    );
+    check_maximal_independent_set(&edited, &in_set).expect("repaired MIS verifies");
+
+    // A third batch keeps extending the same stream.
+    m.edits = "+2-7".into();
+    m.solve.id = "m2".into();
+    let third = client.mutate(&m).unwrap();
+    assert_eq!(third.bool_field("repaired"), Some(true));
+    assert_eq!(third.num_field("edits_applied"), Some(1.0));
+    assert_eq!(third.num_field("edits_total"), Some(3.0));
+
+    let stats = client.stats().unwrap();
+    let repairs = stats.raw.get("repairs").unwrap();
+    assert_eq!(repairs.get("requests").and_then(|v| v.as_u64()), Some(3));
+    assert_eq!(repairs.get("repaired").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(repairs.get("fresh").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(repairs.get("streams").and_then(|v| v.as_u64()), Some(1));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn mutate_streams_are_isolated_per_tenant() {
+    let server = spawn(2, 8, false);
+    let mut a = Client::connect(server.addr()).unwrap();
+    let mut b = Client::connect(server.addr()).unwrap();
+
+    // Both tenants run the identical (graph, config, seed); their edit
+    // streams must not observe each other.
+    let mut ma = mutate_params("tenant-a", "");
+    assert_eq!(a.mutate(&ma).unwrap().status(), "ok");
+    let mut mb = mutate_params("tenant-b", "");
+    let prime_b = b.mutate(&mb).unwrap();
+    assert_eq!(prime_b.status(), "ok");
+    // The base graph itself is shared through the cache across tenants.
+    assert_eq!(prime_b.bool_field("graph_cached"), Some(true));
+
+    ma.edits = "+0-5,+1-6,-0-1".into();
+    let ra = a.mutate(&ma).unwrap();
+    assert_eq!(ra.num_field("edits_total"), Some(3.0));
+
+    // tenant-b's stream is still at zero edits; its batch counts alone.
+    mb.edits = "-0-1".into();
+    let rb = b.mutate(&mb).unwrap();
+    assert_eq!(rb.bool_field("repaired"), Some(true));
+    assert_eq!(rb.num_field("edits_total"), Some(1.0));
+
+    let stats = a.stats().unwrap();
+    let repairs = stats.raw.get("repairs").unwrap();
+    assert_eq!(repairs.get("streams").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(repairs.get("requests").and_then(|v| v.as_u64()), Some(4));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn cancelled_mutate_leaves_the_stream_unpoisoned() {
+    let server = spawn(1, 8, true);
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let mut m = mutate_params("tenant-a", "");
+    m.solve.id = "p0".into();
+    assert_eq!(client.mutate(&m).unwrap().status(), "ok");
+
+    // Cancel a repair mid-flight: the commit gate must discard the
+    // advanced stream state.
+    m.edits = "+0-5".into();
+    m.solve.id = "mc".into();
+    m.solve.debug_sleep_ms = 2_000;
+    client.send_line(&m.to_json()).unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    client.send_line(r#"{"op":"cancel","id":"mc"}"#).unwrap();
+    let (mut saw_ack, mut saw_cancelled) = (false, false);
+    for _ in 0..2 {
+        let reply = client.recv().unwrap();
+        if reply.str_field("op") == Some("cancel") {
+            assert_eq!(reply.bool_field("found"), Some(true));
+            saw_ack = true;
+        } else {
+            assert_eq!(reply.status(), "cancelled", "{:?}", reply.raw);
+            assert_eq!(reply.id(), "mc");
+            saw_cancelled = true;
+        }
+    }
+    assert!(saw_ack && saw_cancelled);
+
+    // Resubmitting the identical batch succeeds, and its totals prove the
+    // cancelled attempt never advanced the stream (else the log would
+    // hold the edit twice).
+    m.solve.id = "mr".into();
+    m.solve.debug_sleep_ms = 0;
+    let retry = client.mutate(&m).unwrap();
+    assert_eq!(retry.status(), "ok", "{:?}", retry.raw);
+    assert_eq!(retry.bool_field("repaired"), Some(true));
+    assert_eq!(retry.num_field("edits_applied"), Some(1.0));
+    assert_eq!(retry.num_field("edits_total"), Some(1.0));
+
+    // The cancelled attempt counted as a request but never as a commit.
+    let stats = client.stats().unwrap();
+    let repairs = stats.raw.get("repairs").unwrap();
+    assert_eq!(repairs.get("requests").and_then(|v| v.as_u64()), Some(3));
+    assert_eq!(repairs.get("repaired").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(repairs.get("fresh").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(
+        stats
+            .raw
+            .get("requests")
+            .and_then(|r| r.get("cancelled"))
+            .and_then(|v| v.as_u64()),
+        Some(1)
+    );
+
+    server.shutdown();
+    server.join();
 }
 
 #[test]
