@@ -14,10 +14,15 @@
 //!
 //! * every repaired solution verifies as valid *and maximal* (matching,
 //!   MIS) or conflict-free (coloring) on the materialized edited graph;
-//! * at batch sizes ≤ 100 the repair path is strictly cheaper than the
-//!   fresh path — the regime the dynamic layer exists for. The 1000-edit
-//!   rows are informational: at that batch the touched neighborhood can
-//!   approach the whole graph and the advantage legitimately erodes.
+//! * at batch sizes ≤ 100 the repair path scans strictly fewer edges
+//!   than the fresh path — the regime the dynamic layer exists for. The
+//!   gate compares the deterministic `edges_scanned` work counters, not
+//!   wall clock, so a noisy shared runner at `--reps 1` cannot flake it;
+//!   the wall-clock comparison is additionally asserted only when
+//!   `--reps` ≥ 2 (and is reported in the table either way). The
+//!   1000-edit rows are informational: at that batch the touched
+//!   neighborhood can approach the whole graph and the advantage
+//!   legitimately erodes.
 //!
 //! The table is saved as `results/BENCH_incremental.json`; CI runs this
 //! as a perf-smoke leg and uploads the regenerated report.
@@ -133,15 +138,28 @@ fn main() {
                     failures += 1;
                 }
                 let wins = repair_ms < fresh_ms;
-                if batch_size <= ASSERT_MAX_BATCH && !wins {
-                    eprintln!(
-                        "FAIL: {} / {algo} @ batch {batch_size}: repair ({}) not cheaper than \
-                         fresh ({})",
-                        sp.name,
-                        fmt_ms(repair_ms),
-                        fmt_ms(fresh_ms)
-                    );
-                    failures += 1;
+                if batch_size <= ASSERT_MAX_BATCH {
+                    // The gate is the deterministic work counter; the
+                    // wall-clock comparison joins it only with enough
+                    // reps to smooth scheduler noise on shared runners.
+                    if repair_edges >= fresh_edges {
+                        eprintln!(
+                            "FAIL: {} / {algo} @ batch {batch_size}: repair scanned \
+                             {repair_edges} edges, not fewer than fresh ({fresh_edges})",
+                            sp.name
+                        );
+                        failures += 1;
+                    }
+                    if cfg.reps >= 2 && !wins {
+                        eprintln!(
+                            "FAIL: {} / {algo} @ batch {batch_size}: repair ({}) not cheaper \
+                             than fresh ({})",
+                            sp.name,
+                            fmt_ms(repair_ms),
+                            fmt_ms(fresh_ms)
+                        );
+                        failures += 1;
+                    }
                 }
                 t.row(vec![
                     format!("{} / {algo}", sp.name),
@@ -168,5 +186,7 @@ fn main() {
         eprintln!("{failures} incremental assertion(s) failed");
         std::process::exit(1);
     }
-    println!("\nrepairs valid and cheaper than fresh at batch <= {ASSERT_MAX_BATCH} — OK");
+    println!(
+        "\nrepairs valid and scanning fewer edges than fresh at batch <= {ASSERT_MAX_BATCH} — OK"
+    );
 }

@@ -2,7 +2,7 @@
 //! caches, and the cached solve path.
 
 use crate::cache::{CacheStats, Lru};
-use crate::fingerprint::{self, fingerprint_graph, fingerprint_with_edits};
+use crate::fingerprint::{self, fingerprint_graph, fingerprint_with_edits_from};
 use sb_core::coloring::{decomp as color_decomp, ColorAlgorithm};
 use sb_core::common::{Arch, FrontierMode, RunStats, SolveOpts};
 use sb_core::matching::{decomp as mm_decomp, MmAlgorithm};
@@ -536,7 +536,31 @@ impl Engine {
     /// [`crate::cache::DEFAULT_TENANT`]-equivalent semantics by passing
     /// `"default"`-style names; serve passes the session tenant).
     pub fn apply_edits(&mut self, tenant: &str, base: &Arc<Graph>, edits: &EditLog) -> EditOutcome {
-        let fp = fingerprint_with_edits(base, edits, self.fingerprint_seed);
+        let base_fp = fingerprint_graph(base, self.fingerprint_seed);
+        self.apply_edits_from(tenant, base, base_fp, edits)
+    }
+
+    /// [`Engine::apply_edits`] when the base's fingerprint is already
+    /// known. The base never gets re-hashed: `base_fp` both seeds the
+    /// edit fingerprint and selects which cached decompositions to patch.
+    /// This is what keeps a long-lived serve mutation stream O(batch)
+    /// after a rebase — the stream's base is then a materialized heap
+    /// graph whose content hash would be O(m) per mutate, but the stream
+    /// carries the fingerprint it got from the rebase instead.
+    ///
+    /// `base_fp` must be the fingerprint this engine would assign `base`
+    /// (from [`Engine::graph`], a prior [`EditOutcome::fingerprint`], or
+    /// [`fingerprint_graph`] under the engine's seed); a mismatched pair
+    /// can only miss warm entries and create duplicate keys, never alias
+    /// a wrong graph.
+    pub fn apply_edits_from(
+        &mut self,
+        tenant: &str,
+        base: &Arc<Graph>,
+        base_fp: u64,
+        edits: &EditLog,
+    ) -> EditOutcome {
+        let fp = fingerprint_with_edits_from(base_fp, edits, self.fingerprint_seed);
         if edits.is_empty() {
             // No edits: the base *is* the edited graph, and its cached
             // decompositions are already keyed under `fp` (the edit
@@ -559,7 +583,6 @@ impl Engine {
                 decomps_patched: 0,
             };
         }
-        let base_fp = fingerprint_graph(base, self.fingerprint_seed);
         let overlay = edits.apply(base);
         let edited = Arc::new(overlay.materialize());
         let mut decomps_patched = 0;
@@ -1094,6 +1117,45 @@ mod tests {
         let again = engine.apply_edits("default", &g, &log);
         assert!(again.graph_cached);
         assert!(Arc::ptr_eq(&again.graph, &out.graph));
+    }
+
+    #[test]
+    fn apply_edits_from_chains_across_a_rebase() {
+        // A rebased mutation stream adopts a materialized graph as its
+        // base and keeps extending via `apply_edits_from` with the
+        // fingerprint from the previous hop. Decompositions must keep
+        // following the chain, and each hop's patched solve must equal a
+        // fresh engine's solve on the same materialized graph.
+        let g = chain_graph(40);
+        let opts = SolveOpts::default();
+        let solver = Solver::Mis(MisAlgorithm::Degk { k: 2 });
+        let mut engine = Engine::with_cap(16);
+        engine.solve_on(&g, solver, Arch::Cpu, 7, &opts);
+
+        let hop1 = engine.apply_edits("default", &g, &edit_script());
+        assert_eq!(hop1.decomps_patched, 1);
+        engine.solve_on_fingerprinted(&hop1.graph, hop1.fingerprint, solver, Arch::Cpu, 7, &opts);
+
+        // Rebase: hop1's materialization is the new base; its stored
+        // fingerprint stands in for an O(m) re-hash.
+        let mut log2 = EditLog::new();
+        log2.remove_edge(10, 11).add_edge(0, 39);
+        let hop2 = engine.apply_edits_from("default", &hop1.graph, hop1.fingerprint, &log2);
+        assert!(!hop2.graph_cached);
+        assert_eq!(hop2.decomps_patched, 1, "hop1's entry follows the rebase");
+        let patched =
+            engine.solve_on_fingerprinted(&hop2.graph, hop2.fingerprint, solver, Arch::Cpu, 7, &opts);
+        assert_eq!(patched.decomp_cached, Some(true));
+        let fresh = Engine::with_cap(0).solve_on(&hop2.graph, solver, Arch::Cpu, 7, &opts);
+        assert_eq!(patched.solution, fresh.solution);
+        patched.solution.verify(&hop2.graph).unwrap();
+
+        // An empty log under a precomputed fingerprint is the base
+        // itself, with the same identity.
+        let noop = engine.apply_edits_from("default", &hop2.graph, hop2.fingerprint, &EditLog::new());
+        assert!(noop.graph_cached);
+        assert_eq!(noop.fingerprint, hop2.fingerprint);
+        assert!(Arc::ptr_eq(&noop.graph, &hop2.graph));
     }
 
     #[test]

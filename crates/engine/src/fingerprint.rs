@@ -163,11 +163,21 @@ const EDIT_DOMAIN: u64 = 0x5b45_4449_5453_4c47; // "sbEDITSLG"-ish
 /// An empty log degenerates to [`fingerprint_graph`], so "no edits" and
 /// "the base itself" share cache entries.
 pub fn fingerprint_with_edits(base: &Graph, edits: &EditLog, seed: u64) -> u64 {
+    fingerprint_with_edits_from(fingerprint_graph(base, seed), edits, seed)
+}
+
+/// [`fingerprint_with_edits`] when the base's fingerprint is already
+/// known. The base graph enters the digest only through `base_fp`, so a
+/// caller that cached the fingerprint (a serve mutation stream chaining
+/// rebases, say) pays O(edits) here even when the base is a large heap
+/// CSR whose content hash would be O(m). An empty log returns `base_fp`
+/// unchanged.
+pub fn fingerprint_with_edits_from(base_fp: u64, edits: &EditLog, seed: u64) -> u64 {
     if edits.is_empty() {
-        return fingerprint_graph(base, seed);
+        return base_fp;
     }
     let mut h = WordHasher::new(seed ^ EDIT_DOMAIN);
-    h.write(fingerprint_graph(base, seed));
+    h.write(base_fp);
     h.write(edits.len() as u64);
     for e in edits.edits() {
         match *e {
@@ -214,6 +224,38 @@ mod tests {
         assert_eq!(
             fingerprint_with_edits(&g, &EditLog::new(), DEFAULT_SEED),
             fingerprint_graph(&g, DEFAULT_SEED)
+        );
+    }
+
+    #[test]
+    fn precomputed_base_fingerprint_path_agrees() {
+        let g = from_edge_list(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let base_fp = fingerprint_graph(&g, DEFAULT_SEED);
+        let mut log = EditLog::new();
+        log.add_edge(0, 4).remove_edge(1, 2);
+        assert_eq!(
+            fingerprint_with_edits(&g, &log, DEFAULT_SEED),
+            fingerprint_with_edits_from(base_fp, &log, DEFAULT_SEED)
+        );
+        assert_eq!(
+            fingerprint_with_edits_from(base_fp, &EditLog::new(), DEFAULT_SEED),
+            base_fp
+        );
+        // Chaining through an intermediate fingerprint keys differently
+        // from applying the concatenated log in one step: a rebased
+        // stream gets fresh cache identities, never wrong hits.
+        let mut more = EditLog::new();
+        more.add_edge(2, 4);
+        let chained = fingerprint_with_edits_from(
+            fingerprint_with_edits_from(base_fp, &log, DEFAULT_SEED),
+            &more,
+            DEFAULT_SEED,
+        );
+        let mut concat = log.clone();
+        concat.extend(&more);
+        assert_ne!(
+            chained,
+            fingerprint_with_edits_from(base_fp, &concat, DEFAULT_SEED)
         );
     }
 

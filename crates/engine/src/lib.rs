@@ -34,7 +34,7 @@ pub mod session;
 pub use batch::{run_batch_compare, BatchOptions, JobOutcome, JobRecord};
 pub use cache::CacheStats;
 pub use engine::{DecompSpec, EditOutcome, Engine, EngineConfig, GraphSource, Solution, Solver};
-pub use fingerprint::{fingerprint_graph, fingerprint_with_edits};
+pub use fingerprint::{fingerprint_graph, fingerprint_with_edits, fingerprint_with_edits_from};
 pub use jobs::{parse_jobs, JobSpec};
 pub use report::BatchReport;
 pub use serve::{Client, ServeConfig, Server, ServerHandle};

@@ -66,6 +66,17 @@ pub struct ServeConfig {
     /// Honor the `debug_sleep_ms` test hook. Integration tests only;
     /// a production server rejects the field as a bad request.
     pub allow_debug: bool,
+    /// Bound on resident mutation streams. Admitting a mutate that would
+    /// push the stream table past this evicts the least-recently-touched
+    /// idle stream (its next mutate re-primes with a fresh solve), so the
+    /// table cannot grow without bound under tenant churn.
+    pub max_streams: usize,
+    /// Once a mutation stream's accumulated edit log reaches this many
+    /// edits, the commit rebases the stream: the materialized edited
+    /// graph becomes the stream's new base and the log restarts empty.
+    /// Keeps per-mutate fingerprinting and cache-miss re-materialization
+    /// O(rebase window), not O(stream lifetime).
+    pub rebase_log_edits: usize,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +89,8 @@ impl Default for ServeConfig {
             default_deadline_ms: None,
             default_threads: None,
             allow_debug: false,
+            max_streams: 256,
+            rebase_log_edits: 1024,
         }
     }
 }
@@ -143,21 +156,33 @@ struct RepairCounts {
     edits_applied: AtomicU64,
     /// Cached decompositions patched across edits.
     decomps_patched: AtomicU64,
+    /// Streams rebased onto their materialized graph (log reset).
+    rebases: AtomicU64,
+    /// Idle streams evicted to honor `max_streams`.
+    streams_evicted: AtomicU64,
 }
 
 /// Per-stream mutation state. A stream is one tenant's edit history
-/// against one `(graph, solver config, seed)`: the accumulated log, the
-/// materialized edited graph it produced, and the solution to repair from
-/// on the next batch. Streams are keyed by tenant, so one tenant's edits
-/// can never leak into another's solutions even when both caches share
-/// the underlying base graph.
+/// against one `(graph, solver config, seed)`: the edits since the last
+/// rebase, the materialized edited graph they produced, and the solution
+/// to repair from on the next batch. Streams are keyed by tenant, so one
+/// tenant's edits can never leak into another's solutions even when both
+/// caches share the underlying base graph.
 #[derive(Clone)]
 struct MutationState {
-    /// Accumulated edit log (every batch so far, in arrival order).
+    /// The stream's current base graph: the source graph at first, then
+    /// whatever the last rebase materialized.
+    base: Arc<Graph>,
+    /// `base`'s engine fingerprint, carried so a rebased (heap) base is
+    /// never re-hashed O(m) per mutate.
+    base_fp: u64,
+    /// Edit log accumulated since `base` (in arrival order). Bounded by
+    /// `rebase_log_edits`: a commit that crosses the threshold adopts the
+    /// materialized graph as the new `base` and clears this.
     log: EditLog,
     /// The materialized `base + log` graph (shared with the graph cache).
-    /// Its cache fingerprint is not stored: `apply_edits` re-derives it
-    /// from `(base, log)` on every batch.
+    /// Its cache fingerprint is not stored: `apply_edits_from` re-derives
+    /// it from `(base_fp, log)` on every batch.
     graph: Arc<Graph>,
     /// The solution for `graph` — the repair seed for the next batch.
     prior: Solution,
@@ -167,6 +192,20 @@ struct MutationState {
 
 /// Stream key: `(tenant, graph cache key, config#seed)`.
 type StreamKey = (String, String, String);
+
+/// One mutation stream's slot in the stream table. The inner mutex
+/// serializes the whole read-compute-commit of a mutate, so pipelined
+/// mutates on the same stream can never both read the same prior and
+/// lose an acknowledged batch (same-stream requests queue on the slot;
+/// distinct streams stay parallel across workers).
+#[derive(Default)]
+struct StreamSlot {
+    /// `None` until the stream's first committed mutate.
+    state: Mutex<Option<MutationState>>,
+    /// Last-touched stamp from `Shared::stream_clock`, for idle-stream
+    /// eviction. Written only under the stream-table lock.
+    touched: AtomicU64,
+}
 
 /// Latency samples aggregated across completed solves.
 #[derive(Default)]
@@ -214,8 +253,11 @@ struct Shared {
     /// Cancel tokens for in-flight solves, keyed by `(connection, id)` so
     /// a `cancel` op can only reach requests from its own connection.
     pending: Mutex<HashMap<(u64, String), CancelToken>>,
-    /// Mutation streams for the `mutate` op, keyed per tenant.
-    mutations: Mutex<HashMap<StreamKey, MutationState>>,
+    /// Mutation streams for the `mutate` op, keyed per tenant. Bounded by
+    /// `cfg.max_streams` (idle streams are evicted LRU on admission).
+    mutations: Mutex<HashMap<StreamKey, Arc<StreamSlot>>>,
+    /// Monotone stamp source for `StreamSlot::touched`.
+    stream_clock: AtomicU64,
     repairs: RepairCounts,
     conns: Mutex<Vec<JoinHandle<()>>>,
     metrics: ServeMetrics,
@@ -417,12 +459,48 @@ impl Shared {
         );
     }
 
+    /// Fetch (or create) the slot for `key`, stamp it touched, and evict
+    /// least-recently-touched *idle* streams if the table outgrew
+    /// `max_streams`. A slot is idle exactly when the table holds its
+    /// only reference (`strong_count == 1`): slots are only ever cloned
+    /// out of the table under this same lock, so an in-flight mutate —
+    /// computing or merely queued on the slot mutex — is never evicted
+    /// from under itself.
+    fn stream_slot(&self, key: StreamKey) -> Arc<StreamSlot> {
+        let cap = self.cfg.max_streams.max(1);
+        let mut map = lock(&self.mutations);
+        let slot = map.entry(key).or_default().clone();
+        slot.touched.store(
+            self.stream_clock.fetch_add(1, Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        while map.len() > cap {
+            let victim = map
+                .iter()
+                .filter(|(_, s)| Arc::strong_count(s) == 1)
+                .min_by_key(|(_, s)| s.touched.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone());
+            let Some(victim) = victim else {
+                break; // every stream is in flight; stay over cap briefly
+            };
+            map.remove(&victim);
+            self.repairs.streams_evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        slot
+    }
+
     /// Worker side of the `mutate` op: append `edits` to the tenant's
     /// stream for `(graph, config, seed)`, repair the stream's prior
     /// solution across the batch (or prime the stream with a fresh solve
     /// on the first mutate), and commit the advanced stream state only on
     /// a clean, uncancelled finish. Returns the response counter to bump
     /// and the response line.
+    ///
+    /// The stream's slot mutex is held across the whole
+    /// read-compute-commit, so concurrent workers draining pipelined
+    /// mutates of one stream serialize instead of racing: without it, two
+    /// batches could read the same prior state and the later commit would
+    /// silently drop the earlier acknowledged batch.
     ///
     /// Cancellation discipline mirrors the batch watchdog: a cancel
     /// observed at the commit gate discards the new stream state — the
@@ -458,14 +536,23 @@ impl Shared {
             src_key.clone(),
             format!("{config}#{}", job.seed),
         );
-        // The base graph comes through the shared graph cache; only the
-        // first touch of a stream loads it under the lock — a resident
-        // tenant hits from then on.
-        let (base, _base_fp, graph_cached) = match self.engine.lock().graph(&src) {
-            Ok(t) => t,
-            Err(e) => return fail(e),
+        // Serialize against other mutates of the same stream for the rest
+        // of this function: the commit below must only ever extend the
+        // state read here.
+        let slot = self.stream_slot(stream_key);
+        let mut stream = lock(&slot.state);
+        let prev = stream.clone();
+        // The stream carries its own base (the source graph until the
+        // first rebase, the last rebase's materialization after). Only
+        // the first touch of a stream loads the source through the shared
+        // graph cache — a resident tenant never re-reads it.
+        let (base, base_fp, graph_cached) = match &prev {
+            Some(st) => (st.base.clone(), st.base_fp, true),
+            None => match self.engine.lock().graph(&src) {
+                Ok(t) => t,
+                Err(e) => return fail(e),
+            },
         };
-        let prev = lock(&self.mutations).get(&stream_key).cloned();
         let mut accumulated = prev.as_ref().map(|s| s.log.clone()).unwrap_or_default();
         accumulated.extend(edits);
         // Materialize `base + accumulated` (memoized) and carry the base's
@@ -473,7 +560,7 @@ impl Shared {
         let out = self
             .engine
             .lock()
-            .apply_edits(&params.tenant, &base, &accumulated);
+            .apply_edits_from(&params.tenant, &base, base_fp, &accumulated);
         let sink = Arc::new(TraceSink::enabled());
         let opts = SolveOpts {
             trace: Some(sink.clone()),
@@ -520,7 +607,8 @@ impl Shared {
             }
         };
         // Commit gate: advance the stream only if nobody cancelled while
-        // we computed.
+        // we computed. The slot guard drops on the early return, so the
+        // stream stays exactly where the cancelled batch found it.
         if self.shutting_down() || cancel.is_cancelled() {
             return (
                 &self.counts.cancelled,
@@ -528,16 +616,25 @@ impl Shared {
             );
         }
         let edits_total = prev.map_or(0, |s| s.edits_total) + edits.len() as u64;
-        lock(&self.mutations).insert(
-            stream_key,
-            MutationState {
-                log: accumulated,
-                graph: out.graph.clone(),
-                prior: solution.clone(),
-                edits_total,
-            },
-        );
         let bump = |c: &AtomicU64, n: u64| c.fetch_add(n, Ordering::Relaxed);
+        // Rebase once the window fills: the materialized graph becomes
+        // the stream's base and the log restarts, so fingerprinting and
+        // re-materialization stay O(window) for arbitrarily old streams.
+        let (base, base_fp, log) = if accumulated.len() >= self.cfg.rebase_log_edits.max(1) {
+            bump(&self.repairs.rebases, 1);
+            (out.graph.clone(), out.fingerprint, EditLog::new())
+        } else {
+            (base, base_fp, accumulated)
+        };
+        *stream = Some(MutationState {
+            base,
+            base_fp,
+            log,
+            graph: out.graph.clone(),
+            prior: solution.clone(),
+            edits_total,
+        });
+        drop(stream);
         bump(if repaired {
             &self.repairs.repaired
         } else {
@@ -658,7 +755,8 @@ impl Shared {
              \"requests\":{{\"received\":{},\"ok\":{},\"error\":{},\"bad_request\":{},\
              \"overloaded\":{},\"timeout\":{},\"cancelled\":{}}},\
              \"repairs\":{{\"requests\":{},\"repaired\":{},\"fresh\":{},\
-             \"edits_applied\":{},\"decomps_patched\":{},\"streams\":{}}},\
+             \"edits_applied\":{},\"decomps_patched\":{},\"rebases\":{},\
+             \"evicted\":{},\"streams\":{}}},\
              \"solve_wall_ms\":{{\"count\":{},\"p50\":{:.3},\"p99\":{:.3}}},\
              \"graph_cache\":{},\"decomp_cache\":{},\
              \"tenants\":[{}],\"phase_latency_us\":{{{}}}}}",
@@ -678,6 +776,8 @@ impl Shared {
             count(&self.repairs.fresh),
             count(&self.repairs.edits_applied),
             count(&self.repairs.decomps_patched),
+            count(&self.repairs.rebases),
+            count(&self.repairs.streams_evicted),
             lock(&self.mutations).len(),
             wall.len(),
             percentile_f64(&wall, 0.50),
@@ -731,6 +831,7 @@ impl Server {
             latency: Mutex::new(LatencyAgg::default()),
             pending: Mutex::new(HashMap::new()),
             mutations: Mutex::new(HashMap::new()),
+            stream_clock: AtomicU64::new(0),
             repairs: RepairCounts::default(),
             conns: Mutex::new(Vec::new()),
             metrics: ServeMetrics::new(),

@@ -1010,6 +1010,7 @@ fn cmd_serve(f: &Flags) -> Result<(), String> {
         default_deadline_ms: f.deadline_ms,
         default_threads: f.threads,
         allow_debug: false,
+        ..ServeConfig::default()
     };
     let workers = cfg.workers;
     let queue_cap = cfg.queue_cap;

@@ -110,6 +110,154 @@ fn mutate_repairs_are_valid_for_the_edited_graph() {
 }
 
 #[test]
+fn pipelined_mutates_on_one_stream_commit_every_batch() {
+    // The lost-update regression: with multiple workers draining one
+    // connection's pipelined mutates, two batches for the same stream
+    // used to read the same prior state and the later commit silently
+    // dropped the earlier acknowledged batch. Serialized streams must
+    // commit every batch exactly once, so the acknowledged running
+    // totals are a permutation of 1..=N.
+    let server = spawn(4, 32, false);
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let mut m = mutate_params("tenant-a", "");
+    m.solve.id = "p0".into();
+    assert_eq!(client.mutate(&m).unwrap().status(), "ok");
+
+    const BATCHES: u64 = 8;
+    for i in 0..BATCHES {
+        m.edits = format!("+{i}-{}", i + 9);
+        m.solve.id = format!("b{i}");
+        client.send_line(&m.to_json()).unwrap();
+    }
+    let mut totals = Vec::new();
+    for _ in 0..BATCHES {
+        let reply = client.recv().unwrap();
+        assert_eq!(reply.status(), "ok", "{:?}", reply.raw);
+        assert_eq!(reply.num_field("edits_applied"), Some(1.0));
+        totals.push(reply.num_field("edits_total").unwrap() as u64);
+    }
+    totals.sort_unstable();
+    assert_eq!(
+        totals,
+        (1..=BATCHES).collect::<Vec<_>>(),
+        "every batch must advance the stream exactly once"
+    );
+
+    let stats = client.stats().unwrap();
+    let repairs = stats.raw.get("repairs").unwrap();
+    assert_eq!(
+        repairs.get("requests").and_then(|v| v.as_u64()),
+        Some(BATCHES + 1)
+    );
+    assert_eq!(
+        repairs.get("edits_applied").and_then(|v| v.as_u64()),
+        Some(BATCHES)
+    );
+    assert_eq!(repairs.get("streams").and_then(|v| v.as_u64()), Some(1));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn mutation_streams_rebase_without_losing_the_solution_contract() {
+    // With a two-edit rebase window every multi-edit batch crosses the
+    // threshold: the stream adopts its materialized graph as the new
+    // base and restarts the log. Repairs must keep verifying against the
+    // cumulative edit history and `edits_total` must keep counting
+    // across rebases.
+    let server = Server::spawn(ServeConfig {
+        rebase_log_edits: 2,
+        ..ServeConfig::default()
+    })
+    .expect("bind loopback");
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let mut m = mutate_params("tenant-a", "");
+    m.solve.id = "r0".into();
+    assert_eq!(client.mutate(&m).unwrap().status(), "ok");
+
+    let all_edits = ["+0-5,-0-1", "+2-7,+3-8", "+1-6"];
+    for (i, edits) in all_edits.iter().enumerate() {
+        m.edits = (*edits).into();
+        m.solve.id = format!("r{}", i + 1);
+        m.solve.want_solution = true;
+        let reply = client.mutate(&m).unwrap();
+        assert_eq!(reply.status(), "ok", "{:?}", reply.raw);
+        assert_eq!(reply.bool_field("repaired"), Some(true));
+
+        // The served solution must verify on the cumulative edited
+        // graph, reconstructed in-process by replaying every batch.
+        let job = m.solve.to_job_spec().unwrap();
+        let src = GraphSource::parse(&job.graph, job.scale, job.effective_graph_seed()).unwrap();
+        let (base, _, _) = Engine::with_cap(0).graph(&src).unwrap();
+        let mut edited = (*base).clone();
+        for batch in &all_edits[..=i] {
+            edited = EditLog::parse(batch).unwrap().materialize(&edited);
+        }
+        let in_set = parse_mis(
+            reply.str_field("solution").expect("want_solution set"),
+            edited.num_vertices(),
+        );
+        check_maximal_independent_set(&edited, &in_set).expect("repair verifies across rebases");
+    }
+
+    let stats = client.stats().unwrap();
+    let repairs = stats.raw.get("repairs").unwrap();
+    assert_eq!(repairs.get("edits_applied").and_then(|v| v.as_u64()), Some(5));
+    // Batches 1 and 2 each fill the two-edit window and rebase; batch 3
+    // (one edit) leaves the restarted log below it.
+    assert_eq!(repairs.get("rebases").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(repairs.get("streams").and_then(|v| v.as_u64()), Some(1));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn idle_mutation_streams_are_evicted_at_the_cap() {
+    // A one-stream cap: every new stream evicts the idle previous one.
+    // The evicted tenant's next mutate re-primes from scratch (fresh
+    // solve, totals restart) instead of leaking state, and the table
+    // never outgrows the cap.
+    let server = Server::spawn(ServeConfig {
+        max_streams: 1,
+        ..ServeConfig::default()
+    })
+    .expect("bind loopback");
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    let mut ma = mutate_params("tenant-a", "+0-5");
+    let ra = client.mutate(&ma).unwrap();
+    assert_eq!(ra.status(), "ok", "{:?}", ra.raw);
+    assert_eq!(ra.num_field("edits_total"), Some(1.0));
+
+    // A second tenant's stream pushes the table past the cap; tenant-a's
+    // idle stream is the LRU victim.
+    let mb = mutate_params("tenant-b", "");
+    assert_eq!(client.mutate(&mb).unwrap().status(), "ok");
+
+    // tenant-a starts over: no prior to repair, totals reset to this
+    // batch alone.
+    ma.edits = "+1-6".into();
+    let ra2 = client.mutate(&ma).unwrap();
+    assert_eq!(ra2.status(), "ok", "{:?}", ra2.raw);
+    assert_eq!(ra2.bool_field("repaired"), Some(false));
+    assert_eq!(ra2.num_field("edits_total"), Some(1.0));
+
+    let stats = client.stats().unwrap();
+    let repairs = stats.raw.get("repairs").unwrap();
+    assert_eq!(repairs.get("streams").and_then(|v| v.as_u64()), Some(1));
+    assert_eq!(repairs.get("evicted").and_then(|v| v.as_u64()), Some(2));
+    assert_eq!(repairs.get("fresh").and_then(|v| v.as_u64()), Some(3));
+    assert_eq!(repairs.get("repaired").and_then(|v| v.as_u64()), Some(0));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
 fn mutate_streams_are_isolated_per_tenant() {
     let server = spawn(2, 8, false);
     let mut a = Client::connect(server.addr()).unwrap();
